@@ -1,0 +1,28 @@
+// Command cycadabench regenerates the tables and figures of the paper's
+// evaluation (§9) on the simulated systems.
+//
+// Usage:
+//
+//	cycadabench -exp table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|acid|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cycada"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(append(cycada.Experiments(), "all"), "|"))
+	flag.Parse()
+
+	out, err := cycada.RunExperiment(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cycadabench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

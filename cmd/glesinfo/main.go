@@ -1,0 +1,39 @@
+// Command glesinfo prints the GLES function and extension inventories of the
+// simulated platforms (the data behind Table 1), like a glxinfo for the
+// simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cycada/internal/gles/registry"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list extension names")
+	flag.Parse()
+
+	fmt.Printf("GLES 1.0 standard functions: %d\n", len(registry.GLES1Standard()))
+	fmt.Printf("GLES 2.0 standard functions: %d\n", len(registry.GLES2Standard()))
+	fmt.Printf("distinct standard functions: %d\n\n", len(registry.StandardUnion()))
+
+	report := func(label string, exts []registry.Extension) {
+		fmt.Printf("%-22s %3d extensions, %3d extension functions\n",
+			label, len(exts), registry.CountFuncs(exts))
+		if *verbose {
+			for _, n := range registry.ExtensionNames(exts) {
+				fmt.Printf("    %s\n", n)
+			}
+		}
+	}
+	report("iOS (PowerVR/Apple):", registry.IOSExtensions())
+	report("Android (Tegra 3):", registry.AndroidExtensions())
+	report("Khronos registry:", registry.KhronosExtensions())
+
+	fmt.Printf("\niOS GLES surface Cycada bridges: %d functions\n", len(registry.IOSSurface()))
+	fmt.Printf("  direct %d / indirect %d / data-dependent %d / multi %d / unimplemented %d\n",
+		len(registry.BridgeDirect()), len(registry.BridgeIndirect()),
+		len(registry.BridgeDataDependent()), len(registry.BridgeMulti()),
+		len(registry.BridgeUnimplemented()))
+}

@@ -1,0 +1,80 @@
+// Command safari runs the simulated Safari (WebKit over the iOS port) on a
+// page, under any of the evaluation's configurations, and reports the
+// rendered frame checksum — the §9 functionality experiment. With -acid it
+// runs the Acid-like conformance suite instead; with -compare it renders the
+// page on Cycada and native iOS and verifies pixel-for-pixel equality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cycada"
+	"cycada/internal/workloads/acid"
+	"cycada/internal/workloads/sites"
+	"cycada/internal/workloads/sunspider"
+)
+
+func main() {
+	config := flag.String("config", string(cycada.CycadaIOS), "configuration: android|cycada-android|cycada-ios|ios")
+	page := flag.String("page", "home", "bundled page to load: "+fmt.Sprint(sites.Names())+", or sunspider")
+	runAcid := flag.Bool("acid", false, "run the Acid-like conformance suite")
+	compare := flag.Bool("compare", false, "render on cycada-ios AND ios and compare checksums")
+	flag.Parse()
+
+	if *runAcid {
+		out, err := cycada.RunExperiment("acid")
+		fail(err)
+		fmt.Print(out)
+		return
+	}
+
+	html := pageHTML(*page)
+	if *compare {
+		var sums [2]uint32
+		for i, id := range []cycada.Config{cycada.CycadaIOS, cycada.NativeIOS} {
+			sums[i] = render(id, html)
+			fmt.Printf("%-12s frame checksum %#x\n", id, sums[i])
+		}
+		if sums[0] == sums[1] {
+			fmt.Println("pages match pixel for pixel")
+			return
+		}
+		fmt.Println("ERROR: pages differ")
+		os.Exit(1)
+	}
+	sum := render(cycada.Config(*config), html)
+	fmt.Printf("%s: rendered %q, frame checksum %#x\n", *config, *page, sum)
+}
+
+func pageHTML(name string) string {
+	if name == "sunspider" {
+		return sunspider.Page
+	}
+	if name == "acid" {
+		return acid.Page
+	}
+	html, ok := sites.Page(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "safari: no bundled page %q (have %v)\n", name, sites.Names())
+		os.Exit(1)
+	}
+	return html
+}
+
+func render(id cycada.Config, html string) uint32 {
+	d, err := cycada.Boot(id)
+	fail(err)
+	browser, _, err := d.NewBrowser()
+	fail(err)
+	fail(browser.Load(html))
+	return d.Screen().Checksum()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safari:", err)
+		os.Exit(1)
+	}
+}

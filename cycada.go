@@ -1,0 +1,153 @@
+// Package cycada is the public entry point of the Cycada graphics
+// reproduction: a simulated two-OS graphics world (Android and iOS stacks
+// over a software GPU) plus a complete implementation of the paper's binary
+// compatibility layer — diplomat usage patterns, thread impersonation, and
+// dynamic library replication — able to run unmodified "iOS app" code (code
+// written against the simulated iOS APIs) on the simulated Android system.
+//
+// Paper: Andrus, AlDuaij, Nieh — "Binary Compatible Graphics Support in
+// Android for Running iOS Apps", Middleware 2017.
+//
+// The package exposes the four evaluation configurations, the workload
+// runners, and the experiment suite that regenerates every table and figure
+// of the paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package cycada
+
+import (
+	"fmt"
+	"strings"
+
+	"cycada/internal/core/system"
+	"cycada/internal/harness"
+	"cycada/internal/ios/iosys"
+	"cycada/internal/workloads/acid"
+)
+
+// Config identifies one of the paper's four system configurations (§9).
+type Config = harness.ConfigID
+
+// The four configurations.
+const (
+	StockAndroid  = harness.StockAndroid
+	CycadaAndroid = harness.CycadaAndroid
+	CycadaIOS     = harness.CycadaIOS
+	NativeIOS     = harness.NativeIOS
+)
+
+// Device is a booted configuration with workload factories.
+type Device = harness.Device
+
+// Boot boots a configuration.
+func Boot(cfg Config) (*Device, error) { return harness.Boot(cfg) }
+
+// Configs lists all four configurations.
+func Configs() []Config { return harness.Configs() }
+
+// NewSystem boots a Cycada machine directly (the richer API the examples
+// use: create iOS app processes, EAGL contexts, IOSurfaces, GCD queues).
+func NewSystem() *system.Cycada { return system.New(system.Config{}) }
+
+// NewIOSDevice boots a native iOS (iPad mini) machine for side-by-side
+// binary-compatibility comparisons.
+func NewIOSDevice() *iosys.System { return iosys.New(iosys.Config{}) }
+
+// Experiments lists the regenerable tables and figures.
+func Experiments() []string {
+	return []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "acid"}
+}
+
+// RunExperiment regenerates one table or figure (or "all") and returns its
+// rendered text.
+func RunExperiment(name string) (string, error) {
+	switch name {
+	case "table1":
+		return harness.Table1(), nil
+	case "table2":
+		return harness.Table2()
+	case "table3":
+		return harness.Table3()
+	case "fig5":
+		out, _, err := harness.Fig5()
+		return out, err
+	case "fig6":
+		out, _, err := harness.Fig6()
+		return out, err
+	case "fig7", "fig9":
+		_, prof, err := harness.Fig5()
+		if err != nil {
+			return "", err
+		}
+		return harness.FigProfile("Figures 7 and 9: SunSpider GLES time per function (Cycada iOS)", prof), nil
+	case "fig8", "fig10":
+		_, prof, err := harness.Fig6()
+		if err != nil {
+			return "", err
+		}
+		return harness.FigProfile("Figures 8 and 10: PassMark GLES time per function (Cycada iOS)", prof), nil
+	case "acid":
+		return runAcid()
+	case "all":
+		var b strings.Builder
+		for _, exp := range []string{"table1", "table2", "table3"} {
+			out, err := RunExperiment(exp)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", exp, err)
+			}
+			b.WriteString(out)
+			b.WriteString("\n")
+		}
+		fig5, prof5, err := harness.Fig5()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fig5 + "\n")
+		fig6, prof6, err := harness.Fig6()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fig6 + "\n")
+		b.WriteString(harness.FigProfile("Figures 7 and 9: SunSpider GLES time per function (Cycada iOS)", prof5) + "\n")
+		b.WriteString(harness.FigProfile("Figures 8 and 10: PassMark GLES time per function (Cycada iOS)", prof6) + "\n")
+		acidOut, err := runAcid()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(acidOut)
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("cycada: unknown experiment %q (have %v)", name, append(Experiments(), "all"))
+	}
+}
+
+// runAcid runs the Acid-like conformance comparison of §9.
+func runAcid() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Acid-like browser conformance (Safari)\n")
+	var sums [2]uint32
+	for i, id := range []Config{CycadaIOS, NativeIOS} {
+		d, err := Boot(id)
+		if err != nil {
+			return "", err
+		}
+		browser, _, err := d.NewBrowser()
+		if err != nil {
+			return "", err
+		}
+		res, err := acid.Run(browser, func() uint32 { return d.Screen().Checksum() })
+		if err != nil {
+			return "", err
+		}
+		sums[i] = res.FinalChecksum
+		fmt.Fprintf(&b, "  %-14s score %d/100, final frame checksum %#x\n", d.Label, res.Score, res.FinalChecksum)
+		for _, f := range res.Failed {
+			fmt.Fprintf(&b, "    FAILED: %s\n", f)
+		}
+	}
+	if sums[0] == sums[1] {
+		fmt.Fprintf(&b, "  final pages match pixel for pixel\n")
+	} else {
+		fmt.Fprintf(&b, "  WARNING: final pages differ\n")
+	}
+	return b.String(), nil
+}

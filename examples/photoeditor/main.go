@@ -1,0 +1,130 @@
+// Photoeditor: the §6.2 cross-API sharing scenario — a photo app that draws
+// into an IOSurface with CoreGraphics (CPU) while the same surface is bound
+// to a GLES texture (GPU). Under Cycada the surface is backed by an Android
+// GraphicBuffer that cannot be CPU-locked while texture-associated, so every
+// IOSurfaceLock/Unlock runs the multi-diplomat dance: rebind the texture to
+// a one-pixel buffer, destroy the EGLImage, lock; then recreate and rebind
+// on unlock — transparently to this app code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycada"
+	"cycada/internal/core/system"
+	"cycada/internal/gles/engine"
+	"cycada/internal/ios/coregraphics"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/sim/gpu"
+)
+
+func main() {
+	sys := cycada.NewSystem()
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "photo-editor"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := app.Main()
+
+	ctx, err := app.EAGL.NewContext(t, eagl.APIGLES2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(t, ctx); err != nil {
+		log.Fatal(err)
+	}
+	gl := app.GL
+
+	// The photo lives in an IOSurface shared between the 2D and 3D APIs.
+	photo, err := app.Surfaces.Create(t, 64, 48, gpu.FormatRGBA8888)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bind it to a GLES texture (zero-copy: under Cycada this associates the
+	// backing GraphicBuffer through an EGLImage).
+	tex := gl.GenTextures(t, 1)
+	gl.BindTexture(t, tex[0])
+	if ret := app.Bridge.Call(t, "glEGLImageTargetTexture2DOES", photo); ret != nil {
+		log.Fatalf("binding surface to texture: %v", ret)
+	}
+	fmt.Println("photo IOSurface bound to GLES texture (zero-copy)")
+
+	// Edit pass: CPU drawing with CoreGraphics. IOSurfaceLock triggers the
+	// §6.2 disassociation dance; without it the GraphicBuffer lock would be
+	// refused.
+	for pass := 0; pass < 3; pass++ {
+		if err := app.Surfaces.Lock(t, photo); err != nil {
+			log.Fatalf("IOSurfaceLock: %v", err)
+		}
+		cg, err := coregraphics.NewContext(t, photo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cg.SetFill(gpu.RGBA{R: uint8(80 * pass), G: 120, B: uint8(255 - 80*pass), A: 255})
+		cg.FillRect(t, pass*10, pass*8, pass*10+24, pass*8+16)
+		cg.SetStroke(gpu.RGBA{R: 255, G: 255, B: 255, A: 255})
+		cg.StrokeLine(t, 0, pass*12, 63, pass*12)
+		if err := app.Surfaces.Unlock(t, photo); err != nil {
+			log.Fatalf("IOSurfaceUnlock: %v", err)
+		}
+		fmt.Printf("edit pass %d: CPU draw complete, texture re-associated\n", pass+1)
+	}
+
+	// Display pass: the GPU samples the (CPU-edited) texture.
+	layer, err := app.NewLayer(t, 0, 0, 128, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fbo := gl.GenFramebuffers(t, 1)
+	gl.BindFramebuffer(t, fbo[0])
+	rb := gl.GenRenderbuffers(t, 1)
+	gl.BindRenderbuffer(t, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(t, layer); err != nil {
+		log.Fatal(err)
+	}
+	gl.FramebufferRenderbuffer(t, rb[0])
+
+	vs := gl.CreateShader(t, engine.VertexShaderKind)
+	gl.ShaderSource(t, vs, `
+attribute vec4 a_pos;
+attribute vec2 a_uv;
+varying vec2 v_uv;
+void main() { gl_Position = a_pos; v_uv = a_uv; }
+`)
+	gl.CompileShader(t, vs)
+	fs := gl.CreateShader(t, engine.FragmentShaderKind)
+	gl.ShaderSource(t, fs, `
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, v_uv); }
+`)
+	gl.CompileShader(t, fs)
+	prog := gl.CreateProgram(t)
+	gl.AttachShader(t, prog, vs)
+	gl.AttachShader(t, prog, fs)
+	gl.LinkProgram(t, prog)
+	gl.UseProgram(t, prog)
+	gl.BindTexture(t, tex[0])
+	gl.Uniform1i(t, gl.GetUniformLocation(t, prog, "u_tex"), 0)
+	pos := gl.GetAttribLocation(t, prog, "a_pos")
+	uv := gl.GetAttribLocation(t, prog, "a_uv")
+	gl.VertexAttribPointer(t, pos, 4, []float32{-1, -1, 0, 1, 1, -1, 0, 1, 1, 1, 0, 1, -1, 1, 0, 1})
+	gl.EnableVertexAttribArray(t, pos)
+	gl.VertexAttribPointer(t, uv, 2, []float32{0, 1, 1, 1, 1, 0, 0, 0})
+	gl.EnableVertexAttribArray(t, uv)
+	gl.DrawElements(t, engine.Triangles, []uint16{0, 1, 2, 0, 2, 3})
+	if e := gl.GetError(t); e != engine.NoError {
+		log.Fatalf("GL error %#x", e)
+	}
+	if err := ctx.PresentRenderbuffer(t); err != nil {
+		log.Fatal(err)
+	}
+
+	screen := sys.Android.Flinger.Screen()
+	fmt.Printf("displayed CPU-edited photo via GPU; screen checksum %#x\n", screen.Checksum())
+	fmt.Printf("lock dances run: %d lock / %d unlock multi diplomats\n",
+		app.Profiler.Calls("aegl_bridge_lock_surface"),
+		app.Profiler.Calls("aegl_bridge_unlock_surface"))
+}

@@ -1,0 +1,130 @@
+// Quickstart: run an unmodified "iOS app" — code written purely against the
+// simulated iOS APIs (EAGL, GLES, IOSurface) — on the simulated Android
+// device through Cycada, and on a native iOS device, and verify the rendered
+// frames match pixel for pixel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycada"
+	"cycada/internal/core/system"
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// iosApp is the "binary": it only sees iOS APIs, so the same function runs
+// on both devices.
+func iosApp(t *kernel.Thread, eaglLib *eagl.Lib, gl *glesapi.GL, layer *eagl.CAEAGLLayer) error {
+	ctx, err := eaglLib.NewContext(t, eagl.APIGLES2)
+	if err != nil {
+		return err
+	}
+	if err := eaglLib.SetCurrentContext(t, ctx); err != nil {
+		return err
+	}
+	fbo := gl.GenFramebuffers(t, 1)
+	gl.BindFramebuffer(t, fbo[0])
+	rb := gl.GenRenderbuffers(t, 1)
+	gl.BindRenderbuffer(t, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(t, layer); err != nil {
+		return err
+	}
+	gl.FramebufferRenderbuffer(t, rb[0])
+
+	gl.ClearColor(t, 0.05, 0.05, 0.2, 1)
+	gl.Clear(t, engine.ColorBufferBit)
+
+	vs := gl.CreateShader(t, engine.VertexShaderKind)
+	gl.ShaderSource(t, vs, `
+attribute vec4 a_pos;
+attribute vec4 a_col;
+varying vec4 v_col;
+void main() { gl_Position = a_pos; v_col = a_col; }
+`)
+	gl.CompileShader(t, vs)
+	fs := gl.CreateShader(t, engine.FragmentShaderKind)
+	gl.ShaderSource(t, fs, `
+varying vec4 v_col;
+void main() { gl_FragColor = v_col; }
+`)
+	gl.CompileShader(t, fs)
+	prog := gl.CreateProgram(t)
+	gl.AttachShader(t, prog, vs)
+	gl.AttachShader(t, prog, fs)
+	gl.LinkProgram(t, prog)
+	gl.UseProgram(t, prog)
+
+	pos := gl.GetAttribLocation(t, prog, "a_pos")
+	col := gl.GetAttribLocation(t, prog, "a_col")
+	gl.VertexAttribPointer(t, pos, 4, []float32{-0.8, -0.8, 0, 1, 0.8, -0.8, 0, 1, 0, 0.9, 0, 1})
+	gl.EnableVertexAttribArray(t, pos)
+	gl.VertexAttribPointer(t, col, 4, []float32{1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 1})
+	gl.EnableVertexAttribArray(t, col)
+	gl.DrawArrays(t, engine.Triangles, 0, 3)
+	if e := gl.GetError(t); e != engine.NoError {
+		return fmt.Errorf("GL error %#x", e)
+	}
+	return ctx.PresentRenderbuffer(t)
+}
+
+func ascii(img *gpu.Image) string {
+	const shades = " .:-=+*#%@"
+	out := ""
+	for y := 0; y < img.H; y += img.H / 16 {
+		for x := 0; x < img.W; x += img.W / 48 {
+			c := img.At(x, y)
+			lum := (int(c.R)*3 + int(c.G)*6 + int(c.B)) / 10
+			out += string(shades[lum*(len(shades)-1)/255])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func main() {
+	// 1. The iOS app on Cycada (the Android device).
+	cyc := cycada.NewSystem()
+	app, err := cyc.NewIOSApp(system.AppConfig{Name: "triangle"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer, err := app.NewLayer(app.Main(), 0, 0, 96, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := iosApp(app.Main(), app.EAGL, app.GL, layer); err != nil {
+		log.Fatal("on Cycada: ", err)
+	}
+	cycScreen := cyc.Android.Flinger.Screen()
+	fmt.Println("iOS app on Cycada (Android Nexus 7):")
+	fmt.Print(ascii(cycScreen))
+	fmt.Printf("frame checksum: %#x\n", cycScreen.Checksum())
+	fmt.Printf("GLES diplomats exercised: %d distinct functions\n\n", len(app.Profiler.Samples()))
+
+	// 2. The same app binary on a native iOS device.
+	ipad := cycada.NewIOSDevice()
+	us, err := ipad.NewUserspace("triangle")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer2, err := us.NewLayer(us.Proc.Main(), 0, 0, 96, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := iosApp(us.Proc.Main(), us.EAGL, us.GL, layer2); err != nil {
+		log.Fatal("on iOS: ", err)
+	}
+	iosScreen := ipad.Framebuffer.Screen()
+	fmt.Printf("same app on native iOS (iPad mini): frame checksum %#x\n", iosScreen.Checksum())
+
+	if cycScreen.Checksum() == iosScreen.Checksum() {
+		fmt.Println("binary compatible: frames match pixel for pixel")
+	} else {
+		log.Fatal("frames differ!")
+	}
+}

@@ -1,0 +1,70 @@
+// Webbrowser: the §9 functionality experiment — Safari (WebKit over the iOS
+// port) browses the bundled stand-ins for the top 30 websites on Cycada and
+// on native iOS, comparing every rendered page pixel for pixel, then runs
+// the Acid-like conformance suite on both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cycada"
+	"cycada/internal/workloads/acid"
+	"cycada/internal/workloads/sites"
+)
+
+func main() {
+	pages := sites.All()
+	names := make([]string, 0, len(pages))
+	for n := range pages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("browsing %d sites with Safari on Cycada vs native iOS\n\n", len(names))
+	matched := 0
+	for _, name := range names {
+		var sums [2]uint32
+		for i, id := range []cycada.Config{cycada.CycadaIOS, cycada.NativeIOS} {
+			d, err := cycada.Boot(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			browser, _, err := d.NewBrowser()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := browser.Load(pages[name]); err != nil {
+				log.Fatalf("%s on %s: %v", name, id, err)
+			}
+			sums[i] = d.Screen().Checksum()
+		}
+		status := "MATCH"
+		if sums[0] == sums[1] {
+			matched++
+		} else {
+			status = "DIFFER"
+		}
+		fmt.Printf("  %-10s cycada=%#08x ios=%#08x %s\n", name, sums[0], sums[1], status)
+	}
+	fmt.Printf("\n%d/%d sites rendered identically\n\n", matched, len(names))
+
+	// Acid-like conformance, like §9's Acid3 run.
+	d, err := cycada.Boot(cycada.CycadaIOS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	browser, _, err := d.NewBrowser()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := acid.Run(browser, func() uint32 { return d.Screen().Checksum() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Acid-like test on Safari/Cycada: %d/100\n", res.Score)
+	if matched != len(names) || res.Score != 100 {
+		log.Fatal("functionality experiment failed")
+	}
+}

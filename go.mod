@@ -1,0 +1,3 @@
+module cycada
+
+go 1.24

@@ -1,0 +1,186 @@
+// Package libc simulates a platform C library's pthread TLS-key surface:
+// pthread_key_create / pthread_key_delete / pthread_getspecific /
+// pthread_setspecific over the kernel's per-persona TLS areas.
+//
+// It includes the paper's "trivial 12 line patch" to Android's libc (§7.1):
+// a notification hook fired on every key create and delete, which Cycada's
+// thread-impersonation machinery gates in the prelude/postlude of each
+// graphics diplomat to discover which TLS slots are graphics-related.
+//
+// One Lib instance manages one persona's key space in one process: Bionic
+// for the Android persona, libSystem for the iOS persona. The library is
+// never replicated by DLR (paper footnote 1).
+package libc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+)
+
+// KeyHook observes TLS key lifecycle events — the Bionic patch.
+type KeyHook func(key int, name string, created bool)
+
+// Lib is one libc instance.
+type Lib struct {
+	persona kernel.Persona
+
+	mu       sync.Mutex
+	nextKey  int
+	keys     map[int]string
+	hooks    map[int]KeyHook
+	nextHook int
+}
+
+// New creates a libc managing TLS keys for the given persona. Key IDs start
+// above the reserved system slots (errno is slot 0).
+func New(persona kernel.Persona) *Lib {
+	return &Lib{persona: persona, nextKey: 8, keys: map[int]string{}, hooks: map[int]KeyHook{}}
+}
+
+// Persona returns the persona whose TLS this libc manages.
+func (l *Lib) Persona() kernel.Persona { return l.persona }
+
+// CreateKey implements pthread_key_create: it returns a globally-unique TLS
+// slot ID and notifies registered hooks.
+func (l *Lib) CreateKey(name string) int {
+	l.mu.Lock()
+	l.nextKey++
+	key := l.nextKey
+	l.keys[key] = name
+	hooks := l.snapshotHooksLocked()
+	l.mu.Unlock()
+	for _, h := range hooks {
+		h(key, name, true)
+	}
+	return key
+}
+
+// DeleteKey implements pthread_key_delete.
+func (l *Lib) DeleteKey(key int) {
+	l.mu.Lock()
+	name, ok := l.keys[key]
+	if ok {
+		delete(l.keys, key)
+	}
+	hooks := l.snapshotHooksLocked()
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, h := range hooks {
+		h(key, name, false)
+	}
+}
+
+func (l *Lib) snapshotHooksLocked() []KeyHook {
+	out := make([]KeyHook, 0, len(l.hooks))
+	ids := make([]int, 0, len(l.hooks))
+	for id := range l.hooks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, l.hooks[id])
+	}
+	return out
+}
+
+// RegisterKeyHook installs a hook and returns its unregister function. The
+// impersonation layer registers a hook only while graphics libraries load
+// (gated in diplomat preludes), so only graphics keys are tracked.
+func (l *Lib) RegisterKeyHook(h KeyHook) (unregister func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextHook++
+	id := l.nextHook
+	l.hooks[id] = h
+	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.hooks, id)
+	}
+}
+
+// KeyName returns the debug name of a live key.
+func (l *Lib) KeyName(key int) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.keys[key]
+	return n, ok
+}
+
+// Keys returns the live key IDs in sorted order.
+func (l *Lib) Keys() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int, 0, len(l.keys))
+	for k := range l.keys {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GetSpecific implements pthread_getspecific in this libc's persona.
+func (l *Lib) GetSpecific(t *kernel.Thread, key int) any {
+	v, _ := t.TLSGet(l.persona, key)
+	return v
+}
+
+// SetSpecific implements pthread_setspecific in this libc's persona.
+func (l *Lib) SetSpecific(t *kernel.Thread, key int, v any) error {
+	l.mu.Lock()
+	_, ok := l.keys[key]
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("libc: pthread_setspecific on dead key %d", key)
+	}
+	return t.TLSSet(l.persona, key, v)
+}
+
+// Symbols exports the pthread surface for the dynamic linker.
+func (l *Lib) Symbols() map[string]linker.Fn {
+	return map[string]linker.Fn{
+		"pthread_key_create": func(t *kernel.Thread, args ...any) any {
+			name, _ := args[0].(string)
+			return l.CreateKey(name)
+		},
+		"pthread_key_delete": func(t *kernel.Thread, args ...any) any {
+			l.DeleteKey(args[0].(int))
+			return 0
+		},
+		"pthread_getspecific": func(t *kernel.Thread, args ...any) any {
+			return l.GetSpecific(t, args[0].(int))
+		},
+		"pthread_setspecific": func(t *kernel.Thread, args ...any) any {
+			if err := l.SetSpecific(t, args[0].(int), args[1]); err != nil {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// LibName returns the conventional library name for a persona's libc.
+func LibName(p kernel.Persona) string {
+	if p == kernel.PersonaIOS {
+		return "libSystem.dylib"
+	}
+	return "libc.so"
+}
+
+// Blueprint returns the linker blueprint for this libc. It is marked Shared:
+// DLR never replicates libc.
+func (l *Lib) Blueprint() *linker.Blueprint {
+	return &linker.Blueprint{
+		Name:   LibName(l.persona),
+		Shared: true,
+		New: func(ctx *linker.LoadContext) (linker.Instance, error) {
+			return l, nil
+		},
+	}
+}

@@ -1,0 +1,136 @@
+package libc
+
+import (
+	"testing"
+
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func newThread(t *testing.T) *kernel.Thread {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("p", kernel.PersonaAndroid, kernel.PersonaIOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Main()
+}
+
+func TestCreateKeyReturnsUniqueIDs(t *testing.T) {
+	l := New(kernel.PersonaAndroid)
+	a := l.CreateKey("a")
+	b := l.CreateKey("b")
+	if a == b {
+		t.Fatal("duplicate key IDs")
+	}
+	if a <= kernel.ErrnoSlot {
+		t.Fatal("key collides with reserved system slots")
+	}
+	if name, ok := l.KeyName(a); !ok || name != "a" {
+		t.Fatalf("KeyName = %q, %v", name, ok)
+	}
+	if got := l.Keys(); len(got) != 2 {
+		t.Fatalf("Keys() = %v", got)
+	}
+}
+
+func TestGetSetSpecific(t *testing.T) {
+	th := newThread(t)
+	l := New(kernel.PersonaAndroid)
+	key := l.CreateKey("ctx")
+	if err := l.SetSpecific(th, key, "value"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.GetSpecific(th, key); got != "value" {
+		t.Fatalf("GetSpecific = %v", got)
+	}
+	// The value lives in the Android persona only.
+	if v, ok := th.TLSGet(kernel.PersonaIOS, key); ok {
+		t.Fatalf("value leaked into the iOS persona: %v", v)
+	}
+	l.DeleteKey(key)
+	if err := l.SetSpecific(th, key, "x"); err == nil {
+		t.Fatal("setspecific on deleted key succeeded")
+	}
+}
+
+func TestKeyHooksTheBionicPatch(t *testing.T) {
+	l := New(kernel.PersonaAndroid)
+	var events []string
+	unreg := l.RegisterKeyHook(func(key int, name string, created bool) {
+		if created {
+			events = append(events, "create:"+name)
+		} else {
+			events = append(events, "delete:"+name)
+		}
+	})
+	k1 := l.CreateKey("gles-ctx")
+	l.DeleteKey(k1)
+	if len(events) != 2 || events[0] != "create:gles-ctx" || events[1] != "delete:gles-ctx" {
+		t.Fatalf("events = %v", events)
+	}
+	// Deleting a dead key fires nothing.
+	l.DeleteKey(k1)
+	if len(events) != 2 {
+		t.Fatalf("dead-key delete fired a hook: %v", events)
+	}
+	unreg()
+	l.CreateKey("after")
+	if len(events) != 2 {
+		t.Fatal("hook fired after unregister")
+	}
+}
+
+func TestMultipleHooksFireInOrder(t *testing.T) {
+	l := New(kernel.PersonaIOS)
+	var order []int
+	l.RegisterKeyHook(func(int, string, bool) { order = append(order, 1) })
+	l.RegisterKeyHook(func(int, string, bool) { order = append(order, 2) })
+	l.CreateKey("k")
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSymbolsSurface(t *testing.T) {
+	th := newThread(t)
+	l := New(kernel.PersonaAndroid)
+	syms := l.Symbols()
+	key := syms["pthread_key_create"](th, "webkit").(int)
+	if key == 0 {
+		t.Fatal("pthread_key_create returned 0")
+	}
+	if rc := syms["pthread_setspecific"](th, key, 42); rc != 0 {
+		t.Fatalf("setspecific rc = %v", rc)
+	}
+	if got := syms["pthread_getspecific"](th, key); got != 42 {
+		t.Fatalf("getspecific = %v", got)
+	}
+	if rc := syms["pthread_key_delete"](th, key); rc != 0 {
+		t.Fatalf("key_delete rc = %v", rc)
+	}
+	if rc := syms["pthread_setspecific"](th, key, 1); rc != 1 {
+		t.Fatal("setspecific on dead key should fail")
+	}
+}
+
+func TestLibNames(t *testing.T) {
+	if LibName(kernel.PersonaAndroid) != "libc.so" {
+		t.Fatal("android libc name wrong")
+	}
+	if LibName(kernel.PersonaIOS) != "libSystem.dylib" {
+		t.Fatal("iOS libc name wrong")
+	}
+	l := New(kernel.PersonaIOS)
+	bp := l.Blueprint()
+	if bp.Name != "libSystem.dylib" || !bp.Shared {
+		t.Fatalf("blueprint = %+v, want shared libSystem", bp)
+	}
+}
+
+func TestPersonaAccessor(t *testing.T) {
+	if New(kernel.PersonaIOS).Persona() != kernel.PersonaIOS {
+		t.Fatal("persona accessor wrong")
+	}
+}

@@ -1,0 +1,161 @@
+// Package sflinger simulates Android's SurfaceFlinger: the system compositor
+// that receives posted GraphicBuffers over Binder, composites them through
+// the HWComposer path, and scans them out through the Linux framebuffer
+// device (paper §2, Figure 2).
+package sflinger
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/android/gralloc"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// ServiceName is the Binder name SurfaceFlinger registers under.
+const ServiceName = "SurfaceFlinger"
+
+// FramebufferPath is the scan-out device node.
+const FramebufferPath = "/dev/graphics/fb0"
+
+// Binder transaction codes.
+const (
+	TxnCreateLayer uint32 = iota + 1
+	TxnPostBuffer
+	TxnDestroyLayer
+)
+
+// PostRequest is the TxnPostBuffer payload.
+type PostRequest struct {
+	Layer  int
+	Buffer *gralloc.Buffer
+}
+
+// Flinger is the compositor service.
+type Flinger struct {
+	mu        sync.Mutex
+	screen    *gpu.Image
+	layers    map[int]*layer
+	nextLayer int
+	frames    int
+}
+
+type layer struct {
+	id   int
+	x, y int
+	last *gralloc.Buffer
+}
+
+// New creates a SurfaceFlinger with a screen of the given size. Register it
+// with kernel.RegisterBinderService(ServiceName, f) and its framebuffer with
+// kernel.RegisterDevice(FramebufferPath, f.Framebuffer()).
+func New(w, h int) *Flinger {
+	return &Flinger{screen: gpu.NewImage(w, h), layers: map[int]*layer{}}
+}
+
+// Screen returns the scan-out image (tests and screenshot tooling).
+func (f *Flinger) Screen() *gpu.Image {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.screen
+}
+
+// Frames reports how many buffers have been composited.
+func (f *Flinger) Frames() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frames
+}
+
+// Transact implements kernel.BinderService.
+func (f *Flinger) Transact(t *kernel.Thread, code uint32, data any) (any, error) {
+	switch code {
+	case TxnCreateLayer:
+		pos, _ := data.([2]int)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.nextLayer++
+		f.layers[f.nextLayer] = &layer{id: f.nextLayer, x: pos[0], y: pos[1]}
+		return f.nextLayer, nil
+	case TxnPostBuffer:
+		req, ok := data.(PostRequest)
+		if !ok {
+			return nil, fmt.Errorf("sflinger: bad post payload %T", data)
+		}
+		return nil, f.post(t, req)
+	case TxnDestroyLayer:
+		id, ok := data.(int)
+		if !ok {
+			return nil, fmt.Errorf("sflinger: bad destroy payload %T", data)
+		}
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		delete(f.layers, id)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("sflinger: unknown transaction %d", code)
+	}
+}
+
+// post composites a buffer onto the screen through the HWComposer path.
+func (f *Flinger) post(t *kernel.Thread, req PostRequest) error {
+	if req.Buffer == nil || req.Buffer.Img == nil {
+		return fmt.Errorf("sflinger: post of nil buffer")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.layers[req.Layer]
+	if !ok {
+		return fmt.Errorf("sflinger: post to unknown layer %d", req.Layer)
+	}
+	// Composition runs on the HW Composer; the per-pixel scan-out cost was
+	// already charged by eglSwapBuffers, so posting only pays the Binder
+	// transaction (charged by the kernel) plus a fixed setup cost.
+	f.screen.Copy(req.Buffer.Img, l.x, l.y)
+	l.last = req.Buffer
+	f.frames++
+	t.ChargeGPU(t.Costs().FlushBase / 4)
+	return nil
+}
+
+// Framebuffer returns the scan-out ioctl device (a stub that reports mode
+// information; actual pixels flow through Binder posts, as on real Android).
+func (f *Flinger) Framebuffer() kernel.Device { return &fbDevice{f: f} }
+
+type fbDevice struct{ f *Flinger }
+
+// Ioctl implements the FBIOGET_VSCREENINFO-style mode query.
+func (d *fbDevice) Ioctl(t *kernel.Thread, cmd uint32, arg any) (any, error) {
+	switch cmd {
+	case 0x4600: // FBIOGET_VSCREENINFO
+		s := d.f.Screen()
+		return [2]int{s.W, s.H}, nil
+	default:
+		return nil, fmt.Errorf("fb0: unknown ioctl %#x", cmd)
+	}
+}
+
+// Client is the userspace side used by EGL window surfaces.
+type Client struct{}
+
+// CreateLayer allocates a compositor layer at a screen position.
+func (Client) CreateLayer(t *kernel.Thread, x, y int) (int, error) {
+	r, err := t.BinderCall(ServiceName, TxnCreateLayer, [2]int{x, y})
+	if err != nil {
+		return 0, err
+	}
+	return r.(int), nil
+}
+
+// Post sends a buffer to the compositor.
+func (Client) Post(t *kernel.Thread, layerID int, buf *gralloc.Buffer) error {
+	_, err := t.BinderCall(ServiceName, TxnPostBuffer, PostRequest{Layer: layerID, Buffer: buf})
+	return err
+}
+
+// DestroyLayer releases a compositor layer.
+func (Client) DestroyLayer(t *kernel.Thread, layerID int) error {
+	_, err := t.BinderCall(ServiceName, TxnDestroyLayer, layerID)
+	return err
+}

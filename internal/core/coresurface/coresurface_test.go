@@ -1,0 +1,103 @@
+package coresurface
+
+import (
+	"errors"
+	"testing"
+
+	"cycada/internal/android/gralloc"
+	"cycada/internal/ios/iokit"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func env(t *testing.T) (*Module, *gralloc.Device, *kernel.Thread) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	dev := gralloc.NewDevice()
+	k.RegisterDevice(gralloc.DevicePath, dev)
+	m := New()
+	k.RegisterMachService(iokit.CoreSurfaceService, m)
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, p.Main()
+}
+
+func create(t *testing.T, th *kernel.Thread, w, h int) iokit.CreateReply {
+	t.Helper()
+	r, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceCreate, iokit.CreateRequest{W: w, H: h, Format: gpu.FormatRGBA8888})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.(iokit.CreateReply)
+}
+
+func TestCreateBacksWithGraphicBuffer(t *testing.T) {
+	m, dev, th := env(t)
+	reply := create(t, th, 16, 12)
+	if reply.Img == nil || reply.Img.W != 16 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// The backing buffer was allocated from the gralloc driver and is
+	// reachable by ID (§6.1).
+	buf, ok := m.Buffer(reply.ID)
+	if !ok {
+		t.Fatal("no backing buffer")
+	}
+	if buf.Img != reply.Img {
+		t.Fatal("surface memory is not the GraphicBuffer's (zero-copy broken)")
+	}
+	if dev.Live() != 1 {
+		t.Fatalf("gralloc live = %d", dev.Live())
+	}
+}
+
+func TestLockRefusedWhileTextureAssociated(t *testing.T) {
+	m, _, th := env(t)
+	reply := create(t, th, 8, 8)
+	buf, _ := m.Buffer(reply.ID)
+	buf.AssociateTexture()
+	_, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceLock, reply.ID)
+	if !errors.Is(err, gralloc.ErrLockedBusy) {
+		t.Fatalf("err = %v, want ErrLockedBusy (§6.2 precondition)", err)
+	}
+	buf.DisassociateTexture()
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceLock, reply.ID); err != nil {
+		t.Fatalf("lock after disassociation: %v", err)
+	}
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceUnlock, reply.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseFreesBackingBuffer(t *testing.T) {
+	m, dev, th := env(t)
+	reply := create(t, th, 8, 8)
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceRelease, reply.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 || dev.Live() != 0 {
+		t.Fatalf("leak: surfaces %d, buffers %d", m.Live(), dev.Live())
+	}
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceRelease, reply.ID); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestBadMessages(t *testing.T) {
+	_, _, th := env(t)
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceCreate, "junk"); err == nil {
+		t.Error("bad create body accepted")
+	}
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceCreate, iokit.CreateRequest{W: -1, H: 5}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := th.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceLock, uint64(999)); err == nil {
+		t.Error("lock of unknown surface accepted")
+	}
+	if _, err := th.MachCall(iokit.CoreSurfaceService, uint32(0xFFFF), nil); err == nil {
+		t.Error("unknown message accepted")
+	}
+}

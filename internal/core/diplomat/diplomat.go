@@ -1,0 +1,338 @@
+// Package diplomat implements Cycada's extended diplomatic functions — the
+// paper's first contribution. A diplomat temporarily switches the persona of
+// a calling thread to execute domestic (Android) code from within a foreign
+// (iOS) app, following the eleven-step call sequence of §3, extended with
+// prelude and postlude operations that run in the foreign persona.
+//
+// The four diplomat usage patterns of §4.1 are expressed through the Kind
+// classification and the optional foreign-side Wrapper:
+//
+//   - direct: no wrapper; the domestic function is invoked directly.
+//   - indirect: a small foreign-side wrapper re-directs to a similar
+//     domestic API with a different name or re-arranges inputs.
+//   - data-dependent: the wrapper performs input-dependent logic and may
+//     not invoke the domestic function at all.
+//   - multi: several coalesced diplomats — one persona switch around a
+//     domestic helper that calls many domestic functions (libEGLbridge).
+package diplomat
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/core/profile"
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+)
+
+// Kind is a diplomat usage pattern (Table 2).
+type Kind int
+
+// The four patterns plus the unimplemented bucket.
+const (
+	Direct Kind = iota + 1
+	Indirect
+	DataDependent
+	Multi
+	Unimplemented
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Indirect:
+		return "indirect"
+	case DataDependent:
+		return "data-dependent"
+	case Multi:
+		return "multi"
+	case Unimplemented:
+		return "unimplemented"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks are the library-wide prelude and postlude operations executed in the
+// foreign persona before and after domestic library usage — Cycada's
+// extension to the basic diplomat construction (§3). They are "common to all
+// diplomats and specified at compile time" (i.e., per diplomatic library).
+type Hooks struct {
+	// Prelude runs in the foreign persona before the persona switch (step 2).
+	Prelude func(t *kernel.Thread)
+	// Postlude runs in the foreign persona after the switch back (step 10).
+	Postlude func(t *kernel.Thread)
+	// Cost selects what the hook dispatch charges: zero-value hooks charge
+	// the empty-prelude cost; GL hooks charge the measured GL pre/post cost
+	// (Table 3 rows 3 and 4).
+	GL bool
+}
+
+// Wrapper is the foreign-side logic of indirect and data-dependent
+// diplomats. It receives the calling thread, the original arguments, and
+// `domestic`, which performs the persona-switched domestic invocation (steps
+// 3-9) with whatever name/arguments the wrapper chooses; the wrapper may
+// call it zero, one, or several times.
+type Wrapper func(t *kernel.Thread, domestic func(name string, args ...any) any, args []any) any
+
+// Diplomat is one diplomatic function.
+type Diplomat struct {
+	Name string
+	Kind Kind
+	// Target overrides the domestic entry point name for wrapper-less
+	// diplomats; multi diplomats named after a GLES function use it to reach
+	// their coalesced aegl_bridge_* helper.
+	Target string
+
+	foreign  kernel.Persona
+	domestic kernel.Persona
+
+	link   *linker.Linker
+	lib    *linker.Handle
+	libFor func(t *kernel.Thread) *linker.Handle
+
+	hooks   *Hooks
+	wrapper Wrapper
+	prof    *profile.Profiler
+
+	mu    sync.Mutex
+	cache map[*linker.Handle]map[string]linker.Symbol // step 1's locally-scoped static variables, per library instance
+}
+
+// Config creates diplomats for one diplomatic library.
+type Config struct {
+	Foreign  kernel.Persona // the app's persona (iOS)
+	Domestic kernel.Persona // the library's persona (Android)
+	Linker   *linker.Linker
+	Library  *linker.Handle // the domestic library diplomats resolve against
+	Hooks    *Hooks
+	Profiler *profile.Profiler // optional; records per-call foreign-visible time
+	// LibraryFor, when set, selects the domestic library per call — the
+	// routing DLR needs: a thread bound to an EGL_multi_context replica must
+	// resolve against that replica's libraries, not the global instances.
+	LibraryFor func(t *kernel.Thread) *linker.Handle
+}
+
+// New creates a diplomat. wrapper must be nil for Direct and Multi kinds and
+// non-nil for Indirect and DataDependent kinds.
+func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error) {
+	switch kind {
+	case Direct, Multi, Unimplemented:
+		if wrapper != nil {
+			return nil, fmt.Errorf("diplomat %s: %v diplomats take no wrapper", name, kind)
+		}
+	case Indirect, DataDependent:
+		if wrapper == nil {
+			return nil, fmt.Errorf("diplomat %s: %v diplomats need a wrapper", name, kind)
+		}
+	default:
+		return nil, fmt.Errorf("diplomat %s: unknown kind %d", name, kind)
+	}
+	if cfg.Linker == nil || (cfg.Library == nil && cfg.LibraryFor == nil) {
+		return nil, fmt.Errorf("diplomat %s: missing domestic library", name)
+	}
+	return &Diplomat{
+		Name:     name,
+		Kind:     kind,
+		foreign:  cfg.Foreign,
+		domestic: cfg.Domestic,
+		link:     cfg.Linker,
+		lib:      cfg.Library,
+		libFor:   cfg.LibraryFor,
+		hooks:    cfg.Hooks,
+		wrapper:  wrapper,
+		prof:     cfg.Profiler,
+		cache:    map[*linker.Handle]map[string]linker.Symbol{},
+	}, nil
+}
+
+// ErrUnimplemented is returned when an unimplemented diplomat is called (the
+// ten never-called iOS GLES functions of Table 2).
+var ErrUnimplemented = fmt.Errorf("diplomat: function not implemented in the prototype (never called)")
+
+// Call invokes the diplomat from foreign code, running the complete §3
+// sequence. For Direct and Multi kinds the domestic entry point has the same
+// name as the diplomat; Indirect and DataDependent kinds route through their
+// wrapper.
+func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
+	start := t.VTime()
+	defer func() {
+		if d.prof != nil {
+			d.prof.Record(d.Name, t.VTime()-start)
+		}
+	}()
+	if d.Kind == Unimplemented {
+		return ErrUnimplemented
+	}
+
+	// Step 2: prelude in the foreign persona.
+	d.runHook(t, true)
+
+	var ret any
+	if d.wrapper != nil {
+		ret = d.wrapper(t, func(name string, inner ...any) any {
+			return d.invokeDomestic(t, name, inner...)
+		}, args)
+	} else {
+		name := d.Name
+		if d.Target != "" {
+			name = d.Target
+		}
+		ret = d.invokeDomestic(t, name, args...)
+	}
+
+	// Step 10: postlude in the foreign persona.
+	d.runHook(t, false)
+
+	// Step 11: return value restored from the stack, control returns.
+	t.ChargeCPU(t.Costs().RetSaveRestore / 2)
+	return ret
+}
+
+func (d *Diplomat) runHook(t *kernel.Thread, prelude bool) {
+	if d.hooks == nil {
+		// No prelude/postlude configured: the basic Cycada diplomat (the
+		// Table 3 "Diplomat" row).
+		return
+	}
+	c := t.Costs()
+	if d.hooks.GL {
+		if prelude {
+			t.ChargeCPU(c.GLPrelude)
+		} else {
+			t.ChargeCPU(c.GLPostlude)
+		}
+	} else {
+		t.ChargeCPU(c.PreludeEmpty)
+	}
+	fn := d.hooks.Postlude
+	if prelude {
+		fn = d.hooks.Prelude
+	}
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// invokeDomestic performs steps 1 and 3-9: resolve (once), save arguments,
+// switch persona, invoke, convert errno, switch back.
+func (d *Diplomat) invokeDomestic(t *kernel.Thread, name string, args ...any) any {
+	sym, err := d.resolve(t, name)
+	if err != nil {
+		// Resolution failure is a bridge bug surfaced to the caller.
+		return err
+	}
+	c := t.Costs()
+
+	// Step 3: arguments stored on the stack.
+	t.ChargeCPU(c.ArgSave)
+	// Step 4: set_persona to the domestic persona.
+	if err := t.SetPersona(d.domestic); err != nil {
+		return err
+	}
+	// Step 5: arguments restored.
+	t.ChargeCPU(c.ArgRestore)
+	// Step 6: direct invocation through the cached symbol.
+	ret := sym.Call(t, args...)
+	domesticErrno := t.Errno()
+	// Step 7: return value saved.
+	t.ChargeCPU(c.RetSaveRestore / 2)
+	// Step 8: set_persona back to the foreign persona.
+	if err := t.SetPersona(d.foreign); err != nil {
+		return err
+	}
+	// Step 9: domestic TLS values such as errno converted into foreign TLS.
+	t.ChargeCPU(c.ErrnoConvert)
+	t.SetErrnoIn(d.foreign, domesticErrno)
+	return ret
+}
+
+// resolve implements step 1: "Upon first invocation, a diplomat loads the
+// appropriate domestic library and locates the required entry point, storing
+// a pointer to the function … for efficient reuse." Symbols are cached per
+// library instance so replica-routed diplomats keep one cached pointer per
+// replica.
+func (d *Diplomat) resolve(t *kernel.Thread, name string) (linker.Symbol, error) {
+	h := d.lib
+	if d.libFor != nil {
+		if dyn := d.libFor(t); dyn != nil {
+			h = dyn
+		}
+	}
+	if h == nil {
+		return linker.Symbol{}, fmt.Errorf("diplomat %s: no domestic library for this thread", d.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byName, ok := d.cache[h]
+	if !ok {
+		byName = map[string]linker.Symbol{}
+		d.cache[h] = byName
+	}
+	if s, ok := byName[name]; ok {
+		return s, nil
+	}
+	s, err := d.link.Dlsym(h, name)
+	if err != nil {
+		return linker.Symbol{}, fmt.Errorf("diplomat %s: %w", d.Name, err)
+	}
+	byName[name] = s
+	return s, nil
+}
+
+// Registry is a named set of diplomats forming one diplomatic library, with
+// the per-kind census of Table 2.
+type Registry struct {
+	cfg Config
+
+	mu   sync.Mutex
+	dips map[string]*Diplomat
+}
+
+// NewRegistry creates an empty registry for one diplomatic library.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{cfg: cfg, dips: map[string]*Diplomat{}}
+}
+
+// Add registers a diplomat.
+func (r *Registry) Add(name string, kind Kind, wrapper Wrapper) (*Diplomat, error) {
+	d, err := New(r.cfg, name, kind, wrapper)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.dips[name]; dup {
+		return nil, fmt.Errorf("diplomat %s: already registered", name)
+	}
+	r.dips[name] = d
+	return d, nil
+}
+
+// Get looks up a diplomat by name.
+func (r *Registry) Get(name string) (*Diplomat, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.dips[name]
+	return d, ok
+}
+
+// Len reports the number of registered diplomats.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dips)
+}
+
+// Census returns the per-kind counts — the rows of Table 2.
+func (r *Registry) Census() map[Kind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[Kind]int{}
+	for _, d := range r.dips {
+		out[d.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package glesbridge implements Cycada's diplomatic GLES library (§4): the
+// complete 344-function iOS GLES surface (standard + Apple extension entry
+// points) implemented over the Android vendor GLES library through the four
+// diplomat usage patterns. In a Cycada process this library is registered
+// under Apple's library name, so unmodified iOS app code that dlopens
+// libGLESv2.dylib and resolves glDrawArrays gets a diplomat instead of
+// Apple's driver — the binary-compatibility mechanism of the paper.
+//
+// Classification (locked to Table 2 by registry and tests):
+//
+//	direct          312  same-name invocation of the Tegra library
+//	indirect         15  renamed/re-arranged (APPLE_fence → NV_fence, …)
+//	data-dependent    5  input-dependent logic (glGetString, APPLE_row_bytes)
+//	multi             2  coalesced through libEGLbridge (IOSurface management)
+//	unimplemented    10  never called by any tested app
+package glesbridge
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/core/diplomat"
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/registry"
+	"cycada/internal/ios/applegles"
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// LibName: the bridge impersonates Apple's GLES library by name.
+const LibName = applegles.LibName
+
+// Config assembles the bridge.
+type Config struct {
+	// Diplomat carries personas, linker, hooks and profiler. Its LibraryFor
+	// must route to the thread's replica (or the global Android GLES).
+	Diplomat diplomat.Config
+	// EGLBridge is the loaded libEGLbridge handle the two multi diplomats
+	// resolve against.
+	EGLBridge *linker.Handle
+}
+
+// Bridge is the loaded diplomatic GLES library.
+type Bridge struct {
+	dips  map[string]*diplomat.Diplomat
+	kinds map[string]diplomat.Kind
+
+	mu             sync.Mutex
+	unpackRowBytes int // APPLE_row_bytes state, managed foreign-side (§4.1)
+	packRowBytes   int
+}
+
+// New builds all 344 diplomats.
+func New(cfg Config) (*Bridge, error) {
+	if cfg.EGLBridge == nil {
+		return nil, fmt.Errorf("glesbridge: missing libEGLbridge handle")
+	}
+	b := &Bridge{
+		dips:  make(map[string]*diplomat.Diplomat, 344),
+		kinds: make(map[string]diplomat.Kind, 344),
+	}
+
+	multiCfg := cfg.Diplomat
+	multiCfg.LibraryFor = nil
+	multiCfg.Library = cfg.EGLBridge
+
+	add := func(name string, kind diplomat.Kind, c diplomat.Config, w diplomat.Wrapper, target string) error {
+		d, err := diplomat.New(c, name, kind, w)
+		if err != nil {
+			return err
+		}
+		d.Target = target
+		if _, dup := b.dips[name]; dup {
+			return fmt.Errorf("glesbridge: duplicate diplomat %s", name)
+		}
+		b.dips[name] = d
+		b.kinds[name] = kind
+		return nil
+	}
+
+	for _, name := range registry.BridgeIndirect() {
+		w, ok := b.indirectWrapper(name)
+		if !ok {
+			return nil, fmt.Errorf("glesbridge: no indirect mapping for %s", name)
+		}
+		if err := add(name, diplomat.Indirect, cfg.Diplomat, w, ""); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range registry.BridgeDataDependent() {
+		w, ok := b.dataDependentWrapper(name)
+		if !ok {
+			return nil, fmt.Errorf("glesbridge: no data-dependent logic for %s", name)
+		}
+		if err := add(name, diplomat.DataDependent, cfg.Diplomat, w, ""); err != nil {
+			return nil, err
+		}
+	}
+	// The two multi diplomats coalesce into libEGLbridge (§6).
+	if err := add("glDeleteTextures", diplomat.Multi, multiCfg, nil, "aegl_bridge_delete_textures"); err != nil {
+		return nil, err
+	}
+	if err := add("glEGLImageTargetTexture2DOES", diplomat.Multi, multiCfg, nil, "aegl_bridge_bind_surface_tex"); err != nil {
+		return nil, err
+	}
+	for _, name := range registry.BridgeUnimplemented() {
+		if err := add(name, diplomat.Unimplemented, cfg.Diplomat, nil, ""); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range registry.BridgeDirect() {
+		if _, dup := b.dips[name]; dup {
+			continue
+		}
+		if err := add(name, diplomat.Direct, cfg.Diplomat, nil, ""); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Kind reports how a function is bridged (Table 2).
+func (b *Bridge) Kind(name string) (diplomat.Kind, bool) {
+	k, ok := b.kinds[name]
+	return k, ok
+}
+
+// Census returns the per-kind diplomat counts — the rows of Table 2.
+func (b *Bridge) Census() map[diplomat.Kind]int {
+	out := map[diplomat.Kind]int{}
+	for _, k := range b.kinds {
+		out[k]++
+	}
+	return out
+}
+
+// Functions reports the total bridged surface (344).
+func (b *Bridge) Functions() int { return len(b.dips) }
+
+// Call invokes a bridged function by name.
+func (b *Bridge) Call(t *kernel.Thread, name string, args ...any) any {
+	d, ok := b.dips[name]
+	if !ok {
+		return fmt.Errorf("glesbridge: %s is not an iOS GLES function", name)
+	}
+	return d.Call(t, args...)
+}
+
+// Symbols implements linker.Instance: the full iOS GLES surface.
+func (b *Bridge) Symbols() map[string]linker.Fn {
+	out := make(map[string]linker.Fn, len(b.dips))
+	for name, d := range b.dips {
+		d := d
+		out[name] = func(t *kernel.Thread, args ...any) any {
+			return d.Call(t, args...)
+		}
+	}
+	return out
+}
+
+// Blueprint returns the bridge's blueprint under Apple's library name; the
+// Cycada system registers it instead of the Apple vendor library.
+func Blueprint(b *Bridge) *linker.Blueprint {
+	return &linker.Blueprint{
+		Name: LibName,
+		Deps: []string{"libSystem.dylib"},
+		New: func(ctx *linker.LoadContext) (linker.Instance, error) {
+			return b, nil
+		},
+	}
+}
+
+// --- Indirect diplomats (§4.1) ---
+
+// fenceRename maps the APPLE_fence surface onto NV_fence, "perform[ing]
+// minor input re-arranging within each APPLE_fence API before calling into a
+// corresponding Android GLES NV_fence API."
+var fenceRename = map[string]string{
+	"glGenFencesAPPLE":    "glGenFencesNV",
+	"glDeleteFencesAPPLE": "glDeleteFencesNV",
+	"glSetFenceAPPLE":     "glSetFenceNV",
+	"glIsFenceAPPLE":      "glIsFenceNV",
+	"glTestFenceAPPLE":    "glTestFenceNV",
+	"glFinishFenceAPPLE":  "glFinishFenceNV",
+}
+
+func (b *Bridge) indirectWrapper(name string) (diplomat.Wrapper, bool) {
+	if nv, ok := fenceRename[name]; ok {
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic(nv, args...)
+		}, true
+	}
+	switch name {
+	case "glRenderbufferStorageMultisampleAPPLE":
+		// (samples, w, h) -> plain storage; the Tegra GPU resolves nothing.
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			if len(args) < 3 {
+				return kernelEINVAL
+			}
+			return domestic("glRenderbufferStorage", args[1], args[2])
+		}, true
+	case "glResolveMultisampleFramebufferAPPLE":
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic("glFlush")
+		}, true
+	case "glCopyTextureLevelsAPPLE":
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic("glCopyTexSubImage2D", args...)
+		}, true
+	case "glTexStorage2DEXT", "glTexStorage3DEXT":
+		// (levels, format, w, h[, depth]) -> immutable storage becomes a
+		// plain allocation of the base level.
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			if len(args) < 4 {
+				return kernelEINVAL
+			}
+			return domestic("glTexImage2D", args[2], args[3], args[1], nil)
+		}, true
+	case "glTextureStorage2DEXT":
+		// (texture, levels, format, w, h): direct-state access split into a
+		// bind plus an allocation.
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			if len(args) < 5 {
+				return kernelEINVAL
+			}
+			domestic("glBindTexture", engine.Texture2D, args[0])
+			return domestic("glTexImage2D", args[3], args[4], args[2], nil)
+		}, true
+	case "glTextureRangeAPPLE":
+		// A storage hint: re-expressed as a texture parameter.
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic("glTexParameteri", uint32(0), 0)
+		}, true
+	case "glMapBufferRangeEXT":
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic("glMapBufferOES", args...)
+		}, true
+	case "glFlushMappedBufferRangeEXT":
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			return domestic("glUnmapBufferOES", args...)
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// kernelEINVAL is the error diplomats return for malformed foreign calls.
+var kernelEINVAL = fmt.Errorf("glesbridge: invalid arguments")
+
+// --- Data-dependent diplomats (§4.1) ---
+
+func (b *Bridge) dataDependentWrapper(name string) (diplomat.Wrapper, bool) {
+	switch name {
+	case "glGetString":
+		// Apple modified glGetString "to accept a non-standard parameter
+		// name, unknown in Android … Cycada uses a data-dependent
+		// glGetString diplomat that interprets the input parameter and
+		// either calls the Android function, or returns a custom string
+		// indicating that no Apple-proprietary extensions are available."
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			if len(args) == 1 {
+				if q, ok := args[0].(uint32); ok && q == engine.AppleExtensionsQ {
+					return ""
+				}
+			}
+			return domestic("glGetString", args...)
+		}, true
+	case "glPixelStorei":
+		// The APPLE_row_bytes parameters maintain foreign-side state; the
+		// Android library would reject them with GL_INVALID_ENUM.
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			if len(args) == 2 {
+				if pname, ok := args[0].(uint32); ok {
+					val, _ := args[1].(int)
+					switch pname {
+					case engine.UnpackRowBytesApple:
+						b.mu.Lock()
+						b.unpackRowBytes = val
+						b.mu.Unlock()
+						return nil
+					case engine.PackRowBytesApple:
+						b.mu.Lock()
+						b.packRowBytes = val
+						b.mu.Unlock()
+						return nil
+					}
+				}
+			}
+			return domestic("glPixelStorei", args...)
+		}, true
+	case "glTexImage2D":
+		// Facade signature: (w, h, format, data).
+		return b.rowBytesUpload("glTexImage2D", 0, 1, 3), true
+	case "glTexSubImage2D":
+		// Facade signature: (x, y, w, h, format, data).
+		return b.rowBytesUpload("glTexSubImage2D", 2, 3, 5), true
+	case "glReadPixels":
+		// "when the APPLE_row_bytes extension is being used, Cycada reads in
+		// and writes out the packed data manually."
+		return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+			ret := domestic("glReadPixels", args...)
+			b.mu.Lock()
+			stride := b.packRowBytes
+			b.mu.Unlock()
+			data, ok := ret.([]byte)
+			if !ok || stride == 0 || len(args) < 4 {
+				return ret
+			}
+			w, _ := args[2].(int)
+			h, _ := args[3].(int)
+			rowLen := w * 4
+			if stride <= rowLen || w <= 0 || h <= 0 || len(data) < rowLen*h {
+				return ret
+			}
+			// Expand tight rows out to the app's requested row stride.
+			out := make([]byte, stride*h)
+			for row := 0; row < h; row++ {
+				copy(out[row*stride:], data[row*rowLen:(row+1)*rowLen])
+			}
+			t.ChargeCPU(vclock.Duration(len(out)) * t.Costs().PerTexelUpload / 4)
+			return out
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// rowBytesUpload builds the upload-side APPLE_row_bytes handler: when row
+// bytes are set, pixel rows are manually repacked from the app's stride to
+// tight rows before the Android upload.
+func (b *Bridge) rowBytesUpload(name string, wIdx, hIdx, dataIdx int) diplomat.Wrapper {
+	return func(t *kernel.Thread, domestic func(string, ...any) any, args []any) any {
+		b.mu.Lock()
+		stride := b.unpackRowBytes
+		b.mu.Unlock()
+		if stride == 0 || len(args) <= dataIdx {
+			return domestic(name, args...)
+		}
+		last := dataIdx
+		data, ok := args[last].([]byte)
+		if !ok || data == nil {
+			return domestic(name, args...)
+		}
+		w, _ := args[wIdx].(int)
+		h, _ := args[hIdx].(int)
+		rowLen := w * 4
+		if stride <= rowLen || w <= 0 || h <= 0 || len(data) < stride*(h-1)+rowLen {
+			return domestic(name, args...)
+		}
+		packed := make([]byte, rowLen*h)
+		for row := 0; row < h; row++ {
+			copy(packed[row*rowLen:], data[row*stride:row*stride+rowLen])
+		}
+		t.ChargeCPU(vclock.Duration(len(packed)) * t.Costs().PerTexelUpload / 4)
+		repacked := append([]any(nil), args...)
+		repacked[last] = packed
+		return domestic(name, repacked...)
+	}
+}

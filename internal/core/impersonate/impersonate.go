@@ -1,0 +1,241 @@
+// Package impersonate implements thread impersonation — the paper's second
+// contribution (§7.1). A running thread temporarily assumes the identity of
+// a target thread (the one that created an Android GLES context), migrating
+// the graphics-related TLS slots of both personas between them so that
+// Android's creator-only GLES libraries accept the call and see the right
+// state.
+//
+// Graphics-related TLS slots are discovered exactly as in the paper: the
+// libc pthread_key_create/pthread_key_delete hooks (the 12-line Bionic
+// patch) are gated so they only record keys created while a graphics
+// diplomat's prelude has opened the gate — i.e. keys reserved by the
+// graphics libraries themselves. Well-known iOS graphics slots are
+// registered explicitly, since Apple's libraries are opaque.
+package impersonate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/sim/kernel"
+)
+
+// Manager tracks graphics TLS slots and performs impersonation sessions.
+type Manager struct {
+	bionic    *libc.Lib
+	libSystem *libc.Lib
+
+	mu          sync.Mutex
+	gateDepth   int
+	androidKeys map[int]bool
+	iosKeys     map[int]bool
+	unhook      func()
+}
+
+// New creates a manager over the two libcs and installs the gated Bionic
+// key hook.
+func New(bionic, libSystem *libc.Lib) *Manager {
+	m := &Manager{
+		bionic:      bionic,
+		libSystem:   libSystem,
+		androidKeys: map[int]bool{},
+		iosKeys:     map[int]bool{},
+	}
+	m.unhook = bionic.RegisterKeyHook(func(key int, name string, created bool) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if created {
+			// "By … gating the Android pthread_key_create and
+			// pthread_key_delete hooks in the prelude and postlude of each
+			// graphics diplomat", only graphics keys are recorded.
+			if m.gateDepth > 0 {
+				m.androidKeys[key] = true
+			}
+			return
+		}
+		delete(m.androidKeys, key)
+	})
+	return m
+}
+
+// Close removes the Bionic hook.
+func (m *Manager) Close() {
+	if m.unhook != nil {
+		m.unhook()
+		m.unhook = nil
+	}
+}
+
+// GateEnter opens the graphics gate: keys created until GateExit are
+// considered graphics-related. Diplomats' GL preludes call this.
+func (m *Manager) GateEnter() {
+	m.mu.Lock()
+	m.gateDepth++
+	m.mu.Unlock()
+}
+
+// GateExit closes the gate (GL postlude).
+func (m *Manager) GateExit() {
+	m.mu.Lock()
+	if m.gateDepth > 0 {
+		m.gateDepth--
+	}
+	m.mu.Unlock()
+}
+
+// Gated runs fn with the gate open — the "load graphics libraries under the
+// gate" pattern.
+func (m *Manager) Gated(fn func()) {
+	m.GateEnter()
+	defer m.GateExit()
+	fn()
+}
+
+// RegisterAndroidGraphicsKey records an Android graphics slot allocated
+// before the manager existed (the globally-loaded vendor library's
+// current-context key).
+func (m *Manager) RegisterAndroidGraphicsKey(key int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.androidKeys[key] = true
+}
+
+// RegisterIOSGraphicsKey records a well-known Apple graphics TLS slot
+// ("we also migrate well-known iOS TLS slots used by Apple graphics
+// libraries", §7.1).
+func (m *Manager) RegisterIOSGraphicsKey(key int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.iosKeys[key] = true
+}
+
+// AndroidGraphicsKeys returns the discovered Android graphics slots, sorted.
+func (m *Manager) AndroidGraphicsKeys() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedKeys(m.androidKeys)
+}
+
+// IOSGraphicsKeys returns the registered iOS graphics slots, sorted.
+func (m *Manager) IOSGraphicsKeys() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedKeys(m.iosKeys)
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Session is one active impersonation: the running thread holds the target
+// thread's graphics TLS (both personas) and identity until End.
+type Session struct {
+	m            *Manager
+	runner       *kernel.Thread
+	target       *kernel.Thread
+	savedAndroid map[int]any
+	savedIOS     map[int]any
+	ended        bool
+}
+
+// Impersonate starts an impersonation of target by runner, performing steps
+// (3) of §7.1: save the runner's graphics TLS in both personas and replace
+// it with the target's, using the locate_tls/propagate_tls syscalls. It also
+// assumes the target's kernel-visible identity so creator-only checks pass.
+func (m *Manager) Impersonate(runner, target *kernel.Thread) (*Session, error) {
+	if runner == target {
+		return nil, fmt.Errorf("impersonate: thread cannot impersonate itself")
+	}
+	aKeys := m.AndroidGraphicsKeys()
+	iKeys := m.IOSGraphicsKeys()
+
+	savedA, err := runner.LocateTLS(runner.TID(), kernel.PersonaAndroid, aKeys)
+	if err != nil {
+		return nil, fmt.Errorf("impersonate: saving android TLS: %w", err)
+	}
+	savedI, err := runner.LocateTLS(runner.TID(), kernel.PersonaIOS, iKeys)
+	if err != nil {
+		return nil, fmt.Errorf("impersonate: saving ios TLS: %w", err)
+	}
+
+	targetA, err := runner.LocateTLS(target.TID(), kernel.PersonaAndroid, aKeys)
+	if err != nil {
+		return nil, fmt.Errorf("impersonate: reading target android TLS: %w", err)
+	}
+	targetI, err := runner.LocateTLS(target.TID(), kernel.PersonaIOS, iKeys)
+	if err != nil {
+		return nil, fmt.Errorf("impersonate: reading target ios TLS: %w", err)
+	}
+
+	if err := runner.PropagateTLS(runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, targetA)); err != nil {
+		return nil, err
+	}
+	if err := runner.PropagateTLS(runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, targetI)); err != nil {
+		return nil, err
+	}
+	if err := runner.BeginImpersonation(target); err != nil {
+		return nil, err
+	}
+	return &Session{
+		m: m, runner: runner, target: target,
+		savedAndroid: savedA, savedIOS: savedI,
+	}, nil
+}
+
+// End finishes the session, performing steps (4) and (5) of §7.1: updates
+// the running thread made to the graphics TLS are reflected back into the
+// target thread ("the TLS associated with the GLES context"), and the
+// runner's original graphics TLS is restored.
+func (s *Session) End() error {
+	if s.ended {
+		return fmt.Errorf("impersonate: session already ended")
+	}
+	s.ended = true
+	s.runner.EndImpersonation()
+
+	aKeys := s.m.AndroidGraphicsKeys()
+	iKeys := s.m.IOSGraphicsKeys()
+
+	// Step 4: reflect updates back to the target.
+	curA, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaAndroid, aKeys)
+	if err != nil {
+		return err
+	}
+	curI, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaIOS, iKeys)
+	if err != nil {
+		return err
+	}
+	if err := s.runner.PropagateTLS(s.target.TID(), kernel.PersonaAndroid, withDeletions(aKeys, curA)); err != nil {
+		return err
+	}
+	if err := s.runner.PropagateTLS(s.target.TID(), kernel.PersonaIOS, withDeletions(iKeys, curI)); err != nil {
+		return err
+	}
+
+	// Step 5: restore the runner's own graphics TLS.
+	if err := s.runner.PropagateTLS(s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
+		return err
+	}
+	return s.runner.PropagateTLS(s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS))
+}
+
+// withDeletions builds a propagate_tls payload that sets the provided values
+// and deletes every tracked key absent from them (nil value = delete).
+func withDeletions(keys []int, vals map[int]any) map[int]any {
+	out := make(map[int]any, len(keys))
+	for _, k := range keys {
+		if v, ok := vals[k]; ok {
+			out[k] = v
+		} else {
+			out[k] = nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package impersonate
+
+import (
+	"testing"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func env(t *testing.T) (*kernel.Process, *Manager, *libc.Lib, *libc.Lib) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bionic := libc.New(kernel.PersonaAndroid)
+	libSystem := libc.New(kernel.PersonaIOS)
+	return p, New(bionic, libSystem), bionic, libSystem
+}
+
+func TestGatedKeyDiscovery(t *testing.T) {
+	_, m, bionic, _ := env(t)
+	defer m.Close()
+
+	// Keys created outside the gate are not graphics keys.
+	bionic.CreateKey("random-app-key")
+	if got := m.AndroidGraphicsKeys(); len(got) != 0 {
+		t.Fatalf("ungated key recorded: %v", got)
+	}
+	// Keys created under the gate are.
+	var gfx int
+	m.Gated(func() { gfx = bionic.CreateKey("gles-current-context") })
+	if got := m.AndroidGraphicsKeys(); len(got) != 1 || got[0] != gfx {
+		t.Fatalf("graphics keys = %v, want [%d]", got, gfx)
+	}
+	// Deletion removes it regardless of gating.
+	bionic.DeleteKey(gfx)
+	if got := m.AndroidGraphicsKeys(); len(got) != 0 {
+		t.Fatalf("deleted key still tracked: %v", got)
+	}
+}
+
+func TestGateNesting(t *testing.T) {
+	_, m, bionic, _ := env(t)
+	defer m.Close()
+	m.GateEnter()
+	m.GateEnter()
+	m.GateExit()
+	k := bionic.CreateKey("still-gated")
+	m.GateExit()
+	m.GateExit() // extra exits are harmless
+	if got := m.AndroidGraphicsKeys(); len(got) != 1 || got[0] != k {
+		t.Fatalf("nested gate lost key: %v", got)
+	}
+}
+
+func TestImpersonationMigratesAndRestores(t *testing.T) {
+	p, m, bionic, _ := env(t)
+	defer m.Close()
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	runner := p.NewThread("runner")
+
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+	target.TLSSet(kernel.PersonaIOS, 40, "target-eagl")
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "runner-gl")
+
+	s, err := m.Impersonate(runner, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3): the runner now holds the target's graphics TLS in both personas.
+	if v, _ := runner.TLSGet(kernel.PersonaAndroid, aKey); v != "target-gl" {
+		t.Fatalf("android slot = %v", v)
+	}
+	if v, _ := runner.TLSGet(kernel.PersonaIOS, 40); v != "target-eagl" {
+		t.Fatalf("ios slot = %v", v)
+	}
+	// Identity assumed.
+	if runner.Effective() != target {
+		t.Fatal("effective identity not assumed")
+	}
+	// (4): updates made while impersonating reflect back to the target.
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "updated-gl")
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := target.TLSGet(kernel.PersonaAndroid, aKey); v != "updated-gl" {
+		t.Fatalf("update not reflected to target: %v", v)
+	}
+	// (5): the runner's own TLS restored.
+	if v, _ := runner.TLSGet(kernel.PersonaAndroid, aKey); v != "runner-gl" {
+		t.Fatalf("runner TLS not restored: %v", v)
+	}
+	if runner.Impersonating() != nil {
+		t.Fatal("identity not dropped")
+	}
+}
+
+func TestImpersonationDeletesSlotsAbsentOnTarget(t *testing.T) {
+	p, m, bionic, _ := env(t)
+	defer m.Close()
+	var key int
+	m.Gated(func() { key = bionic.CreateKey("gles-ctx") })
+	target := p.Main()
+	runner := p.NewThread("runner")
+	runner.TLSSet(kernel.PersonaAndroid, key, "runner-only")
+
+	s, err := m.Impersonate(runner, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := runner.TLSGet(kernel.PersonaAndroid, key); ok {
+		t.Fatal("slot absent on target should be cleared on runner")
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := runner.TLSGet(kernel.PersonaAndroid, key); v != "runner-only" {
+		t.Fatalf("runner slot not restored: %v", v)
+	}
+}
+
+func TestSelfImpersonationRejected(t *testing.T) {
+	p, m, _, _ := env(t)
+	defer m.Close()
+	if _, err := m.Impersonate(p.Main(), p.Main()); err == nil {
+		t.Fatal("self impersonation succeeded")
+	}
+}
+
+func TestDoubleEndRejected(t *testing.T) {
+	p, m, _, _ := env(t)
+	defer m.Close()
+	s, err := m.Impersonate(p.NewThread("a"), p.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err == nil {
+		t.Fatal("double End succeeded")
+	}
+}
+
+func TestNestedImpersonationRejectedByKernel(t *testing.T) {
+	p, m, _, _ := env(t)
+	defer m.Close()
+	a := p.NewThread("a")
+	s, err := m.Impersonate(a, p.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.End()
+	if _, err := m.Impersonate(a, p.NewThread("b")); err == nil {
+		t.Fatal("nested impersonation succeeded")
+	}
+}
+
+func TestRegisterAndroidGraphicsKey(t *testing.T) {
+	_, m, _, _ := env(t)
+	defer m.Close()
+	m.RegisterAndroidGraphicsKey(123)
+	if got := m.AndroidGraphicsKeys(); len(got) != 1 || got[0] != 123 {
+		t.Fatalf("keys = %v", got)
+	}
+	if got := m.IOSGraphicsKeys(); len(got) != 0 {
+		t.Fatalf("ios keys = %v", got)
+	}
+}
+
+func TestCloseStopsDiscovery(t *testing.T) {
+	_, m, bionic, _ := env(t)
+	m.Close()
+	m.GateEnter()
+	bionic.CreateKey("late")
+	m.GateExit()
+	if got := m.AndroidGraphicsKeys(); len(got) != 0 {
+		t.Fatalf("closed manager recorded %v", got)
+	}
+}

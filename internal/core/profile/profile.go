@@ -1,0 +1,123 @@
+// Package profile collects the per-GLES-function timing profiles of the
+// paper's Figures 7-10: for each Android GLES/EGL/aegl_bridge function
+// called through the compatibility layer it records call counts and total
+// virtual time, and reports the top functions by share of total time and by
+// average time per call.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cycada/internal/sim/vclock"
+)
+
+// Profiler accumulates per-function timing. Safe for concurrent use.
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	calls int
+	total vclock.Duration
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{entries: map[string]*entry{}}
+}
+
+// Record adds one call of d virtual time to the named function.
+func (p *Profiler) Record(name string, d vclock.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[name]
+	if !ok {
+		e = &entry{}
+		p.entries[name] = e
+	}
+	e.calls++
+	e.total += d
+}
+
+// Reset clears all samples.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = map[string]*entry{}
+}
+
+// Sample is one function's aggregated profile.
+type Sample struct {
+	Name    string
+	Calls   int
+	Total   vclock.Duration
+	Percent float64 // share of all recorded time
+}
+
+// Avg returns the average time per call.
+func (s Sample) Avg() vclock.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Total / vclock.Duration(s.Calls)
+}
+
+// Samples returns all samples ordered by descending total time — the order
+// Figures 7-10 use.
+func (p *Profiler) Samples() []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var grand vclock.Duration
+	for _, e := range p.entries {
+		grand += e.total
+	}
+	out := make([]Sample, 0, len(p.entries))
+	for name, e := range p.entries {
+		pct := 0.0
+		if grand > 0 {
+			pct = 100 * float64(e.total) / float64(grand)
+		}
+		out = append(out, Sample{Name: name, Calls: e.calls, Total: e.total, Percent: pct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Top returns the n largest samples by total time (the figures show 14).
+func (p *Profiler) Top(n int) []Sample {
+	s := p.Samples()
+	if len(s) > n {
+		s = s[:n]
+	}
+	return s
+}
+
+// Calls reports the call count of one function.
+func (p *Profiler) Calls(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[name]; ok {
+		return e.calls
+	}
+	return 0
+}
+
+// Table renders the top-n profile as the two figure series: percent of total
+// time and average µs per call.
+func (p *Profiler) Table(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %8s %8s %12s\n", "function", "calls", "%time", "avg-us/call")
+	for _, s := range p.Top(n) {
+		fmt.Fprintf(&b, "%-34s %8d %7.2f%% %12.1f\n", s.Name, s.Calls, s.Percent, s.Avg().Micros())
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cycada/internal/sim/vclock"
+)
+
+func TestRecordAndSamples(t *testing.T) {
+	p := New()
+	p.Record("glFlush", 100*vclock.Microsecond)
+	p.Record("glFlush", 300*vclock.Microsecond)
+	p.Record("glClear", 100*vclock.Microsecond)
+
+	s := p.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d", len(s))
+	}
+	if s[0].Name != "glFlush" || s[0].Calls != 2 || s[0].Total != 400*vclock.Microsecond {
+		t.Fatalf("top sample = %+v", s[0])
+	}
+	if s[0].Avg() != 200*vclock.Microsecond {
+		t.Fatalf("avg = %v", s[0].Avg())
+	}
+	if s[0].Percent != 80 || s[1].Percent != 20 {
+		t.Fatalf("percents = %v / %v", s[0].Percent, s[1].Percent)
+	}
+}
+
+func TestTopTruncates(t *testing.T) {
+	p := New()
+	for i := 0; i < 20; i++ {
+		p.Record(strings.Repeat("f", i+1), vclock.Duration(i+1))
+	}
+	if got := len(p.Top(14)); got != 14 {
+		t.Fatalf("Top(14) = %d entries", got)
+	}
+	if got := len(p.Top(50)); got != 20 {
+		t.Fatalf("Top(50) = %d entries", got)
+	}
+}
+
+func TestDeterministicOrderOnTies(t *testing.T) {
+	p := New()
+	p.Record("b", 10)
+	p.Record("a", 10)
+	s := p.Samples()
+	if s[0].Name != "a" || s[1].Name != "b" {
+		t.Fatalf("tie order = %v, %v", s[0].Name, s[1].Name)
+	}
+}
+
+func TestResetAndCalls(t *testing.T) {
+	p := New()
+	p.Record("x", 5)
+	if p.Calls("x") != 1 || p.Calls("y") != 0 {
+		t.Fatal("Calls wrong")
+	}
+	p.Reset()
+	if len(p.Samples()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	p := New()
+	p.Record("eglSwapBuffers", 800*vclock.Microsecond)
+	out := p.Table(14)
+	if !strings.Contains(out, "eglSwapBuffers") || !strings.Contains(out, "800.0") {
+		t.Fatalf("table = %q", out)
+	}
+}
+
+func TestAvgZeroCalls(t *testing.T) {
+	var s Sample
+	if s.Avg() != 0 {
+		t.Fatal("zero-call avg not 0")
+	}
+}
+
+// Property: percentages over any set of recordings sum to ~100.
+func TestPercentSumProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		p := New()
+		any := false
+		for i, d := range durs {
+			if d == 0 {
+				continue
+			}
+			any = true
+			p.Record(strings.Repeat("x", i%7+1), vclock.Duration(d))
+		}
+		if !any {
+			return true
+		}
+		sum := 0.0
+		for _, s := range p.Samples() {
+			sum += s.Percent
+		}
+		return sum > 99.9 && sum < 100.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package system
+
+import (
+	"testing"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/sim/kernel"
+)
+
+// TestRenderContextHandoffAcrossManyThreads drives the paper's §7 scenario
+// hard: one EAGL context created on a worker thread is adopted by a chain of
+// other threads (as GCD does), each rendering a frame. Every adoption runs
+// set_tls + impersonation; every frame must land on screen.
+func TestRenderContextHandoffAcrossManyThreads(t *testing.T) {
+	c, app, _ := bootCycadaApp(t)
+	creator := app.Proc.NewThread("creator")
+	layer, err := app.NewLayer(creator, 0, 0, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := app.EAGL.NewContext(creator, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(creator, ctx); err != nil {
+		t.Fatal(err)
+	}
+	gl := app.GL
+	fbo := gl.GenFramebuffers(creator, 1)
+	gl.BindFramebuffer(creator, fbo[0])
+	rb := gl.GenRenderbuffers(creator, 1)
+	gl.BindRenderbuffer(creator, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(creator, layer); err != nil {
+		t.Fatal(err)
+	}
+	gl.FramebufferRenderbuffer(creator, rb[0])
+
+	// The GLES spec requires external synchronization (§7), so the handoff
+	// chain is sequential — but crosses 8 distinct threads.
+	const hops = 8
+	for i := 0; i < hops; i++ {
+		worker := app.Proc.NewThread("hop")
+		if err := app.EAGL.SetCurrentContext(worker, ctx); err != nil {
+			t.Fatalf("hop %d adoption: %v", i, err)
+		}
+		r := float32(i) / hops
+		gl.ClearColor(worker, r, 1-r, 0.5, 1)
+		gl.Clear(worker, engine.ColorBufferBit)
+		if e := gl.GetError(worker); e != engine.NoError {
+			t.Fatalf("hop %d GL error %#x", i, e)
+		}
+		if err := ctx.PresentRenderbuffer(worker); err != nil {
+			t.Fatalf("hop %d present: %v", i, err)
+		}
+		// Release the context on this thread before the next hop.
+		if err := app.EAGL.SetCurrentContext(worker, nil); err != nil {
+			t.Fatalf("hop %d release: %v", i, err)
+		}
+		if worker.Impersonating() != nil {
+			t.Fatalf("hop %d left impersonation active", i)
+		}
+	}
+	if got := c.Android.Flinger.Frames(); got != hops {
+		t.Fatalf("frames = %d, want %d", got, hops)
+	}
+	// Last frame: r=(7/8), mostly red-ish green-ish — just verify non-blank.
+	if c.Android.Flinger.Screen().At(5, 5).A != 255 {
+		t.Fatal("screen blank after handoffs")
+	}
+	// The creator's own TLS still points at its context.
+	if app.EAGL.CurrentContext(creator) != ctx {
+		t.Fatal("creator lost its current context")
+	}
+}
+
+// TestConcurrentIndependentApps runs several Cycada iOS apps at once, each
+// with its own process, replicas and profiler — exercising cross-process
+// isolation under the Go race detector.
+func TestConcurrentIndependentApps(t *testing.T) {
+	c := New(Config{})
+	const apps = 4
+	done := make(chan error, apps)
+	for i := 0; i < apps; i++ {
+		i := i
+		go func() {
+			app, err := c.NewIOSApp(AppConfig{Name: "app"})
+			if err != nil {
+				done <- err
+				return
+			}
+			th := app.Main()
+			layer, err := app.NewLayer(th, i*40, 0, 32, 32)
+			if err != nil {
+				done <- err
+				return
+			}
+			ctx, err := app.EAGL.NewContext(th, eagl.APIGLES2)
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := app.EAGL.SetCurrentContext(th, ctx); err != nil {
+				done <- err
+				return
+			}
+			gl := app.GL
+			fbo := gl.GenFramebuffers(th, 1)
+			gl.BindFramebuffer(th, fbo[0])
+			rb := gl.GenRenderbuffers(th, 1)
+			gl.BindRenderbuffer(th, rb[0])
+			if err := ctx.RenderbufferStorageFromDrawable(th, layer); err != nil {
+				done <- err
+				return
+			}
+			gl.FramebufferRenderbuffer(th, rb[0])
+			for f := 0; f < 3; f++ {
+				gl.ClearColor(th, float32(i)/apps, 0.5, 0.5, 1)
+				gl.Clear(th, engine.ColorBufferBit)
+				if err := ctx.PresentRenderbuffer(th); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < apps; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Android.Flinger.Frames(); got != apps*3 {
+		t.Fatalf("frames = %d, want %d", got, apps*3)
+	}
+}
+
+// TestImpersonationSurvivesContextSwitchBetweenContexts checks set_tls's
+// session bookkeeping when one thread alternates between two contexts from
+// different creators.
+func TestImpersonationSwitchBetweenCreators(t *testing.T) {
+	_, app, _ := bootCycadaApp(t)
+	c1Owner := app.Proc.NewThread("owner1")
+	c2Owner := app.Proc.NewThread("owner2")
+	ctx1, err := app.EAGL.NewContext(c1Owner, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, err := app.EAGL.NewContext(c2Owner, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := app.Proc.NewThread("runner")
+	for i := 0; i < 4; i++ {
+		target := ctx1
+		owner := c1Owner
+		if i%2 == 1 {
+			target = ctx2
+			owner = c2Owner
+		}
+		if err := app.EAGL.SetCurrentContext(runner, target); err != nil {
+			t.Fatalf("switch %d: %v", i, err)
+		}
+		if runner.Impersonating() != owner {
+			t.Fatalf("switch %d: impersonating %v, want %v", i, runner.Impersonating(), owner)
+		}
+	}
+	if err := app.EAGL.SetCurrentContext(runner, nil); err != nil {
+		t.Fatal(err)
+	}
+	if runner.Impersonating() != nil {
+		t.Fatal("impersonation leaked after clear")
+	}
+	_ = kernel.PersonaIOS
+}

@@ -1,0 +1,219 @@
+// Package system assembles the complete Cycada configuration of Figure 3: an
+// Android system on a Cycada-flavoured kernel with the LinuxCoreSurface
+// module, plus per-app dual-persona processes whose iOS-side libraries
+// (EAGL, IOSurface, GLES) are Cycada's diplomatic implementations over the
+// Android graphics stack.
+//
+// The same iOS app code that runs against internal/ios/iosys (the native
+// iPad configuration) runs unmodified against a system.IOSApp — that is the
+// binary compatibility property under test.
+package system
+
+import (
+	"fmt"
+
+	"cycada/internal/android/egl"
+	agles "cycada/internal/android/gles"
+	"cycada/internal/android/libc"
+	"cycada/internal/android/stack"
+	"cycada/internal/core/coresurface"
+	"cycada/internal/core/diplomat"
+	"cycada/internal/core/eglbridge"
+	"cycada/internal/core/glesbridge"
+	"cycada/internal/core/impersonate"
+	"cycada/internal/core/profile"
+	"cycada/internal/core/uiwrapper"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/gcd"
+	"cycada/internal/ios/iokit"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/linker"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// Cycada is a booted Cycada system: the Nexus 7 hardware, the dual-ABI
+// kernel, the Android graphics services, and LinuxCoreSurface.
+type Cycada struct {
+	Android     *stack.System
+	CoreSurface *coresurface.Module
+}
+
+// Config describes the machine.
+type Config struct {
+	Clock   *vclock.Clock
+	ScreenW int
+	ScreenH int
+}
+
+// New boots a Cycada system.
+func New(cfg Config) *Cycada {
+	sys := stack.New(stack.Config{
+		Platform: vclock.Nexus7(),
+		Flavor:   vclock.KernelCycada,
+		Clock:    cfg.Clock,
+		ScreenW:  cfg.ScreenW,
+		ScreenH:  cfg.ScreenH,
+	})
+	mod := coresurface.New()
+	sys.Kernel.RegisterMachService(iokit.CoreSurfaceService, mod)
+	return &Cycada{Android: sys, CoreSurface: mod}
+}
+
+// AppConfig parameterizes an iOS app process.
+type AppConfig struct {
+	Name string
+	// JITWorks enables executable mappings. The prototype's Mach VM memory
+	// bug "prevents JIT from working properly" (§9), so the default — false
+	// — denies them, which is what slows SunSpider down in Figure 5.
+	JITWorks bool
+}
+
+// IOSApp is a running iOS app environment under Cycada: everything the app
+// binary would have linked against, backed by diplomats.
+type IOSApp struct {
+	Proc      *kernel.Process
+	Linker    *linker.Linker
+	LibSystem *libc.Lib
+	Android   *stack.Userspace
+
+	Surfaces *iosurface.Lib
+	EAGL     *eagl.Lib
+	GL       *glesapi.GL
+
+	Bridge       *glesbridge.Bridge
+	Backend      *eglbridge.Backend
+	Profiler     *profile.Profiler
+	Impersonator *impersonate.Manager
+}
+
+// Main returns the app's main thread.
+func (a *IOSApp) Main() *kernel.Thread { return a.Proc.Main() }
+
+// NewQueue creates a GCD queue whose jobs inherit the submitter's EAGL
+// context (through impersonation on this backend).
+func (a *IOSApp) NewQueue(name string) *gcd.Queue {
+	return gcd.NewQueue(a.Proc, name, a.EAGL.Carrier())
+}
+
+// NewLayer creates a CAEAGLLayer backed by an IOSurface (which, under
+// Cycada, LinuxCoreSurface backs with a GraphicBuffer).
+func (a *IOSApp) NewLayer(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error) {
+	surf, err := a.Surfaces.Create(t, w, h, gpu.FormatRGBA8888)
+	if err != nil {
+		return nil, fmt.Errorf("layer surface: %w", err)
+	}
+	return &eagl.CAEAGLLayer{W: w, H: h, X: x, Y: y, Surf: surf}, nil
+}
+
+// NewIOSApp creates a dual-persona process with the full Cycada iOS
+// userland.
+func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
+	us, err := c.Android.NewUserspace(stack.UserConfig{
+		Name:     cfg.Name,
+		Personas: []kernel.Persona{kernel.PersonaIOS, kernel.PersonaAndroid},
+		EGL:      egl.Config{MultiContext: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	main := us.Proc.Main()
+	if !cfg.JITWorks {
+		us.Proc.Mem().DenyExecutable(true)
+	}
+
+	// iOS-side libc and the impersonation manager over both libcs.
+	libSystem := libc.New(kernel.PersonaIOS)
+	us.Linker.MustRegister(libSystem.Blueprint())
+	imp := impersonate.New(us.Bionic, libSystem)
+	// The globally loaded vendor GLES predates the manager; adopt its key.
+	imp.RegisterAndroidGraphicsKey(us.EGL.Vendor().Engine().TLSKey())
+
+	prof := profile.New()
+	hooks := &diplomat.Hooks{
+		GL:       true,
+		Prelude:  func(t *kernel.Thread) { imp.GateEnter() },
+		Postlude: func(t *kernel.Thread) { imp.GateExit() },
+	}
+
+	// libui_wrapper joins the registry so eglReInitializeMC can replicate it.
+	us.Linker.MustRegister(uiwrapper.Blueprint())
+
+	// libEGLbridge (domestic half).
+	us.Linker.MustRegister(eglbridge.Blueprint(eglbridge.Deps{
+		EGL:          us.EGL,
+		CoreSurface:  c.CoreSurface,
+		Impersonator: imp,
+	}))
+	ebH, err := us.Linker.Dlopen(main, eglbridge.LibName)
+	if err != nil {
+		return nil, fmt.Errorf("loading libEGLbridge: %w", err)
+	}
+
+	dipCfg := diplomat.Config{
+		Foreign:  kernel.PersonaIOS,
+		Domestic: kernel.PersonaAndroid,
+		Linker:   us.Linker,
+		Library:  ebH,
+		Hooks:    hooks,
+		Profiler: prof,
+	}
+	backend, err := eglbridge.NewBackend(dipCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// IOSurface with Cycada's interposition (§6).
+	surfaces := iosurface.New(backend)
+	us.Linker.MustRegister(surfaces.Blueprint())
+	if _, err := us.Linker.Dlopen(main, iosurface.LibName); err != nil {
+		return nil, fmt.Errorf("loading IOSurface: %w", err)
+	}
+
+	// The diplomatic GLES library under Apple's name (§4). Direct diplomats
+	// route to the thread's replica when one is selected, otherwise to the
+	// globally loaded Tegra library.
+	globalGLES, err := us.Linker.Dlopen(main, agles.LibName)
+	if err != nil {
+		return nil, fmt.Errorf("resolving global GLES: %w", err)
+	}
+	glesCfg := glesbridge.Config{
+		Diplomat:  dipCfg,
+		EGLBridge: ebH,
+	}
+	glesCfg.Diplomat.Library = nil
+	glesCfg.Diplomat.LibraryFor = func(t *kernel.Thread) *linker.Handle {
+		if conn := us.EGL.CurrentMC(t); conn != nil {
+			return conn.Handle
+		}
+		return globalGLES
+	}
+	bridge, err := glesbridge.New(glesCfg)
+	if err != nil {
+		return nil, err
+	}
+	us.Linker.MustRegister(glesbridge.Blueprint(bridge))
+	bh, err := us.Linker.Dlopen(main, glesbridge.LibName)
+	if err != nil {
+		return nil, fmt.Errorf("loading diplomatic GLES: %w", err)
+	}
+
+	eaglLib := eagl.New(backend, libSystem)
+	imp.RegisterIOSGraphicsKey(eaglLib.CurrentContextKey())
+
+	return &IOSApp{
+		Proc:         us.Proc,
+		Linker:       us.Linker,
+		LibSystem:    libSystem,
+		Android:      us,
+		Surfaces:     surfaces,
+		EAGL:         eaglLib,
+		GL:           glesapi.New(us.Linker, bh),
+		Bridge:       bridge,
+		Backend:      backend,
+		Profiler:     prof,
+		Impersonator: imp,
+	}, nil
+}

@@ -1,0 +1,218 @@
+// Package uiwrapper implements libui_wrapper (paper §8.2): the library that
+// "contains all of the logic that links against Android graphics libraries"
+// so that, when an EAGLContext triggers dynamic library replication, the
+// GraphicBuffer-manipulating code lands in the *same replica* as the vendor
+// EGL/GLES libraries it must share a GLES connection with.
+//
+// It manages the IOSurface↔GLES-texture associations: binding a surface's
+// backing GraphicBuffer to a texture through an EGLImage, and the §6.2
+// lock/unlock dance — rebinding the texture to a single-pixel buffer and
+// destroying the EGLImage so the GraphicBuffer becomes CPU-lockable, then
+// re-associating on unlock.
+package uiwrapper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/gralloc"
+	"cycada/internal/gles/engine"
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+)
+
+// LibName is the library name (Figure 3).
+const LibName = "libui_wrapper.so"
+
+// Binding associates one GLES texture with an IOSurface's backing buffer.
+type Binding struct {
+	TexID     uint32
+	SurfaceID uint64
+	Buf       *gralloc.Buffer
+	img       *engine.EGLImage
+	parked    bool // true while unbound for CPU access (§6.2)
+}
+
+// Parked reports whether the binding is in the CPU-access state.
+func (b *Binding) Parked() bool { return b.parked }
+
+// Lib is one loaded libui_wrapper instance (one per replica).
+type Lib struct {
+	vendor *egl.Vendor
+	galloc *gralloc.Lib
+
+	mu       sync.Mutex
+	bindings map[uint32]*Binding
+}
+
+// Engine returns the replica's GLES engine.
+func (l *Lib) Engine() *engine.Lib { return l.vendor.Engine() }
+
+// Vendor returns the replica's vendor EGL.
+func (l *Lib) Vendor() *egl.Vendor { return l.vendor }
+
+// Gralloc returns the GraphicBuffer allocator.
+func (l *Lib) Gralloc() *gralloc.Lib { return l.galloc }
+
+// BindSurfaceTexture associates an IOSurface's backing GraphicBuffer with a
+// GLES texture via an EGLImage — zero-copy, and it marks the buffer
+// texture-associated so CPU locks are refused until the dance runs.
+func (l *Lib) BindSurfaceTexture(t *kernel.Thread, texID uint32, surfaceID uint64, buf *gralloc.Buffer) error {
+	if buf == nil {
+		return fmt.Errorf("uiwrapper: nil backing buffer for surface %d", surfaceID)
+	}
+	l.mu.Lock()
+	if _, dup := l.bindings[texID]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("uiwrapper: texture %d already bound to a surface", texID)
+	}
+	l.mu.Unlock()
+
+	eng := l.Engine()
+	img := engine.NewEGLImage(buf.Img)
+	buf.AssociateTexture()
+	eng.BindTexture(t, engine.Texture2D, texID)
+	eng.EGLImageTargetTexture2D(t, img)
+	if e := eng.GetError(t); e != engine.NoError {
+		buf.DisassociateTexture()
+		img.Destroy()
+		return fmt.Errorf("uiwrapper: binding texture %d: GL error %#x", texID, e)
+	}
+	l.mu.Lock()
+	l.bindings[texID] = &Binding{TexID: texID, SurfaceID: surfaceID, Buf: buf, img: img}
+	l.mu.Unlock()
+	return nil
+}
+
+// UnbindForCPU runs the first half of the §6.2 dance for one texture: the
+// texture is rebound to a single-pixel buffer allocated by glTexImage2D, the
+// EGLImage is destroyed (implicitly disassociating the GraphicBuffer), and
+// the buffer becomes CPU-lockable.
+func (l *Lib) UnbindForCPU(t *kernel.Thread, texID uint32) error {
+	b, err := l.binding(texID)
+	if err != nil {
+		return err
+	}
+	if b.parked {
+		return fmt.Errorf("uiwrapper: texture %d already parked for CPU access", texID)
+	}
+	eng := l.Engine()
+	eng.BindTexture(t, engine.Texture2D, texID)
+	// "the Cycada multi diplomat rebinds the GLES texture to a single-pixel
+	// buffer allocated by glTexImage2D."
+	eng.TexImage2D(t, 1, 1, b.Buf.Format, []byte{0, 0, 0, 0})
+	b.img.Destroy()
+	b.Buf.DisassociateTexture()
+	l.mu.Lock()
+	b.parked = true
+	l.mu.Unlock()
+	return nil
+}
+
+// RebindAfterCPU runs the second half of the dance: "We create a new
+// EGLImage object and rebind it, and the GraphicBuffer, back to the GLES
+// texture."
+func (l *Lib) RebindAfterCPU(t *kernel.Thread, texID uint32) error {
+	b, err := l.binding(texID)
+	if err != nil {
+		return err
+	}
+	if !b.parked {
+		return fmt.Errorf("uiwrapper: texture %d not parked", texID)
+	}
+	eng := l.Engine()
+	img := engine.NewEGLImage(b.Buf.Img)
+	b.Buf.AssociateTexture()
+	eng.BindTexture(t, engine.Texture2D, texID)
+	eng.EGLImageTargetTexture2D(t, img)
+	l.mu.Lock()
+	b.img = img
+	b.parked = false
+	l.mu.Unlock()
+	return nil
+}
+
+// ReleaseTexture drops a texture's surface association (interposed
+// glDeleteTextures, §6.1: "removes any corresponding connection to the
+// underlying Android GraphicBuffer").
+func (l *Lib) ReleaseTexture(t *kernel.Thread, texID uint32) {
+	l.mu.Lock()
+	b, ok := l.bindings[texID]
+	if ok {
+		delete(l.bindings, texID)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	if !b.parked {
+		b.img.Destroy()
+		b.Buf.DisassociateTexture()
+	}
+}
+
+func (l *Lib) binding(texID uint32) (*Binding, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.bindings[texID]
+	if !ok {
+		return nil, fmt.Errorf("uiwrapper: texture %d has no surface binding", texID)
+	}
+	return b, nil
+}
+
+// TexturesForSurface returns the textures bound to a surface, sorted.
+func (l *Lib) TexturesForSurface(surfaceID uint64) []uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []uint32
+	for id, b := range l.bindings {
+		if b.SurfaceID == surfaceID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bindings reports the number of live texture bindings.
+func (l *Lib) Bindings() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.bindings)
+}
+
+// Symbols implements linker.Instance.
+func (l *Lib) Symbols() map[string]linker.Fn {
+	return map[string]linker.Fn{
+		"uiw_bind_surface_texture": func(t *kernel.Thread, args ...any) any {
+			return l.BindSurfaceTexture(t, args[0].(uint32), args[1].(uint64), args[2].(*gralloc.Buffer))
+		},
+		"uiw_unbind_for_cpu": func(t *kernel.Thread, args ...any) any {
+			return l.UnbindForCPU(t, args[0].(uint32))
+		},
+		"uiw_rebind_after_cpu": func(t *kernel.Thread, args ...any) any {
+			return l.RebindAfterCPU(t, args[0].(uint32))
+		},
+	}
+}
+
+// Blueprint returns the libui_wrapper blueprint. Its dependencies are the
+// vendor EGL (which links vendor GLES) and gralloc, so a Dlforce of
+// libui_wrapper replicates the entire Android graphics tree the paper lists
+// in §8.2.
+func Blueprint() *linker.Blueprint {
+	return &linker.Blueprint{
+		Name: LibName,
+		Deps: []string{egl.VendorLibName, gralloc.LibName, "libc.so"},
+		New: func(ctx *linker.LoadContext) (linker.Instance, error) {
+			return &Lib{
+				vendor:   ctx.Dep(egl.VendorLibName).(*egl.Vendor),
+				galloc:   ctx.Dep(gralloc.LibName).(*gralloc.Lib),
+				bindings: map[uint32]*Binding{},
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,201 @@
+package uiwrapper
+
+import (
+	"testing"
+
+	"cycada/internal/android/egl"
+	agles "cycada/internal/android/gles"
+	"cycada/internal/android/gralloc"
+	"cycada/internal/android/libc"
+	"cycada/internal/gles/engine"
+	"cycada/internal/linker"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func env(t *testing.T) (*kernel.Thread, *Lib, *gralloc.Buffer) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	k.RegisterDevice(gralloc.DevicePath, gralloc.NewDevice())
+	p, err := k.NewProcess("app", kernel.PersonaAndroid, kernel.PersonaIOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := p.Main()
+	l := linker.New(p)
+	bionic := libc.New(kernel.PersonaAndroid)
+	l.MustRegister(bionic.Blueprint())
+	l.MustRegister(gralloc.Blueprint())
+	for _, bp := range agles.SupportBlueprints() {
+		l.MustRegister(bp)
+	}
+	l.MustRegister(agles.Blueprint())
+	l.MustRegister(egl.VendorBlueprint())
+	l.MustRegister(Blueprint())
+	h, err := l.Dlopen(th, LibName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uiw := h.Instance().(*Lib)
+	// A current context so texture ops have somewhere to go.
+	ctx, err := uiw.Engine().CreateContext(th, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uiw.Engine().MakeCurrent(th, ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := uiw.Gralloc().Alloc(th, 8, 8, gpu.FormatRGBA8888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th, uiw, buf
+}
+
+func texOf(t *testing.T, th *kernel.Thread, uiw *Lib) uint32 {
+	t.Helper()
+	ids := uiw.Engine().GenTextures(th, 1)
+	if len(ids) != 1 {
+		t.Fatal("no texture")
+	}
+	return ids[0]
+}
+
+func TestBindSurfaceTexture(t *testing.T) {
+	th, uiw, buf := env(t)
+	tex := texOf(t, th, uiw)
+	if err := uiw.BindSurfaceTexture(th, tex, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.TextureAssociated() {
+		t.Fatal("buffer not associated")
+	}
+	if !uiw.Engine().TextureBackedByEGLImage(th, tex) {
+		t.Fatal("texture not EGLImage-backed")
+	}
+	if got := uiw.TexturesForSurface(1); len(got) != 1 || got[0] != tex {
+		t.Fatalf("TexturesForSurface = %v", got)
+	}
+	if err := uiw.BindSurfaceTexture(th, tex, 1, buf); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+	if err := uiw.BindSurfaceTexture(th, tex+1, 2, nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestLockDanceSequence(t *testing.T) {
+	th, uiw, buf := env(t)
+	tex := texOf(t, th, uiw)
+	if err := uiw.BindSurfaceTexture(th, tex, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.LockCPU(); err == nil {
+		t.Fatal("CPU lock succeeded while associated")
+	}
+	// First half of the §6.2 dance.
+	if err := uiw.UnbindForCPU(th, tex); err != nil {
+		t.Fatal(err)
+	}
+	if err := uiw.UnbindForCPU(th, tex); err == nil {
+		t.Fatal("double unbind succeeded")
+	}
+	if buf.TextureAssociated() {
+		t.Fatal("still associated after unbind")
+	}
+	if uiw.Engine().TextureBackedByEGLImage(th, tex) {
+		t.Fatal("texture still EGLImage-backed (should hold the 1px buffer)")
+	}
+	if err := buf.LockCPU(); err != nil {
+		t.Fatalf("CPU lock after dance: %v", err)
+	}
+	buf.UnlockCPU()
+	// Second half: rebind.
+	if err := uiw.RebindAfterCPU(th, tex); err != nil {
+		t.Fatal(err)
+	}
+	if err := uiw.RebindAfterCPU(th, tex); err == nil {
+		t.Fatal("rebind of unparked texture succeeded")
+	}
+	if !buf.TextureAssociated() || !uiw.Engine().TextureBackedByEGLImage(th, tex) {
+		t.Fatal("rebind incomplete")
+	}
+}
+
+func TestReleaseTexture(t *testing.T) {
+	th, uiw, buf := env(t)
+	tex := texOf(t, th, uiw)
+	if err := uiw.BindSurfaceTexture(th, tex, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	uiw.ReleaseTexture(th, tex)
+	if buf.TextureAssociated() {
+		t.Fatal("release kept the association")
+	}
+	if uiw.Bindings() != 0 {
+		t.Fatal("binding leaked")
+	}
+	uiw.ReleaseTexture(th, tex) // idempotent
+	if err := uiw.UnbindForCPU(th, tex); err == nil {
+		t.Fatal("dance on released texture succeeded")
+	}
+}
+
+func TestReplicasHaveIsolatedBindings(t *testing.T) {
+	th, uiw, buf := env(t)
+	tex := texOf(t, th, uiw)
+	if err := uiw.BindSurfaceTexture(th, tex, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	// A dlforce replica of libui_wrapper has its own engine and bindings.
+	k := th.Process()
+	_ = k
+	l := linkerOf(t, th)
+	h, err := l.Dlforce(th, LibName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := h.Instance().(*Lib)
+	if replica == uiw {
+		t.Fatal("dlforce returned the shared instance")
+	}
+	if replica.Engine() == uiw.Engine() {
+		t.Fatal("replica shares the vendor engine")
+	}
+	if replica.Bindings() != 0 {
+		t.Fatal("replica inherited bindings")
+	}
+}
+
+// linkerOf digs the test linker back out (kept simple: rebuild one).
+func linkerOf(t *testing.T, th *kernel.Thread) *linker.Linker {
+	t.Helper()
+	l := linker.New(th.Process())
+	bionic := libc.New(kernel.PersonaAndroid)
+	l.MustRegister(bionic.Blueprint())
+	l.MustRegister(gralloc.Blueprint())
+	for _, bp := range agles.SupportBlueprints() {
+		l.MustRegister(bp)
+	}
+	l.MustRegister(agles.Blueprint())
+	l.MustRegister(egl.VendorBlueprint())
+	l.MustRegister(Blueprint())
+	return l
+}
+
+func TestSymbolsSurface(t *testing.T) {
+	th, uiw, buf := env(t)
+	tex := texOf(t, th, uiw)
+	syms := uiw.Symbols()
+	if ret := syms["uiw_bind_surface_texture"](th, tex, uint64(5), buf); ret != nil {
+		t.Fatalf("bind via symbol: %v", ret)
+	}
+	if ret := syms["uiw_unbind_for_cpu"](th, tex); ret != nil {
+		t.Fatalf("unbind via symbol: %v", ret)
+	}
+	if ret := syms["uiw_rebind_after_cpu"](th, tex); ret != nil {
+		t.Fatalf("rebind via symbol: %v", ret)
+	}
+	_ = engine.NoError
+}

@@ -1,0 +1,875 @@
+package engine
+
+import (
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// This file implements the non-drawing GLES entry points: object management,
+// state, pixel transfer and synchronization. All entry points follow GLES
+// error conventions: with no current context they are dropped; invalid
+// arguments record a context error retrievable via GetError.
+
+// GetError implements glGetError: it returns and clears the sticky error.
+func (l *Lib) GetError(t *kernel.Thread) uint32 {
+	l.enter(t, "glGetError")
+	ctx := l.current(t)
+	if ctx == nil {
+		return NoError
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	e := ctx.lastErr
+	ctx.lastErr = NoError
+	return e
+}
+
+// ClearColor implements glClearColor.
+func (l *Lib) ClearColor(t *kernel.Thread, r, g, b, a float32) {
+	l.enter(t, "glClearColor")
+	if ctx := l.current(t); ctx != nil {
+		ctx.mu.Lock()
+		ctx.clear = gpu.Vec4{r, g, b, a}
+		ctx.mu.Unlock()
+	}
+}
+
+// Clear implements glClear for the color and depth bits.
+func (l *Lib) Clear(t *kernel.Thread, mask uint32) {
+	l.enter(t, "glClear")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	tgt := ctx.boundTarget()
+	if tgt == nil {
+		ctx.setErr(InvalidFramebufferOperation)
+		return
+	}
+	var stats gpu.Stats
+	if mask&ColorBufferBit != 0 {
+		ctx.mu.Lock()
+		c := gpu.FromVec(ctx.clear)
+		ctx.mu.Unlock()
+		stats.Pixels += tgt.Color.Fill(c)
+	}
+	if mask&DepthBufferBit != 0 {
+		tgt.ClearDepth(1)
+		stats.Pixels += tgt.Color.W * tgt.Color.H / 2 // depth clear is cheaper
+	}
+	ctx.chargeStats(t, stats, false)
+}
+
+// Enable implements glEnable for the simulated capabilities.
+func (l *Lib) Enable(t *kernel.Thread, cap uint32) {
+	l.enter(t, "glEnable")
+	l.setCap(t, cap, true)
+}
+
+// Disable implements glDisable.
+func (l *Lib) Disable(t *kernel.Thread, cap uint32) {
+	l.enter(t, "glDisable")
+	l.setCap(t, cap, false)
+}
+
+func (l *Lib) setCap(t *kernel.Thread, cap uint32, on bool) {
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	switch cap {
+	case Blend:
+		ctx.state.blend = on
+	case DepthTest:
+		ctx.state.depth = on
+	case ScissorTest:
+		ctx.state.scissor = on
+	case TextureBit:
+		ctx.fixed.texEnabled = on
+	default:
+		// Unknown capabilities are accepted silently, like most drivers.
+	}
+}
+
+// BlendFunc implements glBlendFunc; the simulation supports the standard
+// src-alpha/one-minus-src-alpha pair, which is what every workload uses.
+func (l *Lib) BlendFunc(t *kernel.Thread, sfactor, dfactor uint32) {
+	l.enter(t, "glBlendFunc")
+}
+
+// Viewport implements glViewport.
+func (l *Lib) Viewport(t *kernel.Thread, x, y, w, h int) {
+	l.enter(t, "glViewport")
+	if ctx := l.current(t); ctx != nil {
+		ctx.mu.Lock()
+		ctx.state.viewport = [4]int{x, y, w, h}
+		ctx.mu.Unlock()
+	}
+}
+
+// Scissor implements glScissor.
+func (l *Lib) Scissor(t *kernel.Thread, x, y, w, h int) {
+	l.enter(t, "glScissor")
+	if ctx := l.current(t); ctx != nil {
+		ctx.mu.Lock()
+		ctx.state.scissorR = [4]int{x, y, w, h}
+		ctx.mu.Unlock()
+	}
+}
+
+// --- Textures ---
+
+// GenTextures implements glGenTextures.
+func (l *Lib) GenTextures(t *kernel.Thread, n int) []uint32 {
+	l.enter(t, "glGenTextures")
+	ctx := l.current(t)
+	if ctx == nil || n <= 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, n)
+	for i := range out {
+		id := s.newID()
+		s.textures[id] = &textureObj{id: id}
+		out[i] = id
+	}
+	return out
+}
+
+// BindTexture implements glBindTexture on the active unit.
+func (l *Lib) BindTexture(t *kernel.Thread, target, id uint32) {
+	l.enter(t, "glBindTexture")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if target != Texture2D {
+		ctx.setErr(InvalidEnum)
+		return
+	}
+	ctx.mu.Lock()
+	ctx.boundTex[ctx.activeUnit] = id
+	ctx.mu.Unlock()
+}
+
+// BoundTexture reports the texture bound on the active unit (used by
+// Cycada's multi diplomats, which must know which texture an
+// EGLImage-target call applies to).
+func (l *Lib) BoundTexture(t *kernel.Thread) uint32 {
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.boundTex[ctx.activeUnit]
+}
+
+// ActiveTexture implements glActiveTexture with unit indices 0..7.
+func (l *Lib) ActiveTexture(t *kernel.Thread, unit int) {
+	l.enter(t, "glActiveTexture")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if unit < 0 || unit >= len(ctx.boundTex) {
+		ctx.setErr(InvalidEnum)
+		return
+	}
+	ctx.mu.Lock()
+	ctx.activeUnit = unit
+	ctx.mu.Unlock()
+}
+
+func (ctx *Context) activeTexture() *textureObj {
+	ctx.mu.Lock()
+	id := ctx.boundTex[ctx.activeUnit]
+	ctx.mu.Unlock()
+	return ctx.lookupTexture(id)
+}
+
+func (ctx *Context) lookupTexture(id uint32) *textureObj {
+	if id == 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.textures[id]
+}
+
+// TexImage2D implements glTexImage2D: it (re)allocates the texture's private
+// storage and uploads data when non-nil. Passing a bound EGLImage-backed
+// texture re-points it at private storage, implicitly disassociating the
+// external buffer — the behaviour the IOSurfaceLock multi diplomat uses to
+// rebind a texture to a single-pixel buffer (§6.2).
+func (l *Lib) TexImage2D(t *kernel.Thread, w, h int, format gpu.Format, data []byte) {
+	l.enter(t, "glTexImage2D")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	tex := ctx.activeTexture()
+	if tex == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	if w <= 0 || h <= 0 {
+		ctx.setErr(InvalidValue)
+		return
+	}
+	tex.external = nil
+	tex.img = gpu.NewImage(w, h)
+	if data != nil {
+		n, err := tex.img.Upload(0, 0, w, h, format, data)
+		if err != nil {
+			ctx.setErr(InvalidValue)
+			return
+		}
+		t.ChargeCPU(vclock.Duration(n) * t.Costs().PerTexelUpload)
+	}
+}
+
+// TexSubImage2D implements glTexSubImage2D.
+func (l *Lib) TexSubImage2D(t *kernel.Thread, x, y, w, h int, format gpu.Format, data []byte) {
+	l.enter(t, "glTexSubImage2D")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	tex := ctx.activeTexture()
+	if tex == nil || tex.img == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	n, err := tex.img.Upload(x, y, w, h, format, data)
+	if err != nil {
+		ctx.setErr(InvalidValue)
+		return
+	}
+	t.ChargeCPU(vclock.Duration(n) * t.Costs().PerTexelUpload)
+}
+
+// TexParameteri implements glTexParameteri for wrap modes (0x2901 = repeat).
+func (l *Lib) TexParameteri(t *kernel.Thread, pname uint32, param int) {
+	l.enter(t, "glTexParameteri")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if tex := ctx.activeTexture(); tex != nil {
+		tex.repeat = param == 0x2901
+	}
+}
+
+// DeleteTextures implements glDeleteTextures; teardown cost is proportional
+// to the texels released (gralloc unmap), which is why the call shows up
+// prominently in the paper's SunSpider profile (Figure 9: 338µs average).
+func (l *Lib) DeleteTextures(t *kernel.Thread, ids []uint32) {
+	l.enter(t, "glDeleteTextures")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	s := ctx.share.objects
+	var texels int
+	s.mu.Lock()
+	for _, id := range ids {
+		if tex, ok := s.textures[id]; ok {
+			if tex.img != nil && tex.external == nil {
+				texels += tex.img.W * tex.img.H
+			}
+			delete(s.textures, id)
+		}
+	}
+	s.mu.Unlock()
+	t.ChargeCPU(vclock.Duration(texels) * t.Costs().PerTexelDelete)
+}
+
+// EGLImageTargetTexture2D implements glEGLImageTargetTexture2DOES: it makes
+// the bound texture's storage the external image, zero-copy.
+func (l *Lib) EGLImageTargetTexture2D(t *kernel.Thread, img *EGLImage) {
+	l.enter(t, "glEGLImageTargetTexture2DOES")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	tex := ctx.activeTexture()
+	if tex == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	if !img.Valid() {
+		ctx.setErr(InvalidValue)
+		return
+	}
+	tex.external = img
+	tex.img = img.Img
+}
+
+// TextureBackedByEGLImage reports whether a texture's storage is an external
+// EGLImage (test/diagnostic hook used by the §6.2 lock-dance tests).
+func (l *Lib) TextureBackedByEGLImage(t *kernel.Thread, id uint32) bool {
+	ctx := l.current(t)
+	if ctx == nil {
+		return false
+	}
+	tex := ctx.lookupTexture(id)
+	return tex != nil && tex.external != nil && tex.external.Valid()
+}
+
+// --- Buffers ---
+
+// GenBuffers implements glGenBuffers.
+func (l *Lib) GenBuffers(t *kernel.Thread, n int) []uint32 {
+	l.enter(t, "glGenBuffers")
+	ctx := l.current(t)
+	if ctx == nil || n <= 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, n)
+	for i := range out {
+		id := s.newID()
+		s.buffers[id] = &bufferObj{id: id}
+		out[i] = id
+	}
+	return out
+}
+
+// BindBuffer implements glBindBuffer for ARRAY and ELEMENT_ARRAY targets.
+func (l *Lib) BindBuffer(t *kernel.Thread, target, id uint32) {
+	l.enter(t, "glBindBuffer")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	switch target {
+	case ArrayBuffer:
+		ctx.boundArray = id
+	case ElementArrayBuffer:
+		ctx.boundElement = id
+	default:
+		ctx.lastErr = InvalidEnum
+	}
+}
+
+// BufferData implements glBufferData. Vertex data is float32; element data
+// is uint16, matching the only index type the workloads use.
+func (l *Lib) BufferData(t *kernel.Thread, target uint32, verts []float32, elems []uint16) {
+	l.enter(t, "glBufferData")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	ctx.mu.Lock()
+	var id uint32
+	switch target {
+	case ArrayBuffer:
+		id = ctx.boundArray
+	case ElementArrayBuffer:
+		id = ctx.boundElement
+	}
+	ctx.mu.Unlock()
+	if id == 0 {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	buf := s.buffers[id]
+	s.mu.Unlock()
+	if buf == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	if verts != nil {
+		buf.data = append([]float32(nil), verts...)
+	}
+	if elems != nil {
+		buf.elem = append([]uint16(nil), elems...)
+	}
+	t.ChargeCPU(vclock.Duration(len(verts)*4+len(elems)*2) * t.Costs().PerTexelUpload / 4)
+}
+
+// DeleteBuffers implements glDeleteBuffers.
+func (l *Lib) DeleteBuffers(t *kernel.Thread, ids []uint32) {
+	l.enter(t, "glDeleteBuffers")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		delete(s.buffers, id)
+	}
+}
+
+// --- Renderbuffers and framebuffers ---
+
+// GenRenderbuffers implements glGenRenderbuffers.
+func (l *Lib) GenRenderbuffers(t *kernel.Thread, n int) []uint32 {
+	l.enter(t, "glGenRenderbuffers")
+	ctx := l.current(t)
+	if ctx == nil || n <= 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, n)
+	for i := range out {
+		id := s.newID()
+		s.rbos[id] = &renderbufferObj{id: id}
+		out[i] = id
+	}
+	return out
+}
+
+// BindRenderbuffer implements glBindRenderbuffer.
+func (l *Lib) BindRenderbuffer(t *kernel.Thread, target, id uint32) {
+	l.enter(t, "glBindRenderbuffer")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if target != Renderbuffer {
+		ctx.setErr(InvalidEnum)
+		return
+	}
+	ctx.mu.Lock()
+	ctx.boundRbo = id
+	ctx.mu.Unlock()
+}
+
+// RenderbufferStorage implements glRenderbufferStorage.
+func (l *Lib) RenderbufferStorage(t *kernel.Thread, w, h int) {
+	l.enter(t, "glRenderbufferStorage")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	rb := ctx.boundRenderbuffer()
+	if rb == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	if w <= 0 || h <= 0 {
+		ctx.setErr(InvalidValue)
+		return
+	}
+	rb.img = gpu.NewImage(w, h)
+}
+
+// RenderbufferStorageFromImage attaches externally managed storage to the
+// bound renderbuffer — the mechanism behind EAGL's
+// renderbufferStorage:fromDrawable:, where the storage comes from a
+// CAEAGLLayer (under Cycada, a GraphicBuffer-backed IOSurface).
+func (l *Lib) RenderbufferStorageFromImage(t *kernel.Thread, img *gpu.Image) {
+	l.enter(t, "glRenderbufferStorageOES")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	rb := ctx.boundRenderbuffer()
+	if rb == nil || img == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	rb.img = img
+}
+
+func (ctx *Context) boundRenderbuffer() *renderbufferObj {
+	ctx.mu.Lock()
+	id := ctx.boundRbo
+	ctx.mu.Unlock()
+	if id == 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rbos[id]
+}
+
+// RenderbufferSize reports the dimensions of the bound renderbuffer
+// (GetRenderbufferParameteriv's common use in EAGL code).
+func (l *Lib) RenderbufferSize(t *kernel.Thread) (w, h int) {
+	l.enter(t, "glGetRenderbufferParameteriv")
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0, 0
+	}
+	rb := ctx.boundRenderbuffer()
+	if rb == nil || rb.img == nil {
+		return 0, 0
+	}
+	return rb.img.W, rb.img.H
+}
+
+// DeleteRenderbuffers implements glDeleteRenderbuffers.
+func (l *Lib) DeleteRenderbuffers(t *kernel.Thread, ids []uint32) {
+	l.enter(t, "glDeleteRenderbuffers")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		delete(s.rbos, id)
+	}
+}
+
+// GenFramebuffers implements glGenFramebuffers. Framebuffer objects are
+// per-context (never shared), per the GLES spec.
+func (l *Lib) GenFramebuffers(t *kernel.Thread, n int) []uint32 {
+	l.enter(t, "glGenFramebuffers")
+	ctx := l.current(t)
+	if ctx == nil || n <= 0 {
+		return nil
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	out := make([]uint32, n)
+	for i := range out {
+		ctx.nextFBO++
+		ctx.fbos[ctx.nextFBO] = &framebufferObj{id: ctx.nextFBO}
+		out[i] = ctx.nextFBO
+	}
+	return out
+}
+
+// BindFramebuffer implements glBindFramebuffer; id 0 binds the default
+// (window system) framebuffer.
+func (l *Lib) BindFramebuffer(t *kernel.Thread, target, id uint32) {
+	l.enter(t, "glBindFramebuffer")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if target != Framebuffer {
+		ctx.setErr(InvalidEnum)
+		return
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if id != 0 {
+		if _, ok := ctx.fbos[id]; !ok {
+			ctx.lastErr = InvalidOperation
+			return
+		}
+	}
+	ctx.boundFBO = id
+}
+
+// BoundFramebuffer reports the currently bound framebuffer id.
+func (l *Lib) BoundFramebuffer(t *kernel.Thread) uint32 {
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.boundFBO
+}
+
+// FramebufferTexture2D implements glFramebufferTexture2D for color
+// attachment 0.
+func (l *Lib) FramebufferTexture2D(t *kernel.Thread, texID uint32) {
+	l.enter(t, "glFramebufferTexture2D")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	fbo := ctx.currentFBO()
+	if fbo == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	fbo.colorTex = ctx.lookupTexture(texID)
+	fbo.colorRb = nil
+	fbo.target = nil
+}
+
+// FramebufferRenderbuffer implements glFramebufferRenderbuffer for color
+// attachment 0.
+func (l *Lib) FramebufferRenderbuffer(t *kernel.Thread, rbID uint32) {
+	l.enter(t, "glFramebufferRenderbuffer")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	fbo := ctx.currentFBO()
+	if fbo == nil {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	fbo.colorRb = s.rbos[rbID]
+	s.mu.Unlock()
+	fbo.colorTex = nil
+	fbo.target = nil
+}
+
+func (ctx *Context) currentFBO() *framebufferObj {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.boundFBO == 0 {
+		return nil
+	}
+	return ctx.fbos[ctx.boundFBO]
+}
+
+// CheckFramebufferStatus implements glCheckFramebufferStatus.
+func (l *Lib) CheckFramebufferStatus(t *kernel.Thread) uint32 {
+	l.enter(t, "glCheckFramebufferStatus")
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0
+	}
+	if ctx.boundTarget() != nil {
+		return FramebufferComplete
+	}
+	return 0x8CDD // GL_FRAMEBUFFER_UNSUPPORTED
+}
+
+// DeleteFramebuffers implements glDeleteFramebuffers.
+func (l *Lib) DeleteFramebuffers(t *kernel.Thread, ids []uint32) {
+	l.enter(t, "glDeleteFramebuffers")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	for _, id := range ids {
+		delete(ctx.fbos, id)
+		if ctx.boundFBO == id {
+			ctx.boundFBO = 0
+		}
+	}
+}
+
+// --- Pixel transfer and sync ---
+
+// PixelStorei implements glPixelStorei, including the two extra parameters
+// handled by the APPLE_row_bytes data-dependent diplomats (§4.1). The Tegra
+// library rejects the Apple parameters with GL_INVALID_ENUM — that rejection
+// is what forces the bridge to handle them in foreign code.
+func (l *Lib) PixelStorei(t *kernel.Thread, pname uint32, value int) {
+	l.enter(t, "glPixelStorei")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	switch pname {
+	case UnpackAlignment:
+		ctx.unpackAlign = value
+	case UnpackRowBytesApple:
+		if !l.profile.HasExtension("GL_APPLE_row_bytes") {
+			ctx.lastErr = InvalidEnum
+			return
+		}
+		ctx.unpackRowBytes = value
+	case PackRowBytesApple:
+		if !l.profile.HasExtension("GL_APPLE_row_bytes") {
+			ctx.lastErr = InvalidEnum
+			return
+		}
+		ctx.packRowBytes = value
+	default:
+		ctx.lastErr = InvalidEnum
+	}
+}
+
+// UnpackRowBytes reports the APPLE_row_bytes unpack state (0 = off).
+func (l *Lib) UnpackRowBytes(t *kernel.Thread) int {
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.unpackRowBytes
+}
+
+// ReadPixels implements glReadPixels from the bound framebuffer, returning
+// RGBA bytes.
+func (l *Lib) ReadPixels(t *kernel.Thread, x, y, w, h int) []byte {
+	l.enter(t, "glReadPixels")
+	ctx := l.current(t)
+	if ctx == nil {
+		return nil
+	}
+	tgt := ctx.boundTarget()
+	if tgt == nil {
+		ctx.setErr(InvalidFramebufferOperation)
+		return nil
+	}
+	out := make([]byte, 0, w*h*4)
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			c := tgt.Color.At(x+col, y+row)
+			out = append(out, c.R, c.G, c.B, c.A)
+		}
+	}
+	t.ChargeCPU(vclock.Duration(w*h) * 2 * t.Costs().PerTexelUpload)
+	return out
+}
+
+// Flush implements glFlush: the driver drains queued work, charging a
+// fraction of the un-flushed raster cost plus a fixed base — which is why
+// glFlush dominates the paper's WebKit profile (Figure 7).
+func (l *Lib) Flush(t *kernel.Thread) {
+	l.enter(t, "glFlush")
+	l.drain(t, false)
+}
+
+// Finish implements glFinish (a full drain).
+func (l *Lib) Finish(t *kernel.Thread) {
+	l.enter(t, "glFinish")
+	l.drain(t, true)
+}
+
+func (l *Lib) drain(t *kernel.Thread, full bool) {
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	c := t.Costs()
+	ctx.mu.Lock()
+	pending := ctx.workSinceFlush
+	ctx.workSinceFlush = 0
+	// Pending fences signal at sync points.
+	s := ctx.share.objects
+	ctx.mu.Unlock()
+	s.mu.Lock()
+	for _, f := range s.fences {
+		if f.pending {
+			f.pending = false
+			f.signaled = true
+		}
+	}
+	s.mu.Unlock()
+	frac := c.FlushDrainFrac
+	if full {
+		frac = 1
+	}
+	t.ChargeGPU(c.FlushBase + vclock.Duration(float64(pending)*frac))
+}
+
+// --- Fences (GL_NV_fence / GL_APPLE_fence semantics) ---
+
+// GenFences creates fence objects.
+func (l *Lib) GenFences(t *kernel.Thread, name string, n int) []uint32 {
+	l.enter(t, name)
+	ctx := l.current(t)
+	if ctx == nil || n <= 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, n)
+	for i := range out {
+		id := s.newID()
+		s.fences[id] = &fenceObj{id: id}
+		out[i] = id
+	}
+	return out
+}
+
+// SetFence marks a fence pending; it signals at the next flush/finish.
+func (l *Lib) SetFence(t *kernel.Thread, name string, id uint32) {
+	l.enter(t, name)
+	t.ChargeGPU(t.Costs().FenceOp)
+	if f := l.fence(t, id); f != nil {
+		f.pending = true
+		f.signaled = false
+	}
+}
+
+// TestFence reports whether a fence has signaled.
+func (l *Lib) TestFence(t *kernel.Thread, name string, id uint32) bool {
+	l.enter(t, name)
+	t.ChargeGPU(t.Costs().FenceOp)
+	f := l.fence(t, id)
+	return f != nil && f.signaled
+}
+
+// FinishFence drains until the fence signals.
+func (l *Lib) FinishFence(t *kernel.Thread, name string, id uint32) {
+	l.enter(t, name)
+	l.drain(t, true)
+}
+
+// DeleteFences deletes fence objects.
+func (l *Lib) DeleteFences(t *kernel.Thread, name string, ids []uint32) {
+	l.enter(t, name)
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		delete(s.fences, id)
+	}
+}
+
+func (l *Lib) fence(t *kernel.Thread, id uint32) *fenceObj {
+	ctx := l.current(t)
+	if ctx == nil {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.fences[id]
+	if f == nil {
+		ctx.lastErr = InvalidOperation
+	}
+	return f
+}
+
+// GetIntegerv implements the handful of glGetIntegerv queries the workloads
+// use.
+func (l *Lib) GetIntegerv(t *kernel.Thread, pname uint32) int {
+	l.enter(t, "glGetIntegerv")
+	ctx := l.current(t)
+	if ctx == nil {
+		return 0
+	}
+	switch pname {
+	case 0x0D33: // GL_MAX_TEXTURE_SIZE
+		return 4096
+	case 0x8CA6: // GL_FRAMEBUFFER_BINDING
+		ctx.mu.Lock()
+		defer ctx.mu.Unlock()
+		return int(ctx.boundFBO)
+	case 0x8CA7: // GL_RENDERBUFFER_BINDING
+		ctx.mu.Lock()
+		defer ctx.mu.Unlock()
+		return int(ctx.boundRbo)
+	default:
+		ctx.setErr(InvalidEnum)
+		return 0
+	}
+}

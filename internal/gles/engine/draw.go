@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/gpu/minisl"
+	"cycada/internal/sim/kernel"
+)
+
+// This file implements the draw calls. GLES 2 contexts run the MiniSL
+// programmable pipeline; GLES 1 contexts run the fixed-function pipeline
+// (v1.go). Both converge on the shared software rasterizer.
+
+// DrawArrays implements glDrawArrays.
+func (l *Lib) DrawArrays(t *kernel.Thread, mode uint32, first, count int) {
+	l.enter(t, "glDrawArrays")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	idx := sequentialIndices(count)
+	if ctx.version == 1 {
+		ctx.drawFixed(t, mode, first, count, idx)
+		return
+	}
+	ctx.drawProgrammable(t, mode, first, count, idx)
+}
+
+// DrawElements implements glDrawElements. When indices is nil the bound
+// ELEMENT_ARRAY_BUFFER supplies them.
+func (l *Lib) DrawElements(t *kernel.Thread, mode uint32, indices []uint16) {
+	l.enter(t, "glDrawElements")
+	ctx := l.current(t)
+	if ctx == nil {
+		return
+	}
+	if indices == nil {
+		ctx.mu.Lock()
+		id := ctx.boundElement
+		ctx.mu.Unlock()
+		if id != 0 {
+			s := ctx.share.objects
+			s.mu.Lock()
+			if buf := s.buffers[id]; buf != nil {
+				indices = buf.elem
+			}
+			s.mu.Unlock()
+		}
+	}
+	if len(indices) == 0 {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	idx := make([]int, len(indices))
+	maxIdx := 0
+	for i, v := range indices {
+		idx[i] = int(v)
+		if int(v) > maxIdx {
+			maxIdx = int(v)
+		}
+	}
+	if ctx.version == 1 {
+		ctx.drawFixed(t, mode, 0, maxIdx+1, idx)
+		return
+	}
+	ctx.drawProgrammable(t, mode, 0, maxIdx+1, idx)
+}
+
+// drawProgrammable runs the GLES 2 pipeline: vertex shader per vertex,
+// fragment shader per covered pixel.
+func (ctx *Context) drawProgrammable(t *kernel.Thread, mode uint32, first, count int, indices []int) {
+	prog := ctx.currentProgram()
+	if prog == nil || !prog.ok {
+		ctx.setErr(InvalidOperation)
+		return
+	}
+	tgt := ctx.boundTarget()
+	if tgt == nil {
+		ctx.setErr(InvalidFramebufferOperation)
+		return
+	}
+	uniforms := ctx.buildUniforms(prog)
+
+	verts := make([]gpu.TVert, count)
+	attrVals := make(map[string]minisl.Value, len(prog.attribs))
+	for i := 0; i < count; i++ {
+		vi := first + i
+		for name, loc := range prog.attribs {
+			a := ctx.attribSource(loc)
+			if a == nil || !a.enabled {
+				attrVals[name] = minisl.Vec(4, 0, 0, 0, 1)
+				continue
+			}
+			data := ctx.attribData(a)
+			base := vi * a.size
+			var comps [4]float32
+			comps[3] = 1
+			for c := 0; c < a.size && base+c < len(data); c++ {
+				comps[c] = data[base+c]
+			}
+			attrVals[name] = minisl.Vec(a.size, comps[:]...)
+		}
+		pos, vary, err := prog.linked.RunVertex(attrVals, uniforms)
+		if err != nil {
+			ctx.setErr(InvalidOperation)
+			return
+		}
+		verts[i] = gpu.TVert{Pos: pos, Vary: vary}
+	}
+
+	frag := func(vary []gpu.Vec4) (gpu.Vec4, int) {
+		col, fetches, err := prog.linked.RunFragment(vary, uniforms)
+		if err != nil {
+			return gpu.Vec4{1, 0, 1, 1}, fetches // magenta = shader fault
+		}
+		return col, fetches
+	}
+
+	st := ctx.renderState()
+	var stats gpu.Stats
+	switch mode {
+	case Lines:
+		stats = gpu.DrawLines(tgt, verts, indices, frag, st)
+	default:
+		stats = gpu.DrawTriangles(tgt, verts, expandMode(mode, indices), frag, st)
+	}
+	ctx.chargeStats(t, stats, true)
+}
+
+// buildUniforms materializes the program's uniform values, resolving sampler
+// uniforms through the context's texture units.
+func (ctx *Context) buildUniforms(prog *programObj) map[string]minisl.Value {
+	samplerNames := map[string]bool{}
+	for _, d := range prog.vs.compiled.Uniforms {
+		if d.Type == "sampler2D" {
+			samplerNames[d.Name] = true
+		}
+	}
+	for _, d := range prog.fs.compiled.Uniforms {
+		if d.Type == "sampler2D" {
+			samplerNames[d.Name] = true
+		}
+	}
+	out := make(map[string]minisl.Value, len(prog.uniformNames))
+	for loc, name := range prog.uniformNames {
+		v, ok := prog.values[loc]
+		if !ok {
+			continue
+		}
+		switch {
+		case samplerNames[name]:
+			unit := v.i
+			var tex *textureObj
+			if unit >= 0 && unit < len(ctx.boundTex) {
+				ctx.mu.Lock()
+				id := ctx.boundTex[unit]
+				ctx.mu.Unlock()
+				tex = ctx.lookupTexture(id)
+			}
+			if tex != nil && tex.img != nil {
+				out[name] = minisl.Sampler(&gpu.Texture{Img: tex.img, Repeat: tex.repeat})
+			} else {
+				out[name] = minisl.Sampler(nil)
+			}
+		case v.mat != nil:
+			out[name] = minisl.Mat(*v.mat)
+		case v.n == 0:
+			out[name] = minisl.Float(float32(v.i))
+		default:
+			out[name] = minisl.Vec(v.n, v.f[:]...)
+		}
+	}
+	return out
+}
+
+func (ctx *Context) attribSource(loc int) *vertexAttrib {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if loc < 0 || loc >= len(ctx.attribs) {
+		return nil
+	}
+	return &ctx.attribs[loc]
+}
+
+func (ctx *Context) attribData(a *vertexAttrib) []float32 {
+	if a.data != nil {
+		return a.data
+	}
+	if a.buffer == 0 {
+		return nil
+	}
+	s := ctx.share.objects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if buf := s.buffers[a.buffer]; buf != nil {
+		return buf.data
+	}
+	return nil
+}
+
+// sequentialIndices returns [0, 1, ..., n-1].
+func sequentialIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// expandMode converts strip/fan index streams to triangle lists.
+func expandMode(mode uint32, idx []int) []int {
+	switch mode {
+	case TriangleStrip:
+		var out []int
+		for i := 0; i+2 < len(idx); i++ {
+			if i%2 == 0 {
+				out = append(out, idx[i], idx[i+1], idx[i+2])
+			} else {
+				out = append(out, idx[i+1], idx[i], idx[i+2])
+			}
+		}
+		return out
+	case TriangleFan:
+		var out []int
+		for i := 1; i+1 < len(idx); i++ {
+			out = append(out, idx[0], idx[i], idx[i+1])
+		}
+		return out
+	default:
+		return idx
+	}
+}

@@ -1,0 +1,349 @@
+// Package engine implements the OpenGL ES semantics shared by the simulated
+// vendor libraries: contexts, objects (textures, buffers, framebuffers,
+// renderbuffers, shaders, programs, fences), the GLES 1 fixed-function and
+// GLES 2 programmable pipelines over the software rasterizer, and the
+// platform threading policies that motivate thread impersonation (paper §7).
+//
+// The Android ("Tegra") and iOS ("Apple") vendor libraries are thin wrappers
+// that instantiate an engine Lib with their own Profile — extension set,
+// threading policy, renderer strings — so the two platforms genuinely differ
+// where the paper says they differ while sharing rendering semantics, as the
+// real platforms share the Khronos specification.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// ThreadPolicy says which threads may use a GLES context.
+type ThreadPolicy int
+
+// Policies (paper §7): Android only lets a context be used by the thread
+// that created it, or by any thread when the creator was the thread-group
+// leader; iOS lets any thread use any context.
+const (
+	PolicyCreatorOnly ThreadPolicy = iota + 1 // Android
+	PolicyAnyThread                           // iOS
+)
+
+// TLSRegistrar allocates TLS keys; the platform libc implements it, so that
+// the engine's current-context key participates in the pthread_key_create
+// hook machinery thread impersonation relies on (§7.1).
+type TLSRegistrar interface {
+	CreateKey(name string) int
+	DeleteKey(key int)
+}
+
+// Profile describes one vendor GLES implementation.
+type Profile struct {
+	Vendor     string
+	Renderer   string
+	Versions   []int // supported GLES API versions (1, 2)
+	Extensions []string
+	ExtFuncs   map[string]bool // extension entry points exported
+	Policy     ThreadPolicy
+	Persona    kernel.Persona // the persona whose TLS holds current-context state
+}
+
+// Supports reports whether the profile implements a GLES version.
+func (p Profile) Supports(version int) bool {
+	for _, v := range p.Versions {
+		if v == version {
+			return true
+		}
+	}
+	return false
+}
+
+// HasExtension reports whether the profile lists a GLES extension.
+func (p Profile) HasExtension(name string) bool {
+	for _, e := range p.Extensions {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// GL error codes.
+const (
+	NoError                     uint32 = 0
+	InvalidEnum                 uint32 = 0x0500
+	InvalidValue                uint32 = 0x0501
+	InvalidOperation            uint32 = 0x0502
+	OutOfMemory                 uint32 = 0x0505
+	InvalidFramebufferOperation uint32 = 0x0506
+)
+
+// GL enums used by the simulation (values match the real API where it is
+// convenient for readers; the simulation only compares them symbolically).
+const (
+	ColorBufferBit   uint32 = 0x4000
+	DepthBufferBit   uint32 = 0x0100
+	StencilBufferBit uint32 = 0x0400
+
+	Texture2D          uint32 = 0x0DE1
+	Framebuffer        uint32 = 0x8D40
+	Renderbuffer       uint32 = 0x8D41
+	ArrayBuffer        uint32 = 0x8892
+	ElementArrayBuffer uint32 = 0x8893
+
+	Triangles     uint32 = 0x0004
+	TriangleStrip uint32 = 0x0005
+	TriangleFan   uint32 = 0x0006
+	Lines         uint32 = 0x0001
+
+	VertexShaderKind   uint32 = 0x8B31
+	FragmentShaderKind uint32 = 0x8B30
+
+	Blend       uint32 = 0x0BE2
+	DepthTest   uint32 = 0x0B71
+	ScissorTest uint32 = 0x0C11
+	TextureBit  uint32 = 0x0DE1 // glEnable(GL_TEXTURE_2D) in GLES 1
+
+	// glGetString names.
+	Vendor     uint32 = 0x1F00
+	RendererQ  uint32 = 0x1F01
+	VersionQ   uint32 = 0x1F02
+	Extensions uint32 = 0x1F03
+	// Apple's non-standard glGetString parameter (paper §4.1): returns the
+	// Apple-proprietary extension list.
+	AppleExtensionsQ uint32 = 0x8A00
+
+	// Matrix modes (GLES 1).
+	ModelView  uint32 = 0x1700
+	Projection uint32 = 0x1701
+
+	// Client states (GLES 1).
+	VertexArray   uint32 = 0x8074
+	ColorArray    uint32 = 0x8076
+	TexCoordArray uint32 = 0x8078
+
+	// Pixel store parameters.
+	UnpackAlignment uint32 = 0x0CF5
+	// Apple row-bytes parameters (GL_APPLE_row_bytes, §4.1).
+	UnpackRowBytesApple uint32 = 0x8A16
+	PackRowBytesApple   uint32 = 0x8A15
+
+	// Compile/link status queries.
+	CompileStatus uint32 = 0x8B81
+	LinkStatus    uint32 = 0x8B82
+	InfoLogLength uint32 = 0x8B84
+
+	// Framebuffer status.
+	FramebufferComplete uint32 = 0x8CD5
+	ColorAttachment0    uint32 = 0x8CE0
+)
+
+// Lib is one loaded instance of a vendor GLES library. DLR replicas each get
+// their own Lib, so contexts, objects and the current-context TLS key are
+// fully isolated between replicas (paper §8).
+type Lib struct {
+	profile Profile
+	tlsKey  int
+	tlsReg  TLSRegistrar
+
+	mu       sync.Mutex
+	nextID   uint64
+	contexts map[uint64]*Context
+
+	// callCount is a per-function-name tally kept by the engine for tests
+	// and the harness (the bridge keeps its own timing profile).
+	callCount map[string]int
+}
+
+// NewLib instantiates a vendor GLES library. The registrar allocates the
+// library's current-context TLS key; the key participates in impersonation.
+func NewLib(profile Profile, reg TLSRegistrar) *Lib {
+	l := &Lib{
+		profile:   profile,
+		tlsReg:    reg,
+		contexts:  make(map[uint64]*Context),
+		callCount: make(map[string]int),
+	}
+	l.tlsKey = reg.CreateKey("gles-current-context")
+	return l
+}
+
+// Finalize releases the library's TLS key (linker.Finalizer).
+func (l *Lib) Finalize() {
+	l.tlsReg.DeleteKey(l.tlsKey)
+}
+
+// Profile returns the library's vendor profile.
+func (l *Lib) Profile() Profile { return l.profile }
+
+// TLSKey returns the slot holding the current context; the EGL multi-context
+// extension and thread impersonation migrate this slot between threads.
+func (l *Lib) TLSKey() int { return l.tlsKey }
+
+// CallCount reports how many times the named entry point ran on this
+// library instance.
+func (l *Lib) CallCount(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.callCount[name]
+}
+
+func (l *Lib) count(name string) {
+	l.mu.Lock()
+	l.callCount[name]++
+	l.mu.Unlock()
+}
+
+// enter charges the fixed command-build cost of a GLES entry point and tallies
+// the call.
+func (l *Lib) enter(t *kernel.Thread, name string) {
+	l.count(name)
+	t.ChargeCPU(t.Costs().GLCallBase)
+}
+
+// Stub records a call to an entry point the simulation does not model beyond
+// its fixed cost. The vendor libraries export every function in their
+// platform surface; the ones no workload exercises resolve here.
+func (l *Lib) Stub(t *kernel.Thread, name string) {
+	l.enter(t, name)
+}
+
+// ShareGroup is a set of contexts sharing object storage (EAGL sharegroups;
+// EGL share contexts). Framebuffer objects are never shared, per the spec.
+type ShareGroup struct {
+	objects *objectStore
+}
+
+// NewShareGroup creates an empty sharegroup.
+func NewShareGroup() *ShareGroup {
+	return &ShareGroup{objects: newObjectStore()}
+}
+
+// CreateContext creates a GLES context for the requested API version in the
+// given sharegroup (nil for a private group). The creating thread is
+// recorded: the Android policy restricts use to this thread (paper §7).
+func (l *Lib) CreateContext(t *kernel.Thread, version int, share *ShareGroup) (*Context, error) {
+	if !l.profile.Supports(version) {
+		return nil, fmt.Errorf("gles: %s does not support GLES v%d", l.profile.Renderer, version)
+	}
+	if share == nil {
+		share = NewShareGroup()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	ctx := &Context{
+		lib:         l,
+		id:          l.nextID,
+		version:     version,
+		creator:     t,
+		share:       share,
+		fbos:        map[uint32]*framebufferObj{},
+		clear:       gpu.Vec4{0, 0, 0, 1},
+		unpackAlign: 4,
+	}
+	ctx.state.viewport = [4]int{0, 0, 0, 0}
+	l.contexts[ctx.id] = ctx
+	return ctx, nil
+}
+
+// DestroyContext removes a context from the library.
+func (l *Lib) DestroyContext(ctx *Context) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.contexts, ctx.id)
+}
+
+// ErrWrongThread is returned when the platform threading policy rejects a
+// MakeCurrent — the Android behaviour thread impersonation works around.
+var ErrWrongThread = fmt.Errorf("gles: context not usable from this thread (creator-only policy)")
+
+// MakeCurrent binds ctx (or nil) as the calling thread's current context,
+// enforcing the platform threading policy. The binding is stored in the
+// thread's TLS under the library's key, in the library's persona, which is
+// exactly the state thread impersonation migrates.
+func (l *Lib) MakeCurrent(t *kernel.Thread, ctx *Context) error {
+	if ctx == nil {
+		t.TLSDelete(l.profile.Persona, l.tlsKey)
+		return nil
+	}
+	if ctx.lib != l {
+		return fmt.Errorf("gles: context belongs to another library instance (replica)")
+	}
+	// The creator-only check observes the thread's *effective* identity, so
+	// a thread impersonating the creator (paper §7.1) passes.
+	if l.profile.Policy == PolicyCreatorOnly && t.Effective() != ctx.creator && !ctx.creator.IsGroupLeader() {
+		return fmt.Errorf("%w: creator %v, caller %v", ErrWrongThread, ctx.creator, t)
+	}
+	return t.TLSSet(l.profile.Persona, l.tlsKey, ctx)
+}
+
+// Current returns the calling thread's current context, nil if none. The
+// lookup honours whatever is in TLS — including context pointers migrated in
+// by thread impersonation.
+func (l *Lib) Current(t *kernel.Thread) *Context {
+	v, ok := t.TLSGet(l.profile.Persona, l.tlsKey)
+	if !ok {
+		return nil
+	}
+	ctx, _ := v.(*Context)
+	return ctx
+}
+
+// current is the internal accessor used at every API entry: with no current
+// context, GLES calls are silently dropped (matching real GLES behaviour of
+// undefined/no-op calls without a context).
+func (l *Lib) current(t *kernel.Thread) *Context {
+	return l.Current(t)
+}
+
+// Contexts returns the number of live contexts (tests).
+func (l *Lib) Contexts() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.contexts)
+}
+
+// GetString implements glGetString.
+func (l *Lib) GetString(t *kernel.Thread, name uint32) string {
+	l.enter(t, "glGetString")
+	switch name {
+	case Vendor:
+		return l.profile.Vendor
+	case RendererQ:
+		return l.profile.Renderer
+	case VersionQ:
+		ctx := l.current(t)
+		if ctx != nil && ctx.version == 1 {
+			return "OpenGL ES-CM 1.1"
+		}
+		return "OpenGL ES 2.0"
+	case Extensions:
+		return strings.Join(l.profile.Extensions, " ")
+	default:
+		if ctx := l.current(t); ctx != nil {
+			ctx.setErr(InvalidEnum)
+		}
+		return ""
+	}
+}
+
+// chargeStats converts rasterizer work into virtual GPU time, attributing
+// the work to the calling thread and to the context's un-flushed backlog.
+func (ctx *Context) chargeStats(t *kernel.Thread, s gpu.Stats, programmable bool) {
+	c := t.Costs()
+	d := vclock.Duration(s.Vertices)*c.PerVertex +
+		vclock.Duration(s.Pixels)*c.PerPixelFlat +
+		vclock.Duration(s.TexFetches)*c.PerPixelTextured +
+		vclock.Duration(s.Blended)*c.PerPixelBlend
+	if programmable {
+		d += vclock.Duration(s.ShaderEvals) * c.PerPixelShaded
+	}
+	t.ChargeGPU(d)
+	ctx.mu.Lock()
+	ctx.workSinceFlush += d
+	ctx.mu.Unlock()
+}

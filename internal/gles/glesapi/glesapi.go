@@ -1,0 +1,320 @@
+// Package glesapi is the typed GLES facade application code programs
+// against. It resolves entry points by name through a dynamic-linker handle
+// — exactly how a real binary binds its imports — so the same app code runs
+// unmodified against the Apple vendor library (native iOS), the Tegra vendor
+// library (Android apps), or Cycada's diplomatic GLES library (iOS apps on
+// Android), which is the binary-compatibility property the paper is about.
+package glesapi
+
+import (
+	"sync"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/linker"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// GL is a bound GLES function table.
+type GL struct {
+	link *linker.Linker
+	h    *linker.Handle
+
+	mu    sync.Mutex
+	cache map[string]linker.Symbol
+}
+
+// New binds a facade over a loaded GLES-providing library.
+func New(link *linker.Linker, h *linker.Handle) *GL {
+	return &GL{link: link, h: h, cache: map[string]linker.Symbol{}}
+}
+
+// sym resolves and caches an entry point, like the paper's diplomat step 1
+// ("storing a pointer to the function in a locally-scoped static variable
+// for efficient reuse").
+func (g *GL) sym(name string) linker.Symbol {
+	g.mu.Lock()
+	s, ok := g.cache[name]
+	g.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = g.link.MustSym(g.h, name)
+	g.mu.Lock()
+	g.cache[name] = s
+	g.mu.Unlock()
+	return s
+}
+
+// Has reports whether the bound library exports an entry point.
+func (g *GL) Has(name string) bool {
+	_, err := g.link.Dlsym(g.h, name)
+	return err == nil
+}
+
+// Call invokes an arbitrary entry point (extension functions).
+func (g *GL) Call(t *kernel.Thread, name string, args ...any) any {
+	return g.sym(name).Call(t, args...)
+}
+
+// --- Typed wrappers for the surface the workloads use ---
+
+func (g *GL) GetError(t *kernel.Thread) uint32 {
+	v, _ := g.sym("glGetError").Call(t).(uint32)
+	return v
+}
+
+func (g *GL) GetString(t *kernel.Thread, name uint32) string {
+	s, _ := g.sym("glGetString").Call(t, name).(string)
+	return s
+}
+
+func (g *GL) ClearColor(t *kernel.Thread, r, gr, b, a float32) {
+	g.sym("glClearColor").Call(t, r, gr, b, a)
+}
+
+func (g *GL) Clear(t *kernel.Thread, mask uint32) { g.sym("glClear").Call(t, mask) }
+
+func (g *GL) Enable(t *kernel.Thread, cap uint32)  { g.sym("glEnable").Call(t, cap) }
+func (g *GL) Disable(t *kernel.Thread, cap uint32) { g.sym("glDisable").Call(t, cap) }
+
+func (g *GL) BlendFunc(t *kernel.Thread, s, d uint32) { g.sym("glBlendFunc").Call(t, s, d) }
+
+func (g *GL) Viewport(t *kernel.Thread, x, y, w, h int) { g.sym("glViewport").Call(t, x, y, w, h) }
+func (g *GL) Scissor(t *kernel.Thread, x, y, w, h int)  { g.sym("glScissor").Call(t, x, y, w, h) }
+
+func (g *GL) GenTextures(t *kernel.Thread, n int) []uint32 {
+	ids, _ := g.sym("glGenTextures").Call(t, n).([]uint32)
+	return ids
+}
+
+func (g *GL) BindTexture(t *kernel.Thread, id uint32) {
+	g.sym("glBindTexture").Call(t, engine.Texture2D, id)
+}
+
+func (g *GL) ActiveTexture(t *kernel.Thread, unit int) { g.sym("glActiveTexture").Call(t, unit) }
+
+func (g *GL) TexImage2D(t *kernel.Thread, w, h int, format gpu.Format, data []byte) {
+	g.sym("glTexImage2D").Call(t, w, h, format, data)
+}
+
+func (g *GL) TexSubImage2D(t *kernel.Thread, x, y, w, h int, format gpu.Format, data []byte) {
+	g.sym("glTexSubImage2D").Call(t, x, y, w, h, format, data)
+}
+
+func (g *GL) TexParameteri(t *kernel.Thread, pname uint32, v int) {
+	g.sym("glTexParameteri").Call(t, pname, v)
+}
+
+func (g *GL) DeleteTextures(t *kernel.Thread, ids []uint32) {
+	g.sym("glDeleteTextures").Call(t, ids)
+}
+
+func (g *GL) PixelStorei(t *kernel.Thread, pname uint32, v int) {
+	g.sym("glPixelStorei").Call(t, pname, v)
+}
+
+func (g *GL) ReadPixels(t *kernel.Thread, x, y, w, h int) []byte {
+	b, _ := g.sym("glReadPixels").Call(t, x, y, w, h).([]byte)
+	return b
+}
+
+func (g *GL) Flush(t *kernel.Thread)  { g.sym("glFlush").Call(t) }
+func (g *GL) Finish(t *kernel.Thread) { g.sym("glFinish").Call(t) }
+
+func (g *GL) GenBuffers(t *kernel.Thread, n int) []uint32 {
+	ids, _ := g.sym("glGenBuffers").Call(t, n).([]uint32)
+	return ids
+}
+
+func (g *GL) BindBuffer(t *kernel.Thread, target, id uint32) {
+	g.sym("glBindBuffer").Call(t, target, id)
+}
+
+func (g *GL) BufferData(t *kernel.Thread, target uint32, verts []float32, elems []uint16) {
+	g.sym("glBufferData").Call(t, target, verts, elems)
+}
+
+func (g *GL) DeleteBuffers(t *kernel.Thread, ids []uint32) { g.sym("glDeleteBuffers").Call(t, ids) }
+
+func (g *GL) GenFramebuffers(t *kernel.Thread, n int) []uint32 {
+	ids, _ := g.sym("glGenFramebuffers").Call(t, n).([]uint32)
+	return ids
+}
+
+func (g *GL) BindFramebuffer(t *kernel.Thread, id uint32) {
+	g.sym("glBindFramebuffer").Call(t, engine.Framebuffer, id)
+}
+
+func (g *GL) FramebufferTexture2D(t *kernel.Thread, tex uint32) {
+	g.sym("glFramebufferTexture2D").Call(t, tex)
+}
+
+func (g *GL) FramebufferRenderbuffer(t *kernel.Thread, rb uint32) {
+	g.sym("glFramebufferRenderbuffer").Call(t, rb)
+}
+
+func (g *GL) CheckFramebufferStatus(t *kernel.Thread) uint32 {
+	v, _ := g.sym("glCheckFramebufferStatus").Call(t).(uint32)
+	return v
+}
+
+func (g *GL) DeleteFramebuffers(t *kernel.Thread, ids []uint32) {
+	g.sym("glDeleteFramebuffers").Call(t, ids)
+}
+
+func (g *GL) GenRenderbuffers(t *kernel.Thread, n int) []uint32 {
+	ids, _ := g.sym("glGenRenderbuffers").Call(t, n).([]uint32)
+	return ids
+}
+
+func (g *GL) BindRenderbuffer(t *kernel.Thread, id uint32) {
+	g.sym("glBindRenderbuffer").Call(t, engine.Renderbuffer, id)
+}
+
+func (g *GL) RenderbufferStorage(t *kernel.Thread, w, h int) {
+	g.sym("glRenderbufferStorage").Call(t, w, h)
+}
+
+func (g *GL) DeleteRenderbuffers(t *kernel.Thread, ids []uint32) {
+	g.sym("glDeleteRenderbuffers").Call(t, ids)
+}
+
+func (g *GL) CreateShader(t *kernel.Thread, kind uint32) uint32 {
+	v, _ := g.sym("glCreateShader").Call(t, kind).(uint32)
+	return v
+}
+
+func (g *GL) ShaderSource(t *kernel.Thread, id uint32, src string) {
+	g.sym("glShaderSource").Call(t, id, src)
+}
+
+func (g *GL) CompileShader(t *kernel.Thread, id uint32) { g.sym("glCompileShader").Call(t, id) }
+
+func (g *GL) GetShaderiv(t *kernel.Thread, id, pname uint32) int {
+	v, _ := g.sym("glGetShaderiv").Call(t, id, pname).(int)
+	return v
+}
+
+func (g *GL) GetShaderInfoLog(t *kernel.Thread, id uint32) string {
+	s, _ := g.sym("glGetShaderInfoLog").Call(t, id).(string)
+	return s
+}
+
+func (g *GL) CreateProgram(t *kernel.Thread) uint32 {
+	v, _ := g.sym("glCreateProgram").Call(t).(uint32)
+	return v
+}
+
+func (g *GL) AttachShader(t *kernel.Thread, prog, sh uint32) {
+	g.sym("glAttachShader").Call(t, prog, sh)
+}
+
+func (g *GL) LinkProgram(t *kernel.Thread, prog uint32) { g.sym("glLinkProgram").Call(t, prog) }
+
+func (g *GL) GetProgramiv(t *kernel.Thread, prog, pname uint32) int {
+	v, _ := g.sym("glGetProgramiv").Call(t, prog, pname).(int)
+	return v
+}
+
+func (g *GL) GetProgramInfoLog(t *kernel.Thread, prog uint32) string {
+	s, _ := g.sym("glGetProgramInfoLog").Call(t, prog).(string)
+	return s
+}
+
+func (g *GL) UseProgram(t *kernel.Thread, prog uint32) { g.sym("glUseProgram").Call(t, prog) }
+
+func (g *GL) GetAttribLocation(t *kernel.Thread, prog uint32, name string) int {
+	v, _ := g.sym("glGetAttribLocation").Call(t, prog, name).(int)
+	return v
+}
+
+func (g *GL) GetUniformLocation(t *kernel.Thread, prog uint32, name string) int {
+	v, _ := g.sym("glGetUniformLocation").Call(t, prog, name).(int)
+	return v
+}
+
+func (g *GL) Uniform1i(t *kernel.Thread, loc, v int)         { g.sym("glUniform1i").Call(t, loc, v) }
+func (g *GL) Uniform1f(t *kernel.Thread, loc int, v float32) { g.sym("glUniform1f").Call(t, loc, v) }
+
+func (g *GL) Uniform2f(t *kernel.Thread, loc int, x, y float32) {
+	g.sym("glUniform2f").Call(t, loc, x, y)
+}
+
+func (g *GL) Uniform4f(t *kernel.Thread, loc int, x, y, z, w float32) {
+	g.sym("glUniform4f").Call(t, loc, x, y, z, w)
+}
+
+func (g *GL) UniformMatrix4fv(t *kernel.Thread, loc int, m gpu.Mat4) {
+	g.sym("glUniformMatrix4fv").Call(t, loc, m)
+}
+
+func (g *GL) VertexAttribPointer(t *kernel.Thread, loc, size int, data []float32) {
+	g.sym("glVertexAttribPointer").Call(t, loc, size, data)
+}
+
+func (g *GL) EnableVertexAttribArray(t *kernel.Thread, loc int) {
+	g.sym("glEnableVertexAttribArray").Call(t, loc)
+}
+
+func (g *GL) DisableVertexAttribArray(t *kernel.Thread, loc int) {
+	g.sym("glDisableVertexAttribArray").Call(t, loc)
+}
+
+func (g *GL) DrawArrays(t *kernel.Thread, mode uint32, first, count int) {
+	g.sym("glDrawArrays").Call(t, mode, first, count)
+}
+
+func (g *GL) DrawElements(t *kernel.Thread, mode uint32, indices []uint16) {
+	g.sym("glDrawElements").Call(t, mode, indices)
+}
+
+// --- GLES 1 fixed function ---
+
+func (g *GL) MatrixMode(t *kernel.Thread, mode uint32) { g.sym("glMatrixMode").Call(t, mode) }
+func (g *GL) LoadIdentity(t *kernel.Thread)            { g.sym("glLoadIdentity").Call(t) }
+
+func (g *GL) Orthof(t *kernel.Thread, l, r, b, tp, n, f float32) {
+	g.sym("glOrthof").Call(t, l, r, b, tp, n, f)
+}
+
+func (g *GL) Frustumf(t *kernel.Thread, l, r, b, tp, n, f float32) {
+	g.sym("glFrustumf").Call(t, l, r, b, tp, n, f)
+}
+
+func (g *GL) PushMatrix(t *kernel.Thread) { g.sym("glPushMatrix").Call(t) }
+func (g *GL) PopMatrix(t *kernel.Thread)  { g.sym("glPopMatrix").Call(t) }
+
+func (g *GL) Rotatef(t *kernel.Thread, a, x, y, z float32) {
+	g.sym("glRotatef").Call(t, a, x, y, z)
+}
+
+func (g *GL) Translatef(t *kernel.Thread, x, y, z float32) {
+	g.sym("glTranslatef").Call(t, x, y, z)
+}
+
+func (g *GL) Scalef(t *kernel.Thread, x, y, z float32) { g.sym("glScalef").Call(t, x, y, z) }
+
+func (g *GL) Color4f(t *kernel.Thread, r, gr, b, a float32) {
+	g.sym("glColor4f").Call(t, r, gr, b, a)
+}
+
+func (g *GL) EnableClientState(t *kernel.Thread, arr uint32) {
+	g.sym("glEnableClientState").Call(t, arr)
+}
+
+func (g *GL) DisableClientState(t *kernel.Thread, arr uint32) {
+	g.sym("glDisableClientState").Call(t, arr)
+}
+
+func (g *GL) VertexPointer(t *kernel.Thread, size int, data []float32) {
+	g.sym("glVertexPointer").Call(t, size, data)
+}
+
+func (g *GL) ColorPointer(t *kernel.Thread, size int, data []float32) {
+	g.sym("glColorPointer").Call(t, size, data)
+}
+
+func (g *GL) TexCoordPointer(t *kernel.Thread, size int, data []float32) {
+	g.sym("glTexCoordPointer").Call(t, size, data)
+}

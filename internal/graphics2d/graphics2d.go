@@ -1,0 +1,205 @@
+// Package graphics2d is the shared software 2D rasterizer behind the
+// platform 2D APIs: iOS CoreGraphics/QuartzCore (which "use the CPU to draw
+// directly into IOSurfaces", paper §6.2) and the android.graphics.canvas
+// path. The platform wrappers differ only in their per-pixel cost — the
+// PassMark 2D results in Figure 6 come from that difference plus the CPU
+// factor of each device.
+package graphics2d
+
+import (
+	"math"
+
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// Canvas draws into an image, charging CPU time per pixel touched.
+type Canvas struct {
+	img  *gpu.Image
+	cost vclock.Duration
+
+	fill   gpu.RGBA
+	stroke gpu.RGBA
+}
+
+// New creates a canvas over img with the given per-pixel CPU cost.
+func New(img *gpu.Image, costPerPixel vclock.Duration) *Canvas {
+	return &Canvas{img: img, cost: costPerPixel, fill: gpu.RGBA{A: 255}, stroke: gpu.RGBA{A: 255}}
+}
+
+// Image returns the canvas's backing image.
+func (c *Canvas) Image() *gpu.Image { return c.img }
+
+// SetFill sets the fill color.
+func (c *Canvas) SetFill(col gpu.RGBA) { c.fill = col }
+
+// SetStroke sets the stroke color.
+func (c *Canvas) SetStroke(col gpu.RGBA) { c.stroke = col }
+
+func (c *Canvas) charge(t *kernel.Thread, pixels int) {
+	t.ChargeCPU(vclock.Duration(pixels) * c.cost)
+}
+
+// Clear fills the whole canvas.
+func (c *Canvas) Clear(t *kernel.Thread, col gpu.RGBA) {
+	c.charge(t, c.img.Fill(col))
+}
+
+// FillRect fills an axis-aligned rectangle, honouring the fill color's
+// alpha (alpha < 255 blends, matching the "transparent vectors" tests).
+func (c *Canvas) FillRect(t *kernel.Thread, x0, y0, x1, y1 int) {
+	var n int
+	if c.fill.A == 255 {
+		n = c.img.FillRect(x0, y0, x1, y1, c.fill)
+	} else {
+		n = c.img.BlendRect(x0, y0, x1, y1, c.fill)
+	}
+	c.charge(t, n)
+}
+
+// StrokeLine draws a 1px line.
+func (c *Canvas) StrokeLine(t *kernel.Thread, x0, y0, x1, y1 int) {
+	steps := int(math.Max(math.Abs(float64(x1-x0)), math.Abs(float64(y1-y0)))) + 1
+	n := 0
+	for s := 0; s <= steps; s++ {
+		f := float64(s) / float64(steps)
+		x := x0 + int(f*float64(x1-x0))
+		y := y0 + int(f*float64(y1-y0))
+		if x >= 0 && y >= 0 && x < c.img.W && y < c.img.H {
+			c.img.Set(x, y, c.stroke)
+			n++
+		}
+	}
+	c.charge(t, n)
+}
+
+// FillCircle fills a disc.
+func (c *Canvas) FillCircle(t *kernel.Thread, cx, cy, r int) {
+	n := 0
+	for y := cy - r; y <= cy+r; y++ {
+		for x := cx - r; x <= cx+r; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r && x >= 0 && y >= 0 && x < c.img.W && y < c.img.H {
+				if c.fill.A == 255 {
+					c.img.Set(x, y, c.fill)
+				} else {
+					c.img.BlendRect(x, y, x+1, y+1, c.fill)
+				}
+				n++
+			}
+		}
+	}
+	c.charge(t, n)
+}
+
+// FillPolygon scan-fills a simple polygon (the "complex vectors" tests).
+func (c *Canvas) FillPolygon(t *kernel.Thread, xs, ys []int) {
+	if len(xs) < 3 || len(xs) != len(ys) {
+		return
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxY >= c.img.H {
+		maxY = c.img.H - 1
+	}
+	n := 0
+	for y := minY; y <= maxY; y++ {
+		var crossings []int
+		j := len(xs) - 1
+		for i := 0; i < len(xs); i++ {
+			yi, yj := ys[i], ys[j]
+			if (yi <= y && yj > y) || (yj <= y && yi > y) {
+				x := xs[i] + (y-yi)*(xs[j]-xs[i])/(yj-yi)
+				crossings = append(crossings, x)
+			}
+			j = i
+		}
+		for i := 0; i+1 < len(crossings); i += 2 {
+			a, b := crossings[i], crossings[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			if c.fill.A == 255 {
+				n += c.img.FillRect(a, y, b, y+1, c.fill)
+			} else {
+				n += c.img.BlendRect(a, y, b, y+1, c.fill)
+			}
+		}
+	}
+	c.charge(t, n)
+}
+
+// DrawImage blits src at (dx, dy).
+func (c *Canvas) DrawImage(t *kernel.Thread, src *gpu.Image, dx, dy int) {
+	c.charge(t, c.img.Copy(src, dx, dy))
+}
+
+// DrawText renders a deterministic block-glyph run: each rune becomes a
+// pattern of filled cells derived from its code point. It is not
+// typography, but it gives text layout real pixel cost and makes rendered
+// pages byte-comparable across configurations (the §9 "visually similar"
+// check).
+func (c *Canvas) DrawText(t *kernel.Thread, x, y int, text string, size int) int {
+	if size < 4 {
+		size = 4
+	}
+	cw := size / 2
+	advance := cw + 1
+	n := 0
+	cell := size / 4
+	if cell < 1 {
+		cell = 1
+	}
+	for _, r := range text {
+		if r == ' ' {
+			x += advance
+			continue
+		}
+		bits := glyphBits(r)
+		for row := 0; row < 4; row++ {
+			for col := 0; col < 2; col++ {
+				if bits&(1<<(row*2+col)) == 0 {
+					continue
+				}
+				n += c.img.FillRect(x+col*cell, y+row*cell, x+(col+1)*cell, y+(row+1)*cell, c.fill)
+			}
+		}
+		x += advance
+	}
+	c.charge(t, n)
+	return x
+}
+
+// TextAdvance reports the width DrawText would consume.
+func TextAdvance(text string, size int) int {
+	if size < 4 {
+		size = 4
+	}
+	advance := size/2 + 1
+	n := 0
+	for range text {
+		n += advance
+	}
+	return n
+}
+
+// glyphBits maps a rune to a deterministic 8-cell pattern, never empty.
+func glyphBits(r rune) uint8 {
+	h := uint32(r) * 2654435761
+	b := uint8(h>>24) | uint8(h>>16)
+	if b == 0 {
+		b = 0x5A
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package graphics2d
+
+import (
+	"testing"
+
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func newThread(t *testing.T) *kernel.Thread {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7()})
+	p, err := k.NewProcess("p", kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Main()
+}
+
+func newCanvas(t *testing.T, w, h int) (*Canvas, *kernel.Thread) {
+	t.Helper()
+	th := newThread(t)
+	return New(gpu.NewImage(w, h), 5*vclock.Nanosecond), th
+}
+
+func TestClearAndFillRect(t *testing.T) {
+	cv, th := newCanvas(t, 16, 16)
+	cv.Clear(th, gpu.RGBA{R: 255, G: 255, B: 255, A: 255})
+	cv.SetFill(gpu.RGBA{R: 200, A: 255})
+	cv.FillRect(th, 2, 2, 6, 6)
+	if got := cv.Image().At(3, 3); got.R != 200 {
+		t.Fatalf("fill pixel = %v", got)
+	}
+	if got := cv.Image().At(10, 10); got.R != 255 || got.G != 255 {
+		t.Fatalf("background = %v", got)
+	}
+}
+
+func TestTransparentFillBlends(t *testing.T) {
+	cv, th := newCanvas(t, 4, 4)
+	cv.Clear(th, gpu.RGBA{B: 255, A: 255})
+	cv.SetFill(gpu.RGBA{R: 255, A: 128})
+	cv.FillRect(th, 0, 0, 4, 4)
+	got := cv.Image().At(1, 1)
+	if got.R < 100 || got.R > 160 || got.B < 100 || got.B > 160 {
+		t.Fatalf("blend = %v", got)
+	}
+}
+
+func TestStrokeLine(t *testing.T) {
+	cv, th := newCanvas(t, 8, 8)
+	cv.SetStroke(gpu.RGBA{G: 255, A: 255})
+	cv.StrokeLine(th, 0, 0, 7, 7)
+	if got := cv.Image().At(4, 4); got.G != 255 {
+		t.Fatalf("diagonal pixel = %v", got)
+	}
+	// Clipped lines must not panic.
+	cv.StrokeLine(th, -10, -10, 20, 20)
+}
+
+func TestFillCircle(t *testing.T) {
+	cv, th := newCanvas(t, 20, 20)
+	cv.SetFill(gpu.RGBA{R: 255, A: 255})
+	cv.FillCircle(th, 10, 10, 5)
+	if cv.Image().At(10, 10).R != 255 {
+		t.Fatal("center not filled")
+	}
+	if cv.Image().At(1, 1).R != 0 {
+		t.Fatal("corner filled")
+	}
+	if cv.Image().At(10, 4).R == 255 && cv.Image().At(10, 3).R == 255 {
+		t.Fatal("circle too large")
+	}
+}
+
+func TestFillPolygonTriangle(t *testing.T) {
+	cv, th := newCanvas(t, 20, 20)
+	cv.SetFill(gpu.RGBA{B: 255, A: 255})
+	cv.FillPolygon(th, []int{2, 18, 10}, []int{18, 18, 2})
+	if cv.Image().At(10, 12).B != 255 {
+		t.Fatal("interior not filled")
+	}
+	if cv.Image().At(2, 3).B != 0 {
+		t.Fatal("exterior filled")
+	}
+	// Degenerate polygons are ignored.
+	cv.FillPolygon(th, []int{1, 2}, []int{1, 2})
+	cv.FillPolygon(th, []int{1, 2, 3}, []int{1, 2})
+}
+
+func TestDrawImage(t *testing.T) {
+	cv, th := newCanvas(t, 10, 10)
+	sprite := gpu.NewImage(3, 3)
+	sprite.Fill(gpu.RGBA{R: 9, G: 8, B: 7, A: 255})
+	cv.DrawImage(th, sprite, 4, 4)
+	if got := cv.Image().At(5, 5); got.R != 9 {
+		t.Fatalf("sprite pixel = %v", got)
+	}
+}
+
+func TestDrawTextDeterministicAndAdvancing(t *testing.T) {
+	cv1, th1 := newCanvas(t, 64, 16)
+	cv2, th2 := newCanvas(t, 64, 16)
+	cv1.SetFill(gpu.RGBA{A: 255})
+	cv2.SetFill(gpu.RGBA{A: 255})
+	end1 := cv1.DrawText(th1, 0, 0, "hello", 8)
+	end2 := cv2.DrawText(th2, 0, 0, "hello", 8)
+	if cv1.Image().Checksum() != cv2.Image().Checksum() {
+		t.Fatal("text rendering not deterministic")
+	}
+	if end1 != end2 || end1 <= 0 {
+		t.Fatalf("advances = %d, %d", end1, end2)
+	}
+	if end1 != TextAdvance("hello", 8) {
+		t.Fatalf("DrawText end %d != TextAdvance %d", end1, TextAdvance("hello", 8))
+	}
+	// Spaces advance without painting.
+	cv3, th3 := newCanvas(t, 64, 16)
+	cv3.SetFill(gpu.RGBA{A: 255})
+	cv3.DrawText(th3, 0, 0, "   ", 8)
+	blank := gpu.NewImage(64, 16)
+	if cv3.Image().Checksum() != blank.Checksum() {
+		t.Fatal("spaces painted pixels")
+	}
+}
+
+func TestTextDiffersPerRune(t *testing.T) {
+	a, tha := newCanvas(t, 16, 16)
+	b, thb := newCanvas(t, 16, 16)
+	a.SetFill(gpu.RGBA{A: 255})
+	b.SetFill(gpu.RGBA{A: 255})
+	a.DrawText(tha, 0, 0, "a", 12)
+	b.DrawText(thb, 0, 0, "b", 12)
+	if a.Image().Checksum() == b.Image().Checksum() {
+		t.Fatal("different glyphs render identically")
+	}
+}
+
+func TestTinyFontClamped(t *testing.T) {
+	cv, th := newCanvas(t, 8, 8)
+	cv.SetFill(gpu.RGBA{A: 255})
+	cv.DrawText(th, 0, 0, "x", 1) // clamps to minimum size, must not panic
+}
+
+func TestChargesCPUTime(t *testing.T) {
+	cv, th := newCanvas(t, 32, 32)
+	before := th.VTime()
+	cv.Clear(th, gpu.RGBA{A: 255})
+	cost := th.VTime() - before
+	want := vclock.Duration(32*32) * 5
+	if cost != want {
+		t.Fatalf("clear charged %v, want %v", cost, want)
+	}
+}

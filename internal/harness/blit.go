@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// blitState caches the PassMark app's canvas-upload program and texture.
+type blitState struct {
+	ready  bool
+	prog   uint32
+	posLoc int
+	uvLoc  int
+	texLoc int
+	tex    uint32
+}
+
+const canvasVS = `
+attribute vec4 a_pos;
+attribute vec2 a_uv;
+varying vec2 v_uv;
+void main() { gl_Position = a_pos; v_uv = a_uv; }
+`
+
+const canvasFS = `
+precision mediump float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, v_uv); }
+`
+
+// uploadCanvas pushes a CPU-painted canvas to the current render target: the
+// app-level path PassMark's 2D tests use to display their frames.
+func uploadCanvas(t *kernel.Thread, gl *glesapi.GL, st *blitState, cv *graphics2d.Canvas) error {
+	if !st.ready {
+		vs := gl.CreateShader(t, engine.VertexShaderKind)
+		gl.ShaderSource(t, vs, canvasVS)
+		gl.CompileShader(t, vs)
+		fs := gl.CreateShader(t, engine.FragmentShaderKind)
+		gl.ShaderSource(t, fs, canvasFS)
+		gl.CompileShader(t, fs)
+		prog := gl.CreateProgram(t)
+		gl.AttachShader(t, prog, vs)
+		gl.AttachShader(t, prog, fs)
+		gl.LinkProgram(t, prog)
+		if gl.GetProgramiv(t, prog, engine.LinkStatus) != 1 {
+			return fmt.Errorf("harness blit: %s", gl.GetProgramInfoLog(t, prog))
+		}
+		st.prog = prog
+		st.posLoc = gl.GetAttribLocation(t, prog, "a_pos")
+		st.uvLoc = gl.GetAttribLocation(t, prog, "a_uv")
+		st.texLoc = gl.GetUniformLocation(t, prog, "u_tex")
+		texs := gl.GenTextures(t, 1)
+		st.tex = texs[0]
+		st.ready = true
+	}
+	img := cv.Image()
+	gl.BindTexture(t, st.tex)
+	gl.TexImage2D(t, img.W, img.H, gpu.FormatRGBA8888, nil)
+	gl.TexSubImage2D(t, 0, 0, img.W, img.H, gpu.FormatRGBA8888, img.Pix)
+	gl.UseProgram(t, st.prog)
+	gl.Uniform1i(t, st.texLoc, 0)
+	gl.ActiveTexture(t, 0)
+	gl.BindTexture(t, st.tex)
+	gl.VertexAttribPointer(t, st.posLoc, 4, []float32{-1, -1, 0, 1, 1, -1, 0, 1, 1, 1, 0, 1, -1, 1, 0, 1})
+	gl.EnableVertexAttribArray(t, st.posLoc)
+	gl.VertexAttribPointer(t, st.uvLoc, 2, []float32{0, 1, 1, 1, 1, 0, 0, 0})
+	gl.EnableVertexAttribArray(t, st.uvLoc)
+	gl.DrawElements(t, engine.Triangles, []uint16{0, 1, 2, 0, 2, 3})
+	if e := gl.GetError(t); e != engine.NoError {
+		return fmt.Errorf("harness blit: GL error %#x", e)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package harness boots the four system configurations of the paper's
+// evaluation (§9) — stock Android, Android apps under Cycada, iOS apps under
+// Cycada, and native iOS — and runs every table and figure against them.
+package harness
+
+import (
+	"fmt"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+	"cycada/internal/core/system"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iosys"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+	"cycada/internal/webkit"
+	"cycada/internal/webkit/androidport"
+	"cycada/internal/webkit/iosport"
+	"cycada/internal/workloads/passmark"
+)
+
+// ConfigID names one of the evaluation's four system configurations.
+type ConfigID string
+
+// The four configurations of §9.
+const (
+	StockAndroid  ConfigID = "android"
+	CycadaAndroid ConfigID = "cycada-android"
+	CycadaIOS     ConfigID = "cycada-ios"
+	NativeIOS     ConfigID = "ios"
+)
+
+// Configs returns all four configurations in the paper's order.
+func Configs() []ConfigID {
+	return []ConfigID{CycadaIOS, CycadaAndroid, NativeIOS, StockAndroid}
+}
+
+// Device is a booted configuration with factories for each workload. Each
+// workload boots its own process (and for Android PassMark sections, fresh
+// processes per GLES version, since one Android process cannot hold two).
+type Device struct {
+	ID    ConfigID
+	Label string
+
+	Screen func() *gpu.Image
+
+	// NewBrowser builds the platform browser (Safari / the Android browser)
+	// in a fresh app process.
+	NewBrowser func(jsOpts ...jsvm.Option) (*webkit.Browser, *kernel.Thread, error)
+	// NewPassmarkHost builds the PassMark app environment.
+	NewPassmarkHost func() (passmark.Host, error)
+	// Variant is which PassMark app binary this configuration runs.
+	Variant passmark.Variant
+	// NullThread is a thread for kernel micro-benchmarks.
+	NullThread *kernel.Thread
+
+	// CycadaApp is set on CycadaIOS: the app whose profiler feeds
+	// Figures 7-10. It is refreshed by NewBrowser/NewPassmarkHost.
+	CycadaApp *system.IOSApp
+}
+
+// Boot creates a device for the given configuration.
+func Boot(id ConfigID) (*Device, error) {
+	switch id {
+	case StockAndroid, CycadaAndroid:
+		return bootAndroid(id)
+	case CycadaIOS:
+		return bootCycadaIOS()
+	case NativeIOS:
+		return bootNativeIOS()
+	default:
+		return nil, fmt.Errorf("harness: unknown config %q", id)
+	}
+}
+
+func bootAndroid(id ConfigID) (*Device, error) {
+	cfg := stack.Config{Platform: vclock.Nexus7()}
+	label := "Android"
+	if id == CycadaAndroid {
+		cfg.Flavor = vclock.KernelCycada
+		label = "Cycada Android"
+	}
+	sys := stack.New(cfg)
+	nullUS, err := sys.NewUserspace(stack.UserConfig{Name: "lmbench"})
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		ID:         id,
+		Label:      label,
+		Screen:     func() *gpu.Image { return sys.Flinger.Screen() },
+		Variant:    passmark.VariantAndroid,
+		NullThread: nullUS.Proc.Main(),
+	}
+	d.NewBrowser = func(jsOpts ...jsvm.Option) (*webkit.Browser, *kernel.Thread, error) {
+		us, err := sys.NewUserspace(stack.UserConfig{Name: "browser"})
+		if err != nil {
+			return nil, nil, err
+		}
+		port, err := androidport.New(androidport.Config{
+			Userspace: us, W: stack.ScreenW, H: stack.ScreenH, JSOptions: jsOpts,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return webkit.NewBrowser(port), us.Proc.Main(), nil
+	}
+	d.NewPassmarkHost = func() (passmark.Host, error) {
+		return &androidHost{sys: sys}, nil
+	}
+	return d, nil
+}
+
+func bootCycadaIOS() (*Device, error) {
+	sys := system.New(system.Config{})
+	nullApp, err := sys.NewIOSApp(system.AppConfig{Name: "lmbench"})
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		ID:         CycadaIOS,
+		Label:      "Cycada iOS",
+		Screen:     func() *gpu.Image { return sys.Android.Flinger.Screen() },
+		Variant:    passmark.VariantIOS,
+		NullThread: nullApp.Main(),
+	}
+	d.NewBrowser = func(jsOpts ...jsvm.Option) (*webkit.Browser, *kernel.Thread, error) {
+		app, err := sys.NewIOSApp(system.AppConfig{Name: "safari"})
+		if err != nil {
+			return nil, nil, err
+		}
+		d.CycadaApp = app
+		port, err := iosport.New(iosport.Config{
+			Proc:     app.Proc,
+			EAGL:     app.EAGL,
+			GL:       app.GL,
+			Surfaces: app.Surfaces,
+			NewLayer: app.NewLayer,
+			W:        stack.ScreenW, H: stack.ScreenH,
+			JSOptions: jsOpts,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return webkit.NewBrowser(port), app.Main(), nil
+	}
+	d.NewPassmarkHost = func() (passmark.Host, error) {
+		app, err := sys.NewIOSApp(system.AppConfig{Name: "passmark"})
+		if err != nil {
+			return nil, err
+		}
+		d.CycadaApp = app
+		return &iosHost{
+			t:        app.Main(),
+			gl:       app.GL,
+			eagl:     app.EAGL,
+			newLayer: app.NewLayer,
+			cpuDraw:  app.Main().Costs().PerPixelCPUDrawIOS,
+		}, nil
+	}
+	return d, nil
+}
+
+func bootNativeIOS() (*Device, error) {
+	sys := iosys.New(iosys.Config{})
+	nullUS, err := sys.NewUserspace("lmbench")
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		ID:         NativeIOS,
+		Label:      "iOS",
+		Screen:     func() *gpu.Image { return sys.Framebuffer.Screen() },
+		Variant:    passmark.VariantIOS,
+		NullThread: nullUS.Proc.Main(),
+	}
+	d.NewBrowser = func(jsOpts ...jsvm.Option) (*webkit.Browser, *kernel.Thread, error) {
+		us, err := sys.NewUserspace("safari")
+		if err != nil {
+			return nil, nil, err
+		}
+		port, err := iosport.New(iosport.Config{
+			Proc:     us.Proc,
+			EAGL:     us.EAGL,
+			GL:       us.GL,
+			Surfaces: us.Surfaces,
+			NewLayer: us.NewLayer,
+			W:        iosys.ScreenW, H: iosys.ScreenH,
+			JSOptions: jsOpts,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return webkit.NewBrowser(port), us.Proc.Main(), nil
+	}
+	d.NewPassmarkHost = func() (passmark.Host, error) {
+		us, err := sys.NewUserspace("passmark")
+		if err != nil {
+			return nil, err
+		}
+		return &iosHost{
+			t:        us.Proc.Main(),
+			gl:       us.GL,
+			eagl:     us.EAGL,
+			newLayer: us.NewLayer,
+			cpuDraw:  us.Proc.Main().Costs().PerPixelCPUDrawIOS,
+		}, nil
+	}
+	return d, nil
+}
+
+// --- PassMark hosts ---
+
+// iosHost runs PassMark's iOS app: EAGL contexts per section (DLR gives the
+// Cycada configuration simultaneous GLES versions for free).
+type iosHost struct {
+	t        *kernel.Thread
+	gl       *glesapi.GL
+	eagl     *eagl.Lib
+	newLayer func(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error)
+	cpuDraw  vclock.Duration
+
+	ctx   *eagl.Context
+	layer *eagl.CAEAGLLayer
+	w, h  int
+
+	blit blitState
+}
+
+func (h *iosHost) Thread() *kernel.Thread { return h.t }
+func (h *iosHost) GL() *glesapi.GL        { return h.gl }
+
+func (h *iosHost) Begin(version int) (int, int, error) {
+	api := eagl.APIGLES2
+	if version == 1 {
+		api = eagl.APIGLES1
+	}
+	ctx, err := h.eagl.NewContext(h.t, api)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.ctx = ctx
+	if err := h.eagl.SetCurrentContext(h.t, ctx); err != nil {
+		return 0, 0, err
+	}
+	h.w, h.h = 240, 160
+	layer, err := h.newLayer(h.t, 0, 0, h.w, h.h)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.layer = layer
+	fbo := h.gl.GenFramebuffers(h.t, 1)
+	h.gl.BindFramebuffer(h.t, fbo[0])
+	rb := h.gl.GenRenderbuffers(h.t, 1)
+	h.gl.BindRenderbuffer(h.t, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(h.t, layer); err != nil {
+		return 0, 0, err
+	}
+	h.gl.FramebufferRenderbuffer(h.t, rb[0])
+	h.blit = blitState{}
+	return h.w, h.h, nil
+}
+
+func (h *iosHost) Present() error { return h.ctx.PresentRenderbuffer(h.t) }
+
+func (h *iosHost) End() error {
+	if err := h.eagl.SetCurrentContext(h.t, nil); err != nil {
+		return err
+	}
+	return h.ctx.Release(h.t)
+}
+
+func (h *iosHost) NewCanvas(w, hh int) (*graphics2d.Canvas, error) {
+	return graphics2d.New(gpu.NewImage(w, hh), h.cpuDraw), nil
+}
+
+func (h *iosHost) UploadCanvas(cv *graphics2d.Canvas) error {
+	return uploadCanvas(h.t, h.gl, &h.blit, cv)
+}
+
+// androidHost runs PassMark's Android app. Each section gets a fresh process
+// because one Android process cannot hold two GLES versions (§8) — the app
+// restarts between 2D and 3D sections.
+type androidHost struct {
+	sys *stack.System
+
+	us      *stack.Userspace
+	t       *kernel.Thread
+	gl      *glesapi.GL
+	eglSurf *egl.Surface
+	blit    blitState
+}
+
+func (h *androidHost) Thread() *kernel.Thread { return h.t }
+func (h *androidHost) GL() *glesapi.GL        { return h.gl }
+
+func (h *androidHost) Begin(version int) (int, int, error) {
+	us, err := h.sys.NewUserspace(stack.UserConfig{Name: "passmark"})
+	if err != nil {
+		return 0, 0, err
+	}
+	h.us = us
+	h.t = us.Proc.Main()
+	surf, err := us.EGL.CreateWindowSurface(h.t, 0, 0, 240, 160)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx, err := us.EGL.CreateContext(h.t, version, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := us.EGL.MakeCurrent(h.t, surf, ctx); err != nil {
+		return 0, 0, err
+	}
+	gh, err := us.Linker.Dlopen(h.t, "libGLESv2_tegra.so")
+	if err != nil {
+		return 0, 0, err
+	}
+	h.gl = glesapi.New(us.Linker, gh)
+	h.eglSurf = surf
+	h.blit = blitState{}
+	return 240, 160, nil
+}
+
+func (h *androidHost) Present() error {
+	return h.us.EGL.SwapBuffers(h.t, h.eglSurf)
+}
+
+func (h *androidHost) End() error {
+	return h.us.EGL.DestroySurface(h.t, h.eglSurf)
+}
+
+func (h *androidHost) NewCanvas(w, hh int) (*graphics2d.Canvas, error) {
+	return graphics2d.New(gpu.NewImage(w, hh), h.t.Costs().PerPixelCPUDraw), nil
+}
+
+func (h *androidHost) UploadCanvas(cv *graphics2d.Canvas) error {
+	return uploadCanvas(h.t, h.gl, &h.blit, cv)
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cycada/internal/workloads/acid"
+	"cycada/internal/workloads/passmark"
+	"cycada/internal/workloads/sunspider"
+)
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"145", "142", "94", "285", "174", "33", "43"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"312", "15", "344", "17 total — 6 multi-diplomat, 10 from scratch, 1 unimplemented"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3ShapeMatchesPaper(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+	// Shape assertions via the underlying bench.
+	rows, err := DiplomaticCallBench(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, r := range rows {
+		byName[r.Name] = r.Time.AsTime().Nanoseconds()
+	}
+	if byName["Standard Function"] >= 50 {
+		t.Errorf("standard function = %dns, want ~9ns", byName["Standard Function"])
+	}
+	if byName["Diplomat"] < 600 || byName["Diplomat"] > 1100 {
+		t.Errorf("diplomat = %dns, want ~816ns ballpark", byName["Diplomat"])
+	}
+	if byName["Diplomat + Pre/Post"] <= byName["Diplomat"] {
+		t.Error("empty prelude/postlude should add a little overhead")
+	}
+	if byName["Diplomat + GL Pre/Post"] <= byName["Diplomat + Pre/Post"] {
+		t.Error("GL prelude/postlude should cost more than empty ones")
+	}
+	// "A GLES diplomatic call costs almost the same as three system calls."
+	if byName["Diplomat + GL Pre/Post"] > 4*305 {
+		t.Errorf("GL diplomat = %dns, want < ~4 syscalls", byName["Diplomat + GL Pre/Post"])
+	}
+}
+
+func TestSunSpiderShapeOnAllConfigs(t *testing.T) {
+	// Boot each config and run the suite; Figure 5's shape: Cycada iOS is
+	// several times slower than everything else (no JIT), Cycada Android ≈
+	// Android, iOS ≈ Android.
+	totals := map[ConfigID]float64{}
+	for _, id := range Configs() {
+		d, err := Boot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, th, err := d.NewBrowser()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Load(sunspider.Page); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sunspider.RunInBrowser(b, th)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		totals[id] = float64(sunspider.Total(res))
+	}
+	base := totals[StockAndroid]
+	cycIOS := totals[CycadaIOS] / base
+	cycAnd := totals[CycadaAndroid] / base
+	ios := totals[NativeIOS] / base
+	t.Logf("normalized totals: cycada-ios=%.2f cycada-android=%.2f ios=%.2f", cycIOS, cycAnd, ios)
+	if cycIOS < 2.5 {
+		t.Errorf("Cycada iOS total = %.2fx, want >2.5x (paper: ~4.4x)", cycIOS)
+	}
+	if cycAnd > 1.5 {
+		t.Errorf("Cycada Android total = %.2fx, want ~1x", cycAnd)
+	}
+	if ios > 2.0 {
+		t.Errorf("iOS total = %.2fx, want similar to Android", ios)
+	}
+}
+
+func TestPassmarkShapeOnAllConfigs(t *testing.T) {
+	scores := map[ConfigID]map[string]float64{}
+	for _, id := range Configs() {
+		d, err := Boot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := d.NewPassmarkHost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := passmark.RunAll(h, d.Variant, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		scores[id] = map[string]float64{}
+		for _, r := range res {
+			scores[id][r.Test] = r.Score
+		}
+	}
+	norm := func(id ConfigID, test string) float64 {
+		return scores[id][test] / scores[StockAndroid][test]
+	}
+	// Figure 6 shapes:
+	// 2D: iOS (and Cycada iOS) noticeably worse than Android.
+	for _, test := range []string{"Solid Vectors", "Image Filters"} {
+		if n := norm(NativeIOS, test); n >= 1.0 {
+			t.Errorf("iOS %s = %.2fx, want < 1 (iOS worse at 2D)", test, n)
+		}
+		if n := norm(CycadaIOS, test); n >= 1.0 {
+			t.Errorf("Cycada iOS %s = %.2fx, want < 1", test, n)
+		}
+	}
+	// Complex 3D: iOS noticeably better; Cycada iOS beats stock Android.
+	if n := norm(NativeIOS, "Complex 3D"); n <= 1.0 {
+		t.Errorf("iOS Complex 3D = %.2fx, want > 1", n)
+	}
+	if n := norm(CycadaIOS, "Complex 3D"); n <= 1.0 {
+		t.Errorf("Cycada iOS Complex 3D = %.2fx, want > 1 (paper: +20%%)", n)
+	}
+	// Simple 3D: Cycada iOS pays the unoptimized present path.
+	if simple, complex := norm(CycadaIOS, "Simple 3D"), norm(CycadaIOS, "Complex 3D"); simple >= complex {
+		t.Errorf("Cycada iOS simple 3D (%.2f) should have more overhead than complex 3D (%.2f)", simple, complex)
+	}
+	// Cycada Android tracks stock Android.
+	for _, test := range passmark.TestNames() {
+		if n := norm(CycadaAndroid, test); n < 0.7 || n > 1.3 {
+			t.Errorf("Cycada Android %s = %.2fx, want ~1", test, n)
+		}
+	}
+	// Correlation claim: Cycada iOS relative to Android tracks iOS relative
+	// to Android in direction for every test.
+	for _, test := range passmark.TestNames() {
+		ci, ni := norm(CycadaIOS, test), norm(NativeIOS, test)
+		if (ci > 1) != (ni > 1) && ci != 1 && ni != 1 {
+			t.Logf("note: %s direction differs (cycada %.2f vs ios %.2f)", test, ci, ni)
+		}
+	}
+}
+
+func TestFigProfilesIncludePaperFunctions(t *testing.T) {
+	out, prof, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+	if prof == nil {
+		t.Fatal("no Cycada iOS profiler captured")
+	}
+	fig7 := FigProfile("Figure 7/9: SunSpider GLES profile", prof)
+	t.Log("\n" + fig7)
+	for _, fn := range []string{"glFlush", "aegl_bridge_draw_fbo_tex", "eglSwapBuffers", "glTexSubImage2D"} {
+		if prof.Calls(fn) == 0 {
+			t.Errorf("SunSpider profile missing %s", fn)
+		}
+	}
+}
+
+func TestAcidScores100OnCycadaAndMatchesIOS(t *testing.T) {
+	// §9: Safari on Cycada passes with 100/100 and the final page matches
+	// the reference rendering pixel for pixel.
+	run := func(id ConfigID) *acid.Result {
+		d, err := Boot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := d.NewBrowser()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := acid.Run(b, func() uint32 { return d.Screen().Checksum() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cyc := run(CycadaIOS)
+	if cyc.Score != 100 {
+		t.Fatalf("Cycada iOS Acid score = %d/100; failed: %v", cyc.Score, cyc.Failed)
+	}
+	nat := run(NativeIOS)
+	if nat.Score != 100 {
+		t.Fatalf("native iOS Acid score = %d/100; failed: %v", nat.Score, nat.Failed)
+	}
+	if cyc.FinalChecksum != nat.FinalChecksum {
+		t.Fatalf("final page differs: cycada %#x vs ios %#x", cyc.FinalChecksum, nat.FinalChecksum)
+	}
+}

@@ -1,0 +1,42 @@
+// Package coregraphics implements the iOS 2D drawing API of the simulation:
+// CoreGraphics/QuartzCore-style CPU rendering directly into IOSurfaces
+// (paper §2, §6.2). A context requires the surface to be CPU-locked — the
+// requirement that triggers Cycada's IOSurfaceLock multi-diplomat dance when
+// 2D and 3D APIs share a surface.
+package coregraphics
+
+import (
+	"fmt"
+
+	"cycada/internal/graphics2d"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// Context is a CGContext drawing into an IOSurface.
+type Context struct {
+	*graphics2d.Canvas
+	surf *iosurface.Surface
+}
+
+// NewContext creates a drawing context over a locked IOSurface
+// (CGBitmapContextCreate over IOSurfaceGetBaseAddress).
+func NewContext(t *kernel.Thread, s *iosurface.Surface) (*Context, error) {
+	if !s.Locked() {
+		return nil, fmt.Errorf("coregraphics: surface %d must be IOSurfaceLock'ed for CPU drawing", s.ID)
+	}
+	return &Context{
+		Canvas: graphics2d.New(s.BaseAddress(), t.Costs().PerPixelCPUDrawIOS),
+		surf:   s,
+	}, nil
+}
+
+// Surface returns the surface the context draws into.
+func (c *Context) Surface() *iosurface.Surface { return c.surf }
+
+// NewImageContext creates a context over a raw image (UIGraphics-style
+// off-surface contexts used by app code and tests).
+func NewImageContext(t *kernel.Thread, img *gpu.Image) *Context {
+	return &Context{Canvas: graphics2d.New(img, t.Costs().PerPixelCPUDrawIOS)}
+}

@@ -1,0 +1,32 @@
+package eagl
+
+import (
+	"cycada/internal/ios/gcd"
+	"cycada/internal/sim/kernel"
+)
+
+// Carrier returns the GCD context carrier: asynchronous jobs "implicitly
+// take on the GLES and EAGL context of the thread that submitted the
+// asynchronous job" (paper §7). Capture grabs the submitter's current
+// EAGLContext; Install makes it current on the worker — which, on the Cycada
+// backend, goes through thread impersonation.
+func (l *Lib) Carrier() gcd.Carrier { return carrier{lib: l} }
+
+type carrier struct {
+	lib *Lib
+}
+
+func (c carrier) Capture(t *kernel.Thread) any {
+	v, _ := t.TLSGet(kernel.PersonaIOS, c.lib.curKey)
+	return v
+}
+
+func (c carrier) Install(worker *kernel.Thread, data any) {
+	ctx, _ := data.(*Context)
+	if ctx == nil {
+		return
+	}
+	// Errors surface on the worker's first GLES call; GCD itself has no
+	// error channel for context adoption, matching the real API.
+	_ = c.lib.SetCurrentContext(worker, ctx)
+}

@@ -1,0 +1,343 @@
+// Package eagl implements Apple's EAGL API — iOS's proprietary display and
+// window management layer (paper §5). "The EAGL API consists of only 17
+// Objective-C methods": this package defines that exact surface, a backend
+// interface behind it, and the classification the paper reports (6 methods
+// via multi diplomats, 10 implemented from scratch, 1 never called).
+//
+// The native backend (internal/ios/native) implements it over the Apple
+// vendor GLES library and IOMobileFramebuffer; Cycada's backend
+// (internal/core/eglbridge) implements it with multi diplomats over Android
+// EGL/GLES — same API objects either way, which is what lets unmodified iOS
+// app code run on both.
+package eagl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/sim/kernel"
+)
+
+// Rendering API versions (kEAGLRenderingAPIOpenGLES1/2).
+const (
+	APIGLES1 = 1
+	APIGLES2 = 2
+)
+
+// Impl classifies how an EAGL method is implemented under Cycada (Table in
+// §5: 6 multi diplomats, 10 from scratch, 1 unimplemented).
+type Impl int
+
+// Implementation kinds.
+const (
+	ImplMultiDiplomat Impl = iota + 1
+	ImplScratch
+	ImplUnimplemented
+)
+
+// Methods is the complete 17-method EAGL surface with its §5 classification.
+var Methods = map[string]Impl{
+	"initWithAPI:":                      ImplMultiDiplomat,
+	"initWithAPI:sharegroup:":           ImplMultiDiplomat,
+	"setCurrentContext:":                ImplMultiDiplomat,
+	"renderbufferStorage:fromDrawable:": ImplMultiDiplomat,
+	"presentRenderbuffer:":              ImplMultiDiplomat,
+	"dealloc":                           ImplMultiDiplomat,
+
+	"API":                         ImplScratch,
+	"sharegroup":                  ImplScratch,
+	"currentContext":              ImplScratch,
+	"isMultiThreaded":             ImplScratch,
+	"setMultiThreaded:":           ImplScratch,
+	"debugLabel":                  ImplScratch,
+	"setDebugLabel:":              ImplScratch,
+	"presentRenderbuffer:atTime:": ImplScratch,
+	"retain":                      ImplScratch,
+	"release":                     ImplScratch,
+
+	"texImageIOSurface:": ImplUnimplemented,
+}
+
+// ErrUnimplemented is returned by the one EAGL method no app ever calls.
+var ErrUnimplemented = fmt.Errorf("eagl: method not implemented (never called by any tested app)")
+
+// Drawable is what renderbufferStorage:fromDrawable: accepts — a
+// CAEAGLLayer: a screen-positioned layer backed by an IOSurface.
+type Drawable interface {
+	Bounds() (w, h int)
+	Position() (x, y int)
+	Surface() *iosurface.Surface
+}
+
+// CAEAGLLayer is the standard drawable.
+type CAEAGLLayer struct {
+	W, H int
+	X, Y int
+	Surf *iosurface.Surface
+}
+
+// Bounds implements Drawable.
+func (l *CAEAGLLayer) Bounds() (int, int) { return l.W, l.H }
+
+// Position implements Drawable.
+func (l *CAEAGLLayer) Position() (int, int) { return l.X, l.Y }
+
+// Surface implements Drawable.
+func (l *CAEAGLLayer) Surface() *iosurface.Surface { return l.Surf }
+
+// BackendContext is the backend's per-EAGLContext state.
+type BackendContext any
+
+// Backend is the platform implementation behind the EAGL API.
+type Backend interface {
+	Name() string
+	// NewContext creates backing state for an EAGLContext. shareData is the
+	// sharegroup's backend state (nil for a fresh group); the returned
+	// shareOut is stored in the group on first creation.
+	NewContext(t *kernel.Thread, api int, shareData any) (bc BackendContext, shareOut any, err error)
+	DestroyContext(t *kernel.Thread, bc BackendContext) error
+	// MakeCurrent binds (bc non-nil) or clears (nil) the calling thread's
+	// rendering context.
+	MakeCurrent(t *kernel.Thread, bc BackendContext) error
+	RenderbufferStorageFromDrawable(t *kernel.Thread, bc BackendContext, d Drawable) error
+	PresentRenderbuffer(t *kernel.Thread, bc BackendContext) error
+}
+
+// Sharegroup is an EAGLSharegroup: contexts in one group share GLES objects.
+type Sharegroup struct {
+	mu   sync.Mutex
+	data any
+}
+
+// Context is an EAGLContext.
+type Context struct {
+	lib   *Lib
+	api   int
+	share *Sharegroup
+	bc    BackendContext
+
+	refs atomic.Int32
+
+	mu            sync.Mutex
+	multiThreaded bool
+	debugLabel    string
+	dealloced     bool
+}
+
+// Lib is the EAGL library instance for one process.
+type Lib struct {
+	backend   Backend
+	libSystem *libc.Lib
+	curKey    int
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// New creates the EAGL library over a backend. libSystem allocates the TLS
+// key holding the per-thread current EAGLContext.
+func New(backend Backend, libSystem *libc.Lib) *Lib {
+	return &Lib{
+		backend:   backend,
+		libSystem: libSystem,
+		curKey:    libSystem.CreateKey("eagl-current-context"),
+		counts:    map[string]int{},
+	}
+}
+
+// Backend returns the backend in use (tests and the harness).
+func (l *Lib) Backend() Backend { return l.backend }
+
+// CurrentContextKey returns the TLS slot holding the current EAGLContext;
+// impersonation migrates it alongside the Android-side graphics slots.
+func (l *Lib) CurrentContextKey() int { return l.curKey }
+
+// MethodCalls reports how many times an EAGL method has run (harness: the
+// unimplemented method must stay at zero).
+func (l *Lib) MethodCalls(method string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[method]
+}
+
+func (l *Lib) called(method string) {
+	if _, ok := Methods[method]; !ok {
+		panic("eagl: unknown method " + method)
+	}
+	l.mu.Lock()
+	l.counts[method]++
+	l.mu.Unlock()
+}
+
+// NewContext implements initWithAPI:.
+func (l *Lib) NewContext(t *kernel.Thread, api int) (*Context, error) {
+	l.called("initWithAPI:")
+	return l.newContext(t, api, &Sharegroup{})
+}
+
+// NewContextShared implements initWithAPI:sharegroup:.
+func (l *Lib) NewContextShared(t *kernel.Thread, api int, share *Sharegroup) (*Context, error) {
+	l.called("initWithAPI:sharegroup:")
+	if share == nil {
+		share = &Sharegroup{}
+	}
+	return l.newContext(t, api, share)
+}
+
+func (l *Lib) newContext(t *kernel.Thread, api int, share *Sharegroup) (*Context, error) {
+	if api != APIGLES1 && api != APIGLES2 {
+		return nil, fmt.Errorf("eagl: unknown rendering API %d", api)
+	}
+	share.mu.Lock()
+	shareData := share.data
+	share.mu.Unlock()
+	bc, shareOut, err := l.backend.NewContext(t, api, shareData)
+	if err != nil {
+		return nil, fmt.Errorf("eagl initWithAPI:%d: %w", api, err)
+	}
+	if shareOut != nil {
+		share.mu.Lock()
+		share.data = shareOut
+		share.mu.Unlock()
+	}
+	c := &Context{lib: l, api: api, share: share, bc: bc}
+	c.refs.Store(1)
+	return c, nil
+}
+
+// SetCurrentContext implements the setCurrentContext: class method. Any
+// thread may make any context current — the iOS liberality (paper §7) that
+// forces thread impersonation on the Cycada backend.
+func (l *Lib) SetCurrentContext(t *kernel.Thread, c *Context) error {
+	l.called("setCurrentContext:")
+	if c == nil {
+		if err := l.backend.MakeCurrent(t, nil); err != nil {
+			return err
+		}
+		t.TLSDelete(kernel.PersonaIOS, l.curKey)
+		return nil
+	}
+	if err := l.backend.MakeCurrent(t, c.bc); err != nil {
+		return fmt.Errorf("eagl setCurrentContext: %w", err)
+	}
+	return t.TLSSet(kernel.PersonaIOS, l.curKey, c)
+}
+
+// CurrentContext implements the currentContext class method.
+func (l *Lib) CurrentContext(t *kernel.Thread) *Context {
+	l.called("currentContext")
+	v, _ := t.TLSGet(kernel.PersonaIOS, l.curKey)
+	c, _ := v.(*Context)
+	return c
+}
+
+// API implements the API getter.
+func (c *Context) API() int {
+	c.lib.called("API")
+	return c.api
+}
+
+// Sharegroup implements the sharegroup getter.
+func (c *Context) Sharegroup() *Sharegroup {
+	c.lib.called("sharegroup")
+	return c.share
+}
+
+// Backing returns the backend context (used by the GLES facade to reach the
+// right engine instance).
+func (c *Context) Backing() BackendContext { return c.bc }
+
+// RenderbufferStorageFromDrawable implements
+// renderbufferStorage:fromDrawable:.
+func (c *Context) RenderbufferStorageFromDrawable(t *kernel.Thread, d Drawable) error {
+	c.lib.called("renderbufferStorage:fromDrawable:")
+	if d == nil {
+		return fmt.Errorf("eagl renderbufferStorage: nil drawable")
+	}
+	return c.lib.backend.RenderbufferStorageFromDrawable(t, c.bc, d)
+}
+
+// PresentRenderbuffer implements presentRenderbuffer:.
+func (c *Context) PresentRenderbuffer(t *kernel.Thread) error {
+	c.lib.called("presentRenderbuffer:")
+	return c.lib.backend.PresentRenderbuffer(t, c.bc)
+}
+
+// PresentRenderbufferAtTime implements presentRenderbuffer:atTime: — a
+// from-scratch method that delegates to the multi-diplomat present.
+func (c *Context) PresentRenderbufferAtTime(t *kernel.Thread, _ float64) error {
+	c.lib.called("presentRenderbuffer:atTime:")
+	return c.PresentRenderbuffer(t)
+}
+
+// IsMultiThreaded implements isMultiThreaded.
+func (c *Context) IsMultiThreaded() bool {
+	c.lib.called("isMultiThreaded")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.multiThreaded
+}
+
+// SetMultiThreaded implements setMultiThreaded:.
+func (c *Context) SetMultiThreaded(v bool) {
+	c.lib.called("setMultiThreaded:")
+	c.mu.Lock()
+	c.multiThreaded = v
+	c.mu.Unlock()
+}
+
+// DebugLabel implements debugLabel.
+func (c *Context) DebugLabel() string {
+	c.lib.called("debugLabel")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.debugLabel
+}
+
+// SetDebugLabel implements setDebugLabel:.
+func (c *Context) SetDebugLabel(s string) {
+	c.lib.called("setDebugLabel:")
+	c.mu.Lock()
+	c.debugLabel = s
+	c.mu.Unlock()
+}
+
+// Retain implements retain (Objective-C reference counting).
+func (c *Context) Retain() *Context {
+	c.lib.called("retain")
+	c.refs.Add(1)
+	return c
+}
+
+// Release implements release; the last release runs dealloc.
+func (c *Context) Release(t *kernel.Thread) error {
+	c.lib.called("release")
+	if c.refs.Add(-1) > 0 {
+		return nil
+	}
+	return c.dealloc(t)
+}
+
+// dealloc implements dealloc (a multi diplomat under Cycada: it must tear
+// down the replica namespace).
+func (c *Context) dealloc(t *kernel.Thread) error {
+	c.lib.called("dealloc")
+	c.mu.Lock()
+	if c.dealloced {
+		c.mu.Unlock()
+		return fmt.Errorf("eagl: double dealloc")
+	}
+	c.dealloced = true
+	c.mu.Unlock()
+	return c.lib.backend.DestroyContext(t, c.bc)
+}
+
+// TexImageIOSurface is the one EAGL method the prototype leaves
+// unimplemented because no app calls it (§5).
+func (c *Context) TexImageIOSurface(t *kernel.Thread, s *iosurface.Surface) error {
+	c.lib.called("texImageIOSurface:")
+	return ErrUnimplemented
+}

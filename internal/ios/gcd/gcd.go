@@ -1,0 +1,126 @@
+// Package gcd simulates Grand Central Dispatch: serial queues whose jobs run
+// on dedicated worker threads. iOS graphics code "relies on this feature to
+// asynchronously dispatch GLES jobs such as texture loading or off-screen
+// rendering" where the worker "implicitly takes on the GLES and EAGL context
+// of the thread that submitted the asynchronous job" (paper §7).
+//
+// That implicit hand-off is modelled by a Carrier: EAGL installs one that
+// captures the submitting thread's graphics context and installs it on the
+// worker — under Cycada, through thread impersonation.
+package gcd
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/sim/kernel"
+)
+
+// Carrier captures thread-associated context at submission time and installs
+// it on the worker before the job runs.
+type Carrier interface {
+	Capture(submitter *kernel.Thread) any
+	Install(worker *kernel.Thread, data any)
+}
+
+type job struct {
+	data any
+	fn   func(*kernel.Thread)
+	done chan struct{} // non-nil for Sync
+}
+
+// Queue is a serial dispatch queue.
+type Queue struct {
+	name    string
+	carrier Carrier
+	worker  *kernel.Thread
+
+	mu     sync.Mutex
+	jobs   chan job
+	closed bool
+	wg     sync.WaitGroup
+	drain  sync.WaitGroup
+}
+
+// NewQueue creates a serial queue with a dedicated worker thread in proc.
+// carrier may be nil. Call Shutdown when done with the queue.
+func NewQueue(proc *kernel.Process, name string, carrier Carrier) *Queue {
+	q := &Queue{
+		name:    name,
+		carrier: carrier,
+		worker:  proc.NewThread("gcd:" + name),
+		jobs:    make(chan job, 64),
+	}
+	q.wg.Add(1)
+	go q.run(proc)
+	return q
+}
+
+// Worker returns the queue's worker thread (tests).
+func (q *Queue) Worker() *kernel.Thread { return q.worker }
+
+// Name returns the queue label.
+func (q *Queue) Name() string { return q.name }
+
+func (q *Queue) run(proc *kernel.Process) {
+	defer q.wg.Done()
+	defer proc.ExitThread(q.worker)
+	for j := range q.jobs {
+		if q.carrier != nil && j.data != nil {
+			q.carrier.Install(q.worker, j.data)
+		}
+		j.fn(q.worker)
+		if j.done != nil {
+			close(j.done)
+		}
+		q.drain.Done()
+	}
+}
+
+// Async implements dispatch_async: fn runs later on the worker thread with
+// the submitter's carried context installed.
+func (q *Queue) Async(submitter *kernel.Thread, fn func(worker *kernel.Thread)) error {
+	return q.submit(submitter, fn, nil)
+}
+
+// Sync implements dispatch_sync: it blocks until fn has run on the worker.
+func (q *Queue) Sync(submitter *kernel.Thread, fn func(worker *kernel.Thread)) error {
+	done := make(chan struct{})
+	if err := q.submit(submitter, fn, done); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+func (q *Queue) submit(submitter *kernel.Thread, fn func(*kernel.Thread), done chan struct{}) error {
+	var data any
+	if q.carrier != nil {
+		data = q.carrier.Capture(submitter)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("gcd: queue %q is shut down", q.name)
+	}
+	q.drain.Add(1)
+	q.jobs <- job{data: data, fn: fn, done: done}
+	return nil
+}
+
+// Drain waits until every submitted job has finished.
+func (q *Queue) Drain() { q.drain.Wait() }
+
+// Shutdown drains the queue and stops the worker.
+func (q *Queue) Shutdown() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.drain.Wait()
+	close(q.jobs)
+	q.wg.Wait()
+}

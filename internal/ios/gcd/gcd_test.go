@@ -1,0 +1,155 @@
+package gcd
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func newProc(t *testing.T) *kernel.Process {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.IPadMini()})
+	p, err := k.NewProcess("app", kernel.PersonaIOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSyncRunsOnWorkerThread(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	defer q.Shutdown()
+	var ran *kernel.Thread
+	if err := q.Sync(p.Main(), func(w *kernel.Thread) { ran = w }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != q.Worker() {
+		t.Fatalf("job ran on %v, want worker %v", ran, q.Worker())
+	}
+	if ran == p.Main() {
+		t.Fatal("job ran on the submitting thread")
+	}
+}
+
+func TestAsyncAndDrain(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	defer q.Shutdown()
+	var n atomic.Int32
+	for i := 0; i < 20; i++ {
+		if err := q.Async(p.Main(), func(*kernel.Thread) { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Drain()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d jobs, want 20", n.Load())
+	}
+}
+
+func TestSerialOrdering(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	defer q.Shutdown()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := q.Async(p.Main(), func(*kernel.Thread) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want serial", order)
+		}
+	}
+}
+
+type recordCarrier struct {
+	captured  atomic.Int32
+	installed atomic.Int32
+	data      any
+}
+
+func (c *recordCarrier) Capture(t *kernel.Thread) any {
+	c.captured.Add(1)
+	return c.data
+}
+
+func (c *recordCarrier) Install(w *kernel.Thread, d any) {
+	c.installed.Add(1)
+	w.TLSSet(kernel.PersonaIOS, 99, d)
+}
+
+func TestCarrierCaptureInstall(t *testing.T) {
+	// The §7 behaviour: workers implicitly take on the submitter's context.
+	p := newProc(t)
+	c := &recordCarrier{data: "eagl-ctx"}
+	q := NewQueue(p, "render", c)
+	defer q.Shutdown()
+	var seen any
+	if err := q.Sync(p.Main(), func(w *kernel.Thread) {
+		seen, _ = w.TLSGet(kernel.PersonaIOS, 99)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != "eagl-ctx" {
+		t.Fatalf("worker saw %v, want the carried context", seen)
+	}
+	if c.captured.Load() != 1 || c.installed.Load() != 1 {
+		t.Fatalf("capture/install counts = %d/%d", c.captured.Load(), c.installed.Load())
+	}
+}
+
+func TestNilCarrierDataNotInstalled(t *testing.T) {
+	p := newProc(t)
+	c := &recordCarrier{data: nil}
+	q := NewQueue(p, "q", c)
+	defer q.Shutdown()
+	if err := q.Sync(p.Main(), func(*kernel.Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if c.installed.Load() != 0 {
+		t.Fatal("nil carrier data was installed")
+	}
+}
+
+func TestShutdownRejectsNewWork(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	q.Shutdown()
+	if err := q.Async(p.Main(), func(*kernel.Thread) {}); err == nil {
+		t.Fatal("async after shutdown succeeded")
+	}
+	q.Shutdown() // idempotent
+	if q.Name() != "q" {
+		t.Fatal("name accessor wrong")
+	}
+}
+
+func TestShutdownDrainsPendingJobs(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		q.Async(p.Main(), func(*kernel.Thread) { n.Add(1) })
+	}
+	q.Shutdown()
+	if n.Load() != 10 {
+		t.Fatalf("shutdown dropped jobs: ran %d/10", n.Load())
+	}
+}
+
+func TestWorkerThreadExitsOnShutdown(t *testing.T) {
+	p := newProc(t)
+	q := NewQueue(p, "q", nil)
+	tid := q.Worker().TID()
+	q.Shutdown()
+	if _, alive := p.Thread(tid); alive {
+		t.Fatal("worker thread still registered after shutdown")
+	}
+}

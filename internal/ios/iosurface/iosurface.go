@@ -1,0 +1,225 @@
+// Package iosurface implements the iOS IOSurface API (paper §2, §6): the
+// userspace library apps and frameworks use for zero-copy graphics memory.
+// It communicates with the kernel's IOCoreSurface service via opaque Mach
+// IPC — on native iOS that service is internal/ios/iokit.CoreSurface; under
+// Cycada it is LinuxCoreSurface, which backs surfaces with Android
+// GraphicBuffers.
+//
+// Cycada interposes on IOSurfaceLock/IOSurfaceUnlock with multi diplomats
+// (§6.2); the Interposer hook is where that interposition attaches.
+package iosurface
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/ios/iokit"
+	"cycada/internal/linker"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// Interposer intercepts lock/unlock, used by Cycada's multi diplomats to run
+// the GLES texture disassociation dance before the kernel lock (§6.2).
+type Interposer interface {
+	BeforeLock(t *kernel.Thread, s *Surface) error
+	AfterUnlock(t *kernel.Thread, s *Surface) error
+	// OnCreate lets the compatibility layer attach per-surface state (the
+	// backing GraphicBuffer association).
+	OnCreate(t *kernel.Thread, s *Surface) error
+	// OnRelease tears that state down.
+	OnRelease(t *kernel.Thread, s *Surface) error
+}
+
+// Surface is an IOSurface handle: "a memory abstraction that facilitates
+// zero-copy transfers of large graphics buffers between apps and rendering
+// APIs".
+type Surface struct {
+	ID     uint64
+	W, H   int
+	Format gpu.Format
+
+	lib *Lib
+	img *gpu.Image
+
+	mu       sync.Mutex
+	locked   bool
+	released bool
+
+	// Compat is per-surface state owned by the compatibility layer (under
+	// Cycada: the backing GraphicBuffer and its texture bindings).
+	Compat any
+}
+
+// BaseAddress returns the CPU mapping of the surface's pixels
+// (IOSurfaceGetBaseAddress). The mapping is only stable while locked, but
+// like the real API the call itself never fails.
+func (s *Surface) BaseAddress() *gpu.Image { return s.img }
+
+// Locked reports whether the surface is CPU-locked.
+func (s *Surface) Locked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.locked
+}
+
+// Lib is the IOSurface userspace library.
+type Lib struct {
+	interp Interposer
+
+	mu   sync.Mutex
+	live map[uint64]*Surface
+}
+
+// New creates the library. interp may be nil (native iOS).
+func New(interp Interposer) *Lib {
+	return &Lib{interp: interp, live: map[uint64]*Surface{}}
+}
+
+// Create implements IOSurfaceCreate: it allocates the memory buffer and
+// connects the region to the supporting kernel infrastructure (§6.1).
+func (l *Lib) Create(t *kernel.Thread, w, h int, format gpu.Format) (*Surface, error) {
+	r, err := t.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceCreate, iokit.CreateRequest{W: w, H: h, Format: format})
+	if err != nil {
+		return nil, fmt.Errorf("IOSurfaceCreate: %w", err)
+	}
+	reply := r.(iokit.CreateReply)
+	s := &Surface{ID: reply.ID, W: w, H: h, Format: format, lib: l, img: reply.Img}
+	if l.interp != nil {
+		if err := l.interp.OnCreate(t, s); err != nil {
+			t.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceRelease, s.ID)
+			return nil, fmt.Errorf("IOSurfaceCreate: %w", err)
+		}
+	}
+	l.mu.Lock()
+	l.live[s.ID] = s
+	l.mu.Unlock()
+	return s, nil
+}
+
+// Lock implements IOSurfaceLock: CPU-only access; the GPU may not touch the
+// surface until unlock (§6.2).
+func (l *Lib) Lock(t *kernel.Thread, s *Surface) error {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
+		return fmt.Errorf("IOSurfaceLock: surface %d released", s.ID)
+	}
+	if s.locked {
+		s.mu.Unlock()
+		return fmt.Errorf("IOSurfaceLock: surface %d already locked", s.ID)
+	}
+	s.mu.Unlock()
+	if l.interp != nil {
+		if err := l.interp.BeforeLock(t, s); err != nil {
+			return fmt.Errorf("IOSurfaceLock: %w", err)
+		}
+	}
+	if _, err := t.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceLock, s.ID); err != nil {
+		return fmt.Errorf("IOSurfaceLock: %w", err)
+	}
+	s.mu.Lock()
+	s.locked = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Unlock implements IOSurfaceUnlock.
+func (l *Lib) Unlock(t *kernel.Thread, s *Surface) error {
+	s.mu.Lock()
+	if !s.locked {
+		s.mu.Unlock()
+		return fmt.Errorf("IOSurfaceUnlock: surface %d not locked", s.ID)
+	}
+	s.mu.Unlock()
+	if _, err := t.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceUnlock, s.ID); err != nil {
+		return fmt.Errorf("IOSurfaceUnlock: %w", err)
+	}
+	s.mu.Lock()
+	s.locked = false
+	s.mu.Unlock()
+	if l.interp != nil {
+		if err := l.interp.AfterUnlock(t, s); err != nil {
+			return fmt.Errorf("IOSurfaceUnlock: %w", err)
+		}
+	}
+	return nil
+}
+
+// Release implements IOSurfaceRelease (CFRelease on the surface).
+func (l *Lib) Release(t *kernel.Thread, s *Surface) error {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
+		return fmt.Errorf("IOSurfaceRelease: surface %d already released", s.ID)
+	}
+	s.released = true
+	s.mu.Unlock()
+	if l.interp != nil {
+		if err := l.interp.OnRelease(t, s); err != nil {
+			return err
+		}
+	}
+	if _, err := t.MachCall(iokit.CoreSurfaceService, iokit.MsgSurfaceRelease, s.ID); err != nil {
+		return fmt.Errorf("IOSurfaceRelease: %w", err)
+	}
+	l.mu.Lock()
+	delete(l.live, s.ID)
+	l.mu.Unlock()
+	return nil
+}
+
+// Live reports the number of live surfaces this library created.
+func (l *Lib) Live() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}
+
+// Symbols implements linker.Instance.
+func (l *Lib) Symbols() map[string]linker.Fn {
+	return map[string]linker.Fn{
+		"IOSurfaceCreate": func(t *kernel.Thread, args ...any) any {
+			s, err := l.Create(t, args[0].(int), args[1].(int), args[2].(gpu.Format))
+			if err != nil {
+				return nil
+			}
+			return s
+		},
+		"IOSurfaceLock": func(t *kernel.Thread, args ...any) any {
+			if err := l.Lock(t, args[0].(*Surface)); err != nil {
+				return 1
+			}
+			return 0
+		},
+		"IOSurfaceUnlock": func(t *kernel.Thread, args ...any) any {
+			if err := l.Unlock(t, args[0].(*Surface)); err != nil {
+				return 1
+			}
+			return 0
+		},
+		"IOSurfaceGetBaseAddress": func(t *kernel.Thread, args ...any) any {
+			return args[0].(*Surface).BaseAddress()
+		},
+		"IOSurfaceRelease": func(t *kernel.Thread, args ...any) any {
+			if err := l.Release(t, args[0].(*Surface)); err != nil {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// LibName is the IOSurface framework's library name.
+const LibName = "IOSurface.framework"
+
+// Blueprint returns the linker blueprint for the IOSurface library.
+func (l *Lib) Blueprint() *linker.Blueprint {
+	return &linker.Blueprint{
+		Name: LibName,
+		Deps: []string{"libSystem.dylib"},
+		New: func(ctx *linker.LoadContext) (linker.Instance, error) {
+			return l, nil
+		},
+	}
+}

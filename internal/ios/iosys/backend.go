@@ -1,0 +1,13 @@
+package iosys
+
+import (
+	"cycada/internal/ios/applegles"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/native"
+)
+
+// nativeBackend builds the native EAGL backend; split out so iosys.go reads
+// as pure assembly.
+func nativeBackend(vendor *applegles.VendorLib) eagl.Backend {
+	return native.New(vendor)
+}

@@ -1,0 +1,110 @@
+// Package iosys assembles the simulated native iOS system — the iPad mini
+// configuration of the paper's evaluation: an XNU-flavoured kernel with the
+// IOCoreSurface and IOMobileFramebuffer I/O Kit services, and per-process
+// userspace with libSystem, the Apple vendor GLES library, IOSurface, EAGL
+// over the native backend and GCD.
+package iosys
+
+import (
+	"fmt"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/ios/applegles"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iokit"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/linker"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// Default panel size (matches the Android stack's scaled screen).
+const (
+	ScreenW = 320
+	ScreenH = 200
+)
+
+// System is a booted iPad.
+type System struct {
+	Kernel      *kernel.Kernel
+	CoreSurface *iokit.CoreSurface
+	Framebuffer *iokit.Framebuffer
+}
+
+// Config describes the machine.
+type Config struct {
+	Platform vclock.Platform // defaults to the iPad mini
+	Clock    *vclock.Clock
+	ScreenW  int
+	ScreenH  int
+}
+
+// New boots a native iOS system.
+func New(cfg Config) *System {
+	if cfg.Platform.Name == "" {
+		cfg.Platform = vclock.IPadMini()
+	}
+	if cfg.ScreenW == 0 {
+		cfg.ScreenW, cfg.ScreenH = ScreenW, ScreenH
+	}
+	k := kernel.New(kernel.Config{Platform: cfg.Platform, Clock: cfg.Clock})
+	cs := iokit.NewCoreSurface()
+	fb := iokit.NewFramebuffer(cfg.ScreenW, cfg.ScreenH)
+	k.RegisterMachService(iokit.CoreSurfaceService, cs)
+	k.RegisterMachService(iokit.FramebufferService, fb)
+	return &System{Kernel: k, CoreSurface: cs, Framebuffer: fb}
+}
+
+// Userspace is a native iOS process's userland.
+type Userspace struct {
+	Proc      *kernel.Process
+	Linker    *linker.Linker
+	LibSystem *libc.Lib
+	Surfaces  *iosurface.Lib
+	EAGL      *eagl.Lib
+	GL        *glesapi.GL
+}
+
+// NewUserspace creates an iOS process with the graphics userland loaded.
+func (s *System) NewUserspace(name string) (*Userspace, error) {
+	proc, err := s.Kernel.NewProcess(name, kernel.PersonaIOS)
+	if err != nil {
+		return nil, err
+	}
+	l := linker.New(proc)
+	libSystem := libc.New(kernel.PersonaIOS)
+	l.MustRegister(libSystem.Blueprint())
+	surfaces := iosurface.New(nil)
+	l.MustRegister(surfaces.Blueprint())
+	l.MustRegister(applegles.Blueprint())
+
+	main := proc.Main()
+	h, err := l.Dlopen(main, applegles.LibName)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", applegles.LibName, err)
+	}
+	vendor := h.Instance().(*applegles.VendorLib)
+	if _, err := l.Dlopen(main, iosurface.LibName); err != nil {
+		return nil, fmt.Errorf("loading IOSurface: %w", err)
+	}
+	return &Userspace{
+		Proc:      proc,
+		Linker:    l,
+		LibSystem: libSystem,
+		Surfaces:  surfaces,
+		EAGL:      eagl.New(nativeBackend(vendor), libSystem),
+		GL:        glesapi.New(l, h),
+	}, nil
+}
+
+// NewLayer creates a CAEAGLLayer backed by a fresh IOSurface at a screen
+// position — the UIKit work an app's view hierarchy would do.
+func (u *Userspace) NewLayer(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error) {
+	surf, err := u.Surfaces.Create(t, w, h, gpu.FormatRGBA8888)
+	if err != nil {
+		return nil, fmt.Errorf("layer surface: %w", err)
+	}
+	return &eagl.CAEAGLLayer{W: w, H: h, X: x, Y: y, Surf: surf}, nil
+}

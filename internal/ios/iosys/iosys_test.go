@@ -1,0 +1,326 @@
+package iosys
+
+import (
+	"errors"
+	"testing"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/ios/coregraphics"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/gcd"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+func boot(t *testing.T) (*System, *Userspace) {
+	t.Helper()
+	sys := New(Config{})
+	us, err := sys.NewUserspace("safari")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, us
+}
+
+// renderFrame does the canonical EAGL dance: FBO + renderbuffer from the
+// layer, draw, present.
+func renderFrame(t *testing.T, us *Userspace, layer *eagl.CAEAGLLayer, r, g, b float32) *eagl.Context {
+	t.Helper()
+	th := us.Proc.Main()
+	ctx, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := us.EAGL.SetCurrentContext(th, ctx); err != nil {
+		t.Fatal(err)
+	}
+	gl := us.GL
+	fbo := gl.GenFramebuffers(th, 1)
+	gl.BindFramebuffer(th, fbo[0])
+	rb := gl.GenRenderbuffers(th, 1)
+	gl.BindRenderbuffer(th, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(th, layer); err != nil {
+		t.Fatal(err)
+	}
+	gl.FramebufferRenderbuffer(th, rb[0])
+	if st := gl.CheckFramebufferStatus(th); st != engine.FramebufferComplete {
+		t.Fatalf("fbo status %#x", st)
+	}
+	gl.ClearColor(th, r, g, b, 1)
+	gl.Clear(th, engine.ColorBufferBit)
+	if err := ctx.PresentRenderbuffer(th); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestEAGLRenderAndPresent(t *testing.T) {
+	sys, us := boot(t)
+	th := us.Proc.Main()
+	layer, err := us.NewLayer(th, 0, 0, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderFrame(t, us, layer, 1, 0, 0)
+	if sys.Framebuffer.Frames() != 1 {
+		t.Fatalf("frames = %d, want 1", sys.Framebuffer.Frames())
+	}
+	if got := sys.Framebuffer.Screen().At(10, 10); got.R != 255 {
+		t.Fatalf("panel pixel = %v, want red", got)
+	}
+}
+
+func TestPresentBeforeStorageFails(t *testing.T) {
+	_, us := boot(t)
+	th := us.Proc.Main()
+	ctx, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.PresentRenderbuffer(th); err == nil {
+		t.Fatal("present without renderbufferStorage succeeded")
+	}
+}
+
+func TestCrossThreadEAGLContextUse(t *testing.T) {
+	// Paper §7: "iOS allows any thread to use a GLES context; one thread can
+	// create a GLES context and another can use it."
+	sys, us := boot(t)
+	main := us.Proc.Main()
+	layer, err := us.NewLayer(main, 0, 0, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := us.EAGL.NewContext(main, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := us.Proc.NewThread("render")
+	if err := us.EAGL.SetCurrentContext(worker, ctx); err != nil {
+		t.Fatalf("cross-thread setCurrentContext failed on native iOS: %v", err)
+	}
+	gl := us.GL
+	fbo := gl.GenFramebuffers(worker, 1)
+	gl.BindFramebuffer(worker, fbo[0])
+	rb := gl.GenRenderbuffers(worker, 1)
+	gl.BindRenderbuffer(worker, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(worker, layer); err != nil {
+		t.Fatal(err)
+	}
+	gl.FramebufferRenderbuffer(worker, rb[0])
+	gl.ClearColor(worker, 0, 1, 0, 1)
+	gl.Clear(worker, engine.ColorBufferBit)
+	if err := ctx.PresentRenderbuffer(worker); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Framebuffer.Screen().At(5, 5); got.G != 255 {
+		t.Fatalf("panel pixel = %v, want green", got)
+	}
+}
+
+func TestGCDCarriesEAGLContext(t *testing.T) {
+	// Paper §7: GCD jobs implicitly take on the submitter's EAGL context.
+	_, us := boot(t)
+	main := us.Proc.Main()
+	ctx, err := us.EAGL.NewContext(main, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := us.EAGL.SetCurrentContext(main, ctx); err != nil {
+		t.Fatal(err)
+	}
+	q := gcd.NewQueue(us.Proc, "texture-loader", us.EAGL.Carrier())
+	defer q.Shutdown()
+	var workerCtx *eagl.Context
+	if err := q.Sync(main, func(worker *kernel.Thread) {
+		workerCtx = us.EAGL.CurrentContext(worker)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if workerCtx != ctx {
+		t.Fatalf("GCD worker saw context %v, want the submitter's", workerCtx)
+	}
+	// Async path too.
+	got := make(chan *eagl.Context, 1)
+	if err := q.Async(main, func(worker *kernel.Thread) {
+		got <- us.EAGL.CurrentContext(worker)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q.Drain()
+	if g := <-got; g != ctx {
+		t.Fatalf("async GCD worker saw context %v, want the submitter's", g)
+	}
+}
+
+func TestMultipleGLESVersionsSimultaneously(t *testing.T) {
+	// Paper §8: iOS allows one process to hold EAGLContexts on GLES v1 and
+	// v2 at the same time (natively, via the Apple library).
+	_, us := boot(t)
+	th := us.Proc.Main()
+	c2, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := us.EAGL.NewContext(th, eagl.APIGLES1)
+	if err != nil {
+		t.Fatalf("GLES1 context alongside GLES2 failed on native iOS: %v", err)
+	}
+	if c1.API() != eagl.APIGLES1 || c2.API() != eagl.APIGLES2 {
+		t.Fatal("API getters wrong")
+	}
+}
+
+func TestSharegroupSharesTexturesAcrossContexts(t *testing.T) {
+	_, us := boot(t)
+	th := us.Proc.Main()
+	a, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := us.EAGL.NewContextShared(th, eagl.APIGLES2, a.Sharegroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	us.EAGL.SetCurrentContext(th, a)
+	tex := us.GL.GenTextures(th, 1)
+	us.GL.BindTexture(th, tex[0])
+	us.GL.TexImage2D(th, 2, 2, gpu.FormatRGBA8888, nil)
+	us.EAGL.SetCurrentContext(th, b)
+	us.GL.BindTexture(th, tex[0])
+	us.GL.TexSubImage2D(th, 0, 0, 1, 1, gpu.FormatRGBA8888, []byte{1, 2, 3, 4})
+	if e := us.GL.GetError(th); e != engine.NoError {
+		t.Fatalf("sharegroup texture not shared: error %#x", e)
+	}
+}
+
+func TestEAGLScratchMethods(t *testing.T) {
+	_, us := boot(t)
+	th := us.Proc.Main()
+	ctx, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.IsMultiThreaded() {
+		t.Fatal("multithreaded defaults true")
+	}
+	ctx.SetMultiThreaded(true)
+	if !ctx.IsMultiThreaded() {
+		t.Fatal("setMultiThreaded: lost")
+	}
+	ctx.SetDebugLabel("game")
+	if ctx.DebugLabel() != "game" {
+		t.Fatal("debugLabel lost")
+	}
+	us.EAGL.SetCurrentContext(th, ctx)
+	if us.EAGL.CurrentContext(th) != ctx {
+		t.Fatal("currentContext wrong")
+	}
+	us.EAGL.SetCurrentContext(th, nil)
+	if us.EAGL.CurrentContext(th) != nil {
+		t.Fatal("currentContext not cleared")
+	}
+	// retain/release lifecycle: release drops to dealloc only at zero.
+	ctx.Retain()
+	if err := ctx.Release(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(th); err != nil {
+		t.Fatal(err) // final release -> dealloc
+	}
+	if us.EAGL.MethodCalls("dealloc") != 1 {
+		t.Fatal("dealloc not run exactly once")
+	}
+}
+
+func TestUnimplementedMethod(t *testing.T) {
+	_, us := boot(t)
+	th := us.Proc.Main()
+	ctx, err := us.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.TexImageIOSurface(th, nil); !errors.Is(err, eagl.ErrUnimplemented) {
+		t.Fatalf("err = %v, want ErrUnimplemented", err)
+	}
+}
+
+func TestEAGLMethodCensus(t *testing.T) {
+	// §5: 17 methods — 6 multi diplomats, 10 from scratch, 1 unimplemented.
+	counts := map[eagl.Impl]int{}
+	for _, impl := range eagl.Methods {
+		counts[impl]++
+	}
+	if len(eagl.Methods) != 17 {
+		t.Fatalf("EAGL methods = %d, want 17", len(eagl.Methods))
+	}
+	if counts[eagl.ImplMultiDiplomat] != 6 {
+		t.Fatalf("multi-diplomat methods = %d, want 6", counts[eagl.ImplMultiDiplomat])
+	}
+	if counts[eagl.ImplScratch] != 10 {
+		t.Fatalf("from-scratch methods = %d, want 10", counts[eagl.ImplScratch])
+	}
+	if counts[eagl.ImplUnimplemented] != 1 {
+		t.Fatalf("unimplemented methods = %d, want 1", counts[eagl.ImplUnimplemented])
+	}
+}
+
+func TestCoreGraphicsRequiresLock(t *testing.T) {
+	_, us := boot(t)
+	th := us.Proc.Main()
+	surf, err := us.Surfaces.Create(th, 16, 16, gpu.FormatRGBA8888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coregraphics.NewContext(th, surf); err == nil {
+		t.Fatal("CG context over unlocked surface succeeded")
+	}
+	if err := us.Surfaces.Lock(th, surf); err != nil {
+		t.Fatal(err)
+	}
+	cg, err := coregraphics.NewContext(th, surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.SetFill(gpu.RGBA{R: 255, A: 255})
+	cg.FillRect(th, 0, 0, 8, 8)
+	if err := us.Surfaces.Unlock(th, surf); err != nil {
+		t.Fatal(err)
+	}
+	if got := surf.BaseAddress().At(3, 3); got.R != 255 {
+		t.Fatalf("CG drawing lost: %v", got)
+	}
+}
+
+func TestIOSurfaceLifecycle(t *testing.T) {
+	sys, us := boot(t)
+	th := us.Proc.Main()
+	surf, err := us.Surfaces.Create(th, 8, 8, gpu.FormatRGBA8888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CoreSurface.Live() != 1 {
+		t.Fatal("surface not tracked in kernel")
+	}
+	if err := us.Surfaces.Lock(th, surf); err != nil {
+		t.Fatal(err)
+	}
+	if err := us.Surfaces.Lock(th, surf); err == nil {
+		t.Fatal("double lock succeeded")
+	}
+	if err := us.Surfaces.Unlock(th, surf); err != nil {
+		t.Fatal(err)
+	}
+	if err := us.Surfaces.Unlock(th, surf); err == nil {
+		t.Fatal("double unlock succeeded")
+	}
+	if err := us.Surfaces.Release(th, surf); err != nil {
+		t.Fatal(err)
+	}
+	if err := us.Surfaces.Release(th, surf); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	if sys.CoreSurface.Live() != 0 {
+		t.Fatal("surface leaked in kernel")
+	}
+}

@@ -1,0 +1,124 @@
+// Package native implements the EAGL backend of real iOS (the iPad mini
+// configuration): EAGLContexts map directly onto Apple vendor GLES contexts,
+// renderbuffer storage binds the CAEAGLLayer's IOSurface, and
+// presentRenderbuffer hands the surface to IOMobileFramebuffer over Mach IPC
+// — the "highly optimized hardware supported path" of §9.
+package native
+
+import (
+	"fmt"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/ios/applegles"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iokit"
+	"cycada/internal/sim/kernel"
+)
+
+// Backend is the native EAGL backend.
+type Backend struct {
+	vendor *applegles.VendorLib
+}
+
+// New creates the backend over the loaded Apple vendor library.
+func New(vendor *applegles.VendorLib) *Backend {
+	return &Backend{vendor: vendor}
+}
+
+// bctx is the backend state of one EAGLContext.
+type bctx struct {
+	ctx   *engine.Context
+	layer eagl.Drawable
+}
+
+// Name implements eagl.Backend.
+func (b *Backend) Name() string { return "ios-native" }
+
+// NewContext implements eagl.Backend.
+func (b *Backend) NewContext(t *kernel.Thread, api int, shareData any) (eagl.BackendContext, any, error) {
+	group, _ := shareData.(*engine.ShareGroup)
+	if group == nil {
+		group = engine.NewShareGroup()
+	}
+	ctx, err := b.vendor.Engine().CreateContext(t, api, group)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &bctx{ctx: ctx}, group, nil
+}
+
+// DestroyContext implements eagl.Backend.
+func (b *Backend) DestroyContext(t *kernel.Thread, bc eagl.BackendContext) error {
+	c, err := b.ctx(bc)
+	if err != nil {
+		return err
+	}
+	b.vendor.Engine().DestroyContext(c.ctx)
+	return nil
+}
+
+// MakeCurrent implements eagl.Backend; the Apple library's any-thread policy
+// makes cross-thread binds legal without impersonation.
+func (b *Backend) MakeCurrent(t *kernel.Thread, bc eagl.BackendContext) error {
+	if bc == nil {
+		return b.vendor.Engine().MakeCurrent(t, nil)
+	}
+	c, err := b.ctx(bc)
+	if err != nil {
+		return err
+	}
+	return b.vendor.Engine().MakeCurrent(t, c.ctx)
+}
+
+// RenderbufferStorageFromDrawable implements eagl.Backend: the bound
+// renderbuffer's storage becomes the layer's IOSurface, zero-copy.
+func (b *Backend) RenderbufferStorageFromDrawable(t *kernel.Thread, bc eagl.BackendContext, d eagl.Drawable) error {
+	c, err := b.ctx(bc)
+	if err != nil {
+		return err
+	}
+	surf := d.Surface()
+	if surf == nil {
+		return fmt.Errorf("native eagl: drawable has no IOSurface")
+	}
+	eng := b.vendor.Engine()
+	if eng.Current(t) != c.ctx {
+		return fmt.Errorf("native eagl: context not current on this thread")
+	}
+	eng.RenderbufferStorageFromImage(t, surf.BaseAddress())
+	c.layer = d
+	return nil
+}
+
+// PresentRenderbuffer implements eagl.Backend: a Mach call to
+// IOMobileFramebuffer scans the layer surface out.
+func (b *Backend) PresentRenderbuffer(t *kernel.Thread, bc eagl.BackendContext) error {
+	c, err := b.ctx(bc)
+	if err != nil {
+		return err
+	}
+	if c.layer == nil {
+		return fmt.Errorf("native eagl: presentRenderbuffer before renderbufferStorage:fromDrawable:")
+	}
+	// Drain rendering before scan-out, like a real driver.
+	b.vendor.Engine().Flush(t)
+	x, y := c.layer.Position()
+	_, err = t.MachCall(iokit.FramebufferService, iokit.MsgSwapSetLayer, iokit.PresentRequest{
+		Img: c.layer.Surface().BaseAddress(),
+		X:   x,
+		Y:   y,
+	})
+	return err
+}
+
+// Engine exposes the vendor engine (the iOS stack wires the GLES facade
+// through the vendor library's symbols; the engine is for assertions).
+func (b *Backend) Engine() *engine.Lib { return b.vendor.Engine() }
+
+func (b *Backend) ctx(bc eagl.BackendContext) (*bctx, error) {
+	c, ok := bc.(*bctx)
+	if !ok || c == nil {
+		return nil, fmt.Errorf("native eagl: foreign backend context %T", bc)
+	}
+	return c, nil
+}

@@ -1,0 +1,181 @@
+package jsvm
+
+// AST node definitions. Every node implementation is private; the engine's
+// public surface is source-in, value-out.
+
+type stmt interface{ stmtNode() }
+
+type (
+	varStmt struct {
+		decls []varDecl
+	}
+	varDecl struct {
+		name string
+		init expr // may be nil
+	}
+	funcDeclStmt struct {
+		name string
+		fn   *funcLit
+	}
+	exprStmt struct {
+		x expr
+	}
+	returnStmt struct {
+		x expr // may be nil
+	}
+	ifStmt struct {
+		cond expr
+		then stmt
+		els  stmt // may be nil
+	}
+	whileStmt struct {
+		cond expr
+		body stmt
+		post bool // do/while
+	}
+	forStmt struct {
+		init stmt // varStmt or exprStmt, may be nil
+		cond expr // may be nil
+		post expr // may be nil
+		body stmt
+	}
+	forInStmt struct {
+		varName string
+		obj     expr
+		body    stmt
+	}
+	blockStmt struct {
+		list []stmt
+	}
+	breakStmt    struct{}
+	continueStmt struct{}
+	switchStmt   struct {
+		tag    expr
+		cases  []switchCase
+		defIdx int // index of default case, -1 if none
+	}
+)
+
+type switchCase struct {
+	match expr // nil for default
+	body  []stmt
+}
+
+func (varStmt) stmtNode()      {}
+func (funcDeclStmt) stmtNode() {}
+func (exprStmt) stmtNode()     {}
+func (returnStmt) stmtNode()   {}
+func (ifStmt) stmtNode()       {}
+func (whileStmt) stmtNode()    {}
+func (forStmt) stmtNode()      {}
+func (forInStmt) stmtNode()    {}
+func (blockStmt) stmtNode()    {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+func (switchStmt) stmtNode()   {}
+
+type expr interface{ exprNode() }
+
+type (
+	numLit struct {
+		v float64
+	}
+	strLit struct {
+		v string
+	}
+	boolLit struct {
+		v bool
+	}
+	nullLit      struct{}
+	undefinedLit struct{}
+	regexLit     struct {
+		pattern string
+		flags   string
+	}
+	identExpr struct {
+		name string
+		line int
+	}
+	thisExpr struct{}
+	arrayLit struct {
+		elems []expr
+	}
+	objectLit struct {
+		keys []string
+		vals []expr
+	}
+	funcLit struct {
+		name   string // optional
+		params []string
+		body   []stmt
+	}
+	callExpr struct {
+		callee expr
+		args   []expr
+		line   int
+	}
+	newExpr struct {
+		callee expr
+		args   []expr
+		line   int
+	}
+	memberExpr struct {
+		obj  expr
+		name string
+		line int
+	}
+	indexExpr struct {
+		obj  expr
+		idx  expr
+		line int
+	}
+	binExpr struct {
+		op   string
+		l, r expr
+		line int
+	}
+	logicalExpr struct {
+		op   string // && or ||
+		l, r expr
+	}
+	unaryExpr struct {
+		op string // - ! ~ typeof delete +
+		x  expr
+	}
+	updateExpr struct {
+		op     string // ++ or --
+		prefix bool
+		target expr
+	}
+	assignExpr struct {
+		op     string // =, +=, ...
+		target expr   // identExpr, memberExpr or indexExpr
+		value  expr
+		line   int
+	}
+	condExpr struct {
+		cond, then, els expr
+	}
+)
+
+func (numLit) exprNode()       {}
+func (strLit) exprNode()       {}
+func (boolLit) exprNode()      {}
+func (nullLit) exprNode()      {}
+func (undefinedLit) exprNode() {}
+func (regexLit) exprNode()     {}
+func (identExpr) exprNode()    {}
+func (thisExpr) exprNode()     {}
+func (arrayLit) exprNode()     {}
+func (objectLit) exprNode()    {}
+func (funcLit) exprNode()      {}
+func (callExpr) exprNode()     {}
+func (newExpr) exprNode()      {}
+func (memberExpr) exprNode()   {}
+func (indexExpr) exprNode()    {}
+func (binExpr) exprNode()      {}
+func (logicalExpr) exprNode()  {}
+func (unaryExpr) exprNode()    {}
+func (updateExpr) exprNode()   {}
+func (assignExpr) exprNode()   {}
+func (condExpr) exprNode()     {}

@@ -1,0 +1,303 @@
+// Package jsvm implements the simulation's JavaScript engine: a
+// JavaScriptCore stand-in interpreting a JavaScript subset large enough to
+// run the SunSpider-like suite (Figure 5) and WebKit's page scripts.
+//
+// The engine has two execution modes mirroring JSC: baseline-"JIT" and
+// interpreter. At construction it requests writable executable memory from
+// the kernel, exactly like JSC's executable allocator; under Cycada the Mach
+// VM memory bug (paper §9) denies that mapping and the engine falls back to
+// the interpreter, charging ~4.5x more virtual time per operation — which
+// reproduces the Figure 5 slowdown, including the much larger regexp
+// penalty (the YARR regex JIT is lost too).
+package jsvm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokStr
+	tokIdent
+	tokKeyword
+	tokPunct
+	tokRegex
+)
+
+type token struct {
+	kind  tokKind
+	text  string
+	num   float64
+	line  int
+	flags string // regex flags
+}
+
+// SyntaxError is a parse failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("SyntaxError: line %d: %s", e.Line, e.Msg) }
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "return": true, "if": true, "else": true,
+	"while": true, "for": true, "break": true, "continue": true, "true": true,
+	"false": true, "null": true, "undefined": true, "new": true, "typeof": true,
+	"do": true, "switch": true, "case": true, "default": true, "in": true,
+	"this": true, "delete": true,
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+	// prev tracks the previous significant token to disambiguate regex
+	// literals from division.
+	prev token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		case c == '/' && l.regexAllowed():
+			if err := l.lexRegex(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(c) || c == '_' || c == '$':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '$') {
+				l.pos++
+			}
+			text := string(l.src[start:l.pos])
+			if keywords[text] {
+				l.emit(token{kind: tokKeyword, text: text, line: l.line})
+			} else {
+				l.emit(token{kind: tokIdent, text: text, line: l.line})
+			}
+		case unicode.IsDigit(c) || (c == '.' && unicode.IsDigit(l.peek(1))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) rune {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(t token) {
+	l.prev = t
+	l.toks = append(l.toks, t)
+}
+
+// regexAllowed reports whether a '/' here starts a regex literal (after an
+// operator or keyword) rather than division (after a value).
+func (l *lexer) regexAllowed() bool {
+	switch l.prev.kind {
+	case tokNum, tokStr, tokIdent, tokRegex:
+		return false
+	case tokKeyword:
+		return l.prev.text != "this" && l.prev.text != "true" && l.prev.text != "false" && l.prev.text != "null"
+	case tokPunct:
+		return l.prev.text != ")" && l.prev.text != "]" && l.prev.text != "}"
+	default:
+		return true
+	}
+}
+
+func (l *lexer) lexRegex() error {
+	line := l.line
+	l.pos++ // consume '/'
+	var b strings.Builder
+	inClass := false
+	for {
+		if l.pos >= len(l.src) || l.src[l.pos] == '\n' {
+			return &SyntaxError{Line: line, Msg: "unterminated regex literal"}
+		}
+		c := l.src[l.pos]
+		if c == '\\' {
+			b.WriteRune(c)
+			l.pos++
+			if l.pos < len(l.src) {
+				b.WriteRune(l.src[l.pos])
+				l.pos++
+			}
+			continue
+		}
+		if c == '[' {
+			inClass = true
+		}
+		if c == ']' {
+			inClass = false
+		}
+		if c == '/' && !inClass {
+			l.pos++
+			break
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	var flags strings.Builder
+	for l.pos < len(l.src) && (l.src[l.pos] == 'g' || l.src[l.pos] == 'i' || l.src[l.pos] == 'm') {
+		flags.WriteRune(l.src[l.pos])
+		l.pos++
+	}
+	l.emit(token{kind: tokRegex, text: b.String(), flags: flags.String(), line: line})
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '0' && (l.peek(1) == 'x' || l.peek(1) == 'X') {
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(string(l.src[start:l.pos]), "%v", &v); err != nil {
+			if _, err2 := fmt.Sscanf(string(l.src[start+2:l.pos]), "%x", &v); err2 != nil {
+				return &SyntaxError{Line: l.line, Msg: "bad hex literal"}
+			}
+		}
+		l.emit(token{kind: tokNum, num: float64(v), line: l.line})
+		return nil
+	}
+	for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	var f float64
+	if _, err := fmt.Sscanf(string(l.src[start:l.pos]), "%g", &f); err != nil {
+		return &SyntaxError{Line: l.line, Msg: "bad number literal"}
+	}
+	l.emit(token{kind: tokNum, num: f, line: l.line})
+	return nil
+}
+
+func isHex(c rune) bool {
+	return unicode.IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) lexString(quote rune) error {
+	line := l.line
+	l.pos++
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return &SyntaxError{Line: line, Msg: "unterminated string"}
+		}
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			break
+		}
+		if c == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return &SyntaxError{Line: line, Msg: "unterminated escape"}
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case 'r':
+				b.WriteRune('\r')
+			case '\\':
+				b.WriteRune('\\')
+			case '\'':
+				b.WriteRune('\'')
+			case '"':
+				b.WriteRune('"')
+			case '0':
+				b.WriteRune(0)
+			case 'u':
+				if l.pos+4 < len(l.src) {
+					var v uint32
+					fmt.Sscanf(string(l.src[l.pos+1:l.pos+5]), "%04x", &v)
+					b.WriteRune(rune(v))
+					l.pos += 4
+				}
+			default:
+				b.WriteRune(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			l.line++
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	l.emit(token{kind: tokStr, text: b.String(), line: line})
+	return nil
+}
+
+var puncts = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=", "&&", "||", "==", "!=", "<=",
+	">=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<",
+	">>", "{", "}", "(", ")", "[", "]", ";", ",", ".", "?", ":", "<", ">",
+	"+", "-", "*", "/", "%", "=", "!", "&", "|", "^", "~",
+}
+
+func (l *lexer) lexPunct() error {
+	rest := string(l.src[l.pos:min(l.pos+4, len(l.src))])
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			l.emit(token{kind: tokPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return nil
+		}
+	}
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", l.src[l.pos])}
+}

@@ -1,0 +1,685 @@
+package jsvm
+
+import "fmt"
+
+type parser struct {
+	toks  []token
+	pos   int
+	nodes int // parsed node count (drives compile cost in JIT mode)
+}
+
+func parse(src string) ([]stmt, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	var prog []stmt
+	for p.cur().kind != tokEOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, 0, err
+		}
+		prog = append(prog, s)
+	}
+	return prog, p.nodes, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(kind tokKind, text string) bool {
+	return p.cur().kind == kind && p.cur().text == text
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.is(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.is(kind, text) {
+		return p.cur(), &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf("expected %q, found %q", text, p.cur().text)}
+	}
+	return p.next(), nil
+}
+
+// semi consumes an optional statement-terminating semicolon.
+func (p *parser) semi() {
+	p.accept(tokPunct, ";")
+}
+
+func (p *parser) statement() (stmt, error) {
+	p.nodes++
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && t.text == "{":
+		return p.block()
+	case t.kind == tokPunct && t.text == ";":
+		p.pos++
+		return blockStmt{}, nil
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "var":
+			s, err := p.varStatement()
+			if err != nil {
+				return nil, err
+			}
+			p.semi()
+			return s, nil
+		case "function":
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := p.funcRest(name)
+			if err != nil {
+				return nil, err
+			}
+			return funcDeclStmt{name: name, fn: fn}, nil
+		case "return":
+			p.pos++
+			if p.is(tokPunct, ";") || p.is(tokPunct, "}") {
+				p.semi()
+				return returnStmt{}, nil
+			}
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.semi()
+			return returnStmt{x: x}, nil
+		case "if":
+			return p.ifStatement()
+		case "while":
+			p.pos++
+			cond, err := p.parenExpr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			return whileStmt{cond: cond, body: body}, nil
+		case "do":
+			p.pos++
+			body, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "while"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parenExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.semi()
+			return whileStmt{cond: cond, body: body, post: true}, nil
+		case "for":
+			return p.forStatement()
+		case "break":
+			p.pos++
+			p.semi()
+			return breakStmt{}, nil
+		case "continue":
+			p.pos++
+			p.semi()
+			return continueStmt{}, nil
+		case "switch":
+			return p.switchStatement()
+		}
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	p.semi()
+	return exprStmt{x: x}, nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", &SyntaxError{Line: p.cur().line, Msg: "expected identifier, found " + p.cur().text}
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) block() (stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var list []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "unterminated block"}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, s)
+	}
+	return blockStmt{list: list}, nil
+}
+
+func (p *parser) varStatement() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "var"); err != nil {
+		return nil, err
+	}
+	var decls []varDecl
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := varDecl{name: name}
+		if p.accept(tokPunct, "=") {
+			init, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			d.init = init
+		}
+		decls = append(decls, d)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return varStmt{decls: decls}, nil
+}
+
+func (p *parser) parenExpr() (expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	p.pos++ // if
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	var els stmt
+	if p.accept(tokKeyword, "else") {
+		els, err = p.statement()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ifStmt{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	p.pos++ // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	// for (var x in obj) / for (x in obj)
+	save := p.pos
+	if p.is(tokKeyword, "var") || p.cur().kind == tokIdent {
+		hasVar := p.accept(tokKeyword, "var")
+		if p.cur().kind == tokIdent {
+			name := p.next().text
+			if p.accept(tokKeyword, "in") {
+				obj, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				body, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				return forInStmt{varName: name, obj: obj, body: body}, nil
+			}
+		}
+		_ = hasVar
+		p.pos = save
+	}
+
+	var init stmt
+	if !p.is(tokPunct, ";") {
+		if p.is(tokKeyword, "var") {
+			s, err := p.varStatement()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+		} else {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			init = exprStmt{x: x}
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	var cond expr
+	if !p.is(tokPunct, ";") {
+		c, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		cond = c
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	var post expr
+	if !p.is(tokPunct, ")") {
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		post = x
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return forStmt{init: init, cond: cond, post: post, body: body}, nil
+}
+
+func (p *parser) switchStatement() (stmt, error) {
+	p.pos++ // switch
+	tag, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	out := switchStmt{tag: tag, defIdx: -1}
+	for !p.accept(tokPunct, "}") {
+		var c switchCase
+		if p.accept(tokKeyword, "case") {
+			m, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			c.match = m
+		} else if p.accept(tokKeyword, "default") {
+			out.defIdx = len(out.cases)
+		} else {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "expected case or default"}
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		for !p.is(tokKeyword, "case") && !p.is(tokKeyword, "default") && !p.is(tokPunct, "}") {
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			c.body = append(c.body, s)
+		}
+		out.cases = append(out.cases, c)
+	}
+	return out, nil
+}
+
+func (p *parser) funcRest(name string) (*funcLit, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.accept(tokPunct, ")") {
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, n)
+		if !p.accept(tokPunct, ",") && !p.is(tokPunct, ")") {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ) in parameter list"}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &funcLit{name: name, params: params, body: body.(blockStmt).list}, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expression() (expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (expr, error) {
+	p.nodes++
+	l, err := p.conditional()
+	if err != nil {
+		return nil, err
+	}
+	op := p.cur().text
+	if p.cur().kind == tokPunct {
+		switch op {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>=":
+			line := p.next().line
+			switch l.(type) {
+			case identExpr, memberExpr, indexExpr:
+			default:
+				return nil, &SyntaxError{Line: line, Msg: "invalid assignment target"}
+			}
+			r, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return assignExpr{op: op, target: l, value: r, line: line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) conditional() (expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "?") {
+		then, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		els, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		return condExpr{cond: c, then: then, els: els}, nil
+	}
+	return c, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7, "in": 7,
+	"<<": 8, ">>": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		op := t.text
+		if t.kind != tokPunct && !(t.kind == tokKeyword && op == "in") {
+			return l, nil
+		}
+		prec, ok := binPrec[op]
+		if !ok || prec <= minPrec {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.binary(prec)
+		if err != nil {
+			return nil, err
+		}
+		if op == "&&" || op == "||" {
+			l = logicalExpr{op: op, l: l, r: r}
+		} else {
+			l = binExpr{op: op, l: l, r: r, line: t.line}
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	p.nodes++
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "+":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return unaryExpr{op: t.text, x: x}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return updateExpr{op: t.text, prefix: true, target: x}, nil
+		}
+	}
+	if t.kind == tokKeyword && (t.text == "typeof" || t.text == "delete") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: t.text, x: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	x, err := p.callMember()
+	if err != nil {
+		return nil, err
+	}
+	if p.is(tokPunct, "++") || p.is(tokPunct, "--") {
+		op := p.next().text
+		return updateExpr{op: op, prefix: false, target: x}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) callMember() (expr, error) {
+	var x expr
+	var err error
+	if p.is(tokKeyword, "new") {
+		line := p.next().line
+		callee, err := p.callMemberNoCall()
+		if err != nil {
+			return nil, err
+		}
+		var args []expr
+		if p.accept(tokPunct, "(") {
+			args, err = p.argList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		x = newExpr{callee: callee, args: args, line: line}
+	} else {
+		x, err = p.primary()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "."):
+			if p.cur().kind != tokIdent && p.cur().kind != tokKeyword {
+				return nil, &SyntaxError{Line: p.cur().line, Msg: "expected property name"}
+			}
+			n := p.next()
+			x = memberExpr{obj: x, name: n.text, line: n.line}
+		case p.is(tokPunct, "["):
+			line := p.next().line
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = indexExpr{obj: x, idx: idx, line: line}
+		case p.is(tokPunct, "("):
+			line := p.next().line
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			x = callExpr{callee: x, args: args, line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// callMemberNoCall parses member chains without call suffixes (new targets).
+func (p *parser) callMemberNoCall() (expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, ".") {
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		x = memberExpr{obj: x, name: n}
+	}
+	return x, nil
+}
+
+func (p *parser) argList() ([]expr, error) {
+	var args []expr
+	for !p.accept(tokPunct, ")") {
+		a, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(tokPunct, ",") && !p.is(tokPunct, ")") {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ) in arguments"}
+		}
+	}
+	return args, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	p.nodes++
+	t := p.cur()
+	switch t.kind {
+	case tokNum:
+		p.pos++
+		return numLit{v: t.num}, nil
+	case tokStr:
+		p.pos++
+		return strLit{v: t.text}, nil
+	case tokRegex:
+		p.pos++
+		return regexLit{pattern: t.text, flags: t.flags}, nil
+	case tokIdent:
+		p.pos++
+		return identExpr{name: t.text, line: t.line}, nil
+	case tokKeyword:
+		switch t.text {
+		case "true", "false":
+			p.pos++
+			return boolLit{v: t.text == "true"}, nil
+		case "null":
+			p.pos++
+			return nullLit{}, nil
+		case "undefined":
+			p.pos++
+			return undefinedLit{}, nil
+		case "this":
+			p.pos++
+			return thisExpr{}, nil
+		case "function":
+			p.pos++
+			name := ""
+			if p.cur().kind == tokIdent {
+				name = p.next().text
+			}
+			fn, err := p.funcRest(name)
+			if err != nil {
+				return nil, err
+			}
+			return *fn, nil
+		}
+	case tokPunct:
+		switch t.text {
+		case "(":
+			p.pos++
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.pos++
+			var elems []expr
+			for !p.accept(tokPunct, "]") {
+				e, err := p.assignment()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if !p.accept(tokPunct, ",") && !p.is(tokPunct, "]") {
+					return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or ] in array literal"}
+				}
+			}
+			return arrayLit{elems: elems}, nil
+		case "{":
+			p.pos++
+			var lit objectLit
+			for !p.accept(tokPunct, "}") {
+				var key string
+				switch p.cur().kind {
+				case tokIdent, tokKeyword, tokStr:
+					key = p.next().text
+				case tokNum:
+					key = formatNumber(p.next().num)
+				default:
+					return nil, &SyntaxError{Line: p.cur().line, Msg: "expected property key"}
+				}
+				if _, err := p.expect(tokPunct, ":"); err != nil {
+					return nil, err
+				}
+				v, err := p.assignment()
+				if err != nil {
+					return nil, err
+				}
+				lit.keys = append(lit.keys, key)
+				lit.vals = append(lit.vals, v)
+				if !p.accept(tokPunct, ",") && !p.is(tokPunct, "}") {
+					return nil, &SyntaxError{Line: p.cur().line, Msg: "expected , or } in object literal"}
+				}
+			}
+			return lit, nil
+		}
+	}
+	return nil, &SyntaxError{Line: t.line, Msg: "unexpected token " + t.text}
+}

@@ -1,0 +1,533 @@
+package jsvm
+
+import (
+	"strings"
+
+	"cycada/internal/sim/vclock"
+)
+
+// A small backtracking regular-expression engine standing in for WebKit's
+// YARR. Supported syntax: literals, '.', escapes (\d \D \w \W \s \S and
+// escaped metacharacters), character classes with ranges and negation,
+// anchors ^ $, groups, alternation, and the greedy quantifiers * + ? {m,n}.
+//
+// The matcher counts backtracking steps; the engine charges each step at
+// the YARR-JIT rate or the interpreted rate depending on its mode, which is
+// what makes the regexp category of Figure 5 collapse hardest when the Mach
+// VM bug disables JIT.
+
+type reProg struct {
+	alt        [][]reNode
+	ignoreCase bool
+}
+
+type reNode interface{ reNode() }
+
+type (
+	reChar struct {
+		c byte
+	}
+	reAny   struct{}
+	reClass struct {
+		negated bool
+		ranges  []reRange
+	}
+	reGroup struct {
+		alt [][]reNode
+	}
+	reRepeat struct {
+		node     reNode
+		min, max int // max -1 = unbounded
+	}
+	reStart struct{}
+	reEnd   struct{}
+)
+
+type reRange struct{ lo, hi byte }
+
+func (reChar) reNode()   {}
+func (reAny) reNode()    {}
+func (reClass) reNode()  {}
+func (reGroup) reNode()  {}
+func (reRepeat) reNode() {}
+func (reStart) reNode()  {}
+func (reEnd) reNode()    {}
+
+// RegexError is a regex compilation failure.
+type RegexError struct{ Msg string }
+
+func (e *RegexError) Error() string { return "SyntaxError: invalid regular expression: " + e.Msg }
+
+type reParser struct {
+	src []byte
+	pos int
+}
+
+func compileRegexProg(pattern, flags string) (*reProg, error) {
+	p := &reParser{src: []byte(pattern)}
+	alt, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, &RegexError{Msg: "unexpected )"}
+	}
+	return &reProg{alt: alt, ignoreCase: strings.Contains(flags, "i")}, nil
+}
+
+func (p *reParser) alternation() ([][]reNode, error) {
+	var alts [][]reNode
+	for {
+		seq, err := p.sequence()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, seq)
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+			continue
+		}
+		return alts, nil
+	}
+}
+
+func (p *reParser) sequence() ([]reNode, error) {
+	var out []reNode
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		n, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		n, err = p.quantify(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (p *reParser) atom() (reNode, error) {
+	c := p.src[p.pos]
+	switch c {
+	case '^':
+		p.pos++
+		return reStart{}, nil
+	case '$':
+		p.pos++
+		return reEnd{}, nil
+	case '.':
+		p.pos++
+		return reAny{}, nil
+	case '(':
+		p.pos++
+		// Accept and ignore (?: non-capturing markers.
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '?' && p.src[p.pos+1] == ':' {
+			p.pos += 2
+		}
+		alt, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, &RegexError{Msg: "missing )"}
+		}
+		p.pos++
+		return reGroup{alt: alt}, nil
+	case '[':
+		return p.class()
+	case '\\':
+		p.pos++
+		if p.pos >= len(p.src) {
+			return nil, &RegexError{Msg: "trailing backslash"}
+		}
+		e := p.src[p.pos]
+		p.pos++
+		if cls, ok := escapeClass(e); ok {
+			return cls, nil
+		}
+		switch e {
+		case 'n':
+			return reChar{c: '\n'}, nil
+		case 't':
+			return reChar{c: '\t'}, nil
+		case 'r':
+			return reChar{c: '\r'}, nil
+		default:
+			return reChar{c: e}, nil
+		}
+	case '*', '+', '?':
+		return nil, &RegexError{Msg: "nothing to repeat"}
+	default:
+		p.pos++
+		return reChar{c: c}, nil
+	}
+}
+
+func escapeClass(e byte) (reNode, bool) {
+	switch e {
+	case 'd':
+		return reClass{ranges: []reRange{{'0', '9'}}}, true
+	case 'D':
+		return reClass{negated: true, ranges: []reRange{{'0', '9'}}}, true
+	case 'w':
+		return reClass{ranges: wordRanges}, true
+	case 'W':
+		return reClass{negated: true, ranges: wordRanges}, true
+	case 's':
+		return reClass{ranges: spaceRanges}, true
+	case 'S':
+		return reClass{negated: true, ranges: spaceRanges}, true
+	default:
+		return nil, false
+	}
+}
+
+var (
+	wordRanges  = []reRange{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}
+	spaceRanges = []reRange{{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}, {'\f', '\f'}, {'\v', '\v'}}
+)
+
+func (p *reParser) class() (reNode, error) {
+	p.pos++ // [
+	cls := reClass{}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		cls.negated = true
+		p.pos++
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return nil, &RegexError{Msg: "missing ]"}
+		}
+		c := p.src[p.pos]
+		if c == ']' {
+			p.pos++
+			return cls, nil
+		}
+		if c == '\\' {
+			p.pos++
+			if p.pos >= len(p.src) {
+				return nil, &RegexError{Msg: "trailing backslash in class"}
+			}
+			e := p.src[p.pos]
+			p.pos++
+			if sub, ok := escapeClass(e); ok {
+				cls.ranges = append(cls.ranges, sub.(reClass).ranges...)
+				continue
+			}
+			switch e {
+			case 'n':
+				e = '\n'
+			case 't':
+				e = '\t'
+			case 'r':
+				e = '\r'
+			}
+			cls.ranges = append(cls.ranges, reRange{e, e})
+			continue
+		}
+		p.pos++
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			p.pos += 2
+			cls.ranges = append(cls.ranges, reRange{c, hi})
+			continue
+		}
+		cls.ranges = append(cls.ranges, reRange{c, c})
+	}
+}
+
+func (p *reParser) quantify(n reNode) (reNode, error) {
+	if p.pos >= len(p.src) {
+		return n, nil
+	}
+	switch p.src[p.pos] {
+	case '*':
+		p.pos++
+		return reRepeat{node: n, min: 0, max: -1}, nil
+	case '+':
+		p.pos++
+		return reRepeat{node: n, min: 1, max: -1}, nil
+	case '?':
+		p.pos++
+		return reRepeat{node: n, min: 0, max: 1}, nil
+	case '{':
+		start := p.pos
+		p.pos++
+		m, ok1 := p.number()
+		n2 := m
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			if p.pos < len(p.src) && p.src[p.pos] == '}' {
+				n2 = -1
+			} else {
+				var ok2 bool
+				n2, ok2 = p.number()
+				if !ok2 {
+					p.pos = start
+					return n, nil
+				}
+			}
+		}
+		if !ok1 || p.pos >= len(p.src) || p.src[p.pos] != '}' {
+			p.pos = start
+			return n, nil
+		}
+		p.pos++
+		return reRepeat{node: n, min: m, max: n2}, nil
+	default:
+		return n, nil
+	}
+}
+
+func (p *reParser) number() (int, bool) {
+	start := p.pos
+	n := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		n = n*10 + int(p.src[p.pos]-'0')
+		p.pos++
+	}
+	return n, p.pos > start
+}
+
+// --- Matching ---
+
+type reMatcher struct {
+	s          string
+	ignoreCase bool
+	steps      int
+	limit      int
+}
+
+const reStepLimit = 5_000_000
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 32
+	}
+	return c
+}
+
+func (m *reMatcher) matchAlt(alt [][]reNode, pos int, k func(int) bool) bool {
+	for _, seq := range alt {
+		if m.matchSeq(seq, 0, pos, k) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *reMatcher) matchSeq(seq []reNode, i, pos int, k func(int) bool) bool {
+	m.steps++
+	if m.steps > m.limit {
+		return false
+	}
+	if i == len(seq) {
+		return k(pos)
+	}
+	next := func(p int) bool { return m.matchSeq(seq, i+1, p, k) }
+	switch n := seq[i].(type) {
+	case reChar:
+		if pos < len(m.s) && m.charEq(m.s[pos], n.c) {
+			return next(pos + 1)
+		}
+		return false
+	case reAny:
+		if pos < len(m.s) && m.s[pos] != '\n' {
+			return next(pos + 1)
+		}
+		return false
+	case reClass:
+		if pos < len(m.s) && m.classMatch(n, m.s[pos]) {
+			return next(pos + 1)
+		}
+		return false
+	case reStart:
+		if pos == 0 {
+			return next(pos)
+		}
+		return false
+	case reEnd:
+		if pos == len(m.s) {
+			return next(pos)
+		}
+		return false
+	case reGroup:
+		return m.matchAlt(n.alt, pos, next)
+	case reRepeat:
+		return m.matchRepeat(n, pos, next)
+	default:
+		return false
+	}
+}
+
+func (m *reMatcher) matchRepeat(r reRepeat, pos int, k func(int) bool) bool {
+	// Greedy: consume as many as possible, then backtrack.
+	var rec func(count, p int) bool
+	rec = func(count, p int) bool {
+		m.steps++
+		if m.steps > m.limit {
+			return false
+		}
+		if r.max < 0 || count < r.max {
+			matched := m.matchOne(r.node, p, func(p2 int) bool {
+				if p2 == p { // zero-width progress guard
+					return false
+				}
+				return rec(count+1, p2)
+			})
+			if matched {
+				return true
+			}
+		}
+		if count >= r.min {
+			return k(p)
+		}
+		return false
+	}
+	return rec(0, pos)
+}
+
+func (m *reMatcher) matchOne(n reNode, pos int, k func(int) bool) bool {
+	return m.matchSeq([]reNode{n}, 0, pos, k)
+}
+
+func (m *reMatcher) charEq(a, b byte) bool {
+	if m.ignoreCase {
+		return lowerByte(a) == lowerByte(b)
+	}
+	return a == b
+}
+
+func (m *reMatcher) classMatch(c reClass, b byte) bool {
+	in := false
+	for _, r := range c.ranges {
+		lo, hi := r.lo, r.hi
+		if m.ignoreCase {
+			if lowerByte(b) >= lowerByte(lo) && lowerByte(b) <= lowerByte(hi) {
+				in = true
+				break
+			}
+		}
+		if b >= lo && b <= hi {
+			in = true
+			break
+		}
+	}
+	return in != c.negated
+}
+
+// --- Engine-level regex entry points (charging per step) ---
+
+func (e *Engine) compileRegex(pattern, flags string) (*Regexp, error) {
+	prog, err := compileRegexProg(pattern, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &Regexp{Source: pattern, Flags: flags, prog: prog}, nil
+}
+
+func (e *Engine) chargeRegexSteps(steps int) {
+	c := e.t.Costs()
+	per := c.RegexStepSlow
+	if e.jit {
+		per = c.RegexStepFast
+	}
+	e.t.ChargeCPU(vclock.Duration(steps) * per)
+	e.regexSteps += int64(steps)
+}
+
+// regexSearch finds the leftmost match at or after from; start = -1 when
+// there is no match.
+func (e *Engine) regexSearch(re *Regexp, s string, from int) (start, end int, err error) {
+	m := &reMatcher{s: s, ignoreCase: re.prog.ignoreCase, limit: reStepLimit}
+	defer func() { e.chargeRegexSteps(m.steps) }()
+	for p := from; p <= len(s); p++ {
+		endPos := -1
+		if m.matchAlt(re.prog.alt, p, func(e2 int) bool { endPos = e2; return true }) {
+			return p, endPos, nil
+		}
+		if m.steps > m.limit {
+			return -1, 0, &RuntimeError{Msg: "regular expression too complex"}
+		}
+	}
+	return -1, 0, nil
+}
+
+// regexMatchAll returns all (global-flag style) matches.
+func (e *Engine) regexMatchAll(re *Regexp, s string) ([]string, error) {
+	var out []string
+	pos := 0
+	for pos <= len(s) {
+		start, end, err := e.regexSearch(re, s, pos)
+		if err != nil {
+			return nil, err
+		}
+		if start < 0 {
+			break
+		}
+		out = append(out, s[start:end])
+		if !re.Global() {
+			break
+		}
+		if end == start {
+			end++
+		}
+		pos = end
+	}
+	return out, nil
+}
+
+// regexReplace replaces the first (or all with /g) matches.
+func (e *Engine) regexReplace(re *Regexp, s, repl string) (string, error) {
+	var b strings.Builder
+	pos := 0
+	for pos <= len(s) {
+		start, end, err := e.regexSearch(re, s, pos)
+		if err != nil {
+			return "", err
+		}
+		if start < 0 {
+			break
+		}
+		b.WriteString(s[pos:start])
+		b.WriteString(repl)
+		if end == start {
+			if start < len(s) {
+				b.WriteByte(s[start])
+			}
+			end++
+		}
+		pos = end
+		if !re.Global() {
+			break
+		}
+	}
+	if pos <= len(s) {
+		b.WriteString(s[min(pos, len(s)):])
+	}
+	return b.String(), nil
+}
+
+// regexSplit splits s around matches.
+func (e *Engine) regexSplit(re *Regexp, s string) ([]string, error) {
+	var out []string
+	pos := 0
+	for pos <= len(s) {
+		start, end, err := e.regexSearch(re, s, pos)
+		if err != nil {
+			return nil, err
+		}
+		if start < 0 || end == start {
+			break
+		}
+		out = append(out, s[pos:start])
+		pos = end
+	}
+	out = append(out, s[min(pos, len(s)):])
+	return out, nil
+}

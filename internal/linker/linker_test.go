@@ -1,0 +1,322 @@
+package linker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// counterLib is a library whose instances carry private state, exposing
+// symbols that mutate and read it — the state DLR must not share between
+// replicas.
+type counterLib struct {
+	n         int
+	finalized bool
+}
+
+func (c *counterLib) Symbols() map[string]Fn {
+	return map[string]Fn{
+		"inc": func(t *kernel.Thread, args ...any) any { c.n++; return c.n },
+		"get": func(t *kernel.Thread, args ...any) any { return c.n },
+	}
+}
+
+func (c *counterLib) Finalize() { c.finalized = true }
+
+func testEnv(t *testing.T) (*kernel.Thread, *Linker) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("app", kernel.PersonaAndroid, kernel.PersonaIOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Main(), New(p)
+}
+
+func registerTree(t *testing.T, l *Linker) {
+	t.Helper()
+	// Mirrors the paper's example: libGLESv2_tegra.so -> libnvrm.so -> libnvos.so,
+	// with libc shared underneath.
+	for _, bp := range []*Blueprint{
+		{Name: "libc.so", Shared: true, New: newCounter},
+		{Name: "libnvos.so", Deps: []string{"libc.so"}, New: newCounter},
+		{Name: "libnvrm.so", Deps: []string{"libnvos.so"}, New: newCounter},
+		{Name: "libGLESv2_tegra.so", Deps: []string{"libnvrm.so", "libc.so"}, New: newCounter},
+	} {
+		l.MustRegister(bp)
+	}
+}
+
+func newCounter(ctx *LoadContext) (Instance, error) { return &counterLib{}, nil }
+
+func TestRegisterValidation(t *testing.T) {
+	_, l := testEnv(t)
+	if err := l.Register(&Blueprint{}); err == nil {
+		t.Fatal("empty blueprint registered")
+	}
+	bp := &Blueprint{Name: "a", New: newCounter}
+	if err := l.Register(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register(bp); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	if !l.Registered("a") || l.Registered("b") {
+		t.Fatal("Registered() wrong")
+	}
+}
+
+func TestDlopenSharesInstance(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	h1, err := l.Dlopen(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := l.Dlopen(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := l.MustSym(h1, "inc")
+	inc.Call(th)
+	got := l.MustSym(h2, "get").Call(th)
+	if got != 1 {
+		t.Fatalf("second handle saw %v, want shared state 1", got)
+	}
+	if l.ConstructorRuns("libGLESv2_tegra.so") != 1 {
+		t.Fatal("constructor ran more than once for shared dlopen")
+	}
+	if h1.NamespaceID() != 0 || h2.NamespaceID() != 0 {
+		t.Fatal("dlopen did not use the global namespace")
+	}
+}
+
+func TestDlforceCreatesIsolatedReplicas(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+
+	base, err := l.Dlopen(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := l.Dlforce(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Dlforce(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// State isolation: incrementing in one replica is invisible elsewhere.
+	l.MustSym(r1, "inc").Call(th)
+	l.MustSym(r1, "inc").Call(th)
+	if got := l.MustSym(r2, "get").Call(th); got != 0 {
+		t.Fatalf("replica 2 saw %v, want 0", got)
+	}
+	if got := l.MustSym(base, "get").Call(th); got != 0 {
+		t.Fatalf("base instance saw %v, want 0", got)
+	}
+
+	// Unique virtual addresses for every instance of every symbol (§8.1).
+	a0 := l.MustSym(base, "inc").Addr
+	a1 := l.MustSym(r1, "inc").Addr
+	a2 := l.MustSym(r2, "inc").Addr
+	if a0 == a1 || a1 == a2 || a0 == a2 {
+		t.Fatalf("symbol addresses not unique: %#x %#x %#x", a0, a1, a2)
+	}
+
+	// Constructors ran once per load (1 dlopen + 2 dlforce).
+	if got := l.ConstructorRuns("libGLESv2_tegra.so"); got != 3 {
+		t.Fatalf("constructor runs = %d, want 3", got)
+	}
+	// Dependencies replicated too.
+	if got := l.ConstructorRuns("libnvrm.so"); got != 3 {
+		t.Fatalf("libnvrm constructor runs = %d, want 3", got)
+	}
+	if got := l.ConstructorRuns("libnvos.so"); got != 3 {
+		t.Fatalf("libnvos constructor runs = %d, want 3", got)
+	}
+}
+
+func TestSharedLibcNeverReplicated(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	if _, err := l.Dlforce(th, "libGLESv2_tegra.so"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Dlforce(th, "libGLESv2_tegra.so"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ConstructorRuns("libc.so"); got != 1 {
+		t.Fatalf("libc constructor runs = %d, want 1 (footnote 1: single shared libc)", got)
+	}
+}
+
+func TestDlsymScopedToNamespace(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	r1, _ := l.Dlforce(th, "libGLESv2_tegra.so")
+
+	// Resolving a dependency's symbol through the replica handle must find
+	// the replica's private copy, not the global one.
+	base, _ := l.Dlopen(th, "libnvrm.so")
+	l.MustSym(base, "inc").Call(th) // mutate global libnvrm
+
+	depSym, err := l.Dlsym(r1, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "get" resolves to the root lib itself here; check a namespace lookup on
+	// the dep by asking LoadedIn.
+	libs := l.LoadedIn(r1)
+	want := []string{"libGLESv2_tegra.so", "libnvos.so", "libnvrm.so"}
+	if fmt.Sprint(libs) != fmt.Sprint(want) {
+		t.Fatalf("LoadedIn = %v, want %v", libs, want)
+	}
+	if got := depSym.Call(th); got != 0 {
+		t.Fatalf("replica state = %v, want 0", got)
+	}
+
+	if _, err := l.Dlsym(r1, "missing_symbol"); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("err = %v, want ErrNoSymbol", err)
+	}
+}
+
+func TestDlsymFindsSharedGlobalsFromReplica(t *testing.T) {
+	th, l := testEnv(t)
+	l.MustRegister(&Blueprint{Name: "libc.so", Shared: true, New: func(ctx *LoadContext) (Instance, error) {
+		return symMap{"malloc": func(t *kernel.Thread, args ...any) any { return "heap" }}, nil
+	}})
+	l.MustRegister(&Blueprint{Name: "libx.so", Deps: []string{"libc.so"}, New: newCounter})
+	h, err := l.Dlforce(th, "libx.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Dlsym(h, "malloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Call(th); got != "heap" {
+		t.Fatalf("malloc = %v", got)
+	}
+}
+
+type symMap map[string]Fn
+
+func (m symMap) Symbols() map[string]Fn { return m }
+
+func TestDependencyCycleDetected(t *testing.T) {
+	th, l := testEnv(t)
+	l.MustRegister(&Blueprint{Name: "a", Deps: []string{"b"}, New: newCounter})
+	l.MustRegister(&Blueprint{Name: "b", Deps: []string{"a"}, New: newCounter})
+	if _, err := l.Dlopen(th, "a"); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestMissingLibraryAndDependency(t *testing.T) {
+	th, l := testEnv(t)
+	if _, err := l.Dlopen(th, "nope.so"); err == nil {
+		t.Fatal("dlopen of unknown library succeeded")
+	}
+	l.MustRegister(&Blueprint{Name: "broken.so", Deps: []string{"gone.so"}, New: newCounter})
+	if _, err := l.Dlopen(th, "broken.so"); err == nil {
+		t.Fatal("dlopen with missing dependency succeeded")
+	}
+}
+
+func TestConstructorFailureUnwinds(t *testing.T) {
+	th, l := testEnv(t)
+	l.MustRegister(&Blueprint{Name: "bad.so", New: func(ctx *LoadContext) (Instance, error) {
+		return nil, fmt.Errorf("boom")
+	}})
+	if _, err := l.Dlopen(th, "bad.so"); err == nil {
+		t.Fatal("failed constructor not reported")
+	}
+	// A later open retries the constructor rather than returning a broken lib.
+	if _, err := l.Dlopen(th, "bad.so"); err == nil {
+		t.Fatal("second open should fail too")
+	}
+	if got := l.ConstructorRuns("bad.so"); got != 2 {
+		t.Fatalf("constructor runs = %d, want 2", got)
+	}
+}
+
+func TestDlcloseTearsDownReplicaNamespace(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	h, err := l.Dlforce(th, "libGLESv2_tegra.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := h.Instance().(*counterLib)
+	memBefore := th.Process().Mem().Bytes()
+	if err := l.Dlclose(h); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.finalized {
+		t.Fatal("finalizer did not run on replica teardown")
+	}
+	if got := th.Process().Mem().Bytes(); got >= memBefore {
+		t.Fatalf("replica images not unmapped: %d >= %d", got, memBefore)
+	}
+	if err := l.Dlclose(h); err == nil {
+		t.Fatal("double dlclose succeeded")
+	}
+}
+
+func TestDlcloseKeepsGlobalLibraries(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	h, _ := l.Dlopen(th, "libnvos.so")
+	l.MustSym(h, "inc").Call(th)
+	if err := l.Dlclose(h); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := l.Dlopen(th, "libnvos.so")
+	if got := l.MustSym(h2, "get").Call(th); got != 1 {
+		t.Fatalf("global library state lost on dlclose: %v", got)
+	}
+}
+
+func TestDlforceChargesMoreThanDlopen(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	before := th.VTime()
+	if _, err := l.Dlopen(th, "libGLESv2_tegra.so"); err != nil {
+		t.Fatal(err)
+	}
+	openCost := th.VTime() - before
+
+	before = th.VTime()
+	if _, err := l.Dlforce(th, "libGLESv2_tegra.so"); err != nil {
+		t.Fatal(err)
+	}
+	forceCost := th.VTime() - before
+	if forceCost <= openCost {
+		t.Fatalf("dlforce (%v) should cost more than a fresh dlopen tree (%v)", forceCost, openCost)
+	}
+}
+
+func TestSymbolAddressesWithinImage(t *testing.T) {
+	th, l := testEnv(t)
+	registerTree(t, l)
+	h, _ := l.Dlopen(th, "libnvos.so")
+	for _, name := range []string{"inc", "get"} {
+		s := l.MustSym(h, name)
+		if s.Addr <= h.BaseAddr() {
+			t.Fatalf("symbol %s addr %#x not above base %#x", name, s.Addr, h.BaseAddr())
+		}
+		m, ok := th.Process().Mem().Resolve(s.Addr)
+		if !ok {
+			t.Fatalf("symbol %s addr %#x not inside any mapping", name, s.Addr)
+		}
+		if m.Name != "lib:libnvos.so#0" {
+			t.Fatalf("symbol %s resolved to mapping %q", name, m.Name)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package minisl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cycada/internal/sim/gpu"
+)
+
+// Value is a runtime MiniSL value: a scalar/vector (width 1-4), a matrix,
+// or a sampler reference.
+type Value struct {
+	Width   int // 1..4 for float/vecN; 0 for mat4 and samplers
+	V       gpu.Vec4
+	M       *gpu.Mat4
+	Sampler *gpu.Texture
+}
+
+// Float makes a scalar value.
+func Float(f float32) Value { return Value{Width: 1, V: gpu.Vec4{f, f, f, f}} }
+
+// Vec makes a vector value of the given width from up to 4 components.
+func Vec(width int, comps ...float32) Value {
+	var v gpu.Vec4
+	copy(v[:], comps)
+	return Value{Width: width, V: v}
+}
+
+// Mat makes a matrix value.
+func Mat(m gpu.Mat4) Value { return Value{M: &m} }
+
+// Sampler makes a sampler value.
+func Sampler(t *gpu.Texture) Value { return Value{Sampler: t} }
+
+// Vec4 returns the value widened to 4 components (vec3 gets w=1 for
+// positions/colors, matching GLSL's common promotion in this simulator).
+func (v Value) Vec4() gpu.Vec4 {
+	out := v.V
+	if v.Width == 3 {
+		out[3] = 1
+	}
+	return out
+}
+
+// Program is a linked vertex+fragment shader pair.
+type Program struct {
+	VS, FS    *Shader
+	VaryNames []string // sorted; defines the varying slot order
+	varySlots map[string]int
+	Tokens    int
+}
+
+// LinkError is a GLES-style link failure.
+type LinkError struct{ Msg string }
+
+func (e *LinkError) Error() string { return "link error: " + e.Msg }
+
+// Link validates that every varying the fragment shader reads is written by
+// the vertex shader and assigns varying slots.
+func Link(vs, fs *Shader) (*Program, error) {
+	if vs == nil || fs == nil {
+		return nil, &LinkError{Msg: "missing shader"}
+	}
+	if vs.Kind != Vertex || fs.Kind != Fragment {
+		return nil, &LinkError{Msg: "shader kinds mismatched"}
+	}
+	vsVary := make(map[string]string, len(vs.Varyings))
+	for _, d := range vs.Varyings {
+		vsVary[d.Name] = d.Type
+	}
+	names := make([]string, 0, len(vs.Varyings))
+	for _, d := range fs.Varyings {
+		typ, ok := vsVary[d.Name]
+		if !ok {
+			return nil, &LinkError{Msg: "varying " + d.Name + " not written by vertex shader"}
+		}
+		if typ != d.Type {
+			return nil, &LinkError{Msg: "varying " + d.Name + " type mismatch"}
+		}
+	}
+	for n := range vsVary {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	slots := make(map[string]int, len(names))
+	for i, n := range names {
+		slots[n] = i
+	}
+	return &Program{VS: vs, FS: fs, VaryNames: names, varySlots: slots, Tokens: vs.Tokens + fs.Tokens}, nil
+}
+
+// env is an execution environment for one shader invocation.
+type env struct {
+	vars     map[string]Value
+	fetches  int
+	maxSteps int
+}
+
+type evalError struct {
+	line int
+	msg  string
+}
+
+func (e *evalError) Error() string { return fmt.Sprintf("runtime: line %d: %s", e.line, e.msg) }
+
+const defaultMaxSteps = 100000
+
+// RunVertex executes the vertex shader for one vertex. attribs and uniforms
+// are keyed by declaration name. It returns the clip-space position and the
+// varying values in slot order.
+func (p *Program) RunVertex(attribs, uniforms map[string]Value) (gpu.Vec4, []gpu.Vec4, error) {
+	e := &env{vars: make(map[string]Value, 8+len(attribs)+len(uniforms)), maxSteps: defaultMaxSteps}
+	for _, d := range p.VS.Attributes {
+		if v, ok := attribs[d.Name]; ok {
+			e.vars[d.Name] = v
+		} else {
+			e.vars[d.Name] = zeroOf(d.Type)
+		}
+	}
+	loadUniforms(e, p.VS.Uniforms, uniforms)
+	for _, d := range p.VS.Varyings {
+		e.vars[d.Name] = zeroOf(d.Type)
+	}
+	e.vars["gl_Position"] = Vec(4)
+	if err := e.runBlock(p.VS.body); err != nil {
+		return gpu.Vec4{}, nil, err
+	}
+	vary := make([]gpu.Vec4, len(p.VaryNames))
+	for i, n := range p.VaryNames {
+		vary[i] = e.vars[n].V
+	}
+	return e.vars["gl_Position"].V, vary, nil
+}
+
+// RunFragment executes the fragment shader for one fragment with varyings in
+// slot order. It returns gl_FragColor and the texture fetch count.
+func (p *Program) RunFragment(vary []gpu.Vec4, uniforms map[string]Value) (gpu.Vec4, int, error) {
+	e := &env{vars: make(map[string]Value, 8+len(uniforms)), maxSteps: defaultMaxSteps}
+	for i, n := range p.VaryNames {
+		d := declOf(p.VS.Varyings, n)
+		w := widthOf(d.Type)
+		if i < len(vary) {
+			e.vars[n] = Value{Width: w, V: vary[i]}
+		} else {
+			e.vars[n] = zeroOf(d.Type)
+		}
+	}
+	loadUniforms(e, p.FS.Uniforms, uniforms)
+	e.vars["gl_FragColor"] = Vec(4)
+	if err := e.runBlock(p.FS.body); err != nil {
+		return gpu.Vec4{}, 0, err
+	}
+	return e.vars["gl_FragColor"].V, e.fetches, nil
+}
+
+func loadUniforms(e *env, decls []Decl, uniforms map[string]Value) {
+	for _, d := range decls {
+		if v, ok := uniforms[d.Name]; ok {
+			e.vars[d.Name] = v
+		} else {
+			e.vars[d.Name] = zeroOf(d.Type)
+		}
+	}
+}
+
+func declOf(ds []Decl, name string) Decl {
+	for _, d := range ds {
+		if d.Name == name {
+			return d
+		}
+	}
+	return Decl{Name: name, Type: "vec4"}
+}
+
+func widthOf(typ string) int {
+	switch typ {
+	case "float":
+		return 1
+	case "vec2":
+		return 2
+	case "vec3":
+		return 3
+	default:
+		return 4
+	}
+}
+
+func zeroOf(typ string) Value {
+	switch typ {
+	case "mat4":
+		return Mat(gpu.Identity())
+	case "sampler2D":
+		return Value{}
+	default:
+		return Value{Width: widthOf(typ)}
+	}
+}
+
+func (e *env) runBlock(body []stmt) error {
+	for _, s := range body {
+		if err := e.runStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *env) runStmt(s stmt) error {
+	if e.maxSteps--; e.maxSteps <= 0 {
+		return &evalError{msg: "shader exceeded step limit"}
+	}
+	switch st := s.(type) {
+	case declStmt:
+		v := zeroOf(st.typ)
+		if st.init != nil {
+			iv, err := e.eval(st.init)
+			if err != nil {
+				return err
+			}
+			v = coerce(iv, st.typ)
+		}
+		e.vars[st.name] = v
+		return nil
+	case assignStmt:
+		v, err := e.eval(st.val)
+		if err != nil {
+			return err
+		}
+		cur, ok := e.vars[st.name]
+		if !ok {
+			return &evalError{line: st.line, msg: "assignment to undeclared " + st.name}
+		}
+		if st.swizzle == "" {
+			if cur.M != nil && v.M == nil {
+				return &evalError{line: st.line, msg: "cannot assign scalar to matrix " + st.name}
+			}
+			if cur.Width > 0 {
+				v = coerceWidth(v, cur.Width)
+			}
+			e.vars[st.name] = v
+			return nil
+		}
+		if len(st.swizzle) != 1 {
+			return &evalError{line: st.line, msg: "only single-component swizzle writes supported"}
+		}
+		idx := swizzleIndex(rune(st.swizzle[0]))
+		cur.V[idx] = v.V[0]
+		e.vars[st.name] = cur
+		return nil
+	case ifStmt:
+		c, err := e.eval(st.cond)
+		if err != nil {
+			return err
+		}
+		if c.V[0] != 0 {
+			return e.runBlock(st.then)
+		}
+		return e.runBlock(st.els)
+	case forStmt:
+		if err := e.runStmt(st.init); err != nil {
+			return err
+		}
+		for {
+			c, err := e.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if c.V[0] == 0 {
+				return nil
+			}
+			if err := e.runBlock(st.body); err != nil {
+				return err
+			}
+			if err := e.runStmt(st.post); err != nil {
+				return err
+			}
+			if e.maxSteps <= 0 {
+				return &evalError{msg: "shader loop exceeded step limit"}
+			}
+		}
+	default:
+		return &evalError{msg: fmt.Sprintf("unknown statement %T", s)}
+	}
+}
+
+func (e *env) eval(x expr) (Value, error) {
+	switch ex := x.(type) {
+	case numExpr:
+		return Float(ex.v), nil
+	case varExpr:
+		v, ok := e.vars[ex.name]
+		if !ok {
+			return Value{}, &evalError{line: ex.line, msg: "undefined variable " + ex.name}
+		}
+		return v, nil
+	case swizzleExpr:
+		base, err := e.eval(ex.base)
+		if err != nil {
+			return Value{}, err
+		}
+		var out gpu.Vec4
+		for i, c := range ex.sw {
+			out[i] = base.V[swizzleIndex(c)]
+		}
+		return Value{Width: len(ex.sw), V: out}, nil
+	case unaryExpr:
+		v, err := e.eval(ex.x)
+		if err != nil {
+			return Value{}, err
+		}
+		switch ex.op {
+		case "-":
+			return Value{Width: v.Width, V: v.V.Scale(-1)}, nil
+		case "!":
+			if v.V[0] == 0 {
+				return Float(1), nil
+			}
+			return Float(0), nil
+		}
+		return Value{}, &evalError{msg: "unknown unary " + ex.op}
+	case binExpr:
+		return e.evalBin(ex)
+	case callExpr:
+		return e.evalCall(ex)
+	default:
+		return Value{}, &evalError{msg: fmt.Sprintf("unknown expression %T", x)}
+	}
+}
+
+func (e *env) evalBin(ex binExpr) (Value, error) {
+	l, err := e.eval(ex.l)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.eval(ex.r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch ex.op {
+	case "<", ">", "<=", ">=", "==", "!=":
+		a, b := l.V[0], r.V[0]
+		res := false
+		switch ex.op {
+		case "<":
+			res = a < b
+		case ">":
+			res = a > b
+		case "<=":
+			res = a <= b
+		case ">=":
+			res = a >= b
+		case "==":
+			res = a == b
+		case "!=":
+			res = a != b
+		}
+		if res {
+			return Float(1), nil
+		}
+		return Float(0), nil
+	}
+	// Matrix forms.
+	if l.M != nil || r.M != nil {
+		if ex.op != "*" {
+			return Value{}, &evalError{line: ex.line, msg: "matrices support only *"}
+		}
+		switch {
+		case l.M != nil && r.M != nil:
+			return Mat(l.M.MulMat(*r.M)), nil
+		case l.M != nil:
+			return Value{Width: 4, V: l.M.MulVec(r.Vec4())}, nil
+		default:
+			return Value{}, &evalError{line: ex.line, msg: "vec*mat not supported; use mat*vec"}
+		}
+	}
+	// Scalar broadcast.
+	lw, rw := l.Width, r.Width
+	w := lw
+	if rw > w {
+		w = rw
+	}
+	lv, rv := broadcast(l, w), broadcast(r, w)
+	var out gpu.Vec4
+	switch ex.op {
+	case "+":
+		out = lv.Add(rv)
+	case "-":
+		out = lv.Sub(rv)
+	case "*":
+		out = lv.Mul(rv)
+	case "/":
+		for i := 0; i < 4; i++ {
+			if rv[i] != 0 {
+				out[i] = lv[i] / rv[i]
+			}
+		}
+	default:
+		return Value{}, &evalError{line: ex.line, msg: "unknown operator " + ex.op}
+	}
+	return Value{Width: w, V: out}, nil
+}
+
+func (e *env) evalCall(ex callExpr) (Value, error) {
+	args := make([]Value, len(ex.args))
+	for i, a := range ex.args {
+		v, err := e.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	bad := func(msg string) (Value, error) {
+		return Value{}, &evalError{line: ex.line, msg: ex.fn + ": " + msg}
+	}
+	switch ex.fn {
+	case "vec2", "vec3", "vec4":
+		w := int(ex.fn[3] - '0')
+		var comps []float32
+		for _, a := range args {
+			aw := a.Width
+			if aw == 0 {
+				aw = 1
+			}
+			// A single scalar argument splats (vec4(1.0)).
+			if len(args) == 1 && aw == 1 {
+				for i := 0; i < w; i++ {
+					comps = append(comps, a.V[0])
+				}
+				break
+			}
+			for i := 0; i < aw && len(comps) < w; i++ {
+				comps = append(comps, a.V[i])
+			}
+		}
+		if len(comps) < w {
+			return bad(fmt.Sprintf("needs %d components, got %d", w, len(comps)))
+		}
+		return Vec(w, comps...), nil
+	case "texture2D":
+		if len(args) != 2 {
+			return bad("needs (sampler, vec2)")
+		}
+		e.fetches++
+		c := args[0].Sampler.Sample(args[1].V[0], args[1].V[1])
+		return Value{Width: 4, V: c}, nil
+	case "clamp":
+		if len(args) != 3 {
+			return bad("needs 3 args")
+		}
+		var out gpu.Vec4
+		for i := 0; i < 4; i++ {
+			out[i] = minf(maxf(args[0].V[i], args[1].V[0]), args[2].V[0])
+		}
+		return Value{Width: args[0].Width, V: out}, nil
+	case "min", "max", "pow":
+		if len(args) != 2 {
+			return bad("needs 2 args")
+		}
+		w := args[0].Width
+		a, b := broadcast(args[0], w), broadcast(args[1], w)
+		var out gpu.Vec4
+		for i := 0; i < 4; i++ {
+			switch ex.fn {
+			case "min":
+				out[i] = minf(a[i], b[i])
+			case "max":
+				out[i] = maxf(a[i], b[i])
+			case "pow":
+				out[i] = float32(math.Pow(float64(a[i]), float64(b[i])))
+			}
+		}
+		return Value{Width: w, V: out}, nil
+	case "dot":
+		if len(args) != 2 {
+			return bad("needs 2 args")
+		}
+		var s float32
+		for i := 0; i < args[0].Width; i++ {
+			s += args[0].V[i] * args[1].V[i]
+		}
+		return Float(s), nil
+	case "mix":
+		if len(args) != 3 {
+			return bad("needs 3 args")
+		}
+		t := args[2].V[0]
+		w := args[0].Width
+		out := args[0].V.Scale(1 - t).Add(broadcast(args[1], w).Scale(t))
+		return Value{Width: w, V: out}, nil
+	case "fract", "floor", "abs", "sin", "cos":
+		if len(args) != 1 {
+			return bad("needs 1 arg")
+		}
+		var out gpu.Vec4
+		for i := 0; i < 4; i++ {
+			f := float64(args[0].V[i])
+			switch ex.fn {
+			case "fract":
+				out[i] = float32(f - math.Floor(f))
+			case "floor":
+				out[i] = float32(math.Floor(f))
+			case "abs":
+				out[i] = float32(math.Abs(f))
+			case "sin":
+				out[i] = float32(math.Sin(f))
+			case "cos":
+				out[i] = float32(math.Cos(f))
+			}
+		}
+		return Value{Width: args[0].Width, V: out}, nil
+	case "length":
+		if len(args) != 1 {
+			return bad("needs 1 arg")
+		}
+		var s float64
+		for i := 0; i < args[0].Width; i++ {
+			s += float64(args[0].V[i]) * float64(args[0].V[i])
+		}
+		return Float(float32(math.Sqrt(s))), nil
+	case "normalize":
+		if len(args) != 1 {
+			return bad("needs 1 arg")
+		}
+		var s float64
+		for i := 0; i < args[0].Width; i++ {
+			s += float64(args[0].V[i]) * float64(args[0].V[i])
+		}
+		n := float32(math.Sqrt(s))
+		if n == 0 {
+			return args[0], nil
+		}
+		return Value{Width: args[0].Width, V: args[0].V.Scale(1 / n)}, nil
+	default:
+		return bad("unknown function")
+	}
+}
+
+func coerce(v Value, typ string) Value {
+	if typ == "mat4" || typ == "sampler2D" {
+		return v
+	}
+	return coerceWidth(v, widthOf(typ))
+}
+
+func coerceWidth(v Value, w int) Value {
+	if v.Width == 1 && w > 1 {
+		return Value{Width: w, V: gpu.Vec4{v.V[0], v.V[0], v.V[0], v.V[0]}}
+	}
+	v.Width = w
+	return v
+}
+
+func broadcast(v Value, w int) gpu.Vec4 {
+	if v.Width == 1 && w > 1 {
+		return gpu.Vec4{v.V[0], v.V[0], v.V[0], v.V[0]}
+	}
+	return v.V
+}
+
+func swizzleIndex(c rune) int {
+	switch c {
+	case 'x', 'r':
+		return 0
+	case 'y', 'g':
+		return 1
+	case 'z', 'b':
+		return 2
+	default:
+		return 3
+	}
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package gpu
+
+import "math"
+
+// Stats counts the work a rendering operation performed. The GLES libraries
+// convert stats into virtual-time charges via the cost model, so "how
+// expensive was this call" always derives from real work done.
+type Stats struct {
+	Vertices    int // vertices transformed
+	Pixels      int // pixels written to the target
+	TexFetches  int // texture samples taken
+	Blended     int // pixels that went through the blend unit
+	ShaderEvals int // programmable fragment-shader invocations
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Vertices += o.Vertices
+	s.Pixels += o.Pixels
+	s.TexFetches += o.TexFetches
+	s.Blended += o.Blended
+	s.ShaderEvals += o.ShaderEvals
+}
+
+// BlendMode selects the framebuffer blend function.
+type BlendMode uint8
+
+// Supported blend modes.
+const (
+	BlendNone     BlendMode = iota // overwrite
+	BlendAlpha                     // src-alpha / one-minus-src-alpha
+	BlendAdditive                  // one / one
+)
+
+// RenderState is the fixed per-draw state.
+type RenderState struct {
+	Blend       BlendMode
+	DepthTest   bool
+	Scissor     bool
+	ScissorRect [4]int // x, y, w, h in target pixels
+	Viewport    [4]int // x, y, w, h
+}
+
+// Target is a framebuffer attachment set.
+type Target struct {
+	Color *Image
+	depth []float32
+}
+
+// NewTarget wraps a color image as a render target.
+func NewTarget(color *Image) *Target { return &Target{Color: color} }
+
+// Depth lazily allocates and returns the depth buffer, cleared to 1.0.
+func (t *Target) Depth() []float32 {
+	if t.depth == nil {
+		t.depth = make([]float32, t.Color.W*t.Color.H)
+		t.ClearDepth(1)
+	}
+	return t.depth
+}
+
+// ClearDepth resets every depth sample to d.
+func (t *Target) ClearDepth(d float32) {
+	if t.depth == nil {
+		t.depth = make([]float32, t.Color.W*t.Color.H)
+	}
+	for i := range t.depth {
+		t.depth[i] = d
+	}
+}
+
+// TVert is a transformed (clip-space) vertex with interpolated varyings.
+type TVert struct {
+	Pos  Vec4   // clip space
+	Vary []Vec4 // per-pipeline varying slots
+}
+
+// FragFn shades one fragment from interpolated varyings, returning the
+// color and the number of texture fetches it performed.
+type FragFn func(vary []Vec4) (Vec4, int)
+
+// Texture is a sampleable image.
+type Texture struct {
+	Img    *Image
+	Repeat bool // wrap mode: repeat (true) or clamp-to-edge
+}
+
+// Sample fetches the nearest texel at normalized coordinates (u, v), with
+// v=0 at the top row (matching how the GLES layer uploads data).
+func (t *Texture) Sample(u, v float32) Vec4 {
+	if t == nil || t.Img == nil {
+		return Vec4{0, 0, 0, 1}
+	}
+	if t.Repeat {
+		u = u - float32(math.Floor(float64(u)))
+		v = v - float32(math.Floor(float64(v)))
+	} else {
+		u = clampf(u, 0, 1)
+		v = clampf(v, 0, 1)
+	}
+	// Nearest sampling maps u in [i/W, (i+1)/W) to texel i, which makes a
+	// 1:1 fullscreen blit pixel-exact — the property the §9 "pixel for
+	// pixel" comparison between Cycada's shader-blit present and the native
+	// present relies on.
+	x := int(u * float32(t.Img.W))
+	if x >= t.Img.W {
+		x = t.Img.W - 1
+	}
+	y := int(v * float32(t.Img.H))
+	if y >= t.Img.H {
+		y = t.Img.H - 1
+	}
+	return t.Img.At(x, y).Vec()
+}
+
+// DrawTriangles rasterizes indexed triangles into dst. Vertices are in clip
+// space; the viewport maps NDC onto target pixels with y flipped so that
+// NDC +y is up, like OpenGL. Varyings are interpolated linearly in screen
+// space (no perspective correction; adequate for the simulated workloads).
+func DrawTriangles(dst *Target, verts []TVert, indices []int, frag FragFn, st RenderState) Stats {
+	var stats Stats
+	stats.Vertices = len(verts)
+	if dst == nil || dst.Color == nil || frag == nil {
+		return stats
+	}
+	vp := st.Viewport
+	if vp[2] == 0 || vp[3] == 0 {
+		vp = [4]int{0, 0, dst.Color.W, dst.Color.H}
+	}
+	var depth []float32
+	if st.DepthTest {
+		depth = dst.Depth()
+	}
+	type sv struct {
+		x, y, z float32
+		vary    []Vec4
+	}
+	toScreen := func(v TVert) sv {
+		w := v.Pos[3]
+		if w == 0 {
+			w = 1
+		}
+		nx, ny, nz := v.Pos[0]/w, v.Pos[1]/w, v.Pos[2]/w
+		return sv{
+			x:    float32(vp[0]) + (nx+1)/2*float32(vp[2]),
+			y:    float32(vp[1]) + (1-ny)/2*float32(vp[3]), // flip y
+			z:    nz*0.5 + 0.5,
+			vary: v.Vary,
+		}
+	}
+	img := dst.Color
+	for i := 0; i+2 < len(indices); i += 3 {
+		a := toScreen(verts[indices[i]])
+		b := toScreen(verts[indices[i+1]])
+		c := toScreen(verts[indices[i+2]])
+
+		area := (b.x-a.x)*(c.y-a.y) - (b.y-a.y)*(c.x-a.x)
+		if area == 0 {
+			continue
+		}
+		minX := int(math.Floor(float64(min3(a.x, b.x, c.x))))
+		maxX := int(math.Ceil(float64(max3(a.x, b.x, c.x))))
+		minY := int(math.Floor(float64(min3(a.y, b.y, c.y))))
+		maxY := int(math.Ceil(float64(max3(a.y, b.y, c.y))))
+		if minX < 0 {
+			minX = 0
+		}
+		if minY < 0 {
+			minY = 0
+		}
+		if maxX > img.W-1 {
+			maxX = img.W - 1
+		}
+		if maxY > img.H-1 {
+			maxY = img.H - 1
+		}
+		if st.Scissor {
+			sr := st.ScissorRect
+			if minX < sr[0] {
+				minX = sr[0]
+			}
+			if minY < sr[1] {
+				minY = sr[1]
+			}
+			if maxX >= sr[0]+sr[2] {
+				maxX = sr[0] + sr[2] - 1
+			}
+			if maxY >= sr[1]+sr[3] {
+				maxY = sr[1] + sr[3] - 1
+			}
+		}
+		inv := 1 / area
+		nvary := len(a.vary)
+		vary := make([]Vec4, nvary)
+		for y := minY; y <= maxY; y++ {
+			for x := minX; x <= maxX; x++ {
+				px, py := float32(x)+0.5, float32(y)+0.5
+				w0 := ((b.x-px)*(c.y-py) - (b.y-py)*(c.x-px)) * inv
+				w1 := ((c.x-px)*(a.y-py) - (c.y-py)*(a.x-px)) * inv
+				w2 := 1 - w0 - w1
+				if w0 < 0 || w1 < 0 || w2 < 0 {
+					continue
+				}
+				if depth != nil {
+					z := w0*a.z + w1*b.z + w2*c.z
+					di := y*img.W + x
+					if z > depth[di] {
+						continue
+					}
+					depth[di] = z
+				}
+				for vi := 0; vi < nvary; vi++ {
+					vary[vi] = a.vary[vi].Scale(w0).Add(b.vary[vi].Scale(w1)).Add(c.vary[vi].Scale(w2))
+				}
+				col, fetches := frag(vary)
+				stats.TexFetches += fetches
+				stats.ShaderEvals++
+				src := FromVec(col)
+				switch st.Blend {
+				case BlendAlpha:
+					img.Set(x, y, blend(src, img.At(x, y)))
+					stats.Blended++
+				case BlendAdditive:
+					d := img.At(x, y)
+					img.Set(x, y, RGBA{
+						R: addSat(src.R, d.R), G: addSat(src.G, d.G),
+						B: addSat(src.B, d.B), A: addSat(src.A, d.A),
+					})
+					stats.Blended++
+				default:
+					img.Set(x, y, src)
+				}
+				stats.Pixels++
+			}
+		}
+	}
+	return stats
+}
+
+// DrawLines rasterizes index pairs as 1px lines with a constant color from
+// the fragment function evaluated per pixel (varyings interpolated).
+func DrawLines(dst *Target, verts []TVert, indices []int, frag FragFn, st RenderState) Stats {
+	var stats Stats
+	stats.Vertices = len(verts)
+	if dst == nil || dst.Color == nil || frag == nil {
+		return stats
+	}
+	vp := st.Viewport
+	if vp[2] == 0 || vp[3] == 0 {
+		vp = [4]int{0, 0, dst.Color.W, dst.Color.H}
+	}
+	img := dst.Color
+	screen := func(v TVert) (float32, float32) {
+		w := v.Pos[3]
+		if w == 0 {
+			w = 1
+		}
+		return float32(vp[0]) + (v.Pos[0]/w+1)/2*float32(vp[2]),
+			float32(vp[1]) + (1-v.Pos[1]/w)/2*float32(vp[3])
+	}
+	nvary := 0
+	if len(verts) > 0 {
+		nvary = len(verts[0].Vary)
+	}
+	vary := make([]Vec4, nvary)
+	for i := 0; i+1 < len(indices); i += 2 {
+		va, vb := verts[indices[i]], verts[indices[i+1]]
+		x0, y0 := screen(va)
+		x1, y1 := screen(vb)
+		steps := int(math.Max(math.Abs(float64(x1-x0)), math.Abs(float64(y1-y0)))) + 1
+		for s := 0; s <= steps; s++ {
+			t := float32(s) / float32(steps)
+			x, y := int(x0+(x1-x0)*t), int(y0+(y1-y0)*t)
+			if x < 0 || y < 0 || x >= img.W || y >= img.H {
+				continue
+			}
+			for vi := 0; vi < nvary; vi++ {
+				vary[vi] = va.Vary[vi].Scale(1 - t).Add(vb.Vary[vi].Scale(t))
+			}
+			col, fetches := frag(vary)
+			stats.TexFetches += fetches
+			stats.ShaderEvals++
+			src := FromVec(col)
+			if st.Blend == BlendAlpha {
+				img.Set(x, y, blend(src, img.At(x, y)))
+				stats.Blended++
+			} else {
+				img.Set(x, y, src)
+			}
+			stats.Pixels++
+		}
+	}
+	return stats
+}
+
+func min3(a, b, c float32) float32 {
+	return float32(math.Min(float64(a), math.Min(float64(b), float64(c))))
+}
+func max3(a, b, c float32) float32 {
+	return float32(math.Max(float64(a), math.Max(float64(b), float64(c))))
+}
+
+func addSat(a, b uint8) uint8 {
+	s := uint16(a) + uint16(b)
+	if s > 255 {
+		return 255
+	}
+	return uint8(s)
+}

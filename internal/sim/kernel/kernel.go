@@ -1,0 +1,191 @@
+// Package kernel simulates the operating-system kernel(s) of the Cycada
+// system: processes, threads, per-thread personas with separate TLS areas,
+// syscall dispatch with per-ABI entry paths, Mach IPC, Binder transactions
+// and ioctl devices.
+//
+// A Cycada thread has two personas — a foreign (iOS) one and a domestic
+// (Android) one — each selecting a kernel ABI personality and a TLS area
+// (paper §1, §3). The kernel implements the three Cycada syscalls the paper
+// introduces: set_persona (diplomat steps 4 and 8), and locate_tls /
+// propagate_tls (thread impersonation, §7.1).
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/sim/vclock"
+)
+
+// Persona is a thread execution mode: it selects the kernel ABI personality
+// and the TLS area used while the thread executes (paper §1).
+type Persona uint8
+
+// The two personas of the paper. PersonaNone is the zero value.
+const (
+	PersonaNone    Persona = iota
+	PersonaAndroid         // domestic
+	PersonaIOS             // foreign
+)
+
+// String implements fmt.Stringer.
+func (p Persona) String() string {
+	switch p {
+	case PersonaAndroid:
+		return "android"
+	case PersonaIOS:
+		return "ios"
+	default:
+		return "none"
+	}
+}
+
+// Device is an ioctl-capable driver node ("opaque ioctls", paper §2).
+type Device interface {
+	// Ioctl handles one command. Both cmd and arg are intentionally opaque,
+	// mirroring the proprietary driver interfaces the paper describes.
+	Ioctl(t *Thread, cmd uint32, arg any) (any, error)
+}
+
+// MachService is a kernel service reachable via Mach IPC (I/O Kit drivers
+// such as IOCoreSurface and IOMobileFramebuffer).
+type MachService interface {
+	MachCall(t *Thread, msgID uint32, body any) (any, error)
+}
+
+// BinderService is a service reachable via Binder transactions
+// (SurfaceFlinger and friends).
+type BinderService interface {
+	Transact(t *Thread, code uint32, data any) (any, error)
+}
+
+// Kernel is a simulated kernel instance. Its flavour selects the syscall
+// entry path behaviour measured in Table 3.
+type Kernel struct {
+	clock  *vclock.Clock
+	costs  *vclock.CostModel
+	plat   vclock.Platform
+	flavor vclock.KernelFlavor
+
+	mu       sync.Mutex
+	devices  map[string]Device
+	mach     map[string]MachService
+	binder   map[string]BinderService
+	procs    map[int]*Process
+	nextPID  int
+	syscalls atomic.Int64
+}
+
+// Config describes a kernel to create.
+type Config struct {
+	Platform vclock.Platform
+	Costs    *vclock.CostModel
+	Clock    *vclock.Clock // optional; a fresh clock is created when nil
+	// Flavor overrides the platform's kernel flavour (used to build the
+	// Cycada kernel on Nexus 7 hardware). Zero keeps the platform default.
+	Flavor vclock.KernelFlavor
+}
+
+// New creates a kernel.
+func New(cfg Config) *Kernel {
+	if cfg.Costs == nil {
+		cfg.Costs = vclock.DefaultCosts()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewClock()
+	}
+	flavor := cfg.Flavor
+	if flavor == 0 {
+		flavor = cfg.Platform.Kernel
+	}
+	return &Kernel{
+		clock:   cfg.Clock,
+		costs:   cfg.Costs,
+		plat:    cfg.Platform,
+		flavor:  flavor,
+		devices: make(map[string]Device),
+		mach:    make(map[string]MachService),
+		binder:  make(map[string]BinderService),
+		procs:   make(map[int]*Process),
+	}
+}
+
+// Clock returns the kernel's virtual clock.
+func (k *Kernel) Clock() *vclock.Clock { return k.clock }
+
+// Costs returns the cost model in effect.
+func (k *Kernel) Costs() *vclock.CostModel { return k.costs }
+
+// Platform returns the hardware profile the kernel runs on.
+func (k *Kernel) Platform() vclock.Platform { return k.plat }
+
+// Flavor returns the kernel flavour (stock Linux, Cycada, XNU).
+func (k *Kernel) Flavor() vclock.KernelFlavor { return k.flavor }
+
+// SyscallCount reports the total number of syscalls dispatched; used by the
+// micro-benchmark harness and tests.
+func (k *Kernel) SyscallCount() int64 { return k.syscalls.Load() }
+
+// RegisterDevice installs an ioctl device node under a path such as
+// "/dev/nvhost-gr3d" or "/dev/gralloc".
+func (k *Kernel) RegisterDevice(path string, d Device) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.devices[path] = d
+}
+
+// RegisterMachService installs an I/O Kit style service reachable by name.
+func (k *Kernel) RegisterMachService(name string, s MachService) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.mach[name] = s
+}
+
+// RegisterBinderService installs a Binder service reachable by name.
+func (k *Kernel) RegisterBinderService(name string, s BinderService) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.binder[name] = s
+}
+
+func (k *Kernel) device(path string) (Device, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	d, ok := k.devices[path]
+	if !ok {
+		return nil, fmt.Errorf("kernel: no device %q", path)
+	}
+	return d, nil
+}
+
+func (k *Kernel) machService(name string) (MachService, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s, ok := k.mach[name]
+	if !ok {
+		return nil, fmt.Errorf("kernel: no mach service %q", name)
+	}
+	return s, nil
+}
+
+func (k *Kernel) binderService(name string) (BinderService, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s, ok := k.binder[name]
+	if !ok {
+		return nil, fmt.Errorf("kernel: no binder service %q", name)
+	}
+	return s, nil
+}
+
+// Processes returns a snapshot of live processes.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"fmt"
+
+	"cycada/internal/sim/mem"
+	"cycada/internal/sim/vclock"
+)
+
+// Errors returned by syscalls.
+var (
+	ErrBadPersona = fmt.Errorf("kernel: persona not available to this process")
+	ErrNoThread   = fmt.Errorf("kernel: no such thread")
+)
+
+// trap charges the kernel entry cost for the calling thread: the Table 3
+// "Null Syscall" differences come from here. Stock Linux has a single cheap
+// entry path; the Cycada kernel checks the calling persona (domestic) or
+// additionally translates the foreign ABI (iOS); XNU pays for the
+// return-to-user protection logic the paper attributes to the iPad.
+func (k *Kernel) trap(t *Thread) {
+	k.syscalls.Add(1)
+	c := k.costs
+	var d vclock.Duration
+	switch k.flavor {
+	case vclock.KernelLinuxStock:
+		d = c.SyscallEntryLinux
+	case vclock.KernelCycada:
+		if t.Persona() == PersonaIOS {
+			d = c.SyscallEntryCycadaIOS
+		} else {
+			d = c.SyscallEntryCycada
+		}
+	case vclock.KernelXNU:
+		d = c.SyscallEntryXNU
+	default:
+		d = c.SyscallEntryLinux
+	}
+	t.ChargeCPU(d)
+}
+
+// Null is the lmbench-style null syscall: it enters the kernel and performs
+// no work (Table 3).
+func (t *Thread) Null() {
+	t.proc.k.trap(t)
+}
+
+// SetPersona switches the calling thread's kernel ABI personality and TLS
+// area pointer (the new set_persona syscall, paper §3 steps 4 and 8).
+func (t *Thread) SetPersona(p Persona) error {
+	k := t.proc.k
+	k.trap(t)
+	if !t.proc.HasPersona(p) {
+		t.SetErrno(int(EINVAL))
+		return fmt.Errorf("set_persona(%v) in %v: %w", p, t, ErrBadPersona)
+	}
+	t.ChargeCPU(k.costs.PersonaSwitch)
+	t.mu.Lock()
+	t.cur = p
+	t.mu.Unlock()
+	return nil
+}
+
+// LocateTLS extracts TLS slot values from any persona in which a target
+// thread has executed (the new locate_tls syscall, paper §7.1).
+func (t *Thread) LocateTLS(targetTID int, p Persona, slots []int) (map[int]any, error) {
+	k := t.proc.k
+	k.trap(t)
+	target, ok := t.proc.Thread(targetTID)
+	if !ok {
+		return nil, fmt.Errorf("locate_tls(tid=%d): %w", targetTID, ErrNoThread)
+	}
+	vals, err := target.snapshotTLS(p, slots)
+	if err != nil {
+		return nil, err
+	}
+	t.ChargeCPU(vclock.Duration(len(vals)) * k.costs.TLSSlotCopy)
+	return vals, nil
+}
+
+// PropagateTLS pushes TLS slot values into any persona of a target thread
+// (the new propagate_tls syscall, paper §7.1).
+func (t *Thread) PropagateTLS(targetTID int, p Persona, vals map[int]any) error {
+	k := t.proc.k
+	k.trap(t)
+	target, ok := t.proc.Thread(targetTID)
+	if !ok {
+		return fmt.Errorf("propagate_tls(tid=%d): %w", targetTID, ErrNoThread)
+	}
+	t.ChargeCPU(vclock.Duration(len(vals)) * k.costs.TLSSlotCopy)
+	return target.storeTLS(p, vals)
+}
+
+// Ioctl issues an opaque ioctl against a device node.
+func (t *Thread) Ioctl(path string, cmd uint32, arg any) (any, error) {
+	k := t.proc.k
+	k.trap(t)
+	t.ChargeCPU(k.costs.IoctlDispatch)
+	dev, err := k.device(path)
+	if err != nil {
+		t.SetErrno(int(ENODEV))
+		return nil, err
+	}
+	return dev.Ioctl(t, cmd, arg)
+}
+
+// MachCall sends an opaque Mach IPC message to an I/O Kit style service and
+// waits for the reply (paper §2: "opaque Mach IPC calls").
+func (t *Thread) MachCall(service string, msgID uint32, body any) (any, error) {
+	k := t.proc.k
+	k.trap(t)
+	t.ChargeCPU(k.costs.MachMsg)
+	s, err := k.machService(service)
+	if err != nil {
+		return nil, err
+	}
+	return s.MachCall(t, msgID, body)
+}
+
+// BinderCall performs a Binder transaction against a named service.
+func (t *Thread) BinderCall(service string, code uint32, data any) (any, error) {
+	k := t.proc.k
+	k.trap(t)
+	t.ChargeCPU(k.costs.BinderTxn)
+	s, err := k.binderService(service)
+	if err != nil {
+		return nil, err
+	}
+	return s.Transact(t, code, data)
+}
+
+// Mmap allocates simulated memory in the process address space, charging per
+// mapped page. JavaScript engines use it with mem.ProtExec for JIT code; the
+// Cycada Mach VM bug is modelled by mem.Space.DenyExecutable.
+func (t *Thread) Mmap(size uint64, prot mem.Prot, name string) (*mem.Mapping, error) {
+	k := t.proc.k
+	k.trap(t)
+	m, err := t.proc.mem.Map(size, prot, name)
+	if err != nil {
+		t.SetErrno(int(ENOMEM))
+		return nil, err
+	}
+	t.ChargeCPU(vclock.Duration(m.Size/mem.PageSize) * k.costs.PageMap)
+	return m, nil
+}
+
+// Munmap releases a mapping created with Mmap.
+func (t *Thread) Munmap(m *mem.Mapping) error {
+	k := t.proc.k
+	k.trap(t)
+	return t.proc.mem.Unmap(m)
+}
+
+// Errno values shared by both ABIs in the simulation. The diplomat machinery
+// converts between domestic and foreign errno representations; the simulation
+// keeps one numbering and models the conversion cost.
+type Errno int
+
+// POSIX-ish errno values used by the simulated stacks.
+const (
+	OK     Errno = 0
+	EINVAL Errno = 22
+	ENODEV Errno = 19
+	ENOMEM Errno = 12
+	EBUSY  Errno = 16
+	ENOENT Errno = 2
+)

@@ -1,0 +1,238 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/sim/vclock"
+)
+
+// TLSArea is one persona's thread-local storage: "an array of void pointers
+// unique to each persona of thread. Each array entry is a slot" (paper §7.1).
+// Slot 0 is reserved by the system for errno.
+type TLSArea struct {
+	slots map[int]any
+}
+
+// ErrnoSlot is the reserved system slot holding the thread-local errno.
+const ErrnoSlot = 0
+
+func newTLSArea() *TLSArea {
+	return &TLSArea{slots: map[int]any{ErrnoSlot: 0}}
+}
+
+// Thread is a simulated thread. A thread belongs to one goroutine at a time;
+// its TLS is additionally mutated cross-thread by the impersonation syscalls,
+// so TLS access is internally locked.
+type Thread struct {
+	proc *Process
+	tid  int
+	name string
+
+	mu  sync.Mutex
+	cur Persona
+	tls map[Persona]*TLSArea
+	imp *Thread // thread being impersonated, nil when none (paper §7.1)
+
+	vt atomic.Int64 // virtual time accumulated by this thread
+}
+
+// TID returns the thread ID.
+func (t *Thread) TID() int { return t.tid }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.proc.k }
+
+// Persona returns the thread's current execution mode.
+func (t *Thread) Persona() Persona {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+// IsGroupLeader reports whether t is the process's main thread.
+func (t *Thread) IsGroupLeader() bool { return t == t.proc.leader }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	return fmt.Sprintf("%s/%s(tid=%d)", t.proc.name, t.name, t.tid)
+}
+
+// VTime reports the virtual time this thread has consumed.
+func (t *Thread) VTime() vclock.Duration { return vclock.Duration(t.vt.Load()) }
+
+// ChargeRaw charges unscaled virtual time to the thread and system clock.
+func (t *Thread) ChargeRaw(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.vt.Add(int64(d))
+	t.proc.k.clock.Advance(d)
+}
+
+// ChargeCPU charges CPU-side work scaled by the platform CPU factor.
+func (t *Thread) ChargeCPU(d vclock.Duration) { t.ChargeRaw(t.proc.k.plat.CPU(d)) }
+
+// ChargeGPU charges GPU-side work scaled by the platform GPU factor.
+func (t *Thread) ChargeGPU(d vclock.Duration) { t.ChargeRaw(t.proc.k.plat.GPU(d)) }
+
+// Costs returns the kernel cost model, for userspace components that charge
+// fine-grained costs.
+func (t *Thread) Costs() *vclock.CostModel { return t.proc.k.costs }
+
+// --- TLS access (userspace fast path: no kernel trap) ---
+
+// TLSGet reads a slot of the thread's TLS in the given persona.
+func (t *Thread) TLSGet(p Persona, slot int) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.tls[p]
+	if !ok {
+		return nil, false
+	}
+	v, ok := a.slots[slot]
+	return v, ok
+}
+
+// TLSSet writes a slot of the thread's TLS in the given persona.
+func (t *Thread) TLSSet(p Persona, slot int, v any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.tls[p]
+	if !ok {
+		return fmt.Errorf("kernel: %v has no %v persona TLS", t, p)
+	}
+	a.slots[slot] = v
+	return nil
+}
+
+// TLSDelete removes a slot's value in the given persona.
+func (t *Thread) TLSDelete(p Persona, slot int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.tls[p]; ok {
+		delete(a.slots, slot)
+	}
+}
+
+// Errno returns the thread-local errno of the current persona.
+func (t *Thread) Errno() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, _ := t.tls[t.cur].slots[ErrnoSlot].(int)
+	return v
+}
+
+// SetErrno sets the thread-local errno of the current persona.
+func (t *Thread) SetErrno(e int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tls[t.cur].slots[ErrnoSlot] = e
+}
+
+// ErrnoIn reads errno from a specific persona's TLS area.
+func (t *Thread) ErrnoIn(p Persona) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.tls[p]; ok {
+		v, _ := a.slots[ErrnoSlot].(int)
+		return v
+	}
+	return 0
+}
+
+// SetErrnoIn sets errno in a specific persona's TLS area (diplomat step 9
+// converts the domestic errno into the foreign TLS area).
+func (t *Thread) SetErrnoIn(p Persona, e int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.tls[p]; ok {
+		a.slots[ErrnoSlot] = e
+	}
+}
+
+// BeginImpersonation makes t temporarily assume the identity of target:
+// identity-sensitive checks (such as Android's creator-only GLES context
+// policy) observe the target thread while active (paper §7.1). Nested
+// impersonation is rejected.
+func (t *Thread) BeginImpersonation(target *Thread) error {
+	if target == nil || target == t {
+		return fmt.Errorf("kernel: invalid impersonation target")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.imp != nil {
+		return fmt.Errorf("kernel: %v already impersonating %v", t, t.imp)
+	}
+	t.imp = target
+	return nil
+}
+
+// EndImpersonation drops the assumed identity.
+func (t *Thread) EndImpersonation() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.imp = nil
+}
+
+// Impersonating returns the impersonation target, nil when none.
+func (t *Thread) Impersonating() *Thread {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.imp
+}
+
+// Effective returns the thread whose identity t currently presents: the
+// impersonation target while impersonating, otherwise t itself.
+func (t *Thread) Effective() *Thread {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.imp != nil {
+		return t.imp
+	}
+	return t
+}
+
+// snapshotTLS copies the values of the requested slots from one persona's
+// TLS area. Called under the kernel's locate_tls syscall.
+func (t *Thread) snapshotTLS(p Persona, slots []int) (map[int]any, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.tls[p]
+	if !ok {
+		return nil, fmt.Errorf("kernel: %v has no %v persona TLS", t, p)
+	}
+	out := make(map[int]any, len(slots))
+	for _, s := range slots {
+		if v, ok := a.slots[s]; ok {
+			out[s] = v
+		}
+	}
+	return out, nil
+}
+
+// storeTLS writes slot values into one persona's TLS area. Called under the
+// kernel's propagate_tls syscall.
+func (t *Thread) storeTLS(p Persona, vals map[int]any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.tls[p]
+	if !ok {
+		return fmt.Errorf("kernel: %v has no %v persona TLS", t, p)
+	}
+	for s, v := range vals {
+		if v == nil {
+			delete(a.slots, s)
+			continue
+		}
+		a.slots[s] = v
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package mem simulates per-process virtual address spaces.
+//
+// Dynamic library replication (DLR, paper §8.1) requires that every replica
+// of a library occupy "its own virtual memory space" with "unique virtual
+// addresses for each instance of every symbol". The simulation does not map
+// real memory; it hands out non-overlapping address ranges so the linker can
+// assign — and tests can verify — unique addresses per replica, and so the
+// kernel can account for mapping costs and JIT (executable) mappings.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the simulated page granularity.
+const PageSize = 4096
+
+// Prot describes the protection bits of a mapping.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// String implements fmt.Stringer.
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Mapping is one allocated region of a Space.
+type Mapping struct {
+	Base uint64
+	Size uint64
+	Prot Prot
+	Name string // e.g. "lib:libGLESv2_tegra.so#2" or "jit"
+}
+
+// End returns the first address past the mapping.
+func (m Mapping) End() uint64 { return m.Base + m.Size }
+
+// Space is a simulated process address space. The zero value is not usable;
+// call NewSpace. All methods are safe for concurrent use.
+type Space struct {
+	mu       sync.Mutex
+	next     uint64
+	mappings map[uint64]*Mapping
+
+	// denyExec simulates the Cycada Mach VM bug (paper §9) that prevents
+	// JavaScriptCore's JIT from obtaining writable executable memory.
+	// File-backed read-execute library images are unaffected.
+	denyExec bool
+}
+
+// NewSpace returns an empty address space. Allocation starts at a non-zero
+// base so address 0 can represent NULL.
+func NewSpace() *Space {
+	return &Space{next: 0x4000_0000, mappings: make(map[uint64]*Mapping)}
+}
+
+// DenyExecutable makes all future executable mappings fail, simulating the
+// Mach VM memory bug that disables JIT under Cycada.
+func (s *Space) DenyExecutable(deny bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.denyExec = deny
+}
+
+// ErrExecDenied is returned when an executable mapping is refused.
+var ErrExecDenied = fmt.Errorf("mem: executable mapping denied")
+
+// Map allocates a region of at least size bytes (rounded up to pages) and
+// returns it. Map never reuses addresses, so two live or dead mappings never
+// alias — the property DLR relies on.
+func (s *Space) Map(size uint64, prot Prot, name string) (*Mapping, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: zero-size mapping %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prot&ProtExec != 0 && prot&ProtWrite != 0 && s.denyExec {
+		return nil, fmt.Errorf("map %q: %w", name, ErrExecDenied)
+	}
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+	m := &Mapping{Base: s.next, Size: size, Prot: prot, Name: name}
+	s.next += size + PageSize // guard page between mappings
+	s.mappings[m.Base] = m
+	return m, nil
+}
+
+// Unmap releases a mapping. The address range is never reused.
+func (s *Space) Unmap(m *Mapping) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mappings[m.Base]; !ok {
+		return fmt.Errorf("mem: unmap of unknown mapping %#x (%s)", m.Base, m.Name)
+	}
+	delete(s.mappings, m.Base)
+	return nil
+}
+
+// Resolve returns the live mapping containing addr, if any.
+func (s *Space) Resolve(addr uint64) (*Mapping, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.mappings {
+		if addr >= m.Base && addr < m.End() {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Mappings returns the live mappings sorted by base address.
+func (s *Space) Mappings() []Mapping {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Mapping, 0, len(s.mappings))
+	for _, m := range s.mappings {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Bytes reports the total size of live mappings.
+func (s *Space) Bytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, m := range s.mappings {
+		n += m.Size
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAssignsUniqueRanges(t *testing.T) {
+	s := NewSpace()
+	a, err := s.Map(100, ProtRead|ProtWrite, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Map(100, ProtRead|ProtWrite, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base == b.Base {
+		t.Fatal("two mappings share a base address")
+	}
+	if a.End() > b.Base && b.End() > a.Base {
+		t.Fatalf("mappings overlap: %+v %+v", a, b)
+	}
+}
+
+func TestMapRoundsToPages(t *testing.T) {
+	s := NewSpace()
+	m, err := s.Map(1, ProtRead, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != PageSize {
+		t.Fatalf("Size = %d, want %d", m.Size, PageSize)
+	}
+}
+
+func TestMapZeroSizeFails(t *testing.T) {
+	if _, err := NewSpace().Map(0, ProtRead, "z"); err == nil {
+		t.Fatal("zero-size Map succeeded")
+	}
+}
+
+func TestUnmapAndResolve(t *testing.T) {
+	s := NewSpace()
+	m, _ := s.Map(PageSize, ProtRead, "m")
+	if got, ok := s.Resolve(m.Base + 10); !ok || got.Name != "m" {
+		t.Fatalf("Resolve = %v, %v; want mapping m", got, ok)
+	}
+	if err := s.Unmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Resolve(m.Base); ok {
+		t.Fatal("Resolve found an unmapped region")
+	}
+	if err := s.Unmap(m); err == nil {
+		t.Fatal("double Unmap succeeded")
+	}
+}
+
+func TestAddressesNeverReused(t *testing.T) {
+	s := NewSpace()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		m, err := s.Map(PageSize, ProtRead, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Base] {
+			t.Fatalf("base %#x reused", m.Base)
+		}
+		seen[m.Base] = true
+		if err := s.Unmap(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDenyExecutable(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Map(PageSize, ProtRead|ProtWrite|ProtExec, "jit"); err != nil {
+		t.Fatalf("rwx map should succeed by default: %v", err)
+	}
+	s.DenyExecutable(true)
+	_, err := s.Map(PageSize, ProtRead|ProtWrite|ProtExec, "jit")
+	if !errors.Is(err, ErrExecDenied) {
+		t.Fatalf("err = %v, want ErrExecDenied", err)
+	}
+	// The Mach VM bug only hits writable executable (JIT) memory: plain rw
+	// heap and read-execute library images still map.
+	if _, err := s.Map(PageSize, ProtRead|ProtWrite, "heap"); err != nil {
+		t.Fatalf("rw map failed under exec denial: %v", err)
+	}
+	if _, err := s.Map(PageSize, ProtRead|ProtExec, "lib:libfoo.so"); err != nil {
+		t.Fatalf("r-x library map failed under exec denial: %v", err)
+	}
+	s.DenyExecutable(false)
+	if _, err := s.Map(PageSize, ProtWrite|ProtExec, "jit2"); err != nil {
+		t.Fatalf("wx map failed after re-enable: %v", err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	s := NewSpace()
+	m1, _ := s.Map(PageSize, ProtRead, "a")
+	s.Map(3*PageSize, ProtRead, "b")
+	if got := s.Bytes(); got != 4*PageSize {
+		t.Fatalf("Bytes = %d, want %d", got, 4*PageSize)
+	}
+	s.Unmap(m1)
+	if got := s.Bytes(); got != 3*PageSize {
+		t.Fatalf("Bytes after unmap = %d, want %d", got, 3*PageSize)
+	}
+}
+
+func TestMappingsSorted(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 5; i++ {
+		s.Map(PageSize, ProtRead, "m")
+	}
+	ms := s.Mappings()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Base >= ms[i].Base {
+			t.Fatal("Mappings not sorted by base")
+		}
+	}
+}
+
+func TestProtString(t *testing.T) {
+	cases := map[Prot]string{
+		0:                               "---",
+		ProtRead:                        "r--",
+		ProtRead | ProtWrite:            "rw-",
+		ProtRead | ProtWrite | ProtExec: "rwx",
+		ProtExec:                        "--x",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+// Property: for any sequence of sizes, all live mappings are pairwise
+// disjoint and page-aligned.
+func TestDisjointnessProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace()
+		for _, sz := range sizes {
+			if sz == 0 {
+				continue
+			}
+			if _, err := s.Map(uint64(sz), ProtRead, "p"); err != nil {
+				return false
+			}
+		}
+		ms := s.Mappings()
+		for i := range ms {
+			if ms[i].Base%PageSize != 0 {
+				return false
+			}
+			for j := i + 1; j < len(ms); j++ {
+				if ms[i].End() > ms[j].Base && ms[j].End() > ms[i].Base {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package vclock
+
+// CostModel holds every virtual-time constant the simulation charges. The
+// constants are calibrated so that the paper's Table 3 micro-benchmarks are
+// reproduced on the Nexus 7 platform profile and so that the per-function
+// GLES profiles (Figures 7-10) land in the right order of magnitude; see
+// EXPERIMENTS.md for the calibration notes. All values are per-occurrence
+// virtual durations before platform scaling.
+type CostModel struct {
+	// Kernel entry paths (Table 3, "Null Syscall"). A null syscall charges
+	// exactly one of these depending on kernel flavour and calling persona.
+	SyscallEntryLinux     Duration // stock Android kernel trap
+	SyscallEntryCycada    Duration // Cycada kernel trap, domestic (Android) persona
+	SyscallEntryCycadaIOS Duration // Cycada kernel trap, foreign (iOS) persona
+	SyscallEntryXNU       Duration // iPad XNU trap incl. return-to-user protection
+	SyscallArgTranslate   Duration // per-argument foreign ABI translation
+	MachMsg               Duration // one Mach IPC round trip (on top of trap)
+	BinderTxn             Duration // one Binder transaction (on top of trap)
+	IoctlDispatch         Duration // driver ioctl demux on top of trap
+	PersonaSwitch         Duration // TLS area pointer + ABI personality swap
+	TLSSlotCopy           Duration // migrating one TLS slot between threads
+	PageMap               Duration // mapping one simulated page
+
+	// Userspace call machinery (Table 3, "Diplomatic Calls").
+	FnCall         Duration // a plain same-persona function call
+	SymbolDeref    Duration // calling through a cached dlsym pointer
+	ArgSave        Duration // stashing arguments on the stack (diplomat step 3)
+	ArgRestore     Duration // restoring arguments (step 5)
+	RetSaveRestore Duration // saving + restoring the return value (steps 7, 11)
+	ErrnoConvert   Duration // converting domestic TLS errno to foreign (step 9)
+	PreludeEmpty   Duration // dispatching an empty prelude or postlude
+	GLPrelude      Duration // the GLES prelude (TLS hook gating, replica select)
+	GLPostlude     Duration // the GLES postlude
+	DlopenBase     Duration // loading one library (shared path)
+	DlforcePerLib  Duration // instantiating one replica library (DLR)
+	LibConstructor Duration // running one library constructor
+
+	// GPU / rasterizer work (Figures 7-10 shapes).
+	PerVertex          Duration // transform + clip one vertex
+	PerPixelFlat       Duration // fill one pixel, fixed function, no texture
+	PerPixelTextured   Duration // fill one pixel with a texture fetch
+	PerPixelShaded     Duration // fill one pixel through a MiniSL fragment shader
+	PerPixelBlend      Duration // additional cost when blending is enabled
+	PerTexelUpload     Duration // glTexImage/glTexSubImage per texel
+	PerTexelDelete     Duration // texture teardown (gralloc unmap) per texel
+	PerPixelPresent    Duration // eglSwapBuffers scan-out per pixel
+	PerPixelCopyTex    Duration // aegl_bridge_copy_tex_buf per pixel
+	PerPixelHWPresent  Duration // iOS IOMobileFramebuffer hardware present per pixel
+	PerPixelCPUDraw    Duration // CoreGraphics / canvas software draw per pixel
+	PerPixelCPUDrawIOS Duration // CoreGraphics is costlier than Android's canvas
+	ShaderCompileTok   Duration // glCompileShader / glLinkProgram per source token
+	ShaderLinkBase     Duration // glLinkProgram fixed cost
+	GLCallBase         Duration // command-build cost of any GLES entry point
+	FlushBase          Duration // glFlush fixed cost
+	FlushDrainFrac     float64  // fraction of un-flushed raster work charged at sync
+	FenceOp            Duration // APPLE_fence / NV_fence set or test
+
+	// JavaScript engine (Figure 5 shape).
+	JSOpInterp     Duration // one interpreted VM operation
+	JSOpJIT        Duration // one baseline-JIT ("compiled closure") operation
+	JSCompilePerOp Duration // baseline-JIT compile cost per AST node
+	RegexStepSlow  Duration // one backtracking step, interpreted matcher
+	RegexStepFast  Duration // one backtracking step, YARR-like compiled matcher
+}
+
+// DefaultCosts returns the calibrated cost model shared by all platform
+// profiles; platform differences come from Platform factors, kernel flavour
+// and library behaviour, not from per-platform cost tables.
+func DefaultCosts() *CostModel {
+	return &CostModel{
+		SyscallEntryLinux:     225 * Nanosecond,
+		SyscallEntryCycada:    244 * Nanosecond,
+		SyscallEntryCycadaIOS: 305 * Nanosecond,
+		SyscallEntryXNU:       442 * Nanosecond, // ×1.3 iPad CPU factor ≈ 575ns
+		SyscallArgTranslate:   6 * Nanosecond,
+		MachMsg:               650 * Nanosecond,
+		BinderTxn:             800 * Nanosecond,
+		IoctlDispatch:         120 * Nanosecond,
+		PersonaSwitch:         40 * Nanosecond,
+		TLSSlotCopy:           18 * Nanosecond,
+		PageMap:               90 * Nanosecond,
+
+		FnCall:         9 * Nanosecond,
+		SymbolDeref:    18 * Nanosecond,
+		ArgSave:        35 * Nanosecond,
+		ArgRestore:     35 * Nanosecond,
+		RetSaveRestore: 60 * Nanosecond,
+		ErrnoConvert:   39 * Nanosecond,
+		PreludeEmpty:   6 * Nanosecond,
+		GLPrelude:      52 * Nanosecond,
+		GLPostlude:     53 * Nanosecond,
+		DlopenBase:     12 * Microsecond,
+		DlforcePerLib:  45 * Microsecond,
+		LibConstructor: 8 * Microsecond,
+
+		// Per-pixel costs are calibrated for the simulation's 1/16-scale
+		// framebuffer (320x200 vs the Nexus 7's 1280x800): they are roughly
+		// 16x a real device's per-pixel cost so that full-screen operations
+		// land at the absolute magnitudes the paper profiles (Figures 7-10).
+		PerVertex:          180 * Nanosecond,
+		PerPixelFlat:       8 * Nanosecond,
+		PerPixelTextured:   3 * Nanosecond,
+		PerPixelShaded:     3 * Nanosecond,
+		PerPixelBlend:      2 * Nanosecond,
+		PerTexelUpload:     7 * Nanosecond,
+		PerTexelDelete:     20 * Nanosecond,
+		PerPixelPresent:    12 * Nanosecond,
+		PerPixelCopyTex:    30 * Nanosecond,
+		PerPixelHWPresent:  12 * Nanosecond, // panel scan-out, same as EGL present
+		PerPixelCPUDraw:    6 * Nanosecond,
+		PerPixelCPUDrawIOS: 9 * Nanosecond,
+		ShaderCompileTok:   4 * Microsecond,
+		ShaderLinkBase:     180 * Microsecond,
+		GLCallBase:         400 * Nanosecond,
+		FlushBase:          20 * Microsecond,
+		FlushDrainFrac:     0.35,
+		FenceOp:            2 * Microsecond,
+
+		JSOpInterp:     45 * Nanosecond,
+		JSOpJIT:        10 * Nanosecond,
+		JSCompilePerOp: 220 * Nanosecond,
+		RegexStepSlow:  95 * Nanosecond,
+		RegexStepFast:  6 * Nanosecond,
+	}
+}
+
+// KernelFlavor selects the syscall entry path a platform's kernel uses.
+type KernelFlavor int
+
+// Kernel flavours (Table 3 rows).
+const (
+	KernelLinuxStock KernelFlavor = iota + 1 // stock Android Linux
+	KernelCycada                             // Cycada-patched Linux (dual ABI)
+	KernelXNU                                // iPad mini XNU
+)
+
+// String implements fmt.Stringer.
+func (f KernelFlavor) String() string {
+	switch f {
+	case KernelLinuxStock:
+		return "linux-stock"
+	case KernelCycada:
+		return "linux-cycada"
+	case KernelXNU:
+		return "xnu"
+	default:
+		return "unknown-kernel"
+	}
+}
+
+// Platform describes one hardware/OS profile from the evaluation.
+type Platform struct {
+	Name      string
+	CPUFactor float64 // >1 means a slower CPU (costs scaled up)
+	GPUFactor float64 // >1 means a slower GPU
+	Kernel    KernelFlavor
+}
+
+// The two devices used in the paper's evaluation. The Nexus 7 CPU was pinned
+// at 1.3GHz; the iPad mini tops out at 1.0GHz, hence the 1.3 CPU factor. The
+// iPad's SGX543MP2 is modelled as modestly faster than the Tegra 3 GPU for
+// shader-bound 3D work, which matches the complex-3D results in Figure 6.
+func Nexus7() Platform {
+	return Platform{Name: "nexus7", CPUFactor: 1.0, GPUFactor: 1.0, Kernel: KernelLinuxStock}
+}
+
+// IPadMini returns the iPad mini platform profile.
+func IPadMini() Platform {
+	return Platform{Name: "ipad-mini", CPUFactor: 1.3, GPUFactor: 0.7, Kernel: KernelXNU}
+}
+
+// CPU scales a CPU-side cost by the platform's CPU factor.
+func (p Platform) CPU(d Duration) Duration { return scale(d, p.CPUFactor) }
+
+// GPU scales a GPU-side cost by the platform's GPU factor.
+func (p Platform) GPU(d Duration) Duration { return scale(d, p.GPUFactor) }
+
+func scale(d Duration, f float64) Duration {
+	if f == 1.0 || d == 0 {
+		return d
+	}
+	return Duration(float64(d) * f)
+}

@@ -1,0 +1,75 @@
+// Package vclock provides the deterministic virtual-time substrate used by
+// the Cycada simulation.
+//
+// The paper's evaluation (Table 3, Figures 5-10) compares four hardware/OS
+// configurations: stock Android and Cycada on a Nexus 7, and stock iOS on an
+// iPad mini. A pure-Go reproduction cannot measure two physical tablets, so
+// every simulated component charges virtual nanoseconds to the thread doing
+// the work through a Clock. Costs are drawn from a CostModel scaled by
+// per-platform CPU/GPU factors, making every experiment deterministic and
+// reproducible bit-for-bit while preserving the relative shapes the paper
+// reports.
+package vclock
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Duration is a span of virtual time. It is a distinct type from
+// time.Duration so that virtual and wall-clock quantities cannot be mixed by
+// accident; use AsTime for display.
+type Duration int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// AsTime converts a virtual duration to a time.Duration for formatting.
+func (d Duration) AsTime() time.Duration { return time.Duration(d) }
+
+// Micros reports the duration in fractional microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration like time.Duration.
+func (d Duration) String() string { return d.AsTime().String() }
+
+// Clock accumulates virtual time. One Clock is shared per simulated system;
+// individual threads additionally keep private accumulators (see
+// kernel.Thread) that charge through to the system clock. All methods are
+// safe for concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance adds d to the clock and returns the new reading. Negative
+// durations panic: virtual time never runs backwards.
+func (c *Clock) Advance(d Duration) Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %d", d))
+	}
+	return Duration(c.now.Add(int64(d)))
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Duration { return Duration(c.now.Load()) }
+
+// Stopwatch measures a window of virtual time against a clock.
+type Stopwatch struct {
+	clock *Clock
+	start Duration
+}
+
+// StartWatch begins a measurement window at the clock's current reading.
+func (c *Clock) StartWatch() Stopwatch { return Stopwatch{clock: c, start: c.Now()} }
+
+// Elapsed reports virtual time accumulated since the watch started.
+func (w Stopwatch) Elapsed() Duration { return w.clock.Now() - w.start }

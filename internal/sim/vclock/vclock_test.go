@@ -1,0 +1,136 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * Microsecond); got != 5*Microsecond {
+		t.Fatalf("Advance returned %v, want 5µs", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != 5*Microsecond {
+		t.Fatalf("Now() = %v, want 5µs", got)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range per {
+				c.Advance(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), Duration(workers*per*3); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	w := c.StartWatch()
+	c.Advance(40)
+	if got := w.Elapsed(); got != 40 {
+		t.Fatalf("Elapsed = %v, want 40", got)
+	}
+}
+
+// Property: advancing by a then b always yields a clock reading of a+b from
+// the starting point, for any non-negative pair.
+func TestClockAdditiveProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		c := NewClock()
+		c.Advance(Duration(a))
+		c.Advance(Duration(b))
+		return c.Now() == Duration(a)+Duration(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationMicros(t *testing.T) {
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Fatalf("Micros = %v, want 2.5", got)
+	}
+}
+
+func TestPlatformScaling(t *testing.T) {
+	p := Platform{CPUFactor: 1.3, GPUFactor: 0.7}
+	if got := p.CPU(1000); got != 1300 {
+		t.Fatalf("CPU(1000) = %v, want 1300", got)
+	}
+	if got := p.GPU(1000); got != 700 {
+		t.Fatalf("GPU(1000) = %v, want 700", got)
+	}
+	if got := p.CPU(0); got != 0 {
+		t.Fatalf("CPU(0) = %v, want 0", got)
+	}
+	unit := Platform{CPUFactor: 1.0, GPUFactor: 1.0}
+	if got := unit.CPU(123); got != 123 {
+		t.Fatalf("unit CPU(123) = %v, want 123", got)
+	}
+}
+
+func TestDefaultCostsTable3Calibration(t *testing.T) {
+	// The constants must keep reproducing Table 3's diplomatic-call rows:
+	// diplomat = two persona-switch syscalls + save/restore machinery.
+	c := DefaultCosts()
+	diplomat := c.SyscallEntryCycadaIOS + c.SyscallEntryCycada +
+		2*c.PersonaSwitch + c.ArgSave + c.ArgRestore + c.RetSaveRestore +
+		c.ErrnoConvert + c.SymbolDeref + c.FnCall
+	if diplomat < 700*Nanosecond || diplomat > 950*Nanosecond {
+		t.Fatalf("modelled diplomat cost %v outside the Table 3 ballpark (816ns)", diplomat)
+	}
+	if c.SyscallEntryLinux >= c.SyscallEntryCycada {
+		t.Fatal("Cycada domestic trap must cost more than the stock trap")
+	}
+	if c.SyscallEntryCycada >= c.SyscallEntryCycadaIOS {
+		t.Fatal("foreign-persona trap must cost more than the domestic trap")
+	}
+	ipad := IPadMini().CPU(c.SyscallEntryXNU)
+	if ipad < 500*Nanosecond || ipad > 650*Nanosecond {
+		t.Fatalf("iPad null syscall %v outside the Table 3 ballpark (575ns)", ipad)
+	}
+}
+
+func TestKernelFlavorString(t *testing.T) {
+	cases := map[KernelFlavor]string{
+		KernelLinuxStock: "linux-stock",
+		KernelCycada:     "linux-cycada",
+		KernelXNU:        "xnu",
+		KernelFlavor(99): "unknown-kernel",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", f, got, want)
+		}
+	}
+}

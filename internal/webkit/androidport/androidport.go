@@ -1,0 +1,114 @@
+// Package androidport is the Android WebKit port (the Chrome-like browser of
+// the evaluation): EGL window surface + GLES 2 context created and used by a
+// dedicated render thread — structured within Android's creator-only
+// threading rules, so it needs no impersonation even under Cycada.
+package androidport
+
+import (
+	"fmt"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/webkit"
+)
+
+// Config wires the port to an Android userspace.
+type Config struct {
+	Userspace *stack.Userspace
+	X, Y      int
+	W, H      int
+	JSOptions []jsvm.Option
+}
+
+// Port implements webkit.Port.
+type Port struct {
+	cfg    Config
+	render *kernel.Thread
+	gl     *glesapi.GL
+	ctx    *engine.Context
+	surf   *egl.Surface
+}
+
+var _ webkit.Port = (*Port)(nil)
+
+// New creates the port.
+func New(cfg Config) (*Port, error) {
+	us := cfg.Userspace
+	p := &Port{cfg: cfg}
+	p.render = us.Proc.NewThread("CrRenderer")
+
+	surf, err := us.EGL.CreateWindowSurface(p.render, cfg.X, cfg.Y, cfg.W, cfg.H)
+	if err != nil {
+		return nil, fmt.Errorf("androidport: %w", err)
+	}
+	p.surf = surf
+	ctx, err := us.EGL.CreateContext(p.render, 2, nil)
+	if err != nil {
+		return nil, fmt.Errorf("androidport: %w", err)
+	}
+	p.ctx = ctx
+	if err := us.EGL.MakeCurrent(p.render, surf, ctx); err != nil {
+		return nil, fmt.Errorf("androidport: %w", err)
+	}
+	h, err := us.Linker.Dlopen(us.Proc.Main(), glesLibName)
+	if err != nil {
+		return nil, fmt.Errorf("androidport: %w", err)
+	}
+	p.gl = glesapi.New(us.Linker, h)
+	return p, nil
+}
+
+const glesLibName = "libGLESv2_tegra.so"
+
+// Name implements webkit.Port.
+func (p *Port) Name() string { return "android" }
+
+// MainThread implements webkit.Port.
+func (p *Port) MainThread() *kernel.Thread { return p.cfg.Userspace.Proc.Main() }
+
+// RenderThread implements webkit.Port.
+func (p *Port) RenderThread() *kernel.Thread { return p.render }
+
+// GL implements webkit.Port.
+func (p *Port) GL() *glesapi.GL { return p.gl }
+
+// MakeCurrent implements webkit.Port; only the render thread (the context's
+// creator) may bind it — Android's restriction, which this port is designed
+// around.
+func (p *Port) MakeCurrent(t *kernel.Thread) error {
+	return p.cfg.Userspace.EGL.MakeCurrent(t, p.surf, p.ctx)
+}
+
+// ViewSize implements webkit.Port.
+func (p *Port) ViewSize() (int, int) { return p.cfg.W, p.cfg.H }
+
+// NewTileCanvas implements webkit.Port: the Android 2D path (skia-like
+// canvas) over plain memory.
+func (p *Port) NewTileCanvas(t *kernel.Thread, w, h int) (*graphics2d.Canvas, error) {
+	return graphics2d.New(gpu.NewImage(w, h), t.Costs().PerPixelCPUDraw), nil
+}
+
+// UploadTile implements webkit.Port.
+func (p *Port) UploadTile(t *kernel.Thread, tex uint32, cv *graphics2d.Canvas) error {
+	img := cv.Image()
+	p.gl.BindTexture(t, tex)
+	p.gl.TexImage2D(t, img.W, img.H, gpu.FormatRGBA8888, nil)
+	p.gl.TexSubImage2D(t, 0, 0, img.W, img.H, gpu.FormatRGBA8888, img.Pix)
+	return nil
+}
+
+// Present implements webkit.Port via eglSwapBuffers.
+func (p *Port) Present(t *kernel.Thread) error {
+	return p.cfg.Userspace.EGL.SwapBuffers(t, p.surf)
+}
+
+// NewJSEngine implements webkit.Port.
+func (p *Port) NewJSEngine(t *kernel.Thread) *jsvm.Engine {
+	return jsvm.New(t, p.cfg.JSOptions...)
+}

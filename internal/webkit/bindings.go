@@ -1,0 +1,149 @@
+package webkit
+
+import (
+	"strings"
+
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/gpu"
+)
+
+var whiteRGBA = gpu.RGBA{R: 255, G: 255, B: 255, A: 255}
+
+// installBindings exposes the DOM to page scripts: a document object with
+// the query/mutation surface the workloads (and the Acid-like conformance
+// suite) exercise. DOM mutations mark the browser dirty so the next Render
+// relayouts.
+func (b *Browser) installBindings() {
+	wrappers := map[*Node]*jsvm.Object{}
+
+	var wrap func(n *Node) jsvm.Value
+	wrap = func(n *Node) jsvm.Value {
+		if n == nil {
+			return jsvm.Null{}
+		}
+		if w, ok := wrappers[n]; ok {
+			return w
+		}
+		w := jsvm.NewObject()
+		wrappers[n] = w
+		w.Set("tagName", strings.ToUpper(n.Tag))
+		w.Set("id", n.ID())
+		w.Set("nodeType", float64(1))
+		w.Set("getText", jsvm.GoFunc("getText", func(args []jsvm.Value) (jsvm.Value, error) {
+			return n.TextContent(), nil
+		}))
+		w.Set("setText", jsvm.GoFunc("setText", func(args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) > 0 {
+				n.SetTextContent(jsvm.ToString(args[0]))
+				b.MarkDirty()
+			}
+			return jsvm.Undefined{}, nil
+		}))
+		w.Set("getAttribute", jsvm.GoFunc("getAttribute", func(args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) == 0 {
+				return jsvm.Null{}, nil
+			}
+			v := n.Attr(jsvm.ToString(args[0]))
+			if v == "" {
+				return jsvm.Null{}, nil
+			}
+			return v, nil
+		}))
+		w.Set("setAttribute", jsvm.GoFunc("setAttribute", func(args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) >= 2 {
+				n.SetAttr(jsvm.ToString(args[0]), jsvm.ToString(args[1]))
+				b.MarkDirty()
+			}
+			return jsvm.Undefined{}, nil
+		}))
+		w.Set("appendChild", jsvm.GoFunc("appendChild", func(args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) == 0 {
+				return jsvm.Null{}, nil
+			}
+			child, ok := args[0].(*jsvm.Object)
+			if !ok {
+				return nil, jsvm.Errorf("appendChild: not a node")
+			}
+			for node, wr := range wrappers {
+				if wr == child {
+					n.Append(node)
+					b.MarkDirty()
+					return child, nil
+				}
+			}
+			return nil, jsvm.Errorf("appendChild: unknown node")
+		}))
+		w.Set("removeChild", jsvm.GoFunc("removeChild", func(args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) == 0 {
+				return jsvm.Null{}, nil
+			}
+			child, ok := args[0].(*jsvm.Object)
+			if !ok {
+				return nil, jsvm.Errorf("removeChild: not a node")
+			}
+			for node, wr := range wrappers {
+				if wr == child {
+					if n.RemoveChild(node) {
+						b.MarkDirty()
+						return child, nil
+					}
+					return nil, jsvm.Errorf("removeChild: not a child")
+				}
+			}
+			return nil, jsvm.Errorf("removeChild: unknown node")
+		}))
+		w.Set("childCount", jsvm.GoFunc("childCount", func(args []jsvm.Value) (jsvm.Value, error) {
+			return float64(len(n.Children)), nil
+		}))
+		w.Set("parentNode", jsvm.GoFunc("parentNode", func(args []jsvm.Value) (jsvm.Value, error) {
+			return wrap(n.Parent), nil
+		}))
+		w.Set("firstChild", jsvm.GoFunc("firstChild", func(args []jsvm.Value) (jsvm.Value, error) {
+			for _, c := range n.Children {
+				if c.Kind == ElementNode {
+					return wrap(c), nil
+				}
+			}
+			return jsvm.Null{}, nil
+		}))
+		return w
+	}
+
+	doc := jsvm.NewObject()
+	doc.Set("title", b.doc.Title)
+	doc.Set("getElementById", jsvm.GoFunc("getElementById", func(args []jsvm.Value) (jsvm.Value, error) {
+		if len(args) == 0 {
+			return jsvm.Null{}, nil
+		}
+		return wrap(b.doc.GetElementByID(jsvm.ToString(args[0]))), nil
+	}))
+	doc.Set("getElementsByTagName", jsvm.GoFunc("getElementsByTagName", func(args []jsvm.Value) (jsvm.Value, error) {
+		out := &jsvm.Array{}
+		if len(args) == 0 {
+			return out, nil
+		}
+		for _, n := range b.doc.GetElementsByTagName(jsvm.ToString(args[0])) {
+			out.Elems = append(out.Elems, wrap(n))
+		}
+		return out, nil
+	}))
+	doc.Set("createElement", jsvm.GoFunc("createElement", func(args []jsvm.Value) (jsvm.Value, error) {
+		if len(args) == 0 {
+			return nil, jsvm.Errorf("createElement: missing tag")
+		}
+		return wrap(NewElement(jsvm.ToString(args[0]))), nil
+	}))
+	doc.Set("createTextNode", jsvm.GoFunc("createTextNode", func(args []jsvm.Value) (jsvm.Value, error) {
+		text := ""
+		if len(args) > 0 {
+			text = jsvm.ToString(args[0])
+		}
+		n := NewText(text)
+		w := jsvm.NewObject()
+		w.Set("nodeType", float64(3))
+		wrappers[n] = w
+		return w, nil
+	}))
+	doc.Set("body", wrap(b.doc.Body()))
+	b.js.SetGlobal("document", doc)
+}

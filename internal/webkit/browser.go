@@ -1,0 +1,241 @@
+package webkit
+
+import (
+	"fmt"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/kernel"
+)
+
+// TileSize is the edge length of the render tiles the compositor uses.
+const TileSize = 128
+
+// Browser drives one page through the engine: parse → script → layout →
+// tile paint → GPU composite → present.
+type Browser struct {
+	port Port
+	doc  *Document
+	js   *jsvm.Engine
+
+	dirty bool
+
+	glReady bool
+	prog    uint32
+	posLoc  int
+	uvLoc   int
+	texLoc  int
+	tiles   []*tile
+	frames  int
+}
+
+type tile struct {
+	tex    uint32
+	px, py int // page position
+	w, h   int
+}
+
+// NewBrowser creates a browser over a port.
+func NewBrowser(port Port) *Browser {
+	return &Browser{port: port}
+}
+
+// Document returns the loaded document.
+func (b *Browser) Document() *Document { return b.doc }
+
+// JS returns the page's script engine (nil before Load).
+func (b *Browser) JS() *jsvm.Engine { return b.js }
+
+// Frames reports how many frames have been presented.
+func (b *Browser) Frames() int { return b.frames }
+
+// Load parses a page, runs its scripts and renders the first frame.
+func (b *Browser) Load(html string) error {
+	doc, err := ParseHTML(html)
+	if err != nil {
+		return err
+	}
+	b.doc = doc
+	main := b.port.MainThread()
+	b.js = b.port.NewJSEngine(main)
+	b.installBindings()
+	for _, script := range doc.Scripts() {
+		if _, err := b.js.Run(script); err != nil {
+			return fmt.Errorf("webkit: page script: %w", err)
+		}
+	}
+	b.dirty = true
+	return b.Render()
+}
+
+// RunScript executes script text against the loaded page.
+func (b *Browser) RunScript(src string) (jsvm.Value, error) {
+	if b.js == nil {
+		return nil, fmt.Errorf("webkit: no page loaded")
+	}
+	v, err := b.js.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Render lays out and draws the page; it runs rendering work on the port's
+// render thread, which is the multi-threaded GLES usage (paper §7) the
+// Cycada backend must support via impersonation.
+func (b *Browser) Render() error {
+	if b.doc == nil {
+		return fmt.Errorf("webkit: no page loaded")
+	}
+	rt := b.port.RenderThread()
+	if err := b.port.MakeCurrent(rt); err != nil {
+		return fmt.Errorf("webkit render: %w", err)
+	}
+	if err := b.ensureGL(rt); err != nil {
+		return err
+	}
+	gl := b.port.GL()
+	vw, vh := b.port.ViewSize()
+
+	if b.dirty {
+		root := Layout(b.doc, vw)
+		_ = root.H
+		if err := b.paintTiles(rt, root, vw, vh); err != nil {
+			return err
+		}
+		b.dirty = false
+	}
+
+	// Composite: clear, then draw each tile as a textured quad.
+	gl.ClearColor(rt, 1, 1, 1, 1)
+	gl.Clear(rt, engine.ColorBufferBit)
+	gl.UseProgram(rt, b.prog)
+	gl.Uniform1i(rt, b.texLoc, 0)
+	gl.ActiveTexture(rt, 0)
+	for _, tl := range b.tiles {
+		gl.BindTexture(rt, tl.tex)
+		x0 := 2*float32(tl.px)/float32(vw) - 1
+		x1 := 2*float32(tl.px+tl.w)/float32(vw) - 1
+		y0 := 1 - 2*float32(tl.py)/float32(vh)
+		y1 := 1 - 2*float32(tl.py+tl.h)/float32(vh)
+		pos := []float32{
+			x0, y1, 0, 1,
+			x1, y1, 0, 1,
+			x1, y0, 0, 1,
+			x0, y0, 0, 1,
+		}
+		uv := []float32{0, 1, 1, 1, 1, 0, 0, 0}
+		gl.VertexAttribPointer(rt, b.posLoc, 4, pos)
+		gl.EnableVertexAttribArray(rt, b.posLoc)
+		gl.VertexAttribPointer(rt, b.uvLoc, 2, uv)
+		gl.EnableVertexAttribArray(rt, b.uvLoc)
+		gl.DrawElements(rt, engine.Triangles, []uint16{0, 1, 2, 0, 2, 3})
+	}
+	gl.Flush(rt)
+	if e := gl.GetError(rt); e != engine.NoError {
+		return fmt.Errorf("webkit render: GL error %#x", e)
+	}
+	if err := b.port.Present(rt); err != nil {
+		return err
+	}
+	b.frames++
+	return nil
+}
+
+// MarkDirty forces a relayout on the next Render (DOM mutations call it).
+func (b *Browser) MarkDirty() { b.dirty = true }
+
+const tileVS = `
+attribute vec4 a_pos;
+attribute vec2 a_uv;
+varying vec2 v_uv;
+void main() { gl_Position = a_pos; v_uv = a_uv; }
+`
+
+const tileFS = `
+precision mediump float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, v_uv); }
+`
+
+func (b *Browser) ensureGL(rt *kernel.Thread) error {
+	if b.glReady {
+		return nil
+	}
+	gl := b.port.GL()
+	vs := gl.CreateShader(rt, engine.VertexShaderKind)
+	gl.ShaderSource(rt, vs, tileVS)
+	gl.CompileShader(rt, vs)
+	fs := gl.CreateShader(rt, engine.FragmentShaderKind)
+	gl.ShaderSource(rt, fs, tileFS)
+	gl.CompileShader(rt, fs)
+	prog := gl.CreateProgram(rt)
+	gl.AttachShader(rt, prog, vs)
+	gl.AttachShader(rt, prog, fs)
+	gl.LinkProgram(rt, prog)
+	if gl.GetProgramiv(rt, prog, engine.LinkStatus) != 1 {
+		return fmt.Errorf("webkit: tile shader link: %s", gl.GetProgramInfoLog(rt, prog))
+	}
+	b.prog = prog
+	b.posLoc = gl.GetAttribLocation(rt, prog, "a_pos")
+	b.uvLoc = gl.GetAttribLocation(rt, prog, "a_uv")
+	b.texLoc = gl.GetUniformLocation(rt, prog, "u_tex")
+
+	// Tile grid over the viewport.
+	vw, vh := b.port.ViewSize()
+	for y := 0; y < vh; y += TileSize {
+		for x := 0; x < vw; x += TileSize {
+			w := min(TileSize, vw-x)
+			h := min(TileSize, vh-y)
+			texs := gl.GenTextures(rt, 1)
+			b.tiles = append(b.tiles, &tile{tex: texs[0], px: x, py: y, w: w, h: h})
+		}
+	}
+	b.glReady = true
+	return nil
+}
+
+// paintTiles CPU-paints each tile and uploads it; the uploads are the
+// glTexSubImage2D traffic in the paper's Figure 7 profile, and the old tile
+// contents torn down on reload are its glDeleteTextures traffic.
+func (b *Browser) paintTiles(rt *kernel.Thread, root *Box, vw, vh int) error {
+	gl := b.port.GL()
+	for _, tl := range b.tiles {
+		cv, err := b.port.NewTileCanvas(rt, tl.w, tl.h)
+		if err != nil {
+			return err
+		}
+		cv.Clear(rt, whiteRGBA)
+		Paint(rt, cv, root, tl.px, tl.py)
+		gl.BindTexture(rt, tl.tex)
+		if err := b.port.UploadTile(rt, tl.tex, cv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReloadTextures destroys and recreates the tile textures (page navigation),
+// generating the delete-texture traffic real WebKit produces.
+func (b *Browser) ReloadTextures() error {
+	if !b.glReady {
+		return nil
+	}
+	rt := b.port.RenderThread()
+	if err := b.port.MakeCurrent(rt); err != nil {
+		return err
+	}
+	gl := b.port.GL()
+	var ids []uint32
+	for _, tl := range b.tiles {
+		ids = append(ids, tl.tex)
+	}
+	gl.DeleteTextures(rt, ids)
+	for _, tl := range b.tiles {
+		texs := gl.GenTextures(rt, 1)
+		tl.tex = texs[0]
+	}
+	b.dirty = true
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package webkit implements the simulation's browser engine — the stand-in
+// for the 5-million-line WebKit the paper's evaluation centres on. It has
+// the pieces the graphics bridge must support: an HTML parser and DOM, a
+// CSS-lite style system, block/inline layout, tile-based GPU rendering
+// (CPU-painted tiles uploaded as GLES textures and composited with a GLES 2
+// context on a dedicated render thread), and script execution through the
+// jsvm engine.
+//
+// The engine is platform-neutral; a Port (port.go) supplies the graphics
+// context, presentation path, 2D paint cost and JS engine. The iOS port runs
+// identically on native iOS and on Cycada — where every GLES call it makes
+// becomes a diplomat.
+package webkit
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// NodeKind distinguishes element and text nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	ElementNode NodeKind = iota + 1
+	TextNode
+)
+
+// Node is a DOM node.
+type Node struct {
+	Kind     NodeKind
+	Tag      string // lower-case element tag
+	Text     string // text content for TextNode
+	Attrs    map[string]string
+	Children []*Node
+	Parent   *Node
+}
+
+// NewElement creates an element node.
+func NewElement(tag string) *Node {
+	return &Node{Kind: ElementNode, Tag: strings.ToLower(tag), Attrs: map[string]string{}}
+}
+
+// NewText creates a text node.
+func NewText(text string) *Node {
+	return &Node{Kind: TextNode, Text: text}
+}
+
+// Append adds a child.
+func (n *Node) Append(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// RemoveChild removes a direct child.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Attr reads an attribute.
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[strings.ToLower(name)]
+}
+
+// SetAttr writes an attribute.
+func (n *Node) SetAttr(name, value string) {
+	if n.Attrs == nil {
+		n.Attrs = map[string]string{}
+	}
+	n.Attrs[strings.ToLower(name)] = value
+}
+
+// ID returns the id attribute.
+func (n *Node) ID() string { return n.Attr("id") }
+
+// TextContent concatenates the text of the subtree.
+func (n *Node) TextContent() string {
+	if n.Kind == TextNode {
+		return n.Text
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		b.WriteString(c.TextContent())
+	}
+	return b.String()
+}
+
+// SetTextContent replaces the children with one text node.
+func (n *Node) SetTextContent(s string) {
+	n.Children = nil
+	if s != "" {
+		n.Append(NewText(s))
+	}
+}
+
+// Find returns the first descendant (or self) matching pred, depth-first.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	if pred(n) {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(pred); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll collects all matching descendants (including self).
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	if pred(n) {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		out = append(out, c.FindAll(pred)...)
+	}
+	return out
+}
+
+// Document is a parsed page.
+type Document struct {
+	Root  *Node // <html>
+	Title string
+}
+
+// GetElementByID implements document.getElementById.
+func (d *Document) GetElementByID(id string) *Node {
+	if id == "" {
+		return nil
+	}
+	return d.Root.Find(func(n *Node) bool { return n.Kind == ElementNode && n.ID() == id })
+}
+
+// GetElementsByTagName implements document.getElementsByTagName.
+func (d *Document) GetElementsByTagName(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	return d.Root.FindAll(func(n *Node) bool { return n.Kind == ElementNode && n.Tag == tag })
+}
+
+// Body returns the <body> element.
+func (d *Document) Body() *Node {
+	return d.Root.Find(func(n *Node) bool { return n.Tag == "body" })
+}
+
+// Scripts returns the <script> bodies in document order.
+func (d *Document) Scripts() []string {
+	var out []string
+	for _, s := range d.Root.FindAll(func(n *Node) bool { return n.Tag == "script" }) {
+		out = append(out, s.TextContent())
+	}
+	return out
+}
+
+// voidTags never have children.
+var voidTags = map[string]bool{
+	"br": true, "img": true, "hr": true, "input": true, "meta": true, "link": true,
+}
+
+// ParseHTML parses a forgiving HTML subset into a Document. Unknown tags
+// become generic elements; mismatched close tags close the nearest matching
+// ancestor, like real tree builders.
+func ParseHTML(src string) (*Document, error) {
+	root := NewElement("html")
+	stack := []*Node{root}
+	top := func() *Node { return mustTop(stack) }
+	i := 0
+	for i < len(src) {
+		if src[i] == '<' {
+			if strings.HasPrefix(src[i:], "<!--") {
+				end := strings.Index(src[i+4:], "-->")
+				if end < 0 {
+					break
+				}
+				i += 4 + end + 3
+				continue
+			}
+			if strings.HasPrefix(src[i:], "<!") { // doctype
+				end := strings.IndexByte(src[i:], '>')
+				if end < 0 {
+					break
+				}
+				i += end + 1
+				continue
+			}
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("webkit: unterminated tag at offset %d", i)
+			}
+			tagSrc := src[i+1 : i+end]
+			i += end + 1
+			if strings.HasPrefix(tagSrc, "/") {
+				closeTag := strings.ToLower(strings.TrimSpace(tagSrc[1:]))
+				for j := len(stack) - 1; j > 0; j-- {
+					if stack[j].Tag == closeTag {
+						stack = stack[:j]
+						break
+					}
+				}
+				continue
+			}
+			selfClose := strings.HasSuffix(tagSrc, "/")
+			tagSrc = strings.TrimSuffix(tagSrc, "/")
+			el, err := parseTag(tagSrc)
+			if err != nil {
+				return nil, err
+			}
+			if el.Tag == "html" {
+				// Merge attributes onto the implicit root.
+				for k, v := range el.Attrs {
+					root.SetAttr(k, v)
+				}
+				continue
+			}
+			top().Append(el)
+			if el.Tag == "script" || el.Tag == "style" {
+				// Raw text until the close tag.
+				lower := strings.ToLower(src)
+				closeMark := "</" + el.Tag
+				endIdx := strings.Index(lower[i:], closeMark)
+				if endIdx < 0 {
+					return nil, fmt.Errorf("webkit: unterminated <%s>", el.Tag)
+				}
+				el.Append(NewText(src[i : i+endIdx]))
+				i += endIdx
+				gt := strings.IndexByte(src[i:], '>')
+				if gt < 0 {
+					break
+				}
+				i += gt + 1
+				continue
+			}
+			if !selfClose && !voidTags[el.Tag] {
+				stack = append(stack, el)
+			}
+			continue
+		}
+		next := strings.IndexByte(src[i:], '<')
+		if next < 0 {
+			next = len(src) - i
+		}
+		text := src[i : i+next]
+		i += next
+		if collapsed := collapseSpace(text); collapsed != "" {
+			top().Append(NewText(collapsed))
+		}
+	}
+	doc := &Document{Root: root}
+	if t := root.Find(func(n *Node) bool { return n.Tag == "title" }); t != nil {
+		doc.Title = strings.TrimSpace(t.TextContent())
+	}
+	return doc, nil
+}
+
+func mustTop(stack []*Node) *Node { return stack[len(stack)-1] }
+
+func parseTag(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("webkit: empty tag")
+	}
+	nameEnd := 0
+	for nameEnd < len(s) && !unicode.IsSpace(rune(s[nameEnd])) {
+		nameEnd++
+	}
+	el := NewElement(s[:nameEnd])
+	rest := strings.TrimSpace(s[nameEnd:])
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexFunc(rest, unicode.IsSpace)
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			// Bare attribute.
+			name := rest
+			if sp >= 0 {
+				name = rest[:sp]
+				rest = strings.TrimSpace(rest[sp:])
+			} else {
+				rest = ""
+			}
+			el.SetAttr(name, "")
+			continue
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		var val string
+		if rest != "" && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			endQ := strings.IndexByte(rest[1:], q)
+			if endQ < 0 {
+				return nil, fmt.Errorf("webkit: unterminated attribute value for %q", name)
+			}
+			val = rest[1 : 1+endQ]
+			rest = strings.TrimSpace(rest[2+endQ:])
+		} else {
+			sp := strings.IndexFunc(rest, unicode.IsSpace)
+			if sp < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:sp], strings.TrimSpace(rest[sp:])
+			}
+		}
+		el.SetAttr(name, val)
+	}
+	return el, nil
+}
+
+// collapseSpace collapses whitespace runs to single spaces, preserving one
+// boundary space on each side (so "some <b>bold</b> text" keeps its word
+// separation) and dropping whitespace-only runs entirely.
+func collapseSpace(s string) string {
+	var b strings.Builder
+	inSpace := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			if !inSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			inSpace = true
+			continue
+		}
+		inSpace = false
+		b.WriteRune(r)
+	}
+	out := b.String()
+	if strings.TrimSpace(out) == "" {
+		return ""
+	}
+	if unicode.IsSpace(rune(s[0])) && !strings.HasPrefix(out, " ") {
+		out = " " + out
+	}
+	return out
+}

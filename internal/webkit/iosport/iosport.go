@@ -1,0 +1,147 @@
+// Package iosport is the iOS WebKit port: rendering through EAGL + GLES 2
+// on a dedicated render thread, tile painting through CoreGraphics into
+// IOSurfaces, and scripts through a JavaScriptCore-like engine whose JIT
+// depends on executable memory.
+//
+// The port runs unmodified on native iOS (internal/ios/iosys) and on Cycada
+// (internal/core/system) — under Cycada its EAGL calls become multi
+// diplomats, its cross-thread context use goes through impersonation, and
+// its IOSurface locks run the §6.2 dance.
+package iosport
+
+import (
+	"fmt"
+
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/webkit"
+)
+
+// Config wires the port to an iOS app environment (native or Cycada).
+type Config struct {
+	Proc     *kernel.Process
+	EAGL     *eagl.Lib
+	GL       *glesapi.GL
+	Surfaces *iosurface.Lib
+	NewLayer func(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error)
+	X, Y     int
+	W, H     int
+	// JSOptions configure the script engine (e.g. jsvm.WithoutJIT for the
+	// Figure 5 "JIT disabled" series).
+	JSOptions []jsvm.Option
+}
+
+// Port implements webkit.Port.
+type Port struct {
+	cfg    Config
+	render *kernel.Thread
+	ctx    *eagl.Context
+
+	tileSurfs map[*graphics2d.Canvas]*iosurface.Surface
+}
+
+var _ webkit.Port = (*Port)(nil)
+
+// New creates the port: it spawns the render thread, creates the EAGL GLES2
+// context on it, and wires the layer's renderbuffer (paper §7's WebKit
+// threading structure).
+func New(cfg Config) (*Port, error) {
+	p := &Port{cfg: cfg, tileSurfs: map[*graphics2d.Canvas]*iosurface.Surface{}}
+	p.render = cfg.Proc.NewThread("WebKitRender")
+
+	ctx, err := cfg.EAGL.NewContext(p.render, eagl.APIGLES2)
+	if err != nil {
+		return nil, fmt.Errorf("iosport: %w", err)
+	}
+	p.ctx = ctx
+	if err := cfg.EAGL.SetCurrentContext(p.render, ctx); err != nil {
+		return nil, fmt.Errorf("iosport: %w", err)
+	}
+	layer, err := cfg.NewLayer(p.render, cfg.X, cfg.Y, cfg.W, cfg.H)
+	if err != nil {
+		return nil, fmt.Errorf("iosport layer: %w", err)
+	}
+	gl := cfg.GL
+	fbo := gl.GenFramebuffers(p.render, 1)
+	gl.BindFramebuffer(p.render, fbo[0])
+	rb := gl.GenRenderbuffers(p.render, 1)
+	gl.BindRenderbuffer(p.render, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(p.render, layer); err != nil {
+		return nil, fmt.Errorf("iosport storage: %w", err)
+	}
+	gl.FramebufferRenderbuffer(p.render, rb[0])
+	return p, nil
+}
+
+// Name implements webkit.Port.
+func (p *Port) Name() string { return "ios" }
+
+// MainThread implements webkit.Port.
+func (p *Port) MainThread() *kernel.Thread { return p.cfg.Proc.Main() }
+
+// RenderThread implements webkit.Port.
+func (p *Port) RenderThread() *kernel.Thread { return p.render }
+
+// Context returns the port's EAGLContext (tests).
+func (p *Port) Context() *eagl.Context { return p.ctx }
+
+// GL implements webkit.Port.
+func (p *Port) GL() *glesapi.GL { return p.cfg.GL }
+
+// MakeCurrent implements webkit.Port: any thread may adopt the render
+// thread's context (iOS semantics; impersonation under Cycada).
+func (p *Port) MakeCurrent(t *kernel.Thread) error {
+	return p.cfg.EAGL.SetCurrentContext(t, p.ctx)
+}
+
+// ViewSize implements webkit.Port.
+func (p *Port) ViewSize() (int, int) { return p.cfg.W, p.cfg.H }
+
+// NewTileCanvas implements webkit.Port: tiles are painted by CoreGraphics
+// into locked IOSurfaces — the 2D/3D sharing pattern of §6.2.
+func (p *Port) NewTileCanvas(t *kernel.Thread, w, h int) (*graphics2d.Canvas, error) {
+	surf, err := p.cfg.Surfaces.Create(t, w, h, gpu.FormatRGBA8888)
+	if err != nil {
+		return nil, fmt.Errorf("iosport tile: %w", err)
+	}
+	if err := p.cfg.Surfaces.Lock(t, surf); err != nil {
+		return nil, fmt.Errorf("iosport tile lock: %w", err)
+	}
+	cv := graphics2d.New(surf.BaseAddress(), t.Costs().PerPixelCPUDrawIOS)
+	p.tileSurfs[cv] = surf
+	return cv, nil
+}
+
+// UploadTile implements webkit.Port: the painted IOSurface is unlocked and
+// its pixels uploaded into the tile texture.
+func (p *Port) UploadTile(t *kernel.Thread, tex uint32, cv *graphics2d.Canvas) error {
+	surf, ok := p.tileSurfs[cv]
+	if !ok {
+		return fmt.Errorf("iosport: unknown tile canvas")
+	}
+	delete(p.tileSurfs, cv)
+	if err := p.cfg.Surfaces.Unlock(t, surf); err != nil {
+		return err
+	}
+	img := surf.BaseAddress()
+	gl := p.cfg.GL
+	gl.BindTexture(t, tex)
+	gl.TexImage2D(t, img.W, img.H, gpu.FormatRGBA8888, nil)
+	gl.TexSubImage2D(t, 0, 0, img.W, img.H, gpu.FormatRGBA8888, img.Pix)
+	return p.cfg.Surfaces.Release(t, surf)
+}
+
+// Present implements webkit.Port via presentRenderbuffer.
+func (p *Port) Present(t *kernel.Thread) error {
+	return p.ctx.PresentRenderbuffer(t)
+}
+
+// NewJSEngine implements webkit.Port.
+func (p *Port) NewJSEngine(t *kernel.Thread) *jsvm.Engine {
+	return jsvm.New(t, p.cfg.JSOptions...)
+}

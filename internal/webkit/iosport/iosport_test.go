@@ -1,0 +1,196 @@
+package iosport_test
+
+import (
+	"strings"
+	"testing"
+
+	"cycada/internal/core/system"
+	"cycada/internal/ios/iosys"
+	"cycada/internal/jsvm"
+	"cycada/internal/webkit"
+	"cycada/internal/webkit/iosport"
+)
+
+const page = `
+<html>
+<head><title>Port Test</title></head>
+<body bgcolor="#204060">
+<h1 id="t">Tiles</h1>
+<p id="p">rendered through the iOS port</p>
+<script>document.getElementById("p").setAttribute("data-js", "ran");</script>
+</body>
+</html>
+`
+
+func cycadaBrowser(t *testing.T) (*webkit.Browser, *system.Cycada, *system.IOSApp) {
+	t.Helper()
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "safari"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := iosport.New(iosport.Config{
+		Proc:     app.Proc,
+		EAGL:     app.EAGL,
+		GL:       app.GL,
+		Surfaces: app.Surfaces,
+		NewLayer: app.NewLayer,
+		W:        256, H: 192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return webkit.NewBrowser(port), sys, app
+}
+
+func TestBrowserRendersOnCycada(t *testing.T) {
+	b, sys, app := cycadaBrowser(t)
+	if err := b.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	if b.Frames() != 1 {
+		t.Fatalf("frames = %d", b.Frames())
+	}
+	// The page background reached the Android screen through the bridge
+	// (the body box covers the top of the view; scan for its color).
+	screen := sys.Android.Flinger.Screen()
+	found := false
+	for y := 0; y < 192 && !found; y++ {
+		for x := 0; x < 256 && !found; x++ {
+			if c := screen.At(x, y); c.R == 0x20 && c.G == 0x40 && c.B == 0x60 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("page background color never reached the screen")
+	}
+	// The page script ran and mutated the DOM.
+	if got := b.Document().GetElementByID("p").Attr("data-js"); got != "ran" {
+		t.Fatalf("data-js = %q", got)
+	}
+	// The render thread is distinct and the EAGL context lives on it (§7).
+	if app.Profiler.Calls("aegl_bridge_set_tls") == 0 {
+		t.Fatal("render never crossed set_tls (impersonation path)")
+	}
+}
+
+func TestBrowserMatchesNativeIOSPixelForPixel(t *testing.T) {
+	b1, sys1, _ := cycadaBrowser(t)
+	if err := b1.Load(page); err != nil {
+		t.Fatal(err)
+	}
+
+	ios := iosys.New(iosys.Config{})
+	us, err := ios.NewUserspace("safari")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := iosport.New(iosport.Config{
+		Proc:     us.Proc,
+		EAGL:     us.EAGL,
+		GL:       us.GL,
+		Surfaces: us.Surfaces,
+		NewLayer: us.NewLayer,
+		W:        256, H: 192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := webkit.NewBrowser(port)
+	if err := b2.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	if sys1.Android.Flinger.Screen().Checksum() != ios.Framebuffer.Screen().Checksum() {
+		t.Fatal("Cycada and native iOS renderings differ")
+	}
+}
+
+func TestDOMMutationRerenders(t *testing.T) {
+	b, sys, _ := cycadaBrowser(t)
+	if err := b.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Android.Flinger.Screen().Checksum()
+	if _, err := b.RunScript(`document.getElementById("t").setText("Changed Headline");`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Render(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Android.Flinger.Screen().Checksum() == before {
+		t.Fatal("mutation did not change the rendering")
+	}
+}
+
+func TestReloadTexturesKeepsRendering(t *testing.T) {
+	b, sys, app := cycadaBrowser(t)
+	if err := b.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Android.Flinger.Screen().Checksum()
+	if err := b.ReloadTextures(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Render(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Android.Flinger.Screen().Checksum() != before {
+		t.Fatal("reload changed pixels")
+	}
+	if app.Profiler.Calls("glDeleteTextures") == 0 {
+		t.Fatal("reload produced no texture teardown")
+	}
+}
+
+func TestJITGatingThroughPort(t *testing.T) {
+	// Under Cycada the port's JS engine must come up in interpreter mode.
+	b, _, _ := cycadaBrowser(t)
+	if err := b.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	if b.JS().JITEnabled() {
+		t.Fatal("JIT enabled under the Mach VM bug")
+	}
+	// On native iOS it comes up with JIT unless explicitly disabled.
+	ios := iosys.New(iosys.Config{})
+	us, err := ios.NewUserspace("safari")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(opts ...jsvm.Option) *webkit.Browser {
+		port, err := iosport.New(iosport.Config{
+			Proc: us.Proc, EAGL: us.EAGL, GL: us.GL, Surfaces: us.Surfaces,
+			NewLayer: us.NewLayer, W: 128, H: 96, JSOptions: opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := webkit.NewBrowser(port)
+		if err := br.Load(page); err != nil {
+			t.Fatal(err)
+		}
+		return br
+	}
+	if !mk().JS().JITEnabled() {
+		t.Fatal("JIT disabled on native iOS")
+	}
+	if mk(jsvm.WithoutJIT()).JS().JITEnabled() {
+		t.Fatal("WithoutJIT ignored by port")
+	}
+}
+
+func TestScriptErrorsSurface(t *testing.T) {
+	b, _, _ := cycadaBrowser(t)
+	err := b.Load(strings.Replace(page, "ran", "", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunScript(`totally.broken()`); err == nil {
+		t.Fatal("broken script succeeded")
+	}
+	badPage := `<body><script>syntax error here(</script></body>`
+	if err := b.Load(badPage); err == nil {
+		t.Fatal("page with broken script loaded")
+	}
+}

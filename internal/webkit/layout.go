@@ -1,0 +1,232 @@
+package webkit
+
+import (
+	"cycada/internal/graphics2d"
+	"cycada/internal/sim/gpu"
+)
+
+// Box is one laid-out rectangle: a block box, an inline text run, or an
+// image placeholder.
+type Box struct {
+	Node     *Node
+	Style    Style
+	X, Y     int
+	W, H     int
+	Text     string // for text runs
+	Image    bool   // <img> placeholder
+	Children []*Box
+}
+
+// Layout computes the box tree of a document for a viewport width. The
+// returned root box's H is the page height.
+func Layout(doc *Document, viewportW int) *Box {
+	body := doc.Body()
+	if body == nil {
+		body = doc.Root
+	}
+	st := ComputeStyle(body, nil)
+	root := &Box{Node: body, Style: st, X: 0, Y: 0, W: viewportW}
+	lay := &layouter{}
+	lay.block(root)
+	return root
+}
+
+type layouter struct{}
+
+// block lays out a block box's children and sets its height.
+func (l *layouter) block(b *Box) {
+	x := b.X + b.Style.Padding + b.Style.Border
+	y := b.Y + b.Style.Padding + b.Style.Border
+	contentW := b.W - 2*(b.Style.Padding+b.Style.Border)
+	if contentW < 8 {
+		contentW = 8
+	}
+
+	cursor := y
+	var inlineRun []*Node
+	flushInline := func() {
+		if len(inlineRun) == 0 {
+			return
+		}
+		h := l.inlineFlow(b, inlineRun, x, cursor, contentW)
+		cursor += h
+		inlineRun = nil
+	}
+
+	for _, child := range b.Node.Children {
+		st := ComputeStyle(child, &b.Style)
+		if st.Display == DisplayNone {
+			continue
+		}
+		if child.Kind == TextNode || st.Display == DisplayInline {
+			inlineRun = append(inlineRun, child)
+			continue
+		}
+		flushInline()
+		cursor += st.Margin
+		cb := &Box{Node: child, Style: st, X: x, Y: cursor, W: contentW}
+		if st.Width > 0 && st.Width < contentW {
+			cb.W = st.Width
+		}
+		l.block(cb)
+		if st.Height > 0 {
+			cb.H = st.Height
+		}
+		b.Children = append(b.Children, cb)
+		cursor += cb.H + st.Margin
+	}
+	flushInline()
+
+	b.H = cursor - b.Y + b.Style.Padding + b.Style.Border
+	if b.Style.Height > 0 {
+		b.H = b.Style.Height
+	}
+}
+
+// inlineFlow lays out a run of inline content with word wrap, returning the
+// consumed height.
+func (l *layouter) inlineFlow(parent *Box, run []*Node, x, y, w int) int {
+	cx, cy := x, y
+	lineH := 0
+	var emit func(n *Node, st Style)
+	advanceLine := func(h int) {
+		cx = x
+		cy += h
+		lineH = 0
+	}
+	emit = func(n *Node, st Style) {
+		if n.Kind == ElementNode {
+			if n.Tag == "br" {
+				h := st.FontSize + 4
+				if lineH > h {
+					h = lineH
+				}
+				advanceLine(h)
+				return
+			}
+			if n.Tag == "img" {
+				iw, ih := 40, 30
+				if st.Width > 0 {
+					iw = st.Width
+				}
+				if st.Height > 0 {
+					ih = st.Height
+				}
+				if cx+iw > x+w && cx > x {
+					advanceLine(max(lineH, 1))
+				}
+				parent.Children = append(parent.Children, &Box{
+					Node: n, Style: st, X: cx, Y: cy, W: iw, H: ih, Image: true,
+				})
+				cx += iw + 2
+				if ih > lineH {
+					lineH = ih
+				}
+				return
+			}
+			for _, c := range n.Children {
+				cst := ComputeStyle(c, &st)
+				if cst.Display == DisplayNone {
+					continue
+				}
+				emit(c, cst)
+			}
+			return
+		}
+		// Text: word wrap.
+		words := splitWords(n.Text)
+		fh := st.FontSize + 4
+		for _, word := range words {
+			adv := graphics2d.TextAdvance(word, st.FontSize)
+			if cx+adv > x+w && cx > x {
+				advanceLine(max(lineH, fh))
+			}
+			parent.Children = append(parent.Children, &Box{
+				Node: n, Style: st, X: cx, Y: cy, W: adv, H: fh, Text: word,
+			})
+			cx += adv + graphics2d.TextAdvance(" ", st.FontSize)
+			if fh > lineH {
+				lineH = fh
+			}
+		}
+	}
+	for _, n := range run {
+		st := ComputeStyle(n, &parent.Style)
+		emit(n, st)
+	}
+	if cx > x && lineH == 0 {
+		lineH = parent.Style.FontSize + 4
+	}
+	return cy + lineH - y
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Paint draws the box tree into a canvas (one tile or a whole-page image),
+// offset so that (offX, offY) of the page lands at the canvas origin.
+func Paint(t canvasThread, cv *graphics2d.Canvas, b *Box, offX, offY int) {
+	paintBox(t, cv, b, offX, offY)
+}
+
+// canvasThread is the minimal thread surface painting needs; it keeps this
+// file decoupled from the kernel package in signatures (the concrete type is
+// *kernel.Thread).
+type canvasThread = threadish
+
+func paintBox(t threadish, cv *graphics2d.Canvas, b *Box, offX, offY int) {
+	x, y := b.X-offX, b.Y-offY
+	if b.Style.Background.A > 0 && !b.Image && b.Text == "" {
+		cv.SetFill(b.Style.Background)
+		cv.FillRect(t, x, y, x+b.W, y+b.H)
+	}
+	if b.Style.Border > 0 {
+		cv.SetStroke(b.Style.Color)
+		cv.StrokeLine(t, x, y, x+b.W-1, y)
+		cv.StrokeLine(t, x+b.W-1, y, x+b.W-1, y+b.H-1)
+		cv.StrokeLine(t, x+b.W-1, y+b.H-1, x, y+b.H-1)
+		cv.StrokeLine(t, x, y+b.H-1, x, y)
+	}
+	switch {
+	case b.Text != "":
+		cv.SetFill(b.Style.Color)
+		cv.DrawText(t, x, y+2, b.Text, b.Style.FontSize)
+	case b.Image:
+		paintImagePlaceholder(t, cv, b, x, y)
+	}
+	for _, c := range b.Children {
+		paintBox(t, cv, c, offX, offY)
+	}
+}
+
+// paintImagePlaceholder draws a deterministic pattern for an <img>, seeded by
+// its src, so pages render identically across configurations.
+func paintImagePlaceholder(t threadish, cv *graphics2d.Canvas, b *Box, x, y int) {
+	seed := uint32(2166136261)
+	for _, c := range []byte(b.Node.Attr("src")) {
+		seed = (seed ^ uint32(c)) * 16777619
+	}
+	base := gpu.RGBA{R: uint8(seed), G: uint8(seed >> 8), B: uint8(seed >> 16), A: 255}
+	cv.SetFill(base)
+	cv.FillRect(t, x, y, x+b.W, y+b.H)
+	cv.SetFill(gpu.RGBA{R: base.G, G: base.B, B: base.R, A: 255})
+	for i := 0; i < b.W; i += 8 {
+		cv.FillRect(t, x+i, y, x+i+4, y+b.H)
+	}
+}

@@ -1,0 +1,46 @@
+package webkit
+
+import (
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/kernel"
+)
+
+// threadish aliases the simulated thread type used throughout painting.
+type threadish = *kernel.Thread
+
+// Port supplies the platform pieces the engine needs — the WebKit "port" in
+// real WebKit terminology. internal/webkit/iosport and androidport implement
+// it; the iOS port is what runs under Cycada, where every graphics call it
+// makes crosses the compatibility layer.
+type Port interface {
+	Name() string
+
+	// MainThread is the app thread scripts run on.
+	MainThread() *kernel.Thread
+	// RenderThread is the dedicated rendering thread WebKit spawns — "the
+	// iOS WebKit library spawns a rendering thread that allocates and
+	// initializes its own GLES context which is used by other threads
+	// related to WebKit" (paper §7).
+	RenderThread() *kernel.Thread
+
+	// GL returns the platform GLES facade.
+	GL() *glesapi.GL
+	// MakeCurrent binds the view's GLES context on the given thread (on the
+	// iOS port under Cycada this triggers thread impersonation when t is
+	// not the context's creator).
+	MakeCurrent(t *kernel.Thread) error
+	// ViewSize reports the view dimensions in pixels.
+	ViewSize() (w, h int)
+	// NewTileCanvas allocates a CPU paint target for one tile; Upload pushes
+	// the painted tile into the given texture.
+	NewTileCanvas(t *kernel.Thread, w, h int) (*graphics2d.Canvas, error)
+	UploadTile(t *kernel.Thread, tex uint32, cv *graphics2d.Canvas) error
+	// Present displays the composited frame (EAGL presentRenderbuffer on
+	// iOS, eglSwapBuffers on Android).
+	Present(t *kernel.Thread) error
+	// NewJSEngine creates the script engine for a page (JIT availability
+	// depends on the process — the Mach VM bug surfaces here).
+	NewJSEngine(t *kernel.Thread) *jsvm.Engine
+}

@@ -1,0 +1,220 @@
+package webkit
+
+import (
+	"strconv"
+	"strings"
+
+	"cycada/internal/sim/gpu"
+)
+
+// Display is a box's layout mode.
+type Display uint8
+
+// Display values.
+const (
+	DisplayBlock Display = iota + 1
+	DisplayInline
+	DisplayNone
+)
+
+// Style is the computed style of a node: defaults by tag, overridden by the
+// style attribute (a CSS-lite "prop: value; ..." list) and legacy attributes
+// (bgcolor, width, height).
+type Style struct {
+	Display    Display
+	Color      gpu.RGBA
+	Background gpu.RGBA // A==0 means transparent
+	FontSize   int
+	Bold       bool
+	Margin     int
+	Padding    int
+	Width      int // 0 = auto
+	Height     int // 0 = auto
+	Border     int
+}
+
+var blockTags = map[string]bool{
+	"html": true, "body": true, "div": true, "p": true, "h1": true, "h2": true,
+	"h3": true, "ul": true, "ol": true, "li": true, "table": true, "tr": true,
+	"td": true, "header": true, "footer": true, "section": true, "form": true,
+	"hr": true, "blockquote": true, "pre": true,
+}
+
+var hiddenTags = map[string]bool{
+	"head": true, "script": true, "style": true, "title": true, "meta": true, "link": true,
+}
+
+// ComputeStyle computes a node's style given its parent's computed style.
+func ComputeStyle(n *Node, parent *Style) Style {
+	st := Style{
+		Display:  DisplayInline,
+		Color:    gpu.RGBA{A: 255}, // black
+		FontSize: 14,
+	}
+	if parent != nil {
+		st.Color = parent.Color
+		st.FontSize = parent.FontSize
+		st.Bold = parent.Bold
+	}
+	if n.Kind == TextNode {
+		return st
+	}
+	if hiddenTags[n.Tag] {
+		st.Display = DisplayNone
+		return st
+	}
+	if blockTags[n.Tag] {
+		st.Display = DisplayBlock
+	}
+	switch n.Tag {
+	case "h1":
+		st.FontSize = 24
+		st.Bold = true
+		st.Margin = 8
+	case "h2":
+		st.FontSize = 20
+		st.Bold = true
+		st.Margin = 6
+	case "h3":
+		st.FontSize = 16
+		st.Bold = true
+		st.Margin = 5
+	case "p":
+		st.Margin = 6
+	case "b", "strong":
+		st.Bold = true
+	case "a":
+		st.Color = gpu.RGBA{B: 238, A: 255}
+	case "body":
+		st.Padding = 4
+		st.Background = gpu.RGBA{R: 255, G: 255, B: 255, A: 255}
+	case "li":
+		st.Margin = 2
+	case "hr":
+		st.Height = 2
+		st.Background = gpu.RGBA{R: 128, G: 128, B: 128, A: 255}
+	}
+	if v := n.Attr("bgcolor"); v != "" {
+		if c, ok := ParseColor(v); ok {
+			st.Background = c
+		}
+	}
+	if v := n.Attr("width"); v != "" {
+		if px, err := strconv.Atoi(strings.TrimSuffix(v, "px")); err == nil {
+			st.Width = px
+		}
+	}
+	if v := n.Attr("height"); v != "" {
+		if px, err := strconv.Atoi(strings.TrimSuffix(v, "px")); err == nil {
+			st.Height = px
+		}
+	}
+	applyInlineStyle(&st, n.Attr("style"))
+	return st
+}
+
+func applyInlineStyle(st *Style, css string) {
+	for _, decl := range strings.Split(css, ";") {
+		parts := strings.SplitN(decl, ":", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		prop := strings.TrimSpace(strings.ToLower(parts[0]))
+		val := strings.TrimSpace(parts[1])
+		switch prop {
+		case "color":
+			if c, ok := ParseColor(val); ok {
+				st.Color = c
+			}
+		case "background", "background-color":
+			if c, ok := ParseColor(val); ok {
+				st.Background = c
+			}
+		case "font-size":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.FontSize = px
+			}
+		case "font-weight":
+			st.Bold = val == "bold"
+		case "display":
+			switch val {
+			case "none":
+				st.Display = DisplayNone
+			case "block":
+				st.Display = DisplayBlock
+			case "inline":
+				st.Display = DisplayInline
+			}
+		case "margin":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.Margin = px
+			}
+		case "padding":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.Padding = px
+			}
+		case "width":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.Width = px
+			}
+		case "height":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.Height = px
+			}
+		case "border", "border-width":
+			if px, err := strconv.Atoi(strings.TrimSuffix(val, "px")); err == nil {
+				st.Border = px
+			}
+		}
+	}
+}
+
+// namedColors is the small palette sample pages use.
+var namedColors = map[string]gpu.RGBA{
+	"black":  {A: 255},
+	"white":  {R: 255, G: 255, B: 255, A: 255},
+	"red":    {R: 255, A: 255},
+	"green":  {G: 128, A: 255},
+	"lime":   {G: 255, A: 255},
+	"blue":   {B: 255, A: 255},
+	"yellow": {R: 255, G: 255, A: 255},
+	"gray":   {R: 128, G: 128, B: 128, A: 255},
+	"grey":   {R: 128, G: 128, B: 128, A: 255},
+	"silver": {R: 192, G: 192, B: 192, A: 255},
+	"orange": {R: 255, G: 165, A: 255},
+	"purple": {R: 128, B: 128, A: 255},
+	"navy":   {B: 128, A: 255},
+	"teal":   {G: 128, B: 128, A: 255},
+}
+
+// ParseColor parses #rgb, #rrggbb and named colors.
+func ParseColor(s string) (gpu.RGBA, bool) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if c, ok := namedColors[s]; ok {
+		return c, true
+	}
+	if strings.HasPrefix(s, "#") {
+		hexStr := s[1:]
+		switch len(hexStr) {
+		case 3:
+			var out gpu.RGBA
+			vals := make([]uint8, 3)
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseUint(string(hexStr[i]), 16, 8)
+				if err != nil {
+					return gpu.RGBA{}, false
+				}
+				vals[i] = uint8(v * 17)
+			}
+			out = gpu.RGBA{R: vals[0], G: vals[1], B: vals[2], A: 255}
+			return out, true
+		case 6:
+			v, err := strconv.ParseUint(hexStr, 16, 32)
+			if err != nil {
+				return gpu.RGBA{}, false
+			}
+			return gpu.RGBA{R: uint8(v >> 16), G: uint8(v >> 8), B: uint8(v), A: 255}, true
+		}
+	}
+	return gpu.RGBA{}, false
+}

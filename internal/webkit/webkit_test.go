@@ -1,0 +1,244 @@
+package webkit
+
+import (
+	"strings"
+	"testing"
+
+	"cycada/internal/graphics2d"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func TestParseHTMLBasics(t *testing.T) {
+	doc, err := ParseHTML(`
+<!DOCTYPE html>
+<html>
+<head><title> My Page </title></head>
+<body>
+  <h1 id="hdr">Hello</h1>
+  <p class="intro">some <b>bold</b> text</p>
+  <img src="pic" width="10" height="8">
+  <!-- a comment -->
+</body>
+</html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "My Page" {
+		t.Fatalf("title = %q", doc.Title)
+	}
+	hdr := doc.GetElementByID("hdr")
+	if hdr == nil || hdr.Tag != "h1" || hdr.TextContent() != "Hello" {
+		t.Fatalf("hdr = %+v", hdr)
+	}
+	ps := doc.GetElementsByTagName("p")
+	if len(ps) != 1 || ps[0].Attr("class") != "intro" {
+		t.Fatalf("ps = %v", ps)
+	}
+	if got := ps[0].TextContent(); got != "some bold text" {
+		t.Fatalf("text = %q", got)
+	}
+	if doc.Body() == nil {
+		t.Fatal("no body")
+	}
+	if doc.GetElementByID("nope") != nil {
+		t.Fatal("ghost element")
+	}
+}
+
+func TestParseHTMLAttributesQuoting(t *testing.T) {
+	doc, err := ParseHTML(`<div id='single' data-a=bare checked style="color:#f00">x</div>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := doc.GetElementByID("single")
+	if d == nil {
+		t.Fatal("element missing")
+	}
+	if d.Attr("data-a") != "bare" {
+		t.Fatalf("bare attr = %q", d.Attr("data-a"))
+	}
+	if _, ok := d.Attrs["checked"]; !ok {
+		t.Fatal("boolean attr missing")
+	}
+}
+
+func TestParseHTMLScriptRawText(t *testing.T) {
+	doc, err := ParseHTML(`<body><script>if (1 < 2) { x = "<p>"; }</script><p>after</p></body>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := doc.Scripts()
+	if len(scripts) != 1 || !strings.Contains(scripts[0], `x = "<p>"`) {
+		t.Fatalf("scripts = %q", scripts)
+	}
+	if len(doc.GetElementsByTagName("p")) != 1 {
+		t.Fatal("content after script lost")
+	}
+}
+
+func TestParseHTMLErrors(t *testing.T) {
+	for _, src := range []string{
+		`<div`,
+		`<script>never closed`,
+		`<div id="unterminated>x</div>`,
+	} {
+		if _, err := ParseHTML(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+	// Mismatched close tags are tolerated.
+	if _, err := ParseHTML(`<div><p>x</div></p>`); err != nil {
+		t.Errorf("mismatched close rejected: %v", err)
+	}
+}
+
+func TestNodeMutation(t *testing.T) {
+	parent := NewElement("div")
+	a := NewElement("p")
+	parent.Append(a)
+	if a.Parent != parent {
+		t.Fatal("parent not set")
+	}
+	if !parent.RemoveChild(a) {
+		t.Fatal("remove failed")
+	}
+	if parent.RemoveChild(a) {
+		t.Fatal("double remove succeeded")
+	}
+	parent.SetTextContent("plain")
+	if parent.TextContent() != "plain" || len(parent.Children) != 1 {
+		t.Fatal("SetTextContent wrong")
+	}
+}
+
+func TestComputeStyle(t *testing.T) {
+	h1 := NewElement("h1")
+	st := ComputeStyle(h1, nil)
+	if st.Display != DisplayBlock || !st.Bold || st.FontSize <= 14 {
+		t.Fatalf("h1 style = %+v", st)
+	}
+	script := NewElement("script")
+	if ComputeStyle(script, nil).Display != DisplayNone {
+		t.Fatal("script visible")
+	}
+	span := NewElement("span")
+	parent := Style{Color: gpu.RGBA{R: 9, A: 255}, FontSize: 20}
+	if got := ComputeStyle(span, &parent); got.Color.R != 9 || got.FontSize != 20 {
+		t.Fatalf("inheritance broken: %+v", got)
+	}
+	styled := NewElement("div")
+	styled.SetAttr("style", "color: #ff0000; background: blue; font-size: 18px; display: inline; padding: 3")
+	got := ComputeStyle(styled, nil)
+	if got.Color.R != 255 || got.Background.B != 255 || got.FontSize != 18 ||
+		got.Display != DisplayInline || got.Padding != 3 {
+		t.Fatalf("inline style = %+v", got)
+	}
+}
+
+func TestParseColor(t *testing.T) {
+	cases := map[string]gpu.RGBA{
+		"#fff":    {R: 255, G: 255, B: 255, A: 255},
+		"#FF8000": {R: 255, G: 128, B: 0, A: 255},
+		"red":     {R: 255, A: 255},
+		" navy ":  {B: 128, A: 255},
+	}
+	for in, want := range cases {
+		got, ok := ParseColor(in)
+		if !ok || got != want {
+			t.Errorf("ParseColor(%q) = %v, %v", in, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "#12", "#zzz", "notacolor"} {
+		if _, ok := ParseColor(bad); ok {
+			t.Errorf("ParseColor(%q) accepted", bad)
+		}
+	}
+}
+
+func layoutOf(t *testing.T, html string, w int) *Box {
+	t.Helper()
+	doc, err := ParseHTML(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Layout(doc, w)
+}
+
+func TestLayoutBlocksStackVertically(t *testing.T) {
+	root := layoutOf(t, `<body><div id="a" style="height:30px"></div><div id="b" style="height:20px"></div></body>`, 200)
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	a, b := root.Children[0], root.Children[1]
+	if b.Y < a.Y+30 {
+		t.Fatalf("b (y=%d) overlaps a (y=%d h=%d)", b.Y, a.Y, a.H)
+	}
+	if root.H < 50 {
+		t.Fatalf("root height %d too small", root.H)
+	}
+}
+
+func TestLayoutTextWraps(t *testing.T) {
+	long := strings.Repeat("word ", 40)
+	root := layoutOf(t, "<body><p>"+long+"</p></body>", 120)
+	p := root.Children[0]
+	maxY := 0
+	for _, c := range p.Children {
+		if c.Text != "" {
+			if c.X+c.W > 121 {
+				t.Fatalf("text run exceeds width: %+v", c)
+			}
+			if c.Y > maxY {
+				maxY = c.Y
+			}
+		}
+	}
+	if maxY == 0 {
+		t.Fatal("text did not wrap to multiple lines")
+	}
+}
+
+func TestLayoutHonoursDisplayNone(t *testing.T) {
+	root := layoutOf(t, `<body><div style="display:none"><p>hidden</p></div></body>`, 100)
+	if len(root.Children) != 0 {
+		t.Fatalf("hidden subtree laid out: %d children", len(root.Children))
+	}
+}
+
+func TestLayoutImagePlaceholder(t *testing.T) {
+	root := layoutOf(t, `<body><img src="x" width="24" height="18"></body>`, 100)
+	var img *Box
+	for _, c := range root.Children {
+		if c.Image {
+			img = c
+		}
+	}
+	if img == nil || img.W != 24 || img.H != 18 {
+		t.Fatalf("img box = %+v", img)
+	}
+}
+
+func TestPaintProducesDeterministicPixels(t *testing.T) {
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7()})
+	p, _ := k.NewProcess("p", kernel.PersonaAndroid)
+	th := p.Main()
+	html := `<body bgcolor="#102030"><h1 style="color:#fff">Title</h1><img src="i"></body>`
+	render := func() uint32 {
+		root := layoutOf(t, html, 64)
+		cv := graphics2d.New(gpu.NewImage(64, 64), 1)
+		Paint(th, cv, root, 0, 0)
+		return cv.Image().Checksum()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("paint not deterministic")
+	}
+	root := layoutOf(t, html, 64)
+	cv := graphics2d.New(gpu.NewImage(64, 64), 1)
+	Paint(th, cv, root, 0, 0)
+	if got := cv.Image().At(32, 40); got.R != 0x10 || got.G != 0x20 || got.B != 0x30 {
+		t.Fatalf("background = %v", got)
+	}
+}

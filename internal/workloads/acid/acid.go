@@ -1,0 +1,239 @@
+// Package acid is the simulation's Acid3-like conformance test (paper §9):
+// 100 scored DOM/JavaScript checks run inside the browser, plus a rendering
+// smoothness pass. Safari on Cycada must score 100/100 and render the final
+// page identically to native iOS.
+package acid
+
+import (
+	"fmt"
+
+	"cycada/internal/webkit"
+)
+
+// Page is the test page the checks run against.
+const Page = `
+<html>
+<head><title>Acid-like Test</title></head>
+<body>
+<h1 id="hdr">Acid Test</h1>
+<div id="arena" style="background:#ddd">
+  <p id="p1">first <b>paragraph</b></p>
+  <p id="p2">second paragraph</p>
+  <ul id="list"><li>one</li><li>two</li><li>three</li></ul>
+</div>
+<div id="score">0/100</div>
+</body>
+</html>
+`
+
+// Check is one scored subtest: a script that must evaluate to true.
+type Check struct {
+	Name   string
+	Script string
+}
+
+// Checks returns the 100 subtests, grouped like Acid3's buckets: DOM
+// traversal, DOM mutation, JS language, text/strings, regex, and layout
+// state.
+func Checks() []Check {
+	var out []Check
+	add := func(name, script string) {
+		out = append(out, Check{Name: name, Script: script})
+	}
+
+	// Bucket 1: DOM queries (20).
+	add("getElementById", `document.getElementById("p1") !== null`)
+	add("getElementById-miss", `document.getElementById("nope") === null`)
+	add("tagName", `document.getElementById("p1").tagName === "P"`)
+	add("id-property", `document.getElementById("arena").id === "arena"`)
+	add("byTagName-count", `document.getElementsByTagName("p").length === 2`)
+	add("byTagName-li", `document.getElementsByTagName("li").length === 3`)
+	add("byTagName-missing", `document.getElementsByTagName("video").length === 0`)
+	add("body-present", `document.body !== null`)
+	add("title", `document.title === "Acid-like Test"`)
+	add("text-content", `document.getElementById("p2").getText() === "second paragraph"`)
+	add("text-nested", `document.getElementById("p1").getText().indexOf("paragraph") > 0`)
+	add("attr-read", `document.getElementById("arena").getAttribute("style") !== null`)
+	add("attr-missing", `document.getElementById("arena").getAttribute("zzz") === null`)
+	add("parent", `document.getElementById("p1").parentNode().id === "arena"`)
+	add("first-child", `document.getElementById("list").firstChild().tagName === "LI"`)
+	add("child-count", `document.getElementById("list").childCount() === 3`)
+	add("nodeType", `document.getElementById("p1").nodeType === 1`)
+	add("ul-tag", `document.getElementById("list").tagName === "UL"`)
+	add("h1-text", `document.getElementById("hdr").getText() === "Acid Test"`)
+	add("same-wrapper", `document.getElementById("p1") === document.getElementById("p1")`)
+
+	// Bucket 2: DOM mutation (15).
+	add("set-text", `var e = document.getElementById("p2"); e.setText("changed"); e.getText() === "changed"`)
+	add("set-attr", `var e2 = document.getElementById("p2"); e2.setAttribute("data-x", "1"); e2.getAttribute("data-x") === "1"`)
+	add("create-element", `document.createElement("span").tagName === "SPAN"`)
+	add("append-child", `
+var parent = document.getElementById("arena");
+var kid = document.createElement("div");
+kid.setAttribute("id", "added");
+parent.appendChild(kid);
+document.getElementById("added") !== null`)
+	add("append-count", `
+var l = document.getElementById("list");
+var before = l.childCount();
+l.appendChild(document.createElement("li"));
+l.childCount() === before + 1`)
+	add("remove-child", `
+var l2 = document.getElementById("list");
+var n0 = l2.childCount();
+l2.removeChild(l2.firstChild());
+l2.childCount() === n0 - 1`)
+	add("set-text-clears", `
+var e3 = document.getElementById("p1");
+e3.setText("flat");
+e3.childCount() === 1`)
+	add("mutate-then-query", `
+document.getElementById("added").setText("added-text");
+document.getElementById("added").getText() === "added-text"`)
+	add("create-text-node", `document.createTextNode("t").nodeType === 3`)
+	add("attr-overwrite", `
+var a = document.getElementById("arena");
+a.setAttribute("data-v", "1");
+a.setAttribute("data-v", "2");
+a.getAttribute("data-v") === "2"`)
+	add("nested-append", `
+var outer = document.createElement("div");
+var inner = document.createElement("p");
+outer.appendChild(inner);
+outer.childCount() === 1`)
+	add("append-returns-child", `
+var par = document.createElement("div");
+var ch = document.createElement("b");
+par.appendChild(ch) === ch`)
+	add("score-div", `document.getElementById("score") !== null`)
+	add("set-score", `
+document.getElementById("score").setText("scoring");
+document.getElementById("score").getText() === "scoring"`)
+	add("hdr-mutation", `
+document.getElementById("hdr").setText("Acid Test Done");
+document.getElementById("hdr").getText() === "Acid Test Done"`)
+
+	// Bucket 3: core language (25).
+	add("closure", `(function(){ var n = 0; var inc = function(){ n++; return n; }; inc(); return inc() === 2; })()`)
+	add("recursion", `(function f(n){ return n <= 1 ? 1 : n * f(n-1); })(6) === 720`)
+	add("hoisting", `(function(){ var got = h(); function h(){ return 5; } return got === 5; })()`)
+	add("arguments", `(function(){ return arguments.length === 3; })(1, 2, 3)`)
+	add("this-method", `({v: 9, m: function(){ return this.v; }}).m() === 9`)
+	add("constructor", `(function(){ function T(a){ this.a = a; } var o = new T(4); return o.a === 4; })()`)
+	add("array-grow", `(function(){ var a = []; a[5] = 1; return a.length === 6; })()`)
+	add("array-methods", `[3,1,2].sort().join("") === "123"`)
+	add("array-reverse", `[1,2,3].reverse().join("") === "321"`)
+	add("array-slice", `[1,2,3,4].slice(1, 3).join("") === "23"`)
+	add("array-concat", `[1].concat([2, 3]).length === 3`)
+	add("array-indexOf", `[5,6,7].indexOf(7) === 2`)
+	add("ternary", `(1 ? "a" : "b") === "a"`)
+	add("switch-fall", `(function(){ var n = 0; switch(2){ case 2: n++; case 3: n++; break; case 4: n = 99; } return n === 2; })()`)
+	add("typeof", `typeof {} === "object" && typeof "" === "string" && typeof 0 === "number"`)
+	add("equality", `1 == "1" && 1 !== "1" && null == undefined`)
+	add("nan", `isNaN(NaN) && NaN !== NaN`)
+	add("bitops", `(0xF0 | 0x0F) === 255 && (6 & 3) === 2 && (1 << 8) === 256`)
+	add("shift-unsigned", `(-1 >>> 24) === 255`)
+	add("for-in", `(function(){ var n = 0; var o = {a:1, b:2}; for (var k in o) n++; return n === 2; })()`)
+	add("delete", `(function(){ var o = {a:1}; delete o.a; return o.a === undefined; })()`)
+	add("do-while", `(function(){ var n = 0; do { n++; } while (n < 4); return n === 4; })()`)
+	add("labels-break", `(function(){ var n = 0; for (var i = 0; i < 10; i++){ if (i === 5) break; n++; } return n === 5; })()`)
+	add("continue", `(function(){ var n = 0; for (var i = 0; i < 6; i++){ if (i % 2) continue; n++; } return n === 3; })()`)
+	add("object-keys", `Object.keys({x:1, y:2}).length === 2`)
+
+	// Bucket 4: strings (15).
+	add("charAt", `"abc".charAt(1) === "b"`)
+	add("charCodeAt", `"A".charCodeAt(0) === 65`)
+	add("fromCharCode", `String.fromCharCode(72, 105) === "Hi"`)
+	add("substring", `"abcdef".substring(2, 4) === "cd"`)
+	add("substring-swap", `"abcdef".substring(4, 2) === "cd"`)
+	add("indexOf", `"hello world".indexOf("world") === 6`)
+	add("lastIndexOf", `"aXbXc".lastIndexOf("X") === 3`)
+	add("split-join", `"a-b-c".split("-").join("+") === "a+b+c"`)
+	add("case", `"MiXeD".toLowerCase() === "mixed" && "mix".toUpperCase() === "MIX"`)
+	add("concat-method", `"ab".concat("cd", "ef") === "abcdef"`)
+	add("string-index", `"xyz"[1] === "y"`)
+	add("number-toString", `(255).toString(16) === "ff"`)
+	add("parseInt", `parseInt("101", 2) === 5`)
+	add("parseFloat", `parseFloat("2.5rem") === 2.5`)
+	add("string-compare", `"apple" < "banana"`)
+
+	// Bucket 5: regular expressions (15).
+	add("re-test", `/a.c/.test("abc")`)
+	add("re-anchors", `/^ab$/.test("ab") && !/^ab$/.test("xab")`)
+	add("re-class", `/[aeiou]/.test("sky") === false`)
+	add("re-negated", `/[^0-9]/.test("a1")`)
+	add("re-plus", `/lo+l/.test("loooool")`)
+	add("re-question", `/colou?r/.test("color") && /colou?r/.test("colour")`)
+	add("re-count", `/a{2,3}/.test("aa") && !/^a{2,3}$/.test("a")`)
+	add("re-alt", `/cat|dog/.test("hotdog")`)
+	add("re-group", `/(ab)+c/.test("ababc")`)
+	add("re-digits", `/\d+/.test("no 42 here")`)
+	add("re-word", `/\w+/.test("__init__")`)
+	add("re-space", `/\s/.test("a b")`)
+	add("re-replace", `"a1b2".replace(/\d/g, "*") === "a*b*"`)
+	add("re-match", `"x12y34".match(/\d+/g).length === 2`)
+	add("re-ignorecase", `/HELLO/i.test("hello")`)
+
+	// Bucket 6: math and numbers (10).
+	add("math-floor", `Math.floor(9.9) === 9`)
+	add("math-pow", `Math.pow(3, 4) === 81`)
+	add("math-minmax", `Math.max(1, 2) === 2 && Math.min(1, 2) === 1`)
+	add("math-abs", `Math.abs(-7) === 7`)
+	add("math-sqrt", `Math.sqrt(144) === 12`)
+	add("math-pi", `Math.PI > 3.14 && Math.PI < 3.15`)
+	add("float-arith", `0.5 + 0.25 === 0.75`)
+	add("int-div", `Math.floor(7 / 2) === 3`)
+	add("modulo", `7 % 3 === 1`)
+	add("hex-literal", `0xFF === 255`)
+
+	if len(out) != 100 {
+		panic(fmt.Sprintf("acid: %d checks, want 100", len(out)))
+	}
+	return out
+}
+
+// Result is a scored run.
+type Result struct {
+	Score  int // out of 100
+	Failed []string
+	// FinalChecksum is the rendered page checksum after all checks ran —
+	// compared across configurations for the "pixel for pixel" claim.
+	FinalChecksum uint32
+}
+
+// Run executes the suite in a browser. screen captures the displayed frame.
+func Run(b *webkit.Browser, screen func() uint32) (*Result, error) {
+	if err := b.Load(Page); err != nil {
+		return nil, fmt.Errorf("acid: load: %w", err)
+	}
+	res := &Result{}
+	for _, c := range Checks() {
+		// The engine returns the last statement's value, so each check ends
+		// in the boolean expression it is scored on.
+		v, err := b.RunScript(c.Script)
+		if err != nil {
+			res.Failed = append(res.Failed, c.Name+": "+err.Error())
+			continue
+		}
+		if v == true {
+			res.Score++
+		} else {
+			res.Failed = append(res.Failed, c.Name)
+		}
+	}
+	// Update the score display and render the final frame ("smooth
+	// animation" stand-in: several consecutive frames must present).
+	if _, err := b.RunScript(fmt.Sprintf(
+		`document.getElementById("score").setText("%d/100");`, res.Score)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Render(); err != nil {
+			return nil, fmt.Errorf("acid: render: %w", err)
+		}
+	}
+	if screen != nil {
+		res.FinalChecksum = screen()
+	}
+	return res, nil
+}

@@ -1,0 +1,388 @@
+// Package passmark is the simulation's PassMark PerformanceTest-like
+// graphics benchmark (paper §9, Figure 6): five 2D tests (solid vectors,
+// transparent vectors, complex vectors, image rendering, image filters) and
+// two 3D tests (simple, complex).
+//
+// As in the evaluation, there are two app variants — the iOS app and the
+// Android app — which differ exactly where real cross-platform apps differ:
+// the iOS variant submits its complex-3D geometry as triangle strips (the
+// PowerVR-tuned path, fewer vertices for the same pixels), which is the kind
+// of "differences in the exact GLES calls made on either platform" the paper
+// credits for Cycada beating stock Android on complex 3D.
+package passmark
+
+import (
+	"fmt"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/graphics2d"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// Variant selects which app binary runs.
+type Variant int
+
+// App variants.
+const (
+	VariantIOS Variant = iota + 1
+	VariantAndroid
+)
+
+// Host abstracts the platform graphics environment a variant runs on.
+type Host interface {
+	Thread() *kernel.Thread
+	GL() *glesapi.GL
+	// Begin prepares a rendering context for the given GLES version and
+	// returns the view size. 2D tests pass version 2 (the canvas upload
+	// path); the simple/complex 3D tests pass 1 and 2 respectively.
+	Begin(version int) (w, h int, err error)
+	// Present displays the frame.
+	Present() error
+	// End tears the context down.
+	End() error
+	// NewCanvas allocates the platform 2D paint target.
+	NewCanvas(w, h int) (*graphics2d.Canvas, error)
+	// UploadCanvas pushes a painted canvas to the screen (texture + quad).
+	UploadCanvas(cv *graphics2d.Canvas) error
+}
+
+// TestNames lists the Figure 6 x-axis in order.
+func TestNames() []string {
+	return []string{
+		"Solid Vectors", "Transparent Vectors", "Complex Vectors",
+		"Image Rendering", "Image Filters", "Simple 3D", "Complex 3D",
+	}
+}
+
+// Result is one test's score: operations per virtual second (higher is
+// better, like PassMark's composite marks).
+type Result struct {
+	Test  string
+	Score float64
+}
+
+// Run executes one named test on a host.
+func Run(h Host, variant Variant, test string, frames int) (Result, error) {
+	if frames <= 0 {
+		frames = 8
+	}
+	var work func() (ops int, err error)
+	version := 2
+	switch test {
+	case "Solid Vectors":
+		work = func() (int, error) { return vectors2D(h, false, false) }
+	case "Transparent Vectors":
+		work = func() (int, error) { return vectors2D(h, true, false) }
+	case "Complex Vectors":
+		work = func() (int, error) { return vectors2D(h, false, true) }
+	case "Image Rendering":
+		work = func() (int, error) { return imageRender(h) }
+	case "Image Filters":
+		work = func() (int, error) { return imageFilter(h) }
+	case "Simple 3D":
+		version = 1
+		work = func() (int, error) { return simple3D(h, h.Thread()) }
+	case "Complex 3D":
+		version = 2
+		work = func() (int, error) { return complex3D(h, h.Thread(), variant) }
+	default:
+		return Result{}, fmt.Errorf("passmark: unknown test %q", test)
+	}
+
+	// Hosts may spawn the app process in Begin, so the thread is only
+	// resolved afterwards.
+	if _, _, err := h.Begin(version); err != nil {
+		return Result{}, fmt.Errorf("passmark %s: %w", test, err)
+	}
+	defer h.End()
+	t := h.Thread()
+
+	start := t.VTime()
+	totalOps := 0
+	for f := 0; f < frames; f++ {
+		ops, err := work()
+		if err != nil {
+			return Result{}, fmt.Errorf("passmark %s: %w", test, err)
+		}
+		totalOps += ops
+		if err := h.Present(); err != nil {
+			return Result{}, fmt.Errorf("passmark %s present: %w", test, err)
+		}
+	}
+	elapsed := t.VTime() - start
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	return Result{
+		Test:  test,
+		Score: float64(totalOps) / (float64(elapsed) / float64(vclock.Second)),
+	}, nil
+}
+
+// RunAll runs the full suite.
+func RunAll(h Host, variant Variant, frames int) ([]Result, error) {
+	var out []Result
+	for _, name := range TestNames() {
+		r, err := Run(h, variant, name, frames)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// --- 2D tests: CPU canvas work, uploaded and presented per frame ---
+
+func vectors2D(h Host, transparent, complex bool) (int, error) {
+	t := h.Thread()
+	cv, err := h.NewCanvas(240, 160)
+	if err != nil {
+		return 0, err
+	}
+	cv.Clear(t, white)
+	ops := 0
+	alpha := uint8(255)
+	if transparent {
+		alpha = 128
+	}
+	if complex {
+		// Polygons and circles: the "complex vectors" mix.
+		for i := 0; i < 24; i++ {
+			cv.SetFill(colorFor(i, alpha))
+			xs := []int{10 + i*3, 60 + i*2, 40 + i*3, 15 + i}
+			ys := []int{10 + i, 20 + i*2, 70 + i, 50 + i*2}
+			cv.FillPolygon(t, xs, ys)
+			cv.FillCircle(t, 120+i%40, 80, 12+i%8)
+			ops += 2
+		}
+	} else {
+		for i := 0; i < 60; i++ {
+			cv.SetFill(colorFor(i, alpha))
+			cv.FillRect(t, (i*7)%200, (i*11)%120, (i*7)%200+30, (i*11)%120+24)
+			cv.SetStroke(colorFor(i+3, 255))
+			cv.StrokeLine(t, 0, i*2, 239, 159-i*2)
+			ops += 2
+		}
+	}
+	return ops, h.UploadCanvas(cv)
+}
+
+func imageRender(h Host) (int, error) {
+	t := h.Thread()
+	cv, err := h.NewCanvas(240, 160)
+	if err != nil {
+		return 0, err
+	}
+	cv.Clear(t, white)
+	// A sprite blitted around the canvas.
+	sprite, err := h.NewCanvas(32, 32)
+	if err != nil {
+		return 0, err
+	}
+	for y := 0; y < 32; y += 4 {
+		sprite.SetFill(colorFor(y, 255))
+		sprite.FillRect(t, 0, y, 32, y+4)
+	}
+	ops := 0
+	for i := 0; i < 40; i++ {
+		cv.DrawImage(t, sprite.Image(), (i*13)%208, (i*17)%128)
+		ops++
+	}
+	return ops, h.UploadCanvas(cv)
+}
+
+func imageFilter(h Host) (int, error) {
+	t := h.Thread()
+	cv, err := h.NewCanvas(240, 160)
+	if err != nil {
+		return 0, err
+	}
+	cv.Clear(t, white)
+	// Filter pass: per-pixel transform drawn back as blended rects (a
+	// box-filter stand-in with the same per-pixel CPU cost profile).
+	ops := 0
+	for pass := 0; pass < 3; pass++ {
+		cv.SetFill(colorFor(pass*7, 90))
+		for y := 0; y < 160; y += 8 {
+			cv.FillRect(t, 0, y, 240, y+8)
+			ops++
+		}
+	}
+	return ops, h.UploadCanvas(cv)
+}
+
+// --- 3D tests ---
+
+// simple3D maximizes frame rate with small fixed-function scenes (GLES 1):
+// light geometry, so presentation overhead dominates — the case where the
+// paper says Cycada's unoptimized EAGL present path hurts most.
+func simple3D(h Host, t *kernel.Thread) (int, error) {
+	gl := h.GL()
+	gl.ClearColor(t, 0.1, 0.1, 0.3, 1)
+	gl.Clear(t, engine.ColorBufferBit)
+	gl.MatrixMode(t, engine.Projection)
+	gl.LoadIdentity(t)
+	gl.Orthof(t, -1, 1, -1, 1, -1, 1)
+	gl.MatrixMode(t, engine.ModelView)
+	gl.LoadIdentity(t)
+	gl.EnableClientState(t, engine.VertexArray)
+	gl.EnableClientState(t, engine.ColorArray)
+	ops := 0
+	for i := 0; i < 6; i++ {
+		gl.PushMatrix(t)
+		gl.Rotatef(t, float32(i*30), 0, 0, 1)
+		gl.Translatef(t, 0.3, 0, 0)
+		gl.Scalef(t, 0.25, 0.25, 1)
+		gl.VertexPointer(t, 2, []float32{-1, -1, 1, -1, 0, 1})
+		gl.ColorPointer(t, 4, []float32{
+			1, 0, 0, 1,
+			0, 1, 0, 1,
+			0, 0, 1, 1,
+		})
+		gl.DrawArrays(t, engine.Triangles, 0, 3)
+		gl.PopMatrix(t)
+		ops++
+	}
+	gl.DisableClientState(t, engine.ColorArray)
+	gl.Flush(t)
+	return ops, nil
+}
+
+// complex3D renders a shaded, textured, depth-tested field of quads (GLES 2).
+// The iOS variant submits triangle strips; the Android variant independent
+// triangles — the per-platform GLES call difference behind Figure 6's
+// complex-3D crossover.
+func complex3D(h Host, t *kernel.Thread, variant Variant) (int, error) {
+	gl := h.GL()
+	prog, err := complexProgram(h, t)
+	if err != nil {
+		return 0, err
+	}
+	gl.ClearColor(t, 0, 0, 0, 1)
+	gl.Clear(t, engine.ColorBufferBit|engine.DepthBufferBit)
+	gl.Enable(t, engine.DepthTest)
+	gl.UseProgram(t, prog)
+	posLoc := gl.GetAttribLocation(t, prog, "a_pos")
+	shadeLoc := gl.GetAttribLocation(t, prog, "a_shade")
+	tintLoc := gl.GetUniformLocation(t, prog, "u_tint")
+	ops := 0
+	// Oversized, overlapping quads: the scene covers the view several times
+	// so GPU fragment work dominates the frame, as in PassMark's complex
+	// scene.
+	const rows, cols = 6, 6
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x0 := -1 + 2*float32(c)/cols
+			x1 := x0 + 2*2.0/cols // 2 cells wide: neighbours overlap
+			y0 := -1 + 2*float32(r)/rows
+			y1 := y0 + 2*2.0/rows
+			// Painter's order back-to-front: every overlapping fragment
+			// passes the depth test, so the scene genuinely shades ~4x the
+			// view area.
+			z := 0.5 - float32(r+c)/10
+			gl.Uniform4f(t, tintLoc, float32(r)/rows, float32(c)/cols, 0.6, 1)
+			shade := []float32{0.2, 0.5, 0.8, 1.0}
+			if variant == VariantIOS {
+				// Strip order: 4 vertices per quad.
+				gl.VertexAttribPointer(t, posLoc, 4, []float32{
+					x0, y0, z, 1, x1, y0, z, 1, x0, y1, z, 1, x1, y1, z, 1,
+				})
+				gl.EnableVertexAttribArray(t, posLoc)
+				gl.VertexAttribPointer(t, shadeLoc, 1, shade)
+				gl.EnableVertexAttribArray(t, shadeLoc)
+				gl.DrawArrays(t, engine.TriangleStrip, 0, 4)
+			} else {
+				// Independent triangles: 6 vertices per quad.
+				gl.VertexAttribPointer(t, posLoc, 4, []float32{
+					x0, y0, z, 1, x1, y0, z, 1, x1, y1, z, 1,
+					x0, y0, z, 1, x1, y1, z, 1, x0, y1, z, 1,
+				})
+				gl.EnableVertexAttribArray(t, posLoc)
+				gl.VertexAttribPointer(t, shadeLoc, 1, []float32{
+					shade[0], shade[1], shade[3], shade[0], shade[3], shade[2],
+				})
+				gl.EnableVertexAttribArray(t, shadeLoc)
+				gl.DrawArrays(t, engine.Triangles, 0, 6)
+			}
+			ops++
+		}
+	}
+	gl.Disable(t, engine.DepthTest)
+	// Frame synchronization is where the two app binaries genuinely differ:
+	// the iOS build sets an APPLE fence and flushes (the PowerVR-recommended
+	// pattern; fences bridge to NV_fence under Cycada), while the Android
+	// build calls glFinish — a full pipeline drain every frame, a widespread
+	// Tegra-era Android practice. This call-pattern difference is the
+	// "differences in the exact GLES calls made on either platform" that
+	// lets Cycada iOS outperform stock Android on complex 3D (Figure 6).
+	if variant == VariantIOS {
+		if ids, ok := gl.Call(t, "glGenFencesAPPLE", 1).([]uint32); ok && len(ids) == 1 {
+			gl.Call(t, "glSetFenceAPPLE", ids[0])
+			gl.Flush(t)
+			gl.Call(t, "glTestFenceAPPLE", ids[0])
+			gl.Call(t, "glDeleteFencesAPPLE", ids)
+		} else {
+			gl.Flush(t)
+		}
+	} else {
+		gl.Finish(t)
+	}
+	return ops, nil
+}
+
+const complexVS = `
+attribute vec4 a_pos;
+attribute float a_shade;
+varying float v_shade;
+void main() { gl_Position = a_pos; v_shade = a_shade; }
+`
+
+const complexFS = `
+precision mediump float;
+varying float v_shade;
+uniform vec4 u_tint;
+void main() {
+  float glow = clamp(v_shade * 1.4, 0.0, 1.0);
+  gl_FragColor = vec4(u_tint.rgb * glow, 1.0);
+}
+`
+
+// complexProgram caches per-host shader programs.
+var progCache = map[Host]uint32{}
+
+func complexProgram(h Host, t *kernel.Thread) (uint32, error) {
+	if p, ok := progCache[h]; ok {
+		return p, nil
+	}
+	gl := h.GL()
+	vs := gl.CreateShader(t, engine.VertexShaderKind)
+	gl.ShaderSource(t, vs, complexVS)
+	gl.CompileShader(t, vs)
+	fs := gl.CreateShader(t, engine.FragmentShaderKind)
+	gl.ShaderSource(t, fs, complexFS)
+	gl.CompileShader(t, fs)
+	prog := gl.CreateProgram(t)
+	gl.AttachShader(t, prog, vs)
+	gl.AttachShader(t, prog, fs)
+	gl.LinkProgram(t, prog)
+	if gl.GetProgramiv(t, prog, engine.LinkStatus) != 1 {
+		return 0, fmt.Errorf("passmark shader: %s", gl.GetProgramInfoLog(t, prog))
+	}
+	progCache[h] = prog
+	return prog, nil
+}
+
+var white = gpu.RGBA{R: 255, G: 255, B: 255, A: 255}
+
+func colorFor(i int, a uint8) gpu.RGBA {
+	return gpu.RGBA{
+		R: uint8(60 + (i*53)%180),
+		G: uint8(40 + (i*97)%200),
+		B: uint8(80 + (i*31)%160),
+		A: a,
+	}
+}

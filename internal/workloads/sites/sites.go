@@ -1,0 +1,124 @@
+// Package sites bundles the sample pages standing in for the paper's "top
+// 30 websites in the US" functionality experiment (§9): thirty deterministic
+// pages with varied structure — headings, paragraphs, lists, tables-lite,
+// images, inline styles and scripts — rendered by Safari on Cycada and on
+// native iOS and compared pixel for pixel.
+package sites
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// siteSpec seeds one generated page.
+type siteSpec struct {
+	name  string
+	title string
+	theme string // background color
+	kind  string // layout family
+}
+
+var specs = []siteSpec{
+	{"home", "Search Home", "#fff", "search"},
+	{"news", "Daily News", "#f8f8f0", "articles"},
+	{"video", "Video Hub", "#111", "grid"},
+	{"social", "Friend Feed", "#eef3fa", "feed"},
+	{"wiki", "The Free Encyclopedia", "#fff", "articles"},
+	{"shop", "Everything Store", "#fefefe", "grid"},
+	{"auction", "Bid Now", "#fffbe8", "grid"},
+	{"mail", "Web Mail", "#f4f4f4", "feed"},
+	{"maps", "Maps", "#e8f0e8", "search"},
+	{"weather", "Weather Now", "#e8f4ff", "articles"},
+	{"sports", "Sports Center", "#f0fff0", "articles"},
+	{"finance", "Market Watch", "#fffff4", "feed"},
+	{"movies", "Movie Reviews", "#1a1a24", "grid"},
+	{"music", "Music Stream", "#14141c", "grid"},
+	{"travel", "Trip Planner", "#eefaf8", "search"},
+	{"food", "Recipe Box", "#fff4ec", "articles"},
+	{"health", "Health Advice", "#f2fbf2", "articles"},
+	{"tech", "Tech Review", "#fafafa", "feed"},
+	{"games", "Game Arcade", "#101020", "grid"},
+	{"photos", "Photo Share", "#fcfcfc", "grid"},
+	{"qa", "Questions and Answers", "#fffef6", "feed"},
+	{"jobs", "Job Board", "#f4f8fc", "feed"},
+	{"realty", "Home Finder", "#f8fff8", "grid"},
+	{"bank", "Online Banking", "#eef4ee", "search"},
+	{"gov", "Civic Portal", "#f4f4ff", "articles"},
+	{"edu", "Open Courses", "#fffaf4", "articles"},
+	{"blog", "Personal Blog", "#fdf6ec", "articles"},
+	{"forum", "Discussion Board", "#f6f6f6", "feed"},
+	{"dev", "Developer Docs", "#fcfcf4", "articles"},
+	{"kids", "Kids Corner", "#fff0f8", "grid"},
+}
+
+// Names lists the bundled page names, sorted.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Page returns one bundled page's HTML.
+func Page(name string) (string, bool) {
+	for _, s := range specs {
+		if s.name == name {
+			return build(s), true
+		}
+	}
+	return "", false
+}
+
+// All returns every page keyed by name (the top-30 sweep).
+func All() map[string]string {
+	out := make(map[string]string, len(specs))
+	for _, s := range specs {
+		out[s.name] = build(s)
+	}
+	return out
+}
+
+func build(s siteSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html>\n<head><title>%s</title></head>\n", s.title)
+	fmt.Fprintf(&b, `<body style="background:%s">`+"\n", s.theme)
+	fmt.Fprintf(&b, `<div id="masthead" style="background:#3b5998;color:white;padding:3px"><h1>%s</h1></div>`+"\n", s.title)
+	switch s.kind {
+	case "search":
+		fmt.Fprintf(&b, `<div id="searchbox" style="background:white;border:1px;padding:6px;margin:8px">`)
+		fmt.Fprintf(&b, `<p>Search %s:</p><div style="background:#eee;height:14px;width:200px"></div></div>`+"\n", s.name)
+		fmt.Fprintf(&b, `<p>Popular: <a>%s one</a> <a>%s two</a> <a>%s three</a></p>`+"\n", s.name, s.name, s.name)
+	case "articles":
+		for i := 1; i <= 4; i++ {
+			fmt.Fprintf(&b, `<h2>Story %d from %s</h2>`+"\n", i, s.title)
+			fmt.Fprintf(&b, `<p>%s article body number %d with <b>bold facts</b> and <a>linked words</a> flowing across several lines of laid out text to wrap.</p>`+"\n", s.name, i)
+			if i%2 == 0 {
+				fmt.Fprintf(&b, `<img src="%s-photo-%d" width="48" height="32">`+"\n", s.name, i)
+			}
+		}
+	case "grid":
+		fmt.Fprintf(&b, `<div id="grid">`)
+		for i := 0; i < 8; i++ {
+			fmt.Fprintf(&b, `<img src="%s-thumb-%d" width="40" height="30"> `, s.name, i)
+		}
+		fmt.Fprintf(&b, "</div>\n<p>Browse %d items in the %s catalog.</p>\n", 8, s.name)
+	case "feed":
+		fmt.Fprintf(&b, "<ul>\n")
+		for i := 1; i <= 6; i++ {
+			fmt.Fprintf(&b, `<li><b>user%d</b>: %s update number %d</li>`+"\n", i, s.name, i)
+		}
+		fmt.Fprintf(&b, "</ul>\n")
+	}
+	// Every page carries a script touching the DOM, like real sites.
+	fmt.Fprintf(&b, `<div id="dyn"></div>
+<script>
+var d = document.getElementById("dyn");
+d.setText("%s loaded with " + document.getElementsByTagName("p").length + " paragraphs");
+</script>
+`, s.name)
+	fmt.Fprintf(&b, "<div id=\"footer\" style=\"background:#ddd\"><p>contact - terms - privacy</p></div>\n</body>\n</html>\n")
+	return b.String()
+}

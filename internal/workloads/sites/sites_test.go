@@ -1,0 +1,64 @@
+package sites
+
+import (
+	"strings"
+	"testing"
+
+	"cycada/internal/webkit"
+)
+
+func TestThirtySites(t *testing.T) {
+	if got := len(Names()); got != 30 {
+		t.Fatalf("sites = %d, want 30 (the paper's top-30 set)", got)
+	}
+}
+
+func TestAllPagesParseAndHaveStructure(t *testing.T) {
+	for name, html := range All() {
+		doc, err := webkit.ParseHTML(html)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if doc.Title == "" {
+			t.Errorf("%s: no title", name)
+		}
+		if doc.Body() == nil {
+			t.Errorf("%s: no body", name)
+		}
+		if len(doc.Scripts()) == 0 {
+			t.Errorf("%s: no script (pages must exercise the JS engine)", name)
+		}
+		if doc.GetElementByID("masthead") == nil || doc.GetElementByID("footer") == nil {
+			t.Errorf("%s: missing chrome", name)
+		}
+	}
+}
+
+func TestPageLookup(t *testing.T) {
+	html, ok := Page("wiki")
+	if !ok || !strings.Contains(html, "Encyclopedia") {
+		t.Fatalf("Page(wiki) = %v, %v", len(html), ok)
+	}
+	if _, ok := Page("nope"); ok {
+		t.Fatal("unknown page found")
+	}
+}
+
+func TestPagesAreDeterministic(t *testing.T) {
+	a, _ := Page("news")
+	b, _ := Page("news")
+	if a != b {
+		t.Fatal("page generation not deterministic")
+	}
+}
+
+func TestPagesAreDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for name, html := range All() {
+		if prev, dup := seen[html]; dup {
+			t.Fatalf("%s and %s have identical HTML", name, prev)
+		}
+		seen[html] = name
+	}
+}

@@ -1,0 +1,219 @@
+// Package sunspider is the simulation's SunSpider-like JavaScript benchmark:
+// nine categories matching the paper's Figure 5 x-axis (3d, access, bitops,
+// controlflow, crypto, date, math, regexp, string), each a self-checking
+// script sized for the simulated engine.
+//
+// Like the real harness, each test reports its own latency; the runner
+// measures virtual time around browser.RunScript so the numbers include the
+// engine-mode difference (JIT vs interpreter) that dominates Figure 5.
+package sunspider
+
+import (
+	"fmt"
+
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+	"cycada/internal/webkit"
+)
+
+// Test is one benchmark category.
+type Test struct {
+	Name     string
+	Source   string
+	Expected float64 // self-check value the script must return
+}
+
+// Result is one measured category.
+type Result struct {
+	Name    string
+	Elapsed vclock.Duration
+}
+
+// Tests returns the nine categories in Figure 5 order.
+func Tests() []Test {
+	return []Test{
+		{Name: "3d", Expected: 2325, Source: `
+// 3d: vector/matrix arithmetic over a point cloud (raytrace-ish).
+var npts = 120;
+var pts = [];
+for (var i = 0; i < npts; i++) {
+  pts.push([i * 0.1, i * 0.2, i * 0.3]);
+}
+function rotate(p, a) {
+  var c = Math.cos(a), s = Math.sin(a);
+  return [p[0] * c - p[1] * s, p[0] * s + p[1] * c, p[2]];
+}
+function lenSq(p) { return p[0]*p[0] + p[1]*p[1] + p[2]*p[2]; }
+var acc = 0;
+for (var f = 0; f < 25; f++) {
+  for (var j = 0; j < npts; j++) {
+    var r = rotate(pts[j], f * 0.05);
+    if (lenSq(r) > 100) acc++;
+  }
+}
+acc;
+`},
+		{Name: "access", Expected: 499950000, Source: `
+// access: tight array read/write loops (nsieve/fannkuch-ish).
+var n = 10000;
+var a = new Array(n);
+for (var i = 0; i < n; i++) { a[i] = i; }
+var sum = 0;
+for (var r = 0; r < 10; r++) {
+  for (var j = 0; j < n; j++) { sum += a[j]; }
+}
+sum / 10 * 10;
+`},
+		{Name: "bitops", Expected: 8192, Source: `
+// bitops: bit twiddling (bits-in-byte-ish).
+function bits(v) {
+  var c = 0;
+  while (v) { c += v & 1; v >>>= 1; }
+  return c;
+}
+var total = 0;
+for (var r = 0; r < 8; r++) {
+  for (var i = 0; i < 256; i++) { total += bits(i); }
+}
+total;
+`},
+		{Name: "controlflow", Expected: 34776, Source: `
+// controlflow: recursion and branching (ackermann/takl-ish).
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x-1, y, z), tak(y-1, z, x), tak(z-1, x, y));
+}
+var out = 0;
+for (var r = 0; r < 3; r++) { out += tak(14, 10, 4) + r; }
+out * 1932;
+`},
+		{Name: "crypto", Expected: 1651327, Source: `
+// crypto: byte mixing rounds (md5/sha-ish schedule).
+var state = [1732584193, 4023233417, 2562383102, 271733878];
+function mix(a, b, c, d, x, s) {
+  a = (a + ((b & c) | (~b & d)) + x) | 0;
+  return ((a << s) | (a >>> (32 - s))) ^ b;
+}
+var x = 0;
+for (var r = 0; r < 400; r++) {
+  for (var i = 0; i < 16; i++) {
+    x = mix(state[i & 3], state[(i + 1) & 3], state[(i + 2) & 3], state[(i + 3) & 3], i * r, (i % 5) + 4);
+  }
+  state[r & 3] = x;
+}
+(x >>> 0) % 2000000 + 500000;
+`},
+		{Name: "date", Expected: 1505, Source: `
+// date: date formatting batteries.
+function pad(n) { return n < 10 ? "0" + n : "" + n; }
+function format(ms) {
+  var days = Math.floor(ms / 86400000);
+  var hours = Math.floor(ms / 3600000) % 24;
+  var mins = Math.floor(ms / 60000) % 60;
+  return days + " " + pad(hours) + ":" + pad(mins);
+}
+var out = 0;
+for (var i = 0; i < 1500; i++) {
+  var s = format(i * 123456.7);
+  out += s.length > 5 ? 1 : 0;
+}
+out + 5;
+`},
+		{Name: "math", Expected: 3821, Source: `
+// math: transcendental partial sums (partial-sums-ish).
+var sum = 0;
+for (var k = 1; k <= 3000; k++) {
+  sum += 1.0 / (k * k) + Math.sin(k) / k + Math.pow(k, -0.5);
+}
+Math.floor(sum * 1000 / 29);
+`},
+		{Name: "regexp", Expected: 440, Source: `
+// regexp: DNA-ish pattern batteries over a synthetic string.
+var seq = "";
+for (var i = 0; i < 40; i++) { seq += "agggtaaacctacgtcagcctagcgt"; }
+var pats = [/agggta{1,3}/g, /[cg]gt/g, /tacg|gtca/g, /a.c.t/g, /c(ag|ct)+/g];
+var hits = 0;
+for (var p = 0; p < pats.length; p++) {
+  var m = seq.match(pats[p]);
+  if (m) hits += m.length;
+}
+hits;
+`},
+		{Name: "string", Expected: 2304, Source: `
+// string: building, splitting and validating text (tagcloud-ish).
+var words = "the quick brown fox jumps over the lazy dog".split(" ");
+var out = "";
+for (var r = 0; r < 64; r++) {
+  for (var i = 0; i < words.length; i++) {
+    out += words[i].toUpperCase().charAt(0) + words[i].substring(1) + ",";
+  }
+}
+var parts = out.split(",");
+var n = 0;
+for (var j = 0; j < parts.length; j++) { n += parts[j].length; }
+n * (parts.length > 0 ? 1 : 0) / 100 * 100 + 2 * 32;
+`},
+	}
+}
+
+// RunInBrowser runs every category inside a loaded browser page, returning
+// per-test latencies and verifying each script's self-check.
+func RunInBrowser(b *webkit.Browser, t *kernel.Thread) ([]Result, error) {
+	var out []Result
+	for _, test := range Tests() {
+		start := t.VTime()
+		v, err := b.RunScript(test.Source)
+		if err != nil {
+			return nil, fmt.Errorf("sunspider %s: %w", test.Name, err)
+		}
+		elapsed := t.VTime() - start
+		got, ok := v.(float64)
+		if !ok || got != test.Expected {
+			return nil, fmt.Errorf("sunspider %s: self-check = %v, want %v", test.Name, v, test.Expected)
+		}
+		out = append(out, Result{Name: test.Name, Elapsed: elapsed})
+	}
+	// The suite's dynamic HTML output is what makes SunSpider exercise the
+	// graphics stack (paper: "the WebKit framework uses GLES to render the
+	// resulting dynamic HTML output"). Render a results frame per category,
+	// and recycle the tile textures midway like a page update does — the
+	// glDeleteTextures traffic prominent in the paper's Figure 7/9 profile.
+	results := out
+	for i, r := range results {
+		if _, err := b.RunScript(fmt.Sprintf(
+			`var el = document.getElementById("results"); if (el) { el.setText(el.getText() + " %s"); }`,
+			r.Name)); err != nil {
+			return nil, err
+		}
+		if i == len(results)/2 {
+			if err := b.ReloadTextures(); err != nil {
+				return nil, fmt.Errorf("sunspider reload: %w", err)
+			}
+		}
+		if err := b.Render(); err != nil {
+			return nil, fmt.Errorf("sunspider render: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Total sums the latencies (the "Total" bar of Figure 5).
+func Total(results []Result) vclock.Duration {
+	var d vclock.Duration
+	for _, r := range results {
+		d += r.Elapsed
+	}
+	return d
+}
+
+// Page is the benchmark's host page.
+const Page = `
+<html>
+<head><title>SunSpider 1.0.2</title></head>
+<body>
+<h1>SunSpider JavaScript Benchmark</h1>
+<p id="status">running...</p>
+<div id="results" style="background:#eef"></div>
+</body>
+</html>
+`

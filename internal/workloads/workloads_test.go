@@ -1,0 +1,196 @@
+// Package workloads_test holds cross-workload integration tests: the
+// SunSpider suite's self-checks on a bare engine, the PassMark suite on both
+// app variants, and the Acid checks' census.
+package workloads_test
+
+import (
+	"testing"
+
+	"cycada/internal/harness"
+	"cycada/internal/jsvm"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+	"cycada/internal/workloads/acid"
+	"cycada/internal/workloads/passmark"
+	"cycada/internal/workloads/sunspider"
+)
+
+func jsThread(t *testing.T) *kernel.Thread {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("js", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Main()
+}
+
+func TestSunSpiderHasNineCategories(t *testing.T) {
+	tests := sunspider.Tests()
+	if len(tests) != 9 {
+		t.Fatalf("categories = %d, want 9", len(tests))
+	}
+	want := []string{"3d", "access", "bitops", "controlflow", "crypto", "date", "math", "regexp", "string"}
+	for i, name := range want {
+		if tests[i].Name != name {
+			t.Fatalf("category %d = %s, want %s (Figure 5 order)", i, tests[i].Name, name)
+		}
+	}
+}
+
+func TestSunSpiderSelfChecksInBothModes(t *testing.T) {
+	// Every category must compute the same answer with and without JIT —
+	// the engine modes differ only in cost.
+	for _, mode := range []struct {
+		name string
+		opts []jsvm.Option
+	}{
+		{"jit", nil},
+		{"interp", []jsvm.Option{jsvm.WithoutJIT()}},
+	} {
+		for _, test := range sunspider.Tests() {
+			e := jsvm.New(jsThread(t), mode.opts...)
+			v, err := e.Run(test.Source)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode.name, test.Name, err)
+			}
+			if v != test.Expected {
+				t.Fatalf("%s/%s = %v, want %v", mode.name, test.Name, v, test.Expected)
+			}
+		}
+	}
+}
+
+func TestSunSpiderInterpreterSlowerPerCategory(t *testing.T) {
+	for _, test := range sunspider.Tests() {
+		thJ := jsThread(t)
+		eJ := jsvm.New(thJ)
+		before := thJ.VTime()
+		if _, err := eJ.Run(test.Source); err != nil {
+			t.Fatal(err)
+		}
+		jit := thJ.VTime() - before
+
+		thI := jsThread(t)
+		eI := jsvm.New(thI, jsvm.WithoutJIT())
+		before = thI.VTime()
+		if _, err := eI.Run(test.Source); err != nil {
+			t.Fatal(err)
+		}
+		interp := thI.VTime() - before
+		if interp <= jit {
+			t.Errorf("%s: interpreter (%v) not slower than JIT (%v)", test.Name, interp, jit)
+		}
+	}
+}
+
+func TestRegexpCategoryDegradesMost(t *testing.T) {
+	// Figure 5: the regexp bars tower over the rest without JIT.
+	ratios := map[string]float64{}
+	for _, test := range sunspider.Tests() {
+		thJ := jsThread(t)
+		eJ := jsvm.New(thJ)
+		b1 := thJ.VTime()
+		eJ.Run(test.Source)
+		jit := float64(thJ.VTime() - b1)
+		thI := jsThread(t)
+		eI := jsvm.New(thI, jsvm.WithoutJIT())
+		b2 := thI.VTime()
+		eI.Run(test.Source)
+		ratios[test.Name] = float64(thI.VTime()-b2) / jit
+	}
+	for name, r := range ratios {
+		if name == "regexp" {
+			continue
+		}
+		if ratios["regexp"] <= r {
+			t.Fatalf("regexp ratio %.1f not above %s ratio %.1f", ratios["regexp"], name, r)
+		}
+	}
+}
+
+func TestPassmarkSuiteNames(t *testing.T) {
+	names := passmark.TestNames()
+	if len(names) != 7 {
+		t.Fatalf("tests = %d, want 7 (5 x 2D + 2 x 3D)", len(names))
+	}
+	if names[5] != "Simple 3D" || names[6] != "Complex 3D" {
+		t.Fatalf("3D tests misplaced: %v", names)
+	}
+}
+
+func TestPassmarkUnknownTest(t *testing.T) {
+	d, err := harness.Boot(harness.StockAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.NewPassmarkHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := passmark.Run(h, d.Variant, "No Such Test", 1); err == nil {
+		t.Fatal("unknown test ran")
+	}
+}
+
+func TestPassmarkScoresPositiveOnEveryVariant(t *testing.T) {
+	for _, id := range []harness.ConfigID{harness.StockAndroid, harness.NativeIOS} {
+		d, err := harness.Boot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := d.NewPassmarkHost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := passmark.RunAll(h, d.Variant, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res) != 7 {
+			t.Fatalf("%s: %d results", id, len(res))
+		}
+		for _, r := range res {
+			if r.Score <= 0 {
+				t.Errorf("%s %s score = %v", id, r.Test, r.Score)
+			}
+		}
+	}
+}
+
+func TestAcidHasExactlyHundredChecks(t *testing.T) {
+	checks := acid.Checks()
+	if len(checks) != 100 {
+		t.Fatalf("checks = %d, want 100", len(checks))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		if seen[c.Name] {
+			t.Errorf("duplicate check %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Script == "" {
+			t.Errorf("empty script for %q", c.Name)
+		}
+	}
+}
+
+func TestAcidOnAndroidBrowserToo(t *testing.T) {
+	// The engine is platform-neutral: the Android browser passes the same
+	// conformance suite.
+	d, err := harness.Boot(harness.StockAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := d.NewBrowser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acid.Run(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 100 {
+		t.Fatalf("Android browser Acid = %d/100, failed: %v", res.Score, res.Failed)
+	}
+}
