@@ -1,0 +1,16 @@
+.PHONY: check test bench trace
+
+# Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
+# concurrency-heavy core packages.
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Chrome trace_event demo: open trace.json in chrome://tracing or Perfetto.
+trace:
+	go run ./cmd/cycadabench -trace trace.json

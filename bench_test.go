@@ -14,6 +14,7 @@ import (
 	"cycada/internal/harness"
 	"cycada/internal/jsvm"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/workloads/passmark"
 	"cycada/internal/workloads/sunspider"
@@ -74,8 +75,12 @@ func (benchNoop) Symbols() map[string]linker.Fn {
 }
 
 func diplomatBenchEnv(b *testing.B, hooks *diplomat.Hooks) (*kernel.Thread, *diplomat.Diplomat) {
+	return diplomatBenchEnvOn(b, hooks, nil)
+}
+
+func diplomatBenchEnvOn(b *testing.B, hooks *diplomat.Hooks, tracer *obs.Tracer) (*kernel.Thread, *diplomat.Diplomat) {
 	b.Helper()
-	sys := system.New(system.Config{})
+	sys := system.New(system.Config{Tracer: tracer})
 	app, err := sys.NewIOSApp(system.AppConfig{Name: "bench"})
 	if err != nil {
 		b.Fatal(err)
@@ -124,6 +129,46 @@ func BenchmarkTable3DiplomatGLPrePost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d.Call(t)
 	}
+}
+
+// --- Observability layer (internal/obs) overhead ---
+
+// BenchmarkDiplomatCall is the hot-path baseline: a bare direct diplomat
+// call with tracing off (the default) and no profiler.
+func BenchmarkDiplomatCall(b *testing.B) {
+	t, d := diplomatBenchEnv(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Call(t)
+	}
+}
+
+// BenchmarkObsOverhead measures the same call with the always-compiled-in
+// observability layer in both states. The acceptance bar is disabled ns/op
+// within 3% of BenchmarkDiplomatCall: the disabled cost of each potential
+// span is a single atomic load.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		tr := obs.New() // explicitly off
+		t, d := diplomatBenchEnvOn(b, nil, tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Call(t)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := obs.New()
+		tr.SetEnabled(true)
+		t, d := diplomatBenchEnvOn(b, nil, tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Call(t)
+			// Drain periodically so the event buffers don't dominate memory.
+			if i&0x3fff == 0x3fff {
+				tr.Reset()
+			}
+		}
+	})
 }
 
 // --- Figure 5: SunSpider per configuration ---

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	cycadabench -exp table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|acid|all
+//	cycadabench -trace out.json [-exp fig5]
+//
+// With -trace, tracing is enabled for the run and a Chrome trace_event file
+// is written; open it in chrome://tracing or https://ui.perfetto.dev. If -exp
+// is not given alongside -trace, only the short harness trace scenario runs
+// (diplomat calls, DLR replica loads, a thread impersonation, a present).
 package main
 
 import (
@@ -17,7 +23,37 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(append(cycada.Experiments(), "all"), "|"))
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file to this path")
 	flag.Parse()
+
+	if *trace != "" {
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		name := ""
+		if expSet {
+			name = *exp
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycadabench:", err)
+			os.Exit(1)
+		}
+		out, err := cycada.RunTrace(name, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycadabench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Fprintln(os.Stderr, "cycadabench: trace written to", *trace)
+		return
+	}
 
 	out, err := cycada.RunExperiment(*exp)
 	if err != nil {

@@ -16,11 +16,13 @@ package cycada
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"cycada/internal/core/system"
 	"cycada/internal/harness"
 	"cycada/internal/ios/iosys"
+	"cycada/internal/obs"
 	"cycada/internal/workloads/acid"
 )
 
@@ -118,6 +120,32 @@ func RunExperiment(name string) (string, error) {
 	default:
 		return "", fmt.Errorf("cycada: unknown experiment %q (have %v)", name, append(Experiments(), "all"))
 	}
+}
+
+// RunTrace enables the process-wide tracer, runs the named experiment (may
+// be empty), then runs the harness trace scenario — which guarantees the
+// trace contains diplomat calls, DLR replica loads, a thread impersonation
+// session, and the EGL present path — and writes everything collected as a
+// Chrome trace_event file (load it in chrome://tracing or Perfetto) to w.
+// It returns the experiment's rendered text, if any.
+//
+// Because spans record virtual time without charging any, the experiment's
+// output is byte-identical with tracing on or off.
+func RunTrace(exp string, w io.Writer) (string, error) {
+	obs.Default.SetEnabled(true)
+	defer obs.Default.SetEnabled(false)
+	var out string
+	if exp != "" {
+		var err error
+		out, err = RunExperiment(exp)
+		if err != nil {
+			return "", err
+		}
+	}
+	if err := harness.TraceScenario(); err != nil {
+		return "", err
+	}
+	return out, obs.Default.WriteChromeTrace(w)
 }
 
 // runAcid runs the Acid-like conformance comparison of §9.

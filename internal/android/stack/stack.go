@@ -17,6 +17,7 @@ import (
 	"cycada/internal/android/libc"
 	"cycada/internal/android/sflinger"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
 )
@@ -43,6 +44,7 @@ type Config struct {
 	Clock    *vclock.Clock
 	ScreenW  int
 	ScreenH  int
+	Tracer   *obs.Tracer // nil = obs.Default
 }
 
 // New boots an Android system: kernel, gralloc driver, SurfaceFlinger.
@@ -50,7 +52,7 @@ func New(cfg Config) *System {
 	if cfg.ScreenW == 0 {
 		cfg.ScreenW, cfg.ScreenH = ScreenW, ScreenH
 	}
-	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock})
+	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer})
 	g := gralloc.NewDevice()
 	k.RegisterDevice(gralloc.DevicePath, g)
 	f := sflinger.New(cfg.ScreenW, cfg.ScreenH)

@@ -22,6 +22,7 @@ import (
 
 	"cycada/internal/core/profile"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 )
 
@@ -95,7 +96,12 @@ type Diplomat struct {
 
 	hooks   *Hooks
 	wrapper Wrapper
-	prof    *profile.Profiler
+	// met is the diplomat's profile metric, resolved once at construction so
+	// the per-call record is two atomic adds on the caller's stripe (no
+	// global mutex, no map lookup). Nil when no profiler is configured or the
+	// diplomat is Unimplemented.
+	met      *obs.Metric
+	spanName string // "diplomat:<name>", precomputed for the call span
 
 	mu    sync.Mutex
 	cache map[*linker.Handle]map[string]linker.Symbol // step 1's locally-scoped static variables, per library instance
@@ -133,7 +139,7 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 	if cfg.Linker == nil || (cfg.Library == nil && cfg.LibraryFor == nil) {
 		return nil, fmt.Errorf("diplomat %s: missing domestic library", name)
 	}
-	return &Diplomat{
+	d := &Diplomat{
 		Name:     name,
 		Kind:     kind,
 		foreign:  cfg.Foreign,
@@ -143,9 +149,15 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 		libFor:   cfg.LibraryFor,
 		hooks:    cfg.Hooks,
 		wrapper:  wrapper,
-		prof:     cfg.Profiler,
+		spanName: "diplomat:" + name,
 		cache:    map[*linker.Handle]map[string]linker.Symbol{},
-	}, nil
+	}
+	// Unimplemented diplomats never execute, so they get no metric: the
+	// paper's figures must not show functions that are never called.
+	if cfg.Profiler != nil && kind != Unimplemented {
+		d.met = cfg.Profiler.Metric(name)
+	}
+	return d, nil
 }
 
 // ErrUnimplemented is returned when an unimplemented diplomat is called (the
@@ -157,15 +169,14 @@ var ErrUnimplemented = fmt.Errorf("diplomat: function not implemented in the pro
 // name as the diplomat; Indirect and DataDependent kinds route through their
 // wrapper.
 func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
-	start := t.VTime()
-	defer func() {
-		if d.prof != nil {
-			d.prof.Record(d.Name, t.VTime()-start)
-		}
-	}()
+	// Unimplemented diplomats return before any profiling: the ten
+	// never-called Table 2 functions must not appear in the Figure 7-10
+	// profiles.
 	if d.Kind == Unimplemented {
 		return ErrUnimplemented
 	}
+	sp := t.TraceBegin(obs.CatDiplomat, d.spanName)
+	start := t.VTime()
 
 	// Step 2: prelude in the foreign persona.
 	d.runHook(t, true)
@@ -188,6 +199,10 @@ func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
 
 	// Step 11: return value restored from the stack, control returns.
 	t.ChargeCPU(t.Costs().RetSaveRestore / 2)
+	if d.met != nil {
+		d.met.Record(t.TID(), t.VTime()-start)
+	}
+	t.TraceEnd(sp)
 	return ret
 }
 
@@ -224,12 +239,17 @@ func (d *Diplomat) invokeDomestic(t *kernel.Thread, name string, args ...any) an
 		// Resolution failure is a bridge bug surfaced to the caller.
 		return err
 	}
+	var sp obs.Span
+	if t.TraceEnabled() { // guarded: the span name concatenation allocates
+		sp = t.TraceBegin(obs.CatDiplomat, "domestic:"+name)
+	}
 	c := t.Costs()
 
 	// Step 3: arguments stored on the stack.
 	t.ChargeCPU(c.ArgSave)
 	// Step 4: set_persona to the domestic persona.
 	if err := t.SetPersona(d.domestic); err != nil {
+		t.TraceEnd(sp)
 		return err
 	}
 	// Step 5: arguments restored.
@@ -241,11 +261,13 @@ func (d *Diplomat) invokeDomestic(t *kernel.Thread, name string, args ...any) an
 	t.ChargeCPU(c.RetSaveRestore / 2)
 	// Step 8: set_persona back to the foreign persona.
 	if err := t.SetPersona(d.foreign); err != nil {
+		t.TraceEnd(sp)
 		return err
 	}
 	// Step 9: domestic TLS values such as errno converted into foreign TLS.
 	t.ChargeCPU(c.ErrnoConvert)
 	t.SetErrnoIn(d.foreign, domesticErrno)
+	t.TraceEnd(sp)
 	return ret
 }
 

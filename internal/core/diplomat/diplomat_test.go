@@ -244,6 +244,32 @@ func TestProfilerRecordsCalls(t *testing.T) {
 	}
 }
 
+// Regression: Call must check for the Unimplemented kind before any
+// profiling. The ten never-called Table 2 functions previously got a metric
+// row recorded on every call, which would surface them in the Figure 7-10
+// profiles.
+func TestUnimplementedNotProfiled(t *testing.T) {
+	th, cfg, _ := env(t)
+	prof := profile.New()
+	cfg.Profiler = prof
+	d, err := New(cfg, "glFenceSyncAPPLE", Unimplemented, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := th.VTime()
+	d.Call(th)
+	d.Call(th)
+	if n := prof.Calls("glFenceSyncAPPLE"); n != 0 {
+		t.Fatalf("unimplemented diplomat profiled %d calls", n)
+	}
+	if s := prof.Samples(); len(s) != 0 {
+		t.Fatalf("samples = %v, want none", s)
+	}
+	if th.VTime() != start {
+		t.Fatal("unimplemented diplomat charged foreign-visible time")
+	}
+}
+
 func TestRegistryCensus(t *testing.T) {
 	_, cfg, _ := env(t)
 	r := NewRegistry(cfg)

@@ -6,6 +6,7 @@ import (
 	"cycada/internal/core/diplomat"
 	"cycada/internal/ios/eagl"
 	"cycada/internal/ios/iosurface"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 )
 
@@ -130,6 +131,8 @@ func (bk *Backend) RenderbufferStorageFromDrawable(t *kernel.Thread, bc eagl.Bac
 // path, and both finish with eglSwapBuffers — exactly the function trio the
 // paper's profiles show.
 func (bk *Backend) PresentRenderbuffer(t *kernel.Thread, bc eagl.BackendContext) error {
+	sp := t.TraceBegin(obs.CatEGL, "egl:present")
+	defer t.TraceEnd(sp)
 	b, err := asBctx(bc)
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ import (
 	"cycada/internal/ios/eagl"
 	"cycada/internal/ios/iosurface"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
 )
@@ -198,6 +199,8 @@ func (l *Lib) setTLS(t *kernel.Thread, b *bctx) error {
 
 // makeCurrent implements aegl_bridge_make_current.
 func (l *Lib) makeCurrent(t *kernel.Thread, b *bctx) error {
+	sp := t.TraceBegin(obs.CatEGL, "egl:make_current")
+	defer t.TraceEnd(sp)
 	if b == nil {
 		l.mu.Lock()
 		prev := l.current[t.TID()]
@@ -283,6 +286,8 @@ func (l *Lib) storageFromDrawable(t *kernel.Thread, b *bctx, d eagl.Drawable) er
 // render the off-screen framebuffer contents into the default framebuffer" —
 // the paper's deliberately inefficient present path.
 func (l *Lib) drawFBOTex(t *kernel.Thread, b *bctx) error {
+	sp := t.TraceBegin(obs.CatEGL, "egl:blit_shader")
+	defer t.TraceEnd(sp)
 	b.mu.Lock()
 	win := b.winSurf
 	tex := b.presentTex
@@ -315,6 +320,8 @@ func (l *Lib) copyTexBuf(t *kernel.Thread, args []any) (any, error) {
 	switch first := args[0].(type) {
 	case *bctx:
 		b := first
+		sp := t.TraceBegin(obs.CatEGL, "egl:blit_copy")
+		defer t.TraceEnd(sp)
 		b.mu.Lock()
 		win := b.winSurf
 		buf := b.layerBuf

@@ -1,0 +1,198 @@
+// External test package: the bridge is exercised the way iOS apps reach it —
+// through EAGL over a fully assembled Cycada system — which also avoids an
+// import cycle with internal/core/system.
+package eglbridge_test
+
+import (
+	"strings"
+	"testing"
+
+	"cycada/internal/core/system"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/obs"
+	"cycada/internal/sim/kernel"
+)
+
+// newApp boots a Cycada system on its own enabled tracer so tests can assert
+// on the spans the bridge emits.
+func newApp(t *testing.T) (*system.IOSApp, *obs.Tracer) {
+	t.Helper()
+	tr := obs.New()
+	tr.SetEnabled(true)
+	sys := system.New(system.Config{Tracer: tr})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "egltest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+// setupContext creates a context on th, makes it current, and attaches a
+// layer-backed renderbuffer — the standard EAGL drawable dance.
+func setupContext(t *testing.T, app *system.IOSApp, th *kernel.Thread, api int) *eagl.Context {
+	t.Helper()
+	ctx, err := app.EAGL.NewContext(th, api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(th, ctx); err != nil {
+		t.Fatal(err)
+	}
+	layer, err := app.NewLayer(th, 0, 0, 32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbo := app.GL.GenFramebuffers(th, 1)
+	app.GL.BindFramebuffer(th, fbo[0])
+	rb := app.GL.GenRenderbuffers(th, 1)
+	app.GL.BindRenderbuffer(th, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(th, layer); err != nil {
+		t.Fatal(err)
+	}
+	app.GL.FramebufferRenderbuffer(th, rb[0])
+	return ctx
+}
+
+func spanCounts(tr *obs.Tracer) map[string]int {
+	out := map[string]int{}
+	for _, e := range tr.Events() {
+		out[e.Name]++
+	}
+	return out
+}
+
+func TestMakeCurrentEmitsSpans(t *testing.T) {
+	app, tr := newApp(t)
+	th := app.Main()
+	setupContext(t, app, th, eagl.APIGLES2)
+	spans := spanCounts(tr)
+	for _, want := range []string{"egl:make_current", "diplomat:aegl_bridge_make_current", "diplomat:aegl_bridge_set_tls"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span emitted", want)
+		}
+	}
+	// Creator == caller on the main thread: no impersonation.
+	if spans["impersonation"] != 0 {
+		t.Error("same-thread make-current impersonated")
+	}
+}
+
+func TestPresentGLES2UsesShaderBlit(t *testing.T) {
+	app, tr := newApp(t)
+	th := app.Main()
+	ctx := setupContext(t, app, th, eagl.APIGLES2)
+	tr.Reset()
+	if err := ctx.PresentRenderbuffer(th); err != nil {
+		t.Fatal(err)
+	}
+	spans := spanCounts(tr)
+	for _, want := range []string{"egl:present", "egl:blit_shader", "diplomat:aegl_bridge_draw_fbo_tex", "diplomat:eglSwapBuffers"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span emitted", want)
+		}
+	}
+	if spans["egl:blit_copy"] != 0 {
+		t.Error("GLES2 present took the copy path")
+	}
+}
+
+func TestPresentGLES1UsesCopyPath(t *testing.T) {
+	app, tr := newApp(t)
+	th := app.Main()
+	ctx := setupContext(t, app, th, eagl.APIGLES1)
+	tr.Reset()
+	if err := ctx.PresentRenderbuffer(th); err != nil {
+		t.Fatal(err)
+	}
+	spans := spanCounts(tr)
+	for _, want := range []string{"egl:present", "egl:blit_copy", "diplomat:aegl_bridge_copy_tex_buf", "diplomat:eglSwapBuffers"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span emitted", want)
+		}
+	}
+	if spans["egl:blit_shader"] != 0 {
+		t.Error("GLES1 present took the shader path")
+	}
+}
+
+// The §7 case: a context created on a worker thread (not the group leader)
+// is made current and presented from a different thread, so set_tls must
+// impersonate the creator for the creator-only Android GLES stack.
+func TestCrossThreadMakeCurrentImpersonates(t *testing.T) {
+	app, tr := newApp(t)
+	worker := app.Proc.NewThread("worker")
+	presenter := app.Proc.NewThread("presenter")
+	ctx := setupContext(t, app, worker, eagl.APIGLES2)
+
+	tr.Reset()
+	if err := app.EAGL.SetCurrentContext(presenter, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := presenter.Impersonating(); got != worker {
+		t.Fatalf("presenter impersonating %v, want the creator", got)
+	}
+	spans := spanCounts(tr)
+	for _, want := range []string{"tls_save", "tls_replace", "locate_tls", "propagate_tls"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span emitted during cross-thread make-current", want)
+		}
+	}
+
+	if err := ctx.PresentRenderbuffer(presenter); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset()
+	if err := app.EAGL.SetCurrentContext(presenter, nil); err != nil {
+		t.Fatal(err)
+	}
+	if presenter.Impersonating() != nil {
+		t.Fatal("impersonation not ended by releasing the context")
+	}
+	spans = spanCounts(tr)
+	// The whole-session "impersonation" span is recorded when it closes here.
+	for _, want := range []string{"impersonation", "tls_reflect", "tls_restore"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span emitted when the session ended", want)
+		}
+	}
+}
+
+// EGL_multi_context: each sharegroup gets its own DLR replica, and one
+// thread can switch between contexts holding different GLES connections.
+func TestMultiContextSwitchAcrossReplicas(t *testing.T) {
+	app, tr := newApp(t)
+	th := app.Main()
+	ctx1 := setupContext(t, app, th, eagl.APIGLES2)
+	ctx2 := setupContext(t, app, th, eagl.APIGLES1)
+
+	replicas := 0
+	for _, e := range tr.Events() {
+		if strings.HasPrefix(e.Name, "dlforce:") {
+			replicas++
+		}
+	}
+	if replicas < 2 {
+		t.Fatalf("expected a DLR replica per sharegroup, saw %d dlforce spans", replicas)
+	}
+
+	// Switch back and forth; each present must keep using its own path.
+	for i := 0; i < 2; i++ {
+		if err := app.EAGL.SetCurrentContext(th, ctx1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx1.PresentRenderbuffer(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.EAGL.SetCurrentContext(th, ctx2); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx2.PresentRenderbuffer(th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := spanCounts(tr)
+	if spans["egl:blit_shader"] == 0 || spans["egl:blit_copy"] == 0 {
+		t.Fatalf("present paths not both exercised: %d shader, %d copy",
+			spans["egl:blit_shader"], spans["egl:blit_copy"])
+	}
+}

@@ -14,11 +14,13 @@
 package impersonate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"cycada/internal/android/libc"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 )
 
@@ -26,6 +28,11 @@ import (
 type Manager struct {
 	bionic    *libc.Lib
 	libSystem *libc.Lib
+
+	// propagate issues the propagate_tls syscall on behalf of a thread. It
+	// exists as a seam so tests can inject partial failures into Session.End;
+	// production managers always use the kernel syscall directly.
+	propagate func(t *kernel.Thread, targetTID int, p kernel.Persona, vals map[int]any) error
 
 	mu          sync.Mutex
 	gateDepth   int
@@ -38,8 +45,11 @@ type Manager struct {
 // key hook.
 func New(bionic, libSystem *libc.Lib) *Manager {
 	m := &Manager{
-		bionic:      bionic,
-		libSystem:   libSystem,
+		bionic:    bionic,
+		libSystem: libSystem,
+		propagate: func(t *kernel.Thread, targetTID int, p kernel.Persona, vals map[int]any) error {
+			return t.PropagateTLS(targetTID, p, vals)
+		},
 		androidKeys: map[int]bool{},
 		iosKeys:     map[int]bool{},
 	}
@@ -60,11 +70,17 @@ func New(bionic, libSystem *libc.Lib) *Manager {
 	return m
 }
 
-// Close removes the Bionic hook.
+// Close removes the Bionic hook. It is idempotent and safe against
+// concurrent Impersonate calls and hook callbacks: the hook reference is
+// swapped out under m.mu, and the unhook itself runs outside the lock so it
+// cannot deadlock against a callback holding libc's hook lock.
 func (m *Manager) Close() {
-	if m.unhook != nil {
-		m.unhook()
-		m.unhook = nil
+	m.mu.Lock()
+	unhook := m.unhook
+	m.unhook = nil
+	m.mu.Unlock()
+	if unhook != nil {
+		unhook()
 	}
 }
 
@@ -142,6 +158,7 @@ type Session struct {
 	target       *kernel.Thread
 	savedAndroid map[int]any
 	savedIOS     map[int]any
+	span         obs.Span // whole-session span, closed by End
 	ended        bool
 }
 
@@ -153,34 +170,55 @@ func (m *Manager) Impersonate(runner, target *kernel.Thread) (*Session, error) {
 	if runner == target {
 		return nil, fmt.Errorf("impersonate: thread cannot impersonate itself")
 	}
+	sessSp := runner.TraceBegin(obs.CatImpersonation, "impersonation")
+	s, err := m.impersonate(runner, target)
+	if err != nil {
+		runner.TraceEnd(sessSp)
+		return nil, err
+	}
+	s.span = sessSp
+	return s, nil
+}
+
+func (m *Manager) impersonate(runner, target *kernel.Thread) (*Session, error) {
 	aKeys := m.AndroidGraphicsKeys()
 	iKeys := m.IOSGraphicsKeys()
 
+	sp := runner.TraceBegin(obs.CatImpersonation, "tls_save")
 	savedA, err := runner.LocateTLS(runner.TID(), kernel.PersonaAndroid, aKeys)
 	if err != nil {
+		runner.TraceEnd(sp)
 		return nil, fmt.Errorf("impersonate: saving android TLS: %w", err)
 	}
 	savedI, err := runner.LocateTLS(runner.TID(), kernel.PersonaIOS, iKeys)
 	if err != nil {
+		runner.TraceEnd(sp)
 		return nil, fmt.Errorf("impersonate: saving ios TLS: %w", err)
 	}
 
 	targetA, err := runner.LocateTLS(target.TID(), kernel.PersonaAndroid, aKeys)
 	if err != nil {
+		runner.TraceEnd(sp)
 		return nil, fmt.Errorf("impersonate: reading target android TLS: %w", err)
 	}
 	targetI, err := runner.LocateTLS(target.TID(), kernel.PersonaIOS, iKeys)
+	runner.TraceEnd(sp)
 	if err != nil {
 		return nil, fmt.Errorf("impersonate: reading target ios TLS: %w", err)
 	}
 
-	if err := runner.PropagateTLS(runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, targetA)); err != nil {
+	sp = runner.TraceBegin(obs.CatImpersonation, "tls_replace")
+	if err := m.propagate(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, targetA)); err != nil {
+		runner.TraceEnd(sp)
 		return nil, err
 	}
-	if err := runner.PropagateTLS(runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, targetI)); err != nil {
+	if err := m.propagate(runner, runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, targetI)); err != nil {
+		runner.TraceEnd(sp)
 		return nil, err
 	}
-	if err := runner.BeginImpersonation(target); err != nil {
+	err = runner.BeginImpersonation(target)
+	runner.TraceEnd(sp)
+	if err != nil {
 		return nil, err
 	}
 	return &Session{
@@ -193,6 +231,11 @@ func (m *Manager) Impersonate(runner, target *kernel.Thread) (*Session, error) {
 // the running thread made to the graphics TLS are reflected back into the
 // target thread ("the TLS associated with the GLES context"), and the
 // runner's original graphics TLS is restored.
+//
+// Every step is best-effort: a failure reflecting one persona must not stop
+// the other persona from being reflected, and above all must not leave the
+// runner stuck with the target's graphics TLS — restoration always runs for
+// both personas. All failures are reported together via errors.Join.
 func (s *Session) End() error {
 	if s.ended {
 		return fmt.Errorf("impersonate: session already ended")
@@ -202,28 +245,34 @@ func (s *Session) End() error {
 
 	aKeys := s.m.AndroidGraphicsKeys()
 	iKeys := s.m.IOSGraphicsKeys()
+	var errs []error
 
-	// Step 4: reflect updates back to the target.
-	curA, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaAndroid, aKeys)
-	if err != nil {
-		return err
+	// Step 4: reflect updates back to the target, each persona on its own.
+	sp := s.runner.TraceBegin(obs.CatImpersonation, "tls_reflect")
+	if curA, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaAndroid, aKeys); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: reading android TLS: %w", err))
+	} else if err := s.m.propagate(s.runner, s.target.TID(), kernel.PersonaAndroid, withDeletions(aKeys, curA)); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: reflecting android TLS: %w", err))
 	}
-	curI, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaIOS, iKeys)
-	if err != nil {
-		return err
+	if curI, err := s.runner.LocateTLS(s.runner.TID(), kernel.PersonaIOS, iKeys); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: reading ios TLS: %w", err))
+	} else if err := s.m.propagate(s.runner, s.target.TID(), kernel.PersonaIOS, withDeletions(iKeys, curI)); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: reflecting ios TLS: %w", err))
 	}
-	if err := s.runner.PropagateTLS(s.target.TID(), kernel.PersonaAndroid, withDeletions(aKeys, curA)); err != nil {
-		return err
-	}
-	if err := s.runner.PropagateTLS(s.target.TID(), kernel.PersonaIOS, withDeletions(iKeys, curI)); err != nil {
-		return err
-	}
+	s.runner.TraceEnd(sp)
 
-	// Step 5: restore the runner's own graphics TLS.
-	if err := s.runner.PropagateTLS(s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
-		return err
+	// Step 5: restore the runner's own graphics TLS in both personas,
+	// regardless of what happened above.
+	sp = s.runner.TraceBegin(obs.CatImpersonation, "tls_restore")
+	if err := s.m.propagate(s.runner, s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: restoring android TLS: %w", err))
 	}
-	return s.runner.PropagateTLS(s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS))
+	if err := s.m.propagate(s.runner, s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS)); err != nil {
+		errs = append(errs, fmt.Errorf("impersonate: restoring ios TLS: %w", err))
+	}
+	s.runner.TraceEnd(sp)
+	s.runner.TraceEnd(s.span)
+	return errors.Join(errs...)
 }
 
 // withDeletions builds a propagate_tls payload that sets the provided values

@@ -1,6 +1,9 @@
 package impersonate
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"cycada/internal/android/libc"
@@ -183,5 +186,109 @@ func TestCloseStopsDiscovery(t *testing.T) {
 	m.GateExit()
 	if got := m.AndroidGraphicsKeys(); len(got) != 0 {
 		t.Fatalf("closed manager recorded %v", got)
+	}
+}
+
+// Regression: Close used to read and call m.unhook without holding m.mu,
+// racing with the key-hook callback and double-unhooking on repeated Close.
+func TestCloseIsIdempotentAndRaceFree(t *testing.T) {
+	_, m, bionic, _ := env(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			m.Close()
+		}()
+		go func(i int) {
+			defer wg.Done()
+			m.Gated(func() { bionic.CreateKey(fmt.Sprintf("key-%d", i)) })
+		}(i)
+	}
+	wg.Wait()
+	m.Close() // still safe after everything settled
+}
+
+// Regression: End used to return on the first propagate_tls failure, leaving
+// the runner stuck with the target's graphics TLS. Every step must be
+// best-effort: a failed reflect of one persona must not stop the other
+// persona's reflect, and the runner's own TLS must always be restored.
+func TestEndBestEffortOnPropagateFault(t *testing.T) {
+	p, m, bionic, _ := env(t)
+	defer m.Close()
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	runner := p.NewThread("runner")
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+	target.TLSSet(kernel.PersonaIOS, 40, "target-eagl")
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "runner-gl")
+	runner.TLSSet(kernel.PersonaIOS, 40, "runner-eagl")
+
+	s, err := m.Impersonate(runner, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "new-gl")
+	runner.TLSSet(kernel.PersonaIOS, 40, "new-eagl")
+
+	// Inject: reflecting the Android persona back to the target fails.
+	real := m.propagate
+	m.propagate = func(t *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		if tid == target.TID() && pe == kernel.PersonaAndroid {
+			return fmt.Errorf("injected android fault")
+		}
+		return real(t, tid, pe, vals)
+	}
+	err = s.End()
+	if err == nil || !strings.Contains(err.Error(), "injected android fault") {
+		t.Fatalf("End error = %v, want the injected fault", err)
+	}
+	// The iOS reflect still ran despite the Android failure.
+	if v, _ := target.TLSGet(kernel.PersonaIOS, 40); v != "new-eagl" {
+		t.Fatalf("ios reflect skipped: target slot = %v", v)
+	}
+	// Above all, the runner got its own TLS back in both personas.
+	if v, _ := runner.TLSGet(kernel.PersonaAndroid, aKey); v != "runner-gl" {
+		t.Fatalf("runner android TLS not restored: %v", v)
+	}
+	if v, _ := runner.TLSGet(kernel.PersonaIOS, 40); v != "runner-eagl" {
+		t.Fatalf("runner ios TLS not restored: %v", v)
+	}
+	if runner.Impersonating() != nil {
+		t.Fatal("identity not dropped")
+	}
+}
+
+// All failures are reported together (errors.Join), not just the first.
+func TestEndJoinsAllErrors(t *testing.T) {
+	p, m, bionic, _ := env(t)
+	defer m.Close()
+	m.Gated(func() { bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+	target := p.Main()
+	runner := p.NewThread("runner")
+
+	s, err := m.Impersonate(runner, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := m.propagate
+	m.propagate = func(t *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		if tid == target.TID() {
+			return fmt.Errorf("injected %v fault", pe)
+		}
+		return real(t, tid, pe, vals)
+	}
+	err = s.End()
+	if err == nil {
+		t.Fatal("End succeeded despite two faults")
+	}
+	for _, want := range []string{"injected android fault", "injected ios fault"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("End error %q missing %q", err, want)
+		}
 	}
 }

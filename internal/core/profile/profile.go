@@ -3,52 +3,47 @@
 // called through the compatibility layer it records call counts and total
 // virtual time, and reports the top functions by share of total time and by
 // average time per call.
+//
+// The Profiler is a read-side view over obs.Metrics: recording goes through
+// sharded per-thread-striped atomic counters (no global mutex on the
+// diplomat hot path), while Samples/Top/Table keep their original ordering
+// and formatting so the figures regenerate bit-for-bit.
 package profile
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"cycada/internal/obs"
 	"cycada/internal/sim/vclock"
 )
 
 // Profiler accumulates per-function timing. Safe for concurrent use.
 type Profiler struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-}
-
-type entry struct {
-	calls int
-	total vclock.Duration
+	m *obs.Metrics
 }
 
 // New creates an empty profiler.
 func New() *Profiler {
-	return &Profiler{entries: map[string]*entry{}}
+	return &Profiler{m: obs.NewMetrics()}
 }
 
-// Record adds one call of d virtual time to the named function.
+// Metrics exposes the underlying sharded registry.
+func (p *Profiler) Metrics() *obs.Metrics { return p.m }
+
+// Metric returns the stable per-function metric; hot paths cache it and call
+// Record on it directly with their TID as the stripe.
+func (p *Profiler) Metric(name string) *obs.Metric { return p.m.Metric(name) }
+
+// Record adds one call of d virtual time to the named function. This is the
+// convenience slow path; see Metric for the cached hot path.
 func (p *Profiler) Record(name string, d vclock.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.entries[name]
-	if !ok {
-		e = &entry{}
-		p.entries[name] = e
-	}
-	e.calls++
-	e.total += d
+	p.m.Metric(name).Record(0, d)
 }
 
-// Reset clears all samples.
-func (p *Profiler) Reset() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.entries = map[string]*entry{}
-}
+// Reset clears all samples. Metric pointers cached by callers stay valid.
+func (p *Profiler) Reset() { p.m.Reset() }
 
 // Sample is one function's aggregated profile.
 type Sample struct {
@@ -67,21 +62,24 @@ func (s Sample) Avg() vclock.Duration {
 }
 
 // Samples returns all samples ordered by descending total time — the order
-// Figures 7-10 use.
+// Figures 7-10 use. Functions with zero recorded calls (registered but never
+// invoked, or cleared by Reset) are omitted.
 func (p *Profiler) Samples() []Sample {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	var out []Sample
 	var grand vclock.Duration
-	for _, e := range p.entries {
-		grand += e.total
-	}
-	out := make([]Sample, 0, len(p.entries))
-	for name, e := range p.entries {
-		pct := 0.0
-		if grand > 0 {
-			pct = 100 * float64(e.total) / float64(grand)
+	p.m.Each(func(m *obs.Metric) {
+		calls := m.Calls()
+		if calls == 0 {
+			return
 		}
-		out = append(out, Sample{Name: name, Calls: e.calls, Total: e.total, Percent: pct})
+		total := m.Total()
+		grand += total
+		out = append(out, Sample{Name: m.Name(), Calls: int(calls), Total: total})
+	})
+	for i := range out {
+		if grand > 0 {
+			out[i].Percent = 100 * float64(out[i].Total) / float64(grand)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
@@ -103,10 +101,8 @@ func (p *Profiler) Top(n int) []Sample {
 
 // Calls reports the call count of one function.
 func (p *Profiler) Calls(name string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if e, ok := p.entries[name]; ok {
-		return e.calls
+	if m, ok := p.m.Lookup(name); ok {
+		return int(m.Calls())
 	}
 	return 0
 }

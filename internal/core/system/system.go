@@ -29,6 +29,7 @@ import (
 	"cycada/internal/ios/iokit"
 	"cycada/internal/ios/iosurface"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
@@ -46,6 +47,7 @@ type Config struct {
 	Clock   *vclock.Clock
 	ScreenW int
 	ScreenH int
+	Tracer  *obs.Tracer // nil = obs.Default
 }
 
 // New boots a Cycada system.
@@ -56,6 +58,7 @@ func New(cfg Config) *Cycada {
 		Clock:    cfg.Clock,
 		ScreenW:  cfg.ScreenW,
 		ScreenH:  cfg.ScreenH,
+		Tracer:   cfg.Tracer,
 	})
 	mod := coresurface.New()
 	sys.Kernel.RegisterMachService(iokit.CoreSurfaceService, mod)

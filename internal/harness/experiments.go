@@ -12,6 +12,7 @@ import (
 	"cycada/internal/ios/eagl"
 	"cycada/internal/jsvm"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
 	"cycada/internal/workloads/passmark"
@@ -172,18 +173,24 @@ func DiplomaticCallBench(iters int) ([]Table3Row, error) {
 	}
 
 	sym := app.Linker.MustSym(h, "noop")
-	measure := func(f func()) vclock.Duration {
+	measure := func(name string, f func()) vclock.Duration {
+		var sp obs.Span
+		if t.TraceEnabled() {
+			sp = t.TraceBegin(obs.CatHarness, "lmbench:"+name)
+		}
 		start := t.VTime()
 		for i := 0; i < iters; i++ {
 			f()
 		}
-		return (t.VTime() - start) / vclock.Duration(iters)
+		per := (t.VTime() - start) / vclock.Duration(iters)
+		t.TraceEnd(sp)
+		return per
 	}
 	rows := []Table3Row{
-		{Name: "Standard Function", Time: measure(func() { sym.Fn(t) })},
-		{Name: "Diplomat", Time: measure(func() { bare.Call(t) })},
-		{Name: "Diplomat + Pre/Post", Time: measure(func() { withEmpty.Call(t) })},
-		{Name: "Diplomat + GL Pre/Post", Time: measure(func() { withGL.Call(t) })},
+		{Name: "Standard Function", Time: measure("function", func() { sym.Fn(t) })},
+		{Name: "Diplomat", Time: measure("diplomat", func() { bare.Call(t) })},
+		{Name: "Diplomat + Pre/Post", Time: measure("diplomat-prepost", func() { withEmpty.Call(t) })},
+		{Name: "Diplomat + GL Pre/Post", Time: measure("diplomat-gl", func() { withGL.Call(t) })},
 	}
 	return rows, nil
 }
@@ -236,7 +243,12 @@ func Fig5() (string, *profile.Profiler, error) {
 		if err := browser.Load(sunspider.Page); err != nil {
 			return "", nil, err
 		}
+		var sp obs.Span
+		if t.TraceEnabled() {
+			sp = t.TraceBegin(obs.CatHarness, "sunspider:"+s.label)
+		}
 		res, err := sunspider.RunInBrowser(browser, t)
+		t.TraceEnd(sp)
 		if err != nil {
 			return "", nil, fmt.Errorf("%s: %w", s.label, err)
 		}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"cycada/internal/core/system"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/obs"
+)
+
+// TraceScenario exercises every traced subsystem in one short run, so that a
+// trace produced with `cycadabench -trace` always contains diplomat calls,
+// DLR replica loads (with per-replica constructor runs), a thread
+// impersonation session, and the EGL present path.
+//
+// The shape is the paper's §7 motivating case: an EAGL context is created on
+// a worker thread (so its creator is not the thread-group leader), then made
+// current and presented from a different thread — which is exactly when
+// aegl_bridge_set_tls must impersonate the creator.
+func TraceScenario() error {
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "tracedemo"})
+	if err != nil {
+		return err
+	}
+	render := app.Proc.NewThread("render")
+	presenter := app.Proc.NewThread("present")
+
+	// Context creation on the render thread: the create_context multi
+	// diplomat replicates libui_wrapper and the EGL/GLES libraries (DLR).
+	sp := render.TraceBegin(obs.CatHarness, "scenario:setup")
+	ctx, err := app.EAGL.NewContext(render, eagl.APIGLES2)
+	if err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	if err := app.EAGL.SetCurrentContext(render, ctx); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	layer, err := app.NewLayer(render, 0, 0, 64, 48)
+	if err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	fbo := app.GL.GenFramebuffers(render, 1)
+	app.GL.BindFramebuffer(render, fbo[0])
+	rb := app.GL.GenRenderbuffers(render, 1)
+	app.GL.BindRenderbuffer(render, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(render, layer); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	app.GL.FramebufferRenderbuffer(render, rb[0])
+	render.TraceEnd(sp)
+
+	// Present from a different thread: set_tls impersonates the creator.
+	sp = presenter.TraceBegin(obs.CatHarness, "scenario:present")
+	if err := app.EAGL.SetCurrentContext(presenter, ctx); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	if err := ctx.PresentRenderbuffer(presenter); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	if err := app.EAGL.SetCurrentContext(presenter, nil); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	presenter.TraceEnd(sp)
+
+	if err := app.EAGL.SetCurrentContext(render, nil); err != nil {
+		return fmt.Errorf("trace scenario: %w", err)
+	}
+	return ctx.Release(render)
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/mem"
 )
@@ -199,6 +200,11 @@ func (l *Linker) ConstructorRuns(name string) int {
 // returning the existing instance if it is already loaded — the standard
 // linker behaviour Dlforce bypasses.
 func (l *Linker) Dlopen(t *kernel.Thread, name string) (*Handle, error) {
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatDLR, "dlopen:"+name)
+	}
+	defer t.TraceEnd(sp)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lib, err := l.loadLocked(t, name, l.global, false, make(map[string]bool))
@@ -213,6 +219,11 @@ func (l *Linker) Dlopen(t *kernel.Thread, name string) (*Handle, error) {
 // were never loaded before", in a fresh namespace with fresh constructor runs
 // and unique addresses. This is the DLR mechanism of §8.1.
 func (l *Linker) Dlforce(t *kernel.Thread, name string) (*Handle, error) {
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatDLR, "dlforce:"+name)
+	}
+	defer t.TraceEnd(sp)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextNS++
@@ -275,9 +286,16 @@ func (l *Linker) loadLocked(t *kernel.Thread, name string, ns *namespace, replic
 	ns.libs[name] = lib // registered before ctor so self-referential dlsym works
 
 	ctx := &LoadContext{linker: l, ns: ns, thread: t, deps: deps}
+	// Per-replica constructor runs get their own child span: Dlforce traces
+	// show exactly which constructors re-ran for each replica (§8.1).
+	var ctorSp obs.Span
+	if t.TraceEnabled() {
+		ctorSp = t.TraceBegin(obs.CatDLR, "ctor:"+bp.Name)
+	}
 	t.ChargeCPU(costs.LibConstructor)
 	l.ctorRuns[name]++
 	inst, err := bp.New(ctx)
+	t.TraceEnd(ctorSp)
 	if err != nil {
 		delete(ns.libs, name)
 		l.proc.Mem().Unmap(mapping)

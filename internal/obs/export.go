@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cycada/internal/sim/vclock"
+)
+
+// TextReport aggregates recorded spans per (category, name): call count,
+// total virtual time and total wall time, largest virtual total first.
+func (tr *Tracer) TextReport() string {
+	type key struct{ cat, name string }
+	type agg struct {
+		count int
+		vdur  vclock.Duration
+		wdur  int64 // wall ns
+	}
+	sums := map[key]*agg{}
+	for _, ev := range tr.Events() {
+		k := key{ev.Cat, ev.Name}
+		a, ok := sums[k]
+		if !ok {
+			a = &agg{}
+			sums[k] = a
+		}
+		a.count++
+		a.vdur += ev.VDur
+		a.wdur += int64(ev.WDur)
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := sums[keys[i]], sums[keys[j]]
+		if a.vdur != b.vdur {
+			return a.vdur > b.vdur
+		}
+		if keys[i].cat != keys[j].cat {
+			return keys[i].cat < keys[j].cat
+		}
+		return keys[i].name < keys[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-40s %8s %14s %14s\n", "category", "span", "count", "total-vt-us", "total-wall-us")
+	for _, k := range keys {
+		a := sums[k]
+		fmt.Fprintf(&b, "%-14s %-40s %8d %14.1f %14.1f\n",
+			k.cat, k.name, a.count, a.vdur.Micros(), float64(a.wdur)/1e3)
+	}
+	return b.String()
+}
+
+// jsonEvent is the WriteJSON wire form of an Event.
+type jsonEvent struct {
+	Name     string `json:"name"`
+	Cat      string `json:"cat"`
+	PID      int    `json:"pid"`
+	TID      int    `json:"tid"`
+	VStartNS int64  `json:"vstart_ns"`
+	VDurNS   int64  `json:"vdur_ns"`
+	WStartNS int64  `json:"wstart_unix_ns"`
+	WDurNS   int64  `json:"wdur_ns"`
+}
+
+// WriteJSON writes all events as one JSON object: {"events": [...]}.
+func (tr *Tracer) WriteJSON(w io.Writer) error {
+	events := tr.Events()
+	out := struct {
+		Events []jsonEvent `json:"events"`
+	}{Events: make([]jsonEvent, 0, len(events))}
+	for _, ev := range events {
+		out.Events = append(out.Events, jsonEvent{
+			Name:     ev.Name,
+			Cat:      ev.Cat,
+			PID:      ev.PID,
+			TID:      ev.TID,
+			VStartNS: int64(ev.VStart),
+			VDurNS:   int64(ev.VDur),
+			WStartNS: ev.WStart.UnixNano(),
+			WDurNS:   int64(ev.WDur),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata events). Timestamps are microseconds; the
+// timeline shown is virtual time, with wall time carried in args.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the Chrome trace_event JSON format: load the file
+// in chrome://tracing or https://ui.perfetto.dev. The timeline axis is
+// virtual time (the deterministic quantity every figure is built from); each
+// slice carries its wall-clock duration in args.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	procs, threads := tr.names()
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": procs[pid]},
+		})
+		tids := make([]int, 0, len(threads[pid]))
+		for tid := range threads[pid] {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": threads[pid][tid]},
+			})
+		}
+	}
+	for _, ev := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			PID:  ev.PID,
+			TID:  ev.TID,
+			TS:   float64(ev.VStart) / 1e3,
+			Dur:  float64(ev.VDur) / 1e3,
+			Args: map[string]any{"wall_us": float64(ev.WDur) / 1e3},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

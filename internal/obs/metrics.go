@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/sim/vclock"
+)
+
+// metricStripes must be a power of two; callers stripe by TID so concurrent
+// threads update disjoint cache lines.
+const metricStripes = 16
+
+type metricStripe struct {
+	calls atomic.Int64
+	total atomic.Int64 // vclock nanoseconds
+	_     [48]byte     // pad to a cache line
+}
+
+// Metric is one named counter/timer pair. Record is two atomic adds on the
+// caller's stripe — no locks, no map lookups — which is what lets it replace
+// the old global-mutex profiler on the diplomat hot path: callers cache the
+// *Metric once and hit only their own stripe afterwards.
+type Metric struct {
+	name    string
+	stripes [metricStripes]metricStripe
+}
+
+// Name returns the metric name.
+func (m *Metric) Name() string { return m.name }
+
+// Record adds one call of duration d. stripe is any per-thread value (the
+// TID); it is masked onto the stripe array.
+func (m *Metric) Record(stripe int, d vclock.Duration) {
+	s := &m.stripes[stripe&(metricStripes-1)]
+	s.calls.Add(1)
+	s.total.Add(int64(d))
+}
+
+// Calls sums the call count across stripes.
+func (m *Metric) Calls() int64 {
+	var n int64
+	for i := range m.stripes {
+		n += m.stripes[i].calls.Load()
+	}
+	return n
+}
+
+// Total sums the recorded virtual time across stripes.
+func (m *Metric) Total() vclock.Duration {
+	var n int64
+	for i := range m.stripes {
+		n += m.stripes[i].total.Load()
+	}
+	return vclock.Duration(n)
+}
+
+// reset zeroes the stripes in place, so cached *Metric pointers stay valid
+// across a Metrics.Reset.
+func (m *Metric) reset() {
+	for i := range m.stripes {
+		m.stripes[i].calls.Store(0)
+		m.stripes[i].total.Store(0)
+	}
+}
+
+// Metrics is a registry of named metrics. Reads vastly outnumber creations,
+// so lookups go through a sync.Map.
+type Metrics struct {
+	createMu sync.Mutex
+	m        sync.Map // string -> *Metric
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Metric returns the named metric, creating it on first use. The returned
+// pointer is stable for the lifetime of the registry — cache it on hot paths.
+func (ms *Metrics) Metric(name string) *Metric {
+	if v, ok := ms.m.Load(name); ok {
+		return v.(*Metric)
+	}
+	ms.createMu.Lock()
+	defer ms.createMu.Unlock()
+	if v, ok := ms.m.Load(name); ok {
+		return v.(*Metric)
+	}
+	m := &Metric{name: name}
+	ms.m.Store(name, m)
+	return m
+}
+
+// Lookup returns the named metric without creating it.
+func (ms *Metrics) Lookup(name string) (*Metric, bool) {
+	v, ok := ms.m.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Metric), true
+}
+
+// Each calls fn for every metric, in no particular order.
+func (ms *Metrics) Each(fn func(*Metric)) {
+	ms.m.Range(func(_, v any) bool {
+		fn(v.(*Metric))
+		return true
+	})
+}
+
+// Reset zeroes every metric in place; cached *Metric pointers stay valid.
+func (ms *Metrics) Reset() {
+	ms.Each(func(m *Metric) { m.reset() })
+}
+
+// Record is the convenience slow path: one lookup plus Record. Hot paths
+// should cache the Metric instead.
+func (ms *Metrics) Record(name string, stripe int, d vclock.Duration) {
+	ms.Metric(name).Record(stripe, d)
+}
+
+// TextReport renders all non-empty metrics, largest total first.
+func (ms *Metrics) TextReport() string {
+	type row struct {
+		name  string
+		calls int64
+		total vclock.Duration
+	}
+	var rows []row
+	ms.Each(func(m *Metric) {
+		if c := m.Calls(); c > 0 {
+			rows = append(rows, row{m.Name(), c, m.Total()})
+		}
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %10s %14s\n", "metric", "calls", "total-vt-us")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %10d %14.1f\n", r.name, r.calls, r.total.Micros())
+	}
+	return b.String()
+}

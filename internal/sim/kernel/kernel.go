@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cycada/internal/obs"
 	"cycada/internal/sim/vclock"
 )
 
@@ -68,6 +69,9 @@ type Kernel struct {
 	plat   vclock.Platform
 	flavor vclock.KernelFlavor
 
+	tracer  *obs.Tracer // never nil; disabled by default
+	pidBase int         // offset exported PIDs so kernels sharing a tracer don't collide
+
 	mu       sync.Mutex
 	devices  map[string]Device
 	mach     map[string]MachService
@@ -85,6 +89,10 @@ type Config struct {
 	// Flavor overrides the platform's kernel flavour (used to build the
 	// Cycada kernel on Nexus 7 hardware). Zero keeps the platform default.
 	Flavor vclock.KernelFlavor
+	// Tracer receives the kernel's spans (syscalls, and — through the thread
+	// helpers — diplomat, impersonation, DLR and EGL spans). Nil attaches
+	// obs.Default, which is disabled until something enables it.
+	Tracer *obs.Tracer
 }
 
 // New creates a kernel.
@@ -99,11 +107,17 @@ func New(cfg Config) *Kernel {
 	if flavor == 0 {
 		flavor = cfg.Platform.Kernel
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.Default
+	}
 	return &Kernel{
 		clock:   cfg.Clock,
 		costs:   cfg.Costs,
 		plat:    cfg.Platform,
 		flavor:  flavor,
+		tracer:  tracer,
+		pidBase: tracer.AllocPIDSpace(),
 		devices: make(map[string]Device),
 		mach:    make(map[string]MachService),
 		binder:  make(map[string]BinderService),
@@ -122,6 +136,9 @@ func (k *Kernel) Platform() vclock.Platform { return k.plat }
 
 // Flavor returns the kernel flavour (stock Linux, Cycada, XNU).
 func (k *Kernel) Flavor() vclock.KernelFlavor { return k.flavor }
+
+// Tracer returns the tracer this kernel's spans go to.
+func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // SyscallCount reports the total number of syscalls dispatched; used by the
 // micro-benchmark harness and tests.

@@ -56,6 +56,7 @@ func (k *Kernel) NewProcess(name string, personas ...Persona) (*Process, error) 
 	k.mu.Lock()
 	k.procs[pid] = proc
 	k.mu.Unlock()
+	k.tracer.NameProcess(k.pidBase+pid, name)
 
 	proc.leader = proc.NewThread("main")
 	return proc, nil
@@ -111,6 +112,7 @@ func (p *Process) NewThread(name string) *Thread {
 		t.tls[pe] = newTLSArea()
 	}
 	p.threads[t.tid] = t
+	p.k.tracer.NameThread(p.k.pidBase+p.pid, t.tid, name)
 	return t
 }
 

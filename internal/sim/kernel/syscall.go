@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"cycada/internal/obs"
 	"cycada/internal/sim/mem"
 	"cycada/internal/sim/vclock"
 )
@@ -49,15 +50,21 @@ func (t *Thread) Null() {
 // area pointer (the new set_persona syscall, paper §3 steps 4 and 8).
 func (t *Thread) SetPersona(p Persona) error {
 	k := t.proc.k
+	var sp obs.Span
+	if t.TraceEnabled() { // guarded: the span name concatenation allocates
+		sp = t.TraceBegin(obs.CatSyscall, "set_persona:"+p.String())
+	}
 	k.trap(t)
 	if !t.proc.HasPersona(p) {
 		t.SetErrno(int(EINVAL))
+		t.TraceEnd(sp)
 		return fmt.Errorf("set_persona(%v) in %v: %w", p, t, ErrBadPersona)
 	}
 	t.ChargeCPU(k.costs.PersonaSwitch)
 	t.mu.Lock()
 	t.cur = p
 	t.mu.Unlock()
+	t.TraceEnd(sp)
 	return nil
 }
 
@@ -65,6 +72,8 @@ func (t *Thread) SetPersona(p Persona) error {
 // thread has executed (the new locate_tls syscall, paper §7.1).
 func (t *Thread) LocateTLS(targetTID int, p Persona, slots []int) (map[int]any, error) {
 	k := t.proc.k
+	sp := t.TraceBegin(obs.CatSyscall, "locate_tls")
+	defer t.TraceEnd(sp)
 	k.trap(t)
 	target, ok := t.proc.Thread(targetTID)
 	if !ok {
@@ -82,6 +91,8 @@ func (t *Thread) LocateTLS(targetTID int, p Persona, slots []int) (map[int]any, 
 // (the new propagate_tls syscall, paper §7.1).
 func (t *Thread) PropagateTLS(targetTID int, p Persona, vals map[int]any) error {
 	k := t.proc.k
+	sp := t.TraceBegin(obs.CatSyscall, "propagate_tls")
+	defer t.TraceEnd(sp)
 	k.trap(t)
 	target, ok := t.proc.Thread(targetTID)
 	if !ok {
@@ -94,6 +105,11 @@ func (t *Thread) PropagateTLS(targetTID int, p Persona, vals map[int]any) error 
 // Ioctl issues an opaque ioctl against a device node.
 func (t *Thread) Ioctl(path string, cmd uint32, arg any) (any, error) {
 	k := t.proc.k
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatSyscall, "ioctl:"+path)
+	}
+	defer t.TraceEnd(sp)
 	k.trap(t)
 	t.ChargeCPU(k.costs.IoctlDispatch)
 	dev, err := k.device(path)
@@ -108,6 +124,11 @@ func (t *Thread) Ioctl(path string, cmd uint32, arg any) (any, error) {
 // waits for the reply (paper §2: "opaque Mach IPC calls").
 func (t *Thread) MachCall(service string, msgID uint32, body any) (any, error) {
 	k := t.proc.k
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatSyscall, "mach:"+service)
+	}
+	defer t.TraceEnd(sp)
 	k.trap(t)
 	t.ChargeCPU(k.costs.MachMsg)
 	s, err := k.machService(service)
@@ -120,6 +141,11 @@ func (t *Thread) MachCall(service string, msgID uint32, body any) (any, error) {
 // BinderCall performs a Binder transaction against a named service.
 func (t *Thread) BinderCall(service string, code uint32, data any) (any, error) {
 	k := t.proc.k
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatSyscall, "binder:"+service)
+	}
+	defer t.TraceEnd(sp)
 	k.trap(t)
 	t.ChargeCPU(k.costs.BinderTxn)
 	s, err := k.binderService(service)

@@ -1,0 +1,34 @@
+package kernel
+
+import "cycada/internal/obs"
+
+// Thread-level tracing helpers. Every layer above the kernel (diplomats,
+// impersonation, the linker, libEGLbridge, the harness) emits its spans
+// through these so that only the kernel needs to know which tracer is
+// attached and how PIDs are namespaced. While tracing is disabled the whole
+// cost of a TraceBegin site is one atomic load (plus a nil-Span TraceEnd).
+//
+// Spans carry the thread's own virtual time and never charge any, so
+// enabling tracing cannot perturb an experiment.
+
+// TraceEnabled reports whether spans are currently recorded. Call sites that
+// must build a dynamic span name check this first to avoid allocating the
+// name while tracing is off.
+func (t *Thread) TraceEnabled() bool { return t.proc.k.tracer.Enabled() }
+
+// TraceBegin opens a span on this thread. Returns the inert zero Span while
+// tracing is disabled.
+func (t *Thread) TraceBegin(cat, name string) obs.Span {
+	k := t.proc.k
+	if !k.tracer.Enabled() {
+		return obs.Span{}
+	}
+	return k.tracer.Begin(k.pidBase+t.proc.pid, t.tid, cat, name, t.VTime())
+}
+
+// TraceEnd closes a span at the thread's current virtual time.
+func (t *Thread) TraceEnd(sp obs.Span) {
+	if sp.Active() {
+		sp.End(t.VTime())
+	}
+}

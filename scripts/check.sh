@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 checks: the gate every change must pass before merging.
+# Run directly or via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/core/..."
+go test -race ./internal/core/...
+
+echo "tier-1 checks passed"
