@@ -1,9 +1,14 @@
-.PHONY: check test bench trace
+.PHONY: check test bench trace replay-golden
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
-# concurrency-heavy core packages.
+# concurrency-heavy core and replay packages, golden-trace verification.
 check:
 	./scripts/check.sh
+
+# Differential verification of the checked-in golden traces: each must replay
+# to byte-identical per-present checksums and final frame.
+replay-golden:
+	go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
 test:
 	go test ./...

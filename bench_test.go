@@ -6,6 +6,7 @@ package cycada
 // benches additionally measure the real Go-level cost of the mechanisms.
 
 import (
+	"path/filepath"
 	"testing"
 
 	"cycada/internal/core/diplomat"
@@ -15,6 +16,7 @@ import (
 	"cycada/internal/jsvm"
 	"cycada/internal/linker"
 	"cycada/internal/obs"
+	"cycada/internal/replay"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/workloads/passmark"
 	"cycada/internal/workloads/sunspider"
@@ -422,4 +424,52 @@ func BenchmarkAcidSuite(b *testing.B) {
 		}
 		_ = out
 	}
+}
+
+// --- Record/replay benchmarks (internal/replay) ---
+
+func loadGoldenTrace(b *testing.B, name string) *replay.Trace {
+	b.Helper()
+	path := filepath.Join("internal", "replay", "testdata", name)
+	tr, err := replay.ReadFile(path)
+	if err != nil {
+		b.Fatalf("loading golden trace: %v", err)
+	}
+	data, err := replay.Encode(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(data)), "trace-bytes")
+	b.ReportMetric(float64(len(tr.Events)), "events")
+	return tr
+}
+
+// BenchmarkReplay re-drives the PassMark 2D golden trace sequentially; the
+// events/sec metric is the single-worker replay throughput.
+func BenchmarkReplay(b *testing.B) {
+	tr := loadGoldenTrace(b, "passmark-2d.cytr")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Play(tr, replay.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkReplayParallel replays the same decoded trace from GOMAXPROCS
+// goroutines at once. Replays are independent (each boots its own kernel and
+// process), so on an N-core machine throughput scales with min(workers, N);
+// single-core runners see sequential numbers.
+func BenchmarkReplayParallel(b *testing.B) {
+	tr := loadGoldenTrace(b, "passmark-2d.cytr")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := replay.Play(tr, replay.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/sec")
 }

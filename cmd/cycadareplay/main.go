@@ -1,0 +1,184 @@
+// Command cycadareplay records, replays, verifies, and benchmarks traces of
+// the cross-persona graphics command stream.
+//
+// Usage:
+//
+//	cycadareplay record -scenario passmark-2d -o trace.cytr
+//	cycadareplay replay -i trace.cytr [-n 3]
+//	cycadareplay verify trace.cytr [more.cytr ...]
+//	cycadareplay bench -i trace.cytr -workers 8 [-n 64]
+//	cycadareplay stat -i trace.cytr [-top 15]
+//
+// record runs a workload (PassMark sections or a WebKit tile-upload sequence)
+// on a freshly booted Cycada iOS configuration with the boundary taps
+// attached, and writes the capture. replay re-drives a trace against a fresh
+// Android stack with no iOS app code present. verify additionally checks
+// per-present screen checksums and the final frame against the recorded
+// values — the differential regression gate used on the golden traces in
+// internal/replay/testdata. bench replays independent copies across worker
+// goroutines and reports replays/sec. stat prints a per-call-kind histogram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cycada/internal/harness"
+	"cycada/internal/replay"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cycadareplay: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cycadareplay:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  cycadareplay record -scenario <name> -o <file>   capture a workload (scenarios: %v)
+  cycadareplay replay -i <file> [-n N]             re-drive a trace N times
+  cycadareplay verify <file> [file ...]            replay with differential frame checks
+  cycadareplay bench -i <file> -workers N [-n M]   parallel replay throughput
+  cycadareplay stat -i <file> [-top N]             per-call-kind histogram
+`, harness.Scenarios())
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	scenario := fs.String("scenario", "passmark-2d", "workload to capture")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	tr, err := harness.RecordScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	if err := replay.WriteFile(*out, tr); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q: %d events, %d presents, %d bytes -> %s\n",
+		tr.Label, len(tr.Events), tr.Presents(), len(data), *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	n := fs.Int("n", 1, "number of replays")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("replay: -i is required")
+	}
+	tr, err := replay.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		res, err := replay.Play(tr, replay.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %q: %d events, %d presents\n", tr.Label, res.Events, res.Presents)
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("verify: no trace files given")
+	}
+	failed := 0
+	for _, path := range args {
+		tr, err := replay.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		res, err := replay.Verify(tr)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s: %d events, %d/%d present checksums match, final frame %08x matches\n",
+			path, res.Events, res.Presents-len(res.Mismatches), res.Presents, res.FinalGot)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d traces diverged", failed, len(args))
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	workers := fs.Int("workers", 1, "parallel replay workers")
+	n := fs.Int("n", 32, "total replays")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("bench: -i is required")
+	}
+	tr, err := replay.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	res, err := replay.Bench(tr, *workers, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench %q: %d replays, %d workers, %v wall, %.1f replays/sec\n",
+		tr.Label, res.Replays, res.Workers, res.Wall.Round(1000000), res.PerSec)
+	return nil
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	top := fs.Int("top", 15, "entry points to list")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("stat: -i is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	fmt.Printf("%s: %d bytes encoded\n", *in, len(data))
+	replay.Stat(tr).Write(os.Stdout, *top)
+	return nil
+}

@@ -39,6 +39,7 @@ var (
 	ErrNotInitialized  = fmt.Errorf("egl: display not initialized")
 	ErrVersionConflict = fmt.Errorf("egl: a GLES connection with a different API version already exists in this process")
 	ErrNoMultiContext  = fmt.Errorf("egl: EGL_multi_context not available (stock library)")
+	ErrUnknownReplica  = fmt.Errorf("egl: SwitchMC to unknown replica (not created by eglReInitializeMC, or already closed)")
 )
 
 // Vendor is the vendor-provided EGL implementation: it owns the single
@@ -399,6 +400,14 @@ func (l *Lib) SwitchMC(t *kernel.Thread, conn *MCConnection) error {
 	if conn == nil {
 		t.TLSDelete(kernel.PersonaAndroid, l.mcKey)
 		return nil
+	}
+	// A connection is only switchable while its replica namespace is alive
+	// and still holds the vendor library the connection was built around.
+	if conn.Handle == nil || conn.Vendor == nil {
+		return ErrUnknownReplica
+	}
+	if vi, ok := l.link.InstanceIn(conn.Handle, VendorLibName); !ok || vi != conn.Vendor {
+		return ErrUnknownReplica
 	}
 	return t.TLSSet(kernel.PersonaAndroid, l.mcKey, conn)
 }

@@ -1,0 +1,158 @@
+// Error-path tests for the EGL stack: the single-connection restriction of
+// §8.1 on the stock library, and the EGL_multi_context extension's failure
+// modes. External test package because stack (used to boot a userspace)
+// imports egl.
+package egl_test
+
+import (
+	"errors"
+	"testing"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+)
+
+func bootUserspace(t *testing.T, multiContext bool) *stack.Userspace {
+	t.Helper()
+	sys := stack.New(stack.Config{})
+	us, err := sys.NewUserspace(stack.UserConfig{
+		Name: "egl-test",
+		EGL:  egl.Config{MultiContext: multiContext},
+	})
+	if err != nil {
+		t.Fatalf("NewUserspace: %v", err)
+	}
+	return us
+}
+
+// On the stock library the first eglCreateContext locks the process's GLES
+// API version; a second connection with a different version is rejected —
+// the restriction that, without DLR, forces one GLES version per process.
+func TestSecondConnectionVersionRejected(t *testing.T) {
+	us := bootUserspace(t, false)
+	main := us.Proc.Main()
+
+	if _, err := us.EGL.CreateContext(main, 2, nil); err != nil {
+		t.Fatalf("first CreateContext(v2): %v", err)
+	}
+	if got := us.EGL.Vendor().ConnectedVersion(); got != 2 {
+		t.Fatalf("ConnectedVersion = %d, want 2", got)
+	}
+	_, err := us.EGL.CreateContext(main, 1, nil)
+	if !errors.Is(err, egl.ErrVersionConflict) {
+		t.Fatalf("CreateContext(v1) after v2: err = %v, want ErrVersionConflict", err)
+	}
+	// Same version re-connects fine: the restriction is per-version, not
+	// per-context.
+	if _, err := us.EGL.CreateContext(main, 2, nil); err != nil {
+		t.Fatalf("second CreateContext(v2): %v", err)
+	}
+}
+
+// Every EGL_multi_context entry point must fail cleanly on the stock
+// (unmodified) library build.
+func TestMultiContextUnavailableOnStock(t *testing.T) {
+	us := bootUserspace(t, false)
+	main := us.Proc.Main()
+
+	if _, err := us.EGL.ReInitializeMC(main, ""); !errors.Is(err, egl.ErrNoMultiContext) {
+		t.Errorf("ReInitializeMC: err = %v, want ErrNoMultiContext", err)
+	}
+	if err := us.EGL.SwitchMC(main, &egl.MCConnection{}); !errors.Is(err, egl.ErrNoMultiContext) {
+		t.Errorf("SwitchMC: err = %v, want ErrNoMultiContext", err)
+	}
+	if err := us.EGL.SetTLSMC(main, []any{nil, nil}); !errors.Is(err, egl.ErrNoMultiContext) {
+		t.Errorf("SetTLSMC: err = %v, want ErrNoMultiContext", err)
+	}
+	if vals := us.EGL.GetTLSMC(main); vals != nil {
+		t.Errorf("GetTLSMC = %v, want nil", vals)
+	}
+	if conn := us.EGL.CurrentMC(main); conn != nil {
+		t.Errorf("CurrentMC = %v, want nil", conn)
+	}
+}
+
+// eglSwitchMC must reject connections that were not produced by
+// eglReInitializeMC, and connections whose replica namespace has been torn
+// down by eglCloseMC.
+func TestSwitchMCUnknownReplica(t *testing.T) {
+	us := bootUserspace(t, true)
+	main := us.Proc.Main()
+
+	if err := us.EGL.SwitchMC(main, &egl.MCConnection{}); !errors.Is(err, egl.ErrUnknownReplica) {
+		t.Fatalf("SwitchMC(forged conn): err = %v, want ErrUnknownReplica", err)
+	}
+
+	conn, err := us.EGL.ReInitializeMC(main, "")
+	if err != nil {
+		t.Fatalf("ReInitializeMC: %v", err)
+	}
+	if got := us.EGL.CurrentMC(main); got != conn {
+		t.Fatalf("CurrentMC = %v, want the fresh replica", got)
+	}
+	if err := us.EGL.CloseMC(main, conn); err != nil {
+		t.Fatalf("CloseMC: %v", err)
+	}
+	if err := us.EGL.SwitchMC(main, conn); !errors.Is(err, egl.ErrUnknownReplica) {
+		t.Fatalf("SwitchMC(closed replica): err = %v, want ErrUnknownReplica", err)
+	}
+	if got := us.EGL.CurrentMC(main); got != nil {
+		t.Fatalf("CurrentMC after close = %v, want nil", got)
+	}
+}
+
+// eglGetTLSMC/eglSetTLSMC migrate a replica connection and its current GLES
+// context from one thread to another — the TLS half of the "create on one
+// thread, render on another" paradigm (§8.1.1).
+func TestGetSetTLSMCRoundTrip(t *testing.T) {
+	us := bootUserspace(t, true)
+	create := us.Proc.Main()
+	render := us.Proc.NewThread("render")
+
+	conn, err := us.EGL.ReInitializeMC(create, "")
+	if err != nil {
+		t.Fatalf("ReInitializeMC: %v", err)
+	}
+	ctx, err := us.EGL.CreateContext(create, 2, nil)
+	if err != nil {
+		t.Fatalf("CreateContext on replica: %v", err)
+	}
+	if err := us.EGL.MakeCurrent(create, nil, ctx); err != nil {
+		t.Fatalf("MakeCurrent: %v", err)
+	}
+
+	vals := us.EGL.GetTLSMC(create)
+	if len(vals) != 2 {
+		t.Fatalf("GetTLSMC returned %d values, want 2", len(vals))
+	}
+	if vals[0] != conn {
+		t.Fatalf("GetTLSMC[0] = %v, want the replica connection", vals[0])
+	}
+	if vals[1] == nil {
+		t.Fatalf("GetTLSMC[1] = nil, want the current GLES context TLS")
+	}
+
+	if got := us.EGL.CurrentMC(render); got != nil {
+		t.Fatalf("render thread CurrentMC before migration = %v, want nil", got)
+	}
+	if err := us.EGL.SetTLSMC(render, vals); err != nil {
+		t.Fatalf("SetTLSMC: %v", err)
+	}
+	if got := us.EGL.CurrentMC(render); got != conn {
+		t.Fatalf("render thread CurrentMC = %v, want the migrated connection", got)
+	}
+	back := us.EGL.GetTLSMC(render)
+	if len(back) != 2 || back[0] != vals[0] || back[1] != vals[1] {
+		t.Fatalf("round trip mismatch: GetTLSMC on render = %v, want %v", back, vals)
+	}
+
+	if err := us.EGL.SetTLSMC(render, []any{conn}); err == nil {
+		t.Fatalf("SetTLSMC with 1 value: err = nil, want length error")
+	}
+	if err := us.EGL.SwitchMC(render, nil); err != nil {
+		t.Fatalf("SwitchMC(nil): %v", err)
+	}
+	if got := us.EGL.CurrentMC(render); got != nil {
+		t.Fatalf("CurrentMC after SwitchMC(nil) = %v, want nil", got)
+	}
+}

@@ -35,6 +35,11 @@ const (
 var ErrLockedBusy = fmt.Errorf("gralloc: buffer associated with a GLES texture; CPU lock refused")
 
 // Buffer is a GraphicBuffer: zero-copy graphics memory.
+//
+// Unlike sflinger.Flinger.Screen, Img here is deliberately the live image:
+// zero-copy sharing between processes and APIs is the point of a
+// GraphicBuffer, and concurrent CPU/GPU access is governed by the
+// LockCPU/AssociateTexture protocol below (§6.2) rather than by copying.
 type Buffer struct {
 	ID     uint64
 	W, H   int

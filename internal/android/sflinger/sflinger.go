@@ -54,11 +54,29 @@ func New(w, h int) *Flinger {
 	return &Flinger{screen: gpu.NewImage(w, h), layers: map[int]*layer{}}
 }
 
-// Screen returns the scan-out image (tests and screenshot tooling).
+// Screen returns a snapshot copy of the scan-out image (tests and screenshot
+// tooling). A copy, not the live image: composition keeps mutating the screen
+// under f.mu, so handing out the live pointer would let callers race with
+// post().
 func (f *Flinger) Screen() *gpu.Image {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.screen
+	return f.screen.Clone()
+}
+
+// ScreenChecksum hashes the scan-out image under the compositor lock without
+// copying it — the cheap per-present probe record/replay verification uses.
+func (f *Flinger) ScreenChecksum() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.screen.Checksum()
+}
+
+// Size reports the framebuffer mode.
+func (f *Flinger) Size() (w, h int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.screen.W, f.screen.H
 }
 
 // Frames reports how many buffers have been composited.
@@ -129,8 +147,8 @@ type fbDevice struct{ f *Flinger }
 func (d *fbDevice) Ioctl(t *kernel.Thread, cmd uint32, arg any) (any, error) {
 	switch cmd {
 	case 0x4600: // FBIOGET_VSCREENINFO
-		s := d.f.Screen()
-		return [2]int{s.W, s.H}, nil
+		w, h := d.f.Size()
+		return [2]int{w, h}, nil
 	default:
 		return nil, fmt.Errorf("fb0: unknown ioctl %#x", cmd)
 	}

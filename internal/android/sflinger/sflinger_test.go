@@ -1,0 +1,193 @@
+// Tests for the SurfaceFlinger simulation: the Binder layer lifecycle, frame
+// accounting, the framebuffer mode ioctl, and the snapshot semantics of
+// Screen() — including a compose-vs-screenshot race exercised under -race.
+// External test package because stack (used to boot the system) imports
+// sflinger.
+package sflinger_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cycada/internal/android/gralloc"
+	"cycada/internal/android/sflinger"
+	"cycada/internal/android/stack"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+func boot(t *testing.T) (*stack.System, *kernel.Thread) {
+	t.Helper()
+	sys := stack.New(stack.Config{})
+	proc, err := sys.Kernel.NewProcess("sflinger-test", kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	return sys, proc.Main()
+}
+
+func allocBuffer(t *testing.T, th *kernel.Thread, w, h int, c gpu.RGBA) *gralloc.Buffer {
+	t.Helper()
+	buf, err := (&gralloc.Lib{}).Alloc(th, w, h, gpu.FormatRGBA8888)
+	if err != nil {
+		t.Fatalf("gralloc alloc: %v", err)
+	}
+	buf.Img.Fill(c)
+	return buf
+}
+
+func TestLayerLifecycleOverBinder(t *testing.T) {
+	sys, th := boot(t)
+	var client sflinger.Client
+
+	layer, err := client.CreateLayer(th, 10, 20)
+	if err != nil {
+		t.Fatalf("CreateLayer: %v", err)
+	}
+	red := gpu.RGBA{R: 200, G: 10, B: 10, A: 255}
+	buf := allocBuffer(t, th, 64, 48, red)
+	if err := client.Post(th, layer, buf); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	screen := sys.Flinger.Screen()
+	if got := screen.At(10, 20); got != red {
+		t.Fatalf("screen at layer origin = %v, want %v", got, red)
+	}
+	if got := screen.At(10+64, 20); got == red {
+		t.Fatalf("screen right of layer = %v, want untouched", got)
+	}
+
+	if err := client.DestroyLayer(th, layer); err != nil {
+		t.Fatalf("DestroyLayer: %v", err)
+	}
+	err = client.Post(th, layer, buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown layer") {
+		t.Fatalf("Post after destroy: err = %v, want unknown layer", err)
+	}
+}
+
+func TestFramesAccounting(t *testing.T) {
+	sys, th := boot(t)
+	var client sflinger.Client
+
+	layer, err := client.CreateLayer(th, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateLayer: %v", err)
+	}
+	buf := allocBuffer(t, th, 8, 8, gpu.RGBA{R: 1, G: 2, B: 3, A: 255})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := client.Post(th, layer, buf); err != nil {
+			t.Fatalf("Post %d: %v", i, err)
+		}
+	}
+	if got := sys.Flinger.Frames(); got != n {
+		t.Fatalf("Frames = %d, want %d", got, n)
+	}
+	if err := client.Post(th, layer, nil); err == nil {
+		t.Fatalf("Post(nil buffer): err = nil, want error")
+	}
+	if got := sys.Flinger.Frames(); got != n {
+		t.Fatalf("Frames after failed post = %d, want %d", got, n)
+	}
+}
+
+func TestBadTransactions(t *testing.T) {
+	_, th := boot(t)
+	if _, err := th.BinderCall(sflinger.ServiceName, 0xdead, nil); err == nil {
+		t.Errorf("unknown transaction: err = nil, want error")
+	}
+	if _, err := th.BinderCall(sflinger.ServiceName, sflinger.TxnPostBuffer, "bogus"); err == nil {
+		t.Errorf("bad post payload: err = nil, want error")
+	}
+	if _, err := th.BinderCall(sflinger.ServiceName, sflinger.TxnDestroyLayer, "bogus"); err == nil {
+		t.Errorf("bad destroy payload: err = nil, want error")
+	}
+}
+
+func TestFramebufferIoctl(t *testing.T) {
+	_, th := boot(t)
+	mode, err := th.Ioctl(sflinger.FramebufferPath, 0x4600, nil)
+	if err != nil {
+		t.Fatalf("FBIOGET_VSCREENINFO: %v", err)
+	}
+	if got := mode.([2]int); got != [2]int{stack.ScreenW, stack.ScreenH} {
+		t.Fatalf("mode = %v, want [%d %d]", got, stack.ScreenW, stack.ScreenH)
+	}
+	if _, err := th.Ioctl(sflinger.FramebufferPath, 0x9999, nil); err == nil {
+		t.Fatalf("unknown ioctl: err = nil, want error")
+	}
+}
+
+// Screen must hand out a snapshot: mutating the returned image must not
+// reach the compositor's scan-out image.
+func TestScreenIsSnapshot(t *testing.T) {
+	sys, th := boot(t)
+	var client sflinger.Client
+
+	layer, err := client.CreateLayer(th, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateLayer: %v", err)
+	}
+	buf := allocBuffer(t, th, stack.ScreenW, stack.ScreenH, gpu.RGBA{R: 9, G: 99, B: 199, A: 255})
+	if err := client.Post(th, layer, buf); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	before := sys.Flinger.ScreenChecksum()
+	snap := sys.Flinger.Screen()
+	snap.Fill(gpu.RGBA{R: 255, A: 255})
+	if got := sys.Flinger.ScreenChecksum(); got != before {
+		t.Fatalf("compositor image changed after mutating snapshot: %08x -> %08x", before, got)
+	}
+}
+
+// Concurrent posts against Screen/ScreenChecksum readers; meaningful under
+// -race, where the old live-pointer Screen() would trip the detector.
+func TestComposeVsScreenshotRace(t *testing.T) {
+	sys, th := boot(t)
+	var client sflinger.Client
+
+	layer, err := client.CreateLayer(th, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateLayer: %v", err)
+	}
+	proc := th.Process()
+	const writers, readers, rounds = 2, 2, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*rounds)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wth := proc.NewThread("writer")
+			buf := allocBuffer(t, wth, 32, 32, gpu.RGBA{R: uint8(50 * w), G: 128, A: 255})
+			for i := 0; i < rounds; i++ {
+				buf.Img.Set(i%32, i%32, gpu.RGBA{R: uint8(i), A: 255})
+				if err := client.Post(wth, layer, buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				img := sys.Flinger.Screen()
+				_ = img.Checksum()
+				_ = sys.Flinger.ScreenChecksum()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent post: %v", err)
+	}
+	if got := sys.Flinger.Frames(); got != writers*rounds {
+		t.Fatalf("Frames = %d, want %d", got, writers*rounds)
+	}
+}

@@ -18,12 +18,14 @@ package glesbridge
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cycada/internal/core/diplomat"
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/registry"
 	"cycada/internal/ios/applegles"
 	"cycada/internal/linker"
+	"cycada/internal/replay/tap"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
 )
@@ -46,9 +48,37 @@ type Bridge struct {
 	dips  map[string]*diplomat.Diplomat
 	kinds map[string]diplomat.Kind
 
+	// tap, when set, observes every successful diplomatic call (record/
+	// replay capture). One atomic load on the hot path when unset.
+	tap atomic.Pointer[tapBox]
+
 	mu             sync.Mutex
 	unpackRowBytes int // APPLE_row_bytes state, managed foreign-side (§4.1)
 	packRowBytes   int
+}
+
+type tapBox struct{ t tap.Tap }
+
+// SetTap installs (nil removes) the boundary tap. Failed calls — those whose
+// result is a non-nil error — are not reported: they had no effect worth
+// replaying.
+func (b *Bridge) SetTap(t tap.Tap) {
+	if t == nil {
+		b.tap.Store(nil)
+		return
+	}
+	b.tap.Store(&tapBox{t: t})
+}
+
+// invoke runs one diplomat and reports it to the tap on success.
+func (b *Bridge) invoke(t *kernel.Thread, d *diplomat.Diplomat, name string, args []any) any {
+	ret := d.Call(t, args...)
+	if box := b.tap.Load(); box != nil {
+		if err, failed := ret.(error); !failed || err == nil {
+			box.t.Call(t, tap.GLES, name, args, ret)
+		}
+	}
+	return ret
 }
 
 // New builds all 344 diplomats.
@@ -144,16 +174,16 @@ func (b *Bridge) Call(t *kernel.Thread, name string, args ...any) any {
 	if !ok {
 		return fmt.Errorf("glesbridge: %s is not an iOS GLES function", name)
 	}
-	return d.Call(t, args...)
+	return b.invoke(t, d, name, args)
 }
 
 // Symbols implements linker.Instance: the full iOS GLES surface.
 func (b *Bridge) Symbols() map[string]linker.Fn {
 	out := make(map[string]linker.Fn, len(b.dips))
 	for name, d := range b.dips {
-		d := d
+		name, d := name, d
 		out[name] = func(t *kernel.Thread, args ...any) any {
-			return d.Call(t, args...)
+			return b.invoke(t, d, name, args)
 		}
 	}
 	return out

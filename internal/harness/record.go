@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+
+	"cycada/internal/android/stack"
+	"cycada/internal/core/system"
+	"cycada/internal/gles/engine"
+	"cycada/internal/graphics2d"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/obs"
+	"cycada/internal/replay"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/workloads/passmark"
+)
+
+// Scenarios lists the recordable workloads, in the order cycadareplay
+// documents them. Each boots a fresh Cycada iOS configuration, so recordings
+// are deterministic: same scenario, same trace.
+func Scenarios() []string {
+	return []string{"passmark-2d", "passmark-3d", "passmark", "webkit-tiles"}
+}
+
+// RecordScenario boots the Cycada iOS configuration with a replay recorder
+// attached to every bridge boundary, runs the named scenario, and returns
+// the captured trace (including per-present screen checksums and the final
+// composited frame).
+func RecordScenario(name string) (*replay.Trace, error) {
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "record-" + name})
+	if err != nil {
+		return nil, err
+	}
+	rec := replay.NewRecorder(replay.RecorderConfig{
+		Label:    name,
+		ScreenW:  stack.ScreenW,
+		ScreenH:  stack.ScreenH,
+		Checksum: sys.Android.Flinger.ScreenChecksum,
+		Screen:   sys.Android.Flinger.Screen,
+	})
+	detach := replay.Attach(app, rec)
+	sp := app.Main().TraceBegin(obs.CatReplay, "replay:record:"+name)
+	err = runScenario(app, name)
+	app.Main().TraceEnd(sp)
+	detach()
+	if err != nil {
+		return nil, fmt.Errorf("record %s: %w", name, err)
+	}
+	return rec.Finish()
+}
+
+func runScenario(app *system.IOSApp, name string) error {
+	switch name {
+	case "passmark-2d":
+		return runPassmarkTests(app, []string{"Solid Vectors", "Image Rendering"})
+	case "passmark-3d":
+		return runPassmarkTests(app, []string{"Simple 3D", "Complex 3D"})
+	case "passmark":
+		return runPassmarkTests(app, passmark.TestNames())
+	case "webkit-tiles":
+		return runWebkitTiles(app)
+	default:
+		return fmt.Errorf("unknown scenario %q (have %v)", name, Scenarios())
+	}
+}
+
+// recordFrames keeps golden traces small while still covering multi-frame
+// state reuse (cached programs, retained textures).
+const recordFrames = 2
+
+func runPassmarkTests(app *system.IOSApp, tests []string) error {
+	h := &iosHost{
+		t:        app.Main(),
+		gl:       app.GL,
+		eagl:     app.EAGL,
+		newLayer: app.NewLayer,
+		cpuDraw:  app.Main().Costs().PerPixelCPUDrawIOS,
+	}
+	for _, test := range tests {
+		if _, err := passmark.Run(h, passmark.VariantIOS, test, recordFrames); err != nil {
+			return fmt.Errorf("passmark %s: %w", test, err)
+		}
+	}
+	return nil
+}
+
+// runWebkitTiles mimics the iOS WebKit port's tile pipeline (iosport): tiles
+// painted by CoreGraphics into locked IOSurfaces on a render thread, uploaded
+// as textures, then a cross-thread context adoption and present from the main
+// thread — which under Cycada exercises impersonation and the §6.2 lock
+// dance, both of which replay must re-drive.
+func runWebkitTiles(app *system.IOSApp) error {
+	main := app.Main()
+	render := app.Proc.NewThread("WebKitRender")
+	gl := app.GL
+
+	ctx, err := app.EAGL.NewContext(render, eagl.APIGLES2)
+	if err != nil {
+		return err
+	}
+	if err := app.EAGL.SetCurrentContext(render, ctx); err != nil {
+		return err
+	}
+	layer, err := app.NewLayer(render, 0, 0, stack.ScreenW, stack.ScreenH)
+	if err != nil {
+		return err
+	}
+	fbo := gl.GenFramebuffers(render, 1)
+	gl.BindFramebuffer(render, fbo[0])
+	rb := gl.GenRenderbuffers(render, 1)
+	gl.BindRenderbuffer(render, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(render, layer); err != nil {
+		return err
+	}
+	gl.FramebufferRenderbuffer(render, rb[0])
+
+	const tiles, tileSize = 4, 64
+	texs := gl.GenTextures(render, tiles)
+	for i, tex := range texs {
+		surf, err := app.Surfaces.Create(render, tileSize, tileSize, gpu.FormatRGBA8888)
+		if err != nil {
+			return err
+		}
+		if err := app.Surfaces.Lock(render, surf); err != nil {
+			return err
+		}
+		cv := graphics2d.New(surf.BaseAddress(), render.Costs().PerPixelCPUDrawIOS)
+		cv.Clear(render, gpu.RGBA{R: uint8(40 * i), G: 96, B: 160, A: 255})
+		cv.SetFill(gpu.RGBA{R: 240, G: uint8(60 * i), B: 32, A: 255})
+		cv.FillRect(render, 8, 8, tileSize-8, tileSize-8)
+		cv.DrawText(render, 6, 28, "tile", 8)
+		if err := app.Surfaces.Unlock(render, surf); err != nil {
+			return err
+		}
+		gl.BindTexture(render, tex)
+		gl.TexImage2D(render, tileSize, tileSize, gpu.FormatRGBA8888, nil)
+		gl.TexSubImage2D(render, 0, 0, tileSize, tileSize, gpu.FormatRGBA8888, surf.BaseAddress().Pix)
+		if err := app.Surfaces.Release(render, surf); err != nil {
+			return err
+		}
+	}
+
+	// Cross-thread adoption: the main thread takes over the render thread's
+	// context and presents (iOS liberality, impersonation under Cycada).
+	if err := app.EAGL.SetCurrentContext(main, ctx); err != nil {
+		return err
+	}
+	gl.ClearColor(main, 0.1, 0.2, 0.3, 1)
+	gl.Clear(main, engine.ColorBufferBit)
+	if err := ctx.PresentRenderbuffer(main); err != nil {
+		return err
+	}
+	gl.DeleteTextures(main, texs) // the multi diplomat, coalesced via libEGLbridge
+	if err := app.EAGL.SetCurrentContext(main, nil); err != nil {
+		return err
+	}
+	if err := app.EAGL.SetCurrentContext(render, nil); err != nil {
+		return err
+	}
+	return ctx.Release(render)
+}

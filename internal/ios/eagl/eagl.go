@@ -18,6 +18,7 @@ import (
 
 	"cycada/internal/android/libc"
 	"cycada/internal/ios/iosurface"
+	"cycada/internal/replay/tap"
 	"cycada/internal/sim/kernel"
 )
 
@@ -133,8 +134,32 @@ type Lib struct {
 	libSystem *libc.Lib
 	curKey    int
 
+	// tap, when set, observes the state-bearing EAGL calls after they
+	// succeed (record/replay capture).
+	tap atomic.Pointer[tapBox]
+
 	mu     sync.Mutex
 	counts map[string]int
+}
+
+type tapBox struct{ t tap.Tap }
+
+// SetTap installs (nil removes) the boundary tap. Only the methods whose
+// effects matter for replay are reported: context creation, current-context
+// switches, storage binding, presents, and releases. Pure getters and local
+// state (debugLabel, multiThreaded) are not.
+func (l *Lib) SetTap(t tap.Tap) {
+	if t == nil {
+		l.tap.Store(nil)
+		return
+	}
+	l.tap.Store(&tapBox{t: t})
+}
+
+func (l *Lib) tapCall(t *kernel.Thread, name string, args []any, ret any) {
+	if box := l.tap.Load(); box != nil {
+		box.t.Call(t, tap.EAGL, name, args, ret)
+	}
 }
 
 // New creates the EAGL library over a backend. libSystem allocates the TLS
@@ -175,7 +200,11 @@ func (l *Lib) called(method string) {
 // NewContext implements initWithAPI:.
 func (l *Lib) NewContext(t *kernel.Thread, api int) (*Context, error) {
 	l.called("initWithAPI:")
-	return l.newContext(t, api, &Sharegroup{})
+	c, err := l.newContext(t, api, &Sharegroup{})
+	if err == nil {
+		l.tapCall(t, "initWithAPI:", []any{api}, c)
+	}
+	return c, err
 }
 
 // NewContextShared implements initWithAPI:sharegroup:.
@@ -184,7 +213,11 @@ func (l *Lib) NewContextShared(t *kernel.Thread, api int, share *Sharegroup) (*C
 	if share == nil {
 		share = &Sharegroup{}
 	}
-	return l.newContext(t, api, share)
+	c, err := l.newContext(t, api, share)
+	if err == nil {
+		l.tapCall(t, "initWithAPI:sharegroup:", []any{api, share}, c)
+	}
+	return c, err
 }
 
 func (l *Lib) newContext(t *kernel.Thread, api int, share *Sharegroup) (*Context, error) {
@@ -218,12 +251,17 @@ func (l *Lib) SetCurrentContext(t *kernel.Thread, c *Context) error {
 			return err
 		}
 		t.TLSDelete(kernel.PersonaIOS, l.curKey)
+		l.tapCall(t, "setCurrentContext:", []any{(*Context)(nil)}, nil)
 		return nil
 	}
 	if err := l.backend.MakeCurrent(t, c.bc); err != nil {
 		return fmt.Errorf("eagl setCurrentContext: %w", err)
 	}
-	return t.TLSSet(kernel.PersonaIOS, l.curKey, c)
+	if err := t.TLSSet(kernel.PersonaIOS, l.curKey, c); err != nil {
+		return err
+	}
+	l.tapCall(t, "setCurrentContext:", []any{c}, nil)
+	return nil
 }
 
 // CurrentContext implements the currentContext class method.
@@ -257,13 +295,22 @@ func (c *Context) RenderbufferStorageFromDrawable(t *kernel.Thread, d Drawable) 
 	if d == nil {
 		return fmt.Errorf("eagl renderbufferStorage: nil drawable")
 	}
-	return c.lib.backend.RenderbufferStorageFromDrawable(t, c.bc, d)
+	if err := c.lib.backend.RenderbufferStorageFromDrawable(t, c.bc, d); err != nil {
+		return err
+	}
+	c.lib.tapCall(t, "renderbufferStorage:fromDrawable:", []any{c, d}, nil)
+	return nil
 }
 
 // PresentRenderbuffer implements presentRenderbuffer:.
 func (c *Context) PresentRenderbuffer(t *kernel.Thread) error {
 	c.lib.called("presentRenderbuffer:")
-	return c.lib.backend.PresentRenderbuffer(t, c.bc)
+	if err := c.lib.backend.PresentRenderbuffer(t, c.bc); err != nil {
+		return err
+	}
+	// Tapped after the frame lands so the recorder can checksum the screen.
+	c.lib.tapCall(t, "presentRenderbuffer:", []any{c}, nil)
+	return nil
 }
 
 // PresentRenderbufferAtTime implements presentRenderbuffer:atTime: — a
@@ -316,9 +363,14 @@ func (c *Context) Retain() *Context {
 func (c *Context) Release(t *kernel.Thread) error {
 	c.lib.called("release")
 	if c.refs.Add(-1) > 0 {
+		c.lib.tapCall(t, "release", []any{c}, nil)
 		return nil
 	}
-	return c.dealloc(t)
+	if err := c.dealloc(t); err != nil {
+		return err
+	}
+	c.lib.tapCall(t, "release", []any{c}, nil)
+	return nil
 }
 
 // dealloc implements dealloc (a multi diplomat under Cycada: it must tear

@@ -158,11 +158,13 @@ func NewFramebuffer(w, h int) *Framebuffer {
 	return &Framebuffer{screen: gpu.NewImage(w, h)}
 }
 
-// Screen returns the panel contents.
+// Screen returns a snapshot copy of the panel contents. A copy for the same
+// reason as sflinger.Flinger.Screen: presents mutate the panel under f.mu,
+// and the live pointer would escape the lock.
 func (f *Framebuffer) Screen() *gpu.Image {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.screen
+	return f.screen.Clone()
 }
 
 // Frames reports presented frame count.

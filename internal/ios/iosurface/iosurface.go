@@ -12,9 +12,11 @@ package iosurface
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cycada/internal/ios/iokit"
 	"cycada/internal/linker"
+	"cycada/internal/replay/tap"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 )
@@ -67,8 +69,30 @@ func (s *Surface) Locked() bool {
 type Lib struct {
 	interp Interposer
 
+	// tap, when set, observes successful surface ops (record/replay
+	// capture). The unlock tap fires after the interposer's AfterUnlock, so
+	// a recorder sees the surface contents the GPU will consume.
+	tap atomic.Pointer[tapBox]
+
 	mu   sync.Mutex
 	live map[uint64]*Surface
+}
+
+type tapBox struct{ t tap.Tap }
+
+// SetTap installs (nil removes) the boundary tap.
+func (l *Lib) SetTap(t tap.Tap) {
+	if t == nil {
+		l.tap.Store(nil)
+		return
+	}
+	l.tap.Store(&tapBox{t: t})
+}
+
+func (l *Lib) tapCall(t *kernel.Thread, name string, args []any, ret any) {
+	if box := l.tap.Load(); box != nil {
+		box.t.Call(t, tap.Surface, name, args, ret)
+	}
 }
 
 // New creates the library. interp may be nil (native iOS).
@@ -94,6 +118,7 @@ func (l *Lib) Create(t *kernel.Thread, w, h int, format gpu.Format) (*Surface, e
 	l.mu.Lock()
 	l.live[s.ID] = s
 	l.mu.Unlock()
+	l.tapCall(t, "IOSurfaceCreate", []any{w, h, format}, s)
 	return s, nil
 }
 
@@ -121,6 +146,7 @@ func (l *Lib) Lock(t *kernel.Thread, s *Surface) error {
 	s.mu.Lock()
 	s.locked = true
 	s.mu.Unlock()
+	l.tapCall(t, "IOSurfaceLock", []any{s}, nil)
 	return nil
 }
 
@@ -143,6 +169,7 @@ func (l *Lib) Unlock(t *kernel.Thread, s *Surface) error {
 			return fmt.Errorf("IOSurfaceUnlock: %w", err)
 		}
 	}
+	l.tapCall(t, "IOSurfaceUnlock", []any{s}, nil)
 	return nil
 }
 
@@ -166,6 +193,7 @@ func (l *Lib) Release(t *kernel.Thread, s *Surface) error {
 	l.mu.Lock()
 	delete(l.live, s.ID)
 	l.mu.Unlock()
+	l.tapCall(t, "IOSurfaceRelease", []any{s}, nil)
 	return nil
 }
 

@@ -30,6 +30,7 @@ const (
 	CatDLR           = "dlr"
 	CatEGL           = "egl"
 	CatHarness       = "harness"
+	CatReplay        = "replay"
 )
 
 // Event is one finished span.

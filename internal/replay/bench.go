@@ -1,0 +1,63 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BenchResult summarizes a parallel replay run.
+type BenchResult struct {
+	Workers int
+	Replays int
+	Wall    time.Duration
+	PerSec  float64
+}
+
+// Bench replays tr `replays` times across `workers` goroutines and reports
+// wall-clock throughput. Each replay boots its own kernel/clock/process, so
+// the runs are embarrassingly parallel — on an N-core machine throughput
+// scales with min(workers, N). The decoded trace is shared read-only by all
+// workers.
+func Bench(tr *Trace, workers, replays int) (*BenchResult, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("replay: bench needs >= 1 worker, got %d", workers)
+	}
+	if replays < 1 {
+		return nil, fmt.Errorf("replay: bench needs >= 1 replay, got %d", replays)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if n := next.Add(1); n > int64(replays) {
+					return
+				}
+				if _, err := Play(tr, Options{}); err != nil {
+					errOnce.Do(func() { runErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	wall := time.Since(start)
+	return &BenchResult{
+		Workers: workers,
+		Replays: replays,
+		Wall:    wall,
+		PerSec:  float64(replays) / wall.Seconds(),
+	}, nil
+}

@@ -1,0 +1,156 @@
+package replay_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cycada/internal/replay"
+	"cycada/internal/sim/gpu"
+)
+
+// sampleTrace exercises every value tag in the codec's closed set.
+func sampleTrace() *replay.Trace {
+	final := gpu.NewImage(4, 3)
+	final.Fill(gpu.RGBA{R: 7, G: 77, B: 177, A: 255})
+	return &replay.Trace{
+		Label:   "codec-sample",
+		ScreenW: 320,
+		ScreenH: 200,
+		Events: []replay.Event{
+			{Kind: replay.KThread, TID: 1, Name: "main", Args: []any{true}},
+			{Kind: replay.KThread, TID: 2, Name: "render", Args: []any{false}},
+			{Kind: replay.KGLES, TID: 1, Name: "glScalars", Args: []any{
+				nil, true, false, -7, uint32(42), uint64(1) << 40,
+				float32(1.5), 2.25, "hello",
+			}},
+			{Kind: replay.KGLES, TID: 2, Name: "glSlices", Args: []any{
+				[]byte{1, 2, 3},
+				[]float32{0.5, -1.25},
+				[]uint16{7, 8},
+				[]uint32{9, 10, 11},
+				[]byte(nil), // zero-length slices round-trip as nil
+				[]float32(nil),
+				[]uint16(nil),
+				[]uint32(nil),
+			}},
+			{Kind: replay.KGLES, TID: 1, Name: "glStructured", Args: []any{
+				gpu.FormatRGBA8888,
+				gpu.Mat4{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 10, 20, 30, 1},
+			}},
+			{Kind: replay.KEAGL, TID: 2, Name: "initWithAPI:", Args: []any{2},
+				Ret: replay.CtxRef(1)},
+			{Kind: replay.KEAGL, TID: 2, Name: "initWithAPI:sharegroup:",
+				Args: []any{2, replay.GroupRef(1)}, Ret: replay.CtxRef(2)},
+			{Kind: replay.KSurface, TID: 2, Name: "IOSurfaceCreate",
+				Args: []any{64, 64, gpu.FormatRGBA8888}, Ret: replay.SurfRef(3)},
+			{Kind: replay.KSurface, TID: 2, Name: "IOSurfaceUnlock",
+				Args:   []any{replay.SurfRef(3)},
+				Pixels: bytes.Repeat([]byte{0xab}, 16)},
+			{Kind: replay.KEAGL, TID: 1, Name: "renderbufferStorage:fromDrawable:",
+				Args: []any{replay.CtxRef(1), replay.LayerVal{X: 5, Y: -6, W: 64, H: 48, Surf: 3}}},
+			{Kind: replay.KEAGL, TID: 1, Name: "presentRenderbuffer:",
+				Args: []any{replay.CtxRef(1)}, HasSum: true, Sum: 0xdeadbeef},
+		},
+		Final: final,
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := replay.Encode(tr)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := replay.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got.Presents() != 1 {
+		t.Fatalf("Presents = %d, want 1", got.Presents())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := replay.Encode(sampleTrace())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := replay.Encode(sampleTrace())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same trace encoded to different bytes (%d vs %d)", len(a), len(b))
+	}
+}
+
+func TestEncodeRejectsUnknownType(t *testing.T) {
+	tr := &replay.Trace{
+		Label: "bad", ScreenW: 1, ScreenH: 1,
+		Events: []replay.Event{{Kind: replay.KGLES, TID: 1, Name: "glBad", Args: []any{struct{}{}}}},
+	}
+	if _, err := replay.Encode(tr); err == nil {
+		t.Fatalf("Encode with unsupported arg type: err = nil, want error")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good, err := replay.Encode(sampleTrace())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"bad magic":    append([]byte("NOPE"), good[4:]...),
+		"empty":        {},
+		"magic only":   []byte("CYTR"),
+		"bad version":  append([]byte("CYTR"), binary.AppendUvarint(nil, 99)...),
+		"truncated":    good[:len(good)-8],
+		"header only":  good[:6],
+		"garbage body": append(append([]byte(nil), good[:5]...), 0xff, 0xfe, 0xfd),
+	}
+	for name, data := range cases {
+		if _, err := replay.Decode(data); err == nil {
+			t.Errorf("%s: Decode err = nil, want error", name)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "sample.cytr")
+	if err := replay.WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := replay.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("file round trip mismatch")
+	}
+	if _, err := replay.ReadFile(filepath.Join(t.TempDir(), "missing.cytr")); err == nil {
+		t.Fatalf("ReadFile(missing): err = nil, want error")
+	}
+}
+
+func TestValidateCatchesUndeclaredThread(t *testing.T) {
+	tr := &replay.Trace{
+		Label: "bad", ScreenW: 320, ScreenH: 200,
+		Events: []replay.Event{{Kind: replay.KGLES, TID: 9, Name: "glFlush", Args: []any{}}},
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate with undeclared thread: err = nil, want error")
+	}
+	if err := (&replay.Trace{Label: "geom"}).Validate(); err == nil {
+		t.Fatalf("Validate with zero geometry: err = nil, want error")
+	}
+}

@@ -1,0 +1,369 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+
+	"cycada/internal/core/system"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/obs"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// Options parameterizes a replay.
+type Options struct {
+	// Verify compares per-present screen checksums and the final frame
+	// against the values captured at record time.
+	Verify bool
+	// Tracer receives replay-phase spans; nil means obs.Default.
+	Tracer *obs.Tracer
+}
+
+// Mismatch is one present whose replayed screen checksum differs from the
+// recorded one.
+type Mismatch struct {
+	Event     int // index into Trace.Events
+	Present   int // 0-based present ordinal
+	Want, Got uint32
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Events   int
+	Presents int
+
+	// Verification outcome (zero unless Options.Verify was set).
+	Mismatches   []Mismatch
+	FinalChecked bool
+	FinalOK      bool
+	FinalWant    uint32
+	FinalGot     uint32
+}
+
+// VerifyOK reports whether every differential check passed.
+func (r *Result) VerifyOK() bool {
+	return len(r.Mismatches) == 0 && (!r.FinalChecked || r.FinalOK)
+}
+
+// Play boots a fresh Cycada system — Android stack, LinuxCoreSurface, and one
+// dual-persona process with the diplomatic iOS userland, but no iOS app code
+// — and re-drives the trace against it. Events execute sequentially in
+// recorded order from a single goroutine, but each on its recorded thread, so
+// thread identity (and with it impersonation, TLS migration, and per-thread
+// replica selection) is reproduced exactly.
+//
+// Replays are fully independent: each Play gets its own kernel, clock, and
+// process, so any number can run concurrently.
+func Play(tr *Trace, opts Options) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sys := system.New(system.Config{
+		ScreenW: tr.ScreenW,
+		ScreenH: tr.ScreenH,
+		Tracer:  opts.Tracer,
+	})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "replay-" + tr.Label})
+	if err != nil {
+		return nil, fmt.Errorf("replay: boot: %w", err)
+	}
+
+	p := &player{
+		sys:     sys,
+		app:     app,
+		verify:  opts.Verify,
+		threads: map[int]*kernel.Thread{},
+		ctxs:    map[CtxRef]*eagl.Context{},
+		groups:  map[GroupRef]*eagl.Sharegroup{},
+		surfs:   map[SurfRef]*iosurface.Surface{},
+		res:     &Result{Events: len(tr.Events)},
+	}
+
+	main := app.Main()
+	sp := main.TraceBegin(obs.CatReplay, "replay:play:"+tr.Label)
+	for i := range tr.Events {
+		if err := p.step(i, &tr.Events[i]); err != nil {
+			main.TraceEnd(sp)
+			return nil, fmt.Errorf("replay: event %d (%s %q): %w", i, tr.Events[i].Kind, tr.Events[i].Name, err)
+		}
+	}
+	main.TraceEnd(sp)
+
+	if opts.Verify && tr.Final != nil {
+		vsp := main.TraceBegin(obs.CatReplay, "replay:verify-final")
+		got := sys.Android.Flinger.Screen()
+		p.res.FinalChecked = true
+		p.res.FinalWant = tr.Final.Checksum()
+		p.res.FinalGot = got.Checksum()
+		p.res.FinalOK = got.W == tr.Final.W && got.H == tr.Final.H &&
+			bytes.Equal(got.Pix, tr.Final.Pix)
+		main.TraceEnd(vsp)
+	}
+	return p.res, nil
+}
+
+// Verify replays tr with differential checking and returns an error
+// describing the first divergence, if any.
+func Verify(tr *Trace) (*Result, error) {
+	res, err := Play(tr, Options{Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Mismatches) > 0 {
+		m := res.Mismatches[0]
+		return res, fmt.Errorf("replay: %d/%d present checksums diverged; first at present %d (event %d): recorded %08x, replayed %08x",
+			len(res.Mismatches), res.Presents, m.Present, m.Event, m.Want, m.Got)
+	}
+	if res.FinalChecked && !res.FinalOK {
+		return res, fmt.Errorf("replay: final frame diverged: recorded %08x, replayed %08x", res.FinalWant, res.FinalGot)
+	}
+	return res, nil
+}
+
+type player struct {
+	sys    *system.Cycada
+	app    *system.IOSApp
+	verify bool
+
+	threads map[int]*kernel.Thread
+	ctxs    map[CtxRef]*eagl.Context
+	groups  map[GroupRef]*eagl.Sharegroup
+	surfs   map[SurfRef]*iosurface.Surface
+
+	res *Result
+}
+
+func (p *player) step(idx int, ev *Event) error {
+	if ev.Kind == KThread {
+		return p.declareThread(ev)
+	}
+	t, ok := p.threads[ev.TID]
+	if !ok {
+		return fmt.Errorf("undeclared thread %d", ev.TID)
+	}
+	switch ev.Kind {
+	case KGLES:
+		args, err := p.resolveArgs(ev.Args)
+		if err != nil {
+			return err
+		}
+		if ret := p.app.Bridge.Call(t, ev.Name, args...); ret != nil {
+			if err, failed := ret.(error); failed && err != nil {
+				return err
+			}
+		}
+		return nil
+	case KEAGL:
+		return p.stepEAGL(idx, ev, t)
+	case KSurface:
+		return p.stepSurface(ev, t)
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+}
+
+func (p *player) declareThread(ev *Event) error {
+	if _, dup := p.threads[ev.TID]; dup {
+		return fmt.Errorf("thread %d declared twice", ev.TID)
+	}
+	isMain := len(ev.Args) == 1 && ev.Args[0] == true
+	if isMain {
+		p.threads[ev.TID] = p.app.Main()
+		return nil
+	}
+	p.threads[ev.TID] = p.app.Proc.NewThread(ev.Name)
+	return nil
+}
+
+func (p *player) stepEAGL(idx int, ev *Event, t *kernel.Thread) error {
+	switch ev.Name {
+	case "initWithAPI:", "initWithAPI:sharegroup:":
+		api, ok := ev.Args[0].(int)
+		if !ok {
+			return fmt.Errorf("bad API arg %T", ev.Args[0])
+		}
+		var (
+			c   *eagl.Context
+			err error
+		)
+		if ev.Name == "initWithAPI:" {
+			c, err = p.app.EAGL.NewContext(t, api)
+		} else {
+			gref, ok := ev.Args[1].(GroupRef)
+			if !ok {
+				return fmt.Errorf("bad sharegroup arg %T", ev.Args[1])
+			}
+			g := p.groups[gref]
+			if g == nil {
+				g = &eagl.Sharegroup{}
+				p.groups[gref] = g
+			}
+			c, err = p.app.EAGL.NewContextShared(t, api, g)
+		}
+		if err != nil {
+			return err
+		}
+		ref, ok := ev.Ret.(CtxRef)
+		if !ok {
+			return fmt.Errorf("creation event without context ref")
+		}
+		p.ctxs[ref] = c
+		return nil
+	case "setCurrentContext:":
+		if ev.Args[0] == nil {
+			return p.app.EAGL.SetCurrentContext(t, nil)
+		}
+		c, err := p.ctx(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		return p.app.EAGL.SetCurrentContext(t, c)
+	case "renderbufferStorage:fromDrawable:":
+		c, err := p.ctx(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		lv, ok := ev.Args[1].(LayerVal)
+		if !ok {
+			return fmt.Errorf("bad drawable arg %T", ev.Args[1])
+		}
+		surf, ok := p.surfs[lv.Surf]
+		if !ok {
+			return fmt.Errorf("drawable references unknown surface %d", lv.Surf)
+		}
+		layer := &eagl.CAEAGLLayer{W: lv.W, H: lv.H, X: lv.X, Y: lv.Y, Surf: surf}
+		return c.RenderbufferStorageFromDrawable(t, layer)
+	case "presentRenderbuffer:":
+		c, err := p.ctx(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := c.PresentRenderbuffer(t); err != nil {
+			return err
+		}
+		present := p.res.Presents
+		p.res.Presents++
+		if p.verify && ev.HasSum {
+			got := p.sys.Android.Flinger.ScreenChecksum()
+			if got != ev.Sum {
+				p.res.Mismatches = append(p.res.Mismatches, Mismatch{
+					Event: idx, Present: present, Want: ev.Sum, Got: got,
+				})
+			}
+		}
+		return nil
+	case "release":
+		c, err := p.ctx(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		return c.Release(t)
+	default:
+		return fmt.Errorf("unsupported EAGL method")
+	}
+}
+
+func (p *player) stepSurface(ev *Event, t *kernel.Thread) error {
+	switch ev.Name {
+	case "IOSurfaceCreate":
+		w, _ := ev.Args[0].(int)
+		h, _ := ev.Args[1].(int)
+		format, ok := ev.Args[2].(gpu.Format)
+		if !ok {
+			return fmt.Errorf("bad format arg %T", ev.Args[2])
+		}
+		s, err := p.app.Surfaces.Create(t, w, h, format)
+		if err != nil {
+			return err
+		}
+		ref, ok := ev.Ret.(SurfRef)
+		if !ok {
+			return fmt.Errorf("creation event without surface ref")
+		}
+		p.surfs[ref] = s
+		return nil
+	case "IOSurfaceLock":
+		s, err := p.surf(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		return p.app.Surfaces.Lock(t, s)
+	case "IOSurfaceUnlock":
+		s, err := p.surf(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		if ev.Pixels != nil {
+			// Reproduce the CPU paint that happened while locked.
+			img := s.BaseAddress()
+			if len(ev.Pixels) != len(img.Pix) {
+				return fmt.Errorf("recorded %d pixel bytes for a %dx%d surface", len(ev.Pixels), s.W, s.H)
+			}
+			copy(img.Pix, ev.Pixels)
+		}
+		return p.app.Surfaces.Unlock(t, s)
+	case "IOSurfaceRelease":
+		s, err := p.surf(ev.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := p.app.Surfaces.Release(t, s); err != nil {
+			return err
+		}
+		for ref, live := range p.surfs {
+			if live == s {
+				delete(p.surfs, ref)
+				break
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported IOSurface op")
+	}
+}
+
+func (p *player) ctx(arg any) (*eagl.Context, error) {
+	ref, ok := arg.(CtxRef)
+	if !ok {
+		return nil, fmt.Errorf("bad context arg %T", arg)
+	}
+	c, ok := p.ctxs[ref]
+	if !ok {
+		return nil, fmt.Errorf("unknown context %d", ref)
+	}
+	return c, nil
+}
+
+func (p *player) surf(arg any) (*iosurface.Surface, error) {
+	ref, ok := arg.(SurfRef)
+	if !ok {
+		return nil, fmt.Errorf("bad surface arg %T", arg)
+	}
+	s, ok := p.surfs[ref]
+	if !ok {
+		return nil, fmt.Errorf("unknown surface %d", ref)
+	}
+	return s, nil
+}
+
+// resolveArgs maps trace references back to live handles for a GLES call.
+func (p *player) resolveArgs(args []any) ([]any, error) {
+	out := make([]any, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case SurfRef:
+			s, ok := p.surfs[v]
+			if !ok {
+				return nil, fmt.Errorf("arg %d: unknown surface %d", i, v)
+			}
+			out[i] = s
+		case CtxRef, GroupRef, LayerVal:
+			return nil, fmt.Errorf("arg %d: unexpected %T in a GLES call", i, v)
+		default:
+			out[i] = a
+		}
+	}
+	return out, nil
+}

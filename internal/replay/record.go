@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"cycada/internal/core/system"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/ios/iosurface"
+	"cycada/internal/replay/tap"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// RecorderConfig parameterizes a capture.
+type RecorderConfig struct {
+	// Label names the trace (scenario name).
+	Label string
+	// ScreenW/H is the display geometry the stack was booted with; replay
+	// boots the same geometry.
+	ScreenW, ScreenH int
+	// Checksum hashes the composited screen; called after every present.
+	Checksum func() uint32
+	// Screen snapshots the composited screen; called once at Finish for the
+	// final-frame pixels. May be nil (no final-frame verification).
+	Screen func() *gpu.Image
+}
+
+// Recorder implements tap.Tap: it turns the call stream crossing the bridge
+// boundary into trace events. Live handles (contexts, sharegroups, surfaces,
+// drawables) are rewritten to positional references so the trace carries no
+// pointers; slice arguments are deep-copied because callers may reuse them.
+//
+// A Recorder is safe for concurrent use — the boundary is called from
+// multiple simulated threads (and real goroutines, via GCD queues).
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu       sync.Mutex
+	events   []Event
+	threads  map[int]bool
+	ctxIDs   map[*eagl.Context]CtxRef
+	groupIDs map[*eagl.Sharegroup]GroupRef
+	nextCtx  uint64
+	nextGrp  uint64
+	done     bool
+	err      error
+}
+
+// NewRecorder creates a recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	return &Recorder{
+		cfg:      cfg,
+		threads:  map[int]bool{},
+		ctxIDs:   map[*eagl.Context]CtxRef{},
+		groupIDs: map[*eagl.Sharegroup]GroupRef{},
+	}
+}
+
+// Attach installs rec on every tapped boundary of app and returns the detach
+// function. Attach before the workload makes its first graphics call: handles
+// created while detached cannot be resolved later and fail the capture.
+func Attach(app *system.IOSApp, rec *Recorder) (detach func()) {
+	app.Bridge.SetTap(rec)
+	app.EAGL.SetTap(rec)
+	app.Surfaces.SetTap(rec)
+	return func() {
+		app.Bridge.SetTap(nil)
+		app.EAGL.SetTap(nil)
+		app.Surfaces.SetTap(nil)
+	}
+}
+
+// Call implements tap.Tap.
+func (r *Recorder) Call(t *kernel.Thread, layer tap.Layer, name string, args []any, result any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || r.err != nil {
+		return
+	}
+	kind := kindForLayer(layer)
+	if kind == 0 {
+		r.err = fmt.Errorf("replay: record %s: unknown tap layer %d", name, layer)
+		return
+	}
+	r.declareThread(t)
+	ev := Event{Kind: kind, TID: t.TID(), Name: name}
+	for _, a := range args {
+		v, err := r.convert(a)
+		if err != nil {
+			r.err = fmt.Errorf("replay: record %s: %w", name, err)
+			return
+		}
+		ev.Args = append(ev.Args, v)
+	}
+	switch {
+	case layer == tap.EAGL && (name == "initWithAPI:" || name == "initWithAPI:sharegroup:"):
+		c, ok := result.(*eagl.Context)
+		if !ok {
+			r.err = fmt.Errorf("replay: record %s: result %T, want *eagl.Context", name, result)
+			return
+		}
+		r.nextCtx++
+		ref := CtxRef(r.nextCtx)
+		r.ctxIDs[c] = ref
+		ev.Ret = ref
+	case layer == tap.Surface && name == "IOSurfaceCreate":
+		s, ok := result.(*iosurface.Surface)
+		if !ok {
+			r.err = fmt.Errorf("replay: record %s: result %T, want *iosurface.Surface", name, result)
+			return
+		}
+		ev.Ret = SurfRef(s.ID)
+	case layer == tap.EAGL && name == "presentRenderbuffer:":
+		if r.cfg.Checksum != nil {
+			ev.HasSum = true
+			ev.Sum = r.cfg.Checksum()
+		}
+	case layer == tap.Surface && name == "IOSurfaceUnlock":
+		// CPU-painted content (WebKit tiles) exists only in the surface; the
+		// painting code is absent at replay, so capture the pixels here.
+		if s, ok := args[0].(*iosurface.Surface); ok {
+			ev.Pixels = append([]byte(nil), s.BaseAddress().Pix...)
+		}
+	}
+	r.events = append(r.events, ev)
+}
+
+// declareThread emits a KThread event the first time a TID appears, so replay
+// can rebuild the thread with the same name and main/worker role before its
+// first call. Caller holds r.mu.
+func (r *Recorder) declareThread(t *kernel.Thread) {
+	tid := t.TID()
+	if r.threads[tid] {
+		return
+	}
+	r.threads[tid] = true
+	r.events = append(r.events, Event{
+		Kind: KThread,
+		TID:  tid,
+		Name: t.Name(),
+		Args: []any{t.IsGroupLeader()},
+	})
+}
+
+// convert rewrites one boundary argument into its trace representation.
+// Caller holds r.mu.
+func (r *Recorder) convert(a any) (any, error) {
+	switch v := a.(type) {
+	case nil:
+		return nil, nil
+	case bool, int, uint32, uint64, float32, float64, string, gpu.Format, gpu.Mat4:
+		return v, nil
+	case []byte:
+		return append([]byte(nil), v...), nil
+	case []float32:
+		return append([]float32(nil), v...), nil
+	case []uint16:
+		return append([]uint16(nil), v...), nil
+	case []uint32:
+		return append([]uint32(nil), v...), nil
+	case *eagl.Context:
+		if v == nil {
+			return nil, nil
+		}
+		ref, ok := r.ctxIDs[v]
+		if !ok {
+			return nil, fmt.Errorf("context created before recording attached")
+		}
+		return ref, nil
+	case *eagl.Sharegroup:
+		if v == nil {
+			return nil, nil
+		}
+		ref, ok := r.groupIDs[v]
+		if !ok {
+			r.nextGrp++
+			ref = GroupRef(r.nextGrp)
+			r.groupIDs[v] = ref
+		}
+		return ref, nil
+	case *iosurface.Surface:
+		if v == nil {
+			return nil, nil
+		}
+		return SurfRef(v.ID), nil
+	case eagl.Drawable:
+		s := v.Surface()
+		if s == nil {
+			return nil, fmt.Errorf("drawable without a backing surface")
+		}
+		w, h := v.Bounds()
+		x, y := v.Position()
+		return LayerVal{X: x, Y: y, W: w, H: h, Surf: SurfRef(s.ID)}, nil
+	default:
+		return nil, fmt.Errorf("unsupported boundary type %T", a)
+	}
+}
+
+// Err reports the first recording failure, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Finish stops the capture and builds the trace, snapshotting the final
+// composited frame. Detach the recorder from the app first.
+func (r *Recorder) Finish() (*Trace, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = true
+	if r.err != nil {
+		return nil, r.err
+	}
+	tr := &Trace{
+		Label:   r.cfg.Label,
+		ScreenW: r.cfg.ScreenW,
+		ScreenH: r.cfg.ScreenH,
+		Events:  r.events,
+	}
+	if r.cfg.Screen != nil {
+		tr.Final = r.cfg.Screen()
+	}
+	return tr, nil
+}

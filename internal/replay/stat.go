@@ -1,0 +1,121 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cycada/internal/gles/registry"
+	"cycada/internal/ios/eagl"
+)
+
+// Stats is a per-call-kind histogram of one trace.
+type Stats struct {
+	Label            string
+	ScreenW, ScreenH int
+	Events           int
+	Threads          int
+	Presents         int
+	PixelBytes       int // captured surface + final-frame pixel payload
+
+	// ByKind buckets events by boundary and diplomat kind
+	// ("gles:direct", "eagl:multi-diplomat", "iosurface", ...).
+	ByKind map[string]int
+	// ByName counts individual entry points.
+	ByName map[string]int
+}
+
+// glesKinds maps every bridged GLES function to its Table 2 kind.
+var glesKinds = func() map[string]string {
+	m := map[string]string{}
+	for _, n := range registry.BridgeDirect() {
+		m[n] = "direct"
+	}
+	for _, n := range registry.BridgeIndirect() {
+		m[n] = "indirect"
+	}
+	for _, n := range registry.BridgeDataDependent() {
+		m[n] = "data-dependent"
+	}
+	for _, n := range registry.BridgeUnimplemented() {
+		m[n] = "unimplemented"
+	}
+	m["glDeleteTextures"] = "multi"
+	m["glEGLImageTargetTexture2DOES"] = "multi"
+	return m
+}()
+
+// Stat computes the histogram.
+func Stat(tr *Trace) *Stats {
+	st := &Stats{
+		Label:   tr.Label,
+		ScreenW: tr.ScreenW,
+		ScreenH: tr.ScreenH,
+		Events:  len(tr.Events),
+		ByKind:  map[string]int{},
+		ByName:  map[string]int{},
+	}
+	if tr.Final != nil {
+		st.PixelBytes += len(tr.Final.Pix)
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		st.PixelBytes += len(ev.Pixels)
+		switch ev.Kind {
+		case KThread:
+			st.Threads++
+			st.ByKind["thread"]++
+			continue
+		case KGLES:
+			kind, ok := glesKinds[ev.Name]
+			if !ok {
+				kind = "unknown"
+			}
+			st.ByKind["gles:"+kind]++
+		case KEAGL:
+			switch eagl.Methods[ev.Name] {
+			case eagl.ImplMultiDiplomat:
+				st.ByKind["eagl:multi-diplomat"]++
+			case eagl.ImplScratch:
+				st.ByKind["eagl:scratch"]++
+			default:
+				st.ByKind["eagl:unknown"]++
+			}
+		case KSurface:
+			st.ByKind["iosurface"]++
+		}
+		st.ByName[ev.Name]++
+		if ev.HasSum {
+			st.Presents++
+		}
+	}
+	return st
+}
+
+// Write renders the histogram as text: kinds, then the top entry points.
+func (st *Stats) Write(w io.Writer, topN int) {
+	fmt.Fprintf(w, "trace %q: %dx%d screen, %d events, %d threads, %d presents, %d pixel bytes\n",
+		st.Label, st.ScreenW, st.ScreenH, st.Events, st.Threads, st.Presents, st.PixelBytes)
+	fmt.Fprintln(w, "by kind:")
+	for _, k := range sortedKeys(st.ByKind) {
+		fmt.Fprintf(w, "  %-22s %6d\n", k, st.ByKind[k])
+	}
+	names := sortedKeys(st.ByName)
+	sort.SliceStable(names, func(i, j int) bool { return st.ByName[names[i]] > st.ByName[names[j]] })
+	if topN > 0 && len(names) > topN {
+		names = names[:topN]
+	}
+	fmt.Fprintf(w, "top %d entry points:\n", len(names))
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-34s %6d\n", n, st.ByName[n])
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+// Package tap defines the hook interface through which the bridge layers
+// (glesbridge diplomats, EAGL entry points, IOSurface ops) report completed
+// calls to an observer — in practice the trace recorder in internal/replay.
+//
+// The package is a deliberate leaf: it imports only the simulated kernel, so
+// the instrumented layers can depend on it without ever seeing the replay
+// subsystem (which imports them back for re-driving). When no tap is
+// installed the instrumented call sites pay one atomic load and a nil check.
+package tap
+
+import "cycada/internal/sim/kernel"
+
+// Layer identifies which bridge boundary a call crossed.
+type Layer uint8
+
+const (
+	// GLES marks a diplomatic GLES entry point (internal/core/glesbridge).
+	GLES Layer = iota + 1
+	// EAGL marks an EAGL API method (internal/ios/eagl).
+	EAGL
+	// Surface marks an IOSurface operation (internal/ios/iosurface).
+	Surface
+)
+
+// String returns the layer name used in traces and histograms.
+func (l Layer) String() string {
+	switch l {
+	case GLES:
+		return "gles"
+	case EAGL:
+		return "eagl"
+	case Surface:
+		return "iosurface"
+	default:
+		return "unknown"
+	}
+}
+
+// Tap receives one notification per completed call. t is the thread the call
+// executed on (its TID keys thread identity in traces), name is the entry
+// point ("glDrawArrays", "presentRenderbuffer:", "IOSurfaceLock", ...), args
+// are the arguments exactly as passed, and result is the call's return value
+// (nil for void calls; an error result means the call failed).
+//
+// Implementations must not retain args: slices may be reused or mutated by
+// the caller after the call returns.
+type Tap interface {
+	Call(t *kernel.Thread, layer Layer, name string, args []any, result any)
+}

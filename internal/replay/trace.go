@@ -1,0 +1,139 @@
+// Package replay records the cross-persona graphics command stream — every
+// call crossing the Cycada bridge boundary — into a compact, versioned binary
+// trace, and deterministically re-drives a trace against a freshly booted
+// Android stack with no iOS app code present. Differential verification
+// (per-present frame checksums and final-frame pixels captured at record
+// time) turns any behavioral drift in the bridge, engine, or rasterizer into
+// an immediate failure. See DESIGN.md "Record/replay".
+package replay
+
+import (
+	"fmt"
+
+	"cycada/internal/replay/tap"
+	"cycada/internal/sim/gpu"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// KThread declares a thread before its first call: Name is the thread
+	// name, Args[0] is true when it is the process group leader (main).
+	KThread EventKind = iota + 1
+	// KGLES is a diplomatic GLES call through glesbridge.
+	KGLES
+	// KEAGL is an EAGL API call.
+	KEAGL
+	// KSurface is an IOSurface operation.
+	KSurface
+)
+
+// String names the kind for histograms and error messages.
+func (k EventKind) String() string {
+	switch k {
+	case KThread:
+		return "thread"
+	case KGLES:
+		return "gles"
+	case KEAGL:
+		return "eagl"
+	case KSurface:
+		return "iosurface"
+	default:
+		return "unknown"
+	}
+}
+
+// kindForLayer maps a tap boundary to its event kind.
+func kindForLayer(l tap.Layer) EventKind {
+	switch l {
+	case tap.GLES:
+		return KGLES
+	case tap.EAGL:
+		return KEAGL
+	case tap.Surface:
+		return KSurface
+	default:
+		return 0
+	}
+}
+
+// Handle references — live pointers crossing the boundary are rewritten to
+// these small marker values at record time and resolved back to freshly
+// created objects at replay time.
+
+// CtxRef names an EAGL context by its creation order (1-based).
+type CtxRef uint64
+
+// GroupRef names an EAGL sharegroup by its creation order (1-based).
+type GroupRef uint64
+
+// SurfRef names an IOSurface by the surface ID the simulated kernel assigned
+// at record time.
+type SurfRef uint64
+
+// LayerVal captures an eagl.Drawable (CAEAGLLayer) by value: geometry plus
+// the backing surface reference.
+type LayerVal struct {
+	X, Y, W, H int
+	Surf       SurfRef
+}
+
+// Event is one recorded call (or thread declaration).
+type Event struct {
+	Kind EventKind
+	TID  int    // recording-time thread ID; replay maps it to a fresh thread
+	Name string // entry point, or thread name for KThread
+	Args []any  // self-describing values; see codec.go for the closed set
+	Ret  any    // creation results only (CtxRef/GroupRef/SurfRef), else nil
+
+	// HasSum is set on present events; Sum is the composited screen
+	// checksum (gpu.Image.Checksum) immediately after the present.
+	HasSum bool
+	Sum    uint32
+
+	// Pixels is set on IOSurfaceUnlock events: the surface contents at
+	// unlock time, so replay can reproduce CPU-painted data (WebKit tile
+	// uploads) without the painting code present.
+	Pixels []byte
+}
+
+// Trace is a decoded capture: a label, the screen geometry the stack was
+// booted with, the event stream, and the final composited frame.
+type Trace struct {
+	Label            string
+	ScreenW, ScreenH int
+	Events           []Event
+	Final            *gpu.Image // final-frame pixels at capture time (may be nil)
+}
+
+// Presents counts present events in the trace.
+func (tr *Trace) Presents() int {
+	n := 0
+	for i := range tr.Events {
+		if tr.Events[i].HasSum {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate performs cheap structural checks on a decoded trace.
+func (tr *Trace) Validate() error {
+	if tr.ScreenW <= 0 || tr.ScreenH <= 0 {
+		return fmt.Errorf("replay: bad screen geometry %dx%d", tr.ScreenW, tr.ScreenH)
+	}
+	declared := map[int]bool{}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind == KThread {
+			declared[ev.TID] = true
+			continue
+		}
+		if !declared[ev.TID] {
+			return fmt.Errorf("replay: event %d (%s %q) on undeclared thread %d", i, ev.Kind, ev.Name, ev.TID)
+		}
+	}
+	return nil
+}

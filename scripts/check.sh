@@ -22,7 +22,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core/..."
-go test -race ./internal/core/...
+echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger"
+go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger
+
+echo "== replay golden traces"
+go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
 echo "tier-1 checks passed"
