@@ -1,4 +1,4 @@
-.PHONY: check test bench trace replay-golden
+.PHONY: check test bench bench-smoke trace replay-golden
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
 # concurrency-heavy core and replay packages, golden-trace verification.
@@ -15,6 +15,11 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Quick compile-and-run sanity check of the diplomat hot-path benchmarks
+# (BenchmarkDiplomatCall, BenchmarkDiplomatCallAllocs); also run by check.sh.
+bench-smoke:
+	go test -run='^$$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
 
 # Chrome trace_event demo: open trace.json in chrome://tracing or Perfetto.
 trace:

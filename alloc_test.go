@@ -1,0 +1,72 @@
+package cycada
+
+// Allocation regression gate for the typed calling convention (DESIGN.md §8):
+// with tracing off, no profiler recording and no replay tap, a direct
+// diplomatic call must not touch the heap — neither as a bare diplomat nor
+// through the full glesapi facade -> linker -> diplomat -> engine stack.
+
+import (
+	"testing"
+
+	"cycada/internal/core/diplomat"
+	"cycada/internal/core/system"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+)
+
+func TestDirectDiplomatCallDoesNotAllocate(t *testing.T) {
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "alloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := app.Main()
+	app.Linker.MustRegister(&linker.Blueprint{
+		Name: "libnoop.so",
+		New:  func(ctx *linker.LoadContext) (linker.Instance, error) { return benchNoop{}, nil },
+	})
+	h, err := app.Linker.Dlopen(th, "libnoop.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diplomat.New(diplomat.Config{
+		Foreign:  kernel.PersonaIOS,
+		Domestic: kernel.PersonaAndroid,
+		Linker:   app.Linker,
+		Library:  h,
+	}, "noop", diplomat.Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() { d.Call(th) }); n != 0 {
+		t.Fatalf("direct diplomat call allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestFacadeDirectCallDoesNotAllocate(t *testing.T) {
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "alloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := app.Main()
+	ctx, err := app.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(th, ctx); err != nil {
+		t.Fatal(err)
+	}
+	gl := app.GL
+	if n := testing.AllocsPerRun(100, func() { gl.Viewport(th, 0, 0, 8, 8) }); n != 0 {
+		t.Fatalf("facade glViewport allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if gl.GetError(th) != 0 {
+			t.Fatal("unexpected GL error")
+		}
+	}); n != 0 {
+		t.Fatalf("facade glGetError allocates %.1f times per call, want 0", n)
+	}
+}

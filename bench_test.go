@@ -145,6 +145,50 @@ func BenchmarkDiplomatCall(b *testing.B) {
 	}
 }
 
+// BenchmarkDiplomatCallAllocs is BenchmarkDiplomatCall with the allocation
+// counter on: the direct path must report 0 allocs/op (also enforced by
+// TestDirectDiplomatCallDoesNotAllocate in the tier-1 suite).
+func BenchmarkDiplomatCallAllocs(b *testing.B) {
+	t, d := diplomatBenchEnv(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Call(t)
+	}
+}
+
+// BenchmarkFacadeViewport compares the two calling conventions over the full
+// facade -> bridge -> diplomat -> engine stack: the legacy boxed Call (name
+// lookup plus []any) against the typed frame path (interned FuncID plus a
+// pooled frame).
+func BenchmarkFacadeViewport(b *testing.B) {
+	sys := system.New(system.Config{})
+	app, err := sys.NewIOSApp(system.AppConfig{Name: "facade"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := app.Main()
+	ctx, err := app.EAGL.NewContext(t, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(t, ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			app.GL.Call(t, "glViewport", 0, 0, 8, 8)
+		}
+	})
+	b.Run("frame", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			app.GL.Viewport(t, 0, 0, 8, 8)
+		}
+	})
+}
+
 // BenchmarkObsOverhead measures the same call with the always-compiled-in
 // observability layer in both states. The acceptance bar is disabled ns/op
 // within 3% of BenchmarkDiplomatCall: the disabled cost of each potential

@@ -7,6 +7,7 @@ package gles
 
 import (
 	"cycada/internal/android/libc"
+	"cycada/internal/core/callconv"
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/registry"
 	"cycada/internal/gles/symbols"
@@ -41,8 +42,9 @@ func TegraProfile() engine.Profile {
 
 // VendorLib is one loaded instance of the vendor library.
 type VendorLib struct {
-	eng  *engine.Lib
-	syms map[string]linker.Fn
+	eng    *engine.Lib
+	syms   map[string]linker.Fn
+	frames map[string]callconv.FrameFn
 }
 
 // Engine exposes the typed GLES engine behind the symbol surface; the EGL
@@ -52,6 +54,10 @@ func (v *VendorLib) Engine() *engine.Lib { return v.eng }
 
 // Symbols implements linker.Instance.
 func (v *VendorLib) Symbols() map[string]linker.Fn { return v.syms }
+
+// FrameSymbols implements linker.FrameInstance: the typed fast path into the
+// same surface.
+func (v *VendorLib) FrameSymbols() map[string]callconv.FrameFn { return v.frames }
 
 // Finalize implements linker.Finalizer: replica teardown releases the
 // library's TLS key.
@@ -74,8 +80,9 @@ func Blueprint() *linker.Blueprint {
 			// symbols beyond their advertised extensions).
 			surface := append(registry.AndroidSurface(), registry.TegraUnadvertised()...)
 			return &VendorLib{
-				eng:  eng,
-				syms: symbols.Build(eng, surface, "NV"),
+				eng:    eng,
+				syms:   symbols.Build(eng, surface, "NV"),
+				frames: symbols.BuildFrames(eng, surface, "NV"),
 			}, nil
 		},
 	}

@@ -1,0 +1,179 @@
+package callconv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternAssignsStableDenseIDs(t *testing.T) {
+	a := Intern("testfn-alpha")
+	b := Intern("testfn-beta")
+	if a == NoFunc || b == NoFunc {
+		t.Fatal("Intern returned the reserved zero id")
+	}
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if again := Intern("testfn-alpha"); again != a {
+		t.Fatalf("re-intern changed the id: %d != %d", again, a)
+	}
+	if id, ok := LookupID("testfn-alpha"); !ok || id != a {
+		t.Fatalf("LookupID = (%d, %v), want (%d, true)", id, ok, a)
+	}
+	if Name(a) != "testfn-alpha" {
+		t.Fatalf("Name(%d) = %q", a, Name(a))
+	}
+	if int(a) >= Count() || int(b) >= Count() {
+		t.Fatalf("Count() = %d does not cover ids %d, %d", Count(), a, b)
+	}
+}
+
+func TestLookupUnknownAndZeroID(t *testing.T) {
+	if id, ok := LookupID("testfn-never-interned"); ok {
+		t.Fatalf("unknown name resolved to %d", id)
+	}
+	if Name(NoFunc) != "" {
+		t.Fatalf("Name(NoFunc) = %q, want empty", Name(NoFunc))
+	}
+	if Name(FuncID(1<<30)) != "" {
+		t.Fatal("out-of-range id did not return empty name")
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	const workers, names = 8, 64
+	var wg sync.WaitGroup
+	got := make([][]FuncID, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]FuncID, names)
+			for i := 0; i < names; i++ {
+				ids[i] = Intern(fmt.Sprintf("testfn-conc-%d", i))
+			}
+			got[w] = ids
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < names; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d saw id %d for name %d, worker 0 saw %d", w, got[w][i], i, got[0][i])
+			}
+		}
+	}
+}
+
+func TestFrameArgsPreserveOrderAndTypes(t *testing.T) {
+	id := Intern("testfn-frame")
+	fr := Acquire(id)
+	defer fr.Release()
+	fr.PushInt(7)
+	fr.PushU32(9)
+	fr.PushHandle([]uint32{1, 2})
+	fr.PushInt(-3)
+	fr.PushF32(1.5)
+	fr.PushBytes([]byte{4})
+	fr.PushStr("s")
+
+	args := fr.Args()
+	want := []any{int(7), uint32(9), []uint32{1, 2}, int(-3), float32(1.5), []byte{4}, "s"}
+	if len(args) != len(want) {
+		t.Fatalf("len(args) = %d, want %d", len(args), len(want))
+	}
+	for i := range want {
+		if fmt.Sprintf("%T:%v", args[i], args[i]) != fmt.Sprintf("%T:%v", want[i], want[i]) {
+			t.Errorf("args[%d] = %T %v, want %T %v", i, args[i], args[i], want[i], want[i])
+		}
+	}
+	// The boxed view is cached until Release.
+	if &fr.Args()[0] != &args[0] {
+		t.Fatal("Args materialized twice for one call")
+	}
+}
+
+func TestFrameNilBytesMaterializesTyped(t *testing.T) {
+	fr := Acquire(Intern("testfn-nilbytes"))
+	defer fr.Release()
+	fr.PushInt(4)
+	fr.PushBytes(nil)
+	args := fr.Args()
+	if b, ok := args[1].([]byte); !ok || b != nil {
+		t.Fatalf("args[1] = %T %v, want typed-nil []byte", args[1], args[1])
+	}
+}
+
+func TestFrameAccessorsAndDefaults(t *testing.T) {
+	fr := Acquire(Intern("testfn-acc"))
+	defer fr.Release()
+	fr.PushU32(5)
+	fr.PushInt(11)
+	fr.PushInt(13)
+	if fr.U32(0) != 5 || fr.Int(0) != 11 || fr.Int(1) != 13 {
+		t.Fatalf("typed reads wrong: %d %d %d", fr.U32(0), fr.Int(0), fr.Int(1))
+	}
+	// Out-of-range reads are defensive zeros, like the boxed arg helpers.
+	if fr.Int(2) != 0 || fr.U32(1) != 0 || fr.F32(0) != 0 || fr.Str() != "" ||
+		fr.Bytes() != nil || fr.Floats() != nil || fr.Handle() != nil {
+		t.Fatal("missing arguments did not read as zero values")
+	}
+	if fr.NArgs() != 3 {
+		t.Fatalf("NArgs = %d", fr.NArgs())
+	}
+	if fr.Args() != nil && len(fr.Args()) != 3 {
+		t.Fatalf("Args len = %d", len(fr.Args()))
+	}
+}
+
+func TestFrameReleaseResets(t *testing.T) {
+	id := Intern("testfn-reset")
+	fr := Acquire(id)
+	fr.PushInt(1)
+	fr.PushBytes([]byte{1, 2, 3})
+	fr.PushStr("x")
+	fr.PushHandle("h")
+	_ = fr.Args()
+	fr.Release()
+
+	// The pool may hand the same frame back; either way an acquired frame
+	// must start empty.
+	fr2 := Acquire(id)
+	defer fr2.Release()
+	if fr2.NArgs() != 0 || fr2.Bytes() != nil || fr2.Str() != "" || fr2.Handle() != nil || fr2.Args() != nil {
+		t.Fatal("acquired frame carries stale state")
+	}
+	if fr2.ID() != id {
+		t.Fatalf("ID = %d, want %d", fr2.ID(), id)
+	}
+}
+
+func TestFrameZeroArgsNoAlloc(t *testing.T) {
+	id := Intern("testfn-zeroalloc")
+	if n := testing.AllocsPerRun(200, func() {
+		fr := Acquire(id)
+		fr.PushInt(1)
+		fr.PushU32(2)
+		fr.PushF32(3)
+		if fr.Int(0) != 1 {
+			t.Fatal("bad read")
+		}
+		fr.Release()
+	}); n != 0 {
+		t.Fatalf("acquire/push/release allocated %.1f times per run", n)
+	}
+}
+
+func TestFrameOverflowPanics(t *testing.T) {
+	fr := Acquire(Intern("testfn-overflow"))
+	defer fr.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pushing a second []byte did not panic")
+		}
+	}()
+	fr.PushBytes([]byte{1})
+	fr.PushBytes([]byte{2})
+}

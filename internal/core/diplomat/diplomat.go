@@ -19,7 +19,9 @@ package diplomat
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"cycada/internal/core/callconv"
 	"cycada/internal/core/profile"
 	"cycada/internal/linker"
 	"cycada/internal/obs"
@@ -103,8 +105,14 @@ type Diplomat struct {
 	met      *obs.Metric
 	spanName string // "diplomat:<name>", precomputed for the call span
 
-	mu    sync.Mutex
-	cache map[*linker.Handle]map[string]linker.Symbol // step 1's locally-scoped static variables, per library instance
+	// fid is the interned ID of the domestic entry point (Name, or Target
+	// when set). It implements step 1's "locates the required entry point …
+	// for efficient reuse": resolved lazily on first call — Target is
+	// assigned after New — then every call is one atomic load. The symbol
+	// itself is cached per library instance in the linker's flat DlsymID
+	// cache, so replica-routed diplomats keep one cached pointer per replica
+	// without a per-diplomat mutex or map.
+	fid atomic.Uint32
 }
 
 // Config creates diplomats for one diplomatic library.
@@ -150,7 +158,6 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 		hooks:    cfg.Hooks,
 		wrapper:  wrapper,
 		spanName: "diplomat:" + name,
-		cache:    map[*linker.Handle]map[string]linker.Symbol{},
 	}
 	// Unimplemented diplomats never execute, so they get no metric: the
 	// paper's figures must not show functions that are never called.
@@ -187,12 +194,39 @@ func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
 			return d.invokeDomestic(t, name, inner...)
 		}, args)
 	} else {
-		name := d.Name
-		if d.Target != "" {
-			name = d.Target
-		}
-		ret = d.invokeDomestic(t, name, args...)
+		ret = d.invokeDomesticOwn(t, args...)
 	}
+
+	// Step 10: postlude in the foreign persona.
+	d.runHook(t, false)
+
+	// Step 11: return value restored from the stack, control returns.
+	t.ChargeCPU(t.Costs().RetSaveRestore / 2)
+	if d.met != nil {
+		d.met.Record(t.TID(), t.VTime()-start)
+	}
+	t.TraceEnd(sp)
+	return ret
+}
+
+// CallFrame is Call for the typed calling convention: same §3 sequence, same
+// vclock costs, zero heap allocations on the direct path. Direct and Multi
+// diplomats hand the frame straight to the domestic symbol; wrapper kinds
+// materialize the boxed []any view and run through the legacy wrapper path.
+func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) any {
+	if d.Kind == Unimplemented {
+		return ErrUnimplemented
+	}
+	if d.wrapper != nil {
+		return d.Call(t, fr.Args()...)
+	}
+	sp := t.TraceBegin(obs.CatDiplomat, d.spanName)
+	start := t.VTime()
+
+	// Step 2: prelude in the foreign persona.
+	d.runHook(t, true)
+
+	ret := d.invokeDomesticFrame(t, fr)
 
 	// Step 10: postlude in the foreign persona.
 	d.runHook(t, false)
@@ -231,10 +265,15 @@ func (d *Diplomat) runHook(t *kernel.Thread, prelude bool) {
 	}
 }
 
-// invokeDomestic performs steps 1 and 3-9: resolve (once), save arguments,
-// switch persona, invoke, convert errno, switch back.
+// invokeDomestic performs steps 1 and 3-9 for a wrapper-chosen entry point:
+// resolve (once), save arguments, switch persona, invoke, convert errno,
+// switch back.
 func (d *Diplomat) invokeDomestic(t *kernel.Thread, name string, args ...any) any {
-	sym, err := d.resolve(t, name)
+	id, ok := callconv.LookupID(name)
+	if !ok {
+		id = callconv.Intern(name)
+	}
+	sym, err := d.resolve(t, id)
 	if err != nil {
 		// Resolution failure is a bridge bug surfaced to the caller.
 		return err
@@ -271,12 +310,107 @@ func (d *Diplomat) invokeDomestic(t *kernel.Thread, name string, args ...any) an
 	return ret
 }
 
+// invokeDomesticOwn is invokeDomestic for the diplomat's own entry point
+// (Name, or Target when set), resolved through the interned FuncID.
+func (d *Diplomat) invokeDomesticOwn(t *kernel.Thread, args ...any) any {
+	sym, err := d.resolve(t, d.funcID())
+	if err != nil {
+		return err
+	}
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatDiplomat, "domestic:"+callconv.Name(d.funcID()))
+	}
+	c := t.Costs()
+
+	// Step 3: arguments stored on the stack.
+	t.ChargeCPU(c.ArgSave)
+	// Step 4: set_persona to the domestic persona.
+	if err := t.SetPersona(d.domestic); err != nil {
+		t.TraceEnd(sp)
+		return err
+	}
+	// Step 5: arguments restored.
+	t.ChargeCPU(c.ArgRestore)
+	// Step 6: direct invocation through the cached symbol.
+	ret := sym.Call(t, args...)
+	domesticErrno := t.Errno()
+	// Step 7: return value saved.
+	t.ChargeCPU(c.RetSaveRestore / 2)
+	// Step 8: set_persona back to the foreign persona.
+	if err := t.SetPersona(d.foreign); err != nil {
+		t.TraceEnd(sp)
+		return err
+	}
+	// Step 9: domestic TLS values such as errno converted into foreign TLS.
+	t.ChargeCPU(c.ErrnoConvert)
+	t.SetErrnoIn(d.foreign, domesticErrno)
+	t.TraceEnd(sp)
+	return ret
+}
+
+// invokeDomesticFrame is invokeDomesticOwn on the typed fast path: the frame
+// crosses the persona switch untouched and reaches the domestic symbol's
+// FrameFn without materializing []any.
+func (d *Diplomat) invokeDomesticFrame(t *kernel.Thread, fr *callconv.Frame) any {
+	sym, err := d.resolve(t, d.funcID())
+	if err != nil {
+		return err
+	}
+	var sp obs.Span
+	if t.TraceEnabled() {
+		sp = t.TraceBegin(obs.CatDiplomat, "domestic:"+callconv.Name(d.funcID()))
+	}
+	c := t.Costs()
+
+	// Step 3: arguments stored on the stack.
+	t.ChargeCPU(c.ArgSave)
+	// Step 4: set_persona to the domestic persona.
+	if err := t.SetPersona(d.domestic); err != nil {
+		t.TraceEnd(sp)
+		return err
+	}
+	// Step 5: arguments restored.
+	t.ChargeCPU(c.ArgRestore)
+	// Step 6: direct invocation through the cached symbol.
+	ret := sym.CallFrame(t, fr)
+	domesticErrno := t.Errno()
+	// Step 7: return value saved.
+	t.ChargeCPU(c.RetSaveRestore / 2)
+	// Step 8: set_persona back to the foreign persona.
+	if err := t.SetPersona(d.foreign); err != nil {
+		t.TraceEnd(sp)
+		return err
+	}
+	// Step 9: domestic TLS values such as errno converted into foreign TLS.
+	t.ChargeCPU(c.ErrnoConvert)
+	t.SetErrnoIn(d.foreign, domesticErrno)
+	t.TraceEnd(sp)
+	return ret
+}
+
+// funcID returns the interned ID of the diplomat's domestic entry point,
+// resolving Name/Target lazily on first use (Target is assigned after New).
+func (d *Diplomat) funcID() callconv.FuncID {
+	if id := callconv.FuncID(d.fid.Load()); id != callconv.NoFunc {
+		return id
+	}
+	name := d.Name
+	if d.Target != "" {
+		name = d.Target
+	}
+	id := callconv.Intern(name)
+	d.fid.Store(uint32(id))
+	return id
+}
+
 // resolve implements step 1: "Upon first invocation, a diplomat loads the
 // appropriate domestic library and locates the required entry point, storing
-// a pointer to the function … for efficient reuse." Symbols are cached per
-// library instance so replica-routed diplomats keep one cached pointer per
-// replica.
-func (d *Diplomat) resolve(t *kernel.Thread, name string) (linker.Symbol, error) {
+// a pointer to the function … for efficient reuse." Resolutions are cached
+// per library instance in the linker's flat FuncID-indexed snapshot, so
+// replica-routed diplomats keep one cached pointer per replica and the
+// per-call cost is one atomic load plus a slice index — no mutex, no map.
+func (d *Diplomat) resolve(t *kernel.Thread, id callconv.FuncID) (linker.Symbol, error) {
 	h := d.lib
 	if d.libFor != nil {
 		if dyn := d.libFor(t); dyn != nil {
@@ -286,21 +420,10 @@ func (d *Diplomat) resolve(t *kernel.Thread, name string) (linker.Symbol, error)
 	if h == nil {
 		return linker.Symbol{}, fmt.Errorf("diplomat %s: no domestic library for this thread", d.Name)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	byName, ok := d.cache[h]
-	if !ok {
-		byName = map[string]linker.Symbol{}
-		d.cache[h] = byName
-	}
-	if s, ok := byName[name]; ok {
-		return s, nil
-	}
-	s, err := d.link.Dlsym(h, name)
+	s, err := d.link.DlsymID(h, id)
 	if err != nil {
 		return linker.Symbol{}, fmt.Errorf("diplomat %s: %w", d.Name, err)
 	}
-	byName[name] = s
 	return s, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cycada/internal/core/callconv"
 	"cycada/internal/core/diplomat"
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/registry"
@@ -47,6 +48,15 @@ type Config struct {
 type Bridge struct {
 	dips  map[string]*diplomat.Diplomat
 	kinds map[string]diplomat.Kind
+	// byID indexes the same diplomats by interned FuncID, so Call and the
+	// frame path replace the per-call map[string] lookup with a slice index.
+	byID []*diplomat.Diplomat
+
+	// symsOnce builds the exported closure maps exactly once; Symbols used to
+	// rebuild all 344 closures on every invocation.
+	symsOnce  sync.Once
+	syms      map[string]linker.Fn
+	frameSyms map[string]callconv.FrameFn
 
 	// tap, when set, observes every successful diplomatic call (record/
 	// replay capture). One atomic load on the hot path when unset.
@@ -76,6 +86,19 @@ func (b *Bridge) invoke(t *kernel.Thread, d *diplomat.Diplomat, name string, arg
 	if box := b.tap.Load(); box != nil {
 		if err, failed := ret.(error); !failed || err == nil {
 			box.t.Call(t, tap.GLES, name, args, ret)
+		}
+	}
+	return ret
+}
+
+// invokeFrame runs one diplomat on the typed fast path. The boxed []any view
+// is materialized lazily — only when the record/replay tap is active; with
+// the tap off the call completes without a single heap allocation.
+func (b *Bridge) invokeFrame(t *kernel.Thread, d *diplomat.Diplomat, name string, fr *callconv.Frame) any {
+	ret := d.CallFrame(t, fr)
+	if box := b.tap.Load(); box != nil {
+		if err, failed := ret.(error); !failed || err == nil {
+			box.t.Call(t, tap.GLES, name, fr.Args(), ret)
 		}
 	}
 	return ret
@@ -147,6 +170,22 @@ func New(cfg Config) (*Bridge, error) {
 			return nil, err
 		}
 	}
+
+	// Index the surface by interned FuncID: the flat slice Call and the
+	// typed frame path use instead of hashing the name per call.
+	maxID := callconv.FuncID(0)
+	ids := make(map[string]callconv.FuncID, len(b.dips))
+	for name := range b.dips {
+		id := callconv.Intern(name)
+		ids[name] = id
+		if id > maxID {
+			maxID = id
+		}
+	}
+	b.byID = make([]*diplomat.Diplomat, maxID+1)
+	for name, d := range b.dips {
+		b.byID[ids[name]] = d
+	}
 	return b, nil
 }
 
@@ -168,25 +207,54 @@ func (b *Bridge) Census() map[diplomat.Kind]int {
 // Functions reports the total bridged surface (344).
 func (b *Bridge) Functions() int { return len(b.dips) }
 
-// Call invokes a bridged function by name.
+// Call invokes a bridged function by name. The diplomat is found through the
+// intern table plus a slice index rather than the bridge's own name map.
 func (b *Bridge) Call(t *kernel.Thread, name string, args ...any) any {
-	d, ok := b.dips[name]
-	if !ok {
-		return fmt.Errorf("glesbridge: %s is not an iOS GLES function", name)
-	}
-	return b.invoke(t, d, name, args)
-}
-
-// Symbols implements linker.Instance: the full iOS GLES surface.
-func (b *Bridge) Symbols() map[string]linker.Fn {
-	out := make(map[string]linker.Fn, len(b.dips))
-	for name, d := range b.dips {
-		name, d := name, d
-		out[name] = func(t *kernel.Thread, args ...any) any {
+	if id, ok := callconv.LookupID(name); ok && int(id) < len(b.byID) {
+		if d := b.byID[id]; d != nil {
 			return b.invoke(t, d, name, args)
 		}
 	}
-	return out
+	return fmt.Errorf("glesbridge: %s is not an iOS GLES function", name)
+}
+
+// CallID invokes a bridged function by interned FuncID on the boxed path.
+func (b *Bridge) CallID(t *kernel.Thread, id callconv.FuncID, args ...any) any {
+	if int(id) < len(b.byID) {
+		if d := b.byID[id]; d != nil {
+			return b.invoke(t, d, callconv.Name(id), args)
+		}
+	}
+	return fmt.Errorf("glesbridge: function id %d is not an iOS GLES function", id)
+}
+
+// Symbols implements linker.Instance: the full iOS GLES surface. The closure
+// map is built once and reused — it used to be rebuilt on every invocation.
+func (b *Bridge) Symbols() map[string]linker.Fn {
+	b.symsOnce.Do(b.buildSymbolMaps)
+	return b.syms
+}
+
+// FrameSymbols implements linker.FrameInstance: the typed fast-path surface.
+// Every bridged function accepts a frame; wrapper kinds materialize it
+// internally, direct kinds carry it through to the vendor library untouched.
+func (b *Bridge) FrameSymbols() map[string]callconv.FrameFn {
+	b.symsOnce.Do(b.buildSymbolMaps)
+	return b.frameSyms
+}
+
+func (b *Bridge) buildSymbolMaps() {
+	b.syms = make(map[string]linker.Fn, len(b.dips))
+	b.frameSyms = make(map[string]callconv.FrameFn, len(b.dips))
+	for name, d := range b.dips {
+		name, d := name, d
+		b.syms[name] = func(t *kernel.Thread, args ...any) any {
+			return b.invoke(t, d, name, args)
+		}
+		b.frameSyms[name] = func(t *kernel.Thread, fr *callconv.Frame) any {
+			return b.invokeFrame(t, d, name, fr)
+		}
+	}
 }
 
 // Blueprint returns the bridge's blueprint under Apple's library name; the
@@ -254,7 +322,12 @@ func (b *Bridge) indirectWrapper(name string) (diplomat.Wrapper, bool) {
 			if len(args) < 5 {
 				return kernelEINVAL
 			}
-			domestic("glBindTexture", engine.Texture2D, args[0])
+			// The intermediate bind can fail (missing symbol, persona
+			// error); allocating storage against whatever texture was bound
+			// before would corrupt it, so the error must surface.
+			if err, ok := domestic("glBindTexture", engine.Texture2D, args[0]).(error); ok && err != nil {
+				return err
+			}
 			return domestic("glTexImage2D", args[3], args[4], args[2], nil)
 		}, true
 	case "glTextureRangeAPPLE":

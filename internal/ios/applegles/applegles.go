@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cycada/internal/android/libc"
+	"cycada/internal/core/callconv"
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/registry"
 	"cycada/internal/gles/symbols"
@@ -43,8 +44,9 @@ func AppleProfile() engine.Profile {
 
 // VendorLib is one loaded instance of the Apple vendor library.
 type VendorLib struct {
-	eng  *engine.Lib
-	syms map[string]linker.Fn
+	eng    *engine.Lib
+	syms   map[string]linker.Fn
+	frames map[string]callconv.FrameFn
 }
 
 // Engine exposes the typed engine (the native EAGL implementation links
@@ -53,6 +55,10 @@ func (v *VendorLib) Engine() *engine.Lib { return v.eng }
 
 // Symbols implements linker.Instance.
 func (v *VendorLib) Symbols() map[string]linker.Fn { return v.syms }
+
+// FrameSymbols implements linker.FrameInstance: the typed fast path into the
+// same surface.
+func (v *VendorLib) FrameSymbols() map[string]callconv.FrameFn { return v.frames }
 
 // Finalize implements linker.Finalizer.
 func (v *VendorLib) Finalize() { v.eng.Finalize() }
@@ -80,6 +86,7 @@ func Blueprint() *linker.Blueprint {
 			libSystem := ctx.Dep(libc.LibName(kernel.PersonaIOS)).(*libc.Lib)
 			eng := engine.NewLib(AppleProfile(), libSystem)
 			syms := symbols.Build(eng, registry.IOSSurface(), "APPLE")
+			frames := symbols.BuildFrames(eng, registry.IOSSurface(), "APPLE")
 			// Apple's modified glGetString accepts the non-standard
 			// parameter returning Apple-proprietary extensions (§4.1).
 			base := syms["glGetString"]
@@ -89,7 +96,14 @@ func Blueprint() *linker.Blueprint {
 				}
 				return base(t, a...)
 			}
-			return &VendorLib{eng: eng, syms: syms}, nil
+			frameBase := frames["glGetString"]
+			frames["glGetString"] = func(t *kernel.Thread, fr *callconv.Frame) any {
+				if fr.U32(0) == engine.AppleExtensionsQ {
+					return AppleExtensionString()
+				}
+				return frameBase(t, fr)
+			}
+			return &VendorLib{eng: eng, syms: syms, frames: frames}, nil
 		},
 	}
 }

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"cycada/internal/core/callconv"
 	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/mem"
@@ -34,6 +36,14 @@ type Fn func(t *kernel.Thread, args ...any) any
 // its exported symbol table.
 type Instance interface {
 	Symbols() map[string]Fn
+}
+
+// FrameInstance is optionally implemented by instances that also export
+// typed frame implementations (the callconv fast path). A symbol present in
+// both maps is invoked through its FrameFn when the caller supplies a frame,
+// and through Fn otherwise.
+type FrameInstance interface {
+	FrameSymbols() map[string]callconv.FrameFn
 }
 
 // Finalizer is implemented by instances that need teardown on Dlclose.
@@ -92,17 +102,30 @@ type Blueprint struct {
 }
 
 // Symbol is a resolved symbol: a unique simulated virtual address plus the
-// callable function.
+// callable function. Frame, when non-nil, is the typed fast-path entry the
+// exporting instance provided via FrameSymbols.
 type Symbol struct {
-	Name string
-	Addr uint64
-	Fn   Fn
+	Name  string
+	Addr  uint64
+	Fn    Fn
+	Frame callconv.FrameFn
 }
 
 // Call invokes the symbol, charging the through-pointer call cost.
 func (s Symbol) Call(t *kernel.Thread, args ...any) any {
 	t.ChargeCPU(t.Costs().SymbolDeref)
 	return s.Fn(t, args...)
+}
+
+// CallFrame invokes the symbol with a typed frame, charging the same
+// through-pointer cost as Call. Symbols without a typed implementation fall
+// back to the boxed Fn by materializing the frame's []any view.
+func (s Symbol) CallFrame(t *kernel.Thread, fr *callconv.Frame) any {
+	t.ChargeCPU(t.Costs().SymbolDeref)
+	if s.Frame != nil {
+		return s.Frame(t, fr)
+	}
+	return s.Fn(t, fr.Args()...)
 }
 
 type loadedLib struct {
@@ -112,6 +135,12 @@ type loadedLib struct {
 	mapping *mem.Mapping
 	symbols map[string]Symbol
 	refs    int
+	// resolved caches full Dlsym resolutions (own symbols, namespace peers,
+	// shared globals) in a flat slice indexed by callconv.FuncID. It is a
+	// copy-on-write atomic snapshot: DlsymID readers do one atomic load and
+	// a bounds check; misses fall back to Dlsym and publish a new slice
+	// under the linker lock.
+	resolved atomic.Pointer[[]Symbol]
 }
 
 type namespace struct {
@@ -306,6 +335,10 @@ func (l *Linker) loadLocked(t *kernel.Thread, name string, ns *namespace, replic
 	// Assign each exported symbol a deterministic, unique address inside the
 	// replica's image: base + 16*index over the sorted symbol names.
 	syms := inst.Symbols()
+	var frames map[string]callconv.FrameFn
+	if fi, ok := inst.(FrameInstance); ok {
+		frames = fi.FrameSymbols()
+	}
 	names := make([]string, 0, len(syms))
 	for n := range syms {
 		names = append(names, n)
@@ -313,7 +346,10 @@ func (l *Linker) loadLocked(t *kernel.Thread, name string, ns *namespace, replic
 	sort.Strings(names)
 	lib.symbols = make(map[string]Symbol, len(syms))
 	for i, n := range names {
-		lib.symbols[n] = Symbol{Name: n, Addr: mapping.Base + uint64(16*(i+1)), Fn: syms[n]}
+		// Interning every export keeps FuncIDs independent of call order, so
+		// the flat per-library resolution caches stay dense.
+		callconv.Intern(n)
+		lib.symbols[n] = Symbol{Name: n, Addr: mapping.Base + uint64(16*(i+1)), Fn: syms[n], Frame: frames[n]}
 	}
 	return lib, nil
 }
@@ -354,6 +390,43 @@ func (l *Linker) Dlsym(h *Handle, sym string) (Symbol, error) {
 		}
 	}
 	return Symbol{}, fmt.Errorf("dlsym %q in %s (ns %d): %w", sym, h.lib.bp.Name, h.lib.ns.id, ErrNoSymbol)
+}
+
+// DlsymID resolves an interned function against a handle with the same
+// search semantics as Dlsym, but keyed by FuncID and served from a lock-free
+// per-library cache: the hot path is one atomic load, a bounds check and a
+// slice index. Cache misses resolve through Dlsym and publish a grown
+// copy-on-write snapshot. Like the per-diplomat caches this replaces, a
+// cached resolution is stable for the life of the handle's library.
+func (l *Linker) DlsymID(h *Handle, id callconv.FuncID) (Symbol, error) {
+	lib := h.lib
+	if tab := lib.resolved.Load(); tab != nil && int(id) < len(*tab) {
+		if s := (*tab)[id]; s.Fn != nil {
+			return s, nil
+		}
+	}
+	name := callconv.Name(id)
+	if name == "" {
+		return Symbol{}, fmt.Errorf("dlsym id %d in %s: unknown function id: %w", id, lib.bp.Name, ErrNoSymbol)
+	}
+	s, err := l.Dlsym(h, name)
+	if err != nil {
+		return Symbol{}, err
+	}
+	l.mu.Lock()
+	old := lib.resolved.Load()
+	size := callconv.Count()
+	if int(id) >= size {
+		size = int(id) + 1
+	}
+	next := make([]Symbol, size)
+	if old != nil {
+		copy(next, *old)
+	}
+	next[id] = s
+	lib.resolved.Store(&next)
+	l.mu.Unlock()
+	return s, nil
 }
 
 // MustSym is Dlsym for assembly code where absence is a bug.

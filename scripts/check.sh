@@ -28,4 +28,7 @@ go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflin
 echo "== replay golden traces"
 go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
+echo "== bench smoke (diplomat hot path)"
+go test -run='^$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
+
 echo "tier-1 checks passed"
