@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-smoke trace replay-golden
+.PHONY: check test bench bench-smoke trace replay-golden chaos
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
 # concurrency-heavy core and replay packages, golden-trace verification.
@@ -20,6 +20,13 @@ bench:
 # (BenchmarkDiplomatCall, BenchmarkDiplomatCallAllocs); also run by check.sh.
 bench-smoke:
 	go test -run='^$$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
+
+# Long chaos soak: golden traces under many generated fault schedules, with
+# the recovery invariants checked for every seed. Tier-1 runs 8 seeds (see
+# check.sh); override with SEEDS=N for longer runs.
+SEEDS ?= 64
+chaos:
+	go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=$(SEEDS) -v
 
 # Chrome trace_event demo: open trace.json in chrome://tracing or Perfetto.
 trace:

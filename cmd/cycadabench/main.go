@@ -5,6 +5,11 @@
 //
 //	cycadabench -exp table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|acid|all
 //	cycadabench -trace out.json [-exp fig5]
+//	cycadabench -exp fig7 -faults seed=7,rate=0.01,points=egl_present
+//
+// With -faults, every kernel booted by the experiments runs under the given
+// deterministic fault schedule (robustness soak); injected-fault counts are
+// reported on stderr at exit.
 //
 // With -trace, tracing is enabled for the run and a Chrome trace_event file
 // is written; open it in chrome://tracing or https://ui.perfetto.dev. If -exp
@@ -19,12 +24,27 @@ import (
 	"strings"
 
 	"cycada"
+	"cycada/internal/fault"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(append(cycada.Experiments(), "all"), "|"))
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file to this path")
+	faults := flag.String("faults", "", "fault schedule for every booted kernel, e.g. seed=7,rate=0.01,points=egl_present")
 	flag.Parse()
+
+	if *faults != "" {
+		sched, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycadabench:", err)
+			os.Exit(1)
+		}
+		inj := fault.NewInjector(sched)
+		fault.SetDefault(inj)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "cycadabench: faults injected: %s\n", inj.Stats())
+		}()
+	}
 
 	if *trace != "" {
 		expSet := false

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cycadareplay record -scenario passmark-2d -o trace.cytr
-//	cycadareplay replay -i trace.cytr [-n 3]
+//	cycadareplay replay -i trace.cytr [-n 3] [-faults seed=7,rate=0.05]
 //	cycadareplay verify trace.cytr [more.cytr ...]
 //	cycadareplay bench -i trace.cytr -workers 8 [-n 64]
 //	cycadareplay stat -i trace.cytr [-top 15]
@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"cycada/internal/fault"
 	"cycada/internal/harness"
 	"cycada/internal/replay"
 )
@@ -62,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   cycadareplay record -scenario <name> -o <file>   capture a workload (scenarios: %v)
-  cycadareplay replay -i <file> [-n N]             re-drive a trace N times
+  cycadareplay replay -i <file> [-n N] [-faults S]  re-drive a trace N times (with S, chaos mode: seed=7,rate=0.05,points=binder+egl_present)
   cycadareplay verify <file> [file ...]            replay with differential frame checks
   cycadareplay bench -i <file> -workers N [-n M]   parallel replay throughput
   cycadareplay stat -i <file> [-top N]             per-call-kind histogram
@@ -97,6 +98,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
 	n := fs.Int("n", 1, "number of replays")
+	faults := fs.String("faults", "", "fault schedule, e.g. seed=7,rate=0.05,points=binder+egl_present (chaos mode)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -i is required")
@@ -104,6 +106,30 @@ func cmdReplay(args []string) error {
 	tr, err := replay.ReadFile(*in)
 	if err != nil {
 		return err
+	}
+	if *faults != "" {
+		sched, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for i := 0; i < *n; i++ {
+			s := sched
+			s.Seed = sched.Seed + uint64(i)
+			res, err := replay.Chaos(tr, s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			if err := res.Check(); err != nil {
+				fmt.Println(" ", err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d/%d chaos replays violated invariants", failed, *n)
+		}
+		return nil
 	}
 	for i := 0; i < *n; i++ {
 		res, err := replay.Play(tr, replay.Options{})

@@ -14,13 +14,16 @@
 package egl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	agles "cycada/internal/android/gles"
 	"cycada/internal/android/gralloc"
 	"cycada/internal/android/libc"
 	"cycada/internal/android/sflinger"
+	"cycada/internal/fault"
 	"cycada/internal/gles/engine"
 	"cycada/internal/linker"
 	"cycada/internal/sim/gpu"
@@ -131,6 +134,14 @@ func (s *Surface) FrontImage() *gpu.Image {
 type MCConnection struct {
 	Handle *linker.Handle
 	Vendor *Vendor
+	// Degraded reports that the replica load (Dlforce) failed and this
+	// connection fell back to the shared vendor instance: the connection
+	// works, but without replica isolation — it shares the process's GLES
+	// connection and its locked API version, so a version mismatch surfaces
+	// as ErrVersionConflict at eglCreateContext rather than an error cascade
+	// here. The capability bit lets callers adapt (e.g. skip multi-version
+	// tricks) instead of failing outright.
+	Degraded bool
 }
 
 // Engine returns the replica's GLES engine.
@@ -149,6 +160,11 @@ type Lib struct {
 
 	mu          sync.Mutex
 	initialized bool
+
+	// Degradation and recovery counters (fault model, DESIGN.md §9).
+	presentRetries  atomic.Uint64 // transient present failures that were retried
+	presentsDropped atomic.Uint64 // presents abandoned after exhausting retries
+	degradedMC      atomic.Uint64 // ReInitializeMC calls that fell back to shared
 }
 
 // Config parameterizes the open-source library build.
@@ -196,10 +212,17 @@ func (l *Lib) checkInit() error {
 }
 
 // CreateWindowSurface implements eglCreateWindowSurface: a double-buffered
-// on-screen surface at the given compositor position.
+// on-screen surface at the given compositor position. A partial failure —
+// the second buffer or the compositor layer — releases whatever was already
+// acquired, so the error path never leaks gralloc handles.
 func (l *Lib) CreateWindowSurface(t *kernel.Thread, x, y, w, h int) (*Surface, error) {
 	if err := l.checkInit(); err != nil {
 		return nil, err
+	}
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointEGLSurface); err != nil {
+			return nil, fmt.Errorf("egl window surface: %w", err)
+		}
 	}
 	front, err := l.galloc.Alloc(t, w, h, gpu.FormatRGBA8888)
 	if err != nil {
@@ -207,11 +230,13 @@ func (l *Lib) CreateWindowSurface(t *kernel.Thread, x, y, w, h int) (*Surface, e
 	}
 	back, err := l.galloc.Alloc(t, w, h, gpu.FormatRGBA8888)
 	if err != nil {
-		return nil, fmt.Errorf("egl window surface: %w", err)
+		err = fmt.Errorf("egl window surface: %w", err)
+		return nil, errors.Join(err, l.galloc.Free(t, front))
 	}
 	layer, err := l.flinger.CreateLayer(t, x, y)
 	if err != nil {
-		return nil, fmt.Errorf("egl window surface: %w", err)
+		err = fmt.Errorf("egl window surface: %w", err)
+		return nil, errors.Join(err, l.galloc.Free(t, front), l.galloc.Free(t, back))
 	}
 	return &Surface{W: w, H: h, front: front, back: back, layer: layer, target: gpu.NewTarget(back.Img)}, nil
 }
@@ -221,6 +246,11 @@ func (l *Lib) CreatePbufferSurface(t *kernel.Thread, w, h int) (*Surface, error)
 	if err := l.checkInit(); err != nil {
 		return nil, err
 	}
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointEGLSurface); err != nil {
+			return nil, fmt.Errorf("egl pbuffer: %w", err)
+		}
+	}
 	buf, err := l.galloc.Alloc(t, w, h, gpu.FormatRGBA8888)
 	if err != nil {
 		return nil, fmt.Errorf("egl pbuffer: %w", err)
@@ -228,7 +258,9 @@ func (l *Lib) CreatePbufferSurface(t *kernel.Thread, w, h int) (*Surface, error)
 	return &Surface{W: w, H: h, front: buf, back: buf, target: gpu.NewTarget(buf.Img)}, nil
 }
 
-// DestroySurface implements eglDestroySurface.
+// DestroySurface implements eglDestroySurface. Teardown is best-effort: a
+// failing compositor transaction must not strand the gralloc buffers, so all
+// three releases run and their errors are joined.
 func (l *Lib) DestroySurface(t *kernel.Thread, s *Surface) error {
 	s.mu.Lock()
 	if s.destroyed {
@@ -238,18 +270,16 @@ func (l *Lib) DestroySurface(t *kernel.Thread, s *Surface) error {
 	s.destroyed = true
 	front, back, layer := s.front, s.back, s.layer
 	s.mu.Unlock()
+	var layerErr error
 	if layer != 0 {
-		if err := l.flinger.DestroyLayer(t, layer); err != nil {
-			return err
-		}
+		layerErr = l.flinger.DestroyLayer(t, layer)
 	}
-	if err := l.galloc.Free(t, front); err != nil {
-		return err
-	}
+	frontErr := l.galloc.Free(t, front)
+	var backErr error
 	if back != front {
-		return l.galloc.Free(t, back)
+		backErr = l.galloc.Free(t, back)
 	}
-	return nil
+	return errors.Join(layerErr, frontErr, backErr)
 }
 
 // CreateContext implements eglCreateContext, establishing (and locking) the
@@ -257,6 +287,11 @@ func (l *Lib) DestroySurface(t *kernel.Thread, s *Surface) error {
 func (l *Lib) CreateContext(t *kernel.Thread, version int, share *engine.ShareGroup) (*engine.Context, error) {
 	if err := l.checkInit(); err != nil {
 		return nil, err
+	}
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointEGLContext); err != nil {
+			return nil, fmt.Errorf("eglCreateContext: %w", err)
+		}
 	}
 	vendor := l.vendorFor(t)
 	if err := vendor.Connect(version); err != nil {
@@ -317,10 +352,56 @@ func (l *Lib) SwapBuffers(t *kernel.Thread, s *Surface) error {
 	}
 	t.ChargeGPU(vclock.Duration(w*h) * t.Costs().PerPixelPresent)
 	if layer != 0 {
-		return l.flinger.Post(t, layer, front)
+		return l.post(t, layer, front)
 	}
 	return nil
 }
+
+// presentAttempts bounds the retry loop in post: one initial attempt plus
+// three retries with doubling backoff.
+const presentAttempts = 4
+
+// post delivers a frame to SurfaceFlinger, retrying transient (injected)
+// Binder failures with bounded, doubling backoff. A present is the one seam
+// where dropping work is acceptable — the next frame repaints the screen —
+// so after exhausting retries it counts the dropped frame and reports the
+// final error rather than escalating.
+func (l *Lib) post(t *kernel.Thread, layer int, front *gralloc.Buffer) error {
+	backoff := t.Costs().BinderTxn
+	var err error
+	for attempt := 0; attempt < presentAttempts; attempt++ {
+		if err = l.postOnce(t, layer, front); err == nil {
+			return nil
+		}
+		// Retry only transient faults; an organic error (unknown layer,
+		// nil buffer) will not heal by retrying.
+		if !fault.Injected(err) {
+			return err
+		}
+		if attempt < presentAttempts-1 {
+			l.presentRetries.Add(1)
+			t.ChargeCPU(backoff)
+			backoff *= 2
+		}
+	}
+	l.presentsDropped.Add(1)
+	return fmt.Errorf("egl: present dropped after %d attempts: %w", presentAttempts, err)
+}
+
+func (l *Lib) postOnce(t *kernel.Thread, layer int, front *gralloc.Buffer) error {
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointEGLPresent); err != nil {
+			return err
+		}
+	}
+	return l.flinger.Post(t, layer, front)
+}
+
+// PresentRetries reports how many transient present failures were retried.
+func (l *Lib) PresentRetries() uint64 { return l.presentRetries.Load() }
+
+// PresentsDropped reports how many presents were abandoned after retries.
+func (l *Lib) PresentsDropped() uint64 { return l.presentsDropped.Load() }
 
 // CreateImageKHR implements eglCreateImageKHR over an Android native buffer:
 // the returned EGLImage shares the GraphicBuffer's memory and records the
@@ -374,20 +455,35 @@ func (l *Lib) ReInitializeMC(t *kernel.Thread, replicaRoot string) (*MCConnectio
 		replicaRoot = VendorLibName
 	}
 	h, err := l.link.Dlforce(t, replicaRoot)
+	degraded := false
 	if err != nil {
-		return nil, fmt.Errorf("eglReInitializeMC: %w", err)
+		// Graceful degradation (DESIGN.md §9): a failed replica load falls
+		// back to a shared-instance connection through the global namespace
+		// instead of cascading the error. The connection carries the
+		// Degraded capability bit so callers can adapt.
+		h, err = l.link.Dlopen(t, replicaRoot)
+		if err != nil {
+			return nil, fmt.Errorf("eglReInitializeMC: %w", err)
+		}
+		degraded = true
+		l.degradedMC.Add(1)
 	}
 	vi, ok := l.link.InstanceIn(h, VendorLibName)
 	if !ok {
 		l.link.Dlclose(h)
 		return nil, fmt.Errorf("eglReInitializeMC: replica of %q does not contain %q", replicaRoot, VendorLibName)
 	}
-	conn := &MCConnection{Handle: h, Vendor: vi.(*Vendor)}
+	conn := &MCConnection{Handle: h, Vendor: vi.(*Vendor), Degraded: degraded}
 	if err := l.SwitchMC(t, conn); err != nil {
+		l.link.Dlclose(h)
 		return nil, err
 	}
 	return conn, nil
 }
+
+// DegradedReplicas reports how many MC connections fell back to the shared
+// vendor instance because their replica load failed.
+func (l *Lib) DegradedReplicas() uint64 { return l.degradedMC.Load() }
 
 // SwitchMC implements eglSwitchMC: it selects which replica — and thus which
 // GLES connection — the calling thread uses, by storing the connection in

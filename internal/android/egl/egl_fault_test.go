@@ -1,0 +1,270 @@
+// Fault-path tests for the EGL stack: partial-failure cleanup (no leaked
+// gralloc handles), bounded present retry, and the degraded EGL_multi_context
+// fallback — the recovery semantics of DESIGN.md §9, driven by deterministic
+// injection schedules.
+package egl_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+	"cycada/internal/fault"
+)
+
+func bootFaulty(t *testing.T, multiContext bool, sched fault.Schedule) (*stack.System, *stack.Userspace, *fault.Injector) {
+	t.Helper()
+	sys := stack.New(stack.Config{})
+	us, err := sys.NewUserspace(stack.UserConfig{
+		Name: "egl-fault-test",
+		EGL:  egl.Config{MultiContext: multiContext},
+	})
+	if err != nil {
+		t.Fatalf("NewUserspace: %v", err)
+	}
+	// Install after boot so process setup never consumes schedule checks.
+	inj := fault.NewInjector(sched)
+	sys.Kernel.SetFaultInjector(inj)
+	return sys, us, inj
+}
+
+// A window surface needs two buffers and a compositor layer; when the second
+// allocation fails, the first must be returned to gralloc.
+func TestWindowSurfaceBackAllocFailureLeaksNothing(t *testing.T) {
+	sys, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointGralloc}, After: 1, Times: 1,
+	})
+	main := us.Proc.Main()
+	base := sys.Gralloc.Live()
+
+	_, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if !fault.Injected(err) {
+		t.Fatalf("CreateWindowSurface: err = %v, want injected gralloc fault", err)
+	}
+	if got := sys.Gralloc.Live(); got != base {
+		t.Fatalf("live buffers = %d after failed create, want %d (front leaked)", got, base)
+	}
+
+	// The schedule is exhausted (times=1): the same call now succeeds.
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface after fault exhausted: %v", err)
+	}
+	if got := sys.Gralloc.Live(); got != base+2 {
+		t.Fatalf("live buffers = %d, want %d", got, base+2)
+	}
+	if err := us.EGL.DestroySurface(main, s); err != nil {
+		t.Fatalf("DestroySurface: %v", err)
+	}
+	if got := sys.Gralloc.Live(); got != base {
+		t.Fatalf("live buffers = %d after destroy, want %d", got, base)
+	}
+}
+
+// When the compositor layer creation fails, both already-allocated buffers
+// must be returned.
+func TestWindowSurfaceLayerFailureFreesBothBuffers(t *testing.T) {
+	sys, us, inj := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointBinder},
+	})
+	main := us.Proc.Main()
+	base := sys.Gralloc.Live()
+
+	_, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if !fault.Injected(err) {
+		t.Fatalf("CreateWindowSurface: err = %v, want injected binder fault", err)
+	}
+	if got := sys.Gralloc.Live(); got != base {
+		t.Fatalf("live buffers = %d after failed create, want %d", got, base)
+	}
+
+	inj.Disarm()
+	if _, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8); err != nil {
+		t.Fatalf("CreateWindowSurface after disarm: %v", err)
+	}
+}
+
+// Surface teardown is best-effort: a failing compositor transaction must not
+// strand the surface's gralloc buffers.
+func TestDestroySurfaceBestEffortUnderBinderFault(t *testing.T) {
+	sys, us, inj := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointBinder},
+	})
+	inj.Disarm()
+	main := us.Proc.Main()
+	base := sys.Gralloc.Live()
+
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	inj.Arm()
+	err = us.EGL.DestroySurface(main, s)
+	if !fault.Injected(err) {
+		t.Fatalf("DestroySurface: err = %v, want the layer teardown fault reported", err)
+	}
+	if got := sys.Gralloc.Live(); got != base {
+		t.Fatalf("live buffers = %d after best-effort destroy, want %d", got, base)
+	}
+}
+
+// Transient present failures are retried with bounded backoff and never reach
+// the app; the retry counter records them.
+func TestPresentRetriesTransientFaults(t *testing.T) {
+	_, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent}, Times: 2,
+	})
+	main := us.Proc.Main()
+
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	ctx, err := us.EGL.CreateContext(main, 2, nil)
+	if err != nil {
+		t.Fatalf("CreateContext: %v", err)
+	}
+	if err := us.EGL.MakeCurrent(main, s, ctx); err != nil {
+		t.Fatalf("MakeCurrent: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers with transient faults: %v", err)
+	}
+	if got := us.EGL.PresentRetries(); got != 2 {
+		t.Fatalf("PresentRetries = %d, want 2", got)
+	}
+	if got := us.EGL.PresentsDropped(); got != 0 {
+		t.Fatalf("PresentsDropped = %d, want 0", got)
+	}
+}
+
+// A persistent present fault exhausts the retry budget: the frame is dropped
+// and reported, not retried forever.
+func TestPresentDroppedAfterRetryExhaustion(t *testing.T) {
+	_, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent},
+	})
+	main := us.Proc.Main()
+
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	err = us.EGL.SwapBuffers(main, s)
+	if !fault.Injected(err) {
+		t.Fatalf("SwapBuffers: err = %v, want injected present fault", err)
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("err = %v, want a dropped-present report", err)
+	}
+	if got := us.EGL.PresentsDropped(); got != 1 {
+		t.Fatalf("PresentsDropped = %d, want 1", got)
+	}
+}
+
+// An organic (non-injected) present failure must not be retried: posting to a
+// destroyed surface's layer fails once, immediately.
+func TestPresentOrganicFailureNotRetried(t *testing.T) {
+	_, us, inj := bootFaulty(t, false, fault.Schedule{Rate: 0})
+	inj.Disarm()
+	main := us.Proc.Main()
+
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	if err := us.EGL.DestroySurface(main, s); err != nil {
+		t.Fatalf("DestroySurface: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); err == nil {
+		t.Fatal("SwapBuffers on destroyed surface succeeded")
+	}
+	if got := us.EGL.PresentRetries(); got != 0 {
+		t.Fatalf("PresentRetries = %d after organic failure, want 0", got)
+	}
+}
+
+// A failed DLR replica load degrades eglReInitializeMC to a shared-instance
+// connection with the Degraded capability bit, instead of failing outright.
+func TestReInitializeMCDegradesOnDlforceFault(t *testing.T) {
+	_, us, inj := bootFaulty(t, true, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointDlforce},
+	})
+	main := us.Proc.Main()
+
+	conn, err := us.EGL.ReInitializeMC(main, "")
+	if err != nil {
+		t.Fatalf("ReInitializeMC under dlforce fault: %v", err)
+	}
+	if !conn.Degraded {
+		t.Fatal("connection not marked Degraded")
+	}
+	if got := us.EGL.DegradedReplicas(); got != 1 {
+		t.Fatalf("DegradedReplicas = %d, want 1", got)
+	}
+	if got := us.EGL.CurrentMC(main); got != conn {
+		t.Fatalf("CurrentMC = %v, want the degraded connection", got)
+	}
+	// The degraded connection shares the process vendor instance: it works,
+	// but without replica isolation.
+	if conn.Vendor != us.EGL.Vendor() {
+		t.Fatal("degraded connection does not share the global vendor instance")
+	}
+	if _, err := us.EGL.CreateContext(main, 2, nil); err != nil {
+		t.Fatalf("CreateContext on degraded connection: %v", err)
+	}
+	if err := us.EGL.CloseMC(main, conn); err != nil {
+		t.Fatalf("CloseMC of degraded connection: %v", err)
+	}
+
+	// With injection off, the same call produces an isolated replica.
+	inj.Disarm()
+	conn2, err := us.EGL.ReInitializeMC(main, "")
+	if err != nil {
+		t.Fatalf("ReInitializeMC after disarm: %v", err)
+	}
+	if conn2.Degraded {
+		t.Fatal("fault-free replica marked Degraded")
+	}
+	if conn2.Vendor == us.EGL.Vendor() {
+		t.Fatal("fault-free replica shares the global vendor instance")
+	}
+}
+
+// Both the replica load and the global fallback failing surfaces an error —
+// degradation does not mask a fully broken linker path.
+func TestReInitializeMCFailsWhenFallbackAlsoFails(t *testing.T) {
+	_, us, _ := bootFaulty(t, true, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointDlforce, fault.PointDlopen},
+	})
+	main := us.Proc.Main()
+
+	_, err := us.EGL.ReInitializeMC(main, "")
+	if !fault.Injected(err) {
+		t.Fatalf("ReInitializeMC: err = %v, want injected dlopen fault", err)
+	}
+	if got := us.EGL.DegradedReplicas(); got != 0 {
+		t.Fatalf("DegradedReplicas = %d, want 0 (no connection was produced)", got)
+	}
+	if got := us.EGL.CurrentMC(main); got != nil {
+		t.Fatalf("CurrentMC = %v after failed ReInitializeMC, want nil", got)
+	}
+}
+
+// eglCreateContext and surface creation faults surface as plain errors the
+// caller can classify.
+func TestContextAndSurfaceFaultsClassify(t *testing.T) {
+	_, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLContext, fault.PointEGLSurface},
+	})
+	main := us.Proc.Main()
+
+	if _, err := us.EGL.CreateContext(main, 2, nil); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("CreateContext: err = %v, want ErrInjected", err)
+	}
+	if _, err := us.EGL.CreatePbufferSurface(main, 8, 8); !fault.Injected(err) {
+		t.Fatalf("CreatePbufferSurface: err = %v, want injected fault", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cycada/internal/fault"
 	"cycada/internal/linker"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
@@ -141,6 +142,12 @@ func (d *Device) Ioctl(t *kernel.Thread, cmd uint32, arg any) (any, error) {
 		}
 		if req.W <= 0 || req.H <= 0 {
 			return nil, fmt.Errorf("gralloc: invalid size %dx%d", req.W, req.H)
+		}
+		if inj := t.Faults(); inj != nil {
+			if err := inj.Fail(fault.PointGralloc); err != nil {
+				t.SetErrno(int(kernel.ENOMEM))
+				return nil, fmt.Errorf("gralloc alloc %dx%d: %w", req.W, req.H, err)
+			}
 		}
 		d.mu.Lock()
 		d.nextID++

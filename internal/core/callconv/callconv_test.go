@@ -1,6 +1,7 @@
 package callconv
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -176,4 +177,54 @@ func TestFrameOverflowPanics(t *testing.T) {
 	}()
 	fr.PushBytes([]byte{1})
 	fr.PushBytes([]byte{2})
+}
+
+func TestBuildFrameRoundTrips(t *testing.T) {
+	id := Intern("testfn-build")
+	in := []any{int(1), uint32(2), float32(3), []byte{4}, []float32{5}, "six", []uint16{7}}
+	fr, framed, err := BuildFrame(id, in)
+	if err != nil || !framed {
+		t.Fatalf("BuildFrame = (framed=%v, err=%v), want (true, nil)", framed, err)
+	}
+	defer fr.Release()
+	out := fr.Args()
+	if len(out) != len(in) {
+		t.Fatalf("Args len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if fmt.Sprintf("%T:%v", out[i], out[i]) != fmt.Sprintf("%T:%v", in[i], in[i]) {
+			t.Errorf("args[%d] = %T %v, want %T %v", i, out[i], out[i], in[i], in[i])
+		}
+	}
+}
+
+func TestBuildFrameUnframeableFallsBack(t *testing.T) {
+	id := Intern("testfn-build-fallback")
+	cases := [][]any{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9},  // more ints than the fixed array
+		{"one", "two"},               // two singleton strings
+		{[]byte{1}, []byte{2}},       // two singleton byte slices
+		{[]uint16{1}, []uint32{2}},   // two handles
+		{[]float32{1}, []float32{2}}, // two float slices
+	}
+	for i, args := range cases {
+		fr, framed, err := BuildFrame(id, args)
+		if fr != nil || framed || err != nil {
+			t.Errorf("case %d: BuildFrame = (%v, %v, %v), want (nil, false, nil)", i, fr, framed, err)
+		}
+	}
+}
+
+func TestBuildFrameTooManyArgs(t *testing.T) {
+	args := make([]any, MaxArgs+1)
+	for i := range args {
+		args[i] = i
+	}
+	fr, framed, err := BuildFrame(Intern("testfn-build-over"), args)
+	if fr != nil || framed {
+		t.Fatalf("overflowing BuildFrame returned a frame (framed=%v)", framed)
+	}
+	if err == nil || !errors.Is(err, ErrTooManyArgs) {
+		t.Fatalf("err = %v, want ErrTooManyArgs", err)
+	}
 }

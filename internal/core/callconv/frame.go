@@ -1,6 +1,7 @@
 package callconv
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -221,6 +222,81 @@ func (fr *Frame) Str() string { return fr.str }
 
 // Handle returns the opaque argument, nil if absent.
 func (fr *Frame) Handle() any { return fr.handle }
+
+// ErrTooManyArgs is returned by BuildFrame when a boxed call carries more
+// arguments than any frame (or real GLES entry point) can: the API facades
+// surface it as an EINVAL-style error, while the internal Push builders —
+// whose arities are fixed at compile time — keep panicking on misuse.
+var ErrTooManyArgs = errors.New("callconv: too many arguments")
+
+// BuildFrame converts a boxed argument list into a typed frame without ever
+// panicking. It returns (frame, true, nil) when every argument fits the
+// typed slots, (nil, false, nil) when the shape is legal but unframeable —
+// more scalars of one kind than the fixed arrays hold, or several arguments
+// of a singleton kind — in which case the caller falls back to the boxed
+// path, and (nil, false, ErrTooManyArgs) when the list overflows MaxArgs.
+// The materialized Args() view of a built frame is identical, in order and
+// Go types, to the input list, so observers (record/replay taps) see the
+// same bytes either way.
+func BuildFrame(id FuncID, args []any) (*Frame, bool, error) {
+	if len(args) > MaxArgs {
+		return nil, false, fmt.Errorf("%w: %d args for %q (max %d)", ErrTooManyArgs, len(args), Name(id), MaxArgs)
+	}
+	fr := Acquire(id)
+	var nInt, nU32, nF32, nBytes, nFloats, nStr, nHandle int
+	for _, a := range args {
+		unframeable := false
+		switch v := a.(type) {
+		case int:
+			if nInt++; nInt > maxInts {
+				unframeable = true
+			} else {
+				fr.PushInt(v)
+			}
+		case uint32:
+			if nU32++; nU32 > maxU32s {
+				unframeable = true
+			} else {
+				fr.PushU32(v)
+			}
+		case float32:
+			if nF32++; nF32 > maxF32s {
+				unframeable = true
+			} else {
+				fr.PushF32(v)
+			}
+		case []byte:
+			if nBytes++; nBytes > 1 {
+				unframeable = true
+			} else {
+				fr.PushBytes(v)
+			}
+		case []float32:
+			if nFloats++; nFloats > 1 {
+				unframeable = true
+			} else {
+				fr.PushFloats(v)
+			}
+		case string:
+			if nStr++; nStr > 1 {
+				unframeable = true
+			} else {
+				fr.PushStr(v)
+			}
+		default:
+			if nHandle++; nHandle > 1 {
+				unframeable = true
+			} else {
+				fr.PushHandle(v)
+			}
+		}
+		if unframeable {
+			fr.Release()
+			return nil, false, nil
+		}
+	}
+	return fr, true, nil
+}
 
 // Args materializes the boxed []any view of the frame, preserving the exact
 // push order and Go types of every argument. This is the lazy path observers

@@ -23,9 +23,11 @@ import (
 
 	"cycada/internal/core/callconv"
 	"cycada/internal/core/profile"
+	"cycada/internal/fault"
 	"cycada/internal/linker"
 	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
 )
 
 // Kind is a diplomat usage pattern (Table 2).
@@ -98,6 +100,7 @@ type Diplomat struct {
 
 	hooks   *Hooks
 	wrapper Wrapper
+	poison  func(t *kernel.Thread)
 	// met is the diplomat's profile metric, resolved once at construction so
 	// the per-call record is two atomic adds on the caller's stripe (no
 	// global mutex, no map lookup). Nil when no profiler is configured or the
@@ -127,6 +130,12 @@ type Config struct {
 	// routing DLR needs: a thread bound to an EGL_multi_context replica must
 	// resolve against that replica's libraries, not the global instances.
 	LibraryFor func(t *kernel.Thread) *linker.Handle
+	// Poison, when set, is invoked (best-effort, in the foreign persona)
+	// after a panic was isolated inside a diplomat: the hook marks the
+	// thread's current GL context as lost so subsequent calls report a
+	// persona-safe GL_OUT_OF_MEMORY-style error instead of silently
+	// continuing on corrupt state.
+	Poison func(t *kernel.Thread)
 }
 
 // New creates a diplomat. wrapper must be nil for Direct and Multi kinds and
@@ -157,6 +166,7 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 		libFor:   cfg.LibraryFor,
 		hooks:    cfg.Hooks,
 		wrapper:  wrapper,
+		poison:   cfg.Poison,
 		spanName: "diplomat:" + name,
 	}
 	// Unimplemented diplomats never execute, so they get no metric: the
@@ -171,11 +181,33 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 // ten never-called iOS GLES functions of Table 2).
 var ErrUnimplemented = fmt.Errorf("diplomat: function not implemented in the prototype (never called)")
 
+// PanicError is returned when a panic inside a diplomat call — domestic
+// library code crashing mid-call — was isolated instead of unwinding into
+// (and killing) the foreign app. The thread is restored to the foreign
+// persona with errno ENOMEM, the postlude has run (impersonation gates stay
+// balanced), and the configured Poison hook has marked the GL context lost.
+type PanicError struct {
+	Diplomat string
+	Reason   any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("diplomat %s: isolated panic: %v", e.Diplomat, e.Reason)
+}
+
+// Unwrap exposes the panic value when it was an error, so injected panics
+// classify as fault.Injected through the PanicError.
+func (e *PanicError) Unwrap() error {
+	err, _ := e.Reason.(error)
+	return err
+}
+
 // Call invokes the diplomat from foreign code, running the complete §3
 // sequence. For Direct and Multi kinds the domestic entry point has the same
 // name as the diplomat; Indirect and DataDependent kinds route through their
 // wrapper.
-func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
+func (d *Diplomat) Call(t *kernel.Thread, args ...any) (ret any) {
 	// Unimplemented diplomats return before any profiling: the ten
 	// never-called Table 2 functions must not appear in the Figure 7-10
 	// profiles.
@@ -185,10 +217,23 @@ func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
 	sp := t.TraceBegin(obs.CatDiplomat, d.spanName)
 	start := t.VTime()
 
+	// Panic isolation: a crash in domestic code must degrade this one call,
+	// never kill the foreign app. Open-coded defer — no allocation on the
+	// non-panicking path (the 0-alloc benchmarks gate this).
+	defer func() {
+		if r := recover(); r != nil {
+			ret = d.recovered(t, r, sp, start)
+		}
+	}()
+
 	// Step 2: prelude in the foreign persona.
 	d.runHook(t, true)
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointDiplomatPanic); err != nil {
+			panic(err)
+		}
+	}
 
-	var ret any
 	if d.wrapper != nil {
 		ret = d.wrapper(t, func(name string, inner ...any) any {
 			return d.invokeDomestic(t, name, inner...)
@@ -213,7 +258,7 @@ func (d *Diplomat) Call(t *kernel.Thread, args ...any) any {
 // vclock costs, zero heap allocations on the direct path. Direct and Multi
 // diplomats hand the frame straight to the domestic symbol; wrapper kinds
 // materialize the boxed []any view and run through the legacy wrapper path.
-func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) any {
+func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) (ret any) {
 	if d.Kind == Unimplemented {
 		return ErrUnimplemented
 	}
@@ -223,10 +268,22 @@ func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) any {
 	sp := t.TraceBegin(obs.CatDiplomat, d.spanName)
 	start := t.VTime()
 
+	// Panic isolation, as in Call; open-coded defer keeps the path 0-alloc.
+	defer func() {
+		if r := recover(); r != nil {
+			ret = d.recovered(t, r, sp, start)
+		}
+	}()
+
 	// Step 2: prelude in the foreign persona.
 	d.runHook(t, true)
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointDiplomatPanic); err != nil {
+			panic(err)
+		}
+	}
 
-	ret := d.invokeDomesticFrame(t, fr)
+	ret = d.invokeDomesticFrame(t, fr)
 
 	// Step 10: postlude in the foreign persona.
 	d.runHook(t, false)
@@ -238,6 +295,35 @@ func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) any {
 	}
 	t.TraceEnd(sp)
 	return ret
+}
+
+// recovered is the panic-isolation path shared by Call and CallFrame. The
+// thread may have died anywhere in the §3 sequence — possibly still in the
+// domestic persona, with the prelude's gate held — so recovery restores the
+// foreign persona, reports a persona-safe errno (ENOMEM, the closest POSIX
+// analogue of GL_OUT_OF_MEMORY), runs the postlude so impersonation gates
+// stay balanced, poisons the GL context via the configured hook, and closes
+// the metric and span the call opened. Each step is itself guarded: recovery
+// must never re-panic.
+func (d *Diplomat) recovered(t *kernel.Thread, r any, sp obs.Span, start vclock.Duration) error {
+	safely := func(f func()) {
+		defer func() { recover() }()
+		f()
+	}
+	safely(func() { t.SetPersona(d.foreign) })
+	safely(func() { t.SetErrnoIn(d.foreign, int(kernel.ENOMEM)) })
+	safely(func() { d.runHook(t, false) })
+	if d.poison != nil {
+		safely(func() { d.poison(t) })
+	}
+	if d.met != nil {
+		d.met.Record(t.TID(), t.VTime()-start)
+	}
+	if t.TraceEnabled() {
+		t.TraceEnd(t.TraceBegin(obs.CatFault, "diplomat_panic:"+d.Name))
+	}
+	t.TraceEnd(sp)
+	return &PanicError{Diplomat: d.Name, Reason: r}
 }
 
 func (d *Diplomat) runHook(t *kernel.Thread, prelude bool) {

@@ -1,0 +1,152 @@
+// Panic-isolation tests: a crash inside a diplomat's domestic half must
+// degrade that one call — persona restored, persona-safe errno, balanced
+// hooks, poisoned context — never unwind into the foreign app.
+package diplomat
+
+import (
+	"errors"
+	"testing"
+
+	"cycada/internal/core/callconv"
+	"cycada/internal/fault"
+	"cycada/internal/linker"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// crashLib's entry point panics mid-call, in the domestic persona — the
+// "vendor library crashed" fault.
+type crashLib struct{}
+
+func (crashLib) Symbols() map[string]linker.Fn {
+	return map[string]linker.Fn{
+		"glBoom": func(t *kernel.Thread, args ...any) any {
+			panic("vendor library crashed")
+		},
+		"glFine": func(t *kernel.Thread, args ...any) any { return "ok" },
+	}
+}
+
+func crashEnv(t *testing.T) (*kernel.Kernel, *kernel.Thread, Config) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := linker.New(p)
+	l.MustRegister(&linker.Blueprint{
+		Name: "libcrash.so",
+		New:  func(ctx *linker.LoadContext) (linker.Instance, error) { return crashLib{}, nil },
+	})
+	h, err := l.Dlopen(p.Main(), "libcrash.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p.Main(), Config{
+		Foreign:  kernel.PersonaIOS,
+		Domestic: kernel.PersonaAndroid,
+		Linker:   l,
+		Library:  h,
+	}
+}
+
+func TestPanicInDomesticCodeIsolated(t *testing.T) {
+	_, th, cfg := crashEnv(t)
+	var preludes, postludes, poisons int
+	cfg.Hooks = &Hooks{
+		Prelude:  func(*kernel.Thread) { preludes++ },
+		Postlude: func(*kernel.Thread) { postludes++ },
+	}
+	cfg.Poison = func(*kernel.Thread) { poisons++ }
+	d, err := New(cfg, "glBoom", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ret := d.Call(th, 1, 2)
+	var pe *PanicError
+	if err, ok := ret.(error); !ok || !errors.As(err, &pe) {
+		t.Fatalf("ret = %T %v, want *PanicError", ret, ret)
+	}
+	if pe.Diplomat != "glBoom" {
+		t.Fatalf("PanicError.Diplomat = %q", pe.Diplomat)
+	}
+	if got := th.Persona(); got != kernel.PersonaIOS {
+		t.Fatalf("persona after isolated panic = %v, want ios", got)
+	}
+	if got := th.ErrnoIn(kernel.PersonaIOS); got != int(kernel.ENOMEM) {
+		t.Fatalf("foreign errno = %d, want ENOMEM", got)
+	}
+	if preludes != 1 || postludes != 1 {
+		t.Fatalf("hooks = %d/%d, want 1/1 (gates must stay balanced)", preludes, postludes)
+	}
+	if poisons != 1 {
+		t.Fatalf("poison hook ran %d times, want 1", poisons)
+	}
+
+	// The diplomat (and the thread) still work: the next call succeeds.
+	fine, err := New(cfg, "glFine", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fine.Call(th); got != "ok" {
+		t.Fatalf("call after isolated panic = %v, want ok", got)
+	}
+}
+
+func TestPanicIsolatedOnFramePath(t *testing.T) {
+	_, th, cfg := crashEnv(t)
+	d, err := New(cfg, "glBoom", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := callconv.Acquire(callconv.Intern("glBoom"))
+	defer fr.Release()
+	ret := d.CallFrame(th, fr)
+	if _, ok := ret.(*PanicError); !ok {
+		t.Fatalf("CallFrame ret = %T %v, want *PanicError", ret, ret)
+	}
+	if got := th.Persona(); got != kernel.PersonaIOS {
+		t.Fatalf("persona = %v, want ios", got)
+	}
+}
+
+// An injected diplomat_panic classifies as a fault through the PanicError
+// wrapper, so chaos invariants can tell injected crashes from organic ones.
+func TestInjectedPanicClassifiesAsFault(t *testing.T) {
+	k, th, cfg := crashEnv(t)
+	k.SetFaultInjector(fault.NewInjector(fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointDiplomatPanic}, Times: 1,
+	}))
+	d, err := New(cfg, "glFine", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := d.Call(th)
+	err, ok := ret.(error)
+	if !ok || !fault.Injected(err) {
+		t.Fatalf("ret = %T %v, want an injected-fault error", ret, ret)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	// Schedule exhausted: the next call goes through normally.
+	if got := d.Call(th); got != "ok" {
+		t.Fatalf("call after injection = %v, want ok", got)
+	}
+}
+
+// An organic panic value that is not an error must not classify as injected.
+func TestOrganicPanicNotInjected(t *testing.T) {
+	_, th, cfg := crashEnv(t)
+	d, err := New(cfg, "glBoom", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := d.Call(th)
+	if err, ok := ret.(error); !ok || fault.Injected(err) {
+		t.Fatalf("ret = %v, want a non-injected PanicError", ret)
+	}
+}

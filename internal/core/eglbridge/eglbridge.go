@@ -12,6 +12,7 @@
 package eglbridge
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -126,22 +127,32 @@ func backing(s *iosurface.Surface) (*gralloc.Buffer, error) {
 // replica of the libui_wrapper library and the EGL/GLES libraries"; contexts
 // sharing an EAGL sharegroup reuse the group's replica.
 func (l *Lib) createContext(t *kernel.Thread, api int, sh *shared) (*bctx, error) {
-	if sh == nil {
+	fresh := sh == nil
+	if fresh {
 		conn, err := l.egl.ReInitializeMC(t, uiwrapper.LibName)
 		if err != nil {
 			return nil, fmt.Errorf("aegl_bridge_create_context: %w", err)
 		}
 		uiwInst, ok := l.link.InstanceIn(conn.Handle, uiwrapper.LibName)
 		if !ok {
+			l.egl.CloseMC(t, conn)
 			return nil, fmt.Errorf("aegl_bridge_create_context: replica lacks %s", uiwrapper.LibName)
 		}
 		sh = &shared{conn: conn, uiw: uiwInst.(*uiwrapper.Lib), group: engine.NewShareGroup()}
 	}
 	if err := l.egl.SwitchMC(t, sh.conn); err != nil {
+		if fresh {
+			l.egl.CloseMC(t, sh.conn)
+		}
 		return nil, err
 	}
 	glesCtx, err := l.egl.CreateContext(t, api, sh.group)
 	if err != nil {
+		// A context that never existed holds no replica reference; a freshly
+		// replicated namespace must not be stranded by the failure.
+		if fresh {
+			l.egl.CloseMC(t, sh.conn)
+		}
 		return nil, fmt.Errorf("aegl_bridge_create_context: %w", err)
 	}
 	return &bctx{api: api, sh: sh, glesCtx: glesCtx, creator: t}, nil
@@ -261,10 +272,12 @@ func (l *Lib) storageFromDrawable(t *kernel.Thread, b *bctx, d eagl.Drawable) er
 		if err != nil {
 			return fmt.Errorf("aegl_bridge_storage: window surface: %w", err)
 		}
-		b.winSurf = win
 		if err := l.egl.MakeCurrent(t, win, b.glesCtx); err != nil {
-			return err
+			// The surface never became usable; release its buffers and layer
+			// rather than stranding them on a half-initialized bctx.
+			return errors.Join(err, l.egl.DestroySurface(t, win))
 		}
+		b.winSurf = win
 	}
 	// A texture wrapping the layer buffer feeds the present blit (GLES 2
 	// contexts only; GLES 1 presents through the copy path).
@@ -272,6 +285,7 @@ func (l *Lib) storageFromDrawable(t *kernel.Thread, b *bctx, d eagl.Drawable) er
 		ids := eng.GenTextures(t, 1)
 		if len(ids) == 1 {
 			if err := b.sh.uiw.BindSurfaceTexture(t, ids[0], surf.ID, buf); err != nil {
+				eng.DeleteTextures(t, ids)
 				return err
 			}
 			b.presentTex = ids[0]

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cycada/internal/android/libc"
 	"cycada/internal/obs"
@@ -33,6 +34,10 @@ type Manager struct {
 	// exists as a seam so tests can inject partial failures into Session.End;
 	// production managers always use the kernel syscall directly.
 	propagate func(t *kernel.Thread, targetTID int, p kernel.Persona, vals map[int]any) error
+
+	// active counts sessions between a successful Impersonate and its End —
+	// the slot-accounting probe the chaos harness checks for stuck sessions.
+	active atomic.Int64
 
 	mu          sync.Mutex
 	gateDepth   int
@@ -100,6 +105,19 @@ func (m *Manager) GateExit() {
 	}
 	m.mu.Unlock()
 }
+
+// GateDepth reports the current graphics-gate nesting depth. Outside any
+// diplomat call it must be zero — a stuck prelude gate is one of the chaos
+// harness's failure signals.
+func (m *Manager) GateDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gateDepth
+}
+
+// ActiveSessions reports the number of impersonation sessions that have
+// started and not yet ended.
+func (m *Manager) ActiveSessions() int64 { return m.active.Load() }
 
 // Gated runs fn with the gate open — the "load graphics libraries under the
 // gate" pattern.
@@ -207,24 +225,56 @@ func (m *Manager) impersonate(runner, target *kernel.Thread) (*Session, error) {
 		return nil, fmt.Errorf("impersonate: reading target ios TLS: %w", err)
 	}
 
+	// The migration is transactional: once the runner's Android TLS has been
+	// replaced, any later failure must roll the already-replaced personas
+	// back to the saved pre-session values before the error is returned —
+	// otherwise the runner is left half-migrated, holding the target's
+	// graphics TLS with no session to End.
 	sp = runner.TraceBegin(obs.CatImpersonation, "tls_replace")
 	if err := m.propagate(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, targetA)); err != nil {
 		runner.TraceEnd(sp)
 		return nil, err
 	}
 	if err := m.propagate(runner, runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, targetI)); err != nil {
+		rb := m.propagateRetry(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, savedA))
 		runner.TraceEnd(sp)
-		return nil, err
+		return nil, errors.Join(err, rollbackErr(rb))
 	}
 	err = runner.BeginImpersonation(target)
 	runner.TraceEnd(sp)
 	if err != nil {
-		return nil, err
+		rbA := m.propagateRetry(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, savedA))
+		rbI := m.propagateRetry(runner, runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, savedI))
+		return nil, errors.Join(err, rollbackErr(rbA), rollbackErr(rbI))
 	}
+	m.active.Add(1)
 	return &Session{
 		m: m, runner: runner, target: target,
 		savedAndroid: savedA, savedIOS: savedI,
 	}, nil
+}
+
+// rollbackAttempts bounds the retries of a rollback or restore propagate:
+// these propagations must land for the runner to leave a failed or finished
+// session in its pre-session TLS state, so transient faults are retried a
+// few times before the failure is surfaced.
+const rollbackAttempts = 4
+
+func (m *Manager) propagateRetry(t *kernel.Thread, targetTID int, p kernel.Persona, vals map[int]any) error {
+	var err error
+	for i := 0; i < rollbackAttempts; i++ {
+		if err = m.propagate(t, targetTID, p, vals); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func rollbackErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("impersonate: TLS rollback failed, runner left with migrated TLS: %w", err)
 }
 
 // End finishes the session, performing steps (4) and (5) of §7.1: updates
@@ -241,6 +291,7 @@ func (s *Session) End() error {
 		return fmt.Errorf("impersonate: session already ended")
 	}
 	s.ended = true
+	s.m.active.Add(-1)
 	s.runner.EndImpersonation()
 
 	aKeys := s.m.AndroidGraphicsKeys()
@@ -262,12 +313,14 @@ func (s *Session) End() error {
 	s.runner.TraceEnd(sp)
 
 	// Step 5: restore the runner's own graphics TLS in both personas,
-	// regardless of what happened above.
+	// regardless of what happened above. Restoration is retried (bounded):
+	// a transient fault here would otherwise strand the runner with the
+	// target's graphics TLS after the session is gone.
 	sp = s.runner.TraceBegin(obs.CatImpersonation, "tls_restore")
-	if err := s.m.propagate(s.runner, s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
+	if err := s.m.propagateRetry(s.runner, s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
 		errs = append(errs, fmt.Errorf("impersonate: restoring android TLS: %w", err))
 	}
-	if err := s.m.propagate(s.runner, s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS)); err != nil {
+	if err := s.m.propagateRetry(s.runner, s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS)); err != nil {
 		errs = append(errs, fmt.Errorf("impersonate: restoring ios TLS: %w", err))
 	}
 	s.runner.TraceEnd(sp)

@@ -1,0 +1,232 @@
+// Transactional-impersonation tests: a propagate_tls failure partway through
+// a session start must roll the runner's TLS back to its exact pre-session
+// state — never leave it half-migrated — and the session accounting must show
+// nothing active afterwards.
+package impersonate
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/fault"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+// faultEnv is env plus access to the kernel, for installing fault injectors.
+func faultEnv(t *testing.T) (*kernel.Kernel, *kernel.Process, *Manager, *libc.Lib) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada})
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bionic := libc.New(kernel.PersonaAndroid)
+	libSystem := libc.New(kernel.PersonaIOS)
+	return k, p, New(bionic, libSystem), bionic
+}
+
+// tlsSnapshot captures the runner's graphics TLS in both personas.
+func tlsSnapshot(t *kernel.Thread, m *Manager) map[string]any {
+	snap := map[string]any{}
+	for _, k := range m.AndroidGraphicsKeys() {
+		v, ok := t.TLSGet(kernel.PersonaAndroid, k)
+		snap[fmt.Sprintf("a/%d", k)] = [2]any{v, ok}
+	}
+	for _, k := range m.IOSGraphicsKeys() {
+		v, ok := t.TLSGet(kernel.PersonaIOS, k)
+		snap[fmt.Sprintf("i/%d", k)] = [2]any{v, ok}
+	}
+	return snap
+}
+
+func requireTLSEqual(t *testing.T, want, got map[string]any) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("TLS snapshot size changed: %d -> %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("TLS slot %s = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+// The iOS propagate failing after the Android persona has already been
+// migrated must roll the Android persona back: the runner's TLS ends
+// byte-identical to its pre-session state.
+func TestImpersonateRollsBackOnIOSPropagateFault(t *testing.T) {
+	_, p, m, bionic := faultEnv(t)
+	defer m.Close()
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	runner := p.NewThread("runner")
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+	target.TLSSet(kernel.PersonaIOS, 40, "target-eagl")
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "runner-gl")
+	runner.TLSSet(kernel.PersonaIOS, 40, "runner-eagl")
+	before := tlsSnapshot(runner, m)
+
+	real := m.propagate
+	m.propagate = func(th *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		if tid == runner.TID() && pe == kernel.PersonaIOS {
+			return fmt.Errorf("injected ios migration fault")
+		}
+		return real(th, tid, pe, vals)
+	}
+	_, err := m.Impersonate(runner, target)
+	if err == nil || !strings.Contains(err.Error(), "injected ios migration fault") {
+		t.Fatalf("Impersonate error = %v, want the injected fault", err)
+	}
+	requireTLSEqual(t, before, tlsSnapshot(runner, m))
+	if runner.Impersonating() != nil {
+		t.Fatal("runner assumed identity despite failed migration")
+	}
+	if got := m.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d after failed Impersonate, want 0", got)
+	}
+
+	// The manager is intact: the same call succeeds once the fault clears.
+	m.propagate = real
+	s, err := m.Impersonate(runner, target)
+	if err != nil {
+		t.Fatalf("Impersonate after fault cleared: %v", err)
+	}
+	if got := m.ActiveSessions(); got != 1 {
+		t.Fatalf("ActiveSessions = %d during session, want 1", got)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	requireTLSEqual(t, before, tlsSnapshot(runner, m))
+	if got := m.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d after End, want 0", got)
+	}
+}
+
+// A rollback that itself keeps failing is reported, not swallowed: the error
+// names both the original fault and the failed rollback.
+func TestImpersonateReportsFailedRollback(t *testing.T) {
+	_, p, m, bionic := faultEnv(t)
+	defer m.Close()
+	m.Gated(func() { bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+	target := p.Main()
+	runner := p.NewThread("runner")
+
+	calls := 0
+	m.propagate = func(th *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		calls++
+		if calls == 1 {
+			return nil // Android migration lands
+		}
+		return fmt.Errorf("persistent propagate fault")
+	}
+	_, err := m.Impersonate(runner, target)
+	if err == nil {
+		t.Fatal("Impersonate succeeded despite persistent faults")
+	}
+	if !strings.Contains(err.Error(), "TLS rollback failed") {
+		t.Fatalf("error %q does not report the failed rollback", err)
+	}
+	// 1 android + 1 ios + rollbackAttempts retries of the rollback.
+	if want := 2 + rollbackAttempts; calls != want {
+		t.Fatalf("propagate called %d times, want %d (bounded rollback retry)", calls, want)
+	}
+}
+
+// The same transactionality through the kernel seam: a deterministic injector
+// fails the second propagate_tls syscall (the iOS migration), the bounded
+// retry lands the rollback, and the runner's TLS is untouched.
+func TestImpersonateRollsBackUnderInjectedSyscallFault(t *testing.T) {
+	k, p, m, bionic := faultEnv(t)
+	defer m.Close()
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	runner := p.NewThread("runner")
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "runner-gl")
+	runner.TLSSet(kernel.PersonaIOS, 40, "runner-eagl")
+	before := tlsSnapshot(runner, m)
+
+	k.SetFaultInjector(fault.NewInjector(fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointPropagateTLS}, After: 1, Times: 1,
+	}))
+	_, err := m.Impersonate(runner, target)
+	if !fault.Injected(err) {
+		t.Fatalf("Impersonate error = %v, want injected propagate_tls fault", err)
+	}
+	requireTLSEqual(t, before, tlsSnapshot(runner, m))
+	if got := m.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d, want 0", got)
+	}
+	if runner.Impersonating() != nil {
+		t.Fatal("runner left impersonating")
+	}
+}
+
+// Concurrent sessions with a seam that fails every third iOS-persona
+// propagate: whatever mix of failed starts, degraded Ends and clean runs
+// results, the accounting must settle at zero active sessions and every
+// runner must leave with its own TLS (the Android persona stays fault-free,
+// so its rollbacks and restores always land and the TLS assertion is
+// deterministic). Run under -race this also exercises the counters'
+// concurrency.
+func TestConcurrentSessionsSettleUnderFaults(t *testing.T) {
+	_, p, m, bionic := faultEnv(t)
+	defer m.Close()
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+
+	var calls atomic.Uint64
+	real := m.propagate
+	m.propagate = func(th *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		if pe == kernel.PersonaIOS && calls.Add(1)%3 == 0 {
+			return fmt.Errorf("every-third ios propagate fault")
+		}
+		return real(th, tid, pe, vals)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		runner := p.NewThread(fmt.Sprintf("runner-%d", i))
+		own := fmt.Sprintf("own-gl-%d", i)
+		runner.TLSSet(kernel.PersonaAndroid, aKey, own)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 16; n++ {
+				s, err := m.Impersonate(runner, target)
+				if err != nil {
+					continue
+				}
+				s.End() // best-effort under faults; errors are acceptable
+			}
+			if v, _ := runner.TLSGet(kernel.PersonaAndroid, aKey); v != own {
+				t.Errorf("runner TLS = %v after sessions, want %v", v, own)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d after all sessions, want 0", got)
+	}
+	if got := m.GateDepth(); got != 0 {
+		t.Fatalf("GateDepth = %d, want 0", got)
+	}
+}

@@ -162,6 +162,17 @@ func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
 		Library:  ebH,
 		Hooks:    hooks,
 		Profiler: prof,
+		// A panic isolated inside a diplomat poisons the thread's current
+		// GLES context — replica engine when the thread is bound to an
+		// EGL_multi_context replica, the global vendor engine otherwise — so
+		// the app sees a sticky GL_OUT_OF_MEMORY instead of corrupt state.
+		Poison: func(t *kernel.Thread) {
+			if conn := us.EGL.CurrentMC(t); conn != nil {
+				conn.Engine().PoisonCurrent(t)
+				return
+			}
+			us.EGL.Vendor().Engine().PoisonCurrent(t)
+		},
 	}
 	backend, err := eglbridge.NewBackend(dipCfg)
 	if err != nil {

@@ -21,7 +21,12 @@ func (l *Lib) GetError(t *kernel.Thread) uint32 {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
 	e := ctx.lastErr
-	ctx.lastErr = NoError
+	if ctx.poisoned {
+		// A poisoned context reports OutOfMemory forever (context lost).
+		ctx.lastErr = OutOfMemory
+	} else {
+		ctx.lastErr = NoError
+	}
 	return e
 }
 

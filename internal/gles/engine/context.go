@@ -180,6 +180,7 @@ type Context struct {
 	packRowBytes   int
 
 	lastErr        uint32
+	poisoned       bool
 	workSinceFlush vclock.Duration
 }
 
@@ -219,6 +220,25 @@ func (ctx *Context) setErr(e uint32) {
 	if ctx.lastErr == NoError {
 		ctx.lastErr = e
 	}
+}
+
+// Poison marks the context as unreliable after a fault was isolated inside
+// one of its GL calls (a diplomat panic, §3 recovery): subsequent GetError
+// calls keep returning GL_OUT_OF_MEMORY — the canonical "context lost"
+// signal real drivers use — instead of clearing, so the app learns the
+// context is dead no matter how the error checks interleave.
+func (ctx *Context) Poison() {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	ctx.poisoned = true
+	ctx.lastErr = OutOfMemory
+}
+
+// Poisoned reports whether the context has been poisoned.
+func (ctx *Context) Poisoned() bool {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.poisoned
 }
 
 // boundTarget resolves the currently bound framebuffer to a raster target.

@@ -300,6 +300,18 @@ func (l *Lib) current(t *kernel.Thread) *Context {
 	return l.Current(t)
 }
 
+// PoisonCurrent poisons the calling thread's current context (if any) after
+// a fault was isolated inside one of its calls. Returns whether a context
+// was poisoned.
+func (l *Lib) PoisonCurrent(t *kernel.Thread) bool {
+	ctx := l.Current(t)
+	if ctx == nil {
+		return false
+	}
+	ctx.Poison()
+	return true
+}
+
 // Contexts returns the number of live contexts (tests).
 func (l *Lib) Contexts() int {
 	l.mu.Lock()

@@ -1,0 +1,46 @@
+package engine
+
+import "testing"
+
+// A poisoned (lost) context reports OutOfMemory from every glGetError — the
+// error is sticky, unlike ordinary errors which reset on read — and poisoning
+// replaces whatever error was pending.
+func TestPoisonedContextStickyOutOfMemory(t *testing.T) {
+	_, th, l := newEnv(t)
+	ctx := mustCtx(t, l, th, 2)
+
+	if ctx.Poisoned() {
+		t.Fatal("fresh context already poisoned")
+	}
+	// Pending ordinary error: drawing without a target.
+	l.Clear(th, 0)
+	ctx.Poison()
+	if !ctx.Poisoned() {
+		t.Fatal("Poison did not mark the context")
+	}
+	for i := 0; i < 3; i++ {
+		if e := l.GetError(th); e != OutOfMemory {
+			t.Fatalf("GetError #%d = %#x, want OutOfMemory", i+1, e)
+		}
+	}
+}
+
+// PoisonCurrent poisons only a thread with a current context.
+func TestPoisonCurrentRequiresContext(t *testing.T) {
+	p, th, l := newEnv(t)
+	if l.PoisonCurrent(th) {
+		t.Fatal("PoisonCurrent reported success with no current context")
+	}
+	ctx := mustCtx(t, l, th, 2)
+	if !l.PoisonCurrent(th) {
+		t.Fatal("PoisonCurrent failed with a current context")
+	}
+	if !ctx.Poisoned() {
+		t.Fatal("current context not poisoned")
+	}
+	// Another thread with no current context is unaffected.
+	other := p.NewThread("other")
+	if l.PoisonCurrent(other) {
+		t.Fatal("PoisonCurrent poisoned a context-less thread")
+	}
+}

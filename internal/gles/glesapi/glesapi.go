@@ -13,6 +13,8 @@
 package glesapi
 
 import (
+	"fmt"
+
 	"cycada/internal/core/callconv"
 	"cycada/internal/gles/engine"
 	"cycada/internal/linker"
@@ -109,18 +111,13 @@ func New(link *linker.Linker, h *linker.Handle) *GL {
 	return &GL{link: link, h: h}
 }
 
-// sym resolves an entry point, like the paper's diplomat step 1 ("storing a
-// pointer to the function in a locally-scoped static variable for efficient
-// reuse"): the resolution is served from the linker's flat FuncID-indexed
-// snapshot — one atomic load, no facade-side mutex or map.
-func (g *GL) sym(name string) linker.Symbol {
-	id, ok := callconv.LookupID(name)
-	if !ok {
-		id = callconv.Intern(name)
-	}
-	return g.symID(id)
-}
-
+// symID resolves an entry point, like the paper's diplomat step 1 ("storing
+// a pointer to the function in a locally-scoped static variable for
+// efficient reuse"): the resolution is served from the linker's flat
+// FuncID-indexed snapshot — one atomic load, no facade-side mutex or map.
+// The typed wrappers bind fixed IDs that always resolve, so failure here is
+// a facade construction bug and panics; the name-driven Call path resolves
+// through DlsymID directly and returns errors instead.
 func (g *GL) symID(id callconv.FuncID) linker.Symbol {
 	s, err := g.link.DlsymID(g.h, id)
 	if err != nil {
@@ -143,10 +140,33 @@ func (g *GL) Has(name string) bool {
 	return err == nil
 }
 
-// Call invokes an arbitrary entry point (extension functions) on the boxed
-// compat path.
+// Call invokes an arbitrary entry point by name (extension functions, replay
+// dispatch). Unlike the typed wrappers — whose shapes are fixed at compile
+// time and may rely on the internal builders' panics — Call is an API
+// boundary fed with runtime-constructed argument lists, so it never panics:
+// an unresolvable name or an argument list no real GLES entry point could
+// carry surfaces as an EINVAL-style error return. Framable calls take the
+// typed fast path; shapes the frame cannot hold fall back to the boxed path.
 func (g *GL) Call(t *kernel.Thread, name string, args ...any) any {
-	return g.sym(name).Call(t, args...)
+	id, ok := callconv.LookupID(name)
+	if !ok {
+		id = callconv.Intern(name)
+	}
+	s, err := g.link.DlsymID(g.h, id)
+	if err != nil {
+		return fmt.Errorf("glesapi: %w", err)
+	}
+	fr, framed, err := callconv.BuildFrame(id, args)
+	if err != nil {
+		t.SetErrno(int(kernel.EINVAL))
+		return fmt.Errorf("glesapi: %s: %w", name, err)
+	}
+	if framed {
+		ret := s.CallFrame(t, fr)
+		fr.Release()
+		return ret
+	}
+	return s.Call(t, args...)
 }
 
 // --- Typed wrappers for the surface the workloads use ---

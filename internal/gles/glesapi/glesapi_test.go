@@ -1,0 +1,77 @@
+package glesapi_test
+
+import (
+	"errors"
+	"testing"
+
+	"cycada/internal/core/callconv"
+	"cycada/internal/ios/iosys"
+	"cycada/internal/sim/kernel"
+)
+
+// boot returns a native-iOS userspace: the lightest configuration with a real
+// linker-bound GL facade, so the tests exercise the same resolution and
+// dispatch paths every backend shares.
+func boot(t *testing.T) (*iosys.Userspace, *kernel.Thread) {
+	t.Helper()
+	sys := iosys.New(iosys.Config{})
+	us, err := sys.NewUserspace("glesapi-test")
+	if err != nil {
+		t.Fatalf("NewUserspace: %v", err)
+	}
+	return us, us.Proc.Main()
+}
+
+func TestCallTooManyArgsReturnsEINVAL(t *testing.T) {
+	us, th := boot(t)
+	args := make([]any, callconv.MaxArgs+1)
+	for i := range args {
+		args[i] = i
+	}
+	ret := us.GL.Call(th, "glViewport", args...)
+	err, ok := ret.(error)
+	if !ok {
+		t.Fatalf("Call with %d args returned %T %v, want error", len(args), ret, ret)
+	}
+	if !errors.Is(err, callconv.ErrTooManyArgs) {
+		t.Fatalf("err = %v, want ErrTooManyArgs", err)
+	}
+	if th.Errno() != int(kernel.EINVAL) {
+		t.Fatalf("errno = %d, want EINVAL", th.Errno())
+	}
+}
+
+func TestCallUnknownSymbolReturnsError(t *testing.T) {
+	us, th := boot(t)
+	ret := us.GL.Call(th, "glDefinitelyNotAnEntryPoint")
+	if _, ok := ret.(error); !ok {
+		t.Fatalf("Call of unknown symbol returned %T %v, want error", ret, ret)
+	}
+}
+
+func TestCallFramedMatchesTypedWrapper(t *testing.T) {
+	us, th := boot(t)
+	// A framable argument list takes the typed fast path and must behave
+	// exactly like the compiled wrapper: no error, no GL error raised.
+	if ret := us.GL.Call(th, "glViewport", 0, 0, 64, 48); ret != nil {
+		t.Fatalf("framed glViewport returned %v", ret)
+	}
+	us.GL.Viewport(th, 0, 0, 64, 48)
+	if e := us.GL.GetError(th); e != 0 {
+		t.Fatalf("glGetError = %#x after viewport calls", e)
+	}
+}
+
+func TestCallUnframeableShapeFallsBackToBoxed(t *testing.T) {
+	us, th := boot(t)
+	// Nine ints exceed the frame's int slots; the call must fall back to the
+	// boxed path (whose defensive arg helpers ignore the extras), not error
+	// or panic.
+	args := make([]any, 9)
+	for i := range args {
+		args[i] = 0
+	}
+	if ret := us.GL.Call(th, "glViewport", args...); ret != nil {
+		t.Fatalf("boxed-fallback glViewport returned %v", ret)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"cycada/internal/core/callconv"
+	"cycada/internal/fault"
 	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/mem"
@@ -234,6 +235,11 @@ func (l *Linker) Dlopen(t *kernel.Thread, name string) (*Handle, error) {
 		sp = t.TraceBegin(obs.CatDLR, "dlopen:"+name)
 	}
 	defer t.TraceEnd(sp)
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointDlopen); err != nil {
+			return nil, fmt.Errorf("dlopen %q: %w", name, err)
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lib, err := l.loadLocked(t, name, l.global, false, make(map[string]bool))
@@ -253,6 +259,11 @@ func (l *Linker) Dlforce(t *kernel.Thread, name string) (*Handle, error) {
 		sp = t.TraceBegin(obs.CatDLR, "dlforce:"+name)
 	}
 	defer t.TraceEnd(sp)
+	if inj := t.Faults(); inj != nil {
+		if err := inj.Fail(fault.PointDlforce); err != nil {
+			return nil, fmt.Errorf("dlforce %q: %w", name, err)
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextNS++

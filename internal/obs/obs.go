@@ -31,6 +31,7 @@ const (
 	CatEGL           = "egl"
 	CatHarness       = "harness"
 	CatReplay        = "replay"
+	CatFault         = "fault"
 )
 
 // Event is one finished span.

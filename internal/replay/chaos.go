@@ -1,0 +1,162 @@
+// Chaos harness: replay golden traces under generated fault schedules and
+// check the system's recovery invariants. A chaos run is allowed to fail the
+// replay — an injected fault surfacing as an error is graceful degradation —
+// but it must never panic out, leak TLS/session state, wedge an
+// impersonation gate, or (when every injected fault was transient) change a
+// single screen checksum.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cycada/internal/fault"
+)
+
+// chaosTeardownTimeout bounds the post-replay teardown: if unbinding the
+// declared threads' contexts cannot finish in this window, something holds a
+// lock it should not — the liveness invariant fails.
+const chaosTeardownTimeout = 30 * time.Second
+
+// ChaosResult is the outcome of one chaos replay, with everything the four
+// invariants (survival, TLS balance, liveness, transient-fault checksum
+// fidelity) need.
+type ChaosResult struct {
+	Schedule fault.Schedule
+	Stats    fault.Stats
+
+	// ReplayErr is the error that aborted the replay, nil if it completed.
+	// An error wrapping fault.ErrInjected is expected degradation; any other
+	// error means an injected fault escalated into an unclassified failure.
+	ReplayErr error
+	// Panicked reports that a panic escaped the replay — the one outcome
+	// panic isolation exists to prevent. PanicValue carries the value.
+	Panicked   bool
+	PanicValue any
+
+	// ActiveSessions and GateDepth are the impersonation accounting after the
+	// run; both must be zero. ThreadsImpersonating counts replayed threads
+	// still holding an assumed identity; it must also be zero.
+	ActiveSessions       int64
+	GateDepth            int
+	ThreadsImpersonating int
+	// TeardownOK reports that post-replay teardown finished within the
+	// liveness window.
+	TeardownOK bool
+
+	// TransientOnly reports that every injected fault hit a seam that
+	// absorbs it without observable effect (present retry). When true and
+	// the replay completed, verification must pass.
+	TransientOnly bool
+	// Res is the replay result (per-present and final-frame verification);
+	// nil when the replay aborted before finishing.
+	Res *Result
+}
+
+// Check evaluates the chaos invariants, returning nil when all hold.
+func (r *ChaosResult) Check() error {
+	var errs []error
+	if r.Panicked {
+		errs = append(errs, fmt.Errorf("chaos: panic escaped the replay: %v", r.PanicValue))
+	}
+	if r.ReplayErr != nil && !fault.Injected(r.ReplayErr) {
+		errs = append(errs, fmt.Errorf("chaos: fault escalated to unclassified error: %w", r.ReplayErr))
+	}
+	if r.ActiveSessions != 0 {
+		errs = append(errs, fmt.Errorf("chaos: %d impersonation sessions leaked", r.ActiveSessions))
+	}
+	if r.GateDepth != 0 {
+		errs = append(errs, fmt.Errorf("chaos: impersonation gate stuck at depth %d", r.GateDepth))
+	}
+	if r.ThreadsImpersonating != 0 {
+		errs = append(errs, fmt.Errorf("chaos: %d threads left impersonating", r.ThreadsImpersonating))
+	}
+	if !r.TeardownOK {
+		errs = append(errs, fmt.Errorf("chaos: teardown did not finish within %v", chaosTeardownTimeout))
+	}
+	if r.TransientOnly && r.ReplayErr == nil && r.Res != nil && !r.Res.VerifyOK() {
+		errs = append(errs, fmt.Errorf("chaos: transient-only schedule changed screen output: %d mismatches, final ok=%v",
+			len(r.Res.Mismatches), !r.Res.FinalChecked || r.Res.FinalOK))
+	}
+	return errors.Join(errs...)
+}
+
+// String renders a one-line chaos report.
+func (r *ChaosResult) String() string {
+	outcome := "completed"
+	switch {
+	case r.Panicked:
+		outcome = fmt.Sprintf("PANIC: %v", r.PanicValue)
+	case r.ReplayErr != nil:
+		outcome = fmt.Sprintf("degraded: %v", r.ReplayErr)
+	}
+	return fmt.Sprintf("chaos seed=%d: %s; injected %s", r.Schedule.Seed, outcome, r.Stats)
+}
+
+// Chaos replays tr under the fault schedule with verification on, then
+// disarms injection and tears the system down, collecting everything Check
+// needs. The returned error reports only harness-level problems (an invalid
+// trace); invariant violations are in the result.
+func Chaos(tr *Trace, sched fault.Schedule) (*ChaosResult, error) {
+	inj := fault.NewInjector(sched)
+	p, err := boot(tr, Options{Verify: true, Faults: inj})
+	if err != nil {
+		return nil, err
+	}
+	r := &ChaosResult{Schedule: sched}
+
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				r.Panicked = true
+				r.PanicValue = v
+			}
+		}()
+		r.ReplayErr = p.run(tr)
+	}()
+	if r.ReplayErr == nil && !r.Panicked {
+		r.Res = p.res
+	}
+
+	// The fault stops occurring; teardown must succeed without it.
+	inj.Disarm()
+	r.Stats = inj.Stats()
+	r.TransientOnly = transientOnly(r.Stats)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		main := p.app.Main()
+		for _, t := range p.threads {
+			p.app.EAGL.SetCurrentContext(t, nil)
+		}
+		p.app.EAGL.SetCurrentContext(main, nil)
+	}()
+	select {
+	case <-done:
+		r.TeardownOK = true
+	case <-time.After(chaosTeardownTimeout):
+	}
+
+	r.ActiveSessions = p.app.Impersonator.ActiveSessions()
+	r.GateDepth = p.app.Impersonator.GateDepth()
+	for _, t := range p.threads {
+		if t.Impersonating() != nil {
+			r.ThreadsImpersonating++
+		}
+	}
+	return r, nil
+}
+
+// transientOnly reports whether every injected fault hit the present seam —
+// the one place where a bounded retry absorbs the fault with no observable
+// effect, so screen output must still match the recording.
+func transientOnly(st fault.Stats) bool {
+	for p := range st {
+		if st[p].Injected > 0 && fault.Point(p) != fault.PointEGLPresent {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+// Chaos tests: golden traces replayed under generated fault schedules. Tier-1
+// runs a small seed sweep; `make chaos` raises -chaos.seeds for a long soak.
+package replay_test
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"cycada/internal/fault"
+	"cycada/internal/replay"
+)
+
+var chaosSeeds = flag.Int("chaos.seeds", 8, "number of fault-schedule seeds per golden trace in the chaos sweep")
+
+func readGolden(t *testing.T, name string) *replay.Trace {
+	t.Helper()
+	tr, err := replay.ReadFile(filepath.Join("testdata", name+".cytr"))
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	return tr
+}
+
+// TestChaosInvariants is the tentpole gate: a golden trace replayed under
+// seeded all-point fault schedules must hold every chaos invariant — no
+// escaped panic, no unclassified error, no leaked sessions or stuck gates,
+// bounded teardown — for every seed. The sweep must also actually inject
+// something, or the schedule rate is too low to test anything.
+func TestChaosInvariants(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	var totalInjected, degraded uint64
+	for seed := 0; seed < *chaosSeeds; seed++ {
+		sched := fault.Schedule{Seed: uint64(seed), Rate: 0.05}
+		res, err := replay.Chaos(tr, sched)
+		if err != nil {
+			t.Fatalf("seed %d: Chaos: %v", seed, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Errorf("seed %d: invariant violated: %v\n%s", seed, err, res)
+		}
+		totalInjected += res.Stats.TotalInjected()
+		if res.ReplayErr != nil {
+			degraded++
+		}
+	}
+	if totalInjected == 0 {
+		t.Fatalf("chaos sweep over %d seeds injected nothing — schedule too weak", *chaosSeeds)
+	}
+	t.Logf("chaos sweep: %d seeds, %d faults injected, %d replays degraded", *chaosSeeds, totalInjected, degraded)
+}
+
+// A schedule that only fires transient present faults (absorbed by the
+// bounded retry) must leave every screen checksum identical to the recording.
+func TestChaosTransientChecksumsMatch(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	res, err := replay.Chaos(tr, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent}, Times: 2,
+	})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if !res.TransientOnly {
+		t.Fatalf("schedule fired outside the present seam: %s", res.Stats)
+	}
+	if got := res.Stats[fault.PointEGLPresent].Injected; got != 2 {
+		t.Fatalf("injected %d present faults, want 2", got)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	if res.ReplayErr != nil {
+		t.Fatalf("transient faults aborted the replay: %v", res.ReplayErr)
+	}
+	if res.Res == nil || !res.Res.VerifyOK() || !res.Res.FinalChecked {
+		t.Fatalf("checksums diverged under transient-only faults: %+v", res.Res)
+	}
+}
+
+// A zero-rate schedule is a plain replay: all goldens stay byte-identical and
+// the armed-but-silent injector must never fire.
+func TestChaosZeroFaultByteIdentical(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.cytr"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("golden traces: %v (%d found)", err, len(goldens))
+	}
+	for _, path := range goldens {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			tr, err := replay.ReadFile(path)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			res, err := replay.Chaos(tr, fault.Schedule{Seed: 1, Rate: 0})
+			if err != nil {
+				t.Fatalf("Chaos: %v", err)
+			}
+			if got := res.Stats.TotalInjected(); got != 0 {
+				t.Fatalf("zero-rate schedule injected %d faults", got)
+			}
+			if err := res.Check(); err != nil {
+				t.Fatalf("invariant violated: %v", err)
+			}
+			if res.ReplayErr != nil {
+				t.Fatalf("zero-fault replay errored: %v", res.ReplayErr)
+			}
+			if res.Res == nil || !res.Res.VerifyOK() || !res.Res.FinalChecked {
+				t.Fatalf("zero-fault replay not byte-identical: %+v", res.Res)
+			}
+		})
+	}
+}
+
+// A persistent present fault exhausts the retry budget: the replay degrades
+// with a classified injected error, and the invariants still hold.
+func TestChaosPersistentPresentDrops(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	res, err := replay.Chaos(tr, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent},
+	})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if res.ReplayErr == nil {
+		t.Fatalf("persistent present faults did not abort the replay")
+	}
+	if !fault.Injected(res.ReplayErr) {
+		t.Fatalf("replay error %v is not classified as injected", res.ReplayErr)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("invariant violated after degraded replay: %v", err)
+	}
+}

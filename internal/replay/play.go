@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cycada/internal/core/system"
+	"cycada/internal/fault"
 	"cycada/internal/ios/eagl"
 	"cycada/internal/ios/iosurface"
 	"cycada/internal/obs"
@@ -19,6 +20,11 @@ type Options struct {
 	Verify bool
 	// Tracer receives replay-phase spans; nil means obs.Default.
 	Tracer *obs.Tracer
+	// Faults, when set, is installed on the replay kernel after boot, so the
+	// schedule's deterministic decision sequences cover exactly the replayed
+	// events (boot is always fault-free). Each Play gets its own kernel, so
+	// one injector must not be shared between concurrent replays.
+	Faults *fault.Injector
 }
 
 // Mismatch is one present whose replayed screen checksum differs from the
@@ -57,6 +63,21 @@ func (r *Result) VerifyOK() bool {
 // Replays are fully independent: each Play gets its own kernel, clock, and
 // process, so any number can run concurrently.
 func Play(tr *Trace, opts Options) (*Result, error) {
+	p, err := boot(tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.run(tr); err != nil {
+		return nil, err
+	}
+	return p.res, nil
+}
+
+// boot validates the trace and boots the fresh Cycada system the replay runs
+// against. The fault injector (if any) is installed only after the boot
+// succeeds, so a schedule's decision sequences cover exactly the replayed
+// events.
+func boot(tr *Trace, opts Options) (*player, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,8 +90,10 @@ func Play(tr *Trace, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replay: boot: %w", err)
 	}
-
-	p := &player{
+	if opts.Faults != nil {
+		sys.Android.Kernel.SetFaultInjector(opts.Faults)
+	}
+	return &player{
 		sys:     sys,
 		app:     app,
 		verify:  opts.Verify,
@@ -79,21 +102,25 @@ func Play(tr *Trace, opts Options) (*Result, error) {
 		groups:  map[GroupRef]*eagl.Sharegroup{},
 		surfs:   map[SurfRef]*iosurface.Surface{},
 		res:     &Result{Events: len(tr.Events)},
-	}
+	}, nil
+}
 
-	main := app.Main()
+// run re-drives the trace against the booted system and performs the final
+// frame comparison when verification is on.
+func (p *player) run(tr *Trace) error {
+	main := p.app.Main()
 	sp := main.TraceBegin(obs.CatReplay, "replay:play:"+tr.Label)
 	for i := range tr.Events {
 		if err := p.step(i, &tr.Events[i]); err != nil {
 			main.TraceEnd(sp)
-			return nil, fmt.Errorf("replay: event %d (%s %q): %w", i, tr.Events[i].Kind, tr.Events[i].Name, err)
+			return fmt.Errorf("replay: event %d (%s %q): %w", i, tr.Events[i].Kind, tr.Events[i].Name, err)
 		}
 	}
 	main.TraceEnd(sp)
 
-	if opts.Verify && tr.Final != nil {
+	if p.verify && tr.Final != nil {
 		vsp := main.TraceBegin(obs.CatReplay, "replay:verify-final")
-		got := sys.Android.Flinger.Screen()
+		got := p.sys.Android.Flinger.Screen()
 		p.res.FinalChecked = true
 		p.res.FinalWant = tr.Final.Checksum()
 		p.res.FinalGot = got.Checksum()
@@ -101,7 +128,7 @@ func Play(tr *Trace, opts Options) (*Result, error) {
 			bytes.Equal(got.Pix, tr.Final.Pix)
 		main.TraceEnd(vsp)
 	}
-	return p.res, nil
+	return nil
 }
 
 // Verify replays tr with differential checking and returns an error

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cycada/internal/fault"
 	"cycada/internal/obs"
 	"cycada/internal/sim/vclock"
 )
@@ -72,6 +73,11 @@ type Kernel struct {
 	tracer  *obs.Tracer // never nil; disabled by default
 	pidBase int         // offset exported PIDs so kernels sharing a tracer don't collide
 
+	// faults is the fault injector every cross-persona seam in this kernel's
+	// world consults (via Thread.Faults). Nil means injection is off and the
+	// whole per-site cost is this one atomic load.
+	faults atomic.Pointer[fault.Injector]
+
 	mu       sync.Mutex
 	devices  map[string]Device
 	mach     map[string]MachService
@@ -93,6 +99,9 @@ type Config struct {
 	// helpers — diplomat, impersonation, DLR and EGL spans). Nil attaches
 	// obs.Default, which is disabled until something enables it.
 	Tracer *obs.Tracer
+	// Faults installs a fault injector at boot. Nil falls back to
+	// fault.Default(), which is itself nil unless a -faults flag set it.
+	Faults *fault.Injector
 }
 
 // New creates a kernel.
@@ -111,7 +120,7 @@ func New(cfg Config) *Kernel {
 	if tracer == nil {
 		tracer = obs.Default
 	}
-	return &Kernel{
+	k := &Kernel{
 		clock:   cfg.Clock,
 		costs:   cfg.Costs,
 		plat:    cfg.Platform,
@@ -123,6 +132,12 @@ func New(cfg Config) *Kernel {
 		binder:  make(map[string]BinderService),
 		procs:   make(map[int]*Process),
 	}
+	if cfg.Faults != nil {
+		k.faults.Store(cfg.Faults)
+	} else if inj := fault.Default(); inj != nil {
+		k.faults.Store(inj)
+	}
+	return k
 }
 
 // Clock returns the kernel's virtual clock.
@@ -139,6 +154,13 @@ func (k *Kernel) Flavor() vclock.KernelFlavor { return k.flavor }
 
 // Tracer returns the tracer this kernel's spans go to.
 func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
+
+// SetFaultInjector installs (nil uninstalls) the fault injector the kernel's
+// injection points consult. Safe to call on a running kernel.
+func (k *Kernel) SetFaultInjector(inj *fault.Injector) { k.faults.Store(inj) }
+
+// FaultInjector returns the installed injector, nil when injection is off.
+func (k *Kernel) FaultInjector() *fault.Injector { return k.faults.Load() }
 
 // SyscallCount reports the total number of syscalls dispatched; used by the
 // micro-benchmark harness and tests.

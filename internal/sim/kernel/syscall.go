@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"cycada/internal/fault"
 	"cycada/internal/obs"
 	"cycada/internal/sim/mem"
 	"cycada/internal/sim/vclock"
@@ -75,6 +76,13 @@ func (t *Thread) LocateTLS(targetTID int, p Persona, slots []int) (map[int]any, 
 	sp := t.TraceBegin(obs.CatSyscall, "locate_tls")
 	defer t.TraceEnd(sp)
 	k.trap(t)
+	if inj := k.faults.Load(); inj != nil {
+		if err := inj.Fail(fault.PointLocateTLS); err != nil {
+			t.SetErrno(int(EIO))
+			t.traceFault(fault.PointLocateTLS)
+			return nil, fmt.Errorf("locate_tls(tid=%d): %w", targetTID, err)
+		}
+	}
 	target, ok := t.proc.Thread(targetTID)
 	if !ok {
 		return nil, fmt.Errorf("locate_tls(tid=%d): %w", targetTID, ErrNoThread)
@@ -94,6 +102,13 @@ func (t *Thread) PropagateTLS(targetTID int, p Persona, vals map[int]any) error 
 	sp := t.TraceBegin(obs.CatSyscall, "propagate_tls")
 	defer t.TraceEnd(sp)
 	k.trap(t)
+	if inj := k.faults.Load(); inj != nil {
+		if err := inj.Fail(fault.PointPropagateTLS); err != nil {
+			t.SetErrno(int(EIO))
+			t.traceFault(fault.PointPropagateTLS)
+			return fmt.Errorf("propagate_tls(tid=%d): %w", targetTID, err)
+		}
+	}
 	target, ok := t.proc.Thread(targetTID)
 	if !ok {
 		return fmt.Errorf("propagate_tls(tid=%d): %w", targetTID, ErrNoThread)
@@ -148,11 +163,27 @@ func (t *Thread) BinderCall(service string, code uint32, data any) (any, error) 
 	defer t.TraceEnd(sp)
 	k.trap(t)
 	t.ChargeCPU(k.costs.BinderTxn)
+	if inj := k.faults.Load(); inj != nil {
+		if err := inj.Fail(fault.PointBinder); err != nil {
+			t.SetErrno(int(EBUSY))
+			t.traceFault(fault.PointBinder)
+			return nil, fmt.Errorf("binder(%s): %w", service, err)
+		}
+	}
 	s, err := k.binderService(service)
 	if err != nil {
 		return nil, err
 	}
 	return s.Transact(t, code, data)
+}
+
+// traceFault emits a zero-length marker span recording an injected fault.
+// Only called on actual injection, so the guard allocation is off the common
+// path entirely.
+func (t *Thread) traceFault(p fault.Point) {
+	if t.TraceEnabled() {
+		t.TraceEnd(t.TraceBegin(obs.CatFault, "inject:"+p.String()))
+	}
 }
 
 // Mmap allocates simulated memory in the process address space, charging per
@@ -190,4 +221,5 @@ const (
 	ENOMEM Errno = 12
 	EBUSY  Errno = 16
 	ENOENT Errno = 2
+	EIO    Errno = 5
 )

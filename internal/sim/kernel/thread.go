@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cycada/internal/fault"
 	"cycada/internal/sim/vclock"
 )
 
@@ -49,6 +50,11 @@ func (t *Thread) Process() *Process { return t.proc }
 
 // Kernel returns the owning kernel.
 func (t *Thread) Kernel() *Kernel { return t.proc.k }
+
+// Faults returns the kernel's fault injector, nil when injection is off.
+// Injection sites across the stack (linker, EGL, gralloc, diplomat) reach
+// the injector through the thread so the disabled cost stays one atomic load.
+func (t *Thread) Faults() *fault.Injector { return t.proc.k.faults.Load() }
 
 // Persona returns the thread's current execution mode.
 func (t *Thread) Persona() Persona {

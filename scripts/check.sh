@@ -25,6 +25,9 @@ go test ./...
 echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger"
 go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger
 
+echo "== chaos smoke (fault-injection invariants under -race)"
+go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
+
 echo "== replay golden traces"
 go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
