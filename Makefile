@@ -1,7 +1,9 @@
-.PHONY: check test bench bench-smoke trace replay-golden chaos
+.PHONY: check test bench bench-smoke trace replay-golden chaos top
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
-# concurrency-heavy core and replay packages, golden-trace verification.
+# concurrency-heavy core and replay packages, golden-trace verification,
+# the obs overhead gate (fully-disabled observability within 3% of the
+# diplomat hot-path baseline) and the cycadatop snapshot smoke test.
 check:
 	./scripts/check.sh
 
@@ -31,3 +33,9 @@ chaos:
 # Chrome trace_event demo: open trace.json in chrome://tracing or Perfetto.
 trace:
 	go run ./cmd/cycadabench -trace trace.json
+
+# Live-state introspection snapshot: boots the Cycada iOS configuration,
+# drives a short cross-persona workload and prints what the system is doing
+# (sessions, replicas, surface health, frame histograms, flight recorder).
+top:
+	go run ./cmd/cycadatop

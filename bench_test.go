@@ -81,8 +81,12 @@ func diplomatBenchEnv(b *testing.B, hooks *diplomat.Hooks) (*kernel.Thread, *dip
 }
 
 func diplomatBenchEnvOn(b *testing.B, hooks *diplomat.Hooks, tracer *obs.Tracer) (*kernel.Thread, *diplomat.Diplomat) {
+	return diplomatBenchEnvObs(b, hooks, tracer, nil)
+}
+
+func diplomatBenchEnvObs(b *testing.B, hooks *diplomat.Hooks, tracer *obs.Tracer, flight *obs.FlightRecorder) (*kernel.Thread, *diplomat.Diplomat) {
 	b.Helper()
-	sys := system.New(system.Config{Tracer: tracer})
+	sys := system.New(system.Config{Tracer: tracer, Flight: flight})
 	app, err := sys.NewIOSApp(system.AppConfig{Name: "bench"})
 	if err != nil {
 		b.Fatal(err)
@@ -197,6 +201,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) {
 		tr := obs.New() // explicitly off
 		t, d := diplomatBenchEnvOn(b, nil, tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Call(t)
+		}
+	})
+	// Every observability layer off at once — tracer, flight recorder and
+	// the frame-health histograms. This is the fully-disabled path the <3%
+	// overhead gate in scripts/check.sh compares against BenchmarkDiplomatCall
+	// (which itself runs with the default always-on flight recorder, so this
+	// sub-bench has, if anything, less work to do than the baseline).
+	b.Run("flight-hist-disabled", func(b *testing.B) {
+		tr := obs.New()
+		fl := obs.NewFlightRecorder()
+		fl.SetEnabled(false)
+		wasHist := obs.DefaultHistograms.Enabled()
+		obs.DefaultHistograms.SetEnabled(false)
+		defer obs.DefaultHistograms.SetEnabled(wasHist)
+		t, d := diplomatBenchEnvObs(b, nil, tr, fl)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Call(t)
+		}
+	})
+	// The default process state: flight recorder on, tracer and histograms
+	// off. This is what every plain run pays.
+	b.Run("flight-enabled", func(b *testing.B) {
+		tr := obs.New()
+		fl := obs.NewFlightRecorder()
+		t, d := diplomatBenchEnvObs(b, nil, tr, fl)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Call(t)
+		}
+	})
+	// Histograms on as well (the -snapshot / cycadatop state).
+	b.Run("histograms-enabled", func(b *testing.B) {
+		tr := obs.New()
+		fl := obs.NewFlightRecorder()
+		wasHist := obs.DefaultHistograms.Enabled()
+		obs.DefaultHistograms.SetEnabled(true)
+		defer obs.DefaultHistograms.SetEnabled(wasHist)
+		t, d := diplomatBenchEnvObs(b, nil, tr, fl)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			d.Call(t)

@@ -25,13 +25,27 @@ import (
 
 	"cycada"
 	"cycada/internal/fault"
+	"cycada/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(append(cycada.Experiments(), "all"), "|"))
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file to this path")
 	faults := flag.String("faults", "", "fault schedule for every booted kernel, e.g. seed=7,rate=0.01,points=egl_present")
+	snapshot := flag.String("snapshot", "", "write a live-state introspection snapshot after the run: a path, '-' for stdout (.json for JSON)")
 	flag.Parse()
+
+	if *snapshot != "" {
+		// Sources register at boot, so enable before any experiment runs; the
+		// histograms feed the snapshot's frame-health section.
+		obs.SetSnapshotSourcesEnabled(true)
+		obs.DefaultHistograms.SetEnabled(true)
+		defer func() {
+			if err := writeSnapshot(*snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "cycadabench:", err)
+			}
+		}()
+	}
 
 	if *faults != "" {
 		sched, err := fault.ParseSpec(*faults)
@@ -81,4 +95,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+}
+
+// writeSnapshot renders obs.Snapshot() to the -snapshot destination: "-" is
+// stdout, a path ending in .json gets JSON, anything else the text report.
+func writeSnapshot(dest string) error {
+	snap := obs.Snapshot()
+	if dest == "-" {
+		fmt.Print(snap.Text())
+		return nil
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(dest, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		_, err = f.WriteString(snap.Text())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -26,6 +26,7 @@ import (
 
 	"cycada/internal/fault"
 	"cycada/internal/harness"
+	"cycada/internal/obs"
 	"cycada/internal/replay"
 )
 
@@ -99,9 +100,15 @@ func cmdReplay(args []string) error {
 	in := fs.String("i", "", "input trace file (required)")
 	n := fs.Int("n", 1, "number of replays")
 	faults := fs.String("faults", "", "fault schedule, e.g. seed=7,rate=0.05,points=binder+egl_present (chaos mode)")
+	snapshot := fs.Bool("snapshot", false, "print a live-state introspection snapshot after the run")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -i is required")
+	}
+	if *snapshot {
+		obs.SetSnapshotSourcesEnabled(true)
+		obs.DefaultHistograms.SetEnabled(true)
+		defer func() { fmt.Print(obs.Snapshot().Text()) }()
 	}
 	tr, err := replay.ReadFile(*in)
 	if err != nil {
@@ -123,6 +130,14 @@ func cmdReplay(args []string) error {
 			fmt.Println(res)
 			if err := res.Check(); err != nil {
 				fmt.Println(" ", err)
+				// The failure report carries the flight recorder's recent
+				// event tail and the live-state snapshot taken at violation.
+				if res.Flight != nil {
+					fmt.Print(res.Flight.String())
+				}
+				if res.Snapshot != nil {
+					fmt.Print(res.Snapshot.Text())
+				}
 				failed++
 			}
 		}

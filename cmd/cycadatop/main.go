@@ -1,0 +1,59 @@
+// Command cycadatop boots the Cycada iOS configuration, drives a short
+// cross-persona graphics workload (the same scenario `cycadabench -trace`
+// records: diplomat calls, a DLR replica load, a thread impersonation, an
+// EGL present), and prints a live-state introspection snapshot — the
+// "what is the system doing right now" view: active impersonation sessions
+// and gate depth, DLR replicas and degraded connections, per-surface present
+// health, frame-latency histograms, flight-recorder and fault-injection
+// status.
+//
+// Usage:
+//
+//	cycadatop [-json] [-faults seed=7,rate=0.05,points=egl_present]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cycada/internal/fault"
+	"cycada/internal/harness"
+	"cycada/internal/obs"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the snapshot as JSON instead of text")
+	faults := flag.String("faults", "", "fault schedule for the booted kernel, e.g. seed=7,rate=0.05,points=egl_present")
+	flag.Parse()
+
+	if *faults != "" {
+		sched, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycadatop:", err)
+			os.Exit(1)
+		}
+		fault.SetDefault(fault.NewInjector(sched))
+	}
+
+	// Sources register at boot and the histograms record only while enabled,
+	// so both switches flip before the workload runs.
+	obs.SetSnapshotSourcesEnabled(true)
+	obs.DefaultHistograms.SetEnabled(true)
+
+	if err := harness.TraceScenario(); err != nil {
+		// Under an aggressive -faults schedule the scenario may degrade; the
+		// snapshot of the degraded system is exactly what cycadatop is for.
+		fmt.Fprintln(os.Stderr, "cycadatop: workload degraded:", err)
+	}
+
+	snap := obs.Snapshot()
+	if *jsonOut {
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cycadatop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(snap.Text())
+}

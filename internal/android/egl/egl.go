@@ -26,6 +26,7 @@ import (
 	"cycada/internal/fault"
 	"cycada/internal/gles/engine"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
@@ -106,6 +107,12 @@ func VendorBlueprint() *linker.Blueprint {
 type Surface struct {
 	W, H int
 
+	// Per-surface present accounting (frame-health telemetry): retries of
+	// transient present faults and presents dropped after exhausting the
+	// retry budget, attributable to this surface.
+	retried atomic.Uint64
+	dropped atomic.Uint64
+
 	mu        sync.Mutex
 	front     *gralloc.Buffer
 	back      *gralloc.Buffer
@@ -114,6 +121,12 @@ type Surface struct {
 	boundCtx  *engine.Context
 	destroyed bool
 }
+
+// PresentRetries reports transient present failures retried on this surface.
+func (s *Surface) PresentRetries() uint64 { return s.retried.Load() }
+
+// PresentsDropped reports presents of this surface abandoned after retries.
+func (s *Surface) PresentsDropped() uint64 { return s.dropped.Load() }
 
 // Target returns the raster target of the surface's back buffer.
 func (s *Surface) Target() *gpu.Target {
@@ -160,11 +173,45 @@ type Lib struct {
 
 	mu          sync.Mutex
 	initialized bool
+	surfaces    map[*Surface]bool // live surfaces, for introspection snapshots
 
 	// Degradation and recovery counters (fault model, DESIGN.md §9).
 	presentRetries  atomic.Uint64 // transient present failures that were retried
 	presentsDropped atomic.Uint64 // presents abandoned after exhausting retries
 	degradedMC      atomic.Uint64 // ReInitializeMC calls that fell back to shared
+
+	// frameDeadline, when non-zero, is the present-latency budget in virtual
+	// nanoseconds: a SwapBuffers exceeding it records a deadline-miss marker
+	// and dumps the flight recorder (DESIGN.md §10). Zero disables the check.
+	frameDeadline atomic.Int64
+}
+
+// presentHist is the eglSwapBuffers latency distribution (frame-health
+// telemetry); gated by the default histogram registry.
+var presentHist = obs.DefaultHistograms.Histogram("egl-present")
+
+// SetFrameDeadline sets (or, with 0, clears) the present-latency budget.
+func (l *Lib) SetFrameDeadline(d vclock.Duration) { l.frameDeadline.Store(int64(d)) }
+
+// Surfaces returns a snapshot of the live surfaces (introspection).
+func (l *Lib) Surfaces() []*Surface {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Surface, 0, len(l.surfaces))
+	for s := range l.surfaces {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (l *Lib) trackSurface(s *Surface) *Surface {
+	l.mu.Lock()
+	if l.surfaces == nil {
+		l.surfaces = make(map[*Surface]bool)
+	}
+	l.surfaces[s] = true
+	l.mu.Unlock()
+	return s
 }
 
 // Config parameterizes the open-source library build.
@@ -238,7 +285,7 @@ func (l *Lib) CreateWindowSurface(t *kernel.Thread, x, y, w, h int) (*Surface, e
 		err = fmt.Errorf("egl window surface: %w", err)
 		return nil, errors.Join(err, l.galloc.Free(t, front), l.galloc.Free(t, back))
 	}
-	return &Surface{W: w, H: h, front: front, back: back, layer: layer, target: gpu.NewTarget(back.Img)}, nil
+	return l.trackSurface(&Surface{W: w, H: h, front: front, back: back, layer: layer, target: gpu.NewTarget(back.Img)}), nil
 }
 
 // CreatePbufferSurface implements eglCreatePbufferSurface.
@@ -255,7 +302,7 @@ func (l *Lib) CreatePbufferSurface(t *kernel.Thread, w, h int) (*Surface, error)
 	if err != nil {
 		return nil, fmt.Errorf("egl pbuffer: %w", err)
 	}
-	return &Surface{W: w, H: h, front: buf, back: buf, target: gpu.NewTarget(buf.Img)}, nil
+	return l.trackSurface(&Surface{W: w, H: h, front: buf, back: buf, target: gpu.NewTarget(buf.Img)}), nil
 }
 
 // DestroySurface implements eglDestroySurface. Teardown is best-effort: a
@@ -270,6 +317,9 @@ func (l *Lib) DestroySurface(t *kernel.Thread, s *Surface) error {
 	s.destroyed = true
 	front, back, layer := s.front, s.back, s.layer
 	s.mu.Unlock()
+	l.mu.Lock()
+	delete(l.surfaces, s)
+	l.mu.Unlock()
 	var layerErr error
 	if layer != 0 {
 		layerErr = l.flinger.DestroyLayer(t, layer)
@@ -332,6 +382,7 @@ func (l *Lib) SwapBuffers(t *kernel.Thread, s *Surface) error {
 	if s == nil {
 		return fmt.Errorf("egl: swap of nil surface")
 	}
+	start := t.VTime()
 	s.mu.Lock()
 	if s.destroyed {
 		s.mu.Unlock()
@@ -351,10 +402,24 @@ func (l *Lib) SwapBuffers(t *kernel.Thread, s *Surface) error {
 		ctx.SetDefaultTarget(tgt)
 	}
 	t.ChargeGPU(vclock.Duration(w*h) * t.Costs().PerPixelPresent)
+	var err error
 	if layer != 0 {
-		return l.post(t, layer, front)
+		err = l.post(t, s, layer, front)
 	}
-	return nil
+	l.observePresent(t, t.VTime()-start)
+	return err
+}
+
+// observePresent feeds the frame-health layer after a present: the latency
+// histogram, the flight-recorder span, and — when a deadline is configured
+// and missed — the deadline-miss marker plus an automatic flight dump.
+func (l *Lib) observePresent(t *kernel.Thread, dur vclock.Duration) {
+	presentHist.Observe(t.TID(), dur)
+	t.FlightRecord(obs.FlightSpan, obs.CatEGL, "egl:present", int64(dur))
+	if dl := l.frameDeadline.Load(); dl > 0 && int64(dur) > dl {
+		t.FlightRecord(obs.FlightMark, obs.CatEGL, "frame_deadline_miss", int64(dur))
+		t.FlightDump("frame_deadline_miss")
+	}
 }
 
 // presentAttempts bounds the retry loop in post: one initial attempt plus
@@ -366,7 +431,7 @@ const presentAttempts = 4
 // where dropping work is acceptable — the next frame repaints the screen —
 // so after exhausting retries it counts the dropped frame and reports the
 // final error rather than escalating.
-func (l *Lib) post(t *kernel.Thread, layer int, front *gralloc.Buffer) error {
+func (l *Lib) post(t *kernel.Thread, s *Surface, layer int, front *gralloc.Buffer) error {
 	backoff := t.Costs().BinderTxn
 	var err error
 	for attempt := 0; attempt < presentAttempts; attempt++ {
@@ -378,13 +443,16 @@ func (l *Lib) post(t *kernel.Thread, layer int, front *gralloc.Buffer) error {
 		if !fault.Injected(err) {
 			return err
 		}
+		t.FlightRecord(obs.FlightFault, obs.CatEGL, "egl:present_fault", int64(attempt))
 		if attempt < presentAttempts-1 {
 			l.presentRetries.Add(1)
+			s.retried.Add(1)
 			t.ChargeCPU(backoff)
 			backoff *= 2
 		}
 	}
 	l.presentsDropped.Add(1)
+	s.dropped.Add(1)
 	return fmt.Errorf("egl: present dropped after %d attempts: %w", presentAttempts, err)
 }
 

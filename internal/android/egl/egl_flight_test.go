@@ -1,0 +1,137 @@
+// Frame-health integration: a present blowing its deadline must dump the
+// flight recorder with the miss marker; retried and dropped presents must be
+// attributed to the surface that suffered them, not just the lib totals.
+package egl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+	"cycada/internal/fault"
+	"cycada/internal/obs"
+	"cycada/internal/sim/vclock"
+)
+
+func TestFrameDeadlineMissDumpsFlightRecorder(t *testing.T) {
+	fl := obs.NewFlightRecorder()
+	var buf bytes.Buffer
+	fl.SetOutput(&buf)
+	// A real platform, so the present charges nonzero virtual time.
+	sys := stack.New(stack.Config{Platform: vclock.Nexus7(), Flight: fl})
+	us, err := sys.NewUserspace(stack.UserConfig{Name: "deadline-test", EGL: egl.Config{}})
+	if err != nil {
+		t.Fatalf("NewUserspace: %v", err)
+	}
+	main := us.Proc.Main()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+
+	// A generous deadline: the present completes well inside it, no dump.
+	us.EGL.SetFrameDeadline(vclock.Duration(1e12))
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers: %v", err)
+	}
+	if fl.Dumps() != 0 {
+		t.Fatalf("dumps with a generous deadline = %d, want 0", fl.Dumps())
+	}
+
+	// 1ns: every present misses.
+	us.EGL.SetFrameDeadline(1)
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers: %v", err)
+	}
+	if fl.Dumps() != 1 {
+		t.Fatalf("dumps after the missed deadline = %d, want 1", fl.Dumps())
+	}
+	d := fl.Dump("inspect")
+	if !d.Contains("frame_deadline_miss") {
+		t.Fatalf("dump missing the deadline-miss marker:\n%s", d)
+	}
+	if !d.Contains("egl:present") {
+		t.Fatalf("dump missing the present span tail:\n%s", d)
+	}
+
+	// Deadline cleared: presents stop dumping.
+	us.EGL.SetFrameDeadline(0)
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers: %v", err)
+	}
+	if fl.Dumps() != 1 {
+		t.Fatalf("dumps after clearing the deadline = %d, want 1", fl.Dumps())
+	}
+}
+
+func TestPerSurfacePresentAccounting(t *testing.T) {
+	_, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent}, Times: 2,
+	})
+	main := us.Proc.Main()
+
+	victim, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	clean, err := us.EGL.CreateWindowSurface(main, 0, 10, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+
+	// Two transient faults hit the first surface's present; the second
+	// surface presents after the schedule is exhausted.
+	if err := us.EGL.SwapBuffers(main, victim); err != nil {
+		t.Fatalf("SwapBuffers(victim): %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, clean); err != nil {
+		t.Fatalf("SwapBuffers(clean): %v", err)
+	}
+
+	if got := victim.PresentRetries(); got != 2 {
+		t.Fatalf("victim.PresentRetries = %d, want 2", got)
+	}
+	if got := clean.PresentRetries(); got != 0 {
+		t.Fatalf("clean.PresentRetries = %d, want 0", got)
+	}
+	if victim.PresentsDropped() != 0 || clean.PresentsDropped() != 0 {
+		t.Fatal("transient faults must not drop frames")
+	}
+	// The lib totals agree with the per-surface attribution.
+	if got := us.EGL.PresentRetries(); got != 2 {
+		t.Fatalf("lib PresentRetries = %d, want 2", got)
+	}
+
+	// The live-surface registry tracks creation and destruction.
+	if got := len(us.EGL.Surfaces()); got != 2 {
+		t.Fatalf("live surfaces = %d, want 2", got)
+	}
+	if err := us.EGL.DestroySurface(main, clean); err != nil {
+		t.Fatalf("DestroySurface: %v", err)
+	}
+	surfs := us.EGL.Surfaces()
+	if len(surfs) != 1 || surfs[0] != victim {
+		t.Fatalf("live surfaces after destroy = %v, want just the victim", surfs)
+	}
+}
+
+func TestPerSurfaceDropAccounting(t *testing.T) {
+	_, us, _ := bootFaulty(t, false, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent},
+	})
+	main := us.Proc.Main()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); !fault.Injected(err) {
+		t.Fatalf("SwapBuffers = %v, want injected fault after retry exhaustion", err)
+	}
+	if got := s.PresentsDropped(); got != 1 {
+		t.Fatalf("surface PresentsDropped = %d, want 1", got)
+	}
+	if s.PresentRetries() == 0 {
+		t.Fatal("retry budget was not consumed before the drop")
+	}
+}

@@ -9,9 +9,14 @@ import (
 	"sync"
 
 	"cycada/internal/android/gralloc"
+	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 )
+
+// composeHist is the per-buffer composition latency distribution (frame-health
+// telemetry); gated by the default histogram registry.
+var composeHist = obs.DefaultHistograms.Histogram("sf-compose")
 
 // ServiceName is the Binder name SurfaceFlinger registers under.
 const ServiceName = "SurfaceFlinger"
@@ -121,6 +126,8 @@ func (f *Flinger) post(t *kernel.Thread, req PostRequest) error {
 	if req.Buffer == nil || req.Buffer.Img == nil {
 		return fmt.Errorf("sflinger: post of nil buffer")
 	}
+	start := t.VTime()
+	defer func() { composeHist.Observe(t.TID(), t.VTime()-start) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l, ok := f.layers[req.Layer]

@@ -44,7 +44,8 @@ type Config struct {
 	Clock    *vclock.Clock
 	ScreenW  int
 	ScreenH  int
-	Tracer   *obs.Tracer // nil = obs.Default
+	Tracer   *obs.Tracer         // nil = obs.Default
+	Flight   *obs.FlightRecorder // nil = obs.DefaultFlight
 }
 
 // New boots an Android system: kernel, gralloc driver, SurfaceFlinger.
@@ -52,7 +53,7 @@ func New(cfg Config) *System {
 	if cfg.ScreenW == 0 {
 		cfg.ScreenW, cfg.ScreenH = ScreenW, ScreenH
 	}
-	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer})
+	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer, Flight: cfg.Flight})
 	g := gralloc.NewDevice()
 	k.RegisterDevice(gralloc.DevicePath, g)
 	f := sflinger.New(cfg.ScreenW, cfg.ScreenH)

@@ -107,6 +107,14 @@ type Diplomat struct {
 	// diplomat is Unimplemented.
 	met      *obs.Metric
 	spanName string // "diplomat:<name>", precomputed for the call span
+	// hist is the shared diplomat-call latency histogram (frame-health
+	// telemetry): where met records count+total per function, hist records
+	// the tail distribution across all diplomat calls. Gated by its registry,
+	// so the disabled cost per call is one atomic load.
+	hist *obs.Histogram
+	// panicName is "diplomat_panic:<name>", precomputed so the panic
+	// isolation path records its flight-recorder marker without allocating.
+	panicName string
 
 	// fid is the interned ID of the domestic entry point (Name, or Target
 	// when set). It implements step 1's "locates the required entry point …
@@ -157,17 +165,19 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 		return nil, fmt.Errorf("diplomat %s: missing domestic library", name)
 	}
 	d := &Diplomat{
-		Name:     name,
-		Kind:     kind,
-		foreign:  cfg.Foreign,
-		domestic: cfg.Domestic,
-		link:     cfg.Linker,
-		lib:      cfg.Library,
-		libFor:   cfg.LibraryFor,
-		hooks:    cfg.Hooks,
-		wrapper:  wrapper,
-		poison:   cfg.Poison,
-		spanName: "diplomat:" + name,
+		Name:      name,
+		Kind:      kind,
+		foreign:   cfg.Foreign,
+		domestic:  cfg.Domestic,
+		link:      cfg.Linker,
+		lib:       cfg.Library,
+		libFor:    cfg.LibraryFor,
+		hooks:     cfg.Hooks,
+		wrapper:   wrapper,
+		poison:    cfg.Poison,
+		spanName:  "diplomat:" + name,
+		panicName: "diplomat_panic:" + name,
+		hist:      obs.DefaultHistograms.Histogram("diplomat-call"),
 	}
 	// Unimplemented diplomats never execute, so they get no metric: the
 	// paper's figures must not show functions that are never called.
@@ -247,9 +257,7 @@ func (d *Diplomat) Call(t *kernel.Thread, args ...any) (ret any) {
 
 	// Step 11: return value restored from the stack, control returns.
 	t.ChargeCPU(t.Costs().RetSaveRestore / 2)
-	if d.met != nil {
-		d.met.Record(t.TID(), t.VTime()-start)
-	}
+	d.finish(t, start)
 	t.TraceEnd(sp)
 	return ret
 }
@@ -290,11 +298,21 @@ func (d *Diplomat) CallFrame(t *kernel.Thread, fr *callconv.Frame) (ret any) {
 
 	// Step 11: return value restored from the stack, control returns.
 	t.ChargeCPU(t.Costs().RetSaveRestore / 2)
-	if d.met != nil {
-		d.met.Record(t.TID(), t.VTime()-start)
-	}
+	d.finish(t, start)
 	t.TraceEnd(sp)
 	return ret
+}
+
+// finish closes the per-call accounting: the profile metric (count+total),
+// the shared latency histogram (tails), and a flight-recorder span event.
+// Every component is individually gated at one atomic load when off.
+func (d *Diplomat) finish(t *kernel.Thread, start vclock.Duration) {
+	dur := t.VTime() - start
+	if d.met != nil {
+		d.met.Record(t.TID(), dur)
+	}
+	d.hist.Observe(t.TID(), dur)
+	t.FlightRecord(obs.FlightSpan, obs.CatDiplomat, d.spanName, int64(dur))
 }
 
 // recovered is the panic-isolation path shared by Call and CallFrame. The
@@ -316,13 +334,16 @@ func (d *Diplomat) recovered(t *kernel.Thread, r any, sp obs.Span, start vclock.
 	if d.poison != nil {
 		safely(func() { d.poison(t) })
 	}
-	if d.met != nil {
-		d.met.Record(t.TID(), t.VTime()-start)
-	}
+	d.finish(t, start)
 	if t.TraceEnabled() {
-		t.TraceEnd(t.TraceBegin(obs.CatFault, "diplomat_panic:"+d.Name))
+		t.TraceEnd(t.TraceBegin(obs.CatFault, d.panicName))
 	}
 	t.TraceEnd(sp)
+	// The black box: mark the isolated panic in the flight recorder and dump
+	// it, so the report carries the recent event tail (the calls that led
+	// here) along with the trigger itself.
+	t.FlightRecord(obs.FlightMark, obs.CatFault, d.panicName, 0)
+	t.FlightDump(d.panicName)
 	return &PanicError{Diplomat: d.Name, Reason: r}
 }
 

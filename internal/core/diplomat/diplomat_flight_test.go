@@ -1,0 +1,82 @@
+// Flight-recorder integration: an isolated diplomat panic must dump the
+// black box, and the dump must contain both the triggering panic marker and
+// the span tail of the calls that led there.
+package diplomat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cycada/internal/linker"
+	"cycada/internal/obs"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func TestPanicDumpsFlightRecorder(t *testing.T) {
+	fl := obs.NewFlightRecorder()
+	var buf bytes.Buffer
+	fl.SetOutput(&buf)
+
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada, Flight: fl})
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := linker.New(p)
+	l.MustRegister(&linker.Blueprint{
+		Name: "libcrash.so",
+		New:  func(ctx *linker.LoadContext) (linker.Instance, error) { return crashLib{}, nil },
+	})
+	h, err := l.Dlopen(p.Main(), "libcrash.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Foreign:  kernel.PersonaIOS,
+		Domestic: kernel.PersonaAndroid,
+		Linker:   l,
+		Library:  h,
+	}
+	fine, err := New(cfg, "glFine", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom, err := New(cfg, "glBoom", Direct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	th := p.Main()
+	// Successful calls first, so the dump carries the event tail that led to
+	// the panic, not just the trigger.
+	for i := 0; i < 3; i++ {
+		if ret := fine.Call(th); ret != "ok" {
+			t.Fatalf("glFine = %v", ret)
+		}
+	}
+	if fl.Dumps() != 0 {
+		t.Fatalf("dumps before the panic = %d", fl.Dumps())
+	}
+
+	if _, ok := boom.Call(th).(error); !ok {
+		t.Fatal("glBoom did not surface a PanicError")
+	}
+	if fl.Dumps() != 1 {
+		t.Fatalf("dumps after the isolated panic = %d, want 1", fl.Dumps())
+	}
+	d := fl.Dump("inspect")
+	if !d.Contains("diplomat_panic:glBoom") {
+		t.Fatalf("dump missing the triggering panic marker:\n%s", d)
+	}
+	if !d.Contains("diplomat:glFine") {
+		t.Fatalf("dump missing the preceding call spans:\n%s", d)
+	}
+	// The automatic dump rendered to the configured output, not stderr.
+	out := buf.String()
+	if !strings.Contains(out, "flight recorder dump: diplomat_panic:glBoom") ||
+		!strings.Contains(out, "diplomat:glFine") {
+		t.Fatalf("auto-dump rendering incomplete:\n%s", out)
+	}
+}

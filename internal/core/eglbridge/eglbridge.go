@@ -77,6 +77,29 @@ type surfBinding struct {
 	tex uint32
 }
 
+// Frame-health histograms for the two bridge hot paths: making a foreign
+// context current (replica switch + impersonation) and the §5 blit present.
+var (
+	makeCurrentHist = obs.DefaultHistograms.Histogram("eglbridge-make-current")
+	blitHist        = obs.DefaultHistograms.Histogram("eglbridge-blit")
+)
+
+// ContextCount reports how many threads currently have a backend context
+// current (introspection snapshots).
+func (l *Lib) ContextCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.current)
+}
+
+// SessionCount reports how many impersonation sessions the bridge holds open
+// on behalf of rendering threads (introspection snapshots).
+func (l *Lib) SessionCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sessions)
+}
+
 // Deps injects the pieces the bridge needs; the system assembler fills it
 // before loading the blueprint.
 type Deps struct {
@@ -212,6 +235,8 @@ func (l *Lib) setTLS(t *kernel.Thread, b *bctx) error {
 func (l *Lib) makeCurrent(t *kernel.Thread, b *bctx) error {
 	sp := t.TraceBegin(obs.CatEGL, "egl:make_current")
 	defer t.TraceEnd(sp)
+	start := t.VTime()
+	defer func() { makeCurrentHist.Observe(t.TID(), t.VTime()-start) }()
 	if b == nil {
 		l.mu.Lock()
 		prev := l.current[t.TID()]
@@ -302,6 +327,8 @@ func (l *Lib) storageFromDrawable(t *kernel.Thread, b *bctx, d eagl.Drawable) er
 func (l *Lib) drawFBOTex(t *kernel.Thread, b *bctx) error {
 	sp := t.TraceBegin(obs.CatEGL, "egl:blit_shader")
 	defer t.TraceEnd(sp)
+	start := t.VTime()
+	defer func() { blitHist.Observe(t.TID(), t.VTime()-start) }()
 	b.mu.Lock()
 	win := b.winSurf
 	tex := b.presentTex

@@ -23,6 +23,7 @@ import (
 	"cycada/internal/android/libc"
 	"cycada/internal/obs"
 	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
 )
 
 // Manager tracks graphics TLS slots and performs impersonation sessions.
@@ -176,9 +177,15 @@ type Session struct {
 	target       *kernel.Thread
 	savedAndroid map[int]any
 	savedIOS     map[int]any
-	span         obs.Span // whole-session span, closed by End
+	span         obs.Span        // whole-session span, closed by End
+	start        vclock.Duration // runner virtual time at session start
 	ended        bool
 }
+
+// sessionHist is the session-length distribution (frame-health telemetry):
+// Impersonate->End virtual time, observed on End. Gated by the default
+// histogram registry.
+var sessionHist = obs.DefaultHistograms.Histogram("impersonation-session")
 
 // Impersonate starts an impersonation of target by runner, performing steps
 // (3) of §7.1: save the runner's graphics TLS in both personas and replace
@@ -189,12 +196,15 @@ func (m *Manager) Impersonate(runner, target *kernel.Thread) (*Session, error) {
 		return nil, fmt.Errorf("impersonate: thread cannot impersonate itself")
 	}
 	sessSp := runner.TraceBegin(obs.CatImpersonation, "impersonation")
+	start := runner.VTime()
 	s, err := m.impersonate(runner, target)
 	if err != nil {
 		runner.TraceEnd(sessSp)
 		return nil, err
 	}
 	s.span = sessSp
+	s.start = start
+	runner.FlightRecord(obs.FlightMark, obs.CatImpersonation, "impersonate_begin", int64(target.TID()))
 	return s, nil
 }
 
@@ -238,6 +248,7 @@ func (m *Manager) impersonate(runner, target *kernel.Thread) (*Session, error) {
 	if err := m.propagate(runner, runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, targetI)); err != nil {
 		rb := m.propagateRetry(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, savedA))
 		runner.TraceEnd(sp)
+		dumpRollback(runner, rb)
 		return nil, errors.Join(err, rollbackErr(rb))
 	}
 	err = runner.BeginImpersonation(target)
@@ -245,6 +256,7 @@ func (m *Manager) impersonate(runner, target *kernel.Thread) (*Session, error) {
 	if err != nil {
 		rbA := m.propagateRetry(runner, runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, savedA))
 		rbI := m.propagateRetry(runner, runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, savedI))
+		dumpRollback(runner, errors.Join(rbA, rbI))
 		return nil, errors.Join(err, rollbackErr(rbA), rollbackErr(rbI))
 	}
 	m.active.Add(1)
@@ -275,6 +287,19 @@ func rollbackErr(err error) error {
 		return nil
 	}
 	return fmt.Errorf("impersonate: TLS rollback failed, runner left with migrated TLS: %w", err)
+}
+
+// dumpRollback records the rollback in the flight recorder and dumps it: a
+// fired rollback — even one that succeeded — means a TLS migration failed
+// mid-transaction, and the dump preserves the event tail that led there.
+// The marker's code distinguishes clean rollbacks (0) from failed ones (1).
+func dumpRollback(t *kernel.Thread, rbErr error) {
+	code := int64(0)
+	if rbErr != nil {
+		code = 1
+	}
+	t.FlightRecord(obs.FlightMark, obs.CatImpersonation, "impersonation_rollback", code)
+	t.FlightDump("impersonation_rollback")
 }
 
 // End finishes the session, performing steps (4) and (5) of §7.1: updates
@@ -317,14 +342,24 @@ func (s *Session) End() error {
 	// a transient fault here would otherwise strand the runner with the
 	// target's graphics TLS after the session is gone.
 	sp = s.runner.TraceBegin(obs.CatImpersonation, "tls_restore")
+	var restoreErr error
 	if err := s.m.propagateRetry(s.runner, s.runner.TID(), kernel.PersonaAndroid, withDeletions(aKeys, s.savedAndroid)); err != nil {
+		restoreErr = errors.Join(restoreErr, err)
 		errs = append(errs, fmt.Errorf("impersonate: restoring android TLS: %w", err))
 	}
 	if err := s.m.propagateRetry(s.runner, s.runner.TID(), kernel.PersonaIOS, withDeletions(iKeys, s.savedIOS)); err != nil {
+		restoreErr = errors.Join(restoreErr, err)
 		errs = append(errs, fmt.Errorf("impersonate: restoring ios TLS: %w", err))
 	}
 	s.runner.TraceEnd(sp)
 	s.runner.TraceEnd(s.span)
+	sessionHist.Observe(s.runner.TID(), s.runner.VTime()-s.start)
+	s.runner.FlightRecord(obs.FlightMark, obs.CatImpersonation, "impersonate_end", int64(s.target.TID()))
+	if restoreErr != nil {
+		// A failed restore is the End-side rollback firing and losing: the
+		// runner keeps the target's TLS. Preserve the black box.
+		dumpRollback(s.runner, restoreErr)
+	}
 	return errors.Join(errs...)
 }
 

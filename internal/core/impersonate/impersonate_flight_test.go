@@ -1,0 +1,63 @@
+// Flight-recorder integration: a fired TLS rollback — a migration failed
+// mid-transaction — must dump the black box with the rollback marker in it.
+package impersonate
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cycada/internal/android/libc"
+	"cycada/internal/obs"
+	"cycada/internal/sim/kernel"
+	"cycada/internal/sim/vclock"
+)
+
+func TestRollbackDumpsFlightRecorder(t *testing.T) {
+	fl := obs.NewFlightRecorder()
+	var buf bytes.Buffer
+	fl.SetOutput(&buf)
+
+	k := kernel.New(kernel.Config{Platform: vclock.Nexus7(), Flavor: vclock.KernelCycada, Flight: fl})
+	p, err := k.NewProcess("app", kernel.PersonaIOS, kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bionic := libc.New(kernel.PersonaAndroid)
+	libSystem := libc.New(kernel.PersonaIOS)
+	m := New(bionic, libSystem)
+	defer m.Close()
+
+	var aKey int
+	m.Gated(func() { aKey = bionic.CreateKey("gles-ctx") })
+	m.RegisterIOSGraphicsKey(40)
+
+	target := p.Main()
+	runner := p.NewThread("runner")
+	target.TLSSet(kernel.PersonaAndroid, aKey, "target-gl")
+	target.TLSSet(kernel.PersonaIOS, 40, "target-eagl")
+	runner.TLSSet(kernel.PersonaAndroid, aKey, "runner-gl")
+
+	real := m.propagate
+	m.propagate = func(th *kernel.Thread, tid int, pe kernel.Persona, vals map[int]any) error {
+		if tid == runner.TID() && pe == kernel.PersonaIOS {
+			return fmt.Errorf("injected ios migration fault")
+		}
+		return real(th, tid, pe, vals)
+	}
+	if _, err := m.Impersonate(runner, target); err == nil {
+		t.Fatal("Impersonate succeeded despite the injected migration fault")
+	}
+
+	if fl.Dumps() != 1 {
+		t.Fatalf("dumps after the rollback = %d, want 1", fl.Dumps())
+	}
+	d := fl.Dump("inspect")
+	if !d.Contains("impersonation_rollback") {
+		t.Fatalf("dump missing the rollback marker:\n%s", d)
+	}
+	if !strings.Contains(buf.String(), "flight recorder dump: impersonation_rollback") {
+		t.Fatalf("auto-dump did not render to the configured output:\n%s", buf.String())
+	}
+}

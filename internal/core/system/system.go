@@ -11,6 +11,7 @@ package system
 
 import (
 	"fmt"
+	"strings"
 
 	"cycada/internal/android/egl"
 	agles "cycada/internal/android/gles"
@@ -47,7 +48,8 @@ type Config struct {
 	Clock   *vclock.Clock
 	ScreenW int
 	ScreenH int
-	Tracer  *obs.Tracer // nil = obs.Default
+	Tracer  *obs.Tracer         // nil = obs.Default
+	Flight  *obs.FlightRecorder // nil = obs.DefaultFlight
 }
 
 // New boots a Cycada system.
@@ -59,6 +61,7 @@ func New(cfg Config) *Cycada {
 		ScreenW:  cfg.ScreenW,
 		ScreenH:  cfg.ScreenH,
 		Tracer:   cfg.Tracer,
+		Flight:   cfg.Flight,
 	})
 	mod := coresurface.New()
 	sys.Kernel.RegisterMachService(iokit.CoreSurfaceService, mod)
@@ -90,6 +93,18 @@ type IOSApp struct {
 	Backend      *eglbridge.Backend
 	Profiler     *profile.Profiler
 	Impersonator *impersonate.Manager
+
+	snapUnregs []func()
+}
+
+// ReleaseSnapshotSources unregisters the introspection sources NewIOSApp
+// registered for this app. Tools that boot several systems in one process
+// (or tests) call it so obs.Snapshot never polls torn-down state.
+func (a *IOSApp) ReleaseSnapshotSources() {
+	for _, unreg := range a.snapUnregs {
+		unreg()
+	}
+	a.snapUnregs = nil
 }
 
 // Main returns the app's main thread.
@@ -217,7 +232,7 @@ func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
 	eaglLib := eagl.New(backend, libSystem)
 	imp.RegisterIOSGraphicsKey(eaglLib.CurrentContextKey())
 
-	return &IOSApp{
+	app := &IOSApp{
 		Proc:         us.Proc,
 		Linker:       us.Linker,
 		LibSystem:    libSystem,
@@ -229,5 +244,69 @@ func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
 		Backend:      backend,
 		Profiler:     prof,
 		Impersonator: imp,
-	}, nil
+	}
+	app.registerSnapshotSources(cfg.Name, c, ebH.Instance().(*eglbridge.Lib))
+	return app, nil
+}
+
+// registerSnapshotSources wires the app's live state into obs.Snapshot: the
+// impersonation manager, the EGL stack with its per-surface present health,
+// the DLR replica namespaces, the bridge's thread bindings, and the kernel's
+// fault-injection status. Registration is a no-op unless snapshot sources
+// were enabled (obs.SetSnapshotSourcesEnabled) before boot.
+func (a *IOSApp) registerSnapshotSources(name string, c *Cycada, bridgeLib *eglbridge.Lib) {
+	imp, eglLib, link := a.Impersonator, a.Android.EGL, a.Linker
+	k := c.Android.Kernel
+	a.snapUnregs = append(a.snapUnregs,
+		obs.RegisterSnapshotSource("impersonation/"+name, func() obs.Section {
+			var sec obs.Section
+			sec.Addf("active-sessions", "%d", imp.ActiveSessions())
+			sec.Addf("gate-depth", "%d", imp.GateDepth())
+			return sec
+		}),
+		obs.RegisterSnapshotSource("egl/"+name, func() obs.Section {
+			var sec obs.Section
+			sec.Addf("degraded-replicas", "%d", eglLib.DegradedReplicas())
+			sec.Addf("present-retries", "%d", eglLib.PresentRetries())
+			sec.Addf("presents-dropped", "%d", eglLib.PresentsDropped())
+			surfaces := eglLib.Surfaces()
+			sec.Addf("live-surfaces", "%d", len(surfaces))
+			for i, s := range surfaces {
+				sec.Addf(fmt.Sprintf("surface[%d]", i), "%dx%d retried=%d dropped=%d",
+					s.W, s.H, s.PresentRetries(), s.PresentsDropped())
+			}
+			return sec
+		}),
+		obs.RegisterSnapshotSource("dlr/"+name, func() obs.Section {
+			var sec obs.Section
+			nss := link.Namespaces()
+			sec.Addf("namespaces", "%d (1 global + %d replicas)", len(nss), len(nss)-1)
+			for _, ns := range nss {
+				key := "global"
+				if ns.ID != 0 {
+					key = fmt.Sprintf("replica[%d]", ns.ID)
+				}
+				sec.Addf(key, "%d libs: %s", len(ns.Libs), strings.Join(ns.Libs, " "))
+			}
+			return sec
+		}),
+		obs.RegisterSnapshotSource("eglbridge/"+name, func() obs.Section {
+			var sec obs.Section
+			sec.Addf("current-contexts", "%d", bridgeLib.ContextCount())
+			sec.Addf("held-impersonations", "%d", bridgeLib.SessionCount())
+			return sec
+		}),
+		obs.RegisterSnapshotSource("faults/"+name, func() obs.Section {
+			var sec obs.Section
+			inj := k.FaultInjector()
+			if inj == nil {
+				sec.Add("injector", "none")
+				return sec
+			}
+			sec.Addf("armed", "%v", inj.Armed())
+			sec.Add("schedule", inj.Schedule().String())
+			sec.Add("stats", inj.Stats().String())
+			return sec
+		}),
+	)
 }

@@ -285,6 +285,9 @@ func (inj *Injector) Disarm() { inj.armed.Store(false) }
 // Arm re-enables injection.
 func (inj *Injector) Arm() { inj.armed.Store(true) }
 
+// Armed reports whether the injector is currently injecting (introspection).
+func (inj *Injector) Armed() bool { return inj.armed.Load() }
+
 // Should reports whether the point fires at this check. Injection sites that
 // need a non-error fault (a panic) use it directly; error seams use Fail.
 // Every call advances the point's deterministic sequence.

@@ -14,6 +14,7 @@ import (
 	"cycada/internal/ios/eagl"
 	"cycada/internal/ios/iosys"
 	"cycada/internal/jsvm"
+	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
@@ -37,6 +38,13 @@ const (
 // Configs returns all four configurations in the paper's order.
 func Configs() []ConfigID {
 	return []ConfigID{CycadaIOS, CycadaAndroid, NativeIOS, StockAndroid}
+}
+
+// FrameHistogram returns the configuration's per-frame present-latency
+// histogram (frame-health telemetry). The PassMark hosts observe one sample
+// per Present into it; Fig6 renders the quantiles next to the FPS scores.
+func FrameHistogram(id ConfigID) *obs.Histogram {
+	return obs.DefaultHistograms.Histogram("frame-" + string(id))
 }
 
 // Device is a booted configuration with factories for each workload. Each
@@ -110,7 +118,7 @@ func bootAndroid(id ConfigID) (*Device, error) {
 		return webkit.NewBrowser(port), us.Proc.Main(), nil
 	}
 	d.NewPassmarkHost = func() (passmark.Host, error) {
-		return &androidHost{sys: sys}, nil
+		return &androidHost{sys: sys, frameHist: FrameHistogram(id)}, nil
 	}
 	return d, nil
 }
@@ -155,11 +163,12 @@ func bootCycadaIOS() (*Device, error) {
 		}
 		d.CycadaApp = app
 		return &iosHost{
-			t:        app.Main(),
-			gl:       app.GL,
-			eagl:     app.EAGL,
-			newLayer: app.NewLayer,
-			cpuDraw:  app.Main().Costs().PerPixelCPUDrawIOS,
+			t:         app.Main(),
+			gl:        app.GL,
+			eagl:      app.EAGL,
+			newLayer:  app.NewLayer,
+			cpuDraw:   app.Main().Costs().PerPixelCPUDrawIOS,
+			frameHist: FrameHistogram(CycadaIOS),
 		}, nil
 	}
 	return d, nil
@@ -203,11 +212,12 @@ func bootNativeIOS() (*Device, error) {
 			return nil, err
 		}
 		return &iosHost{
-			t:        us.Proc.Main(),
-			gl:       us.GL,
-			eagl:     us.EAGL,
-			newLayer: us.NewLayer,
-			cpuDraw:  us.Proc.Main().Costs().PerPixelCPUDrawIOS,
+			t:         us.Proc.Main(),
+			gl:        us.GL,
+			eagl:      us.EAGL,
+			newLayer:  us.NewLayer,
+			cpuDraw:   us.Proc.Main().Costs().PerPixelCPUDrawIOS,
+			frameHist: FrameHistogram(NativeIOS),
 		}, nil
 	}
 	return d, nil
@@ -218,11 +228,12 @@ func bootNativeIOS() (*Device, error) {
 // iosHost runs PassMark's iOS app: EAGL contexts per section (DLR gives the
 // Cycada configuration simultaneous GLES versions for free).
 type iosHost struct {
-	t        *kernel.Thread
-	gl       *glesapi.GL
-	eagl     *eagl.Lib
-	newLayer func(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error)
-	cpuDraw  vclock.Duration
+	t         *kernel.Thread
+	gl        *glesapi.GL
+	eagl      *eagl.Lib
+	newLayer  func(t *kernel.Thread, x, y, w, h int) (*eagl.CAEAGLLayer, error)
+	cpuDraw   vclock.Duration
+	frameHist *obs.Histogram // per-config present-latency samples
 
 	ctx   *eagl.Context
 	layer *eagl.CAEAGLLayer
@@ -265,7 +276,12 @@ func (h *iosHost) Begin(version int) (int, int, error) {
 	return h.w, h.h, nil
 }
 
-func (h *iosHost) Present() error { return h.ctx.PresentRenderbuffer(h.t) }
+func (h *iosHost) Present() error {
+	start := h.t.VTime()
+	err := h.ctx.PresentRenderbuffer(h.t)
+	h.frameHist.Observe(h.t.TID(), h.t.VTime()-start)
+	return err
+}
 
 func (h *iosHost) End() error {
 	if err := h.eagl.SetCurrentContext(h.t, nil); err != nil {
@@ -286,7 +302,8 @@ func (h *iosHost) UploadCanvas(cv *graphics2d.Canvas) error {
 // because one Android process cannot hold two GLES versions (§8) — the app
 // restarts between 2D and 3D sections.
 type androidHost struct {
-	sys *stack.System
+	sys       *stack.System
+	frameHist *obs.Histogram // per-config present-latency samples
 
 	us      *stack.Userspace
 	t       *kernel.Thread
@@ -327,7 +344,10 @@ func (h *androidHost) Begin(version int) (int, int, error) {
 }
 
 func (h *androidHost) Present() error {
-	return h.us.EGL.SwapBuffers(h.t, h.eglSurf)
+	start := h.t.VTime()
+	err := h.us.EGL.SwapBuffers(h.t, h.eglSurf)
+	h.frameHist.Observe(h.t.TID(), h.t.VTime()-start)
+	return err
 }
 
 func (h *androidHost) End() error {

@@ -297,6 +297,15 @@ func Fig6() (string, *profile.Profiler, error) {
 	ids := []ConfigID{CycadaIOS, CycadaAndroid, NativeIOS, StockAndroid}
 	scores := map[ConfigID]map[string]float64{}
 	var prof *profile.Profiler
+	// Frame-health telemetry rides along with the FPS scores: enable the
+	// histogram registry for the run (restoring its prior state after) and
+	// start each configuration's frame histogram from zero.
+	wasEnabled := obs.DefaultHistograms.Enabled()
+	obs.DefaultHistograms.SetEnabled(true)
+	defer obs.DefaultHistograms.SetEnabled(wasEnabled)
+	for _, id := range ids {
+		FrameHistogram(id).Reset()
+	}
 	for _, id := range ids {
 		d, err := Boot(id)
 		if err != nil {
@@ -327,6 +336,13 @@ func Fig6() (string, *profile.Profiler, error) {
 			scores[CycadaIOS][test]/base,
 			scores[CycadaAndroid][test]/base,
 			scores[NativeIOS][test]/base)
+	}
+	fmt.Fprintf(&b, "\nFrame health: per-present latency across the PassMark run (virtual time)\n")
+	fmt.Fprintf(&b, "%-20s %8s %10s %10s %10s %10s\n", "config", "frames", "p50-us", "p95-us", "p99-us", "max-us")
+	for _, id := range ids {
+		h := FrameHistogram(id)
+		fmt.Fprintf(&b, "%-20s %8d %10.1f %10.1f %10.1f %10.1f\n", id,
+			h.Count(), h.P50().Micros(), h.P95().Micros(), h.P99().Micros(), h.Max().Micros())
 	}
 	return b.String(), prof, nil
 }

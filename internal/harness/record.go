@@ -75,6 +75,9 @@ func runPassmarkTests(app *system.IOSApp, tests []string) error {
 		eagl:     app.EAGL,
 		newLayer: app.NewLayer,
 		cpuDraw:  app.Main().Costs().PerPixelCPUDrawIOS,
+		// Recording runs on the Cycada iOS configuration; its presents feed
+		// the same frame-health histogram as the harness boot path.
+		frameHist: FrameHistogram(CycadaIOS),
 	}
 	for _, test := range tests {
 		if _, err := passmark.Run(h, passmark.VariantIOS, test, recordFrames); err != nil {

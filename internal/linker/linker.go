@@ -174,6 +174,7 @@ type Linker struct {
 	mu       sync.Mutex
 	registry map[string]*Blueprint
 	global   *namespace
+	replicas map[int]*namespace // live replica namespaces, by id (introspection)
 	nextNS   int
 	ctorRuns map[string]int // per-blueprint constructor count (tests, §8.1)
 }
@@ -184,6 +185,7 @@ func New(proc *kernel.Process) *Linker {
 		proc:     proc,
 		registry: make(map[string]*Blueprint),
 		global:   &namespace{id: 0, libs: make(map[string]*loadedLib)},
+		replicas: make(map[int]*namespace),
 		ctorRuns: make(map[string]int),
 	}
 }
@@ -273,6 +275,7 @@ func (l *Linker) Dlforce(t *kernel.Thread, name string) (*Handle, error) {
 		return nil, fmt.Errorf("dlforce %q: %w", name, err)
 	}
 	lib.refs++
+	l.replicas[ns.id] = ns
 	return &Handle{lib: lib}, nil
 }
 
@@ -471,7 +474,31 @@ func (l *Linker) Dlclose(h *Handle) error {
 		l.proc.Mem().Unmap(peer.mapping)
 		delete(lib.ns.libs, name)
 	}
+	delete(l.replicas, lib.ns.id)
 	return nil
+}
+
+// NamespaceInfo describes one live library namespace (introspection).
+type NamespaceInfo struct {
+	ID   int      // 0 = global
+	Libs []string // sorted library names loaded in the namespace
+}
+
+// Namespaces reports the global namespace plus every live replica namespace
+// and what is loaded in each — the DLR state an introspection snapshot shows.
+func (l *Linker) Namespaces() []NamespaceInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := []NamespaceInfo{{ID: 0, Libs: sortedKeys(l.global.libs)}}
+	ids := make([]int, 0, len(l.replicas))
+	for id := range l.replicas {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, NamespaceInfo{ID: id, Libs: sortedKeys(l.replicas[id].libs)})
+	}
+	return out
 }
 
 // InstanceIn returns the loaded instance of a named library within the

@@ -46,11 +46,15 @@ func (tr *Tracer) TextReport() string {
 		return keys[i].name < keys[j].name
 	})
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %-40s %8s %14s %14s\n", "category", "span", "count", "total-vt-us", "total-wall-us")
+	fmt.Fprintf(&b, "%-14s %-40s %8s %14s %12s %14s\n", "category", "span", "count", "total-vt-us", "avg-vt-us", "total-wall-us")
 	for _, k := range keys {
 		a := sums[k]
-		fmt.Fprintf(&b, "%-14s %-40s %8d %14.1f %14.1f\n",
-			k.cat, k.name, a.count, a.vdur.Micros(), float64(a.wdur)/1e3)
+		fmt.Fprintf(&b, "%-14s %-40s %8d %14.1f %12.1f %14.1f\n",
+			k.cat, k.name, a.count, a.vdur.Micros(),
+			a.vdur.Micros()/float64(a.count), float64(a.wdur)/1e3)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(&b, "(%d spans dropped at the event-buffer cap)\n", n)
 	}
 	return b.String()
 }
@@ -67,12 +71,14 @@ type jsonEvent struct {
 	WDurNS   int64  `json:"wdur_ns"`
 }
 
-// WriteJSON writes all events as one JSON object: {"events": [...]}.
+// WriteJSON writes all events as one JSON object:
+// {"events": [...], "dropped_events": N}.
 func (tr *Tracer) WriteJSON(w io.Writer) error {
 	events := tr.Events()
 	out := struct {
-		Events []jsonEvent `json:"events"`
-	}{Events: make([]jsonEvent, 0, len(events))}
+		Events  []jsonEvent `json:"events"`
+		Dropped int64       `json:"dropped_events"`
+	}{Events: make([]jsonEvent, 0, len(events)), Dropped: tr.Dropped()}
 	for _, ev := range events {
 		out.Events = append(out.Events, jsonEvent{
 			Name:     ev.Name,
@@ -99,9 +105,15 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	TS   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
+	Dur  *float64       `json:"dur,omitempty"` // nil for metadata events only
 	Args map[string]any `json:"args,omitempty"`
 }
+
+// minChromeDur is the duration given to zero-length spans: Perfetto and
+// chrome://tracing render a slice with dur 0 (or a missing dur field, which
+// is what the old omitempty tag produced) as invisible, so instantaneous
+// spans are clamped to one virtual nanosecond (0.001us).
+const minChromeDur = 0.001
 
 // WriteChromeTrace writes the Chrome trace_event JSON format: load the file
 // in chrome://tracing or https://ui.perfetto.dev. The timeline axis is
@@ -138,6 +150,10 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 	for _, ev := range events {
+		dur := float64(ev.VDur) / 1e3
+		if dur < minChromeDur {
+			dur = minChromeDur
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: ev.Name,
 			Cat:  ev.Cat,
@@ -145,7 +161,7 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			PID:  ev.PID,
 			TID:  ev.TID,
 			TS:   float64(ev.VStart) / 1e3,
-			Dur:  float64(ev.VDur) / 1e3,
+			Dur:  &dur,
 			Args: map[string]any{"wall_us": float64(ev.WDur) / 1e3},
 		})
 	}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/sim/vclock"
+)
+
+// The flight recorder (DESIGN.md §10): an always-on black box of the most
+// recent span/fault/errno events, kept in fixed-size per-thread-striped ring
+// buffers. Recording claims a slot with one atomic index bump and copies a
+// fixed-size event under the stripe's (per-thread, so uncontended) mutex —
+// never allocating — and old events are silently overwritten, with the
+// overwrite count derivable from the index. The recorder is dumped
+// automatically when a diplomat panic is isolated, an impersonation rollback
+// fires, a chaos invariant fails, or a frame deadline is missed, so those
+// reports come with the recent event tail instead of just a boolean.
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind uint8
+
+// The event kinds.
+const (
+	FlightSpan  FlightKind = iota + 1 // a completed operation (Code = vt ns)
+	FlightFault                       // an injected or organic fault surfaced
+	FlightErrno                       // an errno was set (Code = errno)
+	FlightMark                        // a state-change marker (dump triggers)
+)
+
+// String implements fmt.Stringer.
+func (k FlightKind) String() string {
+	switch k {
+	case FlightSpan:
+		return "span"
+	case FlightFault:
+		return "fault"
+	case FlightErrno:
+		return "errno"
+	case FlightMark:
+		return "mark"
+	default:
+		return "?"
+	}
+}
+
+// FlightEvent is one recorded event. Name must be a constant or otherwise
+// pre-built string: recording stores the header only and never allocates.
+type FlightEvent struct {
+	Seq  uint64 // global recording order
+	TID  int32
+	Kind FlightKind
+	Cat  string
+	Name string
+	Code int64           // kind-specific: duration ns, errno, fault point
+	VT   vclock.Duration // thread virtual time at the event
+}
+
+// flightRingSize is the per-stripe capacity; must be a power of two.
+// 16 stripes x 256 events bounds the whole recorder at a few hundred KB.
+const flightRingSize = 256
+
+// flightStripes must be a power of two; stripes are selected by TID, so a
+// thread's recent events survive until that thread (or a TID collision)
+// overwrites them.
+const flightStripes = 16
+
+type flightRing struct {
+	writes atomic.Uint64 // slots ever claimed; index of the next slot
+	mu     sync.Mutex    // guards buf; uncontended for per-thread writers
+	buf    [flightRingSize]FlightEvent
+	_      [64]byte
+}
+
+// FlightRecorder is the black box. All methods are safe for concurrent use;
+// the zero value is not usable, use NewFlightRecorder.
+type FlightRecorder struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	rings   [flightStripes]flightRing
+	dumps   atomic.Int64
+
+	outMu sync.Mutex
+	out   io.Writer // dump destination; nil means os.Stderr
+}
+
+// NewFlightRecorder creates an enabled recorder (the flight recorder is the
+// always-on layer; disable it explicitly to measure its cost).
+func NewFlightRecorder() *FlightRecorder {
+	f := &FlightRecorder{}
+	f.enabled.Store(true)
+	return f
+}
+
+// DefaultFlight is the process-wide recorder kernels attach to unless
+// configured with their own. Unlike the tracer it starts enabled.
+var DefaultFlight = NewFlightRecorder()
+
+// SetEnabled turns recording on or off.
+func (f *FlightRecorder) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// Enabled reports whether events are being recorded. This is the single
+// atomic load paid per site while the recorder is off.
+func (f *FlightRecorder) Enabled() bool { return f.enabled.Load() }
+
+// SetOutput redirects automatic dumps (nil restores os.Stderr).
+func (f *FlightRecorder) SetOutput(w io.Writer) {
+	f.outMu.Lock()
+	f.out = w
+	f.outMu.Unlock()
+}
+
+// Record appends one event to the TID's ring, overwriting the oldest.
+func (f *FlightRecorder) Record(tid int, kind FlightKind, cat, name string, code int64, vt vclock.Duration) {
+	if !f.enabled.Load() {
+		return
+	}
+	r := &f.rings[tid&(flightStripes-1)]
+	ev := FlightEvent{
+		Seq:  f.seq.Add(1),
+		TID:  int32(tid),
+		Kind: kind,
+		Cat:  cat,
+		Name: name,
+		Code: code,
+		VT:   vt,
+	}
+	slot := (r.writes.Add(1) - 1) & (flightRingSize - 1)
+	r.mu.Lock()
+	r.buf[slot] = ev
+	r.mu.Unlock()
+}
+
+// Dumps reports how many automatic dumps have fired.
+func (f *FlightRecorder) Dumps() int64 { return f.dumps.Load() }
+
+// Writes reports how many events have ever been recorded.
+func (f *FlightRecorder) Writes() uint64 {
+	var n uint64
+	for i := range f.rings {
+		n += f.rings[i].writes.Load()
+	}
+	return n
+}
+
+// Overwritten reports how many recorded events have been lost to ring
+// overwrites (the drop count of the fixed-size buffers).
+func (f *FlightRecorder) Overwritten() uint64 {
+	var n uint64
+	for i := range f.rings {
+		if w := f.rings[i].writes.Load(); w > flightRingSize {
+			n += w - flightRingSize
+		}
+	}
+	return n
+}
+
+// FlightDump is a point-in-time copy of the recorder contents.
+type FlightDump struct {
+	Reason      string
+	Events      []FlightEvent // in recording order (ascending Seq)
+	Writes      uint64        // events ever recorded
+	Overwritten uint64        // events lost to ring overwrites
+}
+
+// Dump snapshots the recorder. Safe to call while writers are recording: a
+// slot being overwritten during the copy is captured as either the old or
+// the new event, never torn.
+func (f *FlightRecorder) Dump(reason string) *FlightDump {
+	d := &FlightDump{Reason: reason}
+	for i := range f.rings {
+		r := &f.rings[i]
+		w := r.writes.Load()
+		d.Writes += w
+		if w > flightRingSize {
+			d.Overwritten += w - flightRingSize
+		}
+		r.mu.Lock()
+		n := w
+		if n > flightRingSize {
+			n = flightRingSize
+		}
+		for j := uint64(0); j < n; j++ {
+			if ev := r.buf[j]; ev.Seq != 0 {
+				d.Events = append(d.Events, ev)
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(d.Events, func(i, j int) bool { return d.Events[i].Seq < d.Events[j].Seq })
+	return d
+}
+
+// maxWrittenDumps bounds how many full dumps one recorder renders to its
+// output: a chaos soak isolating hundreds of injected panics must not flood
+// stderr. Later triggers still snapshot, count, and return the dump — only
+// the text rendering degrades to a one-line note.
+const maxWrittenDumps = 4
+
+// AutoDump snapshots the recorder, writes the text rendering to the
+// configured output (os.Stderr by default), and returns the dump. This is
+// what the trigger sites — diplomat panic isolation, impersonation rollback,
+// chaos invariant failure, frame deadline miss — call.
+func (f *FlightRecorder) AutoDump(reason string) *FlightDump {
+	d := f.Dump(reason)
+	n := f.dumps.Add(1)
+	f.outMu.Lock()
+	w := f.out
+	if w == nil {
+		w = os.Stderr
+	}
+	if n <= maxWrittenDumps {
+		d.WriteText(w)
+	} else {
+		fmt.Fprintf(w, "== flight recorder dump #%d: %s (%d events; rendering suppressed after %d dumps)\n",
+			n, d.Reason, len(d.Events), maxWrittenDumps)
+	}
+	f.outMu.Unlock()
+	return d
+}
+
+// Reset clears all rings and counters (tests).
+func (f *FlightRecorder) Reset() {
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.mu.Lock()
+		r.buf = [flightRingSize]FlightEvent{}
+		r.writes.Store(0)
+		r.mu.Unlock()
+	}
+	f.seq.Store(0)
+	f.dumps.Store(0)
+}
+
+// WriteText renders the dump, oldest event first.
+func (d *FlightDump) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== flight recorder dump: %s (%d events; %d recorded, %d overwritten)\n",
+		d.Reason, len(d.Events), d.Writes, d.Overwritten)
+	for _, ev := range d.Events {
+		fmt.Fprintf(w, "  #%-8d tid=%-4d %-5s %-14s %-40s code=%-8d vt=%.1fus\n",
+			ev.Seq, ev.TID, ev.Kind, ev.Cat, ev.Name, ev.Code, ev.VT.Micros())
+	}
+}
+
+// String renders the dump as text.
+func (d *FlightDump) String() string {
+	var b strings.Builder
+	d.WriteText(&b)
+	return b.String()
+}
+
+// Contains reports whether any event's name contains the substring (tests
+// and the chaos report assertions).
+func (d *FlightDump) Contains(sub string) bool {
+	for _, ev := range d.Events {
+		if strings.Contains(ev.Name, sub) {
+			return true
+		}
+	}
+	return false
+}

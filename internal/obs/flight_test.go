@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"cycada/internal/sim/vclock"
+)
+
+func TestFlightRecordAndDumpOrder(t *testing.T) {
+	f := NewFlightRecorder()
+	f.Record(3, FlightSpan, CatEGL, "egl:present", 1500, 10)
+	f.Record(7, FlightFault, CatFault, "egl:present_fault", 2, 20)
+	f.Record(3, FlightErrno, CatSyscall, "set_persona", 22, 30)
+	f.Record(3, FlightMark, CatEGL, "frame_deadline_miss", 9000, 40)
+
+	d := f.Dump("test")
+	if len(d.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(d.Events))
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Seq <= d.Events[i-1].Seq {
+			t.Fatalf("events not in ascending Seq order: %d then %d",
+				d.Events[i-1].Seq, d.Events[i].Seq)
+		}
+	}
+	if d.Writes != 4 || d.Overwritten != 0 {
+		t.Fatalf("writes = %d overwritten = %d", d.Writes, d.Overwritten)
+	}
+	if !d.Contains("frame_deadline_miss") || d.Contains("no_such_event") {
+		t.Fatalf("Contains misbehaved: %s", d)
+	}
+	ev := d.Events[1]
+	if ev.TID != 7 || ev.Kind != FlightFault || ev.Cat != CatFault || ev.Code != 2 || ev.VT != 20 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !strings.Contains(d.String(), "egl:present_fault") {
+		t.Fatalf("text rendering missing event:\n%s", d)
+	}
+}
+
+func TestFlightDisabledRecordsNothing(t *testing.T) {
+	f := NewFlightRecorder()
+	f.SetEnabled(false)
+	f.Record(1, FlightSpan, CatEGL, "egl:present", 1, 1)
+	if f.Writes() != 0 {
+		t.Fatalf("disabled recorder wrote %d events", f.Writes())
+	}
+	f.SetEnabled(true)
+	f.Record(1, FlightSpan, CatEGL, "egl:present", 1, 1)
+	if f.Writes() != 1 {
+		t.Fatalf("re-enabled recorder wrote %d events", f.Writes())
+	}
+}
+
+func TestFlightRingOverwriteCounting(t *testing.T) {
+	f := NewFlightRecorder()
+	const n = flightRingSize + 44
+	for i := 0; i < n; i++ {
+		// Same TID: every write lands on one stripe's ring.
+		f.Record(5, FlightSpan, CatDiplomat, "noop", int64(i), vclock.Duration(i))
+	}
+	if got := f.Writes(); got != n {
+		t.Fatalf("writes = %d, want %d", got, n)
+	}
+	if got := f.Overwritten(); got != 44 {
+		t.Fatalf("overwritten = %d, want 44", got)
+	}
+	d := f.Dump("overflow")
+	if len(d.Events) != flightRingSize {
+		t.Fatalf("dump kept %d events, want the ring size %d", len(d.Events), flightRingSize)
+	}
+	// The survivors are the most recent writes; the oldest 44 are gone.
+	if min := d.Events[0].Seq; min != 45 {
+		t.Fatalf("oldest surviving Seq = %d, want 45", min)
+	}
+}
+
+func TestFlightDumpRacesWriters(t *testing.T) {
+	f := NewFlightRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for tid := 0; tid < 8; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Record(tid, FlightSpan, CatEGL, "egl:present", int64(i), vclock.Duration(i))
+			}
+		}(tid)
+	}
+	for i := 0; i < 50; i++ {
+		d := f.Dump("race")
+		for j := 1; j < len(d.Events); j++ {
+			if d.Events[j].Seq <= d.Events[j-1].Seq {
+				t.Errorf("dump %d: out-of-order Seq %d then %d", i, d.Events[j-1].Seq, d.Events[j].Seq)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightAutoDumpWritesAndSuppresses(t *testing.T) {
+	f := NewFlightRecorder()
+	var buf bytes.Buffer
+	f.SetOutput(&buf)
+	f.Record(1, FlightMark, CatReplay, "chaos_invariant", 7, 0)
+
+	for i := 0; i < maxWrittenDumps+2; i++ {
+		d := f.AutoDump("chaos_invariant")
+		if !d.Contains("chaos_invariant") {
+			t.Fatalf("dump %d lost the triggering event", i)
+		}
+	}
+	if got := f.Dumps(); got != maxWrittenDumps+2 {
+		t.Fatalf("dump count = %d, want %d", got, maxWrittenDumps+2)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "== flight recorder dump: chaos_invariant"); got != maxWrittenDumps {
+		t.Fatalf("full renderings = %d, want %d:\n%s", got, maxWrittenDumps, out)
+	}
+	if got := strings.Count(out, "rendering suppressed"); got != 2 {
+		t.Fatalf("suppressed notes = %d, want 2:\n%s", got, out)
+	}
+}
+
+func TestFlightReset(t *testing.T) {
+	f := NewFlightRecorder()
+	f.SetOutput(io.Discard)
+	f.Record(1, FlightSpan, CatEGL, "egl:present", 1, 1)
+	f.AutoDump("reset-test")
+	f.Reset()
+	if f.Writes() != 0 || f.Dumps() != 0 || len(f.Dump("empty").Events) != 0 {
+		t.Fatalf("reset left state behind: writes=%d dumps=%d", f.Writes(), f.Dumps())
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cycada/internal/sim/vclock"
+)
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram("present")
+	for _, d := range []vclock.Duration{100, 200, 300, 400} {
+		h.Observe(int(d), d) // spread across stripes
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Max() != 400 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Avg() != 250 {
+		t.Fatalf("avg = %v", h.Avg())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram("q")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(0, vclock.Duration(i))
+	}
+	// Log buckets overestimate by at most 2x and never exceed the max.
+	if p50 := h.P50(); p50 < 500 || p50 > 1000 {
+		t.Fatalf("p50 = %v, want within [500, 1000]", p50)
+	}
+	if p99 := h.P99(); p99 < 990 || p99 > 1000 {
+		t.Fatalf("p99 = %v, want within [990, 1000]", p99)
+	}
+	if h.Quantile(1) != 1000 {
+		t.Fatalf("q100 = %v, want the max", h.Quantile(1))
+	}
+
+	// A single observation: every quantile is that observation, clamped by Max.
+	one := NewHistogram("one")
+	one.Observe(0, 777)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := one.Quantile(q); got != 777 {
+			t.Fatalf("quantile(%v) = %v, want 777 (clamped to max)", q, got)
+		}
+	}
+	if NewHistogram("empty").P99() != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramRegistryGate(t *testing.T) {
+	hs := NewHistograms()
+	h := hs.Histogram("gated")
+	h.Observe(1, 50)
+	if h.Count() != 0 {
+		t.Fatalf("disabled registry recorded %d observations", h.Count())
+	}
+	hs.SetEnabled(true)
+	h.Observe(1, 50)
+	if h.Count() != 1 {
+		t.Fatalf("enabled registry recorded %d observations", h.Count())
+	}
+	hs.SetEnabled(false)
+	h.Observe(1, 50)
+	if h.Count() != 1 {
+		t.Fatalf("re-disabled registry recorded %d observations", h.Count())
+	}
+}
+
+func TestHistogramParallelObserve(t *testing.T) {
+	h := NewHistogram("parallel")
+	var wg sync.WaitGroup
+	const threads, per = 8, 1000
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				h.Observe(tid, vclock.Duration(i))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if h.Count() != threads*per {
+		t.Fatalf("count = %d, want %d", h.Count(), threads*per)
+	}
+	want := vclock.Duration(threads * per * (per + 1) / 2)
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Max() != per {
+		t.Fatalf("max = %v, want %v", h.Max(), per)
+	}
+}
+
+func TestHistogramsConcurrentCreateSamePointer(t *testing.T) {
+	hs := NewHistograms()
+	const n = 16
+	got := make(chan *Histogram, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got <- hs.Histogram("shared")
+		}()
+	}
+	wg.Wait()
+	close(got)
+	first := <-got
+	for h := range got {
+		if h != first {
+			t.Fatal("concurrent creation returned distinct histograms for one name")
+		}
+	}
+	if lk, ok := hs.Lookup("shared"); !ok || lk != first {
+		t.Fatal("Lookup did not return the created histogram")
+	}
+}
+
+func TestHistogramsResetAndTextReport(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	h := hs.Histogram("egl-present")
+	h.Observe(0, 2000)
+	rep := hs.TextReport()
+	for _, col := range []string{"avg-vt-us", "p50-vt-us", "p95-vt-us", "p99-vt-us", "max-vt-us", "egl-present"} {
+		if !strings.Contains(rep, col) {
+			t.Fatalf("report missing %q:\n%s", col, rep)
+		}
+	}
+	hs.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("registry reset did not zero the histogram in place")
+	}
+	if h2 := hs.Histogram("egl-present"); h2 != h {
+		t.Fatal("reset invalidated the cached pointer")
+	}
+}

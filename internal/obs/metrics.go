@@ -141,9 +141,10 @@ func (ms *Metrics) TextReport() string {
 		return rows[i].name < rows[j].name
 	})
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-36s %10s %14s\n", "metric", "calls", "total-vt-us")
+	fmt.Fprintf(&b, "%-36s %10s %14s %12s\n", "metric", "calls", "total-vt-us", "avg-vt-us")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-36s %10d %14.1f\n", r.name, r.calls, r.total.Micros())
+		fmt.Fprintf(&b, "%-36s %10d %14.1f %12.1f\n",
+			r.name, r.calls, r.total.Micros(), r.total.Micros()/float64(r.calls))
 	}
 	return b.String()
 }

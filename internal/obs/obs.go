@@ -52,6 +52,11 @@ type Event struct {
 // eventStripes must be a power of two; stripes are selected by TID.
 const eventStripes = 16
 
+// defaultEventCap bounds each stripe's event buffer: 16 stripes x 8192
+// events caps a tracer at ~13MB however long a chaos soak runs. Spans past
+// the cap are counted in Dropped and surfaced by the exporters.
+const defaultEventCap = 8192
+
 type eventStripe struct {
 	mu     sync.Mutex
 	events []Event
@@ -61,9 +66,11 @@ type eventStripe struct {
 // Tracer collects spans. The zero value is not usable; use New. All methods
 // are safe for concurrent use.
 type Tracer struct {
-	enabled atomic.Bool
-	seq     atomic.Int64
-	pids    atomic.Int64 // PID-space allocator (AllocPIDSpace)
+	enabled  atomic.Bool
+	seq      atomic.Int64
+	pids     atomic.Int64 // PID-space allocator (AllocPIDSpace)
+	eventCap atomic.Int64 // per-stripe buffer bound
+	dropped  atomic.Int64 // spans discarded at the cap
 
 	stripes [eventStripes]eventStripe
 
@@ -74,10 +81,12 @@ type Tracer struct {
 
 // New creates a disabled tracer.
 func New() *Tracer {
-	return &Tracer{
+	tr := &Tracer{
 		procNames:   map[int]string{},
 		threadNames: map[int]map[int]string{},
 	}
+	tr.eventCap.Store(defaultEventCap)
+	return tr
 }
 
 // Default is the process-wide tracer kernels attach to unless configured with
@@ -91,6 +100,20 @@ func (tr *Tracer) SetEnabled(on bool) { tr.enabled.Store(on) }
 // Enabled reports whether spans are being recorded. This is the single
 // atomic load paid on every instrumented site while tracing is off.
 func (tr *Tracer) Enabled() bool { return tr.enabled.Load() }
+
+// SetEventCap bounds each of the tracer's event stripes to n events (the
+// total buffer is eventStripes times that). Spans recorded past the cap are
+// discarded and counted in Dropped. n <= 0 restores the default cap.
+func (tr *Tracer) SetEventCap(n int) {
+	if n <= 0 {
+		n = defaultEventCap
+	}
+	tr.eventCap.Store(int64(n))
+}
+
+// Dropped reports how many spans were discarded because a stripe's event
+// buffer hit its cap. A drained tracer (Reset) starts counting afresh.
+func (tr *Tracer) Dropped() int64 { return tr.dropped.Load() }
 
 // AllocPIDSpace reserves a disjoint PID range (multiples of 1000) so that
 // several kernels sharing one tracer — the four harness configurations, say —
@@ -169,8 +192,24 @@ func (s Span) End(vnow vclock.Duration) {
 		WStart: s.wstart,
 		WDur:   time.Since(s.wstart),
 	}
-	st := &s.tr.stripes[s.tid&(eventStripes-1)]
+	s.tr.add(ev)
+}
+
+// AddEvent records a pre-built event directly, bypassing Begin/End and the
+// enabled gate. Used by tests and importers that need deterministic event
+// contents; instrumentation sites use spans.
+func (tr *Tracer) AddEvent(ev Event) { tr.add(ev) }
+
+// add appends to the event's stripe, honoring the buffer cap.
+func (tr *Tracer) add(ev Event) {
+	st := &tr.stripes[ev.TID&(eventStripes-1)]
+	limit := int(tr.eventCap.Load())
 	st.mu.Lock()
+	if len(st.events) >= limit {
+		st.mu.Unlock()
+		tr.dropped.Add(1)
+		return
+	}
 	st.events = append(st.events, ev)
 	st.mu.Unlock()
 }
@@ -217,7 +256,8 @@ func (tr *Tracer) Events() []Event {
 	return out
 }
 
-// Reset drops all recorded events (names and the enabled state are kept).
+// Reset drops all recorded events and the dropped-span count (names and the
+// enabled state are kept).
 func (tr *Tracer) Reset() {
 	for i := range tr.stripes {
 		st := &tr.stripes[i]
@@ -225,6 +265,7 @@ func (tr *Tracer) Reset() {
 		st.events = nil
 		st.mu.Unlock()
 	}
+	tr.dropped.Store(0)
 }
 
 // names snapshots the metadata maps for the exporters.

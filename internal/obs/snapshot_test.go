@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// snapshotTestGate enables source registration for one test and restores the
+// prior state (and any sources the test leaked) afterwards.
+func snapshotTestGate(t *testing.T) {
+	t.Helper()
+	was := SnapshotSourcesEnabled()
+	SetSnapshotSourcesEnabled(true)
+	t.Cleanup(func() { SetSnapshotSourcesEnabled(was) })
+}
+
+func TestSnapshotSourceRegistrationGate(t *testing.T) {
+	was := SnapshotSourcesEnabled()
+	SetSnapshotSourcesEnabled(false)
+	defer SetSnapshotSourcesEnabled(was)
+
+	unreg := RegisterSnapshotSource("gated-off", func() Section {
+		t.Error("disabled-registration source was polled")
+		return Section{}
+	})
+	if strings.Contains(Snapshot().Text(), "gated-off") {
+		t.Fatal("source registered while the gate was off")
+	}
+	unreg() // must be safe to call even though nothing registered
+}
+
+func TestSnapshotPollsSortedSourcesAndBuiltins(t *testing.T) {
+	snapshotTestGate(t)
+	unregB := RegisterSnapshotSource("b-source", func() Section {
+		sec := Section{}
+		sec.Add("answer", 42)
+		sec.Addf("pair", "%d/%d", 1, 2)
+		return sec
+	})
+	defer unregB()
+	unregA := RegisterSnapshotSource("a-source", func() Section {
+		return Section{Name: "a-source"}
+	})
+	defer unregA()
+
+	snap := Snapshot()
+	var names []string
+	for _, sec := range snap.Sections {
+		names = append(names, sec.Name)
+	}
+	ai, bi := indexOf(names, "a-source"), indexOf(names, "b-source")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("sections missing or unsorted: %v", names)
+	}
+	// The built-in observability sections always close the snapshot.
+	n := len(names)
+	if n < 3 || names[n-3] != "histograms" || names[n-2] != "flight-recorder" || names[n-1] != "tracer" {
+		t.Fatalf("built-in sections missing or misplaced: %v", names)
+	}
+
+	text := snap.Text()
+	if !strings.Contains(text, "== b-source") || !strings.Contains(text, "answer") ||
+		!strings.Contains(text, "42") || !strings.Contains(text, "1/2") {
+		t.Fatalf("text rendering lost rows:\n%s", text)
+	}
+
+	unregA()
+	if strings.Contains(Snapshot().Text(), "== a-source") {
+		t.Fatal("unregistered source still polled")
+	}
+}
+
+func TestSnapshotWriteJSONRoundTrips(t *testing.T) {
+	snapshotTestGate(t)
+	unreg := RegisterSnapshotSource("json-source", func() Section {
+		sec := Section{}
+		sec.Add("k", "v")
+		return sec
+	})
+	defer unreg()
+
+	var buf bytes.Buffer
+	if err := Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got SystemSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	found := false
+	for _, sec := range got.Sections {
+		if sec.Name == "json-source" {
+			found = true
+			if len(sec.Rows) != 1 || sec.Rows[0] != (Row{Key: "k", Value: "v"}) {
+				t.Fatalf("rows = %+v", sec.Rows)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("json-source section missing from decoded snapshot: %s", buf.String())
+	}
+}
+
+func indexOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cycada/internal/fault"
+	"cycada/internal/obs"
 )
 
 // chaosTeardownTimeout bounds the post-replay teardown: if unbinding the
@@ -52,6 +53,14 @@ type ChaosResult struct {
 	// Res is the replay result (per-present and final-frame verification);
 	// nil when the replay aborted before finishing.
 	Res *Result
+
+	// Flight is the flight-recorder dump taken when an invariant failed —
+	// the recent event tail leading up to the violation, ending with the
+	// "chaos_invariant" marker. Nil when every invariant held.
+	Flight *obs.FlightDump
+	// Snapshot is the live-state introspection snapshot taken alongside
+	// Flight. Nil when every invariant held.
+	Snapshot *obs.SystemSnapshot
 }
 
 // Check evaluates the chaos invariants, returning nil when all hold.
@@ -146,7 +155,20 @@ func Chaos(tr *Trace, sched fault.Schedule) (*ChaosResult, error) {
 			r.ThreadsImpersonating++
 		}
 	}
+	if r.Check() != nil {
+		attachFlightDump(r, p)
+	}
 	return r, nil
+}
+
+// attachFlightDump marks the invariant violation in the flight recorder and
+// attaches the dump plus a live-state snapshot to the result, so a chaos
+// failure report carries the recent event tail instead of just the verdict.
+func attachFlightDump(r *ChaosResult, p *player) {
+	main := p.app.Main()
+	main.FlightRecord(obs.FlightMark, obs.CatReplay, "chaos_invariant", int64(r.Schedule.Seed))
+	r.Flight = main.FlightDump("chaos_invariant")
+	r.Snapshot = obs.Snapshot()
 }
 
 // transientOnly reports whether every injected fault hit the present seam —

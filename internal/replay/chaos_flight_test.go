@@ -1,0 +1,56 @@
+// In-package chaos test: an invariant violation must attach a flight dump
+// ending in the chaos_invariant marker plus a live-state snapshot, so the
+// failure report carries the event tail, not just the verdict.
+package replay
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"cycada/internal/fault"
+	"cycada/internal/obs"
+)
+
+func TestChaosInvariantFailureAttachesFlightDump(t *testing.T) {
+	// The replayed system attaches obs.DefaultFlight; keep the dump off
+	// stderr (TestMain already discards, but this test also runs alone).
+	obs.DefaultFlight.SetOutput(io.Discard)
+
+	tr, err := ReadFile(filepath.Join("testdata", "passmark-2d.cytr"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	p, err := boot(tr, Options{Verify: true, Faults: fault.NewInjector(fault.Schedule{})})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if err := p.run(tr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// A synthetic violation: Check must fail, and the attach path must
+	// produce a dump whose newest event is the chaos_invariant marker.
+	r := &ChaosResult{Schedule: fault.Schedule{Seed: 42}, GateDepth: 1, TeardownOK: true}
+	if r.Check() == nil {
+		t.Fatal("synthetic violation passed Check")
+	}
+	attachFlightDump(r, p)
+
+	if r.Flight == nil {
+		t.Fatal("no flight dump attached to the failed result")
+	}
+	if !r.Flight.Contains("chaos_invariant") {
+		t.Fatalf("dump missing the chaos_invariant marker:\n%s", r.Flight)
+	}
+	last := r.Flight.Events[len(r.Flight.Events)-1]
+	if last.Name != "chaos_invariant" || last.Code != 42 {
+		t.Fatalf("newest event = %+v, want the chaos_invariant marker carrying the seed", last)
+	}
+	if r.Snapshot == nil {
+		t.Fatal("no live-state snapshot attached to the failed result")
+	}
+	if r.Snapshot.Text() == "" {
+		t.Fatal("snapshot rendered empty")
+	}
+}

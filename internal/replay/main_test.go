@@ -1,0 +1,18 @@
+package replay_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"cycada/internal/obs"
+)
+
+// The chaos sweeps intentionally isolate hundreds of injected faults, some
+// of which (diplomat panics, rollbacks) auto-dump the flight recorder; keep
+// those renderings out of the test log. The dumps themselves still happen
+// and are asserted on by the flight-dump tests.
+func TestMain(m *testing.M) {
+	obs.DefaultFlight.SetOutput(io.Discard)
+	os.Exit(m.Run())
+}

@@ -70,8 +70,9 @@ type Kernel struct {
 	plat   vclock.Platform
 	flavor vclock.KernelFlavor
 
-	tracer  *obs.Tracer // never nil; disabled by default
-	pidBase int         // offset exported PIDs so kernels sharing a tracer don't collide
+	tracer  *obs.Tracer         // never nil; disabled by default
+	flight  *obs.FlightRecorder // never nil; the always-on black box
+	pidBase int                 // offset exported PIDs so kernels sharing a tracer don't collide
 
 	// faults is the fault injector every cross-persona seam in this kernel's
 	// world consults (via Thread.Faults). Nil means injection is off and the
@@ -99,6 +100,10 @@ type Config struct {
 	// helpers — diplomat, impersonation, DLR and EGL spans). Nil attaches
 	// obs.Default, which is disabled until something enables it.
 	Tracer *obs.Tracer
+	// Flight receives the kernel's flight-recorder events (the always-on
+	// black box dumped on panic isolation, rollback, chaos invariant
+	// failure, and frame deadline misses). Nil attaches obs.DefaultFlight.
+	Flight *obs.FlightRecorder
 	// Faults installs a fault injector at boot. Nil falls back to
 	// fault.Default(), which is itself nil unless a -faults flag set it.
 	Faults *fault.Injector
@@ -120,12 +125,17 @@ func New(cfg Config) *Kernel {
 	if tracer == nil {
 		tracer = obs.Default
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = obs.DefaultFlight
+	}
 	k := &Kernel{
 		clock:   cfg.Clock,
 		costs:   cfg.Costs,
 		plat:    cfg.Platform,
 		flavor:  flavor,
 		tracer:  tracer,
+		flight:  flight,
 		pidBase: tracer.AllocPIDSpace(),
 		devices: make(map[string]Device),
 		mach:    make(map[string]MachService),
@@ -154,6 +164,9 @@ func (k *Kernel) Flavor() vclock.KernelFlavor { return k.flavor }
 
 // Tracer returns the tracer this kernel's spans go to.
 func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
+
+// Flight returns the flight recorder this kernel's events go to.
+func (k *Kernel) Flight() *obs.FlightRecorder { return k.flight }
 
 // SetFaultInjector installs (nil uninstalls) the fault injector the kernel's
 // injection points consult. Safe to call on a running kernel.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cycada/internal/fault"
+	"cycada/internal/obs"
 	"cycada/internal/sim/vclock"
 )
 
@@ -136,11 +137,16 @@ func (t *Thread) Errno() int {
 	return v
 }
 
-// SetErrno sets the thread-local errno of the current persona.
+// SetErrno sets the thread-local errno of the current persona. Non-zero
+// errnos are logged to the flight recorder so failure dumps carry the
+// recent error tail.
 func (t *Thread) SetErrno(e int) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.tls[t.cur].slots[ErrnoSlot] = e
+	t.mu.Unlock()
+	if e != 0 {
+		t.FlightRecord(obs.FlightErrno, "errno", "set_errno", int64(e))
+	}
 }
 
 // ErrnoIn reads errno from a specific persona's TLS area.

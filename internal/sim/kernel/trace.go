@@ -32,3 +32,20 @@ func (t *Thread) TraceEnd(sp obs.Span) {
 		sp.End(t.VTime())
 	}
 }
+
+// FlightRecord appends one event to the kernel's flight recorder — the
+// always-on black box of recent span/fault/errno events. name must be a
+// constant or pre-built string; recording never allocates, and while the
+// recorder is disabled the whole cost is one atomic load.
+func (t *Thread) FlightRecord(kind obs.FlightKind, cat, name string, code int64) {
+	t.proc.k.flight.Record(t.tid, kind, cat, name, code, t.VTime())
+}
+
+// FlightDump records a trigger marker, dumps the flight recorder to its
+// configured output, and returns the dump. Trigger sites (diplomat panic
+// isolation, impersonation rollback, frame deadline misses) pass the marker
+// they just recorded as the reason, so the dump always contains its own
+// trigger event.
+func (t *Thread) FlightDump(reason string) *obs.FlightDump {
+	return t.proc.k.flight.AutoDump(reason)
+}

@@ -34,4 +34,39 @@ go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 echo "== bench smoke (diplomat hot path)"
 go test -run='^$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
 
+echo "== obs overhead gate (fully-disabled observability within 3% of baseline)"
+# The always-compiled-in observability layer (tracer + flight recorder +
+# frame-health histograms) must cost nothing when off: the fully-disabled
+# diplomat call may be at most 3% slower than the hot-path baseline. Three
+# attempts absorb scheduler noise; any passing attempt is a pass.
+obs_gate_ok=0
+for attempt in 1 2 3; do
+	base=$(go test -run='^$' -bench='^BenchmarkDiplomatCall$' -benchtime=200000x . |
+		awk '$NF == "ns/op" { print $(NF-1) }')
+	off=$(go test -run='^$' -bench='^BenchmarkObsOverhead$/^flight-hist-disabled$' -benchtime=200000x . |
+		awk '$NF == "ns/op" { print $(NF-1) }')
+	echo "   attempt $attempt: baseline ${base} ns/op, fully disabled ${off} ns/op"
+	if [ -n "$base" ] && [ -n "$off" ] &&
+		awk -v b="$base" -v o="$off" 'BEGIN { exit !(o <= b * 1.03) }'; then
+		obs_gate_ok=1
+		break
+	fi
+done
+if [ "$obs_gate_ok" != 1 ]; then
+	echo "obs overhead gate failed: fully-disabled path more than 3% over baseline" >&2
+	exit 1
+fi
+
+echo "== cycadatop smoke (live introspection snapshot)"
+top=$(go run ./cmd/cycadatop)
+for section in "== impersonation/tracedemo" "== egl/tracedemo" "== dlr/tracedemo" \
+	"== histograms" "== flight-recorder" "== tracer"; do
+	if ! printf '%s\n' "$top" | grep -q "^$section"; then
+		echo "cycadatop smoke failed: missing section \"$section\"" >&2
+		printf '%s\n' "$top" >&2
+		exit 1
+	fi
+done
+go run ./cmd/cycadatop -json | go run ./scripts/jsoncheck.go
+
 echo "tier-1 checks passed"

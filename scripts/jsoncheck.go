@@ -1,0 +1,19 @@
+// Command jsoncheck validates that stdin is one well-formed JSON value —
+// check.sh pipes `cycadatop -json` through it so the machine-readable
+// snapshot output stays parseable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var v any
+	dec := json.NewDecoder(os.Stdin)
+	if err := dec.Decode(&v); err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck: invalid JSON:", err)
+		os.Exit(1)
+	}
+}
