@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-smoke trace replay-golden chaos top
+.PHONY: check test bench bench-smoke bench-json trace replay-golden chaos top
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
 # concurrency-heavy core and replay packages, golden-trace verification,
@@ -22,6 +22,12 @@ bench:
 # (BenchmarkDiplomatCall, BenchmarkDiplomatCallAllocs); also run by check.sh.
 bench-smoke:
 	go test -run='^$$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
+
+# Machine-readable benchmark dump: the tiled-rasterizer worker series
+# (BenchmarkRasterTiles/workers=1..8) and the replay benchmarks, written to
+# BENCH_6.json with the host core count so scaling numbers are interpretable.
+bench-json:
+	./scripts/benchjson.sh BENCH_6.json
 
 # Long chaos soak: golden traces under many generated fault schedules, with
 # the recovery invariants checked for every seed. Tier-1 runs 8 seeds (see

@@ -136,8 +136,12 @@ func (f *Flinger) post(t *kernel.Thread, req PostRequest) error {
 	}
 	// Composition runs on the HW Composer; the per-pixel scan-out cost was
 	// already charged by eglSwapBuffers, so posting only pays the Binder
-	// transaction (charged by the kernel) plus a fixed setup cost.
-	f.screen.Copy(req.Buffer.Img, l.x, l.y)
+	// transaction (charged by the kernel) plus a fixed setup cost. The
+	// layer's tiles are composed concurrently on the kernel's raster pool;
+	// bands write disjoint screen rows, so the scan-out image is identical
+	// for any worker count, and f.mu still serializes whole compositions
+	// against each other and against Screen()/ScreenChecksum snapshots.
+	f.screen.CopyParallel(req.Buffer.Img, l.x, l.y, t.Kernel().RasterPool())
 	l.last = req.Buffer
 	f.frames++
 	t.ChargeGPU(t.Costs().FlushBase / 4)

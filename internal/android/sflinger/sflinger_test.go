@@ -191,3 +191,91 @@ func TestComposeVsScreenshotRace(t *testing.T) {
 		t.Fatalf("Frames = %d, want %d", got, writers*rounds)
 	}
 }
+
+// Parallel tile compose: posts large multi-band buffers through a multi-
+// worker raster pool while screenshot readers run — the compose fan-out must
+// stay inside the compositor lock (no torn frames, no races under -race) —
+// and the composed screen must be byte-identical to a serial compose.
+func TestParallelComposeDeterministicVsSerial(t *testing.T) {
+	compose := func(workers int) uint32 {
+		sys := stack.New(stack.Config{RasterWorkers: workers})
+		proc, err := sys.Kernel.NewProcess("compose-test", kernel.PersonaAndroid)
+		if err != nil {
+			t.Fatalf("NewProcess: %v", err)
+		}
+		th := proc.Main()
+		var client sflinger.Client
+		for i := 0; i < 3; i++ {
+			layer, err := client.CreateLayer(th, i*40-20, i*30-10)
+			if err != nil {
+				t.Fatalf("CreateLayer: %v", err)
+			}
+			// Taller than one band and partially off-screen, so the banded
+			// copy exercises both the fan-out and the clipping.
+			buf := allocBuffer(t, th, 200, gpu.TileSize*2+17, gpu.RGBA{R: uint8(90 * i), G: 200, B: uint8(50 + i), A: 255})
+			for p := 0; p < len(buf.Img.Pix); p += 9 {
+				buf.Img.Pix[p] = byte(p >> 3)
+			}
+			if err := client.Post(th, layer, buf); err != nil {
+				t.Fatalf("Post: %v", err)
+			}
+		}
+		return sys.Flinger.ScreenChecksum()
+	}
+	serial := compose(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := compose(workers); got != serial {
+			t.Fatalf("workers=%d compose checksum %08x, want serial %08x", workers, got, serial)
+		}
+	}
+}
+
+// Concurrent multi-layer posts of band-sized buffers against screenshot
+// readers, with a parallel pool — the -race companion to the determinism
+// test above.
+func TestParallelComposeVsScreenshotRace(t *testing.T) {
+	sys := stack.New(stack.Config{RasterWorkers: 4})
+	proc, err := sys.Kernel.NewProcess("compose-race", kernel.PersonaAndroid)
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	var client sflinger.Client
+	const writers, rounds = 3, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*rounds)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wth := proc.NewThread("compose-writer")
+			layer, err := client.CreateLayer(wth, w*16, w*8)
+			if err != nil {
+				errs <- err
+				return
+			}
+			buf := allocBuffer(t, wth, 160, gpu.TileSize+40, gpu.RGBA{R: uint8(80 * w), B: 128, A: 255})
+			for i := 0; i < rounds; i++ {
+				if err := client.Post(wth, layer, buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writers*rounds; i++ {
+			_ = sys.Flinger.Screen().Checksum()
+			_ = sys.Flinger.ScreenChecksum()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent parallel compose: %v", err)
+	}
+	if got := sys.Flinger.Frames(); got != writers*rounds {
+		t.Fatalf("Frames = %d, want %d", got, writers*rounds)
+	}
+}

@@ -46,6 +46,9 @@ type Config struct {
 	ScreenH  int
 	Tracer   *obs.Tracer         // nil = obs.Default
 	Flight   *obs.FlightRecorder // nil = obs.DefaultFlight
+	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
+	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
+	RasterWorkers int
 }
 
 // New boots an Android system: kernel, gralloc driver, SurfaceFlinger.
@@ -53,7 +56,7 @@ func New(cfg Config) *System {
 	if cfg.ScreenW == 0 {
 		cfg.ScreenW, cfg.ScreenH = ScreenW, ScreenH
 	}
-	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer, Flight: cfg.Flight})
+	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer, Flight: cfg.Flight, RasterWorkers: cfg.RasterWorkers})
 	g := gralloc.NewDevice()
 	k.RegisterDevice(gralloc.DevicePath, g)
 	f := sflinger.New(cfg.ScreenW, cfg.ScreenH)

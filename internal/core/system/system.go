@@ -50,18 +50,22 @@ type Config struct {
 	ScreenH int
 	Tracer  *obs.Tracer         // nil = obs.Default
 	Flight  *obs.FlightRecorder // nil = obs.DefaultFlight
+	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
+	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
+	RasterWorkers int
 }
 
 // New boots a Cycada system.
 func New(cfg Config) *Cycada {
 	sys := stack.New(stack.Config{
-		Platform: vclock.Nexus7(),
-		Flavor:   vclock.KernelCycada,
-		Clock:    cfg.Clock,
-		ScreenW:  cfg.ScreenW,
-		ScreenH:  cfg.ScreenH,
-		Tracer:   cfg.Tracer,
-		Flight:   cfg.Flight,
+		Platform:      vclock.Nexus7(),
+		Flavor:        vclock.KernelCycada,
+		Clock:         cfg.Clock,
+		ScreenW:       cfg.ScreenW,
+		ScreenH:       cfg.ScreenH,
+		Tracer:        cfg.Tracer,
+		Flight:        cfg.Flight,
+		RasterWorkers: cfg.RasterWorkers,
 	})
 	mod := coresurface.New()
 	sys.Kernel.RegisterMachService(iokit.CoreSurfaceService, mod)

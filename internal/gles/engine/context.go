@@ -272,6 +272,10 @@ func (f *framebufferObj) resolveTarget() *gpu.Target {
 	}
 }
 
+// renderState snapshots the context's fixed-function raster state. The
+// depth comparison is GL_LESS — the GLES default depth func, and the only
+// one the engine implements (glDepthFunc resolves to a fixed-cost stub), so
+// the rasterizer's convention matches what the API advertises.
 func (ctx *Context) renderState() gpu.RenderState {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()

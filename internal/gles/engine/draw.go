@@ -115,7 +115,10 @@ func (ctx *Context) drawProgrammable(t *kernel.Thread, mode uint32, first, count
 		return col, fetches
 	}
 
+	// Rasterize on the kernel's bounded worker pool; tiles are merged
+	// deterministically, so frames are identical for any worker count.
 	st := ctx.renderState()
+	st.Pool = t.Kernel().RasterPool()
 	var stats gpu.Stats
 	switch mode {
 	case Lines:

@@ -323,7 +323,9 @@ func (ctx *Context) drawFixed(t *kernel.Thread, mode uint32, first, count int, i
 		return col, 0
 	}
 
+	// Rasterize on the kernel's bounded worker pool, as in the GLES 2 path.
 	st := ctx.renderState()
+	st.Pool = t.Kernel().RasterPool()
 	var stats gpu.Stats
 	if mode == Lines {
 		stats = gpu.DrawLines(tgt, verts, indices, frag, st)

@@ -17,6 +17,7 @@ import (
 
 	"cycada/internal/fault"
 	"cycada/internal/obs"
+	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/vclock"
 )
 
@@ -72,6 +73,7 @@ type Kernel struct {
 
 	tracer  *obs.Tracer         // never nil; disabled by default
 	flight  *obs.FlightRecorder // never nil; the always-on black box
+	raster  *gpu.Pool           // never nil; bounds raster/compose parallelism
 	pidBase int                 // offset exported PIDs so kernels sharing a tracer don't collide
 
 	// faults is the fault injector every cross-persona seam in this kernel's
@@ -107,6 +109,12 @@ type Config struct {
 	// Faults installs a fault injector at boot. Nil falls back to
 	// fault.Default(), which is itself nil unless a -faults flag set it.
 	Faults *fault.Injector
+	// RasterWorkers bounds the worker pool the software GPU and
+	// SurfaceFlinger use for tiled rasterization and compose. Zero sizes the
+	// pool to GOMAXPROCS; 1 forces fully serial rendering. Any value yields
+	// byte-identical frames — the tiled rasterizer is deterministic across
+	// worker counts — so this only trades latency for CPU.
+	RasterWorkers int
 }
 
 // New creates a kernel.
@@ -136,6 +144,7 @@ func New(cfg Config) *Kernel {
 		flavor:  flavor,
 		tracer:  tracer,
 		flight:  flight,
+		raster:  gpu.NewPool(cfg.RasterWorkers),
 		pidBase: tracer.AllocPIDSpace(),
 		devices: make(map[string]Device),
 		mach:    make(map[string]MachService),
@@ -167,6 +176,10 @@ func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // Flight returns the flight recorder this kernel's events go to.
 func (k *Kernel) Flight() *obs.FlightRecorder { return k.flight }
+
+// RasterPool returns the bounded worker pool the kernel's graphics devices
+// (software GPU tiles, SurfaceFlinger compose) render on.
+func (k *Kernel) RasterPool() *gpu.Pool { return k.raster }
 
 // SetFaultInjector installs (nil uninstalls) the fault injector the kernel's
 // injection points consult. Safe to call on a running kernel.

@@ -22,8 +22,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger"
-go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger
+echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu"
+go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu
 
 echo "== chaos smoke (fault-injection invariants under -race)"
 go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
@@ -33,6 +33,9 @@ go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
 echo "== bench smoke (diplomat hot path)"
 go test -run='^$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
+
+echo "== bench smoke (tiled rasterizer, 1..8 workers)"
+go test -run='^$' -bench='BenchmarkRasterTiles' -benchtime=1x ./internal/sim/gpu
 
 echo "== obs overhead gate (fully-disabled observability within 3% of baseline)"
 # The always-compiled-in observability layer (tracer + flight recorder +
