@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-smoke bench-json trace replay-golden chaos top
+.PHONY: check test bench bench-smoke bench-json trace replay-golden chaos top farm farm-soak
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
 # concurrency-heavy core and replay packages, golden-trace verification,
@@ -24,10 +24,11 @@ bench-smoke:
 	go test -run='^$$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
 
 # Machine-readable benchmark dump: the tiled-rasterizer worker series
-# (BenchmarkRasterTiles/workers=1..8) and the replay benchmarks, written to
-# BENCH_6.json with the host core count so scaling numbers are interpretable.
+# (BenchmarkRasterTiles/workers=1..8), the replay benchmarks, and the farm
+# throughput grid (BenchmarkFarm/d{N}s{M}), written to BENCH_7.json with the
+# host core count so scaling numbers are interpretable.
 bench-json:
-	./scripts/benchjson.sh BENCH_6.json
+	./scripts/benchjson.sh BENCH_7.json
 
 # Long chaos soak: golden traces under many generated fault schedules, with
 # the recovery invariants checked for every seed. Tier-1 runs 8 seeds (see
@@ -45,3 +46,17 @@ trace:
 # (sessions, replicas, surface health, frame histograms, flight recorder).
 top:
 	go run ./cmd/cycadatop
+
+# Multi-device farm demo: 2 device stacks, 8 verified trace-replay sessions
+# through the admission-controlled scheduler, per-session frame health.
+farm:
+	go run ./cmd/cycadafarm -devices 2 -sessions 8 \
+		-trace internal/replay/testdata/passmark-2d.cytr -verify
+
+# Heavier farm soak under the race detector: more devices and sessions than
+# the tier-1 run in check.sh. Override with SOAK_DEVICES/SOAK_SESSIONS.
+SOAK_DEVICES ?= 3
+SOAK_SESSIONS ?= 24
+farm-soak:
+	go test -race ./internal/farm -run 'TestFarmSoak' -v \
+		-soak.devices=$(SOAK_DEVICES) -soak.sessions=$(SOAK_SESSIONS)

@@ -1,0 +1,219 @@
+// Command cycadafarm boots a multi-device Cycada farm — N independent device
+// stacks in one process — and pushes M iOS app sessions through its
+// scheduler: harness scenarios or CYTR trace replays, placed least-loaded
+// (or pinned/affinity-hashed), admitted through a bounded queue with
+// backpressure. It reports scheduler throughput and per-session frame
+// health, as text or JSON.
+//
+// Usage:
+//
+//	cycadafarm -devices 2 -sessions 8 -scenario passmark-2d
+//	cycadafarm -devices 4 -sessions 32 -trace webkit-tiles.cytr -verify -json
+//	cycadafarm -devices 2 -sessions 8 -scenario passmark-2d -faults seed=7,rate=0.02,points=egl_present
+//
+// With -verify every trace session runs differential checking: per-present
+// screen checksums and the final frame must match the recorded values, which
+// proves a farm session renders byte-identically to a single-stack replay.
+// With -faults every session gets its own session-scoped injector (same
+// schedule, per-session decision sequences), exercising failure isolation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cycada/internal/farm"
+	"cycada/internal/fault"
+	"cycada/internal/harness"
+	"cycada/internal/obs"
+	"cycada/internal/replay"
+)
+
+type sessionReport struct {
+	Name       string  `json:"name"`
+	Device     int     `json:"device"`
+	OK         bool    `json:"ok"`
+	Error      string  `json:"error,omitempty"`
+	Checksum   string  `json:"checksum"`
+	Frames     int64   `json:"frames"`
+	FrameP50us float64 `json:"frame_p50_us"`
+	FrameP95us float64 `json:"frame_p95_us"`
+	FrameP99us float64 `json:"frame_p99_us"`
+	QueuedMs   float64 `json:"queued_ms"`
+	RanMs      float64 `json:"ran_ms"`
+	Faults     string  `json:"faults,omitempty"`
+}
+
+type report struct {
+	Devices        int             `json:"devices"`
+	Sessions       int             `json:"sessions"`
+	Completed      uint64          `json:"completed"`
+	Failed         uint64          `json:"failed"`
+	Rejected       uint64          `json:"rejected"`
+	QueueHighWater int             `json:"queue_high_water"`
+	WallMs         float64         `json:"wall_ms"`
+	SessionsPerSec float64         `json:"sessions_per_sec"`
+	PerSession     []sessionReport `json:"per_session"`
+}
+
+func main() {
+	devices := flag.Int("devices", 2, "device stacks to boot")
+	sessions := flag.Int("sessions", 8, "sessions to run")
+	scenario := flag.String("scenario", "", fmt.Sprintf("harness scenario to run per session (one of %v)", harness.Scenarios()))
+	trace := flag.String("trace", "", "CYTR trace to replay per session (alternative to -scenario)")
+	verify := flag.Bool("verify", false, "differentially verify every trace replay against its recorded checksums")
+	queue := flag.Int("queue", 0, "admission queue bound (0 = 4x devices)")
+	inflight := flag.Int("inflight", 0, "max concurrently running sessions (0 = devices)")
+	workers := flag.Int("workers", 0, "raster workers per device (0 = GOMAXPROCS)")
+	sharePool := flag.Bool("share-pool", false, "one shared raster pool across all devices instead of one per device")
+	faults := flag.String("faults", "", "per-session fault schedule, e.g. seed=7,rate=0.02,points=egl_present")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	snapshot := flag.Bool("snapshot", false, "print a live-state snapshot (including the farm section) after the run")
+	flag.Parse()
+
+	if err := run(*devices, *sessions, *scenario, *trace, *verify, *queue, *inflight,
+		*workers, *sharePool, *faults, *jsonOut, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "cycadafarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(devices, sessions int, scenario, tracePath string, verify bool,
+	queue, inflight, workers int, sharePool bool, faultSpec string, jsonOut, snapshot bool) error {
+	if (scenario == "") == (tracePath == "") {
+		return fmt.Errorf("exactly one of -scenario or -trace is required")
+	}
+	var tr *replay.Trace
+	if tracePath != "" {
+		var err error
+		if tr, err = replay.ReadFile(tracePath); err != nil {
+			return err
+		}
+	}
+	var sched *fault.Schedule
+	if faultSpec != "" {
+		s, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			return err
+		}
+		sched = &s
+	}
+	if snapshot {
+		obs.SetSnapshotSourcesEnabled(true)
+	}
+
+	f := farm.New(farm.Config{
+		Devices:       devices,
+		MaxQueue:      queue,
+		MaxInFlight:   inflight,
+		RasterWorkers: workers,
+		SharePool:     sharePool,
+	})
+	start := time.Now()
+	handles := make([]*farm.Session, 0, sessions)
+	next := 0 // oldest handle not yet waited on (backpressure)
+	for i := 0; i < sessions; i++ {
+		spec := farm.SessionSpec{Name: fmt.Sprintf("s%03d", i), Faults: sched}
+		if tr != nil {
+			spec.Trace, spec.Verify = tr, verify
+		} else {
+			spec.Scenario = scenario
+		}
+		for {
+			s, err := f.Submit(spec)
+			if err == nil {
+				handles = append(handles, s)
+				break
+			}
+			if err != farm.ErrSaturated {
+				return err
+			}
+			// Backpressure: the queue is full, so drain the oldest outstanding
+			// session before retrying (what a real load balancer does when the
+			// farm pushes back).
+			if next >= len(handles) {
+				return fmt.Errorf("saturated with no outstanding sessions (queue=%d)", queue)
+			}
+			<-handles[next].Done()
+			next++
+		}
+	}
+	f.Wait()
+	wall := time.Since(start)
+	stats := f.Stats()
+
+	rep := report{
+		Devices:        devices,
+		Sessions:       sessions,
+		Completed:      stats.Completed,
+		Failed:         stats.Failed,
+		Rejected:       stats.Rejected,
+		QueueHighWater: stats.QueueHighWater,
+		WallMs:         float64(wall.Microseconds()) / 1e3,
+		SessionsPerSec: float64(sessions) / wall.Seconds(),
+	}
+	failed := 0
+	for _, s := range handles {
+		res := s.Result()
+		sr := sessionReport{
+			Name:       res.Name,
+			Device:     res.Device,
+			OK:         res.Err == nil,
+			Checksum:   fmt.Sprintf("%08x", res.Checksum),
+			Frames:     res.Frames,
+			FrameP50us: res.FrameP50.Micros(),
+			FrameP95us: res.FrameP95.Micros(),
+			FrameP99us: res.FrameP99.Micros(),
+			QueuedMs:   float64(res.Queued.Microseconds()) / 1e3,
+			RanMs:      float64(res.Ran.Microseconds()) / 1e3,
+		}
+		if res.Err != nil {
+			sr.Error = res.Err.Error()
+			failed++
+		}
+		if sched != nil {
+			sr.Faults = res.FaultStats.String()
+		}
+		rep.PerSession = append(rep.PerSession, sr)
+	}
+
+	if snapshot {
+		// Capture while the farm's snapshot source is still registered.
+		defer fmt.Print(obs.Snapshot().Text())
+	}
+	f.Close()
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("farm: %d devices, %d sessions in %v (%.1f sessions/sec), queue high-water %d, %d rejected\n",
+			rep.Devices, rep.Sessions, wall.Round(time.Millisecond), rep.SessionsPerSec,
+			rep.QueueHighWater, rep.Rejected)
+		for _, sr := range rep.PerSession {
+			status := "ok  "
+			if !sr.OK {
+				status = "FAIL"
+			}
+			fmt.Printf("%s %s dev=%d frames=%d p95=%.1fus queued=%.1fms ran=%.1fms screen=%s",
+				status, sr.Name, sr.Device, sr.Frames, sr.FrameP95us, sr.QueuedMs, sr.RanMs, sr.Checksum)
+			if sr.Faults != "" {
+				fmt.Printf(" faults[%s]", sr.Faults)
+			}
+			if sr.Error != "" {
+				fmt.Printf(" err=%v", sr.Error)
+			}
+			fmt.Println()
+		}
+	}
+	if failed > 0 && sched == nil {
+		return fmt.Errorf("%d/%d sessions failed", failed, sessions)
+	}
+	return nil
+}

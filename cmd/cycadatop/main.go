@@ -7,9 +7,14 @@
 // health, frame-latency histograms, flight-recorder and fault-injection
 // status.
 //
+// With -farm the workload runs through a small device farm instead of a
+// single stack, and the snapshot gains the farm scheduler section:
+// per-device session counts, queue depth, and reject counters.
+//
 // Usage:
 //
 //	cycadatop [-json] [-faults seed=7,rate=0.05,points=egl_present]
+//	cycadatop -farm [-devices 2] [-sessions 4]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"cycada/internal/farm"
 	"cycada/internal/fault"
 	"cycada/internal/harness"
 	"cycada/internal/obs"
@@ -25,6 +31,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the snapshot as JSON instead of text")
 	faults := flag.String("faults", "", "fault schedule for the booted kernel, e.g. seed=7,rate=0.05,points=egl_present")
+	farmMode := flag.Bool("farm", false, "run the workload through a device farm and include its scheduler section")
+	devices := flag.Int("devices", 2, "farm device stacks (with -farm)")
+	sessions := flag.Int("sessions", 4, "farm sessions to run (with -farm)")
 	flag.Parse()
 
 	if *faults != "" {
@@ -41,7 +50,32 @@ func main() {
 	obs.SetSnapshotSourcesEnabled(true)
 	obs.DefaultHistograms.SetEnabled(true)
 
-	if err := harness.TraceScenario(); err != nil {
+	if *farmMode {
+		// The queue is sized to hold the whole batch: cycadatop is a snapshot
+		// probe, not a backpressure demo (cycadafarm exercises saturation).
+		f := farm.New(farm.Config{Devices: *devices, MaxQueue: *sessions + 1})
+		// Close after the snapshot: the farm's scheduler section must still
+		// be registered when Snapshot polls the sources.
+		defer f.Close()
+		var handles []*farm.Session
+		for i := 0; i < *sessions; i++ {
+			s, err := f.Submit(farm.SessionSpec{
+				Name:     fmt.Sprintf("top-%d", i),
+				Scenario: "passmark-2d",
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cycadatop:", err)
+				os.Exit(1)
+			}
+			handles = append(handles, s)
+		}
+		f.Wait()
+		for _, s := range handles {
+			if res := s.Result(); res.Err != nil {
+				fmt.Fprintln(os.Stderr, "cycadatop: session degraded:", res.Err)
+			}
+		}
+	} else if err := harness.TraceScenario(); err != nil {
 		// Under an aggressive -faults schedule the scenario may degrade; the
 		// snapshot of the degraded system is exactly what cycadatop is for.
 		fmt.Fprintln(os.Stderr, "cycadatop: workload degraded:", err)

@@ -186,9 +186,11 @@ type Lib struct {
 	frameDeadline atomic.Int64
 }
 
-// presentHist is the eglSwapBuffers latency distribution (frame-health
-// telemetry); gated by the default histogram registry.
-var presentHist = obs.DefaultHistograms.Histogram("egl-present")
+// PresentHistName names the eglSwapBuffers latency distribution
+// (frame-health telemetry) in the owning kernel's histogram registry.
+// Resolution happens per present through the thread, so a scheduler that
+// swaps the kernel's registry scopes these samples to the running session.
+const PresentHistName = "egl-present"
 
 // SetFrameDeadline sets (or, with 0, clears) the present-latency budget.
 func (l *Lib) SetFrameDeadline(d vclock.Duration) { l.frameDeadline.Store(int64(d)) }
@@ -414,7 +416,7 @@ func (l *Lib) SwapBuffers(t *kernel.Thread, s *Surface) error {
 // histogram, the flight-recorder span, and — when a deadline is configured
 // and missed — the deadline-miss marker plus an automatic flight dump.
 func (l *Lib) observePresent(t *kernel.Thread, dur vclock.Duration) {
-	presentHist.Observe(t.TID(), dur)
+	t.Histograms().Histogram(PresentHistName).Observe(t.TID(), dur)
 	t.FlightRecord(obs.FlightSpan, obs.CatEGL, "egl:present", int64(dur))
 	if dl := l.frameDeadline.Load(); dl > 0 && int64(dur) > dl {
 		t.FlightRecord(obs.FlightMark, obs.CatEGL, "frame_deadline_miss", int64(dur))

@@ -9,14 +9,13 @@ import (
 	"sync"
 
 	"cycada/internal/android/gralloc"
-	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 )
 
-// composeHist is the per-buffer composition latency distribution (frame-health
-// telemetry); gated by the default histogram registry.
-var composeHist = obs.DefaultHistograms.Histogram("sf-compose")
+// ComposeHistName names the per-buffer composition latency distribution
+// (frame-health telemetry) in the owning kernel's histogram registry.
+const ComposeHistName = "sf-compose"
 
 // ServiceName is the Binder name SurfaceFlinger registers under.
 const ServiceName = "SurfaceFlinger"
@@ -91,6 +90,21 @@ func (f *Flinger) Frames() int {
 	return f.frames
 }
 
+// Reset returns the compositor to its boot state: the scan-out image is
+// cleared to black and every layer is dropped (their owners are gone — the
+// device farm calls this between sessions, after the previous session's
+// process is torn down, so the next session's presents compose onto exactly
+// the screen a freshly booted stack would show). The cumulative frame
+// counter is preserved.
+func (f *Flinger) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.screen.Pix {
+		f.screen.Pix[i] = 0
+	}
+	f.layers = map[int]*layer{}
+}
+
 // Transact implements kernel.BinderService.
 func (f *Flinger) Transact(t *kernel.Thread, code uint32, data any) (any, error) {
 	switch code {
@@ -127,7 +141,7 @@ func (f *Flinger) post(t *kernel.Thread, req PostRequest) error {
 		return fmt.Errorf("sflinger: post of nil buffer")
 	}
 	start := t.VTime()
-	defer func() { composeHist.Observe(t.TID(), t.VTime()-start) }()
+	defer func() { t.Histograms().Histogram(ComposeHistName).Observe(t.TID(), t.VTime()-start) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l, ok := f.layers[req.Layer]

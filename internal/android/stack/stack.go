@@ -18,6 +18,7 @@ import (
 	"cycada/internal/android/sflinger"
 	"cycada/internal/linker"
 	"cycada/internal/obs"
+	"cycada/internal/sim/gpu"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
 )
@@ -46,9 +47,12 @@ type Config struct {
 	ScreenH  int
 	Tracer   *obs.Tracer         // nil = obs.Default
 	Flight   *obs.FlightRecorder // nil = obs.DefaultFlight
+	Hists    *obs.Histograms     // nil = obs.DefaultHistograms
 	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
 	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
 	RasterWorkers int
+	// RasterPool overrides RasterWorkers with a pool shared across stacks.
+	RasterPool *gpu.Pool
 }
 
 // New boots an Android system: kernel, gralloc driver, SurfaceFlinger.
@@ -56,7 +60,16 @@ func New(cfg Config) *System {
 	if cfg.ScreenW == 0 {
 		cfg.ScreenW, cfg.ScreenH = ScreenW, ScreenH
 	}
-	k := kernel.New(kernel.Config{Platform: cfg.Platform, Flavor: cfg.Flavor, Clock: cfg.Clock, Tracer: cfg.Tracer, Flight: cfg.Flight, RasterWorkers: cfg.RasterWorkers})
+	k := kernel.New(kernel.Config{
+		Platform:      cfg.Platform,
+		Flavor:        cfg.Flavor,
+		Clock:         cfg.Clock,
+		Tracer:        cfg.Tracer,
+		Flight:        cfg.Flight,
+		Histograms:    cfg.Hists,
+		RasterWorkers: cfg.RasterWorkers,
+		RasterPool:    cfg.RasterPool,
+	})
 	g := gralloc.NewDevice()
 	k.RegisterDevice(gralloc.DevicePath, g)
 	f := sflinger.New(cfg.ScreenW, cfg.ScreenH)

@@ -107,7 +107,7 @@ type Diplomat struct {
 	// diplomat is Unimplemented.
 	met      *obs.Metric
 	spanName string // "diplomat:<name>", precomputed for the call span
-	// hist is the shared diplomat-call latency histogram (frame-health
+	// hist is the diplomat-call latency histogram (frame-health
 	// telemetry): where met records count+total per function, hist records
 	// the tail distribution across all diplomat calls. Gated by its registry,
 	// so the disabled cost per call is one atomic load.
@@ -125,6 +125,10 @@ type Diplomat struct {
 	// without a per-diplomat mutex or map.
 	fid atomic.Uint32
 }
+
+// CallHistName names the diplomat-call latency histogram in the kernel's
+// histogram registry.
+const CallHistName = "diplomat-call"
 
 // Config creates diplomats for one diplomatic library.
 type Config struct {
@@ -177,7 +181,11 @@ func New(cfg Config, name string, kind Kind, wrapper Wrapper) (*Diplomat, error)
 		poison:    cfg.Poison,
 		spanName:  "diplomat:" + name,
 		panicName: "diplomat_panic:" + name,
-		hist:      obs.DefaultHistograms.Histogram("diplomat-call"),
+		// Resolved once from the registry current at construction: diplomats
+		// are built per app process, so a scheduler that scopes the kernel's
+		// registry to a session gets per-session diplomat-call samples while
+		// the hot path keeps its cached pointer (no per-call lookup).
+		hist: cfg.Linker.Proc().Kernel().Histograms().Histogram(CallHistName),
 	}
 	// Unimplemented diplomats never execute, so they get no metric: the
 	// paper's figures must not show functions that are never called.

@@ -77,11 +77,13 @@ type surfBinding struct {
 	tex uint32
 }
 
-// Frame-health histograms for the two bridge hot paths: making a foreign
-// context current (replica switch + impersonation) and the §5 blit present.
-var (
-	makeCurrentHist = obs.DefaultHistograms.Histogram("eglbridge-make-current")
-	blitHist        = obs.DefaultHistograms.Histogram("eglbridge-blit")
+// Frame-health histogram names for the two bridge hot paths: making a
+// foreign context current (replica switch + impersonation) and the §5 blit
+// present. Resolved per call through the thread's kernel registry so the
+// samples scope to whatever stack or session the call runs under.
+const (
+	MakeCurrentHistName = "eglbridge-make-current"
+	BlitHistName        = "eglbridge-blit"
 )
 
 // ContextCount reports how many threads currently have a backend context
@@ -236,7 +238,7 @@ func (l *Lib) makeCurrent(t *kernel.Thread, b *bctx) error {
 	sp := t.TraceBegin(obs.CatEGL, "egl:make_current")
 	defer t.TraceEnd(sp)
 	start := t.VTime()
-	defer func() { makeCurrentHist.Observe(t.TID(), t.VTime()-start) }()
+	defer func() { t.Histograms().Histogram(MakeCurrentHistName).Observe(t.TID(), t.VTime()-start) }()
 	if b == nil {
 		l.mu.Lock()
 		prev := l.current[t.TID()]
@@ -328,7 +330,7 @@ func (l *Lib) drawFBOTex(t *kernel.Thread, b *bctx) error {
 	sp := t.TraceBegin(obs.CatEGL, "egl:blit_shader")
 	defer t.TraceEnd(sp)
 	start := t.VTime()
-	defer func() { blitHist.Observe(t.TID(), t.VTime()-start) }()
+	defer func() { t.Histograms().Histogram(BlitHistName).Observe(t.TID(), t.VTime()-start) }()
 	b.mu.Lock()
 	win := b.winSurf
 	tex := b.presentTex

@@ -182,10 +182,10 @@ type Session struct {
 	ended        bool
 }
 
-// sessionHist is the session-length distribution (frame-health telemetry):
-// Impersonate->End virtual time, observed on End. Gated by the default
-// histogram registry.
-var sessionHist = obs.DefaultHistograms.Histogram("impersonation-session")
+// SessionHistName names the session-length distribution (frame-health
+// telemetry) in the owning kernel's histogram registry: Impersonate->End
+// virtual time, observed on End.
+const SessionHistName = "impersonation-session"
 
 // Impersonate starts an impersonation of target by runner, performing steps
 // (3) of §7.1: save the runner's graphics TLS in both personas and replace
@@ -353,7 +353,7 @@ func (s *Session) End() error {
 	}
 	s.runner.TraceEnd(sp)
 	s.runner.TraceEnd(s.span)
-	sessionHist.Observe(s.runner.TID(), s.runner.VTime()-s.start)
+	s.runner.Histograms().Histogram(SessionHistName).Observe(s.runner.TID(), s.runner.VTime()-s.start)
 	s.runner.FlightRecord(obs.FlightMark, obs.CatImpersonation, "impersonate_end", int64(s.target.TID()))
 	if restoreErr != nil {
 		// A failed restore is the End-side rollback firing and losing: the

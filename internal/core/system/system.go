@@ -50,9 +50,13 @@ type Config struct {
 	ScreenH int
 	Tracer  *obs.Tracer         // nil = obs.Default
 	Flight  *obs.FlightRecorder // nil = obs.DefaultFlight
+	Hists   *obs.Histograms     // nil = obs.DefaultHistograms
 	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
 	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
 	RasterWorkers int
+	// RasterPool overrides RasterWorkers with a pool shared across stacks
+	// (the device farm's shared-pool mode).
+	RasterPool *gpu.Pool
 }
 
 // New boots a Cycada system.
@@ -65,7 +69,9 @@ func New(cfg Config) *Cycada {
 		ScreenH:       cfg.ScreenH,
 		Tracer:        cfg.Tracer,
 		Flight:        cfg.Flight,
+		Hists:         cfg.Hists,
 		RasterWorkers: cfg.RasterWorkers,
+		RasterPool:    cfg.RasterPool,
 	})
 	mod := coresurface.New()
 	sys.Kernel.RegisterMachService(iokit.CoreSurfaceService, mod)

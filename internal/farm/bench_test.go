@@ -1,0 +1,59 @@
+package farm_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cycada/internal/farm"
+	"cycada/internal/replay"
+)
+
+// BenchmarkFarm measures scheduler throughput (sessions/sec) across a
+// devices x sessions grid of verified golden-trace replays — the series
+// scripts/benchjson.sh records in BENCH_7.json. Scaling devices should
+// scale throughput until the host runs out of cores.
+func BenchmarkFarm(b *testing.B) {
+	tr, err := replay.ReadFile(filepath.Join("..", "replay", "testdata", "webkit-tiles.cytr"))
+	if err != nil {
+		b.Fatalf("ReadFile: %v", err)
+	}
+	grid := []struct{ devices, sessions int }{
+		{1, 4},
+		{2, 8},
+		{4, 16},
+	}
+	for _, g := range grid {
+		b.Run(fmt.Sprintf("d%ds%d", g.devices, g.sessions), func(b *testing.B) {
+			var sessions int
+			var busy time.Duration
+			for i := 0; i < b.N; i++ {
+				f := farm.New(farm.Config{Devices: g.devices, MaxQueue: g.sessions})
+				start := time.Now()
+				handles := make([]*farm.Session, 0, g.sessions)
+				for j := 0; j < g.sessions; j++ {
+					s, err := f.Submit(farm.SessionSpec{
+						Name:   fmt.Sprintf("bench-%d", j),
+						Trace:  tr,
+						Verify: true,
+					})
+					if err != nil {
+						b.Fatalf("Submit: %v", err)
+					}
+					handles = append(handles, s)
+				}
+				f.Wait()
+				busy += time.Since(start)
+				sessions += g.sessions
+				for _, s := range handles {
+					if res := s.Result(); res.Err != nil {
+						b.Fatalf("session %s: %v", res.Name, res.Err)
+					}
+				}
+				f.Close()
+			}
+			b.ReportMetric(float64(sessions)/busy.Seconds(), "sessions/sec")
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/core/system"
+	"cycada/internal/fault"
+	"cycada/internal/harness"
+	"cycada/internal/obs"
+	"cycada/internal/replay"
+	"cycada/internal/sim/gpu"
+)
+
+// Device is one booted Cycada stack plus its scheduler state. All scheduler
+// fields (queue, counters, busy) are guarded by the owning farm's mutex; the
+// stack itself is touched only by the device's scheduler goroutine, which
+// runs sessions one at a time.
+type Device struct {
+	// ID is the device's 0-based index in the farm.
+	ID int
+	// Hists is the device's base histogram registry: what the kernel scopes
+	// to between sessions (boot, teardown, anything outside a session body).
+	Hists *obs.Histograms
+	// Flight is the device's flight recorder — a per-device black box, so one
+	// device's crash dump is not interleaved with its siblings'.
+	Flight *obs.FlightRecorder
+
+	farm *Farm
+	sys  *system.Cycada
+
+	queue    []*Session
+	sessions int
+	failures int
+	busy     bool
+}
+
+// bootDevice boots one device stack with device-scoped observability. When
+// shared is non-nil all devices compose on that one raster pool; otherwise
+// each device gets its own pool sized by Config.RasterWorkers.
+func bootDevice(f *Farm, id int, shared *gpu.Pool) *Device {
+	d := &Device{
+		ID:     id,
+		Hists:  obs.NewHistograms(),
+		Flight: obs.NewFlightRecorder(),
+		farm:   f,
+	}
+	d.Hists.SetEnabled(true)
+	d.Flight.SetEnabled(true)
+	d.sys = system.New(system.Config{
+		Tracer:        f.cfg.Tracer,
+		Flight:        d.Flight,
+		Hists:         d.Hists,
+		RasterWorkers: f.cfg.RasterWorkers,
+		RasterPool:    shared,
+	})
+	return d
+}
+
+// System returns the device's booted stack (tests and custom session bodies
+// submitted from outside).
+func (d *Device) System() *system.Cycada { return d.sys }
+
+// loadLocked is the placement metric: queued plus running sessions. Caller
+// holds farm.mu.
+func (d *Device) loadLocked() int {
+	n := len(d.queue)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+// run executes one session on this device's stack: scope the kernel's
+// histogram registry (and, when asked, a fault injector) to the session, run
+// the body, harvest results, then recycle the stack for the next session.
+// Only the device's scheduler goroutine calls run, so the stack is never
+// shared between session bodies.
+func (d *Device) run(s *Session) {
+	started := time.Now()
+	s.res.Device = d.ID
+	s.res.Queued = started.Sub(s.submitted)
+
+	k := d.sys.Android.Kernel
+	reg := obs.NewHistograms()
+	reg.SetEnabled(true)
+	k.SetHistograms(reg)
+	var inj *fault.Injector
+	if s.spec.Faults != nil {
+		inj = fault.NewInjector(*s.spec.Faults)
+		k.SetFaultInjector(inj)
+	}
+
+	s.res.Err = d.runBody(s)
+
+	// Unscope before harvesting: the injector must not outlive its session
+	// (a later session on this device runs fault-free unless it asks), and
+	// teardown work below records into the device registry, not the session's.
+	if inj != nil {
+		s.res.FaultStats = inj.Stats()
+		k.SetFaultInjector(nil)
+	}
+	k.SetHistograms(d.Hists)
+
+	// The scan-out checksum of the session's last composed frame — captured
+	// before the screen recycles, so a caller can compare it against a
+	// single-stack run of the same workload.
+	s.res.Checksum = d.sys.Android.Flinger.ScreenChecksum()
+	if h, ok := reg.Lookup(egl.PresentHistName); ok {
+		s.res.Frames = h.Count()
+		s.res.FrameP50 = h.P50()
+		s.res.FrameP95 = h.P95()
+		s.res.FrameP99 = h.P99()
+		s.res.FrameMax = h.Max()
+	}
+
+	// Recycle: the session's app process is gone (each body creates and
+	// releases its own), so dropping the layers and clearing the screen
+	// returns the stack to the state a fresh boot would present.
+	d.sys.Android.Flinger.Reset()
+	s.res.Ran = time.Since(started)
+}
+
+// runBody dispatches to the session body selected by the spec, converting
+// panics into session failures so a crashing body (or an injected
+// diplomat_panic that escapes recovery) fails its session, not the farm.
+func (d *Device) runBody(s *Session) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("farm: session %q panicked: %v", s.spec.Name, r)
+		}
+	}()
+	switch {
+	case s.spec.Body != nil:
+		return s.spec.Body(d.sys)
+	case s.spec.Trace != nil:
+		res, err := replay.Play(s.spec.Trace, replay.Options{
+			Verify: s.spec.Verify,
+			Tracer: d.farm.cfg.Tracer,
+			System: d.sys,
+		})
+		if err != nil {
+			return err
+		}
+		s.res.Replay = res
+		if s.spec.Verify {
+			return res.VerifyError()
+		}
+		return nil
+	default:
+		app, err := d.sys.NewIOSApp(system.AppConfig{
+			Name: fmt.Sprintf("farm-d%d-%s", d.ID, s.spec.Name),
+		})
+		if err != nil {
+			return err
+		}
+		defer app.ReleaseSnapshotSources()
+		return harness.RunScenarioApp(app, s.spec.Scenario)
+	}
+}

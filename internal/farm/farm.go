@@ -1,0 +1,319 @@
+// Package farm is the multi-device session scheduler: one process boots N
+// independent Cycada device stacks (kernel, software GPU, SurfaceFlinger,
+// linker images) and schedules M concurrent iOS app sessions across them —
+// the cloud-rendering scale-out of the ROADMAP, following Anception's and
+// Relocate-and-Emulate's many-virtual-instances-on-one-host designs.
+//
+// Scheduling model: each device runs its admitted sessions serially (a
+// session gets the stack — screen, GPU, compositor — to itself, which is
+// what keeps its replay checksums byte-identical to a single-stack run);
+// farm-level concurrency comes from the devices running in parallel.
+// Placement is explicit pin > affinity hash > least-loaded. Admission is a
+// bounded queue: when the backlog reaches Config.MaxQueue, Submit rejects
+// with ErrSaturated and the caller applies backpressure.
+//
+// Scoping: every device has its own kernel, fault injector slot, flight
+// recorder, and base histogram registry, so concurrent stacks never share
+// mutable state. Every session additionally gets a fresh histogram registry
+// swapped onto the device kernel for its duration (per-session frame
+// health) and, when its spec asks, a session-scoped fault injector.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"cycada/internal/obs"
+	"cycada/internal/sim/gpu"
+)
+
+// Farm admission errors.
+var (
+	// ErrSaturated is the backpressure signal: the admission queue is full.
+	// The caller should retry after a session completes (or shed load).
+	ErrSaturated = errors.New("farm: admission queue full")
+	// ErrClosed means Submit was called after Close began draining.
+	ErrClosed = errors.New("farm: closed")
+)
+
+// Config sizes the farm.
+type Config struct {
+	// Devices is the number of independent device stacks to boot (min 1).
+	Devices int
+	// MaxQueue bounds the number of admitted-but-not-yet-running sessions
+	// across the whole farm; at the bound Submit rejects with ErrSaturated.
+	// Zero defaults to 4x Devices.
+	MaxQueue int
+	// MaxInFlight bounds concurrently running sessions. Zero defaults to
+	// Devices (the natural bound: sessions are serial per device); smaller
+	// values throttle the farm below its device count.
+	MaxInFlight int
+	// RasterWorkers bounds each device's raster/compose pool (0 =
+	// GOMAXPROCS, 1 = serial). Frames are byte-identical for any value.
+	RasterWorkers int
+	// SharePool, when true, gives all devices one shared raster pool bound
+	// to RasterWorkers instead of one pool each — total render parallelism
+	// stays bounded no matter how many stacks are in flight.
+	SharePool bool
+	// Tracer receives every device kernel's spans; nil = obs.Default.
+	Tracer *obs.Tracer
+	// Label names the farm's snapshot section (cycadatop); default "farm".
+	Label string
+}
+
+// Farm is a running multi-device session scheduler.
+type Farm struct {
+	cfg     Config
+	devices []*Device
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// closed rejects new admissions; already-admitted sessions drain.
+	closed bool
+	// pending counts admitted sessions not yet running; running counts
+	// session bodies currently executing; outstanding is their sum.
+	pending     int
+	running     int
+	outstanding int
+	queueHW     int // high-water mark of pending
+
+	submitted uint64
+	completed uint64
+	failed    uint64
+	rejected  uint64
+
+	unregSnap func()
+	wg        sync.WaitGroup
+}
+
+// New boots the farm: Devices independent Cycada stacks, each with its own
+// flight recorder and histogram registry, plus one scheduler goroutine per
+// device. The farm registers an obs snapshot source (visible in cycadatop)
+// while snapshot sources are enabled.
+func New(cfg Config) *Farm {
+	if cfg.Devices < 1 {
+		cfg.Devices = 1
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.Devices
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = cfg.Devices
+	}
+	if cfg.Label == "" {
+		cfg.Label = "farm"
+	}
+	var shared *gpu.Pool
+	if cfg.SharePool {
+		shared = gpu.NewPool(cfg.RasterWorkers)
+	}
+	f := &Farm{cfg: cfg}
+	f.cond = sync.NewCond(&f.mu)
+	for i := 0; i < cfg.Devices; i++ {
+		f.devices = append(f.devices, bootDevice(f, i, shared))
+	}
+	f.unregSnap = obs.RegisterSnapshotSource(cfg.Label, f.snapshotSection)
+	for _, d := range f.devices {
+		f.wg.Add(1)
+		go f.deviceLoop(d)
+	}
+	return f
+}
+
+// Devices returns the number of device stacks.
+func (f *Farm) Devices() int { return len(f.devices) }
+
+// Device returns the i'th device (introspection: its flight recorder,
+// histogram registry, and underlying stack).
+func (f *Farm) Device(i int) *Device { return f.devices[i] }
+
+// Submit admits a session, places it on a device, and returns its handle.
+// It never blocks on session execution: when the backlog is at MaxQueue the
+// session is rejected with ErrSaturated (counted in Stats), and after Close
+// with ErrClosed.
+func (f *Farm) Submit(spec SessionSpec) (*Session, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if spec.Scenario == "" && spec.Trace == nil && spec.Body == nil {
+		return nil, fmt.Errorf("farm: session %q has no body (need Scenario, Trace, or Body)", spec.Name)
+	}
+	if spec.Device < 0 || spec.Device > len(f.devices) {
+		return nil, fmt.Errorf("farm: session %q pins device %d, have 1..%d", spec.Name, spec.Device, len(f.devices))
+	}
+	if f.pending >= f.cfg.MaxQueue {
+		f.rejected++
+		return nil, ErrSaturated
+	}
+	f.submitted++
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("session-%d", f.submitted)
+	}
+	s := &Session{spec: spec, submitted: time.Now(), done: make(chan struct{})}
+	s.res.Name = spec.Name
+	d := f.place(spec)
+	d.queue = append(d.queue, s)
+	f.pending++
+	f.outstanding++
+	if f.pending > f.queueHW {
+		f.queueHW = f.pending
+	}
+	f.cond.Broadcast()
+	return s, nil
+}
+
+// place picks the session's device: explicit pin, then affinity hash, then
+// least-loaded (fewest queued+running, ties to the lowest index, so
+// placement is deterministic for a deterministic submission order).
+func (f *Farm) place(spec SessionSpec) *Device {
+	if spec.Device > 0 {
+		return f.devices[spec.Device-1]
+	}
+	if spec.Affinity != "" {
+		h := fnv.New32a()
+		h.Write([]byte(spec.Affinity))
+		return f.devices[int(h.Sum32())%len(f.devices)]
+	}
+	best := f.devices[0]
+	bestLoad := best.loadLocked()
+	for _, d := range f.devices[1:] {
+		if l := d.loadLocked(); l < bestLoad {
+			best, bestLoad = d, l
+		}
+	}
+	return best
+}
+
+// Wait blocks until every admitted session has finished.
+func (f *Farm) Wait() {
+	f.mu.Lock()
+	for f.outstanding > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Close drains the farm gracefully: new submissions are rejected with
+// ErrClosed, every already-admitted session runs to completion, and the
+// scheduler goroutines exit. Idempotent.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	already := f.closed
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+	if !already && f.unregSnap != nil {
+		f.unregSnap()
+	}
+}
+
+// deviceLoop is one device's scheduler: pop the next queued session when an
+// in-flight slot is free, run it, repeat; exit once the farm is closed and
+// the device's queue has drained.
+func (f *Farm) deviceLoop(d *Device) {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		for {
+			if len(d.queue) > 0 && f.running < f.cfg.MaxInFlight {
+				break
+			}
+			if f.closed && len(d.queue) == 0 {
+				f.mu.Unlock()
+				return
+			}
+			f.cond.Wait()
+		}
+		s := d.queue[0]
+		d.queue = d.queue[1:]
+		f.pending--
+		f.running++
+		d.busy = true
+		f.mu.Unlock()
+
+		d.run(s)
+
+		f.mu.Lock()
+		f.running--
+		d.busy = false
+		d.sessions++
+		if s.res.Err != nil {
+			d.failures++
+			f.failed++
+		} else {
+			f.completed++
+		}
+		f.outstanding--
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		close(s.done)
+	}
+}
+
+// DeviceStats is one device's scheduler counters.
+type DeviceStats struct {
+	ID       int  `json:"id"`
+	Sessions int  `json:"sessions"` // completed on this device (incl. failed)
+	Failures int  `json:"failures"`
+	Queued   int  `json:"queued"` // waiting in this device's queue
+	Busy     bool `json:"busy"`   // a session body is executing now
+}
+
+// Stats is a scheduler counter snapshot.
+type Stats struct {
+	Devices        []DeviceStats `json:"devices"`
+	Submitted      uint64        `json:"submitted"`
+	Completed      uint64        `json:"completed"`
+	Failed         uint64        `json:"failed"`
+	Rejected       uint64        `json:"rejected"`
+	QueueDepth     int           `json:"queue_depth"`
+	QueueHighWater int           `json:"queue_high_water"`
+	InFlight       int           `json:"in_flight"`
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{
+		Submitted:      f.submitted,
+		Completed:      f.completed,
+		Failed:         f.failed,
+		Rejected:       f.rejected,
+		QueueDepth:     f.pending,
+		QueueHighWater: f.queueHW,
+		InFlight:       f.running,
+	}
+	for _, d := range f.devices {
+		st.Devices = append(st.Devices, DeviceStats{
+			ID:       d.ID,
+			Sessions: d.sessions,
+			Failures: d.failures,
+			Queued:   len(d.queue),
+			Busy:     d.busy,
+		})
+	}
+	return st
+}
+
+// snapshotSection renders the farm for obs.Snapshot / cycadatop -farm.
+func (f *Farm) snapshotSection() obs.Section {
+	st := f.Stats()
+	var sec obs.Section
+	sec.Addf("devices", "%d", len(st.Devices))
+	sec.Addf("sessions", "submitted=%d completed=%d failed=%d rejected=%d",
+		st.Submitted, st.Completed, st.Failed, st.Rejected)
+	sec.Addf("queue-depth", "%d (high-water %d)", st.QueueDepth, st.QueueHighWater)
+	sec.Addf("in-flight", "%d", st.InFlight)
+	for _, d := range st.Devices {
+		sec.Addf(fmt.Sprintf("device[%d]", d.ID), "sessions=%d failures=%d queued=%d busy=%v",
+			d.Sessions, d.Failures, d.Queued, d.Busy)
+	}
+	return sec
+}

@@ -1,0 +1,97 @@
+package farm
+
+import (
+	"time"
+
+	"cycada/internal/core/system"
+	"cycada/internal/fault"
+	"cycada/internal/replay"
+	"cycada/internal/sim/vclock"
+)
+
+// SessionSpec describes one iOS app session to run somewhere on the farm.
+// Exactly one of Scenario, Trace, or Body selects the session body.
+type SessionSpec struct {
+	// Name labels the session in results, snapshot sections, and the app
+	// process name. Empty names are assigned "session-<n>" at admission.
+	Name string
+
+	// Scenario runs a recordable harness workload (harness.Scenarios) in a
+	// fresh app process on the placed device.
+	Scenario string
+	// Trace replays a recorded CYTR trace onto the placed device.
+	Trace *replay.Trace
+	// Verify enables differential checking during a Trace replay: every
+	// per-present screen checksum and the final frame must match the values
+	// captured at record time — the proof that a farm session renders
+	// byte-identically to a single-stack run.
+	Verify bool
+	// Body is a custom session body (load generators, tests). It runs with
+	// the device stack to itself, like every other session body.
+	Body func(sys *system.Cycada) error
+
+	// Faults, when set, arms a session-scoped fault injector on the device
+	// kernel for exactly the duration of this session. Sessions on other
+	// devices — and later sessions on the same device — are unaffected.
+	Faults *fault.Schedule
+
+	// Device pins the session to a device: 1-based, so the zero value means
+	// automatic placement. Out-of-range pins are rejected at Submit.
+	Device int
+	// Affinity, when non-empty and the session is not pinned, places the
+	// session on the device its key hashes to — all sessions sharing a key
+	// land on the same device (sticky users, cache-warm workloads).
+	Affinity string
+}
+
+// Result is what one completed session produced.
+type Result struct {
+	Name   string
+	Device int // 0-based index of the device the session ran on
+
+	// Err is the session failure, nil on success. A failed session never
+	// poisons its device: the farm recycles the stack's screen and moves on.
+	Err error
+
+	// Checksum is the device's scan-out checksum right after the session
+	// body finished (before the screen recycles for the next session).
+	Checksum uint32
+	// Replay is the replay outcome for Trace sessions, nil otherwise.
+	Replay *replay.Result
+
+	// Frame health, from the session-scoped histogram registry: every EGL
+	// present the session performed, in virtual time.
+	Frames   int64
+	FrameP50 vclock.Duration
+	FrameP95 vclock.Duration
+	FrameP99 vclock.Duration
+	FrameMax vclock.Duration
+
+	// FaultStats snapshots the session's injector counters when the spec
+	// carried a fault schedule.
+	FaultStats fault.Stats
+
+	// Queued and Ran are wall-clock: admission-to-start and start-to-finish.
+	Queued time.Duration
+	Ran    time.Duration
+}
+
+// Session is the handle Submit returns: a future for one admitted session.
+type Session struct {
+	spec      SessionSpec
+	submitted time.Time
+	done      chan struct{}
+	res       Result
+}
+
+// Spec returns the spec the session was admitted with.
+func (s *Session) Spec() SessionSpec { return s.spec }
+
+// Done is closed when the session has finished (successfully or not).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Result blocks until the session finishes and returns its outcome.
+func (s *Session) Result() Result {
+	<-s.done
+	return s.res
+}

@@ -1,0 +1,84 @@
+// Farm soak: a sustained mixed workload across several devices, sized by
+// flags so `make farm-soak` can run it under the race detector at a heavier
+// scale than the default test run (which keeps it tier-1 fast).
+package farm_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"cycada/internal/farm"
+	"cycada/internal/fault"
+	"cycada/internal/replay"
+)
+
+var (
+	soakDevices  = flag.Int("soak.devices", 2, "farm soak: device stacks")
+	soakSessions = flag.Int("soak.sessions", 8, "farm soak: total sessions")
+)
+
+// TestFarmSoak pushes a devices x sessions mix of verified trace replays —
+// every fourth one with a session-scoped fault schedule — through one farm,
+// using backpressure submission against a deliberately small queue. Every
+// fault-free session must verify byte-identically; faulted sessions may
+// fail, but only themselves.
+func TestFarmSoak(t *testing.T) {
+	traces := []*replay.Trace{golden(t, "passmark-2d"), golden(t, "webkit-tiles")}
+	f := farm.New(farm.Config{
+		Devices:   *soakDevices,
+		MaxQueue:  *soakDevices * 2,
+		SharePool: true,
+	})
+	defer f.Close()
+
+	var handles []*farm.Session
+	next := 0
+	for i := 0; i < *soakSessions; i++ {
+		spec := farm.SessionSpec{
+			Name:     fmt.Sprintf("soak-%03d", i),
+			Trace:    traces[i%len(traces)],
+			Verify:   true,
+			Affinity: fmt.Sprintf("user-%d", i%3),
+		}
+		faulted := i%4 == 3
+		if faulted {
+			spec.Faults = &fault.Schedule{
+				Seed:   uint64(i),
+				Rate:   0.05,
+				Points: []fault.Point{fault.PointEGLPresent, fault.PointBinder},
+			}
+		}
+		for {
+			s, err := f.Submit(spec)
+			if err == nil {
+				handles = append(handles, s)
+				break
+			}
+			if err != farm.ErrSaturated {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+			if next >= len(handles) {
+				t.Fatalf("saturated with nothing outstanding")
+			}
+			<-handles[next].Done()
+			next++
+		}
+	}
+	f.Wait()
+
+	for i, s := range handles {
+		res := s.Result()
+		faulted := i%4 == 3
+		if !faulted && res.Err != nil {
+			t.Errorf("fault-free session %d: %v", i, res.Err)
+		}
+		if !faulted && res.Checksum != traces[i%len(traces)].Final.Checksum() {
+			t.Errorf("session %d checksum %08x diverged from recording", i, res.Checksum)
+		}
+	}
+	st := f.Stats()
+	if int(st.Completed+st.Failed) != *soakSessions {
+		t.Errorf("stats = %+v, want %d finished sessions", st, *soakSessions)
+	}
+}

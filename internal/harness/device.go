@@ -41,10 +41,18 @@ func Configs() []ConfigID {
 }
 
 // FrameHistogram returns the configuration's per-frame present-latency
-// histogram (frame-health telemetry). The PassMark hosts observe one sample
-// per Present into it; Fig6 renders the quantiles next to the FPS scores.
+// histogram (frame-health telemetry) in the process-wide registry. The
+// PassMark hosts observe one sample per Present into it; Fig6 renders the
+// quantiles next to the FPS scores.
 func FrameHistogram(id ConfigID) *obs.Histogram {
-	return obs.DefaultHistograms.Histogram("frame-" + string(id))
+	return FrameHistogramIn(obs.DefaultHistograms, id)
+}
+
+// FrameHistogramIn resolves the configuration's frame histogram in a
+// specific registry — the scoping hook the device farm uses so each stack's
+// (or session's) frame health stays separable from its siblings'.
+func FrameHistogramIn(hs *obs.Histograms, id ConfigID) *obs.Histogram {
+	return hs.Histogram("frame-" + string(id))
 }
 
 // Device is a booted configuration with factories for each workload. Each

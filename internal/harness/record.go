@@ -40,7 +40,7 @@ func RecordScenario(name string) (*replay.Trace, error) {
 	})
 	detach := replay.Attach(app, rec)
 	sp := app.Main().TraceBegin(obs.CatReplay, "replay:record:"+name)
-	err = runScenario(app, name)
+	err = RunScenarioApp(app, name)
 	app.Main().TraceEnd(sp)
 	detach()
 	if err != nil {
@@ -49,7 +49,10 @@ func RecordScenario(name string) (*replay.Trace, error) {
 	return rec.Finish()
 }
 
-func runScenario(app *system.IOSApp, name string) error {
+// RunScenarioApp drives the named scenario against an already-created iOS
+// app process — the session body the device farm schedules onto its booted
+// stacks (RecordScenario wraps it with a fresh system and a recorder).
+func RunScenarioApp(app *system.IOSApp, name string) error {
 	switch name {
 	case "passmark-2d":
 		return runPassmarkTests(app, []string{"Solid Vectors", "Image Rendering"})
@@ -75,10 +78,13 @@ func runPassmarkTests(app *system.IOSApp, tests []string) error {
 		eagl:     app.EAGL,
 		newLayer: app.NewLayer,
 		cpuDraw:  app.Main().Costs().PerPixelCPUDrawIOS,
-		// Recording runs on the Cycada iOS configuration; its presents feed
-		// the same frame-health histogram as the harness boot path.
-		frameHist: FrameHistogram(CycadaIOS),
+		// Scenario presents feed the Cycada iOS frame-health histogram of
+		// whatever registry the app's kernel is scoped to — the process-wide
+		// default for single-stack boots, a per-session registry under the
+		// device farm.
+		frameHist: FrameHistogramIn(app.Main().Histograms(), CycadaIOS),
 	}
+	defer passmark.ForgetPrograms(h)
 	for _, test := range tests {
 		if _, err := passmark.Run(h, passmark.VariantIOS, test, recordFrames); err != nil {
 			return fmt.Errorf("passmark %s: %w", test, err)

@@ -179,6 +179,9 @@ type Linker struct {
 	ctorRuns map[string]int // per-blueprint constructor count (tests, §8.1)
 }
 
+// Proc returns the process this linker links for.
+func (l *Linker) Proc() *kernel.Process { return l.proc }
+
 // New creates a linker for a process.
 func New(proc *kernel.Process) *Linker {
 	return &Linker{

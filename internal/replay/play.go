@@ -25,6 +25,14 @@ type Options struct {
 	// events (boot is always fault-free). Each Play gets its own kernel, so
 	// one injector must not be shared between concurrent replays.
 	Faults *fault.Injector
+	// System, when set, replays onto this already-booted Cycada stack
+	// instead of booting a fresh one: the device farm's session body. The
+	// stack's screen geometry must match the trace, the screen must be in
+	// its boot state (see sflinger.Flinger.Reset), and the caller must not
+	// run anything else on the stack during the replay — checksum
+	// verification reads the shared scan-out image. The replay still creates
+	// (and tears down the introspection sources of) its own app process.
+	System *system.Cycada
 }
 
 // Mismatch is one present whose replayed screen checksum differs from the
@@ -67,6 +75,11 @@ func Play(tr *Trace, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.app.ReleaseSnapshotSources()
+	if opts.System != nil && opts.Faults != nil {
+		// On a caller-owned stack the injector must not outlive the replay.
+		defer opts.System.Android.Kernel.SetFaultInjector(nil)
+	}
 	if err := p.run(tr); err != nil {
 		return nil, err
 	}
@@ -81,11 +94,16 @@ func boot(tr *Trace, opts Options) (*player, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	sys := system.New(system.Config{
-		ScreenW: tr.ScreenW,
-		ScreenH: tr.ScreenH,
-		Tracer:  opts.Tracer,
-	})
+	sys := opts.System
+	if sys == nil {
+		sys = system.New(system.Config{
+			ScreenW: tr.ScreenW,
+			ScreenH: tr.ScreenH,
+			Tracer:  opts.Tracer,
+		})
+	} else if w, h := sys.Android.Flinger.Size(); w != tr.ScreenW || h != tr.ScreenH {
+		return nil, fmt.Errorf("replay: stack screen %dx%d does not match trace %dx%d", w, h, tr.ScreenW, tr.ScreenH)
+	}
 	app, err := sys.NewIOSApp(system.AppConfig{Name: "replay-" + tr.Label})
 	if err != nil {
 		return nil, fmt.Errorf("replay: boot: %w", err)
@@ -138,15 +156,21 @@ func Verify(tr *Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(res.Mismatches) > 0 {
-		m := res.Mismatches[0]
-		return res, fmt.Errorf("replay: %d/%d present checksums diverged; first at present %d (event %d): recorded %08x, replayed %08x",
-			len(res.Mismatches), res.Presents, m.Present, m.Event, m.Want, m.Got)
+	return res, res.VerifyError()
+}
+
+// VerifyError returns nil when every differential check passed, otherwise an
+// error describing the first divergence (the same rendering Verify returns).
+func (r *Result) VerifyError() error {
+	if len(r.Mismatches) > 0 {
+		m := r.Mismatches[0]
+		return fmt.Errorf("replay: %d/%d present checksums diverged; first at present %d (event %d): recorded %08x, replayed %08x",
+			len(r.Mismatches), r.Presents, m.Present, m.Event, m.Want, m.Got)
 	}
-	if res.FinalChecked && !res.FinalOK {
-		return res, fmt.Errorf("replay: final frame diverged: recorded %08x, replayed %08x", res.FinalWant, res.FinalGot)
+	if r.FinalChecked && !r.FinalOK {
+		return fmt.Errorf("replay: final frame diverged: recorded %08x, replayed %08x", r.FinalWant, r.FinalGot)
 	}
-	return res, nil
+	return nil
 }
 
 type player struct {

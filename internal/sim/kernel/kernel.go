@@ -76,6 +76,12 @@ type Kernel struct {
 	raster  *gpu.Pool           // never nil; bounds raster/compose parallelism
 	pidBase int                 // offset exported PIDs so kernels sharing a tracer don't collide
 
+	// hists is the histogram registry this kernel's frame-health sites
+	// (EGL present, SurfaceFlinger compose, diplomat calls, impersonation
+	// sessions) record into. Never nil; swappable at runtime so a scheduler
+	// can scope the samples of one session to its own registry.
+	hists atomic.Pointer[obs.Histograms]
+
 	// faults is the fault injector every cross-persona seam in this kernel's
 	// world consults (via Thread.Faults). Nil means injection is off and the
 	// whole per-site cost is this one atomic load.
@@ -106,6 +112,11 @@ type Config struct {
 	// black box dumped on panic isolation, rollback, chaos invariant
 	// failure, and frame deadline misses). Nil attaches obs.DefaultFlight.
 	Flight *obs.FlightRecorder
+	// Histograms is the frame-health histogram registry the kernel's world
+	// records into. Nil attaches obs.DefaultHistograms, which keeps every
+	// single-stack caller on the process-wide registry; a device farm gives
+	// each stack its own so concurrent stacks never mix samples.
+	Histograms *obs.Histograms
 	// Faults installs a fault injector at boot. Nil falls back to
 	// fault.Default(), which is itself nil unless a -faults flag set it.
 	Faults *fault.Injector
@@ -115,6 +126,10 @@ type Config struct {
 	// byte-identical frames — the tiled rasterizer is deterministic across
 	// worker counts — so this only trades latency for CPU.
 	RasterWorkers int
+	// RasterPool, when non-nil, overrides RasterWorkers with an existing
+	// pool. Pools are stateless, so several kernels (a device farm) can
+	// share one to bound total render parallelism across the process.
+	RasterPool *gpu.Pool
 }
 
 // New creates a kernel.
@@ -137,6 +152,14 @@ func New(cfg Config) *Kernel {
 	if flight == nil {
 		flight = obs.DefaultFlight
 	}
+	hists := cfg.Histograms
+	if hists == nil {
+		hists = obs.DefaultHistograms
+	}
+	raster := cfg.RasterPool
+	if raster == nil {
+		raster = gpu.NewPool(cfg.RasterWorkers)
+	}
 	k := &Kernel{
 		clock:   cfg.Clock,
 		costs:   cfg.Costs,
@@ -144,13 +167,14 @@ func New(cfg Config) *Kernel {
 		flavor:  flavor,
 		tracer:  tracer,
 		flight:  flight,
-		raster:  gpu.NewPool(cfg.RasterWorkers),
+		raster:  raster,
 		pidBase: tracer.AllocPIDSpace(),
 		devices: make(map[string]Device),
 		mach:    make(map[string]MachService),
 		binder:  make(map[string]BinderService),
 		procs:   make(map[int]*Process),
 	}
+	k.hists.Store(hists)
 	if cfg.Faults != nil {
 		k.faults.Store(cfg.Faults)
 	} else if inj := fault.Default(); inj != nil {
@@ -176,6 +200,23 @@ func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // Flight returns the flight recorder this kernel's events go to.
 func (k *Kernel) Flight() *obs.FlightRecorder { return k.flight }
+
+// Histograms returns the registry this kernel's frame-health sites record
+// into. Never nil.
+func (k *Kernel) Histograms() *obs.Histograms { return k.hists.Load() }
+
+// SetHistograms swaps the kernel's histogram registry at runtime (nil
+// restores obs.DefaultHistograms). A session scheduler installs a
+// session-scoped registry before running a session on this kernel's stack
+// and restores the previous one afterwards, so per-session frame health is
+// separable. Sites that cache a histogram pointer at construction keep
+// recording into the registry that was current when they were built.
+func (k *Kernel) SetHistograms(hs *obs.Histograms) {
+	if hs == nil {
+		hs = obs.DefaultHistograms
+	}
+	k.hists.Store(hs)
+}
 
 // RasterPool returns the bounded worker pool the kernel's graphics devices
 // (software GPU tiles, SurfaceFlinger compose) render on.

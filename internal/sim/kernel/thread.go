@@ -52,6 +52,12 @@ func (t *Thread) Process() *Process { return t.proc }
 // Kernel returns the owning kernel.
 func (t *Thread) Kernel() *Kernel { return t.proc.k }
 
+// Histograms returns the histogram registry of the thread's kernel — the
+// resolution point the frame-health sites (EGL present, SurfaceFlinger
+// compose, impersonation) use so their samples land in whatever registry is
+// scoped to the current stack or session.
+func (t *Thread) Histograms() *obs.Histograms { return t.proc.k.Histograms() }
+
 // Faults returns the kernel's fault injector, nil when injection is off.
 // Injection sites across the stack (linker, EGL, gralloc, diplomat) reach
 // the injector through the thread so the disabled cost stays one atomic load.

@@ -13,6 +13,7 @@ package passmark
 
 import (
 	"fmt"
+	"sync"
 
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/glesapi"
@@ -351,11 +352,29 @@ void main() {
 }
 `
 
-// complexProgram caches per-host shader programs.
-var progCache = map[Host]uint32{}
+// complexProgram caches per-host shader programs. The mutex matters under
+// the device farm, where PassMark sessions on different stacks compile
+// concurrently; entries are keyed by host and hosts die with their session,
+// so the delete below keeps the cache from growing with session count.
+var (
+	progMu    sync.Mutex
+	progCache = map[Host]uint32{}
+)
+
+// ForgetPrograms drops a host's cached programs. Callers that are done with
+// a host (the scenario runner, once its test list completes) use it so
+// short-lived session hosts don't accumulate in the cache.
+func ForgetPrograms(h Host) {
+	progMu.Lock()
+	delete(progCache, h)
+	progMu.Unlock()
+}
 
 func complexProgram(h Host, t *kernel.Thread) (uint32, error) {
-	if p, ok := progCache[h]; ok {
+	progMu.Lock()
+	p, ok := progCache[h]
+	progMu.Unlock()
+	if ok {
 		return p, nil
 	}
 	gl := h.GL()
@@ -372,7 +391,9 @@ func complexProgram(h Host, t *kernel.Thread) (uint32, error) {
 	if gl.GetProgramiv(t, prog, engine.LinkStatus) != 1 {
 		return 0, fmt.Errorf("passmark shader: %s", gl.GetProgramInfoLog(t, prog))
 	}
+	progMu.Lock()
 	progCache[h] = prog
+	progMu.Unlock()
 	return prog, nil
 }
 

@@ -1,22 +1,35 @@
 #!/bin/sh
-# Dump the raster and replay benchmark series as machine-readable JSON.
-# `make bench-json` writes BENCH_6.json at the repo root; CI or a tracking
-# dashboard can diff the series across commits. GOMAXPROCS is recorded
-# because the workers=N raster series only shows speedup on multi-core
-# hosts — on a single core the series instead measures parallel overhead.
+# Dump the raster, replay, and farm benchmark series as machine-readable
+# JSON. `make bench-json` writes BENCH_7.json at the repo root; CI or a
+# tracking dashboard can diff the series across commits. GOMAXPROCS is
+# recorded because the workers=N raster series and the devices=N farm series
+# only show speedup on multi-core hosts — on a single core those series
+# instead measure parallel overhead.
 #
 # Usage: scripts/benchjson.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 
 raster=$(go test -run='^$' -bench='^BenchmarkRasterTiles$' -benchtime=3x -benchmem ./internal/sim/gpu)
 replay=$(go test -run='^$' -bench='^BenchmarkReplay(Parallel)?$' -benchtime=1x -benchmem .)
+farm=$(go test -run='^$' -bench='^BenchmarkFarm$' -benchtime=1x -benchmem ./internal/farm)
+
+all=$(printf '%s\n%s\n%s\n' "$raster" "$replay" "$farm")
+
+# Fail loudly when an invoked benchmark produced no rows — a renamed or
+# deleted benchmark must break this script, not silently thin the series.
+for want in BenchmarkRasterTiles BenchmarkReplay BenchmarkReplayParallel BenchmarkFarm; do
+	if ! printf '%s\n' "$all" | grep -Eq "^${want}([/-]|[[:space:]]|\$)"; then
+		echo "benchjson: no output rows for ${want} — was it renamed or removed?" >&2
+		exit 1
+	fi
+done
 
 procs=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
-printf '%s\n%s\n' "$raster" "$replay" | awk -v goversion="$(go env GOVERSION)" -v procs="$procs" '
+printf '%s\n' "$all" | awk -v goversion="$(go env GOVERSION)" -v procs="$procs" '
 BEGIN {
 	printf "{\n  \"schema\": \"cycada-bench/v1\",\n"
 	printf "  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [", goversion, procs
@@ -26,14 +39,16 @@ $1 ~ /^Benchmark/ && $NF == "allocs/op" {
 	# Fields after the iteration count come in value/unit pairs; benchmarks
 	# may interleave custom ReportMetric units, so select by unit name.
 	ns = bytes = allocs = "null"
+	extra = ""
 	for (i = 3; i < NF; i += 2) {
 		if ($(i + 1) == "ns/op") ns = $i
 		else if ($(i + 1) == "B/op") bytes = $i
 		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "sessions/sec") extra = sprintf(", \"sessions_per_sec\": %s", $i)
 	}
 	if (n++) printf ","
-	printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-		$1, $2, ns, bytes, allocs
+	printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",
+		$1, $2, ns, bytes, allocs, extra
 }
 END { printf "\n  ]\n}\n" }
 ' >"$out"

@@ -22,14 +22,20 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu"
-go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu
+echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu ./internal/farm"
+go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu ./internal/farm
 
 echo "== chaos smoke (fault-injection invariants under -race)"
 go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
 
+echo "== farm soak (multi-device session scheduler under -race)"
+go test -race ./internal/farm -run 'TestFarmSoak' -soak.devices=2 -soak.sessions=8
+
 echo "== replay golden traces"
 go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
+
+echo "== farm smoke (2 devices x 8 sessions, per-session checksums vs recordings)"
+go run ./cmd/cycadafarm -devices 2 -sessions 8 -trace internal/replay/testdata/passmark-2d.cytr -verify
 
 echo "== bench smoke (diplomat hot path)"
 go test -run='^$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
@@ -71,5 +77,15 @@ for section in "== impersonation/tracedemo" "== egl/tracedemo" "== dlr/tracedemo
 	fi
 done
 go run ./cmd/cycadatop -json | go run ./scripts/jsoncheck.go
+
+echo "== cycadatop -farm smoke (scheduler snapshot section)"
+farmtop=$(go run ./cmd/cycadatop -farm -devices 2 -sessions 2)
+for key in "== farm" "queue-depth" "device\[0\]" "device\[1\]"; do
+	if ! printf '%s\n' "$farmtop" | grep -q "$key"; then
+		echo "cycadatop -farm smoke failed: missing \"$key\"" >&2
+		printf '%s\n' "$farmtop" >&2
+		exit 1
+	fi
+done
 
 echo "tier-1 checks passed"
