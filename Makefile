@@ -24,11 +24,13 @@ bench-smoke:
 	go test -run='^$$' -bench='BenchmarkDiplomatCall' -benchtime=100x .
 
 # Machine-readable benchmark dump: the tiled-rasterizer worker series
-# (BenchmarkRasterTiles/workers=1..8), the replay benchmarks, and the farm
-# throughput grid (BenchmarkFarm/d{N}s{M}), written to BENCH_7.json with the
-# host core count so scaling numbers are interpretable.
+# (BenchmarkRasterTiles/workers=1..8), the replay benchmarks, the batched
+# boundary-crossing series (BenchmarkReplayBatch, off + caps 1/16/64/256
+# with crossings and batched-call counts), and the farm throughput grid
+# (BenchmarkFarm/d{N}s{M}), written to BENCH_8.json with the host core
+# count so scaling numbers are interpretable.
 bench-json:
-	./scripts/benchjson.sh BENCH_7.json
+	./scripts/benchjson.sh BENCH_8.json
 
 # Long chaos soak: golden traces under many generated fault schedules, with
 # the recovery invariants checked for every seed. Tier-1 runs 8 seeds (see

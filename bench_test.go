@@ -547,6 +547,34 @@ func BenchmarkReplay(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkReplayBatch sweeps the command-encoder batch cap over the
+// draw-call-heavy PassMark 3D golden trace: the `crossings` metric is the
+// persona-boundary window count per replay (the number batching exists to
+// shrink), and ns/op shows the wall-clock effect of amortizing the
+// impersonation sequence. The `off` sub-bench is the serial baseline.
+func BenchmarkReplayBatch(b *testing.B) {
+	tr := loadGoldenTrace(b, "passmark-3d.cytr")
+	for _, bc := range []struct {
+		name string
+		cap  int
+	}{
+		{"off", 0}, {"cap1", 1}, {"cap16", 16}, {"cap64", 64}, {"cap256", 256},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var crossings, batched uint64
+			for i := 0; i < b.N; i++ {
+				res, err := replay.Play(tr, replay.Options{BatchCap: bc.cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				crossings, batched = res.Crossings, res.BatchedCalls
+			}
+			b.ReportMetric(float64(crossings), "crossings")
+			b.ReportMetric(float64(batched), "batched-calls")
+		})
+	}
+}
+
 // BenchmarkReplayParallel replays the same decoded trace from GOMAXPROCS
 // goroutines at once. Replays are independent (each boots its own kernel and
 // process), so on an N-core machine throughput scales with min(workers, N);

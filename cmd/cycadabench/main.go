@@ -6,10 +6,16 @@
 //	cycadabench -exp table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|acid|all
 //	cycadabench -trace out.json [-exp fig5]
 //	cycadabench -exp fig7 -faults seed=7,rate=0.01,points=egl_present
+//	cycadabench -exp fig5 -batch 64
 //
 // With -faults, every kernel booted by the experiments runs under the given
 // deterministic fault schedule (robustness soak); injected-fault counts are
 // reported on stderr at exit.
+//
+// With -batch N, every iOS app booted by the experiments enables the batched
+// GLES command encoder with a cap of N calls per boundary crossing; 0 (the
+// default) keeps the serial per-call path. Rendered output is identical
+// either way — only the crossing count and timing change.
 //
 // With -trace, tracing is enabled for the run and a Chrome trace_event file
 // is written; open it in chrome://tracing or https://ui.perfetto.dev. If -exp
@@ -25,6 +31,7 @@ import (
 
 	"cycada"
 	"cycada/internal/fault"
+	"cycada/internal/gles/glesapi"
 	"cycada/internal/obs"
 )
 
@@ -32,8 +39,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(append(cycada.Experiments(), "all"), "|"))
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file to this path")
 	faults := flag.String("faults", "", "fault schedule for every booted kernel, e.g. seed=7,rate=0.01,points=egl_present")
+	batch := flag.Int("batch", 0, "GLES batch cap for every booted iOS app (0 = serial per-call crossings)")
 	snapshot := flag.String("snapshot", "", "write a live-state introspection snapshot after the run: a path, '-' for stdout (.json for JSON)")
 	flag.Parse()
+
+	if *batch > 0 {
+		glesapi.SetDefaultBatchCap(*batch)
+	}
 
 	if *snapshot != "" {
 		// Sources register at boot, so enable before any experiment runs; the

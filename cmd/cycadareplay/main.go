@@ -4,9 +4,9 @@
 // Usage:
 //
 //	cycadareplay record -scenario passmark-2d -o trace.cytr
-//	cycadareplay replay -i trace.cytr [-n 3] [-faults seed=7,rate=0.05]
-//	cycadareplay verify trace.cytr [more.cytr ...]
-//	cycadareplay bench -i trace.cytr -workers 8 [-n 64]
+//	cycadareplay replay -i trace.cytr [-n 3] [-batch 64] [-faults seed=7,rate=0.05]
+//	cycadareplay verify [-batch 64] trace.cytr [more.cytr ...]
+//	cycadareplay bench -i trace.cytr -workers 8 [-n 64] [-batch 64]
 //	cycadareplay stat -i trace.cytr [-top 15]
 //
 // record runs a workload (PassMark sections or a WebKit tile-upload sequence)
@@ -17,6 +17,12 @@
 // values — the differential regression gate used on the golden traces in
 // internal/replay/testdata. bench replays independent copies across worker
 // goroutines and reports replays/sec. stat prints a per-call-kind histogram.
+//
+// With -batch N, replay/verify/bench drive GLES events through the batched
+// command encoder (runs of batchable calls cross the persona boundary in one
+// impersonation window of at most N calls) instead of one crossing per call.
+// The logical call stream — and therefore every differential check — is
+// identical either way; 0 (the default) keeps the serial path.
 package main
 
 import (
@@ -64,9 +70,10 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   cycadareplay record -scenario <name> -o <file>   capture a workload (scenarios: %v)
-  cycadareplay replay -i <file> [-n N] [-faults S]  re-drive a trace N times (with S, chaos mode: seed=7,rate=0.05,points=binder+egl_present)
-  cycadareplay verify <file> [file ...]            replay with differential frame checks
-  cycadareplay bench -i <file> -workers N [-n M]   parallel replay throughput
+  cycadareplay replay -i <file> [-n N] [-batch B] [-faults S]  re-drive a trace N times (with S, chaos mode: seed=7,rate=0.05,points=binder+egl_present)
+  cycadareplay verify [-batch B] <file> [file ...] replay with differential frame checks
+  cycadareplay bench -i <file> -workers N [-n M] [-batch B]  parallel replay throughput
+  (-batch B: encode GLES runs into boundary batches of <= B calls; 0 = serial)
   cycadareplay stat -i <file> [-top N]             per-call-kind histogram
 `, harness.Scenarios())
 }
@@ -100,6 +107,7 @@ func cmdReplay(args []string) error {
 	in := fs.String("i", "", "input trace file (required)")
 	n := fs.Int("n", 1, "number of replays")
 	faults := fs.String("faults", "", "fault schedule, e.g. seed=7,rate=0.05,points=binder+egl_present (chaos mode)")
+	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
 	snapshot := fs.Bool("snapshot", false, "print a live-state introspection snapshot after the run")
 	fs.Parse(args)
 	if *in == "" {
@@ -123,7 +131,13 @@ func cmdReplay(args []string) error {
 		for i := 0; i < *n; i++ {
 			s := sched
 			s.Seed = sched.Seed + uint64(i)
-			res, err := replay.Chaos(tr, s)
+			var res *replay.ChaosResult
+			var err error
+			if *batch > 0 {
+				res, err = replay.ChaosBatched(tr, s, *batch)
+			} else {
+				res, err = replay.Chaos(tr, s)
+			}
 			if err != nil {
 				return err
 			}
@@ -147,26 +161,38 @@ func cmdReplay(args []string) error {
 		return nil
 	}
 	for i := 0; i < *n; i++ {
-		res, err := replay.Play(tr, replay.Options{})
+		res, err := replay.Play(tr, replay.Options{BatchCap: *batch})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("replayed %q: %d events, %d presents\n", tr.Label, res.Events, res.Presents)
+		if *batch > 0 {
+			fmt.Printf("replayed %q: %d events, %d presents, %d calls batched over %d crossings\n",
+				tr.Label, res.Events, res.Presents, res.BatchedCalls, res.Crossings)
+		} else {
+			fmt.Printf("replayed %q: %d events, %d presents\n", tr.Label, res.Events, res.Presents)
+		}
 	}
 	return nil
 }
 
 func cmdVerify(args []string) error {
-	if len(args) == 0 {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
 		return fmt.Errorf("verify: no trace files given")
 	}
 	failed := 0
-	for _, path := range args {
+	for _, path := range files {
 		tr, err := replay.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		res, err := replay.Verify(tr)
+		res, err := replay.Play(tr, replay.Options{Verify: true, BatchCap: *batch})
+		if err == nil {
+			err = res.VerifyError()
+		}
 		if err != nil {
 			fmt.Printf("FAIL %s: %v\n", path, err)
 			failed++
@@ -176,7 +202,7 @@ func cmdVerify(args []string) error {
 			path, res.Events, res.Presents-len(res.Mismatches), res.Presents, res.FinalGot)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d/%d traces diverged", failed, len(args))
+		return fmt.Errorf("%d/%d traces diverged", failed, len(files))
 	}
 	return nil
 }
@@ -186,6 +212,7 @@ func cmdBench(args []string) error {
 	in := fs.String("i", "", "input trace file (required)")
 	workers := fs.Int("workers", 1, "parallel replay workers")
 	n := fs.Int("n", 32, "total replays")
+	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("bench: -i is required")
@@ -194,7 +221,7 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := replay.Bench(tr, *workers, *n)
+	res, err := replay.Bench(tr, *workers, *n, replay.Options{BatchCap: *batch})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,109 @@
+package egl
+
+import (
+	"cycada/internal/android/gralloc"
+	"cycada/internal/sim/kernel"
+)
+
+// Pipelined presents: with a presenter enabled, eglSwapBuffers submits the
+// frame to a dedicated presenter thread instead of posting to SurfaceFlinger
+// inline, so the app thread starts encoding frame N+1 while frame N is still
+// being retried/composed. The pipeline is one frame deep per surface — a
+// swap first waits on the surface's outstanding present (the completion
+// fence) and returns that present's deferred error, which keeps the
+// app-visible error stream one frame late but complete, and keeps at most
+// one buffer of each surface in flight (the buffer being posted is the front
+// buffer the app is not drawing into).
+//
+// Determinism: the presenter is a single thread consuming a FIFO channel, so
+// posts reach SurfaceFlinger in submission order and the egl_present fault
+// sequence is identical to the serial path. The retry/drop counters are only
+// ever advanced by post() on the presenter thread — a present is counted
+// exactly once no matter how many swaps observe its fence.
+
+// presentReq is one submitted frame.
+type presentReq struct {
+	s     *Surface
+	layer int
+	buf   *gralloc.Buffer
+	fence chan error
+}
+
+// presenter is the present-pipeline worker.
+type presenter struct {
+	t    *kernel.Thread
+	ch   chan presentReq
+	done chan struct{}
+}
+
+// EnablePipelinedPresents starts the presenter thread in proc and routes
+// subsequent window-surface swaps through it. No-op if already enabled.
+func (l *Lib) EnablePipelinedPresents(proc *kernel.Process) {
+	if l.pipeline.Load() != nil {
+		return
+	}
+	pr := &presenter{
+		t:    proc.NewThread("egl-presenter"),
+		ch:   make(chan presentReq, 16),
+		done: make(chan struct{}),
+	}
+	go l.presentLoop(pr)
+	l.pipeline.Store(pr)
+}
+
+// DisablePipelinedPresents drains in-flight presents and returns swaps to
+// the inline path. The caller must not race it against SwapBuffers — it is
+// a teardown/reconfiguration operation, not a per-frame switch.
+func (l *Lib) DisablePipelinedPresents() {
+	pr := l.pipeline.Swap(nil)
+	if pr == nil {
+		return
+	}
+	close(pr.ch)
+	<-pr.done
+	pr.t.Process().ExitThread(pr.t)
+}
+
+// PipelinedPresents reports whether the presenter is running.
+func (l *Lib) PipelinedPresents() bool { return l.pipeline.Load() != nil }
+
+// presentLoop runs on the presenter thread: each request's post — including
+// its whole transient-fault retry loop — executes here, then the result is
+// published through the request's fence.
+func (l *Lib) presentLoop(pr *presenter) {
+	for req := range pr.ch {
+		req.fence <- l.post(pr.t, req.s, req.layer, req.buf)
+	}
+	close(pr.done)
+}
+
+// submitPipelined hands a frame to the presenter. It first waits on the
+// surface's previous in-flight present and returns that present's error —
+// the fence that bounds the pipeline at one frame per surface.
+func (l *Lib) submitPipelined(pr *presenter, s *Surface, layer int, front *gralloc.Buffer) error {
+	fence := make(chan error, 1)
+	s.mu.Lock()
+	prev := s.fence
+	s.fence = fence
+	s.mu.Unlock()
+	var err error
+	if prev != nil {
+		err = <-prev
+	}
+	pr.ch <- presentReq{s: s, layer: layer, buf: front, fence: fence}
+	return err
+}
+
+// WaitForPresent blocks until the surface's outstanding pipelined present
+// (if any) has completed and returns its result. Screenshot-style readers
+// call it to synchronize the scan-out image with the last swap.
+func (l *Lib) WaitForPresent(s *Surface) error {
+	s.mu.Lock()
+	fence := s.fence
+	s.fence = nil
+	s.mu.Unlock()
+	if fence == nil {
+		return nil
+	}
+	return <-fence
+}

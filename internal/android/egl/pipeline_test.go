@@ -1,0 +1,187 @@
+// Present-pipeline tests: exactly-once retry/drop accounting under
+// pipelining, one-frame-late deferred errors, drain-on-destroy, and the
+// -race guarantee that pipelined posts never race screenshot readers.
+package egl_test
+
+import (
+	"testing"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/android/stack"
+	"cycada/internal/fault"
+)
+
+func bootPipelined(t *testing.T, sched fault.Schedule) (*stack.System, *stack.Userspace) {
+	t.Helper()
+	sys := stack.New(stack.Config{})
+	us, err := sys.NewUserspace(stack.UserConfig{
+		Name: "egl-pipeline-test",
+		EGL:  egl.Config{PipelinedPresents: true},
+	})
+	if err != nil {
+		t.Fatalf("NewUserspace: %v", err)
+	}
+	if !us.EGL.PipelinedPresents() {
+		t.Fatal("PipelinedPresents off after boot with the config flag set")
+	}
+	t.Cleanup(us.EGL.DisablePipelinedPresents)
+	inj := fault.NewInjector(sched)
+	sys.Kernel.SetFaultInjector(inj)
+	return sys, us
+}
+
+// TestPipelinedRetryCountsExactlyOnce is the double-count regression: a
+// present retried on the presenter thread must advance the lib- and
+// per-surface retry counters once per retry, no matter how many swaps and
+// fence waits observe it.
+func TestPipelinedRetryCountsExactlyOnce(t *testing.T) {
+	_, us := bootPipelined(t, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent}, Times: 2,
+	})
+	main := us.Proc.Main()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers: %v", err)
+	}
+	if err := us.EGL.WaitForPresent(s); err != nil {
+		t.Fatalf("WaitForPresent: %v", err)
+	}
+	if got := us.EGL.PresentRetries(); got != 2 {
+		t.Fatalf("lib PresentRetries = %d under pipelining, want exactly 2", got)
+	}
+	if got := s.PresentRetries(); got != 2 {
+		t.Fatalf("surface PresentRetries = %d under pipelining, want exactly 2", got)
+	}
+	if got := us.EGL.PresentsDropped() + s.PresentsDropped(); got != 0 {
+		t.Fatalf("dropped %d presents, want 0", got)
+	}
+}
+
+// A pipelined present that exhausts its retries surfaces its error at the
+// NEXT swap of the same surface (one frame late but complete), and the drop
+// is counted exactly once.
+func TestPipelinedDropReportedAtNextSwap(t *testing.T) {
+	_, us := bootPipelined(t, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointEGLPresent},
+	})
+	main := us.Proc.Main()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("first SwapBuffers returned %v, want nil (frame still in flight)", err)
+	}
+	err = us.EGL.SwapBuffers(main, s)
+	if !fault.Injected(err) {
+		t.Fatalf("second SwapBuffers = %v, want the first frame's deferred injected error", err)
+	}
+	if got := s.PresentsDropped(); got != 1 {
+		t.Fatalf("surface PresentsDropped = %d after first deferred report, want exactly 1", got)
+	}
+	// Drain the second frame; its drop is counted once too.
+	if err := us.EGL.WaitForPresent(s); !fault.Injected(err) {
+		t.Fatalf("WaitForPresent = %v, want the second frame's injected error", err)
+	}
+	if got := s.PresentsDropped(); got != 2 {
+		t.Fatalf("surface PresentsDropped = %d, want exactly 2", got)
+	}
+	if got := us.EGL.PresentsDropped(); got != 2 {
+		t.Fatalf("lib PresentsDropped = %d, want exactly 2", got)
+	}
+}
+
+// DestroySurface must drain the surface's in-flight present before freeing
+// its buffers.
+func TestDestroySurfaceDrainsPipeline(t *testing.T) {
+	sys, us := bootPipelined(t, fault.Schedule{Rate: 0})
+	main := us.Proc.Main()
+	base := sys.Gralloc.Live()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 8, 8)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	if err := us.EGL.SwapBuffers(main, s); err != nil {
+		t.Fatalf("SwapBuffers: %v", err)
+	}
+	if err := us.EGL.DestroySurface(main, s); err != nil {
+		t.Fatalf("DestroySurface with a present in flight: %v", err)
+	}
+	if got := sys.Gralloc.Live(); got != base {
+		t.Fatalf("live buffers = %d after destroy, want %d", got, base)
+	}
+}
+
+// TestPipelinedPresentVsScreenshotRace drives swaps through the presenter
+// thread while another goroutine reads the composed screen — the -race gate
+// for the pipeline: the scan-out image and the presenter must share no
+// unsynchronized state.
+func TestPipelinedPresentVsScreenshotRace(t *testing.T) {
+	sys, us := bootPipelined(t, fault.Schedule{Rate: 0})
+	main := us.Proc.Main()
+	s, err := us.EGL.CreateWindowSurface(main, 0, 0, 16, 16)
+	if err != nil {
+		t.Fatalf("CreateWindowSurface: %v", err)
+	}
+	const frames = 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			sys.Flinger.ScreenChecksum()
+			sys.Flinger.Screen()
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		if err := us.EGL.SwapBuffers(main, s); err != nil {
+			t.Errorf("SwapBuffers %d: %v", i, err)
+			break
+		}
+	}
+	if err := us.EGL.WaitForPresent(s); err != nil {
+		t.Fatalf("WaitForPresent: %v", err)
+	}
+	<-done
+	if got := us.EGL.PresentsDropped(); got != 0 {
+		t.Fatalf("dropped %d presents in a fault-free run", got)
+	}
+}
+
+// Serial and pipelined swaps must leave the same final screen: the pipeline
+// reorders work against the app thread, never against the display.
+func TestPipelinedFinalScreenMatchesSerial(t *testing.T) {
+	run := func(pipelined bool) uint32 {
+		sys := stack.New(stack.Config{})
+		us, err := sys.NewUserspace(stack.UserConfig{
+			Name: "parity",
+			EGL:  egl.Config{PipelinedPresents: pipelined},
+		})
+		if err != nil {
+			t.Fatalf("NewUserspace: %v", err)
+		}
+		main := us.Proc.Main()
+		s, err := us.EGL.CreateWindowSurface(main, 2, 3, 16, 16)
+		if err != nil {
+			t.Fatalf("CreateWindowSurface: %v", err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := us.EGL.SwapBuffers(main, s); err != nil {
+				t.Fatalf("SwapBuffers: %v", err)
+			}
+		}
+		if err := us.EGL.WaitForPresent(s); err != nil {
+			t.Fatalf("WaitForPresent: %v", err)
+		}
+		if pipelined {
+			defer us.EGL.DisablePipelinedPresents()
+		}
+		return sys.Flinger.ScreenChecksum()
+	}
+	serial, piped := run(false), run(true)
+	if serial != piped {
+		t.Fatalf("final screen %#x pipelined != %#x serial", piped, serial)
+	}
+}

@@ -125,5 +125,8 @@ func (s *System) NewUserspace(cfg UserConfig) (*Userspace, error) {
 	if _, _, err := eglLib.Initialize(main); err != nil {
 		return nil, fmt.Errorf("eglInitialize: %w", err)
 	}
+	if cfg.EGL.PipelinedPresents {
+		eglLib.EnablePipelinedPresents(proc)
+	}
 	return &Userspace{Proc: proc, Linker: l, Bionic: bionic, EGL: eglLib}, nil
 }

@@ -1,0 +1,81 @@
+package callconv
+
+import (
+	"sync"
+
+	"cycada/internal/sim/kernel"
+)
+
+// Batch is a pooled run of typed frames encoded on the foreign side and
+// flushed across the persona boundary in a single impersonation window. The
+// encoder appends frames in call order; the dispatcher decodes them in the
+// same order on the owner thread, so the logical call stream observers see is
+// identical to the serial path.
+//
+// A batch owns its frames from Append until Release: the frames are not
+// released per call, and slice/string arguments they carry are borrowed from
+// the caller until the flush — the same contract GL client arrays have, where
+// pointed-to data is read at draw/flush time rather than copied at the call.
+type Batch struct {
+	frames []*Frame
+	owner  *kernel.Thread
+	bytes  int
+}
+
+// frameOverhead approximates the encoded size of one frame's fixed slots, so
+// the byte cap tracks real payload growth rather than just the call count.
+const frameOverhead = 64
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// AcquireBatch returns an empty batch from the pool. The frame slice keeps
+// its capacity across reuse, so a warmed encoder appends without allocating.
+func AcquireBatch() *Batch {
+	return batchPool.Get().(*Batch)
+}
+
+// Release releases every appended frame and returns the batch to the pool.
+func (b *Batch) Release() {
+	for i, fr := range b.frames {
+		fr.Release()
+		b.frames[i] = nil
+	}
+	b.frames = b.frames[:0]
+	b.owner = nil
+	b.bytes = 0
+	batchPool.Put(b)
+}
+
+// Append adds a frame to the batch. Ownership of the frame transfers to the
+// batch; it is released by Release after the flush.
+func (b *Batch) Append(fr *Frame) {
+	b.frames = append(b.frames, fr)
+	b.bytes += frameOverhead + len(fr.bytes) + 4*len(fr.floats) + len(fr.str)
+}
+
+// Len reports the number of appended frames.
+func (b *Batch) Len() int { return len(b.frames) }
+
+// Bytes reports the approximate encoded payload size.
+func (b *Batch) Bytes() int { return b.bytes }
+
+// Frame returns the i-th appended frame.
+func (b *Batch) Frame(i int) *Frame { return b.frames[i] }
+
+// Owner returns the thread the batch was encoded on; the dispatcher decodes
+// on this identity regardless of which thread triggered the flush.
+func (b *Batch) Owner() *kernel.Thread { return b.owner }
+
+// SetOwner records the encoding thread.
+func (b *Batch) SetOwner(t *kernel.Thread) { b.owner = t }
+
+// BatchDispatcher is implemented by libraries that can decode and dispatch a
+// whole batch bridge-side (the diplomatic GLES bridge). CallBatch dispatches
+// every frame in append order on the batch's owner thread — inside one
+// impersonation window when possible, degrading to per-call windows when the
+// window cannot be opened (an injected batch_flush fault) — and returns the
+// first per-call failure, if any. Either way every frame has been dispatched
+// exactly once when it returns.
+type BatchDispatcher interface {
+	CallBatch(t *kernel.Thread, b *Batch) error
+}

@@ -207,10 +207,18 @@ var ErrUnimplemented = fmt.Errorf("diplomat: function not implemented in the pro
 type PanicError struct {
 	Diplomat string
 	Reason   any
+	// CallIndex is the 0-based position of the faulting call inside a batched
+	// flush, or -1 for a serial call. A mid-batch crash must be attributable
+	// to one logical GLES call even though the whole run shared a single
+	// impersonation window.
+	CallIndex int
 }
 
 // Error implements error.
 func (e *PanicError) Error() string {
+	if e.CallIndex >= 0 {
+		return fmt.Sprintf("diplomat %s: isolated panic at batch call %d: %v", e.Diplomat, e.CallIndex, e.Reason)
+	}
 	return fmt.Sprintf("diplomat %s: isolated panic: %v", e.Diplomat, e.Reason)
 }
 
@@ -352,17 +360,24 @@ func (d *Diplomat) recovered(t *kernel.Thread, r any, sp obs.Span, start vclock.
 	// here) along with the trigger itself.
 	t.FlightRecord(obs.FlightMark, obs.CatFault, d.panicName, 0)
 	t.FlightDump(d.panicName)
-	return &PanicError{Diplomat: d.Name, Reason: r}
+	return &PanicError{Diplomat: d.Name, Reason: r, CallIndex: -1}
 }
 
 func (d *Diplomat) runHook(t *kernel.Thread, prelude bool) {
-	if d.hooks == nil {
+	runHooks(t, d.hooks, prelude)
+}
+
+// runHooks dispatches a library's prelude or postlude with its configured
+// cost. Package-level so the batch dispatcher can run the hooks once per
+// window rather than once per call.
+func runHooks(t *kernel.Thread, h *Hooks, prelude bool) {
+	if h == nil {
 		// No prelude/postlude configured: the basic Cycada diplomat (the
 		// Table 3 "Diplomat" row).
 		return
 	}
 	c := t.Costs()
-	if d.hooks.GL {
+	if h.GL {
 		if prelude {
 			t.ChargeCPU(c.GLPrelude)
 		} else {
@@ -371,9 +386,9 @@ func (d *Diplomat) runHook(t *kernel.Thread, prelude bool) {
 	} else {
 		t.ChargeCPU(c.PreludeEmpty)
 	}
-	fn := d.hooks.Postlude
+	fn := h.Postlude
 	if prelude {
-		fn = d.hooks.Prelude
+		fn = h.Prelude
 	}
 	if fn != nil {
 		fn(t)

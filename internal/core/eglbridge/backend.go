@@ -129,7 +129,12 @@ func (bk *Backend) RenderbufferStorageFromDrawable(t *kernel.Thread, bc eagl.Bac
 // PresentRenderbuffer implements eagl.Backend: GLES 2 contexts present
 // through the shader blit (draw_fbo_tex), GLES 1 contexts through the copy
 // path, and both finish with eglSwapBuffers — exactly the function trio the
-// paper's profiles show.
+// paper's profiles show. By the time this runs, EAGL's flush hook has
+// drained the command encoder, so the blit reads a framebuffer that already
+// holds every logically-preceding GLES call. When the EGL layer's present
+// pipeline is on, the eglSwapBuffers here returns the previous frame's
+// deferred result off its completion fence while frame N posts to
+// SurfaceFlinger on the presenter thread.
 func (bk *Backend) PresentRenderbuffer(t *kernel.Thread, bc eagl.BackendContext) error {
 	sp := t.TraceBegin(obs.CatEGL, "egl:present")
 	defer t.TraceEnd(sp)

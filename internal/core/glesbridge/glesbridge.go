@@ -22,10 +22,12 @@ import (
 
 	"cycada/internal/core/callconv"
 	"cycada/internal/core/diplomat"
+	"cycada/internal/fault"
 	"cycada/internal/gles/engine"
 	"cycada/internal/gles/registry"
 	"cycada/internal/ios/applegles"
 	"cycada/internal/linker"
+	"cycada/internal/obs"
 	"cycada/internal/replay/tap"
 	"cycada/internal/sim/kernel"
 	"cycada/internal/sim/vclock"
@@ -62,6 +64,18 @@ type Bridge struct {
 	// replay capture). One atomic load on the hot path when unset.
 	tap atomic.Pointer[tapBox]
 
+	// batcher dispatches whole callconv batches in one impersonation window;
+	// crossings counts persona-boundary windows opened (one per serial call,
+	// one per batch flush) and batchedCalls the calls that rode in batches —
+	// the numerator/denominator of the crossings-per-frame metric.
+	batcher      *diplomat.Batcher
+	lookupByID   func(callconv.FuncID) *diplomat.Diplomat // built once; keeps CallBatch alloc-free
+	crossings    atomic.Uint64
+	batchedCalls atomic.Uint64
+	// batchHist records the flushed batch sizes (frame-health telemetry for
+	// the batch-size sweep); gated by its registry like all histograms.
+	batchHist *obs.Histogram
+
 	mu             sync.Mutex
 	unpackRowBytes int // APPLE_row_bytes state, managed foreign-side (§4.1)
 	packRowBytes   int
@@ -82,6 +96,7 @@ func (b *Bridge) SetTap(t tap.Tap) {
 
 // invoke runs one diplomat and reports it to the tap on success.
 func (b *Bridge) invoke(t *kernel.Thread, d *diplomat.Diplomat, name string, args []any) any {
+	b.crossings.Add(1)
 	ret := d.Call(t, args...)
 	if box := b.tap.Load(); box != nil {
 		if err, failed := ret.(error); !failed || err == nil {
@@ -95,6 +110,7 @@ func (b *Bridge) invoke(t *kernel.Thread, d *diplomat.Diplomat, name string, arg
 // is materialized lazily — only when the record/replay tap is active; with
 // the tap off the call completes without a single heap allocation.
 func (b *Bridge) invokeFrame(t *kernel.Thread, d *diplomat.Diplomat, name string, fr *callconv.Frame) any {
+	b.crossings.Add(1)
 	ret := d.CallFrame(t, fr)
 	if box := b.tap.Load(); box != nil {
 		if err, failed := ret.(error); !failed || err == nil {
@@ -110,8 +126,11 @@ func New(cfg Config) (*Bridge, error) {
 		return nil, fmt.Errorf("glesbridge: missing libEGLbridge handle")
 	}
 	b := &Bridge{
-		dips:  make(map[string]*diplomat.Diplomat, 344),
-		kinds: make(map[string]diplomat.Kind, 344),
+		dips:    make(map[string]*diplomat.Diplomat, 344),
+		kinds:   make(map[string]diplomat.Kind, 344),
+		batcher: diplomat.NewBatcher(cfg.Diplomat),
+		batchHist: cfg.Diplomat.Linker.Proc().Kernel().
+			Histograms().Histogram(BatchHistName),
 	}
 
 	multiCfg := cfg.Diplomat
@@ -186,6 +205,12 @@ func New(cfg Config) (*Bridge, error) {
 	for name, d := range b.dips {
 		b.byID[ids[name]] = d
 	}
+	b.lookupByID = func(id callconv.FuncID) *diplomat.Diplomat {
+		if int(id) < len(b.byID) {
+			return b.byID[id]
+		}
+		return nil
+	}
 	return b, nil
 }
 
@@ -217,6 +242,71 @@ func (b *Bridge) Call(t *kernel.Thread, name string, args ...any) any {
 	}
 	return fmt.Errorf("glesbridge: %s is not an iOS GLES function", name)
 }
+
+// BatchHistName names the flushed-batch-size histogram in the kernel's
+// histogram registry. Samples are batch lengths, not durations.
+const BatchHistName = "gles-batch-size"
+
+// CallBatch implements callconv.BatchDispatcher: the whole batch decodes and
+// dispatches in append order inside one impersonation window on the batch's
+// owner thread. When the window cannot be opened (an injected batch_flush
+// fault), the batch degrades to per-call windows — same calls, same order,
+// same observable results, just without the amortization — so the fault is
+// transparent to everything above the bridge. Frames stay owned by the
+// batch; the caller releases them via Batch.Release after this returns.
+func (b *Bridge) CallBatch(t *kernel.Thread, batch *callconv.Batch) error {
+	lookup := b.lookupByID
+	// The tap, when active, observes each frame as its own logical call in
+	// append order — record/replay sees a call stream identical to serial
+	// execution, which is what keeps golden traces byte-identical.
+	var after func(i int, fr *callconv.Frame, ret any)
+	if box := b.tap.Load(); box != nil {
+		after = func(i int, fr *callconv.Frame, ret any) {
+			if err, failed := ret.(error); !failed || err == nil {
+				box.t.Call(t, tap.GLES, callconv.Name(fr.ID()), fr.Args(), ret)
+			}
+		}
+	}
+	dispatched, err := b.batcher.Dispatch(t, batch, lookup, after)
+	if !dispatched {
+		// Window-open fault absorbed here: re-dispatch serially. Each call
+		// pays its own window (and counts its own crossing), exactly as if
+		// batching were off for this run.
+		var first error
+		if err != nil && !fault.Injected(err) {
+			first = err
+		}
+		for i := 0; i < batch.Len(); i++ {
+			fr := batch.Frame(i)
+			d := lookup(fr.ID())
+			if d == nil {
+				if first == nil {
+					first = fmt.Errorf("glesbridge: %s is not an iOS GLES function", callconv.Name(fr.ID()))
+				}
+				continue
+			}
+			ret := b.invokeFrame(t, d, callconv.Name(fr.ID()), fr)
+			if e, ok := ret.(error); ok && e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}
+	b.crossings.Add(1)
+	b.batchedCalls.Add(uint64(batch.Len()))
+	b.batchHist.Observe(t.TID(), vclock.Duration(batch.Len()))
+	t.FlightRecord(obs.FlightSpan, obs.CatBatch, "gles:batch_flush", int64(batch.Len()))
+	return err
+}
+
+// Crossings reports how many persona-boundary windows the bridge has opened:
+// one per serial call plus one per batch flush. The batching win is this
+// number falling while the logical call count stays fixed.
+func (b *Bridge) Crossings() uint64 { return b.crossings.Load() }
+
+// BatchedCalls reports how many logical calls were dispatched inside batch
+// windows.
+func (b *Bridge) BatchedCalls() uint64 { return b.batchedCalls.Load() }
 
 // CallID invokes a bridged function by interned FuncID on the boxed path.
 func (b *Bridge) CallID(t *kernel.Thread, id callconv.FuncID, args ...any) any {

@@ -91,7 +91,10 @@ func (m *Manager) Close() {
 }
 
 // GateEnter opens the graphics gate: keys created until GateExit are
-// considered graphics-related. Diplomats' GL preludes call this.
+// considered graphics-related. Diplomats' GL preludes call this — once per
+// serial call, and once per batched flush window (the batch dispatcher runs
+// the prelude/postlude pair around the whole run, so N batched calls nest
+// the gate exactly as deep as one serial call would).
 func (m *Manager) GateEnter() {
 	m.mu.Lock()
 	m.gateDepth++

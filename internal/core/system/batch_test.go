@@ -1,0 +1,227 @@
+// Command-encoder tests on the full Cycada stack: the flush-trigger matrix,
+// output parity between batched and serial rendering, and the allocation
+// budget of the batched hot path.
+package system
+
+import (
+	"testing"
+
+	"cycada/internal/gles/engine"
+	"cycada/internal/gles/glesapi"
+	"cycada/internal/ios/eagl"
+	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/kernel"
+)
+
+// bootBatchedCtx boots a Cycada app with batching on at the given cap and a
+// current GLES2 context bound to a small layer, returning the delta-friendly
+// counter baselines.
+func bootBatchedCtx(t *testing.T, cap int) (*Cycada, *IOSApp, *kernel.Thread) {
+	t.Helper()
+	c := New(Config{})
+	app, err := c.NewIOSApp(AppConfig{Name: "batched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := app.Main()
+	layer, err := app.NewLayer(th, 0, 0, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := app.EAGL.NewContext(th, eagl.APIGLES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.EAGL.SetCurrentContext(th, ctx); err != nil {
+		t.Fatal(err)
+	}
+	fbo := app.GL.GenFramebuffers(th, 1)
+	app.GL.BindFramebuffer(th, fbo[0])
+	rb := app.GL.GenRenderbuffers(th, 1)
+	app.GL.BindRenderbuffer(th, rb[0])
+	if err := ctx.RenderbufferStorageFromDrawable(th, layer); err != nil {
+		t.Fatal(err)
+	}
+	app.GL.FramebufferRenderbuffer(th, rb[0])
+	if !app.GL.EnableBatching(cap) {
+		t.Fatal("EnableBatching refused on the bridge-backed facade")
+	}
+	return c, app, th
+}
+
+func flushDelta(t *testing.T, app *IOSApp, before [glesapi.NumFlushReasons]uint64, reason glesapi.FlushReason) uint64 {
+	t.Helper()
+	return app.GL.BatchFlushCounts()[reason] - before[reason]
+}
+
+// TestEncoderFlushMatrix walks every flush trigger the ISSUE names and checks
+// the per-reason counters move exactly when they should.
+func TestEncoderFlushMatrix(t *testing.T) {
+	t.Run("observing-call", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 64)
+		before := app.GL.BatchFlushCounts()
+		calls := app.Bridge.BatchedCalls()
+		app.GL.ClearColor(th, 1, 0, 0, 1)
+		app.GL.Clear(th, engine.ColorBufferBit)
+		if e := app.GL.GetError(th); e != 0 {
+			t.Fatalf("glGetError = %#x", e)
+		}
+		if got := flushDelta(t, app, before, glesapi.FlushObserving); got != 1 {
+			t.Fatalf("observing flushes = %d, want 1", got)
+		}
+		if got := app.Bridge.BatchedCalls() - calls; got != 2 {
+			t.Fatalf("batched calls = %d, want 2 (the pending run)", got)
+		}
+	})
+
+	t.Run("cap-overflow", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 4)
+		before := app.GL.BatchFlushCounts()
+		crossings := app.Bridge.Crossings()
+		for i := 0; i < 8; i++ {
+			app.GL.ClearColor(th, 0, 0, 0, 1)
+		}
+		if got := flushDelta(t, app, before, glesapi.FlushCap); got != 2 {
+			t.Fatalf("cap flushes = %d, want 2 (8 calls / cap 4)", got)
+		}
+		if got := app.Bridge.Crossings() - crossings; got != 2 {
+			t.Fatalf("crossings = %d, want 2 windows for 8 calls", got)
+		}
+	})
+
+	t.Run("swap", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 64)
+		ctx := app.EAGL.CurrentContext(th)
+		app.GL.ClearColor(th, 0, 1, 0, 1)
+		app.GL.Clear(th, engine.ColorBufferBit)
+		before := app.GL.BatchFlushCounts()
+		calls := app.Bridge.BatchedCalls()
+		if err := ctx.PresentRenderbuffer(th); err != nil {
+			t.Fatalf("present: %v", err)
+		}
+		if got := flushDelta(t, app, before, glesapi.FlushExplicit); got < 1 {
+			t.Fatalf("explicit flushes on present = %d, want >= 1", got)
+		}
+		if got := app.Bridge.BatchedCalls() - calls; got != 2 {
+			t.Fatalf("present flushed %d batched calls, want the pending 2", got)
+		}
+	})
+
+	t.Run("context-switch", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 64)
+		ctx := app.EAGL.CurrentContext(th)
+		calls := app.Bridge.BatchedCalls()
+		app.GL.ClearColor(th, 0, 0, 1, 1)
+		before := app.GL.BatchFlushCounts()
+		if err := app.EAGL.SetCurrentContext(th, ctx); err != nil {
+			t.Fatalf("setCurrentContext: %v", err)
+		}
+		if got := flushDelta(t, app, before, glesapi.FlushExplicit); got < 1 {
+			t.Fatalf("explicit flushes on context switch = %d, want >= 1", got)
+		}
+		if got := app.Bridge.BatchedCalls() - calls; got != 1 {
+			t.Fatalf("context switch flushed %d batched calls, want 1", got)
+		}
+	})
+
+	t.Run("thread-switch", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 64)
+		before := app.GL.BatchFlushCounts()
+		app.GL.ClearColor(th, 0, 0, 0, 1) // pending on main
+		t2 := app.Proc.NewThread("worker")
+		defer app.Proc.ExitThread(t2)
+		app.GL.ClearColor(t2, 1, 1, 1, 1) // different owner: main's run must flush
+		if got := flushDelta(t, app, before, glesapi.FlushThreadSwitch); got != 1 {
+			t.Fatalf("thread-switch flushes = %d, want 1", got)
+		}
+		app.GL.FlushBatch(t2)
+	})
+
+	t.Run("batching-disabled", func(t *testing.T) {
+		c := New(Config{})
+		app, err := c.NewIOSApp(AppConfig{Name: "serial"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.GL.BatchingEnabled() {
+			t.Fatal("batching on by default without a default cap")
+		}
+		th := app.Main()
+		app.GL.ClearColor(th, 0, 0, 0, 1)
+		app.GL.Clear(th, engine.ColorBufferBit)
+		if got := app.Bridge.BatchedCalls(); got != 0 {
+			t.Fatalf("serial facade batched %d calls", got)
+		}
+		for r, n := range app.GL.BatchFlushCounts() {
+			if n != 0 {
+				t.Fatalf("serial facade counted %d %s flushes", n, glesapi.FlushReason(r))
+			}
+		}
+	})
+
+	t.Run("disable-flushes-pending", func(t *testing.T) {
+		_, app, th := bootBatchedCtx(t, 64)
+		calls := app.Bridge.BatchedCalls()
+		app.GL.ClearColor(th, 0, 0, 0, 1)
+		app.GL.DisableBatching(th)
+		if got := app.Bridge.BatchedCalls() - calls; got != 1 {
+			t.Fatalf("disable flushed %d batched calls, want 1", got)
+		}
+		if app.GL.BatchingEnabled() {
+			t.Fatal("still enabled after DisableBatching")
+		}
+	})
+}
+
+// TestBatchedRenderingOutputParity renders the reference triangle app on
+// stacks with batching off and on at several caps and requires identical
+// screens: the batched facade path is observably invisible end to end.
+func TestBatchedRenderingOutputParity(t *testing.T) {
+	_, _, serialEnv := bootCycadaApp(t)
+	want := iosTriangleApp(t, serialEnv, 64, 48)
+
+	for _, cap := range []int{1, 16, 64, 256} {
+		c := New(Config{})
+		app, err := c.NewIOSApp(AppConfig{Name: "batched"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !app.GL.EnableBatching(cap) {
+			t.Fatal("EnableBatching refused")
+		}
+		env := &iosEnv{
+			main:     app.Main(),
+			gl:       app.GL,
+			eagl:     app.EAGL,
+			surfaces: app.Surfaces,
+			newLayer: app.NewLayer,
+			screen:   func() *gpu.Image { return c.Android.Flinger.Screen() },
+		}
+		if got := iosTriangleApp(t, env, 64, 48); got != want {
+			t.Errorf("cap %d: batched screen %#x != serial screen %#x", cap, got, want)
+		}
+		if app.Bridge.BatchedCalls() == 0 {
+			t.Errorf("cap %d: batch path never exercised", cap)
+		}
+	}
+}
+
+// TestBatchedCallPathZeroAlloc proves the batched hot path — typed wrapper,
+// encoder append, and the amortized flush — allocates nothing per call once
+// the frame and batch pools are warm.
+func TestBatchedCallPathZeroAlloc(t *testing.T) {
+	_, app, th := bootBatchedCtx(t, 64)
+	gl := app.GL
+	// Warm the pools: grow the pending batch to cap and cycle it once.
+	for i := 0; i < 256; i++ {
+		gl.ClearColor(th, 0, 0, 0, 1)
+	}
+	gl.FlushBatch(th)
+
+	allocs := testing.AllocsPerRun(512, func() {
+		gl.ClearColor(th, 0, 0, 0, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("batched ClearColor allocates %.3f objects/call, want 0", allocs)
+	}
+}

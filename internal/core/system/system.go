@@ -85,6 +85,11 @@ type AppConfig struct {
 	// bug "prevents JIT from working properly" (§9), so the default — false
 	// — denies them, which is what slows SunSpider down in Figure 5.
 	JITWorks bool
+	// PipelinedPresents routes this app's presents through a dedicated
+	// presenter thread (egl pipeline): frame N+1 encodes while frame N
+	// rasterizes and composes. Checksum-verifying harnesses (record/replay)
+	// leave it off — they read the screen synchronously after each present.
+	PipelinedPresents bool
 }
 
 // IOSApp is a running iOS app environment under Cycada: everything the app
@@ -142,7 +147,7 @@ func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
 	us, err := c.Android.NewUserspace(stack.UserConfig{
 		Name:     cfg.Name,
 		Personas: []kernel.Persona{kernel.PersonaIOS, kernel.PersonaAndroid},
-		EGL:      egl.Config{MultiContext: true},
+		EGL:      egl.Config{MultiContext: true, PipelinedPresents: cfg.PipelinedPresents},
 	})
 	if err != nil {
 		return nil, err
@@ -255,6 +260,13 @@ func (c *Cycada) NewIOSApp(cfg AppConfig) (*IOSApp, error) {
 		Profiler:     prof,
 		Impersonator: imp,
 	}
+	// The EAGL flush points (present, context switch, teardown) drain the
+	// command encoder so queued GLES work always lands before the display or
+	// another context could observe its absence.
+	eaglLib.SetFlushHook(func(t *kernel.Thread) { app.GL.FlushBatch(t) })
+	if cap := glesapi.DefaultBatchCap(); cap > 0 {
+		app.GL.EnableBatching(cap)
+	}
 	app.registerSnapshotSources(cfg.Name, c, ebH.Instance().(*eglbridge.Lib))
 	return app, nil
 }
@@ -297,6 +309,17 @@ func (a *IOSApp) registerSnapshotSources(name string, c *Cycada, bridgeLib *eglb
 					key = fmt.Sprintf("replica[%d]", ns.ID)
 				}
 				sec.Addf(key, "%d libs: %s", len(ns.Libs), strings.Join(ns.Libs, " "))
+			}
+			return sec
+		}),
+		obs.RegisterSnapshotSource("glesbatch/"+name, func() obs.Section {
+			var sec obs.Section
+			sec.Addf("enabled", "%v", a.GL.BatchingEnabled())
+			sec.Addf("crossings", "%d", a.Bridge.Crossings())
+			sec.Addf("batched-calls", "%d", a.Bridge.BatchedCalls())
+			counts := a.GL.BatchFlushCounts()
+			for r, n := range counts {
+				sec.Addf("flush."+glesapi.FlushReason(r).String(), "%d", n)
 			}
 			return sec
 		}),

@@ -55,6 +55,10 @@ const (
 	// PointDiplomatPanic makes the domestic half of a diplomat panic — the
 	// "vendor library crashed mid-call" fault the recovery path isolates.
 	PointDiplomatPanic
+	// PointBatchFlush fails opening the single impersonation window a batched
+	// GLES flush runs in. The bridge absorbs it by re-dispatching the batch
+	// through per-call windows, so a firing here is observably transparent.
+	PointBatchFlush
 
 	// NumPoints is the number of registered points.
 	NumPoints
@@ -71,6 +75,7 @@ var pointNames = [NumPoints]string{
 	PointGralloc:       "gralloc",
 	PointBinder:        "binder",
 	PointDiplomatPanic: "diplomat_panic",
+	PointBatchFlush:    "batch_flush",
 }
 
 // String implements fmt.Stringer.

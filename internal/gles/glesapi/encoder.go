@@ -1,0 +1,219 @@
+package glesapi
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cycada/internal/core/callconv"
+	"cycada/internal/gles/registry"
+	"cycada/internal/sim/kernel"
+)
+
+// FlushReason classifies why the command encoder flushed a batch — the
+// counters behind the flush-reason telemetry and the batch-size sweep.
+type FlushReason int
+
+// The flush triggers.
+const (
+	// FlushObserving: a non-batchable call arrived (return value, query,
+	// sync point); the pending run must reach the bridge before it.
+	FlushObserving FlushReason = iota
+	// FlushCap: the batch hit its call-count cap.
+	FlushCap
+	// FlushBytes: the batch hit its encoded-byte cap.
+	FlushBytes
+	// FlushThreadSwitch: a different thread started encoding; batches never
+	// mix thread identities (a batch decodes on its owner's identity).
+	FlushThreadSwitch
+	// FlushExplicit: eglSwapBuffers, context switch, or batching being
+	// turned off forced the pending run out.
+	FlushExplicit
+
+	// NumFlushReasons is the number of flush triggers.
+	NumFlushReasons
+)
+
+var flushReasonNames = [NumFlushReasons]string{
+	FlushObserving:    "observing",
+	FlushCap:          "cap",
+	FlushBytes:        "bytes",
+	FlushThreadSwitch: "thread_switch",
+	FlushExplicit:     "explicit",
+}
+
+// String implements fmt.Stringer.
+func (r FlushReason) String() string {
+	if r >= 0 && r < NumFlushReasons {
+		return flushReasonNames[r]
+	}
+	return "unknown"
+}
+
+// defaultMaxBytes caps a batch's encoded payload (client arrays, shader
+// sources): a texture-heavy run must not pin unbounded caller memory across
+// the deferred flush.
+const defaultMaxBytes = 64 << 10
+
+// batchableIDs is the FuncID-indexed batchability bitmap, built once from the
+// registry's classification. Indexing by interned ID keeps the per-call check
+// to two loads, no map hash.
+var (
+	batchableOnce sync.Once
+	batchableIDs  []bool
+)
+
+// Batchable reports whether the entry point with the given interned ID may
+// be appended to a command-encoder batch. Exported for the replay player,
+// which encodes recorded GLES events through the same classification.
+func Batchable(id callconv.FuncID) bool {
+	batchableOnce.Do(func() {
+		max := callconv.FuncID(0)
+		ids := make([]callconv.FuncID, 0, 64)
+		for _, name := range registry.BridgeBatchable() {
+			fid := callconv.Intern(name)
+			ids = append(ids, fid)
+			if fid > max {
+				max = fid
+			}
+		}
+		bm := make([]bool, max+1)
+		for _, fid := range ids {
+			bm[fid] = true
+		}
+		batchableIDs = bm
+	})
+	return int(id) < len(batchableIDs) && batchableIDs[id]
+}
+
+// encoder accumulates batchable facade calls into a pooled callconv batch and
+// flushes it through the bound library's BatchDispatcher. The enabled gate is
+// one atomic load on the facade hot path; everything else sits behind it.
+type encoder struct {
+	enabled  atomic.Bool
+	mu       sync.Mutex
+	disp     callconv.BatchDispatcher
+	cap      int
+	maxBytes int
+	pending  *callconv.Batch
+	flushes  [NumFlushReasons]atomic.Uint64
+}
+
+// defaultBatchCap is the process-wide default batch cap consumed when an app
+// facade is constructed (system.NewIOSApp): 0 means batching off. It exists
+// for the cmd/ binaries' -batch flags, which have no handle on the facades
+// the harness builds internally.
+var defaultBatchCap atomic.Int64
+
+// SetDefaultBatchCap sets (n > 0) or clears (n <= 0) the process-wide default
+// batch cap applied to newly constructed iOS app facades.
+func SetDefaultBatchCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultBatchCap.Store(int64(n))
+}
+
+// DefaultBatchCap returns the process-wide default batch cap; 0 means off.
+func DefaultBatchCap() int { return int(defaultBatchCap.Load()) }
+
+// EnableBatching turns the command encoder on with the given call-count cap
+// (values < 1 are clamped to 1). It reports false — leaving the facade on the
+// serial path — when the bound library cannot dispatch batches (the Apple and
+// Tegra vendor libraries; only the diplomatic bridge implements
+// callconv.BatchDispatcher, which is fine: native processes have no persona
+// crossing to amortize).
+func (g *GL) EnableBatching(cap int) bool {
+	disp, ok := g.h.Instance().(callconv.BatchDispatcher)
+	if !ok {
+		return false
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	g.enc.mu.Lock()
+	g.enc.disp = disp
+	g.enc.cap = cap
+	g.enc.maxBytes = defaultMaxBytes
+	g.enc.mu.Unlock()
+	g.enc.enabled.Store(true)
+	return true
+}
+
+// DisableBatching flushes any pending run and returns the facade to the
+// serial path.
+func (g *GL) DisableBatching(t *kernel.Thread) {
+	if !g.enc.enabled.Load() {
+		return
+	}
+	g.enc.enabled.Store(false)
+	g.enc.mu.Lock()
+	g.enc.flushLocked(FlushExplicit)
+	g.enc.mu.Unlock()
+}
+
+// BatchingEnabled reports whether the command encoder is on.
+func (g *GL) BatchingEnabled() bool { return g.enc.enabled.Load() }
+
+// FlushBatch forces the pending run across the boundary. The EAGL layer
+// calls it at every present, context switch, and context teardown — the
+// flush triggers that bound how long a call can stay deferred.
+func (g *GL) FlushBatch(t *kernel.Thread) {
+	if !g.enc.enabled.Load() {
+		return
+	}
+	g.enc.mu.Lock()
+	g.enc.flushLocked(FlushExplicit)
+	g.enc.mu.Unlock()
+}
+
+// BatchFlushCounts snapshots the per-reason flush counters, indexed by
+// FlushReason.
+func (g *GL) BatchFlushCounts() [NumFlushReasons]uint64 {
+	var out [NumFlushReasons]uint64
+	for i := range out {
+		out[i] = g.enc.flushes[i].Load()
+	}
+	return out
+}
+
+// encode appends the frame to the pending batch, flushing first when a
+// trigger fires. It reports false — without consuming the frame — when the
+// call must dispatch serially (non-batchable function).
+func (e *encoder) encode(t *kernel.Thread, fr *callconv.Frame) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !Batchable(fr.ID()) {
+		// The observing call itself runs serially, after everything queued
+		// ahead of it — order is what makes the deferral invisible.
+		e.flushLocked(FlushObserving)
+		return false
+	}
+	if e.pending != nil && e.pending.Owner() != t {
+		e.flushLocked(FlushThreadSwitch)
+	}
+	if e.pending == nil {
+		e.pending = callconv.AcquireBatch()
+		e.pending.SetOwner(t)
+	}
+	e.pending.Append(fr)
+	if e.pending.Len() >= e.cap {
+		e.flushLocked(FlushCap)
+	} else if e.pending.Bytes() >= e.maxBytes {
+		e.flushLocked(FlushBytes)
+	}
+	return true
+}
+
+// flushLocked dispatches the pending batch (if any) on its owner thread and
+// releases it. Dispatch errors are discarded: every batchable call is void,
+// and the serial path discards the same errors at the same wrappers.
+func (e *encoder) flushLocked(reason FlushReason) {
+	b := e.pending
+	if b == nil {
+		return
+	}
+	e.pending = nil
+	e.flushes[reason].Add(1)
+	e.disp.CallBatch(b.Owner(), b)
+	b.Release()
+}

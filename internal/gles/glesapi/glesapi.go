@@ -104,6 +104,10 @@ var (
 type GL struct {
 	link *linker.Linker
 	h    *linker.Handle
+	// enc is the command encoder (encoder.go): when enabled, batchable calls
+	// are appended to a pooled batch and flushed across the persona boundary
+	// in one impersonation window instead of one per call.
+	enc encoder
 }
 
 // New binds a facade over a loaded GLES-providing library.
@@ -128,7 +132,13 @@ func (g *GL) symID(id callconv.FuncID) linker.Symbol {
 
 // call dispatches a filled frame through the bound symbol and releases the
 // frame. With no observer active the whole round trip is allocation-free.
+// When the command encoder is on, batchable calls are deferred into the
+// pending batch instead (the frame's ownership moves to the batch) and the
+// wrapper returns immediately — legal because every batchable call is void.
 func (g *GL) call(t *kernel.Thread, fr *callconv.Frame) any {
+	if g.enc.enabled.Load() && g.enc.encode(t, fr) {
+		return nil
+	}
 	ret := g.symID(fr.ID()).CallFrame(t, fr)
 	fr.Release()
 	return ret
@@ -162,10 +172,15 @@ func (g *GL) Call(t *kernel.Thread, name string, args ...any) any {
 		return fmt.Errorf("glesapi: %s: %w", name, err)
 	}
 	if framed {
+		if g.enc.enabled.Load() && g.enc.encode(t, fr) {
+			return nil
+		}
 		ret := s.CallFrame(t, fr)
 		fr.Release()
 		return ret
 	}
+	// Unframeable shapes dispatch boxed; anything queued must land first.
+	g.FlushBatch(t)
 	return s.Call(t, args...)
 }
 

@@ -1,0 +1,59 @@
+package registry
+
+// This file classifies per-function batchability for the command encoder:
+// which iOS GLES entry points may be appended to a callconv batch and flushed
+// across the persona boundary in one impersonation window instead of paying a
+// persona crossing per call.
+//
+// The classification is a conservative allowlist. A function is batchable
+// only when all three hold:
+//
+//   - it is bridged by a direct diplomat (wrapper kinds run foreign-side
+//     logic that must observe per-call state, and multi diplomats coalesce
+//     into libEGLbridge on their own);
+//   - it is void and non-observing: no return value, no error/state query,
+//     so deferring its execution to the flush point is invisible to the
+//     caller;
+//   - it does not copy caller memory at call time (glBufferData snapshots
+//     its input when invoked, so deferring it could observe later
+//     mutations; client-array pointers, by contrast, are read at draw/flush
+//     time in the serial path too).
+//
+// Anything not listed — glGetError, glGen*/glCreate*, queries, sync points
+// (glFlush/glFinish), pixel transfers — dispatches serially and acts as a
+// flush trigger, which preserves ordering exactly.
+
+// BridgeBatchable lists the direct, void, non-observing entry points the
+// command encoder may batch.
+func BridgeBatchable() []string {
+	return []string{
+		// State setters.
+		"glClearColor", "glEnable", "glDisable", "glBlendFunc",
+		"glViewport", "glScissor", "glActiveTexture", "glTexParameteri",
+		// Object binds (binds mutate context state only; creation and
+		// deletion of names that return values stay serial).
+		"glBindTexture", "glBindBuffer", "glBindFramebuffer",
+		"glBindRenderbuffer",
+		// Framebuffer plumbing.
+		"glFramebufferTexture2D", "glFramebufferRenderbuffer",
+		"glRenderbufferStorage",
+		// Object deletion (void; glDeleteTextures is a multi diplomat and is
+		// deliberately absent).
+		"glDeleteBuffers", "glDeleteFramebuffers", "glDeleteRenderbuffers",
+		// Shader/program pipeline (void halves; the iv/log queries flush).
+		"glShaderSource", "glCompileShader", "glAttachShader",
+		"glLinkProgram", "glUseProgram",
+		// Uniforms and attributes.
+		"glUniform1i", "glUniform1f", "glUniform2f", "glUniform4f",
+		"glUniformMatrix4fv", "glVertexAttribPointer",
+		"glEnableVertexAttribArray", "glDisableVertexAttribArray",
+		// Draws and clears.
+		"glClear", "glDrawArrays", "glDrawElements",
+		// GLES 1 fixed function.
+		"glMatrixMode", "glLoadIdentity", "glOrthof", "glFrustumf",
+		"glPushMatrix", "glPopMatrix", "glRotatef", "glTranslatef",
+		"glScalef", "glColor4f", "glEnableClientState",
+		"glDisableClientState", "glVertexPointer", "glColorPointer",
+		"glTexCoordPointer",
+	}
+}

@@ -97,6 +97,33 @@ func TestTable2Classification(t *testing.T) {
 	}
 }
 
+// TestBatchableSubsetOfDirect locks the batchability classification's first
+// criterion: every batchable function must be bridged by a direct diplomat.
+// Wrapper-kind and multi diplomats run per-call foreign-side logic, so letting
+// one into a batch would change observable behavior.
+func TestBatchableSubsetOfDirect(t *testing.T) {
+	direct := map[string]bool{}
+	for _, n := range BridgeDirect() {
+		direct[n] = true
+	}
+	seen := map[string]bool{}
+	for _, n := range BridgeBatchable() {
+		if !direct[n] {
+			t.Errorf("batchable function %q is not a direct diplomat", n)
+		}
+		if seen[n] {
+			t.Errorf("batchable list duplicates %q", n)
+		}
+		seen[n] = true
+	}
+	// The known non-batchable families must stay off the list.
+	for _, n := range []string{"glGetError", "glGenTextures", "glFlush", "glFinish", "glBufferData", "glDeleteTextures", "glReadPixels"} {
+		if seen[n] {
+			t.Errorf("%q must not be batchable", n)
+		}
+	}
+}
+
 func TestNoDuplicateNames(t *testing.T) {
 	for _, tc := range []struct {
 		name string

@@ -138,11 +138,35 @@ type Lib struct {
 	// succeed (record/replay capture).
 	tap atomic.Pointer[tapBox]
 
+	// flushHook, when set, runs before every present, context switch,
+	// drawable storage bind, and context teardown — the command encoder's
+	// mandatory flush points: any
+	// GLES work still queued on the encoding side must reach the bridge
+	// before the display (or another context) can observe its absence.
+	flushHook atomic.Pointer[flushBox]
+
 	mu     sync.Mutex
 	counts map[string]int
 }
 
 type tapBox struct{ t tap.Tap }
+
+type flushBox struct{ fn func(*kernel.Thread) }
+
+// SetFlushHook installs (nil removes) the pre-present/pre-switch flush hook.
+func (l *Lib) SetFlushHook(fn func(*kernel.Thread)) {
+	if fn == nil {
+		l.flushHook.Store(nil)
+		return
+	}
+	l.flushHook.Store(&flushBox{fn: fn})
+}
+
+func (l *Lib) runFlushHook(t *kernel.Thread) {
+	if box := l.flushHook.Load(); box != nil {
+		box.fn(t)
+	}
+}
 
 // SetTap installs (nil removes) the boundary tap. Only the methods whose
 // effects matter for replay are reported: context creation, current-context
@@ -246,6 +270,9 @@ func (l *Lib) newContext(t *kernel.Thread, api int, share *Sharegroup) (*Context
 // forces thread impersonation on the Cycada backend.
 func (l *Lib) SetCurrentContext(t *kernel.Thread, c *Context) error {
 	l.called("setCurrentContext:")
+	// Context switch is a flush trigger: queued work targets the outgoing
+	// context and must land before the binding changes.
+	l.runFlushHook(t)
 	if c == nil {
 		if err := l.backend.MakeCurrent(t, nil); err != nil {
 			return err
@@ -295,6 +322,9 @@ func (c *Context) RenderbufferStorageFromDrawable(t *kernel.Thread, d Drawable) 
 	if d == nil {
 		return fmt.Errorf("eagl renderbufferStorage: nil drawable")
 	}
+	// The backend reads the currently-bound renderbuffer: a queued
+	// glBindRenderbuffer must land first, so this is a flush trigger too.
+	c.lib.runFlushHook(t)
 	if err := c.lib.backend.RenderbufferStorageFromDrawable(t, c.bc, d); err != nil {
 		return err
 	}
@@ -305,6 +335,9 @@ func (c *Context) RenderbufferStorageFromDrawable(t *kernel.Thread, d Drawable) 
 // PresentRenderbuffer implements presentRenderbuffer:.
 func (c *Context) PresentRenderbuffer(t *kernel.Thread) error {
 	c.lib.called("presentRenderbuffer:")
+	// Present is a flush trigger: the frame about to reach the display must
+	// include every queued call.
+	c.lib.runFlushHook(t)
 	if err := c.lib.backend.PresentRenderbuffer(t, c.bc); err != nil {
 		return err
 	}
@@ -377,6 +410,9 @@ func (c *Context) Release(t *kernel.Thread) error {
 // down the replica namespace).
 func (c *Context) dealloc(t *kernel.Thread) error {
 	c.lib.called("dealloc")
+	// Teardown is a flush trigger: queued work must not outlive the context
+	// (and replica namespace) it targets.
+	c.lib.runFlushHook(t)
 	c.mu.Lock()
 	if c.dealloced {
 		c.mu.Unlock()

@@ -32,6 +32,7 @@ const (
 	CatHarness       = "harness"
 	CatReplay        = "replay"
 	CatFault         = "fault"
+	CatBatch         = "batch"
 )
 
 // Event is one finished span.

@@ -19,8 +19,9 @@ type BenchResult struct {
 // wall-clock throughput. Each replay boots its own kernel/clock/process, so
 // the runs are embarrassingly parallel — on an N-core machine throughput
 // scales with min(workers, N). The decoded trace is shared read-only by all
-// workers.
-func Bench(tr *Trace, workers, replays int) (*BenchResult, error) {
+// workers. opts is applied to every replay (BatchCap drives each one through
+// the batched encoder path); Verify is typically left off for throughput runs.
+func Bench(tr *Trace, workers, replays int, opts Options) (*BenchResult, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("replay: bench needs >= 1 worker, got %d", workers)
 	}
@@ -42,7 +43,7 @@ func Bench(tr *Trace, workers, replays int) (*BenchResult, error) {
 				if n := next.Add(1); n > int64(replays) {
 					return
 				}
-				if _, err := Play(tr, Options{}); err != nil {
+				if _, err := Play(tr, opts); err != nil {
 					errOnce.Do(func() { runErr = err })
 					return
 				}

@@ -108,8 +108,23 @@ func (r *ChaosResult) String() string {
 // needs. The returned error reports only harness-level problems (an invalid
 // trace); invariant violations are in the result.
 func Chaos(tr *Trace, sched fault.Schedule) (*ChaosResult, error) {
+	return chaosRun(tr, sched, 0)
+}
+
+// ChaosBatched is Chaos with the command-encoder batch path on at the given
+// cap, so fault schedules also land mid-batch: a diplomat panic inside a
+// flush window must isolate to its call index, and a batch_flush fault must
+// degrade to serial dispatch without changing a checksum.
+func ChaosBatched(tr *Trace, sched fault.Schedule, batchCap int) (*ChaosResult, error) {
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	return chaosRun(tr, sched, batchCap)
+}
+
+func chaosRun(tr *Trace, sched fault.Schedule, batchCap int) (*ChaosResult, error) {
 	inj := fault.NewInjector(sched)
-	p, err := boot(tr, Options{Verify: true, Faults: inj})
+	p, err := boot(tr, Options{Verify: true, Faults: inj, BatchCap: batchCap})
 	if err != nil {
 		return nil, err
 	}
@@ -171,12 +186,18 @@ func attachFlightDump(r *ChaosResult, p *player) {
 	r.Snapshot = obs.Snapshot()
 }
 
-// transientOnly reports whether every injected fault hit the present seam —
-// the one place where a bounded retry absorbs the fault with no observable
-// effect, so screen output must still match the recording.
+// transientOnly reports whether every injected fault hit a seam that absorbs
+// it with no observable effect: the present seam (bounded retry) and the
+// batch-flush seam (the bridge re-dispatches the batch through per-call
+// windows). Screen output must then still match the recording.
 func transientOnly(st fault.Stats) bool {
 	for p := range st {
-		if st[p].Injected > 0 && fault.Point(p) != fault.PointEGLPresent {
+		if st[p].Injected == 0 {
+			continue
+		}
+		switch fault.Point(p) {
+		case fault.PointEGLPresent, fault.PointBatchFlush:
+		default:
 			return false
 		}
 	}

@@ -3,10 +3,12 @@
 package replay_test
 
 import (
+	"errors"
 	"flag"
 	"path/filepath"
 	"testing"
 
+	"cycada/internal/core/diplomat"
 	"cycada/internal/fault"
 	"cycada/internal/replay"
 )
@@ -107,6 +109,91 @@ func TestChaosZeroFaultByteIdentical(t *testing.T) {
 				t.Fatalf("zero-fault replay not byte-identical: %+v", res.Res)
 			}
 		})
+	}
+}
+
+// TestChaosBatchedInvariants sweeps seeded all-point schedules over the
+// batched replay path: faults landing mid-batch must hold the same four
+// invariants the serial path holds.
+func TestChaosBatchedInvariants(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	var totalInjected uint64
+	for seed := 0; seed < *chaosSeeds; seed++ {
+		sched := fault.Schedule{Seed: uint64(seed), Rate: 0.05}
+		res, err := replay.ChaosBatched(tr, sched, 16)
+		if err != nil {
+			t.Fatalf("seed %d: ChaosBatched: %v", seed, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Errorf("seed %d: invariant violated: %v\n%s", seed, err, res)
+		}
+		totalInjected += res.Stats.TotalInjected()
+	}
+	if totalInjected == 0 {
+		t.Fatalf("batched chaos sweep over %d seeds injected nothing — schedule too weak", *chaosSeeds)
+	}
+}
+
+// TestChaosBatchedFlushTransparent fails every batch flush: the bridge must
+// degrade each one to per-call serial windows, so the fault is observably
+// transparent — no replay error, no checksum divergence.
+func TestChaosBatchedFlushTransparent(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	res, err := replay.ChaosBatched(tr, fault.Schedule{
+		Rate: 1, Points: []fault.Point{fault.PointBatchFlush},
+	}, 16)
+	if err != nil {
+		t.Fatalf("ChaosBatched: %v", err)
+	}
+	if got := res.Stats[fault.PointBatchFlush].Injected; got == 0 {
+		t.Fatalf("no batch_flush faults fired: %s", res.Stats)
+	}
+	if !res.TransientOnly {
+		t.Fatalf("schedule fired outside the batch-flush seam: %s", res.Stats)
+	}
+	if res.ReplayErr != nil {
+		t.Fatalf("batch_flush fault escaped the serial fallback: %v", res.ReplayErr)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	if res.Res == nil || !res.Res.VerifyOK() || !res.Res.FinalChecked {
+		t.Fatalf("serial fallback changed screen output: %+v", res.Res)
+	}
+}
+
+// TestChaosBatchedPanicCallIndex walks a single diplomat panic through the
+// schedule's After offset until it lands mid-batch, and requires the
+// PanicError to carry the faulting call's 0-based index inside the flush.
+func TestChaosBatchedPanicCallIndex(t *testing.T) {
+	tr := readGolden(t, "passmark-2d")
+	found := false
+	for after := uint64(0); after <= 64 && !found; after++ {
+		sched := fault.Schedule{
+			Rate: 1, Points: []fault.Point{fault.PointDiplomatPanic},
+			After: after, Times: 1,
+		}
+		res, err := replay.ChaosBatched(tr, sched, 64)
+		if err != nil {
+			t.Fatalf("after=%d: ChaosBatched: %v", after, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("after=%d: invariant violated: %v", after, err)
+		}
+		if res.ReplayErr == nil {
+			continue
+		}
+		var pe *diplomat.PanicError
+		if !errors.As(res.ReplayErr, &pe) {
+			t.Fatalf("after=%d: replay error %v is not a PanicError", after, res.ReplayErr)
+		}
+		if pe.CallIndex >= 1 {
+			t.Logf("after=%d: panic isolated at batch call %d (%v)", after, pe.CallIndex, pe)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no schedule offset produced a mid-batch panic with CallIndex >= 1")
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 
+	"cycada/internal/core/callconv"
 	"cycada/internal/core/system"
 	"cycada/internal/fault"
+	"cycada/internal/gles/glesapi"
 	"cycada/internal/ios/eagl"
 	"cycada/internal/ios/iosurface"
 	"cycada/internal/obs"
@@ -25,6 +27,13 @@ type Options struct {
 	// events (boot is always fault-free). Each Play gets its own kernel, so
 	// one injector must not be shared between concurrent replays.
 	Faults *fault.Injector
+	// BatchCap, when > 0, re-drives GLES events through the command-encoder
+	// batch path: runs of batchable calls accumulate into a pooled callconv
+	// batch and cross the persona boundary in one impersonation window per
+	// run, flushed by an observing call, the cap, a thread switch, or any
+	// EAGL/IOSurface event. The logical call stream — and therefore every
+	// present checksum — is identical to the serial path. 0 replays serially.
+	BatchCap int
 	// System, when set, replays onto this already-booted Cycada stack
 	// instead of booting a fresh one: the device farm's session body. The
 	// stack's screen geometry must match the trace, the screen must be in
@@ -47,6 +56,13 @@ type Mismatch struct {
 type Result struct {
 	Events   int
 	Presents int
+
+	// Crossings is how many persona-boundary crossings the bridge performed
+	// (one per serial call, one per batch window); BatchedCalls is how many
+	// GLES calls travelled inside batch windows. With batching off,
+	// BatchedCalls is 0 and Crossings equals the GLES call count.
+	Crossings    uint64
+	BatchedCalls uint64
 
 	// Verification outcome (zero unless Options.Verify was set).
 	Mismatches   []Mismatch
@@ -112,14 +128,15 @@ func boot(tr *Trace, opts Options) (*player, error) {
 		sys.Android.Kernel.SetFaultInjector(opts.Faults)
 	}
 	return &player{
-		sys:     sys,
-		app:     app,
-		verify:  opts.Verify,
-		threads: map[int]*kernel.Thread{},
-		ctxs:    map[CtxRef]*eagl.Context{},
-		groups:  map[GroupRef]*eagl.Sharegroup{},
-		surfs:   map[SurfRef]*iosurface.Surface{},
-		res:     &Result{Events: len(tr.Events)},
+		sys:      sys,
+		app:      app,
+		verify:   opts.Verify,
+		batchCap: opts.BatchCap,
+		threads:  map[int]*kernel.Thread{},
+		ctxs:     map[CtxRef]*eagl.Context{},
+		groups:   map[GroupRef]*eagl.Sharegroup{},
+		surfs:    map[SurfRef]*iosurface.Surface{},
+		res:      &Result{Events: len(tr.Events)},
 	}, nil
 }
 
@@ -130,11 +147,18 @@ func (p *player) run(tr *Trace) error {
 	sp := main.TraceBegin(obs.CatReplay, "replay:play:"+tr.Label)
 	for i := range tr.Events {
 		if err := p.step(i, &tr.Events[i]); err != nil {
+			p.dropBatch()
 			main.TraceEnd(sp)
 			return fmt.Errorf("replay: event %d (%s %q): %w", i, tr.Events[i].Kind, tr.Events[i].Name, err)
 		}
 	}
+	if err := p.flushBatch(); err != nil {
+		main.TraceEnd(sp)
+		return fmt.Errorf("replay: final batch flush: %w", err)
+	}
 	main.TraceEnd(sp)
+	p.res.Crossings = p.app.Bridge.Crossings()
+	p.res.BatchedCalls = p.app.Bridge.BatchedCalls()
 
 	if p.verify && tr.Final != nil {
 		vsp := main.TraceBegin(obs.CatReplay, "replay:verify-final")
@@ -174,9 +198,11 @@ func (r *Result) VerifyError() error {
 }
 
 type player struct {
-	sys    *system.Cycada
-	app    *system.IOSApp
-	verify bool
+	sys      *system.Cycada
+	app      *system.IOSApp
+	verify   bool
+	batchCap int
+	batch    *callconv.Batch // pending run, nil when empty or batching off
 
 	threads map[int]*kernel.Thread
 	ctxs    map[CtxRef]*eagl.Context
@@ -200,6 +226,13 @@ func (p *player) step(idx int, ev *Event) error {
 		if err != nil {
 			return err
 		}
+		if p.batchCap > 0 {
+			if encoded, err := p.encodeGLES(t, ev.Name, args); encoded || err != nil {
+				return err
+			}
+			// Not batchable: the pending run has been flushed ahead of it;
+			// fall through to the serial call.
+		}
 		if ret := p.app.Bridge.Call(t, ev.Name, args...); ret != nil {
 			if err, failed := ret.(error); failed && err != nil {
 				return err
@@ -207,11 +240,74 @@ func (p *player) step(idx int, ev *Event) error {
 		}
 		return nil
 	case KEAGL:
+		// Presents, context switches, and teardown all observe GLES state:
+		// drain the pending run first, exactly as the EAGL flush hook does on
+		// the live facade path.
+		if err := p.flushBatch(); err != nil {
+			return err
+		}
 		return p.stepEAGL(idx, ev, t)
 	case KSurface:
+		// IOSurface lock/unlock reads and writes pixels GLES calls may
+		// produce or consume; keep the logical order by flushing first.
+		if err := p.flushBatch(); err != nil {
+			return err
+		}
 		return p.stepSurface(ev, t)
 	default:
 		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+}
+
+// encodeGLES appends a batchable GLES event to the pending batch, flushing
+// first when a trigger fires (observing call, thread switch, cap). It reports
+// false when the event must go down the serial path.
+func (p *player) encodeGLES(t *kernel.Thread, name string, args []any) (bool, error) {
+	id, ok := callconv.LookupID(name)
+	if !ok || !glesapi.Batchable(id) {
+		return false, p.flushBatch()
+	}
+	fr, framed, err := callconv.BuildFrame(id, args)
+	if err != nil || !framed {
+		// Unframeable shapes ride the serial boxed path, as on the facade.
+		return false, p.flushBatch()
+	}
+	if p.batch != nil && p.batch.Owner() != t {
+		if ferr := p.flushBatch(); ferr != nil {
+			fr.Release()
+			return false, ferr
+		}
+	}
+	if p.batch == nil {
+		p.batch = callconv.AcquireBatch()
+		p.batch.SetOwner(t)
+	}
+	p.batch.Append(fr)
+	if p.batch.Len() >= p.batchCap {
+		return true, p.flushBatch()
+	}
+	return true, nil
+}
+
+// flushBatch dispatches the pending run (if any) across the boundary on its
+// owner thread. Errors surface to the replay loop exactly as a failing serial
+// call would.
+func (p *player) flushBatch() error {
+	b := p.batch
+	if b == nil {
+		return nil
+	}
+	p.batch = nil
+	err := p.app.Bridge.CallBatch(b.Owner(), b)
+	b.Release()
+	return err
+}
+
+// dropBatch releases the pending run without dispatching it (abort path).
+func (p *player) dropBatch() {
+	if b := p.batch; b != nil {
+		p.batch = nil
+		b.Release()
 	}
 }
 

@@ -164,7 +164,7 @@ func TestParallelReplay(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
-	res, err := replay.Bench(tr, 4, 8)
+	res, err := replay.Bench(tr, 4, 8, replay.Options{BatchCap: 16})
 	if err != nil {
 		t.Fatalf("Bench: %v", err)
 	}

@@ -1,26 +1,31 @@
 #!/bin/sh
-# Dump the raster, replay, and farm benchmark series as machine-readable
-# JSON. `make bench-json` writes BENCH_7.json at the repo root; CI or a
-# tracking dashboard can diff the series across commits. GOMAXPROCS is
-# recorded because the workers=N raster series and the devices=N farm series
-# only show speedup on multi-core hosts — on a single core those series
-# instead measure parallel overhead.
+# Dump the raster, replay, batch, and farm benchmark series as
+# machine-readable JSON. `make bench-json` writes BENCH_8.json at the repo
+# root; CI or a tracking dashboard can diff the series across commits.
+# GOMAXPROCS is recorded because the workers=N raster series and the
+# devices=N farm series only show speedup on multi-core hosts — on a single
+# core those series instead measure parallel overhead. The batch series
+# (BenchmarkReplayBatch, batching off and caps 1/16/64/256 over the
+# draw-call-heavy passmark-3d trace) records the persona-boundary crossing
+# count alongside timing: the crossings column is the batched encoder's
+# figure of merit and must fall as the cap rises.
 #
 # Usage: scripts/benchjson.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_8.json}
 
 raster=$(go test -run='^$' -bench='^BenchmarkRasterTiles$' -benchtime=3x -benchmem ./internal/sim/gpu)
 replay=$(go test -run='^$' -bench='^BenchmarkReplay(Parallel)?$' -benchtime=1x -benchmem .)
+batch=$(go test -run='^$' -bench='^BenchmarkReplayBatch$' -benchtime=3x -benchmem .)
 farm=$(go test -run='^$' -bench='^BenchmarkFarm$' -benchtime=1x -benchmem ./internal/farm)
 
-all=$(printf '%s\n%s\n%s\n' "$raster" "$replay" "$farm")
+all=$(printf '%s\n%s\n%s\n%s\n' "$raster" "$replay" "$batch" "$farm")
 
 # Fail loudly when an invoked benchmark produced no rows — a renamed or
 # deleted benchmark must break this script, not silently thin the series.
-for want in BenchmarkRasterTiles BenchmarkReplay BenchmarkReplayParallel BenchmarkFarm; do
+for want in BenchmarkRasterTiles BenchmarkReplay BenchmarkReplayParallel BenchmarkReplayBatch BenchmarkFarm; do
 	if ! printf '%s\n' "$all" | grep -Eq "^${want}([/-]|[[:space:]]|\$)"; then
 		echo "benchjson: no output rows for ${want} — was it renamed or removed?" >&2
 		exit 1
@@ -45,6 +50,8 @@ $1 ~ /^Benchmark/ && $NF == "allocs/op" {
 		else if ($(i + 1) == "B/op") bytes = $i
 		else if ($(i + 1) == "allocs/op") allocs = $i
 		else if ($(i + 1) == "sessions/sec") extra = sprintf(", \"sessions_per_sec\": %s", $i)
+		else if ($(i + 1) == "crossings") extra = extra sprintf(", \"crossings\": %s", $i)
+		else if ($(i + 1) == "batched-calls") extra = extra sprintf(", \"batched_calls\": %s", $i)
 	}
 	if (n++) printf ","
 	printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",

@@ -22,17 +22,29 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu ./internal/farm"
-go test -race ./internal/core/... ./internal/replay/... ./internal/android/sflinger ./internal/sim/gpu ./internal/farm
+echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm"
+go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm
 
-echo "== chaos smoke (fault-injection invariants under -race)"
+echo "== chaos smoke (fault-injection invariants under -race, serial and batched)"
 go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
 
 echo "== farm soak (multi-device session scheduler under -race)"
 go test -race ./internal/farm -run 'TestFarmSoak' -soak.devices=2 -soak.sessions=8
 
-echo "== replay golden traces"
+echo "== replay golden traces (serial)"
 go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
+
+echo "== replay golden traces (batched encoder, caps 1/16/64/256)"
+# Byte-identity is the batched encoder's correctness contract: the same
+# checksums and final frame must come out no matter how calls are grouped
+# into impersonation windows.
+for cap in 1 16 64 256; do
+	go run ./cmd/cycadareplay verify -batch "$cap" internal/replay/testdata/*.cytr
+done
+
+echo "== batched chaos smoke (faults injected mid-batch via cycadareplay)"
+go run ./cmd/cycadareplay replay -i internal/replay/testdata/passmark-3d.cytr \
+	-batch 16 -n 4 -faults seed=7,rate=0.05 >/dev/null
 
 echo "== farm smoke (2 devices x 8 sessions, per-session checksums vs recordings)"
 go run ./cmd/cycadafarm -devices 2 -sessions 8 -trace internal/replay/testdata/passmark-2d.cytr -verify
