@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-smoke bench-json trace replay-golden chaos top farm farm-soak
+.PHONY: check test bench bench-smoke bench-json trace replay-golden chaos top farm farm-soak farm-chaos
 
 # Tier-1 gate: gofmt, vet, build, full test suite, race tests on the
 # concurrency-heavy core and replay packages, golden-trace verification,
@@ -27,10 +27,12 @@ bench-smoke:
 # (BenchmarkRasterTiles/workers=1..8), the replay benchmarks, the batched
 # boundary-crossing series (BenchmarkReplayBatch, off + caps 1/16/64/256
 # with crossings and batched-call counts), and the farm throughput grid
-# (BenchmarkFarm/d{N}s{M}), written to BENCH_8.json with the host core
-# count so scaling numbers are interpretable.
+# (BenchmarkFarm/d{N}s{M}), plus the farm resilience series
+# (BenchmarkFarmResilience/fail{0,5,20}, throughput and frame P95 under
+# injected failure with retries), written to BENCH_9.json with the host
+# core count so scaling numbers are interpretable.
 bench-json:
-	./scripts/benchjson.sh BENCH_8.json
+	./scripts/benchjson.sh BENCH_9.json
 
 # Long chaos soak: golden traces under many generated fault schedules, with
 # the recovery invariants checked for every seed. Tier-1 runs 8 seeds (see
@@ -62,3 +64,13 @@ SOAK_SESSIONS ?= 24
 farm-soak:
 	go test -race ./internal/farm -run 'TestFarmSoak' -v \
 		-soak.devices=$(SOAK_DEVICES) -soak.sessions=$(SOAK_SESSIONS)
+
+# Long self-healing chaos soak: seeded farm runs with injected session
+# hangs, device wedges, and mid-replay panics, checking the watchdog /
+# quarantine / failover invariants per seed. Tier-1 runs 2 seeds (see
+# check.sh); override with FARM_SEEDS=N for longer runs.
+FARM_SEEDS ?= 8
+farm-chaos:
+	go test -race ./internal/farm -v \
+		-run 'TestFarmChaos|TestFarmFailoverVerifiesIdentically' \
+		-chaosfarm.seeds=$(FARM_SEEDS)

@@ -9,7 +9,10 @@
 //
 // With -farm the workload runs through a small device farm instead of a
 // single stack, and the snapshot gains the farm scheduler section:
-// per-device session counts, queue depth, and reject counters.
+// per-device health state (healthy/quarantined/retired, consecutive
+// failures, watchdog timeouts, reboots), session counts, queue depth,
+// reject counters, and the self-healing event counters (retries,
+// quarantines, reboots, retires, abandoned bodies).
 //
 // Usage:
 //

@@ -10,6 +10,7 @@ package stack
 
 import (
 	"fmt"
+	"sync"
 
 	"cycada/internal/android/egl"
 	agles "cycada/internal/android/gles"
@@ -36,6 +37,9 @@ type System struct {
 	Kernel  *kernel.Kernel
 	Gralloc *gralloc.Device
 	Flinger *sflinger.Flinger
+
+	mu    sync.Mutex
+	users []*Userspace
 }
 
 // Config describes the machine to boot.
@@ -128,5 +132,26 @@ func (s *System) NewUserspace(cfg UserConfig) (*Userspace, error) {
 	if cfg.EGL.PipelinedPresents {
 		eglLib.EnablePipelinedPresents(proc)
 	}
-	return &Userspace{Proc: proc, Linker: l, Bionic: bionic, EGL: eglLib}, nil
+	u := &Userspace{Proc: proc, Linker: l, Bionic: bionic, EGL: eglLib}
+	s.mu.Lock()
+	s.users = append(s.users, u)
+	s.mu.Unlock()
+	return u, nil
+}
+
+// Shutdown tears the stack down for decommissioning: every userspace's
+// present pipeline is drained and its presenter thread exited, and the
+// compositor drops its layers and clears the screen. The stack must be
+// quiescent — no session body or app thread still driving it — which is why
+// the farm only calls this on a cleanly-failed device, never on one whose
+// wedged session goroutine was abandoned (that stack is simply dropped).
+// Idempotent.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	users := append([]*Userspace(nil), s.users...)
+	s.mu.Unlock()
+	for _, u := range users {
+		u.EGL.DisablePipelinedPresents()
+	}
+	s.Flinger.Reset()
 }

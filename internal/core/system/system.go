@@ -59,6 +59,18 @@ type Config struct {
 	RasterPool *gpu.Pool
 }
 
+// Close tears the stack down for decommissioning — the farm calls it before
+// booting a replacement device in a quarantined slot. It drains every app's
+// present pipeline (exiting presenter threads) and resets the compositor,
+// so the only thing keeping the old stack alive afterwards is whatever
+// still references it. The stack must be quiescent: Close is never called
+// on a stack whose wedged session goroutine was abandoned — that stack is
+// dropped without teardown, because the abandoned body still owns it.
+// Idempotent.
+func (c *Cycada) Close() {
+	c.Android.Shutdown()
+}
+
 // New boots a Cycada system.
 func New(cfg Config) *Cycada {
 	sys := stack.New(stack.Config{

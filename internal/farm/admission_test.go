@@ -1,0 +1,294 @@
+// Admission edge cases under the race detector: concurrent Submit vs Close,
+// saturation accounting under contention, pins to quarantined and retired
+// devices, and exactly-once result delivery across retry failover.
+package farm_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cycada/internal/core/system"
+	"cycada/internal/farm"
+)
+
+// TestFarmSubmitVsClose hammers Submit from several goroutines while the
+// farm closes underneath them: every successful Submit must still deliver
+// exactly one result, and every rejection must be classified (ErrClosed or
+// ErrSaturated — nothing else, and no hangs or races).
+func TestFarmSubmitVsClose(t *testing.T) {
+	f := farm.New(farm.Config{Devices: 2, MaxQueue: 16, DrainDeadline: 5 * time.Second})
+
+	var (
+		mu      sync.Mutex
+		handles []*farm.Session
+	)
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := f.Submit(farm.SessionSpec{
+					Name: fmt.Sprintf("race-%d-%d", g, i),
+					Body: func(*system.Cycada) error { return nil },
+				})
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					mu.Lock()
+					handles = append(handles, s)
+					mu.Unlock()
+				case errors.Is(err, farm.ErrClosed):
+					return
+				case errors.Is(err, farm.ErrSaturated):
+					rejected.Add(1)
+				default:
+					t.Errorf("Submit: unclassified rejection %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	f.Close()
+	close(stop)
+	wg.Wait()
+
+	if admitted.Load() == 0 {
+		t.Fatalf("race produced no admitted sessions; nothing exercised")
+	}
+	var failed int64
+	for _, s := range handles {
+		select {
+		case <-s.Done():
+		default:
+			t.Fatalf("session %q admitted but never delivered", s.Spec().Name)
+		}
+		res := s.Result()
+		if res.Err != nil {
+			failed++
+			if !errors.Is(res.Err, farm.ErrClosed) {
+				t.Errorf("session %q: unexpected failure %v", res.Name, res.Err)
+			}
+		}
+	}
+	st := f.Stats()
+	if int64(st.Submitted) != admitted.Load() {
+		t.Errorf("stats submitted = %d, admitted handles = %d", st.Submitted, admitted.Load())
+	}
+	if int64(st.Rejected) != rejected.Load() {
+		t.Errorf("stats rejected = %d, ErrSaturated seen = %d", st.Rejected, rejected.Load())
+	}
+	if int64(st.Completed)+int64(st.Failed) != admitted.Load() || int64(st.Failed) != failed {
+		t.Errorf("stats = %+v, want completed+failed = %d with failed = %d", st, admitted.Load(), failed)
+	}
+}
+
+// TestFarmSaturationAccounting submits from many goroutines against a full
+// queue: the rejected counter must equal the number of ErrSaturated returns
+// exactly, with no session lost or double-counted.
+func TestFarmSaturationAccounting(t *testing.T) {
+	release := make(chan struct{})
+	f := farm.New(farm.Config{Devices: 1, MaxQueue: 3})
+	defer f.Close()
+
+	running, err := f.Submit(blockingSession("running", release))
+	if err != nil {
+		t.Fatalf("Submit running: %v", err)
+	}
+	waitBusy(t, f)
+
+	var admitted, saturated atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				_, err := f.Submit(blockingSession(fmt.Sprintf("c-%d-%d", g, i), release))
+				switch {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, farm.ErrSaturated):
+					saturated.Add(1)
+				default:
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := admitted.Load(); got != 3 {
+		t.Errorf("admitted %d sessions into a queue of 3", got)
+	}
+	st := f.Stats()
+	if int64(st.Rejected) != saturated.Load() {
+		t.Errorf("stats rejected = %d, ErrSaturated seen = %d", st.Rejected, saturated.Load())
+	}
+	close(release)
+	<-running.Done()
+	f.Wait()
+}
+
+// failingBody returns a Body that always fails, for driving a device into
+// quarantine (and with enough repetition, retirement).
+func failingBody(*system.Cycada) error { return errors.New("induced failure") }
+
+// quarantineDevice1 submits failing sessions pinned to device 1 until it
+// leaves the healthy state, then returns.
+func quarantineDevice1(t *testing.T, f *farm.Farm) {
+	t.Helper()
+	s, err := f.Submit(farm.SessionSpec{Name: "wrecker", Device: 1, Body: failingBody})
+	if err != nil {
+		t.Fatalf("Submit wrecker: %v", err)
+	}
+	<-s.Done()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Device(0).State() == farm.DeviceHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("device 1 never left healthy: %+v", f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFarmPinToQuarantinedRejected holds a device in quarantine (long reboot
+// backoff) and checks that pinned submissions are rejected with
+// ErrDeviceQuarantined while unpinned placement routes around it.
+func TestFarmPinToQuarantinedRejected(t *testing.T) {
+	f := farm.New(farm.Config{
+		Devices:         2,
+		QuarantineAfter: 1,
+		RebootBackoff:   time.Minute, // hold the quarantine for the test's duration
+		DrainDeadline:   5 * time.Second,
+	})
+	defer f.Close()
+	quarantineDevice1(t, f)
+
+	if st := f.Device(0).State(); st != farm.DeviceQuarantined {
+		t.Fatalf("device 1 state = %v, want quarantined", st)
+	}
+	if _, err := f.Submit(farm.SessionSpec{Name: "pinned", Device: 1, Body: failingBody}); !errors.Is(err, farm.ErrDeviceQuarantined) {
+		t.Errorf("Submit pinned to quarantined device: err = %v, want ErrDeviceQuarantined", err)
+	}
+	// Unpinned work routes around the quarantined slot.
+	s, err := f.Submit(farm.SessionSpec{Name: "routed", Body: func(*system.Cycada) error { return nil }})
+	if err != nil {
+		t.Fatalf("Submit routed: %v", err)
+	}
+	if res := s.Result(); res.Err != nil || res.Device != 1 {
+		t.Errorf("routed session: err=%v device=%d, want success on device index 1", res.Err, res.Device)
+	}
+	if st := f.Stats(); st.BadStarts != 0 {
+		t.Errorf("%d sessions started on a non-healthy device", st.BadStarts)
+	}
+}
+
+// TestFarmPinToRetiredRejected retires a slot through the reboot circuit
+// breaker and checks ErrDeviceRetired for pins — and ErrNoDevices once every
+// slot is gone.
+func TestFarmPinToRetiredRejected(t *testing.T) {
+	f := farm.New(farm.Config{
+		Devices:          1,
+		QuarantineAfter:  1,
+		MaxReboots:       1,
+		RebootBackoff:    time.Millisecond,
+		RebootBackoffMax: 2 * time.Millisecond,
+		DrainDeadline:    5 * time.Second,
+	})
+	defer f.Close()
+	f.Device(0).Flight.SetOutput(io.Discard)
+
+	// First failure quarantines; the slot reboots (budget 1) and comes back.
+	quarantineDevice1(t, f)
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Device(0).State() != farm.DeviceHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("device never rebooted: %+v", f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second failure quarantines again; the exhausted reboot budget retires it.
+	quarantineDevice1(t, f)
+	for f.Device(0).State() != farm.DeviceRetired {
+		if time.Now().After(deadline) {
+			t.Fatalf("device never retired: %+v", f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := f.Submit(farm.SessionSpec{Name: "pinned", Device: 1, Body: failingBody}); !errors.Is(err, farm.ErrDeviceRetired) {
+		t.Errorf("Submit pinned to retired device: err = %v, want ErrDeviceRetired", err)
+	}
+	if _, err := f.Submit(farm.SessionSpec{Name: "auto", Body: failingBody}); !errors.Is(err, farm.ErrNoDevices) {
+		t.Errorf("Submit with every device retired: err = %v, want ErrNoDevices", err)
+	}
+	st := f.Stats()
+	if st.Reboots != 1 || st.Retires != 1 || st.Quarantines != 2 {
+		t.Errorf("stats = %+v, want reboots=1 retires=1 quarantines=2", st)
+	}
+}
+
+// TestFarmRetryExactlyOnce fails a session's first attempt and checks the
+// retry contract: the handle delivers exactly one stable Result, from the
+// second attempt, on a different device.
+func TestFarmRetryExactlyOnce(t *testing.T) {
+	f := farm.New(farm.Config{Devices: 2, DrainDeadline: 5 * time.Second})
+	defer f.Close()
+
+	var calls atomic.Int64
+	s, err := f.Submit(farm.SessionSpec{
+		Name:    "retry",
+		Retries: 1,
+		Body: func(*system.Cycada) error {
+			if calls.Add(1) == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Read the result from several goroutines: all must see the same value.
+	results := make([]farm.Result, 4)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); results[i] = s.Result() }(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("reader %d: session failed: %v", i, res.Err)
+		}
+		if res.Attempts != 2 || len(res.DevicesTried) != 2 || res.DevicesTried[0] == res.DevicesTried[1] {
+			t.Errorf("reader %d: attempts=%d tried=%v, want 2 attempts on distinct devices", i, res.Attempts, res.DevicesTried)
+		}
+		if res.Name != results[0].Name || res.Device != results[0].Device || res.Ran != results[0].Ran {
+			t.Errorf("reader %d saw a different result: %+v vs %+v", i, res, results[0])
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("body ran %d times, want 2", got)
+	}
+	st := f.Stats()
+	if st.Completed != 1 || st.Failed != 0 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want completed=1 failed=0 retried=1 (exactly-once delivery)", st)
+	}
+}

@@ -1,0 +1,281 @@
+// Farm-level chaos soak: seeded runs mixing healthy sessions with injected
+// session hangs, device wedges, and diplomat panics, asserting the
+// self-healing invariants — every session terminates with a classified
+// result, quarantined devices receive no placements, Close returns within
+// the drain deadline, and the farm leaks no goroutines beyond the bodies it
+// deliberately abandoned (which unpark after Close).
+package farm_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"cycada/internal/core/system"
+	"cycada/internal/farm"
+	"cycada/internal/fault"
+)
+
+var chaosSeeds = flag.Int("chaosfarm.seeds", 2, "farm chaos: seeded runs")
+
+// chaosErrKinds is every classification a chaos-soak session may end with.
+// A replay divergence ("verify") is never acceptable, and "no-devices" would
+// mean the reboot budget was misconfigured for the injected load.
+var chaosErrKinds = map[string]bool{
+	"":        true, // success
+	"timeout": true,
+	"panic":   true,
+	"fault":   true,
+	"closed":  true,
+	"error":   true,
+}
+
+// TestFarmChaos runs *chaosfarm.seeds seeded soaks. Each soak submits a mix
+// of verified golden-trace replays, scenario sessions, and fault-armed
+// sessions (session_hang wedges a body, device_wedge wedges the stack after
+// the body, diplomat_panic crashes mid-replay) against a small farm with
+// aggressive watchdog, quarantine, and reboot settings, then checks the
+// self-healing invariants.
+func TestFarmChaos(t *testing.T) {
+	for seed := 0; seed < *chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { chaosRun(t, uint64(seed)) })
+	}
+}
+
+func chaosRun(t *testing.T, seed uint64) {
+	baseline := runtime.NumGoroutine()
+	tr2d, trwk := golden(t, "passmark-2d"), golden(t, "webkit-tiles")
+	traces := map[string]uint32{
+		"passmark-2d":  tr2d.Final.Checksum(),
+		"webkit-tiles": trwk.Final.Checksum(),
+	}
+
+	const drainDeadline = 5 * time.Second
+	f := farm.New(farm.Config{
+		Devices:   3,
+		MaxQueue:  64,
+		SharePool: true,
+		// The farm default covers clean replays and scenarios even under the
+		// race detector; only the fault-armed fast-body sessions tighten it
+		// with a per-spec override.
+		SessionDeadline:  20 * time.Second,
+		DrainDeadline:    drainDeadline,
+		QuarantineAfter:  2,
+		MaxReboots:       20, // generous: retirement mid-soak would starve the cleans
+		RebootBackoff:    time.Millisecond,
+		RebootBackoffMax: 20 * time.Millisecond,
+	})
+
+	// Watchdog expiries auto-dump the device flight recorders; keep the soak's
+	// output readable.
+	for i := 0; i < f.Devices(); i++ {
+		f.Device(i).Flight.SetOutput(io.Discard)
+	}
+
+	type submitted struct {
+		s     *farm.Session
+		trace string // golden-trace label for checksum identity, "" otherwise
+	}
+	var subs []submitted
+	submit := func(spec farm.SessionSpec, trace string) {
+		t.Helper()
+		s, err := f.Submit(spec)
+		if err != nil {
+			// Admission may legitimately shed load mid-chaos; nothing else.
+			if errors.Is(err, farm.ErrSaturated) {
+				return
+			}
+			t.Fatalf("Submit %q: %v", spec.Name, err)
+		}
+		subs = append(subs, submitted{s: s, trace: trace})
+	}
+
+	for i := 0; i < 18; i++ {
+		name := fmt.Sprintf("chaos-%d-%d", seed, i)
+		switch i % 3 {
+		case 0: // clean verified replay with a retry budget
+			label, tr := "passmark-2d", tr2d
+			if i%2 == 0 {
+				label, tr = "webkit-tiles", trwk
+			}
+			submit(farm.SessionSpec{Name: name, Trace: tr, Verify: true, Retries: 1}, label)
+		case 1: // mid-replay faults: panics and failed presents, never wedges
+			submit(farm.SessionSpec{
+				Name:    name,
+				Trace:   tr2d,
+				Retries: 1,
+				Faults: &fault.Schedule{
+					Seed:   seed*1000 + uint64(i),
+					Rate:   0.05,
+					Points: []fault.Point{fault.PointDiplomatPanic, fault.PointEGLPresent, fault.PointBinder},
+				},
+			}, "")
+		default: // wedge-armed fast bodies under a tight per-session deadline
+			submit(farm.SessionSpec{
+				Name:     name,
+				Body:     func(*system.Cycada) error { return nil },
+				Deadline: 300 * time.Millisecond,
+				Retries:  1,
+				Faults: &fault.Schedule{
+					Seed:   seed*1000 + uint64(i),
+					Rate:   0.4,
+					Times:  1,
+					Points: []fault.Point{fault.PointSessionHang, fault.PointDeviceWedge},
+				},
+			}, "")
+		}
+	}
+	// One guaranteed wedge so the abandoned-goroutine path is exercised in
+	// every seeded run, not just when the dice land.
+	submit(farm.SessionSpec{
+		Name:     fmt.Sprintf("chaos-%d-hang", seed),
+		Body:     func(*system.Cycada) error { return nil },
+		Deadline: 250 * time.Millisecond,
+		Faults:   &fault.Schedule{Seed: seed, Rate: 1, Times: 1, Points: []fault.Point{fault.PointSessionHang}},
+	}, "")
+
+	// Invariant: every session terminates. Wait must return — guard it.
+	waited := make(chan struct{})
+	go func() { f.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("farm.Wait did not return: %+v", f.Stats())
+	}
+
+	for _, sub := range subs {
+		select {
+		case <-sub.s.Done():
+		default:
+			t.Fatalf("session %q not done after Wait", sub.s.Spec().Name)
+		}
+		res := sub.s.Result()
+		if kind := res.ErrKind(); res.Err != nil && !chaosErrKinds[kind] {
+			t.Errorf("session %q: unclassified or forbidden failure %q: %v", res.Name, kind, res.Err)
+		}
+		if res.Err == nil && sub.trace != "" && res.Checksum != traces[sub.trace] {
+			t.Errorf("session %q: checksum %08x, single-stack %08x", res.Name, res.Checksum, traces[sub.trace])
+		}
+		if res.Err == nil && res.Attempts < 1 {
+			t.Errorf("session %q: succeeded with %d attempts", res.Name, res.Attempts)
+		}
+		if len(res.DevicesTried) != res.Attempts {
+			t.Errorf("session %q: %d attempts but devices tried %v", res.Name, res.Attempts, res.DevicesTried)
+		}
+	}
+
+	st := f.Stats()
+	// Invariant: quarantined/retired devices get no placements.
+	if st.BadStarts != 0 {
+		t.Errorf("%d sessions started on non-healthy devices", st.BadStarts)
+	}
+	// The guaranteed hang means at least one watchdog expiry, one abandoned
+	// body, and — because the abandoned body owns its stack — one quarantine.
+	if st.TimedOut < 1 || st.Abandoned < 1 || st.Quarantines < 1 {
+		t.Errorf("stats = %+v, want at least one timeout, abandonment, and quarantine", st)
+	}
+
+	// Invariant: Close returns within the drain deadline (plus slack).
+	start := time.Now()
+	closed := make(chan struct{})
+	go func() { f.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(drainDeadline + 10*time.Second):
+		t.Fatalf("farm.Close exceeded the drain deadline: %+v", f.Stats())
+	}
+	if took := time.Since(start); took > drainDeadline+5*time.Second {
+		t.Errorf("Close took %v, drain deadline %v", took, drainDeadline)
+	}
+
+	// After the drain, every quarantine has resolved into a reboot or a
+	// close-time retirement.
+	st = f.Stats()
+	if st.Quarantines != st.Reboots+st.Retires {
+		t.Errorf("stats = %+v: quarantines %d != reboots %d + retires %d",
+			st, st.Quarantines, st.Reboots, st.Retires)
+	}
+
+	// Invariant: no goroutine leak beyond the deliberately abandoned bodies,
+	// and those unpark once Close releases them.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if f.Parked() == 0 && runtime.NumGoroutine() <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d (baseline %d), parked %d: abandoned bodies did not unpark",
+				runtime.NumGoroutine(), baseline, f.Parked())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFarmFailoverVerifiesIdentically is the failover determinism gate: a
+// verified golden-trace session whose first attempt is wedged by an injected
+// session_hang must time out, fail over to a different device, and still
+// verify byte-identically against the single-stack recording.
+func TestFarmFailoverVerifiesIdentically(t *testing.T) {
+	tr := golden(t, "passmark-2d")
+	f := farm.New(farm.Config{
+		Devices: 2,
+		// Per-attempt deadline: attempt 1 parks on the injected hang and times
+		// out; attempt 2 replays for real, so the deadline must clear a clean
+		// replay even under the race detector.
+		SessionDeadline:  4 * time.Second,
+		DrainDeadline:    10 * time.Second,
+		QuarantineAfter:  1,
+		RebootBackoff:    time.Millisecond,
+		RebootBackoffMax: 10 * time.Millisecond,
+	})
+	defer f.Close()
+	for i := 0; i < f.Devices(); i++ {
+		f.Device(i).Flight.SetOutput(io.Discard)
+	}
+
+	s, err := f.Submit(farm.SessionSpec{
+		Name:    "failover",
+		Trace:   tr,
+		Verify:  true,
+		Retries: 1,
+		// Times=1: the hang fires exactly once, on the first attempt; the
+		// injector persists across attempts, so the failover runs clean.
+		Faults: &fault.Schedule{Seed: 7, Rate: 1, Times: 1, Points: []fault.Point{fault.PointSessionHang}},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := s.Result()
+	if res.Err != nil {
+		t.Fatalf("failover session failed: %v (kind %q)", res.Err, res.ErrKind())
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", res.Attempts)
+	}
+	if len(res.DevicesTried) != 2 || res.DevicesTried[0] == res.DevicesTried[1] {
+		t.Errorf("devices tried = %v, want two distinct devices", res.DevicesTried)
+	}
+	if res.Device != res.DevicesTried[len(res.DevicesTried)-1] {
+		t.Errorf("final device %d does not match last tried %v", res.Device, res.DevicesTried)
+	}
+	if want := tr.Final.Checksum(); res.Checksum != want {
+		t.Errorf("failover checksum %08x, single-stack recording %08x", res.Checksum, want)
+	}
+	if res.Replay == nil || !res.Replay.VerifyOK() {
+		t.Errorf("failover replay not fully verified: %+v", res.Replay)
+	}
+
+	st := f.Stats()
+	if st.TimedOut != 1 || st.Abandoned != 1 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want timed_out=1 abandoned=1 retried=1", st)
+	}
+	if st.Quarantines < 1 {
+		t.Errorf("stats = %+v: the wedged device was never quarantined", st)
+	}
+}

@@ -1,0 +1,121 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cycada/internal/fault"
+)
+
+// Admission and session errors. Everything a Session's Result.Err can carry
+// is classified: callers (and cycadafarm's output) distinguish a watchdog
+// timeout from a body panic from an injected fault from a replay divergence
+// with errors.Is, or coarsely with Classify.
+var (
+	// ErrSaturated is the backpressure signal: the admission queue is full.
+	// The caller should retry after a session completes (or shed load).
+	ErrSaturated = errors.New("farm: admission queue full")
+	// ErrClosed means Submit was called after Close began draining, or — as
+	// a session failure — that the session was still queued or running when
+	// the drain deadline expired.
+	ErrClosed = errors.New("farm: closed")
+	// ErrSessionTimeout classifies a session whose watchdog deadline expired:
+	// the wedged body goroutine was abandoned and, because it still owns the
+	// device stack, the device was quarantined for reboot.
+	ErrSessionTimeout = errors.New("farm: session deadline exceeded")
+	// ErrBodyPanic classifies a session whose body panicked (beyond what the
+	// diplomat isolation layers recover).
+	ErrBodyPanic = errors.New("farm: session body panicked")
+	// ErrVerifyMismatch classifies a replayed session whose differential
+	// verification diverged from the recording.
+	ErrVerifyMismatch = errors.New("farm: replay verification mismatch")
+	// ErrDeviceQuarantined rejects a Submit pinned to a quarantined device,
+	// and fails pinned sessions already queued on a device entering
+	// quarantine (a pin names the only device allowed, so no failover).
+	ErrDeviceQuarantined = errors.New("farm: pinned device is quarantined")
+	// ErrDeviceRetired is the same for a device the circuit breaker retired.
+	ErrDeviceRetired = errors.New("farm: pinned device is retired")
+	// ErrNoDevices means every device has been retired: the farm can no
+	// longer run anything.
+	ErrNoDevices = errors.New("farm: all devices retired")
+)
+
+// TimeoutError is the session failure delivered when the watchdog fires. It
+// wraps ErrSessionTimeout.
+type TimeoutError struct {
+	Name     string
+	Device   int // device whose stack the wedged body still owns
+	Attempt  int // 1-based attempt that timed out
+	Deadline time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("farm: session %q attempt %d wedged on device %d (deadline %v); goroutine abandoned",
+		e.Name, e.Attempt, e.Device, e.Deadline)
+}
+
+// Unwrap makes errors.Is(err, ErrSessionTimeout) true.
+func (e *TimeoutError) Unwrap() error { return ErrSessionTimeout }
+
+// PanicError is the session failure delivered when the body panicked. It
+// wraps ErrBodyPanic.
+type PanicError struct {
+	Name  string
+	Value any // the recovered panic value
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("farm: session %q panicked: %v", e.Name, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrBodyPanic) true.
+func (e *PanicError) Unwrap() error { return ErrBodyPanic }
+
+// VerifyError is the session failure delivered when a verified trace replay
+// diverged. It wraps both ErrVerifyMismatch and the underlying replay error.
+type VerifyError struct {
+	Name string
+	Err  error // the replay.Result.VerifyError rendering
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("farm: session %q diverged: %v", e.Name, e.Err)
+}
+
+// Unwrap makes both errors.Is(err, ErrVerifyMismatch) and inspection of the
+// replay error work.
+func (e *VerifyError) Unwrap() []error { return []error{ErrVerifyMismatch, e.Err} }
+
+// Classify buckets a session error for reports and counters: "" for nil,
+// otherwise one of timeout, panic, verify, closed, quarantined, retired,
+// no-devices, fault (an injected fault surfaced as the body's error), or
+// error (anything else). The specific sentinels win over the generic
+// fault bucket: a timeout caused by an injected session_hang is a timeout.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrSessionTimeout):
+		return "timeout"
+	case errors.Is(err, ErrBodyPanic):
+		return "panic"
+	case errors.Is(err, ErrVerifyMismatch):
+		return "verify"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrDeviceQuarantined):
+		return "quarantined"
+	case errors.Is(err, ErrDeviceRetired):
+		return "retired"
+	case errors.Is(err, ErrNoDevices):
+		return "no-devices"
+	case fault.Injected(err):
+		return "fault"
+	default:
+		return "error"
+	}
+}

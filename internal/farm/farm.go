@@ -8,9 +8,21 @@
 // session gets the stack — screen, GPU, compositor — to itself, which is
 // what keeps its replay checksums byte-identical to a single-stack run);
 // farm-level concurrency comes from the devices running in parallel.
-// Placement is explicit pin > affinity hash > least-loaded. Admission is a
-// bounded queue: when the backlog reaches Config.MaxQueue, Submit rejects
-// with ErrSaturated and the caller applies backpressure.
+// Placement is explicit pin > affinity hash > least-loaded, restricted to
+// healthy devices. Admission is a bounded queue: when the backlog reaches
+// Config.MaxQueue, Submit rejects with ErrSaturated and the caller applies
+// backpressure.
+//
+// Self-healing: every session attempt runs on its own goroutine under a
+// watchdog deadline. A wedged body is abandoned — never joined — and its
+// attempt fails with a classified *TimeoutError; because the abandoned
+// goroutine still owns the device stack, the slot is quarantined, torn down
+// (when safely possible), and rebooted with crash-loop backoff, up to a
+// circuit-breaker reboot budget after which the slot retires permanently.
+// Failed or timed-out sessions with Retries re-enter placement on a
+// different device with exactly-once result delivery. Close honors a
+// configurable drain deadline past which queued-but-never-started sessions
+// complete with ErrClosed and running ones are abandoned.
 //
 // Scoping: every device has its own kernel, fault injector slot, flight
 // recorder, and base histogram registry, so concurrent stacks never share
@@ -24,19 +36,29 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cycada/internal/fault"
 	"cycada/internal/obs"
 	"cycada/internal/sim/gpu"
+	"cycada/internal/sim/vclock"
 )
 
-// Farm admission errors.
-var (
-	// ErrSaturated is the backpressure signal: the admission queue is full.
-	// The caller should retry after a session completes (or shed load).
-	ErrSaturated = errors.New("farm: admission queue full")
-	// ErrClosed means Submit was called after Close began draining.
-	ErrClosed = errors.New("farm: closed")
+// Farm event-counter names (Farm.Counters registry) and histogram names
+// (Farm.Histograms registry, wall-clock durations).
+const (
+	CtrRetries     = "retries"      // failed attempts re-entered placement
+	CtrTimeouts    = "timeouts"     // watchdog deadlines that expired
+	CtrAbandoned   = "abandoned"    // session goroutines given up (timeout or drain)
+	CtrQuarantines = "quarantines"  // devices pulled from placement
+	CtrReboots     = "reboots"      // fresh stacks booted into quarantined slots
+	CtrRetires     = "retires"      // devices permanently circuit-broken
+	CtrForceFailed = "force-failed" // sessions failed by the drain deadline
+
+	SessionQueuedHist = "farm-session-queued" // admission-to-final-start, wall
+	SessionRanHist    = "farm-session-ran"    // final start-to-finish, wall
+	RebootHist        = "farm-reboot"         // quarantine-to-healthy, wall
 )
 
 // Config sizes the farm.
@@ -62,28 +84,74 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Label names the farm's snapshot section (cycadatop); default "farm".
 	Label string
+
+	// SessionDeadline is the default watchdog deadline covering one whole
+	// session attempt (scope, body, harvest, recycle). Zero disables the
+	// watchdog unless a spec sets its own Deadline.
+	SessionDeadline time.Duration
+	// DrainDeadline bounds Close: past it, queued-but-never-started sessions
+	// complete with ErrClosed and still-running bodies are abandoned with
+	// ErrClosed, so Close returns even with a wedged device. Zero waits for
+	// a full graceful drain (the pre-self-healing behavior).
+	DrainDeadline time.Duration
+	// QuarantineAfter quarantines a device after this many consecutive
+	// session failures (timeouts always quarantine — the abandoned body owns
+	// the stack). Zero defaults to 3; negative disables failure-count
+	// quarantine entirely.
+	QuarantineAfter int
+	// MaxReboots is the circuit breaker: a slot that has already rebooted
+	// this many times retires permanently instead of rebooting again. Zero
+	// defaults to 5; negative removes the limit.
+	MaxReboots int
+	// RebootBackoff is the crash-loop delay before the first reboot,
+	// doubling on each consecutive reboot of the slot and capped at
+	// RebootBackoffMax. Defaults: 10ms backoff, 1s cap.
+	RebootBackoff    time.Duration
+	RebootBackoffMax time.Duration
 }
 
 // Farm is a running multi-device session scheduler.
 type Farm struct {
-	cfg     Config
-	devices []*Device
+	cfg        Config
+	devices    []*Device
+	sharedPool *gpu.Pool
 
 	mu   sync.Mutex
 	cond *sync.Cond
 	// closed rejects new admissions; already-admitted sessions drain.
 	closed bool
-	// pending counts admitted sessions not yet running; running counts
-	// session bodies currently executing; outstanding is their sum.
+	// forced is set when the drain deadline expired and queued work was
+	// force-failed.
+	forced bool
+	// pending counts admitted sessions not yet running (device queues plus
+	// backlog); running counts session bodies currently executing;
+	// outstanding counts undelivered sessions.
 	pending     int
 	running     int
 	outstanding int
 	queueHW     int // high-water mark of pending
+	// backlog holds admitted sessions with no healthy device to queue on;
+	// the next slot to come back healthy picks them up.
+	backlog []*Session
 
 	submitted uint64
 	completed uint64
 	failed    uint64
 	rejected  uint64
+	badStarts uint64 // sessions started on a non-healthy device (invariant: 0)
+
+	// closeCh closes when Close begins draining; forceCh when the drain
+	// deadline expires; wedgeRelease after Close finishes, unparking
+	// deliberately wedged (fault-injected) bodies so tests can assert the
+	// farm leaks no goroutines beyond the ones it meant to abandon.
+	closeCh      chan struct{}
+	forceCh      chan struct{}
+	wedgeRelease chan struct{}
+	forceTimer   *time.Timer
+	parked       atomic.Int64 // bodies currently parked on wedgeRelease
+
+	ctr   *obs.Counters
+	hists *obs.Histograms
 
 	unregSnap func()
 	wg        sync.WaitGroup
@@ -106,14 +174,33 @@ func New(cfg Config) *Farm {
 	if cfg.Label == "" {
 		cfg.Label = "farm"
 	}
-	var shared *gpu.Pool
-	if cfg.SharePool {
-		shared = gpu.NewPool(cfg.RasterWorkers)
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = 3
 	}
-	f := &Farm{cfg: cfg}
+	if cfg.MaxReboots == 0 {
+		cfg.MaxReboots = 5
+	}
+	if cfg.RebootBackoff == 0 {
+		cfg.RebootBackoff = 10 * time.Millisecond
+	}
+	if cfg.RebootBackoffMax == 0 {
+		cfg.RebootBackoffMax = time.Second
+	}
+	f := &Farm{
+		cfg:          cfg,
+		closeCh:      make(chan struct{}),
+		forceCh:      make(chan struct{}),
+		wedgeRelease: make(chan struct{}),
+		ctr:          obs.NewCounters(),
+		hists:        obs.NewHistograms(),
+	}
+	if cfg.SharePool {
+		f.sharedPool = gpu.NewPool(cfg.RasterWorkers)
+	}
+	f.hists.SetEnabled(true)
 	f.cond = sync.NewCond(&f.mu)
 	for i := 0; i < cfg.Devices; i++ {
-		f.devices = append(f.devices, bootDevice(f, i, shared))
+		f.devices = append(f.devices, bootDevice(f, i))
 	}
 	f.unregSnap = obs.RegisterSnapshotSource(cfg.Label, f.snapshotSection)
 	for _, d := range f.devices {
@@ -123,17 +210,27 @@ func New(cfg Config) *Farm {
 	return f
 }
 
-// Devices returns the number of device stacks.
+// Devices returns the number of device slots (including retired ones).
 func (f *Farm) Devices() int { return len(f.devices) }
 
 // Device returns the i'th device (introspection: its flight recorder,
-// histogram registry, and underlying stack).
+// histogram registry, health state, and current stack).
 func (f *Farm) Device(i int) *Device { return f.devices[i] }
 
-// Submit admits a session, places it on a device, and returns its handle.
-// It never blocks on session execution: when the backlog is at MaxQueue the
-// session is rejected with ErrSaturated (counted in Stats), and after Close
-// with ErrClosed.
+// Counters is the farm's self-healing event-counter registry (see the Ctr*
+// names).
+func (f *Farm) Counters() *obs.Counters { return f.ctr }
+
+// Histograms is the farm's wall-clock latency registry (see the *Hist
+// names).
+func (f *Farm) Histograms() *obs.Histograms { return f.hists }
+
+// Submit admits a session, places it on a healthy device (or the farm
+// backlog when none is healthy right now), and returns its handle. It never
+// blocks on session execution: when the backlog is at MaxQueue the session
+// is rejected with ErrSaturated (counted in Stats), after Close with
+// ErrClosed, pins to unhealthy devices with ErrDeviceQuarantined /
+// ErrDeviceRetired, and once every device has retired with ErrNoDevices.
 func (f *Farm) Submit(spec SessionSpec) (*Session, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -146,6 +243,16 @@ func (f *Farm) Submit(spec SessionSpec) (*Session, error) {
 	if spec.Device < 0 || spec.Device > len(f.devices) {
 		return nil, fmt.Errorf("farm: session %q pins device %d, have 1..%d", spec.Name, spec.Device, len(f.devices))
 	}
+	if spec.pinned() {
+		switch f.devices[spec.Device-1].state {
+		case DeviceQuarantined:
+			return nil, fmt.Errorf("farm: session %q pins device %d: %w", spec.Name, spec.Device, ErrDeviceQuarantined)
+		case DeviceRetired:
+			return nil, fmt.Errorf("farm: session %q pins device %d: %w", spec.Name, spec.Device, ErrDeviceRetired)
+		}
+	} else if f.allRetiredLocked() {
+		return nil, ErrNoDevices
+	}
 	if f.pending >= f.cfg.MaxQueue {
 		f.rejected++
 		return nil, ErrSaturated
@@ -155,9 +262,14 @@ func (f *Farm) Submit(spec SessionSpec) (*Session, error) {
 		spec.Name = fmt.Sprintf("session-%d", f.submitted)
 	}
 	s := &Session{spec: spec, submitted: time.Now(), done: make(chan struct{})}
-	s.res.Name = spec.Name
-	d := f.place(spec)
-	d.queue = append(d.queue, s)
+	if spec.Faults != nil {
+		s.inj = fault.NewInjector(*spec.Faults)
+	}
+	if d := f.placeLocked(spec, nil); d != nil {
+		d.queue = append(d.queue, s)
+	} else {
+		f.backlog = append(f.backlog, s)
+	}
 	f.pending++
 	f.outstanding++
 	if f.pending > f.queueHW {
@@ -167,29 +279,47 @@ func (f *Farm) Submit(spec SessionSpec) (*Session, error) {
 	return s, nil
 }
 
-// place picks the session's device: explicit pin, then affinity hash, then
-// least-loaded (fewest queued+running, ties to the lowest index, so
-// placement is deterministic for a deterministic submission order).
-func (f *Farm) place(spec SessionSpec) *Device {
-	if spec.Device > 0 {
+// placeLocked picks the session's device among healthy ones: explicit pin,
+// then affinity hash (falling back when its target is unhealthy or
+// excluded), then least-loaded (ties to the lowest index, so placement is
+// deterministic for a deterministic submission order). exclude removes
+// devices a retrying session already tried. Returns nil when no healthy
+// device qualifies — the caller backlogs the session. Caller holds f.mu.
+func (f *Farm) placeLocked(spec SessionSpec, exclude map[int]bool) *Device {
+	if spec.pinned() {
 		return f.devices[spec.Device-1]
 	}
 	if spec.Affinity != "" {
 		h := fnv.New32a()
 		h.Write([]byte(spec.Affinity))
-		return f.devices[int(h.Sum32())%len(f.devices)]
+		if d := f.devices[int(h.Sum32())%len(f.devices)]; d.state == DeviceHealthy && !exclude[d.ID] {
+			return d
+		}
 	}
-	best := f.devices[0]
-	bestLoad := best.loadLocked()
-	for _, d := range f.devices[1:] {
-		if l := d.loadLocked(); l < bestLoad {
+	var best *Device
+	bestLoad := 0
+	for _, d := range f.devices {
+		if d.state != DeviceHealthy || exclude[d.ID] {
+			continue
+		}
+		if l := d.loadLocked(); best == nil || l < bestLoad {
 			best, bestLoad = d, l
 		}
 	}
 	return best
 }
 
-// Wait blocks until every admitted session has finished.
+// allRetiredLocked reports whether every slot is permanently out of service.
+func (f *Farm) allRetiredLocked() bool {
+	for _, d := range f.devices {
+		if d.state != DeviceRetired {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until every admitted session has delivered its result.
 func (f *Farm) Wait() {
 	f.mu.Lock()
 	for f.outstanding > 0 {
@@ -198,71 +328,361 @@ func (f *Farm) Wait() {
 	f.mu.Unlock()
 }
 
-// Close drains the farm gracefully: new submissions are rejected with
-// ErrClosed, every already-admitted session runs to completion, and the
-// scheduler goroutines exit. Idempotent.
+// Close drains the farm: new submissions are rejected with ErrClosed and
+// already-admitted sessions run to completion on the remaining healthy
+// devices (quarantined slots retire instead of rebooting — there is nothing
+// left to come back for). With Config.DrainDeadline set, Close additionally
+// bounds the drain: past the deadline, queued-but-never-started sessions
+// complete with ErrClosed and still-running bodies are abandoned, so a
+// wedged device can no longer park Close forever. After the drain,
+// deliberately wedged (fault-injected) bodies are unparked so they exit.
+// Idempotent.
 func (f *Farm) Close() {
 	f.mu.Lock()
-	already := f.closed
-	f.closed = true
+	first := !f.closed
+	if first {
+		f.closed = true
+		close(f.closeCh)
+		if f.cfg.DrainDeadline > 0 {
+			f.forceTimer = time.AfterFunc(f.cfg.DrainDeadline, f.forceDrain)
+		}
+	}
 	f.cond.Broadcast()
 	f.mu.Unlock()
 	f.wg.Wait()
-	if !already && f.unregSnap != nil {
-		f.unregSnap()
+	if first {
+		if f.forceTimer != nil {
+			f.forceTimer.Stop()
+		}
+		if f.unregSnap != nil {
+			f.unregSnap()
+		}
+		close(f.wedgeRelease)
 	}
 }
 
-// deviceLoop is one device's scheduler: pop the next queued session when an
-// in-flight slot is free, run it, repeat; exit once the farm is closed and
-// the device's queue has drained.
+// forceDrain fires at the drain deadline: every session still waiting in a
+// queue or the backlog completes with ErrClosed, and running dispatches are
+// signaled (forceCh) to abandon their bodies.
+func (f *Farm) forceDrain() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.forced {
+		return
+	}
+	f.forced = true
+	close(f.forceCh)
+	fail := func(s *Session) {
+		f.pending--
+		f.ctr.Counter(CtrForceFailed).Inc()
+		f.deliverLocked(s, Result{
+			Name:   s.spec.Name,
+			Device: -1,
+			Queued: time.Since(s.submitted),
+			Err:    fmt.Errorf("farm: session %q never started before the drain deadline: %w", s.spec.Name, ErrClosed),
+		})
+	}
+	for _, d := range f.devices {
+		q := d.queue
+		d.queue = nil
+		for _, s := range q {
+			fail(s)
+		}
+	}
+	for _, s := range f.backlog {
+		fail(s)
+	}
+	f.backlog = nil
+	f.cond.Broadcast()
+}
+
+// park blocks the calling session goroutine until the farm has finished
+// closing — the deliberate wedge behind the session_hang and device_wedge
+// fault points. A real wedged body would never return; an injected one
+// unparks after Close so goroutine-leak assertions can run.
+func (f *Farm) park(point string) {
+	f.ctr.Counter("parked." + point).Inc()
+	f.parked.Add(1)
+	<-f.wedgeRelease
+	f.parked.Add(-1)
+}
+
+// Parked returns the number of session bodies currently parked on injected
+// wedges (introspection for leak accounting).
+func (f *Farm) Parked() int64 { return f.parked.Load() }
+
+// deviceLoop is one slot's scheduler: while healthy, pop the next session
+// (own queue first, then the farm backlog) when an in-flight slot is free
+// and dispatch it under the watchdog; when quarantined, reboot the slot;
+// when retired, drain and exit. Exits once the farm is closed and no queued
+// work remains.
 func (f *Farm) deviceLoop(d *Device) {
 	defer f.wg.Done()
 	for {
 		f.mu.Lock()
 		for {
-			if len(d.queue) > 0 && f.running < f.cfg.MaxInFlight {
+			if d.state != DeviceHealthy {
 				break
 			}
-			if f.closed && len(d.queue) == 0 {
+			if f.running < f.cfg.MaxInFlight && (len(d.queue) > 0 || len(f.backlog) > 0) {
+				break
+			}
+			if f.closed && len(d.queue) == 0 && len(f.backlog) == 0 {
 				f.mu.Unlock()
 				return
 			}
 			f.cond.Wait()
 		}
-		s := d.queue[0]
-		d.queue = d.queue[1:]
+		if d.state == DeviceRetired {
+			f.drainDeviceLocked(d, ErrDeviceRetired)
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		}
+		if d.state == DeviceQuarantined {
+			f.rebootSlot(d) // enters with f.mu held, returns with it released
+			continue
+		}
+
+		var s *Session
+		if len(d.queue) > 0 {
+			s, d.queue = d.queue[0], d.queue[1:]
+		} else {
+			s, f.backlog = f.backlog[0], f.backlog[1:]
+		}
 		f.pending--
 		f.running++
 		d.busy = true
+		if d.state != DeviceHealthy {
+			f.badStarts++ // invariant violation counter; chaos soak asserts 0
+		}
+		s.attempts++
+		attempt := s.attempts
+		s.tried = append(s.tried, d.ID)
+		sys := d.sys
 		f.mu.Unlock()
 
-		d.run(s)
+		res, abandoned := d.dispatch(s, sys, attempt)
 
 		f.mu.Lock()
 		f.running--
 		d.busy = false
 		d.sessions++
-		if s.res.Err != nil {
-			d.failures++
-			f.failed++
-		} else {
-			f.completed++
-		}
-		f.outstanding--
+		f.finishAttemptLocked(d, s, res, abandoned)
 		f.cond.Broadcast()
 		f.mu.Unlock()
-		close(s.done)
 	}
 }
 
-// DeviceStats is one device's scheduler counters.
+// finishAttemptLocked settles one dispatched attempt: health bookkeeping for
+// the device, retry-or-deliver for the session, quarantine when warranted.
+// Caller holds f.mu.
+func (f *Farm) finishAttemptLocked(d *Device, s *Session, res Result, abandoned bool) {
+	timedOut := abandoned && errors.Is(res.Err, ErrSessionTimeout)
+	if abandoned {
+		f.ctr.Counter(CtrAbandoned).Inc()
+		d.wedged = true // the abandoned goroutine owns the current stack
+		if timedOut {
+			d.timeouts++
+			f.ctr.Counter(CtrTimeouts).Inc()
+		}
+	}
+	quarantine := false
+	if res.Err != nil {
+		d.failures++
+		if abandoned {
+			// The stack is lost to the abandoned body regardless of any
+			// failure threshold; the slot must boot a fresh one.
+			quarantine = true
+		} else {
+			d.consecFails++
+			if f.cfg.QuarantineAfter > 0 && d.consecFails >= f.cfg.QuarantineAfter {
+				quarantine = true
+			}
+		}
+	} else {
+		d.consecFails = 0
+	}
+
+	// Retry: a failed attempt with budget left re-enters placement on a
+	// device it has not tried (falling back to any healthy device, then the
+	// backlog). Sessions abandoned by the drain deadline, pinned sessions,
+	// and post-Close failures deliver immediately instead.
+	forceClosed := abandoned && !timedOut
+	if res.Err != nil && !forceClosed && !f.closed && !s.spec.pinned() && s.attempts <= s.spec.Retries {
+		exclude := make(map[int]bool, len(s.tried))
+		for _, id := range s.tried {
+			exclude[id] = true
+		}
+		target := f.placeLocked(s.spec, exclude)
+		if target == nil {
+			target = f.placeLocked(s.spec, map[int]bool{d.ID: true})
+		}
+		f.ctr.Counter(CtrRetries).Inc()
+		f.pending++
+		if f.pending > f.queueHW {
+			f.queueHW = f.pending
+		}
+		if target != nil {
+			target.queue = append(target.queue, s)
+		} else {
+			f.backlog = append(f.backlog, s)
+		}
+	} else {
+		f.deliverLocked(s, res)
+	}
+
+	if quarantine && d.state == DeviceHealthy {
+		d.state = DeviceQuarantined
+		f.ctr.Counter(CtrQuarantines).Inc()
+		f.drainDeviceLocked(d, ErrDeviceQuarantined)
+	}
+}
+
+// deliverLocked publishes a session's final result exactly once and closes
+// its done channel. Caller holds f.mu; readers are ordered by the channel
+// close.
+func (f *Farm) deliverLocked(s *Session, res Result) {
+	if s.delivered {
+		return
+	}
+	s.delivered = true
+	res.Attempts = s.attempts
+	res.DevicesTried = append([]int(nil), s.tried...)
+	if res.Name == "" {
+		res.Name = s.spec.Name
+	}
+	s.res = res
+	if res.Err != nil {
+		f.failed++
+	} else {
+		f.completed++
+	}
+	f.outstanding--
+	f.hists.Histogram(SessionQueuedHist).Observe(0, vclock.Duration(res.Queued))
+	f.hists.Histogram(SessionRanHist).Observe(0, vclock.Duration(res.Ran))
+	close(s.done)
+}
+
+// drainDeviceLocked empties a quarantined or retired slot's queue: unpinned
+// sessions re-enter placement on other devices (or the backlog) while the
+// farm is open; pinned sessions — and everything during a close drain —
+// complete with the classified reason. Caller holds f.mu.
+func (f *Farm) drainDeviceLocked(d *Device, reason error) {
+	q := d.queue
+	d.queue = nil
+	for _, s := range q {
+		if !f.closed && !s.spec.pinned() {
+			if t := f.placeLocked(s.spec, map[int]bool{d.ID: true}); t != nil {
+				t.queue = append(t.queue, s)
+			} else {
+				f.backlog = append(f.backlog, s)
+			}
+			continue
+		}
+		err := reason
+		if f.closed {
+			err = ErrClosed
+		}
+		f.pending--
+		f.deliverLocked(s, Result{
+			Name:   s.spec.Name,
+			Device: -1,
+			Queued: time.Since(s.submitted),
+			Err:    fmt.Errorf("farm: session %q never started on device %d: %w", s.spec.Name, d.ID, err),
+		})
+	}
+	if f.allRetiredLocked() {
+		f.failBacklogLocked()
+	}
+}
+
+// failBacklogLocked fails every backlogged session — called when the last
+// slot retires and nothing can ever run them. Caller holds f.mu.
+func (f *Farm) failBacklogLocked() {
+	reason := error(ErrNoDevices)
+	if f.closed {
+		reason = ErrClosed
+	}
+	for _, s := range f.backlog {
+		f.pending--
+		f.deliverLocked(s, Result{
+			Name:   s.spec.Name,
+			Device: -1,
+			Queued: time.Since(s.submitted),
+			Err:    fmt.Errorf("farm: session %q never started: %w", s.spec.Name, reason),
+		})
+	}
+	f.backlog = nil
+}
+
+// rebootSlot handles one quarantined slot: retire it when the circuit
+// breaker trips or the farm is closing, otherwise tear down the old stack
+// (unless a wedged goroutine still owns it, in which case it is simply
+// dropped), wait out the crash-loop backoff, and boot a replacement in the
+// slot. Called with f.mu held; returns with it released.
+func (f *Farm) rebootSlot(d *Device) {
+	retire := func() {
+		d.state = DeviceRetired
+		f.ctr.Counter(CtrRetires).Inc()
+		f.drainDeviceLocked(d, ErrDeviceRetired)
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+	if f.closed || (f.cfg.MaxReboots > 0 && d.reboots >= f.cfg.MaxReboots) {
+		retire()
+		return
+	}
+	wedged := d.wedged
+	oldSys := d.sys
+	attempt := d.reboots
+	f.mu.Unlock()
+
+	start := time.Now()
+	if !wedged {
+		oldSys.Close()
+	}
+	backoff := f.cfg.RebootBackoff
+	for i := 0; i < attempt && backoff < f.cfg.RebootBackoffMax; i++ {
+		backoff *= 2
+	}
+	if backoff > f.cfg.RebootBackoffMax {
+		backoff = f.cfg.RebootBackoffMax
+	}
+	select {
+	case <-time.After(backoff):
+	case <-f.closeCh:
+		// Closing mid-backoff: nothing will be placed here again; retire.
+		f.mu.Lock()
+		retire()
+		return
+	}
+	sys := d.bootStack()
+
+	f.mu.Lock()
+	d.sys = sys
+	d.wedged = false
+	d.state = DeviceHealthy
+	d.consecFails = 0
+	d.reboots++
+	f.ctr.Counter(CtrReboots).Inc()
+	f.hists.Histogram(RebootHist).Observe(0, vclock.Duration(time.Since(start)))
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// DeviceStats is one device slot's scheduler and health counters.
 type DeviceStats struct {
-	ID       int  `json:"id"`
-	Sessions int  `json:"sessions"` // completed on this device (incl. failed)
-	Failures int  `json:"failures"`
-	Queued   int  `json:"queued"` // waiting in this device's queue
-	Busy     bool `json:"busy"`   // a session body is executing now
+	ID       int    `json:"id"`
+	Sessions int    `json:"sessions"` // attempts finished on this slot (incl. failed)
+	Failures int    `json:"failures"`
+	Queued   int    `json:"queued"` // waiting in this slot's queue
+	Busy     bool   `json:"busy"`   // a session body is executing now
+	State    string `json:"state"`  // healthy | quarantined | retired
+	Consec   int    `json:"consecutive_failures"`
+	Timeouts int    `json:"timeouts"`
+	Reboots  int    `json:"reboots"`
+	Wedged   bool   `json:"wedged"` // current/last stack owned by an abandoned body
 }
 
 // Stats is a scheduler counter snapshot.
@@ -275,6 +695,22 @@ type Stats struct {
 	QueueDepth     int           `json:"queue_depth"`
 	QueueHighWater int           `json:"queue_high_water"`
 	InFlight       int           `json:"in_flight"`
+	Backlog        int           `json:"backlog"` // admitted, no healthy device yet
+	Retried        int64         `json:"retried"`
+	TimedOut       int64         `json:"timed_out"`
+	Abandoned      int64         `json:"abandoned"`
+	Quarantines    int64         `json:"quarantines"`
+	Reboots        int64         `json:"reboots"`
+	Retires        int64         `json:"retires"`
+	Parked         int64         `json:"parked"`     // injected wedges currently parked
+	BadStarts      uint64        `json:"bad_starts"` // sessions started while unhealthy (invariant: 0)
+}
+
+func (f *Farm) ctrVal(name string) int64 {
+	if c, ok := f.ctr.Lookup(name); ok {
+		return c.Load()
+	}
+	return 0
 }
 
 // Stats snapshots the farm's counters.
@@ -289,6 +725,15 @@ func (f *Farm) Stats() Stats {
 		QueueDepth:     f.pending,
 		QueueHighWater: f.queueHW,
 		InFlight:       f.running,
+		Backlog:        len(f.backlog),
+		Retried:        f.ctrVal(CtrRetries),
+		TimedOut:       f.ctrVal(CtrTimeouts),
+		Abandoned:      f.ctrVal(CtrAbandoned),
+		Quarantines:    f.ctrVal(CtrQuarantines),
+		Reboots:        f.ctrVal(CtrReboots),
+		Retires:        f.ctrVal(CtrRetires),
+		Parked:         f.parked.Load(),
+		BadStarts:      f.badStarts,
 	}
 	for _, d := range f.devices {
 		st.Devices = append(st.Devices, DeviceStats{
@@ -297,6 +742,11 @@ func (f *Farm) Stats() Stats {
 			Failures: d.failures,
 			Queued:   len(d.queue),
 			Busy:     d.busy,
+			State:    d.state.String(),
+			Consec:   d.consecFails,
+			Timeouts: d.timeouts,
+			Reboots:  d.reboots,
+			Wedged:   d.wedged,
 		})
 	}
 	return st
@@ -309,11 +759,16 @@ func (f *Farm) snapshotSection() obs.Section {
 	sec.Addf("devices", "%d", len(st.Devices))
 	sec.Addf("sessions", "submitted=%d completed=%d failed=%d rejected=%d",
 		st.Submitted, st.Completed, st.Failed, st.Rejected)
-	sec.Addf("queue-depth", "%d (high-water %d)", st.QueueDepth, st.QueueHighWater)
+	sec.Addf("queue-depth", "%d (high-water %d, backlog %d)", st.QueueDepth, st.QueueHighWater, st.Backlog)
 	sec.Addf("in-flight", "%d", st.InFlight)
+	sec.Addf("health", "%s (parked=%d bad-starts=%d)", f.ctr.String(), st.Parked, st.BadStarts)
+	if h, ok := f.hists.Lookup(RebootHist); ok && h.Count() > 0 {
+		sec.Addf("reboot-downtime", "n=%d p50=%v p95=%v max=%v", h.Count(), h.P50(), h.P95(), h.Max())
+	}
 	for _, d := range st.Devices {
-		sec.Addf(fmt.Sprintf("device[%d]", d.ID), "sessions=%d failures=%d queued=%d busy=%v",
-			d.Sessions, d.Failures, d.Queued, d.Busy)
+		sec.Addf(fmt.Sprintf("device[%d]", d.ID),
+			"state=%s sessions=%d failures=%d queued=%d busy=%v consec-fails=%d timeouts=%d reboots=%d wedged=%v",
+			d.State, d.Sessions, d.Failures, d.Queued, d.Busy, d.Consec, d.Timeouts, d.Reboots, d.Wedged)
 	}
 	return sec
 }

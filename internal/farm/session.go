@@ -32,26 +32,68 @@ type SessionSpec struct {
 
 	// Faults, when set, arms a session-scoped fault injector on the device
 	// kernel for exactly the duration of this session. Sessions on other
-	// devices — and later sessions on the same device — are unaffected.
+	// devices — and later sessions on the same device — are unaffected. The
+	// injector is created once at admission and persists across retry
+	// attempts, so a Times-capped fault that wedged attempt 1 does not fire
+	// again on the failover attempt.
 	Faults *fault.Schedule
 
 	// Device pins the session to a device: 1-based, so the zero value means
-	// automatic placement. Out-of-range pins are rejected at Submit.
+	// automatic placement. Out-of-range pins are rejected at Submit, as are
+	// pins to quarantined or retired devices (ErrDeviceQuarantined,
+	// ErrDeviceRetired). Pinned sessions never fail over.
 	Device int
 	// Affinity, when non-empty and the session is not pinned, places the
 	// session on the device its key hashes to — all sessions sharing a key
-	// land on the same device (sticky users, cache-warm workloads).
+	// land on the same device (sticky users, cache-warm workloads). A
+	// quarantined or retired affinity target falls back to least-loaded.
 	Affinity string
+
+	// Deadline overrides the farm's Config.SessionDeadline for this session:
+	// positive sets the watchdog deadline, negative disables the watchdog,
+	// zero inherits the farm default.
+	Deadline time.Duration
+	// Retries is the number of additional placement attempts a failed or
+	// timed-out session gets. Each retry re-enters placement on a different
+	// device than any already tried (falling back to any healthy device when
+	// the farm is smaller than the attempt count). The session's handle
+	// delivers exactly one Result — that of the final attempt. Pinned
+	// sessions and sessions failed by the drain deadline never retry.
+	Retries int
 }
+
+// effectiveDeadline resolves the spec's watchdog deadline against the farm
+// default; <= 0 means no watchdog.
+func (spec *SessionSpec) effectiveDeadline(farmDefault time.Duration) time.Duration {
+	if spec.Deadline < 0 {
+		return 0
+	}
+	if spec.Deadline > 0 {
+		return spec.Deadline
+	}
+	return farmDefault
+}
+
+// pinned reports whether the spec names an explicit device.
+func (spec *SessionSpec) pinned() bool { return spec.Device > 0 }
 
 // Result is what one completed session produced.
 type Result struct {
 	Name   string
-	Device int // 0-based index of the device the session ran on
+	Device int // 0-based index of the device the final attempt ran on
 
-	// Err is the session failure, nil on success. A failed session never
-	// poisons its device: the farm recycles the stack's screen and moves on.
+	// Err is the session failure, nil on success. Failures are classified:
+	// see Classify and the Err* sentinels. A failed session never poisons
+	// its device's later sessions: the farm recycles the stack — or, after
+	// a timeout or repeated failures, quarantines and reboots the device —
+	// and moves on.
 	Err error
+
+	// Attempts is how many times the session started on a device (1 for a
+	// session that never retried). DevicesTried lists the 0-based device of
+	// each attempt in order; Device duplicates the last entry.
+	Attempts     int
+	DevicesTried []int
 
 	// Checksum is the device's scan-out checksum right after the session
 	// body finished (before the screen recycles for the next session).
@@ -68,13 +110,19 @@ type Result struct {
 	FrameMax vclock.Duration
 
 	// FaultStats snapshots the session's injector counters when the spec
-	// carried a fault schedule.
+	// carried a fault schedule (cumulative across retry attempts — the
+	// injector persists so fault sequences continue rather than restart).
 	FaultStats fault.Stats
 
-	// Queued and Ran are wall-clock: admission-to-start and start-to-finish.
+	// Queued and Ran are wall-clock: admission-to-final-start and final
+	// start-to-finish.
 	Queued time.Duration
 	Ran    time.Duration
 }
+
+// ErrKind is the classification bucket of Err ("" on success): timeout,
+// panic, verify, closed, quarantined, retired, no-devices, fault, or error.
+func (r *Result) ErrKind() string { return Classify(r.Err) }
 
 // Session is the handle Submit returns: a future for one admitted session.
 type Session struct {
@@ -82,6 +130,17 @@ type Session struct {
 	submitted time.Time
 	done      chan struct{}
 	res       Result
+
+	// inj is the session-scoped injector, created at admission when the spec
+	// carries a fault schedule; it is shared by every attempt (and by an
+	// abandoned attempt still wedged on an old stack — the injector is
+	// concurrency-safe by design).
+	inj *fault.Injector
+
+	// Scheduler state, guarded by the farm mutex.
+	attempts  int   // attempts started so far
+	tried     []int // device of each attempt, in order
+	delivered bool  // result published, done closed (exactly-once)
 }
 
 // Spec returns the spec the session was admitted with.

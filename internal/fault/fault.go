@@ -59,6 +59,14 @@ const (
 	// GLES flush runs in. The bridge absorbs it by re-dispatching the batch
 	// through per-call windows, so a firing here is observably transparent.
 	PointBatchFlush
+	// PointSessionHang parks a farm session body forever — the fault the
+	// farm's per-session watchdog deadline exists to catch. The wedged
+	// goroutine is abandoned and the session fails with ErrSessionTimeout.
+	PointSessionHang
+	// PointDeviceWedge parks the post-session device recycle forever,
+	// wedging the whole device stack: the watchdog abandons the goroutine
+	// and the farm quarantines and reboots the device in its slot.
+	PointDeviceWedge
 
 	// NumPoints is the number of registered points.
 	NumPoints
@@ -76,6 +84,8 @@ var pointNames = [NumPoints]string{
 	PointBinder:        "binder",
 	PointDiplomatPanic: "diplomat_panic",
 	PointBatchFlush:    "batch_flush",
+	PointSessionHang:   "session_hang",
+	PointDeviceWedge:   "device_wedge",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic event counter: the third leg of the telemetry
+// stool next to Metric (calls + time) and Histogram (latency distribution).
+// It exists for events that have no duration — retries, quarantines,
+// reboots, abandoned goroutines — where a Metric's time column would be
+// noise. All methods are safe for concurrent use.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Counters is a named-counter registry, one per owning subsystem (the farm
+// keeps its own, like a device keeps its own Histograms), so concurrent
+// owners never share hot cache lines through a global map.
+type Counters struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewCounters creates an empty registry.
+func NewCounters() *Counters { return &Counters{} }
+
+// Counter returns the named counter, creating it on first use.
+func (cs *Counters) Counter(name string) *Counter {
+	cs.mu.RLock()
+	c := cs.m[name]
+	cs.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.m == nil {
+		cs.m = make(map[string]*Counter)
+	}
+	if c = cs.m[name]; c == nil {
+		c = &Counter{name: name}
+		cs.m[name] = c
+	}
+	return c
+}
+
+// Lookup returns the named counter without creating it.
+func (cs *Counters) Lookup(name string) (*Counter, bool) {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	c, ok := cs.m[name]
+	return c, ok
+}
+
+// Each calls fn for every counter in name order.
+func (cs *Counters) Each(fn func(*Counter)) {
+	cs.mu.RLock()
+	names := make([]string, 0, len(cs.m))
+	for name := range cs.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counters := make([]*Counter, len(names))
+	for i, name := range names {
+		counters[i] = cs.m[name]
+	}
+	cs.mu.RUnlock()
+	for _, c := range counters {
+		fn(c)
+	}
+}
+
+// String renders "name=count" pairs in name order, for snapshot sections.
+func (cs *Counters) String() string {
+	var b strings.Builder
+	cs.Each(func(c *Counter) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c.Name(), c.Load())
+	})
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// Section renders the registry as a snapshot section, one row per counter.
+func (cs *Counters) Section() Section {
+	var sec Section
+	cs.Each(func(c *Counter) {
+		sec.Addf(c.Name(), "%d", c.Load())
+	})
+	return sec
+}

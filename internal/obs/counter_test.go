@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	cs := NewCounters()
+	cs.Counter("b").Inc()
+	cs.Counter("a").Add(3)
+	cs.Counter("b").Inc()
+	if got := cs.Counter("a").Load(); got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	if got := cs.Counter("b").Load(); got != 2 {
+		t.Errorf("b = %d, want 2", got)
+	}
+	if _, ok := cs.Lookup("c"); ok {
+		t.Errorf("Lookup created a counter")
+	}
+	if got, want := cs.String(), "a=3 b=2"; got != want {
+		t.Errorf("String() = %q, want %q (name order)", got, want)
+	}
+	if got := NewCounters().String(); got != "none" {
+		t.Errorf("empty String() = %q, want none", got)
+	}
+	sec := cs.Section()
+	if len(sec.Rows) != 2 || sec.Rows[0].Key != "a" || sec.Rows[1].Key != "b" {
+		t.Errorf("Section rows = %+v, want a then b", sec.Rows)
+	}
+}
+
+// Concurrent first-use creation and increments land exactly once per event
+// (run under -race by the tier-1 gate).
+func TestCountersConcurrent(t *testing.T) {
+	cs := NewCounters()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				cs.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cs.Counter("shared").Load(); got != workers*each {
+		t.Errorf("shared = %d, want %d", got, workers*each)
+	}
+}

@@ -1,7 +1,11 @@
 #!/bin/sh
-# Dump the raster, replay, batch, and farm benchmark series as
-# machine-readable JSON. `make bench-json` writes BENCH_8.json at the repo
-# root; CI or a tracking dashboard can diff the series across commits.
+# Dump the raster, replay, batch, farm, and farm-resilience benchmark
+# series as machine-readable JSON. `make bench-json` writes BENCH_9.json at
+# the repo root; CI or a tracking dashboard can diff the series across
+# commits. The resilience series (BenchmarkFarmResilience, verified replay
+# sessions with a retry budget at 0%/5%/20% injected diplomat panics)
+# records delivered sessions/sec and the P95 present latency of the
+# sessions that succeeded — what self-healing costs under failure.
 # GOMAXPROCS is recorded because the workers=N raster series and the
 # devices=N farm series only show speedup on multi-core hosts — on a single
 # core those series instead measure parallel overhead. The batch series
@@ -14,18 +18,19 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 
 raster=$(go test -run='^$' -bench='^BenchmarkRasterTiles$' -benchtime=3x -benchmem ./internal/sim/gpu)
 replay=$(go test -run='^$' -bench='^BenchmarkReplay(Parallel)?$' -benchtime=1x -benchmem .)
 batch=$(go test -run='^$' -bench='^BenchmarkReplayBatch$' -benchtime=3x -benchmem .)
 farm=$(go test -run='^$' -bench='^BenchmarkFarm$' -benchtime=1x -benchmem ./internal/farm)
+resil=$(go test -run='^$' -bench='^BenchmarkFarmResilience$' -benchtime=2x -benchmem ./internal/farm)
 
-all=$(printf '%s\n%s\n%s\n%s\n' "$raster" "$replay" "$batch" "$farm")
+all=$(printf '%s\n%s\n%s\n%s\n%s\n' "$raster" "$replay" "$batch" "$farm" "$resil")
 
 # Fail loudly when an invoked benchmark produced no rows — a renamed or
 # deleted benchmark must break this script, not silently thin the series.
-for want in BenchmarkRasterTiles BenchmarkReplay BenchmarkReplayParallel BenchmarkReplayBatch BenchmarkFarm; do
+for want in BenchmarkRasterTiles BenchmarkReplay BenchmarkReplayParallel BenchmarkReplayBatch BenchmarkFarm BenchmarkFarmResilience; do
 	if ! printf '%s\n' "$all" | grep -Eq "^${want}([/-]|[[:space:]]|\$)"; then
 		echo "benchjson: no output rows for ${want} — was it renamed or removed?" >&2
 		exit 1
@@ -49,7 +54,8 @@ $1 ~ /^Benchmark/ && $NF == "allocs/op" {
 		if ($(i + 1) == "ns/op") ns = $i
 		else if ($(i + 1) == "B/op") bytes = $i
 		else if ($(i + 1) == "allocs/op") allocs = $i
-		else if ($(i + 1) == "sessions/sec") extra = sprintf(", \"sessions_per_sec\": %s", $i)
+		else if ($(i + 1) == "sessions/sec") extra = extra sprintf(", \"sessions_per_sec\": %s", $i)
+		else if ($(i + 1) == "frame-p95-us") extra = extra sprintf(", \"frame_p95_us\": %s", $i)
 		else if ($(i + 1) == "crossings") extra = extra sprintf(", \"crossings\": %s", $i)
 		else if ($(i + 1) == "batched-calls") extra = extra sprintf(", \"batched_calls\": %s", $i)
 	}

@@ -31,6 +31,9 @@ go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
 echo "== farm soak (multi-device session scheduler under -race)"
 go test -race ./internal/farm -run 'TestFarmSoak' -soak.devices=2 -soak.sessions=8
 
+echo "== farm chaos (self-healing invariants under -race: watchdog, quarantine, failover)"
+go test -race ./internal/farm -run 'TestFarmChaos|TestFarmFailoverVerifiesIdentically' -chaosfarm.seeds=2
+
 echo "== replay golden traces (serial)"
 go run ./cmd/cycadareplay verify internal/replay/testdata/*.cytr
 
@@ -92,7 +95,7 @@ go run ./cmd/cycadatop -json | go run ./scripts/jsoncheck.go
 
 echo "== cycadatop -farm smoke (scheduler snapshot section)"
 farmtop=$(go run ./cmd/cycadatop -farm -devices 2 -sessions 2)
-for key in "== farm" "queue-depth" "device\[0\]" "device\[1\]"; do
+for key in "== farm" "queue-depth" "state=" "device\[0\]" "device\[1\]"; do
 	if ! printf '%s\n' "$farmtop" | grep -q "$key"; then
 		echo "cycadatop -farm smoke failed: missing \"$key\"" >&2
 		printf '%s\n' "$farmtop" >&2
