@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cycada"
 	"cycada/internal/fault"
 	"cycada/internal/gles/glesapi"
 	"cycada/internal/obs"
+	"cycada/internal/obs/telemetry"
 )
 
 func main() {
@@ -41,10 +43,26 @@ func main() {
 	faults := flag.String("faults", "", "fault schedule for every booted kernel, e.g. seed=7,rate=0.01,points=egl_present")
 	batch := flag.Int("batch", 0, "GLES batch cap for every booted iOS app (0 = serial per-call crossings)")
 	snapshot := flag.String("snapshot", "", "write a live-state introspection snapshot after the run: a path, '-' for stdout (.json for JSON)")
+	listen := flag.String("listen", "", "serve telemetry (/metrics /snapshot /healthz /events) on this address during the run")
 	flag.Parse()
 
 	if *batch > 0 {
 		glesapi.SetDefaultBatchCap(*batch)
+	}
+
+	if *listen != "" {
+		obs.DefaultHistograms.SetEnabled(true)
+		win := obs.NewWindows(time.Second, 60)
+		srv, err := telemetry.Serve(*listen, telemetry.Options{Windows: win})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycadabench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		telemetry.AttachDefaults(srv)
+		win.Start()
+		defer win.Stop()
+		fmt.Printf("telemetry: listening on %s\n", srv.URL())
 	}
 
 	if *snapshot != "" {

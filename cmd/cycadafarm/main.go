@@ -25,6 +25,12 @@
 // Close, and -quarantine-after / -max-reboots / -reboot-backoff tune the
 // device health state machine. Each failed session is reported with its
 // classified error kind, attempt count, and the devices it tried.
+//
+// With -listen the farm serves live telemetry while it runs: /metrics in
+// Prometheus text format (per-device frame histograms, rolling-window
+// percentiles and rates, device-health gauges), /healthz with the scheduler
+// stats as JSON, /snapshot, and /events streaming per-device flight-recorder
+// incident dumps (watchdog timeouts, quarantines) as SSE.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"cycada/internal/fault"
 	"cycada/internal/harness"
 	"cycada/internal/obs"
+	"cycada/internal/obs/telemetry"
 	"cycada/internal/replay"
 )
 
@@ -86,6 +93,7 @@ type options struct {
 	sharePool         bool
 	faults            string
 	jsonOut, snapshot bool
+	listen            string
 
 	deadline        time.Duration
 	drain           time.Duration
@@ -109,6 +117,7 @@ func main() {
 	flag.StringVar(&o.faults, "faults", "", "per-session fault schedule, e.g. seed=7,rate=0.02,points=egl_present")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
 	flag.BoolVar(&o.snapshot, "snapshot", false, "print a live-state snapshot (including the farm section) after the run")
+	flag.StringVar(&o.listen, "listen", "", "serve telemetry (/metrics /snapshot /healthz /events) on this address during the run")
 	flag.DurationVar(&o.deadline, "deadline", 0, "per-session watchdog deadline (0 = none)")
 	flag.DurationVar(&o.drain, "drain", 0, "Close drain deadline (0 = wait for a full graceful drain)")
 	flag.IntVar(&o.retries, "retries", 0, "failed-session retry budget (each retry lands on a different device)")
@@ -158,6 +167,18 @@ func run(o options) error {
 		MaxReboots:      o.maxReboots,
 		RebootBackoff:   o.rebootBackoff,
 	})
+	if o.listen != "" {
+		win := obs.NewWindows(time.Second, 60)
+		srv, err := telemetry.Serve(o.listen, telemetry.Options{Windows: win})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		telemetry.AttachFarm(srv, f)
+		win.Start()
+		defer win.Stop()
+		fmt.Printf("telemetry: listening on %s\n", srv.URL())
+	}
 	start := time.Now()
 	handles := make([]*farm.Session, 0, o.sessions)
 	next := 0 // oldest handle not yet waited on (backpressure)

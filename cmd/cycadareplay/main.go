@@ -7,6 +7,7 @@
 //	cycadareplay replay -i trace.cytr [-n 3] [-batch 64] [-faults seed=7,rate=0.05]
 //	cycadareplay verify [-batch 64] trace.cytr [more.cytr ...]
 //	cycadareplay bench -i trace.cytr -workers 8 [-n 64] [-batch 64]
+//	cycadareplay load -i trace.cytr -n 4 -dur 10s [-batch 64] [-listen :9090]
 //	cycadareplay stat -i trace.cytr [-top 15]
 //
 // record runs a workload (PassMark sections or a WebKit tile-upload sequence)
@@ -23,16 +24,25 @@
 // impersonation window of at most N calls) instead of one crossing per call.
 // The logical call stream — and therefore every differential check — is
 // identical either way; 0 (the default) keeps the serial path.
+//
+// load drives sustained replay sessions — N concurrent stacks replaying the
+// trace back-to-back for a wall-clock duration — and reports sustained
+// sessions/sec plus rolling-window frame percentiles and retry/drop rates.
+// With -listen (load, replay, and bench) an embedded telemetry server
+// exposes /metrics (Prometheus text), /snapshot and /healthz (JSON), and
+// /events (SSE incident stream) while the run executes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cycada/internal/fault"
 	"cycada/internal/harness"
 	"cycada/internal/obs"
+	"cycada/internal/obs/telemetry"
 	"cycada/internal/replay"
 )
 
@@ -51,6 +61,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -73,7 +85,9 @@ func usage() {
   cycadareplay replay -i <file> [-n N] [-batch B] [-faults S]  re-drive a trace N times (with S, chaos mode: seed=7,rate=0.05,points=binder+egl_present)
   cycadareplay verify [-batch B] <file> [file ...] replay with differential frame checks
   cycadareplay bench -i <file> -workers N [-n M] [-batch B]  parallel replay throughput
+  cycadareplay load -i <file> [-n K] [-dur D] [-batch B] [-listen addr]  sustained K-way load with windowed stats
   (-batch B: encode GLES runs into boundary batches of <= B calls; 0 = serial)
+  (-listen addr: serve /metrics /snapshot /healthz /events during the run)
   cycadareplay stat -i <file> [-top N]             per-call-kind histogram
 `, harness.Scenarios())
 }
@@ -109,9 +123,17 @@ func cmdReplay(args []string) error {
 	faults := fs.String("faults", "", "fault schedule, e.g. seed=7,rate=0.05,points=binder+egl_present (chaos mode)")
 	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
 	snapshot := fs.Bool("snapshot", false, "print a live-state introspection snapshot after the run")
+	listen := fs.String("listen", "", "serve telemetry (/metrics /snapshot /healthz /events) on this address during the run")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -i is required")
+	}
+	if *listen != "" {
+		srv, err := serveDefaultTelemetry(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 	}
 	if *snapshot {
 		obs.SetSnapshotSourcesEnabled(true)
@@ -213,9 +235,17 @@ func cmdBench(args []string) error {
 	workers := fs.Int("workers", 1, "parallel replay workers")
 	n := fs.Int("n", 32, "total replays")
 	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
+	listen := fs.String("listen", "", "serve telemetry on this address during the run")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("bench: -i is required")
+	}
+	if *listen != "" {
+		srv, err := serveDefaultTelemetry(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 	}
 	tr, err := replay.ReadFile(*in)
 	if err != nil {
@@ -227,6 +257,97 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("bench %q: %d replays, %d workers, %v wall, %.1f replays/sec\n",
 		tr.Label, res.Replays, res.Workers, res.Wall.Round(1000000), res.PerSec)
+	return nil
+}
+
+// serveDefaultTelemetry starts the exposition server over the process-wide
+// default registries (what replay/bench kernels record into) with a rotating
+// 1s window set. Used by the subcommands whose stacks attach to the default
+// registries; load wires its own run-scoped registries instead.
+func serveDefaultTelemetry(addr string) (*telemetry.Server, error) {
+	obs.DefaultHistograms.SetEnabled(true)
+	win := obs.NewWindows(time.Second, 60)
+	srv, err := telemetry.Serve(addr, telemetry.Options{Windows: win})
+	if err != nil {
+		return nil, err
+	}
+	telemetry.AttachDefaults(srv)
+	win.Start()
+	fmt.Printf("telemetry: listening on %s\n", srv.URL())
+	return srv, nil
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	n := fs.Int("n", 4, "concurrent session loops (stacks)")
+	dur := fs.Duration("dur", 10*time.Second, "wall-clock run length")
+	batch := fs.Int("batch", 0, "batched-encoder cap per boundary crossing (0 = serial)")
+	listen := fs.String("listen", "", "serve telemetry on this address during the run")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("load: -i is required")
+	}
+	tr, err := replay.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+
+	// One shared registry pair for the whole run, tracked by a rotating
+	// window set so /metrics (and the final report) carry current rolling
+	// percentiles and rates rather than since-boot aggregates.
+	hists := obs.NewHistograms()
+	ctrs := obs.NewCounters()
+	win := obs.NewWindows(time.Second, 60)
+	win.Track(hists)
+	win.TrackCounters(ctrs)
+	win.Start()
+	defer win.Stop()
+	if *listen != "" {
+		srv, err := telemetry.Serve(*listen, telemetry.Options{Windows: win})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.AddHistograms("load", hists)
+		srv.AddCounters("load", ctrs)
+		srv.AddFlight("load", obs.DefaultFlight)
+		fmt.Printf("telemetry: listening on %s\n", srv.URL())
+	}
+
+	res, err := replay.Load(tr, replay.LoadConfig{
+		Concurrency: *n,
+		Duration:    *dur,
+		BatchCap:    *batch,
+		Hists:       hists,
+		Counters:    ctrs,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("load %q: %d sessions in %v across %d workers (%.1f sessions/sec sustained)\n",
+		tr.Label, res.Sessions, res.Wall.Round(time.Millisecond), res.Workers, res.PerSec)
+	fmt.Printf("frames: %d  p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
+		res.Frames, res.FrameP50.Micros(), res.FrameP95.Micros(),
+		res.FrameP99.Micros(), res.FrameMax.Micros())
+	fmt.Printf("present health: retries=%d (%.2f/sec) drops=%d (%.2f/sec)\n",
+		res.Retries, float64(res.Retries)/res.Wall.Seconds(),
+		res.Drops, float64(res.Drops)/res.Wall.Seconds())
+
+	// The rolling tail: what a live scrape would have answered just before
+	// the run ended (capture the final partial interval first).
+	win.Rotate()
+	for _, span := range []time.Duration{10 * time.Second, 60 * time.Second} {
+		if ws, ok := win.Hist("egl-present", span); ok && ws.Count > 0 {
+			fmt.Printf("window %3.0fs: frames=%d rate=%.1f/sec p50=%.1fus p95=%.1fus p99=%.1fus\n",
+				span.Seconds(), ws.Count, ws.Rate(),
+				ws.P50().Micros(), ws.P95().Micros(), ws.P99().Micros())
+		}
+		if cw, ok := win.Counter(replay.LoadSessionsCtr, span); ok {
+			fmt.Printf("window %3.0fs: sessions=%d (%.1f/sec)\n", span.Seconds(), cw.Delta, cw.Rate())
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cycada/internal/obs/telemetry"
+)
+
+// runConnect renders the live-state view from a remote telemetry server
+// instead of booting a local stack: /healthz supplies the verdict line,
+// /metrics (parsed as Prometheus text) supplies the rolling-window
+// percentile tables and farm device health. With -json the raw /snapshot
+// body is copied through verbatim.
+func runConnect(base string, jsonOut bool) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if jsonOut {
+		body, _, err := fetch(client, base+"/snapshot")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+
+	hbody, hstatus, err := fetch(client, base+"/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Scrapes       int64   `json:"scrapes"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	mbody, _, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(string(mbody)))
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+
+	fmt.Printf("cycadatop: connected to %s\n", base)
+	fmt.Printf("status %s (http %d) | uptime %.1fs | scrapes %d\n",
+		health.Status, hstatus, health.UptimeSeconds, health.Scrapes)
+
+	printDevices(samples)
+	printWindows(samples)
+	printCounterWindows(samples)
+	return nil
+}
+
+func fetch(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("%s: %w", url, err)
+	}
+	// /healthz legitimately answers 503 when degraded; anything else
+	// non-2xx/503 is a wiring error worth surfacing.
+	if resp.StatusCode >= 400 && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, resp.StatusCode, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// printDevices renders the farm device-health gauges, if the remote server
+// has a farm attached (one-hot cycada_farm_device_state series).
+func printDevices(samples []telemetry.Sample) {
+	states := map[string]string{} // device id -> state with value 1
+	for _, s := range telemetry.Find(samples, "cycada_farm_device_state") {
+		if s.Value == 1 {
+			states[s.Label("device")] = s.Label("state")
+		}
+	}
+	if len(states) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, _ := strconv.Atoi(ids[i])
+		b, _ := strconv.Atoi(ids[j])
+		return a < b
+	})
+	perDevice := func(family, id string) float64 {
+		if s, ok := telemetry.FindOne(samples, family, map[string]string{"device": id}); ok {
+			return s.Value
+		}
+		return 0
+	}
+	fmt.Printf("\n-- farm devices --\n")
+	for _, id := range ids {
+		fmt.Printf("dev %-3s %-12s sessions=%-5.0f failures=%-4.0f reboots=%-4.0f queued=%.0f\n",
+			id, states[id],
+			perDevice("cycada_farm_device_sessions", id),
+			perDevice("cycada_farm_device_failures", id),
+			perDevice("cycada_farm_device_reboots", id),
+			perDevice("cycada_farm_device_queued", id))
+	}
+}
+
+// printWindows renders the rolling-window histogram statistics table:
+// one row per (histogram, window) with current rate and percentiles in
+// virtual-time microseconds.
+func printWindows(samples []telemetry.Sample) {
+	type key struct{ hist, window string }
+	stats := map[key]map[string]float64{}
+	for _, s := range telemetry.Find(samples, telemetry.MetricWindow) {
+		k := key{s.Label("hist"), s.Label("window")}
+		if stats[k] == nil {
+			stats[k] = map[string]float64{}
+		}
+		stats[k][s.Label("stat")] = s.Value
+	}
+	for _, s := range telemetry.Find(samples, telemetry.MetricWindowRate) {
+		k := key{s.Label("hist"), s.Label("window")}
+		if stats[k] == nil {
+			stats[k] = map[string]float64{}
+		}
+		stats[k]["rate"] = s.Value
+	}
+	if len(stats) == 0 {
+		fmt.Printf("\n(no rolling-window series: the remote server has no window set attached)\n")
+		return
+	}
+	keys := make([]key, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].hist != keys[j].hist {
+			return keys[i].hist < keys[j].hist
+		}
+		return windowSeconds(keys[i].window) < windowSeconds(keys[j].window)
+	})
+	fmt.Printf("\n-- rolling windows (virtual-time µs) --\n")
+	fmt.Printf("%-24s %-7s %10s %10s %10s %10s %10s %10s\n",
+		"histogram", "window", "rate/s", "avg", "p50", "p95", "p99", "max")
+	for _, k := range keys {
+		st := stats[k]
+		fmt.Printf("%-24s %-7s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			k.hist, k.window, st["rate"], st["avg"], st["p50"], st["p95"], st["p99"], st["max"])
+	}
+}
+
+// printCounterWindows renders windowed counter deltas and rates.
+func printCounterWindows(samples []telemetry.Sample) {
+	type key struct{ ctr, window string }
+	deltas := map[key]float64{}
+	rates := map[key]float64{}
+	for _, s := range telemetry.Find(samples, telemetry.MetricEventDelta) {
+		deltas[key{s.Label("ctr"), s.Label("window")}] = s.Value
+	}
+	for _, s := range telemetry.Find(samples, telemetry.MetricEventRate) {
+		rates[key{s.Label("ctr"), s.Label("window")}] = s.Value
+	}
+	if len(deltas) == 0 {
+		return
+	}
+	keys := make([]key, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ctr != keys[j].ctr {
+			return keys[i].ctr < keys[j].ctr
+		}
+		return windowSeconds(keys[i].window) < windowSeconds(keys[j].window)
+	})
+	fmt.Printf("\n-- counter windows --\n")
+	fmt.Printf("%-28s %-7s %10s %10s\n", "counter", "window", "delta", "rate/s")
+	for _, k := range keys {
+		fmt.Printf("%-28s %-7s %10.0f %10.2f\n", k.ctr, k.window, deltas[k], rates[k])
+	}
+}
+
+// windowSeconds orders window labels ("10s" before "60s"); unparseable
+// labels sort last.
+func windowSeconds(label string) float64 {
+	d, err := time.ParseDuration(label)
+	if err != nil {
+		return float64(time.Hour / time.Second)
+	}
+	return d.Seconds()
+}

@@ -14,10 +14,17 @@
 // reject counters, and the self-healing event counters (retries,
 // quarantines, reboots, retires, abandoned bodies).
 //
+// With -connect the tool boots nothing: it scrapes a running telemetry
+// server (cycadafarm/cycadabench/cycadareplay with -listen), prints its
+// health verdict, farm device states, and the rolling-window frame
+// percentiles and counter rates — the "right now" view rather than
+// since-boot totals. -json in connect mode relays the remote /snapshot.
+//
 // Usage:
 //
 //	cycadatop [-json] [-faults seed=7,rate=0.05,points=egl_present]
 //	cycadatop -farm [-devices 2] [-sessions 4]
+//	cycadatop -connect http://127.0.0.1:9090 [-json]
 package main
 
 import (
@@ -37,7 +44,16 @@ func main() {
 	farmMode := flag.Bool("farm", false, "run the workload through a device farm and include its scheduler section")
 	devices := flag.Int("devices", 2, "farm device stacks (with -farm)")
 	sessions := flag.Int("sessions", 4, "farm sessions to run (with -farm)")
+	connect := flag.String("connect", "", "scrape a remote telemetry server (URL or host:port) instead of booting a local stack")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runConnect(*connect, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "cycadatop:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faults != "" {
 		sched, err := fault.ParseSpec(*faults)

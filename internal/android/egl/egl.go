@@ -199,6 +199,16 @@ type Lib struct {
 // swaps the kernel's registry scopes these samples to the running session.
 const PresentHistName = "egl-present"
 
+// Counter names for the duration-less present-health events, recorded into
+// the owning kernel's counter registry (resolved per event through the
+// thread, like PresentHistName). The telemetry plane windows these into
+// retry/drop/miss rates.
+const (
+	CtrPresentRetried    = "egl-present-retried"
+	CtrPresentDropped    = "egl-present-dropped"
+	CtrFrameDeadlineMiss = "egl-frame-deadline-miss"
+)
+
 // SetFrameDeadline sets (or, with 0, clears) the present-latency budget.
 func (l *Lib) SetFrameDeadline(d vclock.Duration) { l.frameDeadline.Store(int64(d)) }
 
@@ -442,6 +452,7 @@ func (l *Lib) observePresent(t *kernel.Thread, dur vclock.Duration) {
 	t.Histograms().Histogram(PresentHistName).Observe(t.TID(), dur)
 	t.FlightRecord(obs.FlightSpan, obs.CatEGL, "egl:present", int64(dur))
 	if dl := l.frameDeadline.Load(); dl > 0 && int64(dur) > dl {
+		t.Counters().Counter(CtrFrameDeadlineMiss).Inc()
 		t.FlightRecord(obs.FlightMark, obs.CatEGL, "frame_deadline_miss", int64(dur))
 		t.FlightDump("frame_deadline_miss")
 	}
@@ -472,12 +483,14 @@ func (l *Lib) post(t *kernel.Thread, s *Surface, layer int, front *gralloc.Buffe
 		if attempt < presentAttempts-1 {
 			l.presentRetries.Add(1)
 			s.retried.Add(1)
+			t.Counters().Counter(CtrPresentRetried).Inc()
 			t.ChargeCPU(backoff)
 			backoff *= 2
 		}
 	}
 	l.presentsDropped.Add(1)
 	s.dropped.Add(1)
+	t.Counters().Counter(CtrPresentDropped).Inc()
 	return fmt.Errorf("egl: present dropped after %d attempts: %w", presentAttempts, err)
 }
 

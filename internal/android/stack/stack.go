@@ -52,6 +52,7 @@ type Config struct {
 	Tracer   *obs.Tracer         // nil = obs.Default
 	Flight   *obs.FlightRecorder // nil = obs.DefaultFlight
 	Hists    *obs.Histograms     // nil = obs.DefaultHistograms
+	Counters *obs.Counters       // nil = obs.DefaultCounters
 	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
 	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
 	RasterWorkers int
@@ -71,6 +72,7 @@ func New(cfg Config) *System {
 		Tracer:        cfg.Tracer,
 		Flight:        cfg.Flight,
 		Histograms:    cfg.Hists,
+		Counters:      cfg.Counters,
 		RasterWorkers: cfg.RasterWorkers,
 		RasterPool:    cfg.RasterPool,
 	})

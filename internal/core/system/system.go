@@ -45,12 +45,13 @@ type Cycada struct {
 
 // Config describes the machine.
 type Config struct {
-	Clock   *vclock.Clock
-	ScreenW int
-	ScreenH int
-	Tracer  *obs.Tracer         // nil = obs.Default
-	Flight  *obs.FlightRecorder // nil = obs.DefaultFlight
-	Hists   *obs.Histograms     // nil = obs.DefaultHistograms
+	Clock    *vclock.Clock
+	ScreenW  int
+	ScreenH  int
+	Tracer   *obs.Tracer         // nil = obs.Default
+	Flight   *obs.FlightRecorder // nil = obs.DefaultFlight
+	Hists    *obs.Histograms     // nil = obs.DefaultHistograms
+	Counters *obs.Counters       // nil = obs.DefaultCounters
 	// RasterWorkers bounds the GPU/compose worker pool (kernel.Config).
 	// Zero = GOMAXPROCS; 1 = serial. Frames are byte-identical either way.
 	RasterWorkers int
@@ -82,6 +83,7 @@ func New(cfg Config) *Cycada {
 		Tracer:        cfg.Tracer,
 		Flight:        cfg.Flight,
 		Hists:         cfg.Hists,
+		Counters:      cfg.Counters,
 		RasterWorkers: cfg.RasterWorkers,
 		RasterPool:    cfg.RasterPool,
 	})

@@ -60,6 +60,11 @@ type Device struct {
 	// to between sessions (boot, teardown, anything outside a session body).
 	// It survives reboots — the replacement stack records into the same one.
 	Hists *obs.Histograms
+	// Ctrs is the device's event-counter registry (present retries/drops,
+	// frame-deadline misses). Unlike histograms it is never swapped per
+	// session — counters accumulate for the life of the slot — and like
+	// Hists it survives reboots.
+	Ctrs *obs.Counters
 	// Flight is the device's flight recorder — a per-device black box, so one
 	// device's crash dump is not interleaved with its siblings'. It also
 	// survives reboots, so the dump taken when a watchdog fires stays
@@ -89,6 +94,7 @@ func bootDevice(f *Farm, id int) *Device {
 	d := &Device{
 		ID:     id,
 		Hists:  obs.NewHistograms(),
+		Ctrs:   obs.NewCounters(),
 		Flight: obs.NewFlightRecorder(),
 		farm:   f,
 	}
@@ -105,6 +111,7 @@ func (d *Device) bootStack() *system.Cycada {
 		Tracer:        d.farm.cfg.Tracer,
 		Flight:        d.Flight,
 		Hists:         d.Hists,
+		Counters:      d.Ctrs,
 		RasterWorkers: d.farm.cfg.RasterWorkers,
 		RasterPool:    d.farm.sharedPool,
 	})
@@ -231,6 +238,10 @@ func (d *Device) runSession(sys *system.Cycada, s *Session) Result {
 		k.SetFaultInjector(nil)
 	}
 	k.SetHistograms(d.Hists)
+	// Fold the session's samples back into the device registry: per-session
+	// scoping keeps Result percentiles clean, but the device registry is what
+	// the telemetry plane windows, and it must see every frame the slot ran.
+	d.Hists.Merge(reg)
 
 	// The scan-out checksum of the session's last composed frame — captured
 	// before the screen recycles, so a caller can compare it against a

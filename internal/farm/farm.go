@@ -535,6 +535,14 @@ func (f *Farm) finishAttemptLocked(d *Device, s *Session, res Result, abandoned 
 	if quarantine && d.state == DeviceHealthy {
 		d.state = DeviceQuarantined
 		f.ctr.Counter(CtrQuarantines).Inc()
+		if !abandoned {
+			// Failure-threshold quarantine: capture the slot's recent event
+			// tail as an incident (the abandoned-body paths already dumped at
+			// dispatch). Dump hooks feed the telemetry /events stream.
+			d.Flight.Record(0, obs.FlightMark, "farm", "quarantine", int64(d.ID), 0)
+			d.Flight.AutoDump(fmt.Sprintf("farm-quarantine: device %d after %d consecutive failures",
+				d.ID, d.consecFails))
+		}
 		f.drainDeviceLocked(d, ErrDeviceQuarantined)
 	}
 }

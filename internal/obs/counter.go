@@ -41,6 +41,13 @@ type Counters struct {
 // NewCounters creates an empty registry.
 func NewCounters() *Counters { return &Counters{} }
 
+// DefaultCounters is the process-wide registry kernels attach to unless
+// configured with their own (the farm gives each device stack its own, like
+// it does for histograms). Event sites that have no duration — present
+// retries and drops, frame-deadline misses — count here so the telemetry
+// plane can export and window them.
+var DefaultCounters = NewCounters()
+
 // Counter returns the named counter, creating it on first use.
 func (cs *Counters) Counter(name string) *Counter {
 	cs.mu.RLock()

@@ -87,7 +87,14 @@ type FlightRecorder struct {
 
 	outMu sync.Mutex
 	out   io.Writer // dump destination; nil means os.Stderr
+
+	// hookMu guards hooks, the observers AutoDump notifies after rendering
+	// (the telemetry server's /events stream subscribes here).
+	hookMu sync.Mutex
+	hooks  []*dumpHook
 }
+
+type dumpHook struct{ fn func(*FlightDump) }
 
 // NewFlightRecorder creates an enabled recorder (the flight recorder is the
 // always-on layer; disable it explicitly to measure its cost).
@@ -138,6 +145,40 @@ func (f *FlightRecorder) Record(tid int, kind FlightKind, cat, name string, code
 
 // Dumps reports how many automatic dumps have fired.
 func (f *FlightRecorder) Dumps() int64 { return f.dumps.Load() }
+
+// AddDumpHook registers fn to be called — synchronously, after the text
+// rendering — with every dump AutoDump produces, and returns its remove
+// function. Hooks must not block: the telemetry server's /events stream
+// uses one to fan incident markers out to SSE subscribers with non-blocking
+// sends. Hooks run outside the recorder's output lock, so a hook may itself
+// inspect the recorder.
+func (f *FlightRecorder) AddDumpHook(fn func(*FlightDump)) (remove func()) {
+	h := &dumpHook{fn: fn}
+	f.hookMu.Lock()
+	f.hooks = append(f.hooks, h)
+	f.hookMu.Unlock()
+	return func() {
+		f.hookMu.Lock()
+		defer f.hookMu.Unlock()
+		for i, cur := range f.hooks {
+			if cur == h {
+				f.hooks = append(f.hooks[:i], f.hooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// notifyDumpHooks calls every registered hook with the dump.
+func (f *FlightRecorder) notifyDumpHooks(d *FlightDump) {
+	f.hookMu.Lock()
+	hooks := make([]*dumpHook, len(f.hooks))
+	copy(hooks, f.hooks)
+	f.hookMu.Unlock()
+	for _, h := range hooks {
+		h.fn(d)
+	}
+}
 
 // Writes reports how many events have ever been recorded.
 func (f *FlightRecorder) Writes() uint64 {
@@ -221,6 +262,7 @@ func (f *FlightRecorder) AutoDump(reason string) *FlightDump {
 			n, d.Reason, len(d.Events), maxWrittenDumps)
 	}
 	f.outMu.Unlock()
+	f.notifyDumpHooks(d)
 	return d
 }
 

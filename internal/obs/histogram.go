@@ -123,6 +123,17 @@ func (h *Histogram) Avg() vclock.Duration {
 	return h.Sum() / vclock.Duration(c)
 }
 
+// Buckets calls fn for every log2 bucket in ascending order with the
+// bucket's inclusive upper edge in virtual nanoseconds and the observation
+// count it holds. The telemetry exposition layer renders these as cumulative
+// Prometheus buckets; the sum of all counts equals Count().
+func (h *Histogram) Buckets(fn func(upper vclock.Duration, count int64)) {
+	bkt, _ := h.merged()
+	for b, n := range bkt {
+		fn(bucketUpperEdge(b), n)
+	}
+}
+
 // merged collapses the stripes into one bucket array.
 func (h *Histogram) merged() (bkt [histBuckets]int64, total int64) {
 	for i := range h.stripes {
@@ -176,6 +187,76 @@ func (h *Histogram) P95() vclock.Duration { return h.Quantile(0.95) }
 
 // P99 returns the 99th-percentile upper bound.
 func (h *Histogram) P99() vclock.Duration { return h.Quantile(0.99) }
+
+// histSample is one cumulative capture of a histogram's totals, used by the
+// rolling-window layer (window.go) to form per-interval deltas. The stripes
+// are read without stopping writers, so a sample is not an atomic cut across
+// fields — windows tolerate the skew (at most a handful of in-flight
+// observations) in exchange for never pausing the hot path.
+type histSample struct {
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// sample captures the histogram's cumulative totals.
+func (h *Histogram) sample() histSample {
+	var s histSample
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.count += st.count.Load()
+		s.sum += st.sum.Load()
+		for b := range s.buckets {
+			s.buckets[b] += st.buckets[b].Load()
+		}
+	}
+	return s
+}
+
+// add accumulates another sample (multi-registry aggregation).
+func (s *histSample) add(o histSample) {
+	s.count += o.count
+	s.sum += o.sum
+	for b := range s.buckets {
+		s.buckets[b] += o.buckets[b]
+	}
+}
+
+// sub forms the delta against an earlier sample.
+func (s *histSample) sub(o histSample) {
+	s.count -= o.count
+	s.sum -= o.sum
+	for b := range s.buckets {
+		s.buckets[b] -= o.buckets[b]
+	}
+}
+
+// Merge folds another histogram's observations into h. It is an aggregation
+// operation, not an observation site: it bypasses the enabled gate (merging
+// harvested per-session registries into a device registry must work however
+// the gates are set) and lands everything on stripe 0 — counts, sums, and
+// buckets add exactly; the merged max is exact too.
+func (h *Histogram) Merge(from *Histogram) {
+	s := from.sample()
+	if s.count == 0 {
+		return
+	}
+	dst := &h.stripes[0]
+	dst.count.Add(s.count)
+	dst.sum.Add(s.sum)
+	for b, n := range s.buckets {
+		if n != 0 {
+			dst.buckets[b].Add(n)
+		}
+	}
+	m := int64(from.Max())
+	for {
+		cur := dst.max.Load()
+		if m <= cur || dst.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
 
 // reset zeroes the stripes in place; cached *Histogram pointers stay valid.
 func (h *Histogram) reset() {
@@ -253,6 +334,17 @@ func (hs *Histograms) Each(fn func(*Histogram)) {
 // Reset zeroes every histogram in place; cached pointers stay valid.
 func (hs *Histograms) Reset() {
 	hs.Each(func(h *Histogram) { h.reset() })
+}
+
+// Merge folds every histogram of from into the same-named histogram of hs
+// (creating it when absent). The device farm uses this to roll harvested
+// per-session registries up into the device registry, so device-level
+// telemetry — and the rolling windows scraping it — see every session's
+// frames, not just boot and teardown.
+func (hs *Histograms) Merge(from *Histograms) {
+	from.Each(func(h *Histogram) {
+		hs.Histogram(h.Name()).Merge(h)
+	})
 }
 
 // TextReport renders all non-empty histograms, largest total first.

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"cycada/internal/farm"
+	"cycada/internal/obs"
+)
+
+// TestAttachFarmServesLiveHealth boots a small farm, attaches it, runs real
+// sessions, and checks the three read paths a farm operator uses: device
+// health in /healthz, per-device gauges and rolled-up windowed series in
+// /metrics.
+func TestAttachFarmServesLiveHealth(t *testing.T) {
+	win := obs.NewWindows(time.Second, 8)
+	s := serveTest(t, Options{Windows: win})
+	f := farm.New(farm.Config{Devices: 2})
+	defer f.Close()
+	AttachFarm(s, f)
+
+	for i := 0; i < 4; i++ {
+		if _, err := f.Submit(farm.SessionSpec{
+			Name:     fmt.Sprintf("tel-%d", i),
+			Scenario: "passmark-2d",
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	f.Wait()
+	win.Rotate()
+
+	// /healthz: live device health from farm.Stats.
+	code, body := get(t, s.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d\n%s", code, body)
+	}
+	var hb struct {
+		Status string     `json:"status"`
+		Detail farm.Stats `json:"detail"`
+	}
+	if err := json.Unmarshal(body, &hb); err != nil {
+		t.Fatalf("/healthz JSON: %v", err)
+	}
+	if hb.Status != "ok" {
+		t.Fatalf("status = %q, want ok", hb.Status)
+	}
+	if len(hb.Detail.Devices) != 2 {
+		t.Fatalf("healthz devices = %d, want 2", len(hb.Detail.Devices))
+	}
+	if hb.Detail.Completed != 4 {
+		t.Fatalf("healthz completed = %d, want 4", hb.Detail.Completed)
+	}
+	for _, d := range hb.Detail.Devices {
+		if d.State != "healthy" {
+			t.Fatalf("device %d state = %q, want healthy", d.ID, d.State)
+		}
+	}
+
+	// /metrics: device-state gauges and the farm-wide windowed present series.
+	code, body = get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	samples, err := ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	for dev := 0; dev < 2; dev++ {
+		g, ok := FindOne(samples, "cycada_farm_device_state", map[string]string{
+			"device": fmt.Sprintf("%d", dev), "state": "healthy",
+		})
+		if !ok || g.Value != 1 {
+			t.Fatalf("device %d healthy gauge = %+v ok=%v, want 1", dev, g, ok)
+		}
+	}
+	// The per-session registries were merged back into the device registries,
+	// so the cumulative egl-present series must carry the sessions' frames.
+	var frames float64
+	for _, sm := range Find(samples, MetricHist+"_count") {
+		if sm.Label("hist") == "egl-present" {
+			frames += sm.Value
+		}
+	}
+	if frames == 0 {
+		t.Fatal("no egl-present frames visible in /metrics after 4 sessions")
+	}
+	// And the windowed roll-up (device registries summed) saw them too.
+	ws, ok := FindOne(samples, MetricWindow, map[string]string{
+		"hist": "egl-present", "stat": "p99", "window": "10s",
+	})
+	if !ok || ws.Value <= 0 {
+		t.Fatalf("farm-wide windowed p99 = %+v ok=%v, want > 0", ws, ok)
+	}
+	// Farm wall-clock histograms were attached under reg="farm".
+	if _, ok := FindOne(samples, MetricHist+"_count", map[string]string{
+		"hist": farm.SessionRanHist, "reg": "farm",
+	}); !ok {
+		t.Fatalf("farm session-ran histogram missing from /metrics")
+	}
+}

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-format parser: enough to validate our own
+// exposition in the CI smoke (scripts/promcheck) and to let cycadatop
+// -connect read a remote /metrics without pulling in a client library.
+// It accepts the subset the writer produces — HELP/TYPE comments, series
+// lines with optional label sets and float values — and rejects malformed
+// names, label syntax, duplicate series and unparsable values.
+
+// Sample is one parsed series line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s *Sample) Label(k string) string { return s.Labels[k] }
+
+// key renders the identity of the series (name plus sorted labels).
+func (s *Sample) key() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// ParseText parses an exposition document into its samples. Returns an error
+// on the first malformed line or duplicate series.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	seen := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		k := s.key()
+		if prev, dup := seen[k]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineno, k, prev)
+		}
+		seen[k] = lineno
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// Find returns the samples of one metric family, in document order.
+func Find(samples []Sample, name string) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindOne returns the single sample matching name and every given label.
+func FindOne(samples []Sample, name string, labels map[string]string) (Sample, bool) {
+outer:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}
+
+// checkComment validates a # line: HELP and TYPE must carry a metric name,
+// TYPE a known type; any other comment passes.
+func checkComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("series line %q has no value", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("series %q has no value", s.Name)
+	}
+	// A trailing timestamp is legal in the format; we never emit one but
+	// tolerate it.
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("series %q: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+// parseLabels parses a {k="v",...} block starting at text[0]=='{', filling
+// out and returning the index one past the closing brace.
+func parseLabels(text string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		// Closing brace (possibly after a trailing comma).
+		for i < len(text) && (text[i] == ' ' || text[i] == ',') {
+			i++
+		}
+		if i < len(text) && text[i] == '}' {
+			return i + 1, nil
+		}
+		// Label name.
+		start := i
+		for i < len(text) && text[i] != '=' {
+			i++
+		}
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label set %q", text)
+		}
+		name := strings.TrimSpace(text[start:i])
+		if !validName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(text) || text[i] != '"' {
+			return 0, fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		var v strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch text[i+1] {
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				case 'n':
+					v.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %q", text[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			v.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = v.String()
+	}
+}

@@ -1,0 +1,154 @@
+// Package telemetry is the exposition plane of the observability stack
+// (DESIGN.md §15): an embeddable HTTP server publishing the process's
+// counters, histograms and rolling windows in Prometheus text format
+// (/metrics), the live snapshot registry as JSON (/snapshot, /healthz), and
+// flight-recorder incident dumps as a Server-Sent-Events stream (/events).
+//
+// The server only ever *reads* the same atomic totals a one-shot report
+// would; scraping adds nothing to the Observe/Inc hot paths.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cycada/internal/obs"
+	"cycada/internal/sim/vclock"
+)
+
+// Metric family names. Values measured in virtual time carry the _vt_us
+// marker: the simulator's nanoseconds are virtual, and µs is the natural
+// magnitude of the frame-health distributions.
+const (
+	MetricUp          = "cycada_up"
+	MetricUptime      = "cycada_uptime_seconds"
+	MetricScrapes     = "cycada_scrapes_total"
+	MetricEvents      = "cycada_events_total"        // counter registries; labels ctr, reg
+	MetricHist        = "cycada_hist_vt_us"          // cumulative histograms; labels hist, reg
+	MetricWindow      = "cycada_window_vt_us"        // windowed stats; labels hist, stat, window
+	MetricWindowRate  = "cycada_window_rate"         // windowed observations/sec; labels hist, window
+	MetricEventRate   = "cycada_window_events_rate"  // windowed counter rate; labels ctr, window
+	MetricEventDelta  = "cycada_window_events_delta" // windowed counter delta; labels ctr, window
+	MetricFlightDumps = "cycada_flight_dumps_total"  // auto-dumps seen; label src
+)
+
+// sanitizeName maps an arbitrary series name onto the Prometheus metric/label
+// name alphabet [a-zA-Z0-9_:] ("egl-present" → "egl_present" when used as a
+// name; label *values* keep the raw name instead, which is why the families
+// above put series names in labels).
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// label is one key=value pair of a series.
+type label struct {
+	k, v string
+}
+
+// renderLabels renders a label set as {k="v",...}; empty set renders "".
+// Pairs with an empty value are dropped (the reg label on the default
+// registry), and the rest keep their given order — callers list them in
+// a fixed order so series text is deterministic.
+func renderLabels(labels []label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		if l.v == "" {
+			continue
+		}
+		if b.Len() == 0 {
+			b.WriteByte('{')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", sanitizeName(l.k), escapeLabel(l.v))
+	}
+	if b.Len() > 0 {
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// promWriter emits exposition text, tracking which families already carry
+// their HELP/TYPE header so several registries can contribute series to one
+// family.
+type promWriter struct {
+	w      io.Writer
+	headed map[string]bool
+	err    error
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, headed: map[string]bool{}}
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// family emits the HELP/TYPE header once per metric family.
+func (p *promWriter) family(name, typ, help string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one series line.
+func (p *promWriter) sample(name string, labels []label, v float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatValue(v))
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram renders one cumulative histogram as a Prometheus histogram:
+// cumulative _bucket series with µs le edges, then _sum (µs) and _count.
+// Empty log2 buckets are skipped (48 edges per series would be noise); the
+// mandatory +Inf bucket is always present and equals _count.
+func writeHistogram(p *promWriter, h *obs.Histogram, labels []label) {
+	var cum int64
+	h.Buckets(func(upper vclock.Duration, count int64) {
+		cum += count
+		if count == 0 {
+			return
+		}
+		le := append(append([]label{}, labels...), label{"le", formatValue(upper.Micros())})
+		p.sample(MetricHist+"_bucket", le, float64(cum))
+	})
+	inf := append(append([]label{}, labels...), label{"le", "+Inf"})
+	p.sample(MetricHist+"_bucket", inf, float64(cum))
+	p.sample(MetricHist+"_sum", labels, h.Sum().Micros())
+	p.sample(MetricHist+"_count", labels, float64(h.Count()))
+}

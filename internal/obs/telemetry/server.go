@@ -1,0 +1,424 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycada/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: a server with no
+// registries serves self-metrics, the process-wide snapshot, and an empty
+// event stream.
+type Options struct {
+	// Windows, when set, adds rolling-window series (current P50/P95/P99 and
+	// rates over Spans) to /metrics. The server does not Start or Stop it —
+	// rotation cadence belongs to whoever owns the registries.
+	Windows *obs.Windows
+	// Spans are the query spans the windowed series cover. Default 10s, 60s.
+	Spans []time.Duration
+	// Snapshot produces the /snapshot payload. Default obs.Snapshot (the
+	// process-wide source registry).
+	Snapshot func() *obs.SystemSnapshot
+}
+
+// Gauge is one instantaneous sample an AddGauges callback contributes.
+type Gauge struct {
+	Name   string // metric family, e.g. "cycada_farm_queue_depth"
+	Help   string // HELP text; first contributor of a family wins
+	Labels []Label
+	Value  float64
+}
+
+// Label is one exported key/value pair of a Gauge.
+type Label struct {
+	Key, Value string
+}
+
+// HealthFunc produces the /healthz verdict: ok selects the HTTP status
+// (200/503) and detail is marshaled into the response.
+type HealthFunc func() (ok bool, detail any)
+
+// Server is the telemetry exposition server. All methods are safe for
+// concurrent use; registries may be added while scrapes are in flight.
+type Server struct {
+	opts    Options
+	ln      net.Listener
+	hs      *http.Server
+	started time.Time
+	scrapes atomic.Int64
+
+	mu       sync.Mutex
+	ctrRegs  []namedCounters
+	histRegs []namedHistograms
+	gauges   []func() []Gauge
+	health   HealthFunc
+	removers []func()
+	subs     map[int]chan []byte
+	nextSub  int
+	flights  []flightSource
+}
+
+type namedCounters struct {
+	reg string
+	cs  *obs.Counters
+}
+
+type namedHistograms struct {
+	reg string
+	hs  *obs.Histograms
+}
+
+type flightSource struct {
+	src   string
+	dumps *atomic.Int64
+}
+
+// Serve starts a telemetry server on addr ("host:port"; port 0 picks a free
+// one — read it back with Addr). The listener is bound synchronously, so a
+// non-nil error means nothing is serving.
+func Serve(addr string, opts Options) (*Server, error) {
+	if opts.Snapshot == nil {
+		opts.Snapshot = obs.Snapshot
+	}
+	if len(opts.Spans) == 0 {
+		opts.Spans = []time.Duration{10 * time.Second, 60 * time.Second}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opts:    opts,
+		ln:      ln,
+		started: time.Now(),
+		subs:    map[int]chan []byte{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/", s.handleIndex)
+	s.hs = &http.Server{Handler: mux}
+	go s.hs.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Windows returns the window set the server exports, nil when none.
+func (s *Server) Windows() *obs.Windows { return s.opts.Windows }
+
+// Close stops serving and detaches every flight-recorder hook. In-flight
+// scrapes are aborted; /events subscribers see their streams end.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	removers := s.removers
+	s.removers = nil
+	s.mu.Unlock()
+	for _, rm := range removers {
+		rm()
+	}
+	return s.hs.Close()
+}
+
+// AddCounters exports a counter registry. reg becomes the series' reg label
+// ("" for the process-default registry, "dev0" for a farm slot).
+func (s *Server) AddCounters(reg string, cs *obs.Counters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrRegs = append(s.ctrRegs, namedCounters{reg, cs})
+}
+
+// AddHistograms exports a histogram registry under the given reg label.
+func (s *Server) AddHistograms(reg string, hs *obs.Histograms) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.histRegs = append(s.histRegs, namedHistograms{reg, hs})
+}
+
+// AddGauges registers a callback polled at scrape time for instantaneous
+// values (farm device health, queue depths).
+func (s *Server) AddGauges(fn func() []Gauge) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gauges = append(s.gauges, fn)
+}
+
+// SetHealth installs the /healthz verdict function (nil restores the
+// always-ok default).
+func (s *Server) SetHealth(fn HealthFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = fn
+}
+
+// AddFlight subscribes the /events stream to a flight recorder's automatic
+// dumps: every AutoDump (panic isolation, watchdog timeout, quarantine,
+// frame deadline miss) becomes one SSE event tagged with src. The hook is
+// detached on Close.
+func (s *Server) AddFlight(src string, f *obs.FlightRecorder) {
+	dumps := new(atomic.Int64)
+	remove := f.AddDumpHook(func(d *obs.FlightDump) {
+		dumps.Add(1)
+		s.broadcast(src, d)
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removers = append(s.removers, remove)
+	s.flights = append(s.flights, flightSource{src, dumps})
+}
+
+// --- /metrics ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n := s.scrapes.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w, time.Since(s.started).Seconds(), n)
+}
+
+// WriteMetrics renders the full exposition document. Exported with explicit
+// uptime/scrape values so the golden test renders deterministic text.
+func (s *Server) WriteMetrics(w io.Writer, uptimeSeconds float64, scrapes int64) {
+	s.mu.Lock()
+	ctrRegs := append([]namedCounters(nil), s.ctrRegs...)
+	histRegs := append([]namedHistograms(nil), s.histRegs...)
+	gauges := append([]func() []Gauge(nil), s.gauges...)
+	flights := append([]flightSource(nil), s.flights...)
+	s.mu.Unlock()
+
+	p := newPromWriter(w)
+
+	p.family(MetricUp, "gauge", "1 while the telemetry server is serving.")
+	p.sample(MetricUp, nil, 1)
+	p.family(MetricUptime, "gauge", "Wall-clock seconds since the server started.")
+	p.sample(MetricUptime, nil, uptimeSeconds)
+	p.family(MetricScrapes, "counter", "Scrapes served, including this one.")
+	p.sample(MetricScrapes, nil, float64(scrapes))
+
+	if len(flights) > 0 {
+		p.family(MetricFlightDumps, "counter", "Flight-recorder auto-dumps seen per source since attach.")
+		for _, fs := range flights {
+			p.sample(MetricFlightDumps, []label{{"src", fs.src}}, float64(fs.dumps.Load()))
+		}
+	}
+
+	for _, nc := range ctrRegs {
+		nc := nc
+		nc.cs.Each(func(c *obs.Counter) {
+			p.family(MetricEvents, "counter", "Duration-less health events by counter name and registry.")
+			p.sample(MetricEvents, []label{{"ctr", c.Name()}, {"reg", nc.reg}}, float64(c.Load()))
+		})
+	}
+
+	for _, nh := range histRegs {
+		nh := nh
+		nh.hs.Each(func(h *obs.Histogram) {
+			p.family(MetricHist, "histogram", "Since-boot virtual-time distributions in microseconds, by histogram name and registry.")
+			writeHistogram(p, h, []label{{"hist", h.Name()}, {"reg", nh.reg}})
+		})
+	}
+
+	if win := s.opts.Windows; win != nil {
+		for _, span := range s.opts.Spans {
+			sl := spanLabel(span)
+			win.EachHist(span, func(name string, ws obs.WindowStats) {
+				p.family(MetricWindow, "gauge", "Rolling-window virtual-time statistics in microseconds (see the stat and window labels).")
+				for _, st := range []struct {
+					stat string
+					v    float64
+				}{
+					{"avg", ws.Avg().Micros()},
+					{"p50", ws.P50().Micros()},
+					{"p95", ws.P95().Micros()},
+					{"p99", ws.P99().Micros()},
+					{"max", ws.Max().Micros()},
+				} {
+					p.sample(MetricWindow, []label{{"hist", name}, {"stat", st.stat}, {"window", sl}}, st.v)
+				}
+				p.family(MetricWindowRate, "gauge", "Rolling-window observations per second.")
+				p.sample(MetricWindowRate, []label{{"hist", name}, {"window", sl}}, ws.Rate())
+			})
+			win.EachCounter(span, func(name string, cw obs.CounterWindow) {
+				p.family(MetricEventDelta, "gauge", "Rolling-window counter increments.")
+				p.sample(MetricEventDelta, []label{{"ctr", name}, {"window", sl}}, float64(cw.Delta))
+				p.family(MetricEventRate, "gauge", "Rolling-window counter increments per second.")
+				p.sample(MetricEventRate, []label{{"ctr", name}, {"window", sl}}, cw.Rate())
+			})
+		}
+	}
+
+	// Custom gauges last, grouped by family so HELP/TYPE precede every series
+	// even when several callbacks contribute to one family.
+	byFamily := map[string][]Gauge{}
+	var order []string
+	for _, fn := range gauges {
+		for _, g := range fn() {
+			if _, ok := byFamily[g.Name]; !ok {
+				order = append(order, g.Name)
+			}
+			byFamily[g.Name] = append(byFamily[g.Name], g)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		for i, g := range byFamily[name] {
+			if i == 0 {
+				help := g.Help
+				if help == "" {
+					help = "Instantaneous gauge."
+				}
+				p.family(sanitizeName(name), "gauge", help)
+			}
+			ls := make([]label, len(g.Labels))
+			for j, l := range g.Labels {
+				ls[j] = label{l.Key, l.Value}
+			}
+			p.sample(sanitizeName(name), ls, g.Value)
+		}
+	}
+}
+
+// spanLabel renders a query span as a window label ("10s", "60s").
+func spanLabel(d time.Duration) string {
+	return fmt.Sprintf("%gs", d.Seconds())
+}
+
+// --- /snapshot and /healthz ---
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.opts.Snapshot().WriteJSON(w)
+}
+
+// healthzBody is the /healthz response shape.
+type healthzBody struct {
+	Status        string  `json:"status"` // "ok" | "degraded"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Scrapes       int64   `json:"scrapes"`
+	Detail        any     `json:"detail,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	health := s.health
+	s.mu.Unlock()
+	ok, detail := true, any(nil)
+	if health != nil {
+		ok, detail = health()
+	}
+	body := healthzBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Scrapes:       s.scrapes.Load(),
+		Detail:        detail,
+	}
+	code := http.StatusOK
+	if !ok {
+		body.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "cycada telemetry\n/metrics\n/snapshot\n/healthz\n/events\n")
+}
+
+// --- /events (SSE) ---
+
+// eventBody is the data payload of one SSE incident event.
+type eventBody struct {
+	Source      string `json:"source"` // AddFlight src tag
+	Reason      string `json:"reason"`
+	Events      int    `json:"events"` // events captured in the dump
+	Writes      uint64 `json:"writes"`
+	Overwritten uint64 `json:"overwritten"`
+}
+
+// broadcast fans a dump out to every /events subscriber. Slow subscribers
+// drop events rather than block the dumping goroutine — AutoDump runs on
+// failure paths that must never stall on a stuck TCP connection.
+func (s *Server) broadcast(src string, d *obs.FlightDump) {
+	data, err := json.Marshal(eventBody{
+		Source:      src,
+		Reason:      d.Reason,
+		Events:      len(d.Events),
+		Writes:      d.Writes,
+		Overwritten: d.Overwritten,
+	})
+	if err != nil {
+		return
+	}
+	msg := []byte("event: flightdump\ndata: " + string(data) + "\n\n")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+func (s *Server) subscribe() (int, chan []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan []byte, 64)
+	s.subs[id] = ch
+	return id, ch
+}
+
+func (s *Server) unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id, ch := s.subscribe()
+	defer s.unsubscribe(id)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": cycada flight-recorder incident stream\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg := <-ch:
+			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"cycada/internal/sim/vclock"
+)
+
+// Rolling-window aggregation (DESIGN.md §15). The histograms and counters
+// are cumulative since boot, which is the right shape for a one-shot report
+// but useless for watching a live farm: after an hour of traffic the
+// since-boot P99 barely moves when the current minute regresses. A Windows
+// tracks registries and, on every rotation, captures the delta of each
+// series against the previous rotation into a fixed ring of per-interval
+// slots. Queries merge the most recent slots covering a span (last 10s,
+// last 60s) and answer with *current* percentiles and rates.
+//
+// Rotation is the only writer of window state and takes the Windows mutex;
+// the tracked hot paths are never touched — a rotation reads the same atomic
+// stripe totals a report would, so windowing adds zero cost to Observe/Inc.
+// Samples are not an atomic cut across stripes (writers keep writing); the
+// skew is at most the handful of observations in flight during a rotation
+// and moves a sample into a neighboring interval at worst.
+
+// WindowStats is the merged delta of one histogram over a query span.
+// The zero value is a well-defined empty window: Count 0, every statistic 0,
+// Rate 0 — idle intervals must never divide by zero or report garbage.
+type WindowStats struct {
+	// Count and Sum are the observations and total virtual time that landed
+	// in the window.
+	Count int64
+	Sum   vclock.Duration
+	// Span is the wall-clock width the window actually covers: query-span
+	// rounded up to whole intervals, clamped to the rotations that exist.
+	// Zero before the first rotation.
+	Span time.Duration
+
+	buckets [histBuckets]int64
+}
+
+// Avg returns the mean observed duration in the window (0 when empty).
+func (s *WindowStats) Avg() vclock.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / vclock.Duration(s.Count)
+}
+
+// Rate returns observations per wall-clock second over the window (0 when
+// the window is empty or covers no time yet).
+func (s *WindowStats) Rate() float64 {
+	if s.Count == 0 || s.Span <= 0 {
+		return 0
+	}
+	return float64(s.Count) / s.Span.Seconds()
+}
+
+// Quantile returns an upper bound of the q-quantile of the window's
+// observations, with the same log-bucket 2x bias as Histogram.Quantile.
+// Deltas carry no exact max, so the bound clamps to the upper edge of the
+// highest non-empty bucket. Returns 0 on an empty window.
+func (s *WindowStats) Quantile(q float64) vclock.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b, n := range s.buckets {
+		seen += n
+		if seen >= target {
+			return bucketUpperEdge(b)
+		}
+	}
+	return s.Max()
+}
+
+// P50 returns the median upper bound of the window.
+func (s *WindowStats) P50() vclock.Duration { return s.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound of the window.
+func (s *WindowStats) P95() vclock.Duration { return s.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound of the window.
+func (s *WindowStats) P99() vclock.Duration { return s.Quantile(0.99) }
+
+// Max returns the upper edge of the highest non-empty bucket — the same
+// at-worst-2x overestimate the quantiles carry (an exact max cannot be
+// recovered from deltas of a cumulative max). Returns 0 on an empty window.
+func (s *WindowStats) Max() vclock.Duration {
+	for b := histBuckets - 1; b >= 0; b-- {
+		if s.buckets[b] > 0 {
+			return bucketUpperEdge(b)
+		}
+	}
+	return 0
+}
+
+// bucketUpperEdge is the largest duration bucket b holds (see bucketOf).
+func bucketUpperEdge(b int) vclock.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return vclock.Duration(1)<<uint(b) - 1
+}
+
+// CounterWindow is the delta of one counter over a query span.
+type CounterWindow struct {
+	Delta int64
+	Span  time.Duration
+}
+
+// Rate returns increments per wall-clock second over the window.
+func (c *CounterWindow) Rate() float64 {
+	if c.Delta == 0 || c.Span <= 0 {
+		return 0
+	}
+	return float64(c.Delta) / c.Span.Seconds()
+}
+
+// histWindow is one histogram series: the cumulative totals at the last
+// rotation plus the ring of per-interval deltas.
+type histWindow struct {
+	prev histSample
+	ring []histSample // indexed by rotation % slots
+}
+
+// ctrWindow is one counter series.
+type ctrWindow struct {
+	prev int64
+	ring []int64
+}
+
+// Windows turns cumulative registries into rolling per-interval deltas.
+// Track any number of Histograms and Counters registries; same-named series
+// across registries are summed (the farm's per-device registries roll up
+// into one farm-wide series). All methods are safe for concurrent use.
+type Windows struct {
+	interval time.Duration
+	slots    int
+
+	mu        sync.Mutex
+	hists     []*Histograms
+	ctrs      []*Counters
+	hw        map[string]*histWindow
+	cw        map[string]*ctrWindow
+	rotations uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWindows creates a window set rotating every interval with slots
+// intervals of history (interval <= 0 defaults to 1s, slots <= 0 to 60 —
+// one minute of 1s deltas, covering the 10s and 60s query spans the
+// telemetry server serves).
+func NewWindows(interval time.Duration, slots int) *Windows {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if slots <= 0 {
+		slots = 60
+	}
+	return &Windows{
+		interval: interval,
+		slots:    slots,
+		hw:       map[string]*histWindow{},
+		cw:       map[string]*ctrWindow{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the rotation interval.
+func (w *Windows) Interval() time.Duration { return w.interval }
+
+// Slots returns the ring depth (intervals of history kept).
+func (w *Windows) Slots() int { return w.slots }
+
+// Rotations returns how many rotations have happened.
+func (w *Windows) Rotations() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotations
+}
+
+// Track adds a histogram registry. Series already carrying counts are primed
+// — their cumulative totals become the baseline — so history from before
+// tracking never floods the first interval as a rate spike.
+func (w *Windows) Track(hs *Histograms) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hists = append(w.hists, hs)
+	hs.Each(func(h *Histogram) {
+		hw := w.histWindowLocked(h.Name())
+		s := h.sample()
+		hw.prev.add(s)
+	})
+}
+
+// TrackCounters adds a counter registry, priming existing counts like Track.
+func (w *Windows) TrackCounters(cs *Counters) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ctrs = append(w.ctrs, cs)
+	cs.Each(func(c *Counter) {
+		w.ctrWindowLocked(c.Name()).prev += c.Load()
+	})
+}
+
+func (w *Windows) histWindowLocked(name string) *histWindow {
+	hw := w.hw[name]
+	if hw == nil {
+		hw = &histWindow{ring: make([]histSample, w.slots)}
+		w.hw[name] = hw
+	}
+	return hw
+}
+
+func (w *Windows) ctrWindowLocked(name string) *ctrWindow {
+	cw := w.cw[name]
+	if cw == nil {
+		cw = &ctrWindow{ring: make([]int64, w.slots)}
+		w.cw[name] = cw
+	}
+	return cw
+}
+
+// Rotate captures one interval: for every tracked series, the delta of its
+// cumulative totals (summed across registries) against the previous rotation
+// is pushed into the ring. Called by the Start goroutine on the interval;
+// tests and single-shot reporters may call it directly.
+func (w *Windows) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	cumH := map[string]histSample{}
+	for _, hs := range w.hists {
+		hs.Each(func(h *Histogram) {
+			s := cumH[h.Name()]
+			s.add(h.sample())
+			cumH[h.Name()] = s
+		})
+	}
+	cumC := map[string]int64{}
+	for _, cs := range w.ctrs {
+		cs.Each(func(c *Counter) { cumC[c.Name()] += c.Load() })
+	}
+
+	slot := int(w.rotations) % w.slots
+	for name, cur := range cumH {
+		hw := w.histWindowLocked(name)
+		delta := cur
+		delta.sub(hw.prev)
+		hw.prev = cur
+		hw.ring[slot] = delta
+	}
+	// Series that vanished (a tracked registry was reset) still age out:
+	// write zero deltas and reset their baseline.
+	for name, hw := range w.hw {
+		if _, ok := cumH[name]; !ok {
+			hw.prev = histSample{}
+			hw.ring[slot] = histSample{}
+		}
+	}
+	for name, cur := range cumC {
+		cw := w.ctrWindowLocked(name)
+		cw.ring[slot] = cur - cw.prev
+		cw.prev = cur
+	}
+	for name, cw := range w.cw {
+		if _, ok := cumC[name]; !ok {
+			cw.prev = 0
+			cw.ring[slot] = 0
+		}
+	}
+	w.rotations++
+}
+
+// spanSlots converts a query span to a slot count: span rounded up to whole
+// intervals, clamped to [1, min(slots, rotations)]. Returns 0 before the
+// first rotation.
+func (w *Windows) spanSlotsLocked(span time.Duration) int {
+	if w.rotations == 0 {
+		return 0
+	}
+	n := int(math.Ceil(float64(span) / float64(w.interval)))
+	if n < 1 {
+		n = 1
+	}
+	if n > w.slots {
+		n = w.slots
+	}
+	if uint64(n) > w.rotations {
+		n = int(w.rotations)
+	}
+	return n
+}
+
+// Hist returns the merged window of the named histogram over the last span
+// of wall-clock time. ok is false when the series is unknown; an idle known
+// series returns the zero-valued (safe) WindowStats.
+func (w *Windows) Hist(name string, span time.Duration) (WindowStats, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hw, ok := w.hw[name]
+	if !ok {
+		return WindowStats{}, false
+	}
+	return w.mergeLocked(hw, span), true
+}
+
+func (w *Windows) mergeLocked(hw *histWindow, span time.Duration) WindowStats {
+	n := w.spanSlotsLocked(span)
+	var ws WindowStats
+	ws.Span = time.Duration(n) * w.interval
+	for i := 0; i < n; i++ {
+		slot := (int(w.rotations) - 1 - i + w.slots) % w.slots
+		d := &hw.ring[slot]
+		ws.Count += d.count
+		ws.Sum += vclock.Duration(d.sum)
+		for b := range ws.buckets {
+			ws.buckets[b] += d.buckets[b]
+		}
+	}
+	return ws
+}
+
+// Counter returns the delta window of the named counter over the last span.
+func (w *Windows) Counter(name string, span time.Duration) (CounterWindow, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.counterLocked(name, span)
+}
+
+// EachHist calls fn with every known histogram series' window over span, in
+// name order.
+func (w *Windows) EachHist(span time.Duration, fn func(name string, ws WindowStats)) {
+	w.mu.Lock()
+	names := make([]string, 0, len(w.hw))
+	for name := range w.hw {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats := make([]WindowStats, len(names))
+	for i, name := range names {
+		stats[i] = w.mergeLocked(w.hw[name], span)
+	}
+	w.mu.Unlock()
+	for i, name := range names {
+		fn(name, stats[i])
+	}
+}
+
+// EachCounter calls fn with every known counter series' window over span, in
+// name order.
+func (w *Windows) EachCounter(span time.Duration, fn func(name string, cw CounterWindow)) {
+	w.mu.Lock()
+	names := make([]string, 0, len(w.cw))
+	for name := range w.cw {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	wins := make([]CounterWindow, len(names))
+	for i, name := range names {
+		wins[i], _ = w.counterLocked(name, span)
+	}
+	w.mu.Unlock()
+	for i, name := range names {
+		fn(name, wins[i])
+	}
+}
+
+func (w *Windows) counterLocked(name string, span time.Duration) (CounterWindow, bool) {
+	cw, ok := w.cw[name]
+	if !ok {
+		return CounterWindow{}, false
+	}
+	n := w.spanSlotsLocked(span)
+	win := CounterWindow{Span: time.Duration(n) * w.interval}
+	for i := 0; i < n; i++ {
+		slot := (int(w.rotations) - 1 - i + w.slots) % w.slots
+		win.Delta += cw.ring[slot]
+	}
+	return win, true
+}
+
+// Start begins rotating on the interval in a background goroutine.
+// Idempotent; Stop ends it.
+func (w *Windows) Start() {
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.done)
+			tick := time.NewTicker(w.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					w.Rotate()
+				case <-w.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the rotation goroutine (if Start ran) and waits for it to exit.
+// Idempotent; the window contents remain queryable after Stop.
+func (w *Windows) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+	})
+	select {
+	case <-w.done:
+	default:
+		// Start never ran; nothing to wait for.
+		w.startOnce.Do(func() { close(w.done) })
+		<-w.done
+	}
+}

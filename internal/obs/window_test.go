@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cycada/internal/sim/vclock"
+)
+
+// TestHistogramEmptyZeroValues pins the zero-value contract of the cumulative
+// histogram: every statistic of an empty histogram is exactly 0, no division
+// by zero, no garbage. The rolling windows lean on the same contract for idle
+// intervals, so this is load-bearing for the telemetry plane.
+func TestHistogramEmptyZeroValues(t *testing.T) {
+	h := NewHistogram("empty")
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("Sum = %v, want 0", got)
+	}
+	if got := h.Avg(); got != 0 {
+		t.Fatalf("Avg = %v, want 0", got)
+	}
+	if got := h.Max(); got != 0 {
+		t.Fatalf("Max = %v, want 0", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var total int64
+	h.Buckets(func(_ vclock.Duration, n int64) { total += n })
+	if total != 0 {
+		t.Fatalf("bucket total = %d, want 0", total)
+	}
+}
+
+// TestWindowStatsEmptyZeroValues pins the same contract on the windowed view:
+// a zero WindowStats and a zero CounterWindow answer 0 everywhere.
+func TestWindowStatsEmptyZeroValues(t *testing.T) {
+	var ws WindowStats
+	if ws.Avg() != 0 || ws.Max() != 0 || ws.Rate() != 0 {
+		t.Fatalf("empty WindowStats: avg=%v max=%v rate=%v, want all 0", ws.Avg(), ws.Max(), ws.Rate())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := ws.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var cw CounterWindow
+	if cw.Rate() != 0 {
+		t.Fatalf("empty CounterWindow rate = %v, want 0", cw.Rate())
+	}
+}
+
+// TestWindowsRotateCapturesDeltas drives rotations by hand and checks the
+// windowed statistics reflect only the observations of the covered interval,
+// not the since-boot totals.
+func TestWindowsRotateCapturesDeltas(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	cs := NewCounters()
+	w := NewWindows(time.Second, 8)
+	w.Track(hs)
+	w.TrackCounters(cs)
+
+	h := hs.Histogram("present")
+	for i := 0; i < 100; i++ {
+		h.Observe(0, 1000) // 1µs
+	}
+	cs.Counter("drops").Add(5)
+	w.Rotate()
+
+	ws, ok := w.Hist("present", time.Second)
+	if !ok {
+		t.Fatal("series 'present' unknown after rotate")
+	}
+	if ws.Count != 100 {
+		t.Fatalf("window count = %d, want 100", ws.Count)
+	}
+	if ws.Span != time.Second {
+		t.Fatalf("window span = %v, want 1s", ws.Span)
+	}
+	if got := ws.Rate(); got != 100 {
+		t.Fatalf("window rate = %v, want 100/s", got)
+	}
+	cw, ok := w.Counter("drops", time.Second)
+	if !ok || cw.Delta != 5 {
+		t.Fatalf("counter window = %+v ok=%v, want delta 5", cw, ok)
+	}
+
+	// A second, idle interval: the 1s window must go to zero while the 2s
+	// window still covers the busy interval.
+	w.Rotate()
+	ws, _ = w.Hist("present", time.Second)
+	if ws.Count != 0 || ws.Rate() != 0 || ws.P99() != 0 {
+		t.Fatalf("idle 1s window = %+v, want zeroes", ws)
+	}
+	ws, _ = w.Hist("present", 2*time.Second)
+	if ws.Count != 100 {
+		t.Fatalf("2s window count = %d, want 100", ws.Count)
+	}
+	if got := ws.Rate(); got != 50 {
+		t.Fatalf("2s window rate = %v, want 50/s", got)
+	}
+	cw, _ = w.Counter("drops", time.Second)
+	if cw.Delta != 0 {
+		t.Fatalf("idle counter delta = %d, want 0", cw.Delta)
+	}
+}
+
+// TestWindowsQuantileUpperBound checks windowed quantiles carry the same
+// log-bucket upper-edge bias as the cumulative histogram: the answer bounds
+// the true value from above by at most 2x.
+func TestWindowsQuantileUpperBound(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	w := NewWindows(time.Second, 4)
+	w.Track(hs)
+	h := hs.Histogram("lat")
+	for i := 0; i < 99; i++ {
+		h.Observe(0, 1000)
+	}
+	h.Observe(0, 100000)
+	w.Rotate()
+	ws, _ := w.Hist("lat", time.Second)
+	p99 := ws.P99()
+	if p99 < 1000 || p99 >= 2048 {
+		t.Fatalf("P99 = %v, want in [1000, 2048) (upper edge of the 1µs bucket)", p99)
+	}
+	max := ws.Max()
+	if max < 100000 || max >= 200000 {
+		t.Fatalf("Max = %v, want in [100000, 200000)", max)
+	}
+	if ws.Quantile(1.0) != max {
+		t.Fatalf("Quantile(1.0) = %v, want Max %v", ws.Quantile(1.0), max)
+	}
+}
+
+// TestWindowsTrackPrimesBaseline verifies that a registry carrying history is
+// primed at Track time: the first rotation must not report the since-boot
+// totals as one interval's worth of traffic.
+func TestWindowsTrackPrimesBaseline(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	h := hs.Histogram("old")
+	for i := 0; i < 1000; i++ {
+		h.Observe(0, 500)
+	}
+	cs := NewCounters()
+	cs.Counter("old-events").Add(777)
+
+	w := NewWindows(time.Second, 4)
+	w.Track(hs)
+	w.TrackCounters(cs)
+	h.Observe(0, 500) // one genuinely new observation
+	cs.Counter("old-events").Inc()
+	w.Rotate()
+
+	ws, _ := w.Hist("old", time.Second)
+	if ws.Count != 1 {
+		t.Fatalf("first-interval count = %d, want 1 (history must be primed away)", ws.Count)
+	}
+	cw, _ := w.Counter("old-events", time.Second)
+	if cw.Delta != 1 {
+		t.Fatalf("first-interval delta = %d, want 1", cw.Delta)
+	}
+}
+
+// TestWindowsSumAcrossRegistries checks same-named series in different
+// tracked registries (the farm's per-device registries) roll up into one
+// window.
+func TestWindowsSumAcrossRegistries(t *testing.T) {
+	a, b := NewHistograms(), NewHistograms()
+	a.SetEnabled(true)
+	b.SetEnabled(true)
+	w := NewWindows(time.Second, 4)
+	w.Track(a)
+	w.Track(b)
+	a.Histogram("present").Observe(0, 1000)
+	a.Histogram("present").Observe(0, 1000)
+	b.Histogram("present").Observe(0, 1000)
+	w.Rotate()
+	ws, _ := w.Hist("present", time.Second)
+	if ws.Count != 3 {
+		t.Fatalf("summed window count = %d, want 3", ws.Count)
+	}
+}
+
+// TestWindowsRingWraps checks old intervals age out of the ring: with 4
+// slots, traffic from 5 rotations ago is gone even at the widest span.
+func TestWindowsRingWraps(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	w := NewWindows(time.Second, 4)
+	w.Track(hs)
+	hs.Histogram("x").Observe(0, 1000)
+	w.Rotate()
+	for i := 0; i < 4; i++ {
+		w.Rotate()
+	}
+	ws, _ := w.Hist("x", time.Hour)
+	if ws.Count != 0 {
+		t.Fatalf("count after ring wrap = %d, want 0", ws.Count)
+	}
+	if ws.Span != 4*time.Second {
+		t.Fatalf("span clamped to %v, want 4s", ws.Span)
+	}
+}
+
+// TestWindowsBeforeFirstRotation: a tracked series queried before any
+// rotation answers the safe zero window.
+func TestWindowsBeforeFirstRotation(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	hs.Histogram("x").Observe(0, 1000)
+	w := NewWindows(time.Second, 4)
+	w.Track(hs)
+	ws, ok := w.Hist("x", time.Second)
+	if !ok {
+		t.Fatal("tracked series should be known (primed) before rotation")
+	}
+	if ws.Count != 0 || ws.Span != 0 || ws.Rate() != 0 {
+		t.Fatalf("pre-rotation window = %+v, want zeroes", ws)
+	}
+}
+
+// TestWindowsConcurrentRotateAndObserve races rotation, queries and hot-path
+// writers; run under -race this pins the documented concurrency contract.
+func TestWindowsConcurrentRotateAndObserve(t *testing.T) {
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	cs := NewCounters()
+	w := NewWindows(time.Millisecond, 16)
+	w.Track(hs)
+	w.TrackCounters(cs)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(stripe int) {
+			defer wg.Done()
+			h := hs.Histogram("hot")
+			c := cs.Counter("hot-events")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(stripe, 1000)
+				c.Inc()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			w.Rotate()
+			w.EachHist(10*time.Millisecond, func(string, WindowStats) {})
+			w.EachCounter(10*time.Millisecond, func(string, CounterWindow) {})
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestWindowsStartStop exercises the background rotation goroutine,
+// including Stop-before-Start and double-Stop.
+func TestWindowsStartStop(t *testing.T) {
+	w := NewWindows(time.Millisecond, 8)
+	hs := NewHistograms()
+	hs.SetEnabled(true)
+	w.Track(hs)
+	w.Start()
+	hs.Histogram("x").Observe(0, 1000)
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Rotations() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no rotation within 5s of Start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	w.Stop() // idempotent
+
+	w2 := NewWindows(time.Second, 8)
+	w2.Stop() // Stop before Start must not hang
+}

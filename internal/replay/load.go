@@ -1,0 +1,171 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycada/internal/android/egl"
+	"cycada/internal/core/system"
+	"cycada/internal/obs"
+	"cycada/internal/sim/vclock"
+)
+
+// LoadSessionsCtr counts completed load-generator sessions in the run's
+// counter registry, so a window set tracking that registry reports sustained
+// sessions/sec live.
+const LoadSessionsCtr = "load-sessions"
+
+// LoadConfig parameterizes a sustained-load run.
+type LoadConfig struct {
+	// Concurrency is the number of parallel session loops, each with its own
+	// booted stack (min 1) — the load-generator analogue of farm devices.
+	Concurrency int
+	// Duration is the wall-clock run length. Default 2s.
+	Duration time.Duration
+	// BatchCap applies the batched-encoder path to every replay (0 = serial).
+	BatchCap int
+	// Hists receives every stack's frame-health samples (one shared registry
+	// across workers, enabled automatically). Nil creates a fresh one. Attach
+	// this to a telemetry server or window set *before* Load to watch live.
+	Hists *obs.Histograms
+	// Counters receives present retry/drop counters and LoadSessionsCtr.
+	// Nil creates a fresh one.
+	Counters *obs.Counters
+	// Tracer receives replay spans; nil means obs.Default.
+	Tracer *obs.Tracer
+}
+
+// LoadResult summarizes a sustained-load run. Frame statistics are computed
+// over the run's shared histogram registry, retry/drop totals over its
+// counter registry — both are the run's own unless the caller shared them.
+type LoadResult struct {
+	Workers  int
+	Wall     time.Duration
+	Sessions int64
+	PerSec   float64 // sustained sessions/sec across all workers
+
+	Frames   int64
+	FrameP50 vclock.Duration
+	FrameP95 vclock.Duration
+	FrameP99 vclock.Duration
+	FrameMax vclock.Duration
+
+	Retries int64 // transient presents retried
+	Drops   int64 // presents abandoned after retries
+}
+
+// Load drives sustained replay load: Concurrency workers each boot one
+// Cycada stack and replay tr back-to-back until Duration elapses, recycling
+// the compositor between sessions exactly like a farm slot. All stacks
+// record into one shared histogram/counter registry, which is what makes the
+// run observable — a telemetry server exporting cfg.Hists/cfg.Counters (and
+// a Windows tracking them) reports live sustained throughput and current
+// windowed frame percentiles while Load runs. The first replay error aborts
+// the run.
+func Load(tr *Trace, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	hists := cfg.Hists
+	if hists == nil {
+		hists = obs.NewHistograms()
+	}
+	hists.SetEnabled(true)
+	ctrs := cfg.Counters
+	if ctrs == nil {
+		ctrs = obs.NewCounters()
+	}
+
+	// Baselines, in case the caller shared registries that carry history.
+	var basePresent int64
+	if h, ok := hists.Lookup(egl.PresentHistName); ok {
+		basePresent = h.Count()
+	}
+	baseRetried := ctrs.Counter(egl.CtrPresentRetried).Load()
+	baseDropped := ctrs.Counter(egl.CtrPresentDropped).Load()
+
+	var (
+		sessions atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		runErr   error
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			close(stop)
+		})
+	}
+	start := time.Now()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+	go func() {
+		select {
+		case <-deadline.C:
+			errOnce.Do(func() { close(stop) })
+		case <-stop:
+		}
+	}()
+
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sys := system.New(system.Config{
+				ScreenW:  tr.ScreenW,
+				ScreenH:  tr.ScreenH,
+				Tracer:   cfg.Tracer,
+				Hists:    hists,
+				Counters: ctrs,
+			})
+			defer sys.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := Play(tr, Options{
+					Tracer:   cfg.Tracer,
+					BatchCap: cfg.BatchCap,
+					System:   sys,
+				}); err != nil {
+					fail(fmt.Errorf("replay: load worker %d: %w", id, err))
+					return
+				}
+				// Recycle the compositor like a farm slot between sessions.
+				sys.Android.Flinger.Reset()
+				sessions.Add(1)
+				ctrs.Counter(LoadSessionsCtr).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	wall := time.Since(start)
+	res := &LoadResult{
+		Workers:  cfg.Concurrency,
+		Wall:     wall,
+		Sessions: sessions.Load(),
+		PerSec:   float64(sessions.Load()) / wall.Seconds(),
+		Retries:  ctrs.Counter(egl.CtrPresentRetried).Load() - baseRetried,
+		Drops:    ctrs.Counter(egl.CtrPresentDropped).Load() - baseDropped,
+	}
+	if h, ok := hists.Lookup(egl.PresentHistName); ok {
+		res.Frames = h.Count() - basePresent
+		res.FrameP50 = h.P50()
+		res.FrameP95 = h.P95()
+		res.FrameP99 = h.P99()
+		res.FrameMax = h.Max()
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package replay_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cycada/internal/obs"
+	"cycada/internal/replay"
+)
+
+func goldenTrace(t *testing.T, name string) *replay.Trace {
+	t.Helper()
+	tr, err := replay.ReadFile(filepath.Join("testdata", name+".cytr"))
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	return tr
+}
+
+// TestLoadSustainsSessions runs the load generator briefly at concurrency 2
+// and checks it completes sessions, reports coherent statistics, and feeds
+// the shared registries the telemetry plane would export.
+func TestLoadSustainsSessions(t *testing.T) {
+	tr := goldenTrace(t, "passmark-2d")
+	hists := obs.NewHistograms()
+	ctrs := obs.NewCounters()
+	res, err := replay.Load(tr, replay.LoadConfig{
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		Hists:       hists,
+		Counters:    ctrs,
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if res.Sessions < 1 {
+		t.Fatalf("sessions = %d, want >= 1", res.Sessions)
+	}
+	if res.PerSec <= 0 {
+		t.Fatalf("rate = %v, want > 0", res.PerSec)
+	}
+	if res.Frames < res.Sessions {
+		t.Fatalf("frames = %d < sessions = %d; every session presents at least once", res.Frames, res.Sessions)
+	}
+	if res.FrameP99 < res.FrameP50 || res.FrameMax < res.FrameP99 {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v max=%v", res.FrameP50, res.FrameP99, res.FrameMax)
+	}
+	// The shared registries saw the run (what a live scrape would read).
+	if c := ctrs.Counter(replay.LoadSessionsCtr).Load(); c != res.Sessions {
+		t.Fatalf("sessions counter = %d, want %d", c, res.Sessions)
+	}
+	if h, ok := hists.Lookup("egl-present"); !ok || h.Count() != res.Frames {
+		t.Fatalf("shared registry frames = %v (ok=%v), want %d", h, ok, res.Frames)
+	}
+}
+
+// TestLoadDefaultsAndWindows runs Load with defaulted registries plus a
+// window set tracking shared ones, mirroring how cycadareplay load wires the
+// telemetry server.
+func TestLoadWindowedView(t *testing.T) {
+	tr := goldenTrace(t, "webkit-tiles")
+	hists := obs.NewHistograms()
+	ctrs := obs.NewCounters()
+	win := obs.NewWindows(50*time.Millisecond, 64)
+	win.Track(hists)
+	win.TrackCounters(ctrs)
+	win.Start()
+	defer win.Stop()
+
+	res, err := replay.Load(tr, replay.LoadConfig{
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		Hists:       hists,
+		Counters:    ctrs,
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	win.Rotate() // capture the tail interval deterministically
+	ws, ok := win.Hist("egl-present", time.Hour)
+	if !ok || ws.Count != res.Frames {
+		t.Fatalf("windowed frames = %+v ok=%v, want count %d", ws, ok, res.Frames)
+	}
+	cw, ok := win.Counter(replay.LoadSessionsCtr, time.Hour)
+	if !ok || cw.Delta != res.Sessions {
+		t.Fatalf("windowed sessions = %+v ok=%v, want %d", cw, ok, res.Sessions)
+	}
+}

@@ -82,6 +82,11 @@ type Kernel struct {
 	// can scope the samples of one session to its own registry.
 	hists atomic.Pointer[obs.Histograms]
 
+	// counters is the event-counter registry for duration-less health events
+	// in this kernel's world (present retries/drops, frame-deadline misses).
+	// Never nil; the telemetry exposition server scrapes and windows it.
+	counters atomic.Pointer[obs.Counters]
+
 	// faults is the fault injector every cross-persona seam in this kernel's
 	// world consults (via Thread.Faults). Nil means injection is off and the
 	// whole per-site cost is this one atomic load.
@@ -117,6 +122,10 @@ type Config struct {
 	// single-stack caller on the process-wide registry; a device farm gives
 	// each stack its own so concurrent stacks never mix samples.
 	Histograms *obs.Histograms
+	// Counters is the event-counter registry for duration-less health events
+	// (present retries/drops, frame-deadline misses). Nil attaches
+	// obs.DefaultCounters; a device farm gives each stack its own.
+	Counters *obs.Counters
 	// Faults installs a fault injector at boot. Nil falls back to
 	// fault.Default(), which is itself nil unless a -faults flag set it.
 	Faults *fault.Injector
@@ -175,6 +184,11 @@ func New(cfg Config) *Kernel {
 		procs:   make(map[int]*Process),
 	}
 	k.hists.Store(hists)
+	counters := cfg.Counters
+	if counters == nil {
+		counters = obs.DefaultCounters
+	}
+	k.counters.Store(counters)
 	if cfg.Faults != nil {
 		k.faults.Store(cfg.Faults)
 	} else if inj := fault.Default(); inj != nil {
@@ -216,6 +230,19 @@ func (k *Kernel) SetHistograms(hs *obs.Histograms) {
 		hs = obs.DefaultHistograms
 	}
 	k.hists.Store(hs)
+}
+
+// Counters returns the event-counter registry this kernel's duration-less
+// health events count into. Never nil.
+func (k *Kernel) Counters() *obs.Counters { return k.counters.Load() }
+
+// SetCounters swaps the kernel's counter registry at runtime (nil restores
+// obs.DefaultCounters); the symmetric operation to SetHistograms.
+func (k *Kernel) SetCounters(cs *obs.Counters) {
+	if cs == nil {
+		cs = obs.DefaultCounters
+	}
+	k.counters.Store(cs)
 }
 
 // RasterPool returns the bounded worker pool the kernel's graphics devices

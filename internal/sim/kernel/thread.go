@@ -58,6 +58,10 @@ func (t *Thread) Kernel() *Kernel { return t.proc.k }
 // scoped to the current stack or session.
 func (t *Thread) Histograms() *obs.Histograms { return t.proc.k.Histograms() }
 
+// Counters returns the event-counter registry the thread's kernel counts
+// duration-less health events into (never nil).
+func (t *Thread) Counters() *obs.Counters { return t.proc.k.Counters() }
+
 // Faults returns the kernel's fault injector, nil when injection is off.
 // Injection sites across the stack (linker, EGL, gralloc, diplomat) reach
 // the injector through the thread so the disabled cost stays one atomic load.

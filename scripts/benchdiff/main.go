@@ -1,0 +1,137 @@
+// Command benchdiff compares two cycada-bench/v1 JSON files (the output of
+// scripts/benchjson.sh) and prints a PASS/REGRESSED/IMPROVED verdict per
+// shared (benchmark, metric) pair at a ±15% threshold. Regression direction
+// is metric-aware: throughput metrics regress when they fall, latency and
+// allocation metrics regress when they rise.
+//
+// benchdiff is warn-only by design — benchmark noise on shared CI runners
+// makes a hard gate flaky — so it always exits 0 when both files parse.
+// The REGRESSED lines are for a human (or dashboard) to eyeball.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff BENCH_9.json BENCH_10.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// threshold is the relative change beyond which a metric is flagged.
+const threshold = 0.15
+
+// higherIsBetter marks throughput-style metrics; everything else numeric
+// (ns_per_op, bytes_per_op, allocs_per_op, frame percentiles, crossings,
+// drops) regresses upward.
+var higherIsBetter = map[string]bool{
+	"sessions_per_sec": true,
+}
+
+// skip holds fields that are identity or run-shape, not performance.
+var skip = map[string]bool{"name": true, "iters": true}
+
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf struct {
+		Schema     string           `json:"schema"`
+		Benchmarks []map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]map[string]float64{}
+	for _, b := range bf.Benchmarks {
+		name, _ := b["name"].(string)
+		if name == "" {
+			continue
+		}
+		metrics := map[string]float64{}
+		for k, v := range b {
+			if skip[k] {
+				continue
+			}
+			if f, ok := v.(float64); ok {
+				metrics[k] = f
+			}
+		}
+		out[name] = metrics
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldB, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newB, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		if _, ok := oldB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("benchdiff: no shared benchmarks between %s and %s\n", os.Args[1], os.Args[2])
+		return
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (threshold ±%.0f%%)\n", os.Args[1], os.Args[2], threshold*100)
+	regressed := 0
+	for _, name := range names {
+		keys := make([]string, 0, len(newB[name]))
+		for k := range newB[name] {
+			if _, ok := oldB[name][k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o, n := oldB[name][k], newB[name][k]
+			verdict := "PASS     "
+			var rel float64
+			if o != 0 {
+				rel = (n - o) / o
+			} else if n != 0 {
+				// 0 -> nonzero: flag as growth in a lower-is-better metric.
+				rel = 1
+			}
+			worse := rel > threshold
+			better := rel < -threshold
+			if higherIsBetter[k] {
+				worse, better = better, worse
+			}
+			switch {
+			case worse:
+				verdict = "REGRESSED"
+				regressed++
+			case better:
+				verdict = "IMPROVED "
+			}
+			fmt.Printf("  %s %-50s %-18s %14.4g -> %-14.4g (%+.1f%%)\n",
+				verdict, name, k, o, n, rel*100)
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("benchdiff: %d metric(s) regressed beyond ±%.0f%% (warn-only)\n", regressed, threshold*100)
+	} else {
+		fmt.Println("benchdiff: no regressions beyond threshold")
+	}
+}

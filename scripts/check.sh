@@ -22,8 +22,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm"
-go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm
+echo "== go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm ./internal/obs/..."
+go test -race ./internal/core/... ./internal/replay/... ./internal/android/egl ./internal/android/sflinger ./internal/sim/gpu ./internal/farm ./internal/obs/...
 
 echo "== chaos smoke (fault-injection invariants under -race, serial and batched)"
 go test -race ./internal/replay -run 'TestChaos' -chaos.seeds=8
@@ -80,6 +80,42 @@ if [ "$obs_gate_ok" != 1 ]; then
 	echo "obs overhead gate failed: fully-disabled path more than 3% over baseline" >&2
 	exit 1
 fi
+
+echo "== telemetry smoke (load generator with -listen: /metrics, /healthz, /snapshot)"
+# Boot the sustained-load generator with an embedded telemetry server on an
+# ephemeral port, scrape /metrics while it runs and validate the exposition
+# with the Prometheus-text parser, then pipe the JSON endpoints through
+# jsoncheck. The load must outlive the scrapes, hence the generous -dur.
+tmplog=$(mktemp)
+go run ./cmd/cycadareplay load -i internal/replay/testdata/passmark-2d.cytr \
+	-n 2 -dur 12s -listen 127.0.0.1:0 >"$tmplog" 2>&1 &
+loadpid=$!
+url=""
+for i in $(seq 1 60); do
+	url=$(awk '/^telemetry: listening on / { print $4; exit }' "$tmplog")
+	[ -n "$url" ] && break
+	sleep 0.25
+done
+if [ -z "$url" ]; then
+	echo "telemetry smoke failed: server address never printed" >&2
+	cat "$tmplog" >&2
+	kill "$loadpid" 2>/dev/null || true
+	exit 1
+fi
+go run ./scripts/promcheck "$url/metrics" >/dev/null
+go run ./scripts/promcheck -raw "$url/healthz" | go run ./scripts/jsoncheck.go
+go run ./scripts/promcheck -raw "$url/snapshot" | go run ./scripts/jsoncheck.go
+if ! wait "$loadpid"; then
+	echo "telemetry smoke failed: load generator exited non-zero" >&2
+	cat "$tmplog" >&2
+	exit 1
+fi
+if ! grep -q "sustained" "$tmplog"; then
+	echo "telemetry smoke failed: load summary missing" >&2
+	cat "$tmplog" >&2
+	exit 1
+fi
+rm -f "$tmplog"
 
 echo "== cycadatop smoke (live introspection snapshot)"
 top=$(go run ./cmd/cycadatop)

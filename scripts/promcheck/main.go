@@ -1,0 +1,95 @@
+// Command promcheck validates a Cycada telemetry /metrics endpoint: it
+// fetches the URL (with retries while the server comes up), parses the body
+// as Prometheus text exposition via the same parser the telemetry tests use,
+// and checks the cycada_up gauge reads 1. Non-zero exit on fetch failure,
+// malformed exposition, or a missing/zero cycada_up — which is what makes it
+// usable as the check.sh telemetry smoke gate.
+//
+// Usage:
+//
+//	go run ./scripts/promcheck [-print] [-retries 20] http://127.0.0.1:9090/metrics
+//	go run ./scripts/promcheck -raw http://127.0.0.1:9090/healthz
+//
+// With -print the raw body is echoed to stdout after validation (for piping
+// into further checks). With -raw the body is fetched (with the same retry
+// loop) and echoed without Prometheus validation — for piping JSON endpoints
+// like /healthz and /snapshot into jsoncheck.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cycada/internal/obs/telemetry"
+)
+
+func main() {
+	echo := flag.Bool("print", false, "echo the fetched body to stdout after validation")
+	raw := flag.Bool("raw", false, "fetch and echo the body without Prometheus validation")
+	retries := flag.Int("retries", 20, "fetch attempts before giving up (250ms apart)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-print|-raw] [-retries N] <url>")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	body, err := fetchRetry(url, *retries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return
+	}
+	samples, err := telemetry.ParseText(bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: invalid exposition:", err)
+		os.Exit(1)
+	}
+	up := telemetry.Find(samples, telemetry.MetricUp)
+	if len(up) != 1 || up[0].Value != 1 {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: want exactly one %s sample with value 1, got %v\n",
+			url, telemetry.MetricUp, up)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "promcheck: %s ok (%d samples)\n", url, len(samples))
+	if *echo {
+		os.Stdout.Write(body)
+	}
+}
+
+// fetchRetry polls the URL until it answers 200, absorbing the race between
+// a freshly exec'd server printing its address and actually accepting.
+func fetchRetry(url string, retries int) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s: %s", url, resp.Status)
+			continue
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", retries, lastErr)
+}
